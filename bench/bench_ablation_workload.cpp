@@ -1,0 +1,73 @@
+// Ablation bench (DESIGN.md §5): which modeling choices in the synthetic
+// workload drive the paper's headline result?
+//
+// Sweeps, on workload BL at 10% of MaxNeeded:
+//   1. size-popularity bias      — does SIZE's win need "popular docs are
+//                                   small", or does size skew alone do it?
+//   2. URL Zipf exponent         — sensitivity of the SIZE-vs-LRU gap to
+//                                   popularity concentration
+//   3. modification rate         — how much consistency misses (size
+//                                   changes) erode all policies
+// Reported: HR of SIZE and LRU (and the gap), plus infinite-cache HR.
+#include "bench/common.h"
+
+using namespace wcs;
+using namespace wcs::bench;
+
+namespace {
+
+struct Measured {
+  double infinite_hr;
+  double size_hr;
+  double lru_hr;
+};
+
+Measured measure(WorkloadSpec spec) {
+  const GeneratedWorkload generated = WorkloadGenerator{std::move(spec)}.generate();
+  const Experiment1Result infinite = run_experiment1("ablation", generated.trace);
+  const std::uint64_t capacity = fraction_of(infinite.max_needed, 0.10);
+  const SimResult size = simulate(generated.trace, capacity, [] { return make_size(); });
+  const SimResult lru = simulate(generated.trace, capacity, [] { return make_lru(); });
+  return {infinite.overall_hr, size.daily.overall_hr(), lru.daily.overall_hr()};
+}
+
+void sweep(const std::string& title, const std::vector<double>& values,
+           const std::function<void(WorkloadSpec&, double)>& apply) {
+  Table table{title};
+  table.header({"value", "infinite HR", "SIZE HR", "LRU HR", "SIZE-LRU gap"});
+  for (const double value : values) {
+    WorkloadSpec spec = WorkloadSpec::preset("BL").scaled(scale_from_env() * 0.5);
+    apply(spec, value);
+    const Measured m = measure(spec);
+    table.row({Table::num(value, 3), Table::pct(m.infinite_hr, 1), Table::pct(m.size_hr, 1),
+               Table::pct(m.lru_hr, 1), Table::pct(m.size_hr - m.lru_hr, 1)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation — workload-model choices vs the SIZE-beats-LRU result");
+
+  sweep("1. size-popularity bias (0 = sizes independent of popularity)",
+        {0.0, 0.1, 0.2, 0.35, 0.5},
+        [](WorkloadSpec& spec, double v) { spec.size_popularity_bias = v; });
+
+  sweep("2. URL popularity Zipf exponent", {0.5, 0.65, 0.74, 0.9, 1.05},
+        [](WorkloadSpec& spec, double v) { spec.url_zipf = v; });
+
+  sweep("3. document modification rate (size-change consistency misses)",
+        {0.0, 0.006, 0.02, 0.05, 0.1},
+        [](WorkloadSpec& spec, double v) { spec.modification_rate = v; });
+
+  std::cout << "Readings:\n"
+               "  - SIZE beats LRU even with bias 0: the heavy size skew alone\n"
+               "    (many small docs per big one) carries the paper's result;\n"
+               "    bias widens the gap\n"
+               "  - higher Zipf concentration lifts every policy and narrows\n"
+               "    relative gaps (popular docs fit in any cache)\n"
+               "  - modification churn costs all policies roughly equally\n";
+  return 0;
+}

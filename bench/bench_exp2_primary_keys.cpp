@@ -1,0 +1,53 @@
+// Experiment 2, primary keys (Figs 8-12 + §4.4): for each workload, the
+// ratio of finite-cache HR (10% of MaxNeeded, random secondary key) to the
+// infinite-cache HR, per primary key — the paper's central result that
+// SIZE-based removal maximizes hit rate — plus the WHR comparison where the
+// ranking flips.
+#include "bench/common.h"
+
+using namespace wcs;
+using namespace wcs::bench;
+
+int main() {
+  print_header(
+      "Experiment 2 — primary sort key performance at 10% of MaxNeeded (Figs 8-12, §4.4)");
+
+  std::vector<KeySpec> specs;
+  for (const Key key : kPrimaryKeys) specs.push_back(KeySpec{{key, Key::kRandom}});
+
+  for (const char* name : {"U", "G", "C", "BL", "BR"}) {
+    const Trace& trace = workload(name).trace;
+    const Experiment1Result infinite = run_experiment1(name, trace);
+    const Experiment2Result result = run_experiment2(name, trace, infinite, 0.10, specs);
+
+    const std::string fig = std::string{name} == "U"    ? "8"
+                            : std::string{name} == "G"  ? "9"
+                            : std::string{name} == "C"  ? "10"
+                            : std::string{name} == "BL" ? "11"
+                                                        : "12";
+    Table table{"Fig " + fig + " — workload " + std::string{name} + ", cache = " +
+                Table::num(static_cast<double>(result.capacity_bytes) / 1e6, 1) +
+                " MB (10% of MaxNeeded)"};
+    table.header({"primary key", "HR", "% of infinite HR", "WHR", "% of infinite WHR"});
+    for (const PolicyOutcome& outcome : result.outcomes) {
+      table.row({outcome.policy, Table::pct(outcome.hr, 1),
+                 Table::num(outcome.hr_pct_of_infinite, 1), Table::pct(outcome.whr, 1),
+                 Table::num(outcome.whr_pct_of_infinite, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "Daily HR ratio curves (percent of infinite-cache HR):\n";
+    for (const PolicyOutcome& outcome : result.outcomes) {
+      print_curve(outcome.policy, outcome.hr_ratio_curve, 0.0, 100.0);
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "Paper shape checks:\n"
+               "  - SIZE and LOG2SIZE achieve the highest HR on every workload,\n"
+               "    >90% of optimal most of the time at only 10% of MaxNeeded\n"
+               "  - NREF (LFU) is second best; ATIME (LRU) and DAY(ATIME) follow;\n"
+               "    ETIME (FIFO) is worst\n"
+               "  - On WHR the ranking flips: SIZE is worst on the byte-heavy\n"
+               "    workloads and NREF is clearly best on BR\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Extension bench — §5 open problem 2, quantified:
+//
+//   "a cache is only useless for dynamic documents if the document content
+//    completely changes; otherwise a portion but not all of the cached copy
+//    remains valid ... a server could send the 'diff'"
+//
+// A population of semi-static pages (news front pages, course schedules) is
+// edited daily with varying churn; a proxy revalidates every page each day.
+// Measured: upstream bytes with plain HTTP/1.0 refetches vs with delta
+// transfer, across edit sizes — the byte savings the paper predicts.
+#include <iostream>
+#include <vector>
+
+#include "src/http/delta.h"
+#include "src/proxy/origin.h"
+#include "src/proxy/proxy.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+using namespace wcs;
+
+namespace {
+
+struct Scenario {
+  const char* label;
+  double edited_fraction;   // of the document, per edit
+  int edits_per_day;        // documents edited each day
+};
+
+std::string make_page(Rng& rng, std::size_t size) {
+  std::string page;
+  page.reserve(size);
+  while (page.size() < size) {
+    page += "<tr><td>item " + std::to_string(rng.below(10'000)) + "</td><td>" +
+            std::to_string(rng.below(100)) + "</td></tr>\n";
+  }
+  page.resize(size);
+  return page;
+}
+
+void edit_page(Rng& rng, std::string& page, double fraction) {
+  // Replace a contiguous region — a typical "update the changed rows" edit.
+  const auto span = static_cast<std::size_t>(static_cast<double>(page.size()) * fraction);
+  if (span == 0 || page.size() < span + 1) return;
+  const std::size_t at = rng.below(page.size() - span);
+  for (std::size_t i = 0; i < span; ++i) {
+    page[at + i] = static_cast<char>('A' + rng.below(26));
+  }
+}
+
+struct Result {
+  std::uint64_t upstream_bytes = 0;
+  std::uint64_t delta_updates = 0;
+};
+
+Result run(bool deltas_enabled, const Scenario& scenario) {
+  constexpr int kPages = 40;
+  constexpr int kDays = 30;
+  constexpr std::size_t kPageSize = 24'000;
+
+  Rng rng{0xde17a};
+  OriginServer origin{"news.example"};
+  std::vector<std::string> pages;
+  for (int p = 0; p < kPages; ++p) {
+    pages.push_back(make_page(rng, kPageSize));
+    origin.put("/page" + std::to_string(p) + ".html", pages.back(), 0);
+  }
+
+  std::uint64_t upstream_bytes = 0;
+  ProxyCache::Config config;
+  config.capacity_bytes = 64ULL << 20;
+  config.revalidate_after = kSecondsPerHour;  // daily visits always revalidate
+  config.accept_deltas = deltas_enabled;
+  ProxyCache proxy{config, [&](const HttpRequest& request, SimTime now) {
+                     HttpResponse response = origin.handle(request, now);
+                     upstream_bytes += response.body.size();
+                     return response;
+                   }};
+
+  for (int day = 0; day < kDays; ++day) {
+    const SimTime noon = day_start(day) + 12 * kSecondsPerHour;
+    // Overnight edits.
+    for (int e = 0; e < scenario.edits_per_day; ++e) {
+      const auto p = static_cast<int>(rng.below(kPages));
+      edit_page(rng, pages[static_cast<std::size_t>(p)], scenario.edited_fraction);
+      origin.edit("/page" + std::to_string(p) + ".html",
+                  pages[static_cast<std::size_t>(p)], noon - kSecondsPerHour);
+    }
+    // The morning crowd reads every page.
+    for (int p = 0; p < kPages; ++p) {
+      HttpRequest request;
+      request.method = "GET";
+      request.target = "http://news.example/page" + std::to_string(p) + ".html";
+      (void)proxy.handle(request, noon + p);
+    }
+  }
+  return {upstream_bytes, proxy.stats().delta_updates};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "§5 open problem 2 — delta transfer for semi-static documents\n"
+               "40 pages x 24 kB, 30 days, every page revalidated daily\n\n";
+
+  const std::vector<Scenario> scenarios = {
+      {"light churn (1% edits, 4 pages/day)", 0.01, 4},
+      {"medium churn (5% edits, 10 pages/day)", 0.05, 10},
+      {"heavy churn (20% edits, 20 pages/day)", 0.20, 20},
+      {"full rewrite (95% edits, 20 pages/day)", 0.95, 20},
+  };
+
+  Table table{"upstream bytes fetched by the proxy"};
+  table.header({"scenario", "plain HTTP/1.0", "with deltas", "bytes saved", "delta updates"});
+  for (const Scenario& scenario : scenarios) {
+    const Result plain = run(false, scenario);
+    const Result with_delta = run(true, scenario);
+    const double saved =
+        plain.upstream_bytes == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(with_delta.upstream_bytes) /
+                        static_cast<double>(plain.upstream_bytes);
+    table.row({scenario.label, std::to_string(plain.upstream_bytes),
+               std::to_string(with_delta.upstream_bytes), Table::pct(saved, 1),
+               std::to_string(with_delta.delta_updates)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the smaller the edit, the closer delta transfer gets to\n"
+               "eliminating refetch traffic entirely; even heavy churn saves\n"
+               "most of the bytes, and only near-total rewrites defeat it (the\n"
+               "origin then declines to send a delta at all).\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Extension bench — the paper's §5 open problems, implemented:
+//
+//   Open problem 1: sorting keys never explored in 1996 — document TYPE
+//   (media evicted first, text kept) and refetch LATENCY (cheap-to-refetch
+//   evicted first). Measured on HR, WHR and a new response variable the
+//   original traces could not support: fraction of refetch latency avoided.
+//
+//   Open problem 3: a single second-level cache shared by several primary
+//   caches — "how much commonality exists between the workloads if they
+//   share a single second level cache?"
+//   Open problem 3 (second half): a multi-level hierarchy deeper than two
+//   levels — client cache -> department proxy -> campus proxy.
+//
+//   Open problem 4: interaction of removal with consistency — Harvest-style
+//   expired-documents-first eviction at various TTLs.
+#include "bench/common.h"
+
+#include "src/core/expiry.h"
+#include "src/core/hierarchy.h"
+
+using namespace wcs;
+using namespace wcs::bench;
+
+int main() {
+  print_header("§5 open problems — TYPE/LATENCY keys and a shared L2");
+
+  std::cout << "--- Open problem 1: type- and latency-aware removal keys ---\n\n";
+  for (const char* name : {"BL", "U", "BR"}) {
+    const Trace& trace = workload(name).trace;
+    const Experiment1Result infinite = run_experiment1(name, trace);
+    const LatencyStudyResult result =
+        run_latency_study(name, trace, infinite.max_needed, 0.10);
+    Table table{"workload " + std::string{name} + ", cache = 10% of MaxNeeded (" +
+                Table::num(static_cast<double>(result.capacity_bytes) / 1e6, 1) + " MB)"};
+    table.header({"policy", "HR", "WHR", "latency saved"});
+    for (const LatencyOutcome& outcome : result.outcomes) {
+      table.row({outcome.policy, Table::pct(outcome.hr, 1), Table::pct(outcome.whr, 1),
+                 Table::pct(outcome.latency_savings, 1)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Readings (resolving the open problem, negatively):\n"
+               "  - a pure LATENCY key LOSES even on latency saved: it hoards\n"
+               "    expensive but unpopular documents, while SIZE's many small\n"
+               "    hits add up — popularity dominates per-hit refetch cost\n"
+               "  - NREF/ATIME save the most latency on byte-heavy workloads by\n"
+               "    keeping popular media, mirroring their WHR advantage\n"
+               "  - TYPE+SIZE approximates SIZE on HR (media are the big\n"
+               "    documents) while guaranteeing text stays resident\n\n";
+
+  std::cout << "--- Open problem 3: shared vs dedicated second-level cache ---\n\n";
+  Table shared_table{"L1 = SIZE policy, 10% of MaxNeeded split across groups; L2 infinite"};
+  shared_table.header({"workload", "groups", "L1 HR", "shared L2 HR", "dedicated L2 HR",
+                       "shared L2 WHR", "dedicated L2 WHR"});
+  for (const char* name : {"BL", "U", "C"}) {
+    const Trace& trace = workload(name).trace;
+    const Experiment1Result infinite = run_experiment1(name, trace);
+    for (const int groups : {2, 4, 8}) {
+      const SharedL2Result result =
+          run_shared_l2_study(name, trace, infinite.max_needed, 0.10, groups);
+      shared_table.row({name, std::to_string(groups), Table::pct(result.l1_hr, 1),
+                        Table::pct(result.shared_l2_hr, 1),
+                        Table::pct(result.dedicated_l2_hr, 1),
+                        Table::pct(result.shared_l2_whr, 1),
+                        Table::pct(result.dedicated_l2_whr, 1)});
+    }
+  }
+  shared_table.print(std::cout);
+  std::cout << "\nReading: the shared L2 consistently beats per-group L2s — one\n"
+               "group's miss warms the cache for every other group, quantifying\n"
+               "the cross-client commonality the paper conjectured. The gap\n"
+               "widens with more (smaller) groups.\n\n";
+
+  std::cout << "--- Open problem 3 (cont.): three-level hierarchy ---\n\n";
+  {
+    Table table{"client cache (1%) -> department proxy (10%) -> campus proxy (50%)"};
+    table.header({"workload", "L0 HR", "L1 HR", "L2 HR", "combined HR", "L2 WHR"});
+    for (const char* name : {"BL", "U"}) {
+      const Trace& trace = workload(name).trace;
+      const Experiment1Result infinite = run_experiment1(name, trace);
+      std::vector<CacheHierarchy::LevelSpec> levels;
+      for (const double fraction : {0.01, 0.10, 0.50}) {
+        CacheHierarchy::LevelSpec spec;
+        spec.config.capacity_bytes = fraction_of(infinite.max_needed, fraction);
+        spec.policy = make_size();
+        levels.push_back(std::move(spec));
+      }
+      CacheHierarchy hierarchy{std::move(levels)};
+      for (const Request& request : trace.requests()) hierarchy.access(request);
+      table.row({name, Table::pct(hierarchy.hit_rate_of(0), 1),
+                 Table::pct(hierarchy.hit_rate_of(1), 1),
+                 Table::pct(hierarchy.hit_rate_of(2), 1),
+                 Table::pct(hierarchy.combined_hit_rate(), 1),
+                 Table::pct(hierarchy.weighted_hit_rate_of(2), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: each level serves a meaningful share; the tiny client\n"
+                 "cache soaks up the hottest documents, the outer levels add byte-\n"
+                 "heavy coverage — deeper hierarchies keep paying, at diminishing\n"
+                 "per-level rates.\n\n";
+  }
+
+  std::cout << "--- Open problem 4: expired-documents-first removal ---\n\n";
+  {
+    Table table{"workload BL, SIZE inner policy, 10% of MaxNeeded"};
+    table.header({"TTL", "HR", "WHR"});
+    const Trace& trace = workload("BL").trace;
+    const Experiment1Result infinite = run_experiment1("BL", trace);
+    const std::uint64_t capacity = fraction_of(infinite.max_needed, 0.10);
+    const std::vector<std::pair<const char*, SimTime>> ttls = {
+        {"none (pure SIZE)", 0},
+        {"7 days", 7 * kSecondsPerDay},
+        {"1 day", kSecondsPerDay},
+        {"6 hours", 6 * kSecondsPerHour},
+        {"1 hour", kSecondsPerHour},
+    };
+    for (const auto& [label, ttl] : ttls) {
+      const SimResult sim = simulate(trace, capacity, [ttl = ttl] {
+        return ttl > 0 ? make_expiry_first(make_size(), ttl) : make_size();
+      });
+      table.row({label, Table::pct(sim.daily.overall_hr(), 1),
+                 Table::pct(sim.daily.overall_whr(), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: expired-first removal costs hit rate at any TTL, and\n"
+                 "once the TTL drops below the typical inter-eviction age the\n"
+                 "policy *degenerates to FIFO* (every eviction finds an expired\n"
+                 "oldest-entered document) — its HR pins to the ETIME row of\n"
+                 "Fig 11. Expiry belongs in the consistency path, not the\n"
+                 "removal path: exactly the interaction the paper flags.\n";
+  }
+  return 0;
+}

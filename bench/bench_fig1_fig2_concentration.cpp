@@ -1,0 +1,58 @@
+// Reproduces Figs 1-2: concentration of workload BL — requests per server
+// (rank order) and bytes per URL (rank order), both Zipf-like, plus the
+// paper's headline concentration facts (2543 servers, 84 servers with >=100
+// requests, ~290 URLs carrying 50% of the bytes).
+#include "bench/common.h"
+
+#include <algorithm>
+
+#include "src/trace/trace_stats.h"
+
+using namespace wcs;
+using namespace wcs::bench;
+
+namespace {
+
+void print_rank_curve(const std::string& caption, const std::vector<std::uint64_t>& ranked) {
+  Table table{caption};
+  table.header({"rank", "count"});
+  for (std::size_t rank = 1; rank <= ranked.size(); rank *= 4) {
+    table.row({std::to_string(rank), std::to_string(ranked[rank - 1])});
+  }
+  table.print(std::cout);
+  std::cout << "  fitted Zipf exponent: " << Table::num(zipf_exponent_estimate(ranked), 2)
+            << "  (paper: \"follows a Zipf distribution\")\n\n";
+  if (gnuplot_from_env()) {
+    std::vector<std::pair<double, double>> points;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      points.emplace_back(static_cast<double>(i + 1), static_cast<double>(ranked[i]));
+    }
+    print_series(std::cout, caption, {Series{"ranked", points}});
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figs 1-2 — request/byte concentration in workload BL");
+  print_calibration("BL");
+  const Trace& trace = workload("BL").trace;
+
+  const auto per_server = requests_per_server_ranked(trace);
+  print_rank_curve("Fig 1: requests per server (BL)", per_server);
+  const std::size_t servers_100plus = static_cast<std::size_t>(std::count_if(
+      per_server.begin(), per_server.end(), [](std::uint64_t c) { return c >= 100; }));
+  const std::size_t servers_le10 = static_cast<std::size_t>(std::count_if(
+      per_server.begin(), per_server.end(), [](std::uint64_t c) { return c <= 10; }));
+  std::cout << "  servers total: " << per_server.size() << " (paper: 2543)\n"
+            << "  servers with >=100 requests: " << servers_100plus << " (paper: 84)\n"
+            << "  servers with <=10 requests: " << servers_le10 << " (paper: 1666)\n\n";
+
+  const auto per_url = bytes_per_url_ranked(trace);
+  print_rank_curve("Fig 2: bytes transferred per URL (BL)", per_url);
+  const std::size_t urls_for_half = count_for_mass_fraction(per_url, 0.5);
+  std::cout << "  unique URLs: " << per_url.size() << " (paper: 36,771)\n"
+            << "  URLs returning 50% of all bytes: " << urls_for_half
+            << " (paper: ~290)\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark): per-operation cost of every removal
+// policy under a steady-state churn workload. Supports the paper's §1.3
+// argument that on-demand removal is cheap — the sorted-list policies keep
+// the order incrementally, so the victim is popped from the head in
+// O(log n) and a hit costs one erase+insert.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/core/policy.h"
+#include "src/util/rng.h"
+
+namespace wcs {
+namespace {
+
+enum class Which : int {
+  kSize = 0,
+  kLog2SizeAtime,
+  kLru,
+  kFifo,
+  kLfu,
+  kHyperG,
+  kLruMin,
+  kPitkowRecker,
+  kRandom,
+};
+
+std::unique_ptr<RemovalPolicy> make_which(Which which) {
+  switch (which) {
+    case Which::kSize: return make_size();
+    case Which::kLog2SizeAtime:
+      return make_sorted_policy(KeySpec{{Key::kLog2Size, Key::kAtime}});
+    case Which::kLru: return make_lru();
+    case Which::kFifo: return make_fifo();
+    case Which::kLfu: return make_lfu();
+    case Which::kHyperG: return make_hyper_g();
+    case Which::kLruMin: return make_lru_min();
+    case Which::kPitkowRecker: return make_pitkow_recker();
+    case Which::kRandom: return make_random();
+  }
+  return make_lru();
+}
+
+const char* name_of(Which which) {
+  switch (which) {
+    case Which::kSize: return "SIZE";
+    case Which::kLog2SizeAtime: return "LOG2SIZE+ATIME";
+    case Which::kLru: return "LRU";
+    case Which::kFifo: return "FIFO";
+    case Which::kLfu: return "LFU";
+    case Which::kHyperG: return "Hyper-G";
+    case Which::kLruMin: return "LRU-MIN";
+    case Which::kPitkowRecker: return "Pitkow/Recker";
+    case Which::kRandom: return "RANDOM";
+  }
+  return "?";
+}
+
+struct Op {
+  UrlId url;
+  std::uint64_t size;
+};
+
+std::vector<Op> make_ops(std::size_t universe, std::size_t count) {
+  Rng rng{42};
+  std::vector<Op> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto url = static_cast<UrlId>(rng.below(universe));
+    ops.push_back({url, 64 + (mix64(url) % 30'000)});
+  }
+  return ops;
+}
+
+/// Steady-state churn: cache holds ~n entries, every access is a hit or an
+/// insert+evictions. Reported as time per access.
+void BM_PolicyAccess(benchmark::State& state) {
+  const auto which = static_cast<Which>(state.range(0));
+  const auto universe = static_cast<std::size_t>(state.range(1));
+  const auto ops = make_ops(universe, 1 << 14);
+
+  CacheConfig config;
+  // Capacity sized so roughly half the universe fits: constant eviction.
+  config.capacity_bytes = static_cast<std::uint64_t>(universe) * 15'000 / 2;
+  Cache cache{config, make_which(which)};
+
+  SimTime now = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Op& op = ops[i];
+    i = (i + 1) & (ops.size() - 1);
+    now += 13;
+    benchmark::DoNotOptimize(cache.access(now, op.url, op.size));
+  }
+  state.SetLabel(name_of(which));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void register_all() {
+  for (const Which which :
+       {Which::kSize, Which::kLog2SizeAtime, Which::kLru, Which::kFifo, Which::kLfu,
+        Which::kHyperG, Which::kLruMin, Which::kPitkowRecker, Which::kRandom}) {
+    for (const std::int64_t universe : {1'000, 10'000, 100'000}) {
+      const std::string name =
+          std::string{"PolicyAccess/"} + name_of(which) + "/" + std::to_string(universe);
+      benchmark::RegisterBenchmark(name.c_str(), BM_PolicyAccess)
+          ->Args({static_cast<std::int64_t>(which), universe});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcs
+
+int main(int argc, char** argv) {
+  wcs::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary regenerates one of the paper's tables or figures:
+// it prints the workload calibration table (generated vs paper), then the
+// table rows / figure series. Figures are rendered three ways: summary
+// statistics, a terminal sparkline conveying curve shape, and a
+// gnuplot-ready data block (enable with WCS_GNUPLOT=1).
+//
+// WCS_SCALE scales request volume and footprint (default 1.0 = the paper's
+// published trace sizes; use e.g. WCS_SCALE=0.1 for a quick smoke run).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiments.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+#include "src/workload/report.h"
+
+namespace wcs::bench {
+
+inline double scale_from_env() {
+  if (const char* text = std::getenv("WCS_SCALE")) {
+    const double value = std::atof(text);
+    if (value > 0.0) return value;
+  }
+  return 1.0;
+}
+
+inline bool gnuplot_from_env() {
+  const char* text = std::getenv("WCS_GNUPLOT");
+  return text != nullptr && text[0] != '\0' && text[0] != '0';
+}
+
+/// Generate (and memoize) a workload preset at the bench scale.
+inline const GeneratedWorkload& workload(const std::string& name) {
+  static std::map<std::string, GeneratedWorkload> cache;
+  const auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  WorkloadGenerator generator{WorkloadSpec::preset(name).scaled(scale_from_env())};
+  return cache.emplace(name, generator.generate()).first->second;
+}
+
+inline void print_calibration(const std::string& name) {
+  const GeneratedWorkload& generated = workload(name);
+  print_report(std::cout, make_report(generated.spec, generated.trace));
+  std::cout << '\n';
+}
+
+inline void print_header(const std::string& what) {
+  std::cout << "==================================================================\n"
+            << what << '\n'
+            << "(workload scale " << scale_from_env() << "; see EXPERIMENTS.md)\n"
+            << "==================================================================\n\n";
+}
+
+/// Render an optional-valued daily series: mean over defined days, a
+/// sparkline of its shape, and optionally a gnuplot block.
+inline void print_curve(const std::string& label, const OptSeries& series, double lo,
+                        double hi) {
+  std::vector<double> defined;
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t day = 0; day < series.size(); ++day) {
+    if (series[day]) {
+      defined.push_back(*series[day]);
+      points.emplace_back(static_cast<double>(day), *series[day]);
+    }
+  }
+  double mean = 0.0;
+  for (const double v : defined) mean += v;
+  if (!defined.empty()) mean /= static_cast<double>(defined.size());
+  std::cout << "  " << label << "  mean=" << Table::num(mean, 2) << "  "
+            << sparkline(defined, lo, hi) << '\n';
+  if (gnuplot_from_env()) {
+    print_series(std::cout, label, {Series{label, points}});
+  }
+}
+
+}  // namespace wcs::bench

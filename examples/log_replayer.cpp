@@ -1,0 +1,115 @@
+// Log replayer — answer "what cache should I buy?" from your own log.
+//
+// Reads a CERN/NCSA common-log-format file, validates it (§1.1), then
+// replays it through every literature policy at the disk budgets you name,
+// printing HR/WHR per (policy, size) — the operational decision table the
+// paper's methodology supports.
+//
+// Usage:
+//   log_replayer <access.log | --demo> [sizeMB ...]
+//   log_replayer access.log 16 64 256
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/sim/simulator.h"
+#include "src/trace/clf.h"
+#include "src/trace/squid.h"
+#include "src/trace/validate.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+
+using namespace wcs;
+
+namespace {
+
+Trace load(const std::string& source) {
+  if (source == "--demo") {
+    std::cout << "(--demo: generating workload BL at scale 0.2)\n";
+    return WorkloadGenerator{WorkloadSpec::preset("BL").scaled(0.2)}.generate().trace;
+  }
+  std::ifstream in{source};
+  if (!in) {
+    std::cerr << "cannot open " << source << '\n';
+    std::exit(2);
+  }
+  // Auto-detect CLF vs Squid native format from the first line.
+  std::string first_line;
+  std::getline(in, first_line);
+  in.seekg(0);
+  const std::string_view format = detect_log_format(first_line);
+  std::vector<RawRequest> records;
+  std::size_t malformed = 0;
+  if (format == "squid") {
+    SquidReadResult parsed = read_squid(in);
+    records = std::move(parsed.requests);
+    malformed = parsed.malformed_lines;
+  } else {
+    ClfReadResult parsed = read_clf(in);
+    records = std::move(parsed.requests);
+    malformed = parsed.malformed_lines;
+  }
+  std::cout << "parsed " << records.size() << " records (" << format << " format, "
+            << malformed << " malformed skipped)\n";
+  ValidatedTrace validated = validate(records);
+  std::cout << "kept " << validated.stats.kept << " valid GET/200 requests\n";
+  return std::move(validated.trace);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: log_replayer <common-format-log | --demo> [sizeMB ...]\n";
+    return 2;
+  }
+  const Trace trace = load(argv[1]);
+  if (trace.empty()) {
+    std::cerr << "no valid requests\n";
+    return 1;
+  }
+
+  std::vector<std::uint64_t> sizes_mb;
+  for (int i = 2; i < argc; ++i) {
+    const auto mb = std::strtoull(argv[i], nullptr, 10);
+    if (mb > 0) sizes_mb.push_back(mb);
+  }
+  if (sizes_mb.empty()) sizes_mb = {16, 64, 256};
+
+  const SimResult infinite = simulate_infinite(trace);
+  std::cout << "\ninfinite cache: HR " << Table::pct(infinite.daily.overall_hr(), 1)
+            << ", WHR " << Table::pct(infinite.daily.overall_whr(), 1)
+            << ", footprint " << static_cast<double>(infinite.max_used_bytes) / 1e6
+            << " MB\n\n";
+
+  struct Entry {
+    const char* name;
+    PolicyFactory factory;
+  };
+  const std::vector<Entry> policies = {
+      {"SIZE", [] { return make_size(); }},
+      {"LRU-MIN", [] { return make_lru_min(); }},
+      {"LRU", [] { return make_lru(); }},
+      {"LFU", [] { return make_lfu(); }},
+      {"FIFO", [] { return make_fifo(); }},
+      {"Hyper-G", [] { return make_hyper_g(); }},
+      {"Pitkow/Recker", [] { return make_pitkow_recker(); }},
+  };
+
+  for (const std::uint64_t mb : sizes_mb) {
+    Table table{"cache = " + std::to_string(mb) + " MB"};
+    table.header({"policy", "HR", "WHR", "% of max HR"});
+    for (const Entry& entry : policies) {
+      const SimResult sim = simulate(trace, mb * 1'000'000, entry.factory);
+      const double hr = sim.daily.overall_hr();
+      table.row({entry.name, Table::pct(hr, 1), Table::pct(sim.daily.overall_whr(), 1),
+                 infinite.daily.overall_hr() > 0
+                     ? Table::num(100.0 * hr / infinite.daily.overall_hr(), 1)
+                     : "-"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Trace analyzer — workload characterization for a real proxy log.
+//
+// Reads a CERN/NCSA common-log-format file (the format the paper's
+// workloads were collected in), applies the §1.1 validation rules, and
+// prints the §2.2-style characterization: file-type distribution (Table 4),
+// server/URL concentration (Figs 1-2), document-size histogram (Fig 13) and
+// interreference structure (Fig 14).
+//
+// Usage:
+//   trace_analyzer access.log         analyze a common-format log file
+//   trace_analyzer --demo             generate workload BL (scale 0.2),
+//                                     write it to /tmp/wcs_demo.log, then
+//                                     analyze that file end-to-end
+#include <fstream>
+#include <iostream>
+
+#include "src/trace/clf.h"
+#include "src/trace/squid.h"
+#include "src/trace/trace_stats.h"
+#include "src/trace/validate.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+
+using namespace wcs;
+
+namespace {
+
+int analyze(std::istream& in) {
+  std::string first_line;
+  std::getline(in, first_line);
+  in.seekg(0);
+  const std::string_view format = detect_log_format(first_line);
+  std::vector<RawRequest> records;
+  std::size_t malformed = 0;
+  if (format == "squid") {
+    SquidReadResult parsed = read_squid(in);
+    records = std::move(parsed.requests);
+    malformed = parsed.malformed_lines;
+  } else {
+    ClfReadResult parsed = read_clf(in);
+    records = std::move(parsed.requests);
+    malformed = parsed.malformed_lines;
+  }
+  std::cout << "parsed " << records.size() << " records (" << format << " format, "
+            << malformed << " malformed lines skipped)\n";
+  const ValidatedTrace validated = validate(records);
+  const ValidationStats& vs = validated.stats;
+  std::cout << "validation (paper §1.1): kept " << vs.kept << ", dropped "
+            << vs.dropped_status << " non-200, " << vs.dropped_method << " non-GET, "
+            << vs.dropped_zero_size_unknown << " zero-size-unknown; resolved "
+            << vs.zero_size_resolved << " zero-size re-references; " << vs.size_changes
+            << " size changes observed\n\n";
+  const Trace& trace = validated.trace;
+  if (trace.empty()) {
+    std::cerr << "no valid requests - nothing to analyze\n";
+    return 1;
+  }
+
+  Table summary{"trace summary"};
+  summary.header({"metric", "value"});
+  summary.row({"days spanned", std::to_string(trace.day_count())});
+  summary.row({"valid requests", std::to_string(trace.size())});
+  summary.row({"bytes transferred", format_bytes(trace.total_bytes())});
+  summary.row({"unique URLs", std::to_string(trace.url_count())});
+  summary.row({"unique bytes (min cache for no removals)", format_bytes(trace.unique_bytes())});
+  summary.row({"servers", std::to_string(trace.server_count())});
+  summary.row({"clients", std::to_string(trace.client_count())});
+  summary.print(std::cout);
+  std::cout << '\n';
+
+  const FileTypeDistribution dist = file_type_distribution(trace);
+  Table types{"file types (paper Table 4 format)"};
+  types.header({"type", "%refs", "%bytes"});
+  for (const FileType type : kAllFileTypes) {
+    types.row({std::string{to_string(type)}, Table::pct(dist.ref_fraction(type), 2),
+               Table::pct(dist.byte_fraction(type), 2)});
+  }
+  types.print(std::cout);
+  std::cout << '\n';
+
+  const auto per_server = requests_per_server_ranked(trace);
+  const auto per_url = bytes_per_url_ranked(trace);
+  Table concentration{"concentration (paper Figs 1-2)"};
+  concentration.header({"metric", "value"});
+  concentration.row({"Zipf exponent, requests/server",
+                     Table::num(zipf_exponent_estimate(per_server), 2)});
+  concentration.row({"Zipf exponent, bytes/URL",
+                     Table::num(zipf_exponent_estimate(per_url), 2)});
+  concentration.row({"URLs carrying 50% of bytes",
+                     std::to_string(count_for_mass_fraction(per_url, 0.5))});
+  concentration.row({"servers carrying 50% of requests",
+                     std::to_string(count_for_mass_fraction(per_server, 0.5))});
+  concentration.print(std::cout);
+  std::cout << '\n';
+
+  const auto samples = interreference_samples(trace);
+  const InterreferenceSummary inter = summarize_interreference(samples);
+  Table locality{"interreference structure (paper Fig 14)"};
+  locality.header({"metric", "value"});
+  locality.row({"re-references", std::to_string(inter.samples)});
+  locality.row({"median re-referenced size",
+                format_bytes(static_cast<std::uint64_t>(inter.median_size))});
+  locality.row({"median gap", format_duration(static_cast<SimTime>(inter.median_gap_seconds))});
+  locality.row({"gaps > 1 hour", Table::pct(inter.fraction_gap_over_hour, 1)});
+  locality.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_analyzer <common-format-log | --demo>\n";
+    return 2;
+  }
+  const std::string arg = argv[1];
+  if (arg == "--demo") {
+    const char* path = "/tmp/wcs_demo.log";
+    std::cout << "generating workload BL (scale 0.2) into " << path << "...\n";
+    WorkloadGenerator generator{WorkloadSpec::preset("BL").scaled(0.2)};
+    std::ofstream out{path};
+    write_clf(out, generator.generate_raw());
+    out.close();
+    std::ifstream in{path};
+    return analyze(in);
+  }
+  std::ifstream in{arg};
+  if (!in) {
+    std::cerr << "cannot open " << arg << '\n';
+    return 2;
+  }
+  return analyze(in);
+}

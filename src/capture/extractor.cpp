@@ -1,0 +1,120 @@
+#include "src/capture/extractor.h"
+
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+std::string format_ipv4(std::uint32_t address) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (address >> 24) & 0xff,
+                (address >> 16) & 0xff, (address >> 8) & 0xff, address & 0xff);
+  return buf;
+}
+
+HttpExtractor::HttpExtractor(TransactionCallback on_transaction, std::uint16_t server_port)
+    : on_transaction_(std::move(on_transaction)),
+      server_port_(server_port),
+      reassembler_(
+          [this](const FlowKey& flow, std::string_view bytes, std::int64_t timestamp) {
+            on_stream_data(flow, bytes, timestamp);
+          },
+          [this](const FlowKey& flow, std::int64_t timestamp) {
+            on_stream_fin(flow, timestamp);
+          }) {}
+
+void HttpExtractor::accept(const TcpSegment& segment) { reassembler_.accept(segment); }
+
+HttpExtractor::Connection& HttpExtractor::connection_of(const FlowKey& client_to_server) {
+  auto [it, inserted] = connections_.try_emplace(client_to_server);
+  if (inserted) it->second.client = format_ipv4(client_to_server.src_ip);
+  return it->second;
+}
+
+void HttpExtractor::on_stream_data(const FlowKey& flow, std::string_view bytes,
+                                   std::int64_t timestamp) {
+  if (flow.dst_port == server_port_) {
+    // Client -> server: requests.
+    Connection& connection = connection_of(flow);
+    connection.last_timestamp = timestamp;
+    auto requests = connection.request_parser.feed(bytes);
+    if (connection.request_parser.failed()) ++parse_failures_;
+    for (auto& request : requests) connection.outstanding.push_back(std::move(request));
+  } else if (flow.src_port == server_port_) {
+    // Server -> client: responses for the reversed flow's connection.
+    Connection& connection = connection_of(flow.reversed());
+    connection.last_timestamp = timestamp;
+    auto responses = connection.response_parser.feed(bytes);
+    if (connection.response_parser.failed()) ++parse_failures_;
+    pair_responses(connection, std::move(responses), timestamp);
+  }
+  // Segments on other ports are not HTTP: ignore, as the tcpdump filter did.
+}
+
+void HttpExtractor::on_stream_fin(const FlowKey& flow, std::int64_t timestamp) {
+  if (flow.src_port != server_port_) return;  // only the response side matters
+  Connection& connection = connection_of(flow.reversed());
+  if (auto last = connection.response_parser.finish()) {
+    std::vector<HttpResponse> responses;
+    responses.push_back(std::move(*last));
+    pair_responses(connection, std::move(responses), timestamp);
+  }
+  connection.response_fin = true;
+}
+
+void HttpExtractor::pair_responses(Connection& connection,
+                                   std::vector<HttpResponse> responses,
+                                   std::int64_t timestamp) {
+  for (auto& response : responses) {
+    if (connection.outstanding.empty()) {
+      // Response with no recorded request (capture started mid-connection):
+      // the original filter dropped these as non-decodable.
+      ++parse_failures_;
+      continue;
+    }
+    HttpRequest request = std::move(connection.outstanding.front());
+    connection.outstanding.pop_front();
+
+    HttpTransaction transaction;
+    transaction.client = connection.client;
+    transaction.method = request.method;
+    // Proxy-form targets are already absolute; origin-form targets get the
+    // authority reconstructed from the Host header when present.
+    if (starts_with(request.target, "http://") || starts_with(request.target, "https://")) {
+      transaction.url = request.target;
+    } else if (const auto host = request.headers.get("Host")) {
+      transaction.url = "http://" + std::string{*host} + request.target;
+    } else {
+      transaction.url = request.target;
+    }
+    transaction.status = response.status;
+    transaction.bytes = response.body.size();
+    transaction.time = timestamp;
+    ++emitted_;
+    if (on_transaction_) on_transaction_(transaction);
+  }
+}
+
+void HttpExtractor::finish() {
+  for (auto& [flow, connection] : connections_) {
+    if (auto last = connection.response_parser.finish()) {
+      std::vector<HttpResponse> responses;
+      responses.push_back(std::move(*last));
+      pair_responses(connection, std::move(responses), connection.last_timestamp);
+    }
+  }
+}
+
+RawRequest HttpExtractor::to_raw_request(const HttpTransaction& transaction) {
+  RawRequest raw;
+  raw.time = transaction.time;
+  raw.client = transaction.client;
+  raw.method = transaction.method;
+  raw.url = transaction.url;
+  raw.status = transaction.status;
+  raw.size = transaction.bytes;
+  return raw;
+}
+
+}  // namespace wcs

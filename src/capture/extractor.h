@@ -1,0 +1,78 @@
+// HTTP transaction extraction — the repository's equivalent of the paper's
+// "Chitra" tcpdump filter (§2.1): watch port-80 TCP segments, reassemble
+// both directions of each connection, parse requests and responses, pair
+// them in order, and emit one common-log-format record per non-aborted
+// document transfer.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/capture/reassembler.h"
+#include "src/http/parser.h"
+#include "src/trace/trace.h"
+
+namespace wcs {
+
+/// One completed request/response exchange.
+struct HttpTransaction {
+  std::string client;       // rendered client address
+  std::string method;
+  std::string url;          // absolute URL (reconstructed from Host if needed)
+  int status = 0;
+  std::uint64_t bytes = 0;  // response body bytes
+  SimTime time = 0;         // time of the response completion
+};
+
+class HttpExtractor {
+ public:
+  using TransactionCallback = std::function<void(const HttpTransaction&)>;
+
+  /// `server_port` identifies the server side of each flow (80 for HTTP).
+  explicit HttpExtractor(TransactionCallback on_transaction,
+                         std::uint16_t server_port = 80);
+
+  /// Feed one captured segment (either direction).
+  void accept(const TcpSegment& segment);
+
+  /// Flush close-delimited responses of flows that never FIN'd cleanly.
+  void finish();
+
+  [[nodiscard]] std::uint64_t transactions_emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t parse_failures() const noexcept { return parse_failures_; }
+
+  /// Format a transaction as a CLF RawRequest (the exported log record).
+  [[nodiscard]] static RawRequest to_raw_request(const HttpTransaction& transaction);
+
+ private:
+  // Connection state keyed by the *client->server* flow.
+  struct Connection {
+    RequestParser request_parser;
+    ResponseParser response_parser;
+    std::deque<HttpRequest> outstanding;  // requests awaiting responses
+    std::string client;
+    std::int64_t last_timestamp = 0;
+    bool response_fin = false;
+  };
+
+  void on_stream_data(const FlowKey& flow, std::string_view bytes, std::int64_t timestamp);
+  void on_stream_fin(const FlowKey& flow, std::int64_t timestamp);
+  void pair_responses(Connection& connection, std::vector<HttpResponse> responses,
+                      std::int64_t timestamp);
+  [[nodiscard]] Connection& connection_of(const FlowKey& client_to_server);
+
+  TransactionCallback on_transaction_;
+  std::uint16_t server_port_;
+  StreamReassembler reassembler_;
+  std::unordered_map<FlowKey, Connection, FlowKeyHash> connections_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t parse_failures_ = 0;
+};
+
+/// Render an IPv4 address as dotted quad.
+[[nodiscard]] std::string format_ipv4(std::uint32_t address);
+
+}  // namespace wcs

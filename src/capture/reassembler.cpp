@@ -1,0 +1,101 @@
+#include "src/capture/reassembler.h"
+
+#include <utility>
+
+namespace wcs {
+
+namespace {
+
+/// Wrap-aware signed distance a - b on 32-bit sequence numbers.
+[[nodiscard]] constexpr std::int32_t seq_diff(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b);
+}
+
+}  // namespace
+
+StreamReassembler::StreamReassembler(DataCallback on_data, FinCallback on_fin)
+    : on_data_(std::move(on_data)), on_fin_(std::move(on_fin)) {}
+
+void StreamReassembler::accept(const TcpSegment& segment) {
+  FlowState* state = nullptr;
+  if (segment.syn) {
+    FlowState fresh;
+    fresh.syn_seen = true;
+    fresh.next_seq = segment.seq + 1;  // SYN consumes one sequence number
+    flows_[segment.flow] = std::move(fresh);
+    state = &flows_[segment.flow];
+  } else {
+    const auto it = flows_.find(segment.flow);
+    if (it == flows_.end()) {
+      orphan_bytes_ += segment.payload.size();
+      return;
+    }
+    state = &it->second;
+  }
+
+  if (!segment.payload.empty()) {
+    std::uint32_t seq = segment.syn ? segment.seq + 1 : segment.seq;
+    std::string_view payload = segment.payload;
+    // Trim the part we already delivered.
+    const std::int32_t behind = seq_diff(state->next_seq, seq);
+    if (behind > 0) {
+      if (static_cast<std::size_t>(behind) >= payload.size()) {
+        payload = {};
+      } else {
+        payload.remove_prefix(static_cast<std::size_t>(behind));
+        seq += static_cast<std::uint32_t>(behind);
+      }
+    }
+    if (!payload.empty()) {
+      // Buffer; identical/overlapping retransmissions collapse by keeping
+      // the longest chunk at each start.
+      auto& slot = state->pending[seq];
+      if (payload.size() > slot.size()) slot = std::string{payload};
+    }
+  }
+
+  if (segment.fin) {
+    state->fin_seen = true;
+    state->fin_seq =
+        (segment.syn ? segment.seq + 1 : segment.seq) +
+        static_cast<std::uint32_t>(segment.payload.size());
+  }
+
+  deliver_ready(segment.flow, *state, segment.timestamp);
+}
+
+void StreamReassembler::deliver_ready(const FlowKey& key, FlowState& state,
+                                      std::int64_t timestamp) {
+  while (!state.pending.empty()) {
+    auto it = state.pending.begin();
+    const std::int32_t gap = seq_diff(it->first, state.next_seq);
+    if (gap > 0) break;  // hole: wait for the missing segment
+    std::string chunk = std::move(it->second);
+    std::uint32_t start = it->first;
+    state.pending.erase(it);
+    // Trim any overlap with already-delivered data.
+    const std::int32_t behind = seq_diff(state.next_seq, start);
+    if (behind > 0) {
+      if (static_cast<std::size_t>(behind) >= chunk.size()) continue;
+      chunk.erase(0, static_cast<std::size_t>(behind));
+      start += static_cast<std::uint32_t>(behind);
+    }
+    state.next_seq = start + static_cast<std::uint32_t>(chunk.size());
+    if (on_data_) on_data_(key, chunk, timestamp);
+  }
+  if (state.fin_seen && !state.fin_delivered &&
+      seq_diff(state.next_seq, state.fin_seq) >= 0) {
+    state.fin_delivered = true;
+    if (on_fin_) on_fin_(key, timestamp);
+  }
+}
+
+std::size_t StreamReassembler::flows_with_gaps() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [key, state] : flows_) {
+    if (!state.pending.empty()) ++count;
+  }
+  return count;
+}
+
+}  // namespace wcs

@@ -1,0 +1,56 @@
+// Per-flow TCP stream reassembly: accepts segments in any order, with
+// duplicates and overlaps, and delivers each flow's payload bytes in
+// sequence order exactly once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "src/capture/tcp.h"
+
+namespace wcs {
+
+class StreamReassembler {
+ public:
+  /// Called with (flow, contiguous bytes, timestamp of the completing
+  /// segment) each time new in-order data becomes available, and with
+  /// (flow, "", timestamp) when the flow FINs cleanly.
+  using DataCallback =
+      std::function<void(const FlowKey&, std::string_view, std::int64_t)>;
+  using FinCallback = std::function<void(const FlowKey&, std::int64_t)>;
+
+  explicit StreamReassembler(DataCallback on_data, FinCallback on_fin = {});
+
+  void accept(const TcpSegment& segment);
+
+  /// Number of flows with buffered out-of-order data.
+  [[nodiscard]] std::size_t flows_with_gaps() const noexcept;
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Bytes dropped because they arrived before a SYN established the flow's
+  /// initial sequence number.
+  [[nodiscard]] std::uint64_t orphan_bytes() const noexcept { return orphan_bytes_; }
+
+ private:
+  struct FlowState {
+    bool syn_seen = false;
+    std::uint32_t next_seq = 0;  // next expected sequence number
+    bool fin_delivered = false;
+    std::uint32_t fin_seq = 0;   // sequence number of the FIN, when seen
+    bool fin_seen = false;
+    // Out-of-order chunks keyed by starting seq.
+    std::map<std::uint32_t, std::string> pending;
+  };
+
+  void deliver_ready(const FlowKey& key, FlowState& state, std::int64_t timestamp);
+
+  DataCallback on_data_;
+  FinCallback on_fin_;
+  std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;
+  std::uint64_t orphan_bytes_ = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,90 @@
+#include "src/capture/synth.h"
+
+#include <algorithm>
+
+namespace wcs {
+
+namespace {
+
+void emit_stream(std::vector<TcpSegment>& out, const FlowKey& flow, std::uint32_t isn,
+                 const std::string& bytes, std::int64_t time,
+                 const SynthOptions& options) {
+  TcpSegment syn;
+  syn.flow = flow;
+  syn.seq = isn;
+  syn.syn = true;
+  syn.timestamp = time;
+  out.push_back(std::move(syn));
+
+  std::uint32_t seq = isn + 1;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const std::size_t len = std::min(options.max_segment_bytes, bytes.size() - offset);
+    TcpSegment segment;
+    segment.flow = flow;
+    segment.seq = seq;
+    segment.timestamp = time;
+    segment.payload = bytes.substr(offset, len);
+    out.push_back(std::move(segment));
+    seq += static_cast<std::uint32_t>(len);
+    offset += len;
+  }
+
+  TcpSegment fin;
+  fin.flow = flow;
+  fin.seq = seq;
+  fin.fin = true;
+  fin.timestamp = time;
+  out.push_back(std::move(fin));
+}
+
+}  // namespace
+
+std::vector<TcpSegment> synthesize_capture(const std::vector<SynthExchange>& exchanges,
+                                           const SynthOptions& options) {
+  std::vector<TcpSegment> out;
+  Rng rng{options.seed};
+  std::uint16_t port_offset = 0;
+
+  for (const auto& exchange : exchanges) {
+    const FlowKey c2s{exchange.client_ip, exchange.server_ip,
+                      static_cast<std::uint16_t>(exchange.client_port + port_offset), 80};
+    ++port_offset;
+    const FlowKey s2c = c2s.reversed();
+    const auto isn_client = static_cast<std::uint32_t>(rng());
+    const auto isn_server = static_cast<std::uint32_t>(rng());
+
+    std::vector<TcpSegment> connection;
+    emit_stream(connection, c2s, isn_client, exchange.request, exchange.start_time, options);
+    emit_stream(connection, s2c, isn_server, exchange.response, exchange.start_time + 1,
+                options);
+
+    // Optional adjacent reordering and duplication, per connection so the
+    // request always begins before the response stream in emission order.
+    if (options.reorder_probability > 0.0) {
+      for (std::size_t i = 1; i + 1 < connection.size(); ++i) {
+        // Never displace a SYN behind its own stream's data — a capture
+        // that sees data before the SYN cannot anchor the sequence space.
+        if (connection[i].syn || connection[i + 1].syn) continue;
+        if (rng.chance(options.reorder_probability)) {
+          std::swap(connection[i], connection[i + 1]);
+          ++i;  // do not cascade a segment forward repeatedly
+        }
+      }
+    }
+    if (options.duplicate_probability > 0.0) {
+      std::vector<TcpSegment> with_dups;
+      with_dups.reserve(connection.size() + 4);
+      for (const auto& segment : connection) {
+        with_dups.push_back(segment);
+        if (rng.chance(options.duplicate_probability)) with_dups.push_back(segment);
+      }
+      connection = std::move(with_dups);
+    }
+    out.insert(out.end(), std::make_move_iterator(connection.begin()),
+               std::make_move_iterator(connection.end()));
+  }
+  return out;
+}
+
+}  // namespace wcs

@@ -1,0 +1,39 @@
+// Synthetic packet-capture generation: turn a list of HTTP exchanges into a
+// TCP segment stream (optionally chunked, reordered, duplicated) so the
+// reassembly + extraction pipeline can be exercised end to end without real
+// capture hardware — the substitution DESIGN.md documents for the paper's
+// tcpdump collection step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/capture/tcp.h"
+#include "src/util/rng.h"
+
+namespace wcs {
+
+struct SynthExchange {
+  std::uint32_t client_ip = 0x0a000001;  // 10.0.0.1
+  std::uint32_t server_ip = 0xc0a80050;  // 192.168.0.80
+  std::uint16_t client_port = 30000;
+  std::string request;    // serialized HTTP request bytes
+  std::string response;   // serialized HTTP response bytes
+  std::int64_t start_time = 0;
+};
+
+struct SynthOptions {
+  std::size_t max_segment_bytes = 1460;  // classic Ethernet MSS
+  double reorder_probability = 0.0;      // swap adjacent segments
+  double duplicate_probability = 0.0;    // re-emit a segment
+  std::uint64_t seed = 42;
+};
+
+/// Build the full segment stream (SYN, request, response, FINs) for each
+/// exchange on its own connection. Segments are returned in emission order
+/// after any reordering/duplication.
+[[nodiscard]] std::vector<TcpSegment> synthesize_capture(
+    const std::vector<SynthExchange>& exchanges, const SynthOptions& options = {});
+
+}  // namespace wcs

@@ -1,0 +1,51 @@
+// Minimal TCP segment model for the capture pipeline.
+//
+// The paper's BR/BL workloads were collected by running tcpdump on the
+// department backbone and decoding the HTTP headers of port-80 packets into
+// a common-format log. This module models exactly what that pipeline needs:
+// segments carrying (flow id, sequence number, payload, SYN/FIN), possibly
+// reordered or duplicated — not checksums, windows or retransmission
+// timers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wcs {
+
+/// One direction of a TCP connection.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+
+  /// The opposite direction of the same connection.
+  [[nodiscard]] FlowKey reversed() const noexcept {
+    return {dst_ip, src_ip, dst_port, src_port};
+  }
+};
+
+struct FlowKeyHash {
+  [[nodiscard]] std::size_t operator()(const FlowKey& key) const noexcept {
+    std::uint64_t mixed = (static_cast<std::uint64_t>(key.src_ip) << 32) | key.dst_ip;
+    mixed ^= (static_cast<std::uint64_t>(key.src_port) << 16) ^ key.dst_port;
+    mixed *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(mixed ^ (mixed >> 32));
+  }
+};
+
+struct TcpSegment {
+  FlowKey flow;
+  std::uint32_t seq = 0;   // sequence number of payload[0]
+  bool syn = false;        // consumes one sequence number
+  bool fin = false;
+  std::int64_t timestamp = 0;  // capture time (SimTime seconds)
+  std::string payload;
+};
+
+}  // namespace wcs

@@ -1,0 +1,151 @@
+#include "src/core/cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wcs {
+
+Cache::Cache(CacheConfig config, std::unique_ptr<RemovalPolicy> policy)
+    : config_(config), policy_(std::move(policy)), rng_(config.seed) {
+  if (policy_ == nullptr) throw std::invalid_argument{"Cache: null policy"};
+  if (config_.periodic.enabled &&
+      (config_.periodic.comfort_fraction <= 0.0 || config_.periodic.comfort_fraction > 1.0)) {
+    throw std::invalid_argument{"Cache: comfort_fraction must be in (0, 1]"};
+  }
+}
+
+const CacheEntry* Cache::find(UrlId url) const {
+  const auto it = entries_.find(url);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Cache::advance_day(SimTime now) {
+  const std::int64_t today = day_of(now);
+  if (current_day_ < 0) {
+    current_day_ = today;
+    return;
+  }
+  if (today <= current_day_) return;
+  current_day_ = today;
+  if (!config_.periodic.enabled || is_infinite()) return;
+
+  // Pitkow/Recker-style end-of-day sweep: trim to the comfort level.
+  const auto comfort = static_cast<std::uint64_t>(
+      config_.periodic.comfort_fraction * static_cast<double>(config_.capacity_bytes));
+  bool removed_any = false;
+  while (used_bytes_ > comfort) {
+    const EvictionContext ctx{now, 0, used_bytes_ - comfort};
+    const auto victim = policy_->choose_victim(ctx);
+    if (!victim) break;
+    evict(*victim);
+    removed_any = true;
+  }
+  if (removed_any) ++stats_.periodic_sweeps;
+}
+
+void Cache::evict(UrlId victim) {
+  const auto it = entries_.find(victim);
+  assert(it != entries_.end() && "policy chose a victim that is not cached");
+  policy_->on_remove(it->second);
+  used_bytes_ -= it->second.size;
+  ++stats_.evictions;
+  stats_.evicted_bytes += it->second.size;
+  if (config_.on_evict) config_.on_evict(it->second);
+  entries_.erase(it);
+}
+
+bool Cache::make_room(SimTime now, std::uint64_t incoming_size) {
+  if (is_infinite()) return true;
+  std::uint32_t evicted = 0;
+  while (config_.capacity_bytes - used_bytes_ < incoming_size) {
+    const EvictionContext ctx{now, incoming_size,
+                              incoming_size - (config_.capacity_bytes - used_bytes_)};
+    const auto victim = policy_->choose_victim(ctx);
+    if (!victim) return false;  // nothing left to evict
+    evict(*victim);
+    ++evicted;
+  }
+  (void)evicted;
+  return true;
+}
+
+AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType type,
+                           std::uint32_t latency_ms) {
+  advance_day(now);
+
+  AccessResult result;
+  ++stats_.requests;
+  stats_.requested_bytes += size;
+
+  const auto it = entries_.find(url);
+  if (it != entries_.end() && it->second.size == size) {
+    // §1.1 hit: URL and size both match.
+    CacheEntry& entry = it->second;
+    entry.atime = now;
+    ++entry.nref;
+    policy_->on_hit(entry);
+    ++stats_.hits;
+    stats_.hit_bytes += size;
+    result.hit = true;
+    return result;
+  }
+
+  if (it != entries_.end()) {
+    // Same URL, different size: the origin document changed; the cached
+    // copy is inconsistent. Discard it; this access is a miss.
+    result.size_change = true;
+    ++stats_.size_change_misses;
+    policy_->on_remove(it->second);
+    used_bytes_ -= it->second.size;
+    if (config_.on_evict) config_.on_evict(it->second);
+    entries_.erase(it);
+  }
+
+  // Admit the newly fetched copy.
+  if (!is_infinite() && size > config_.capacity_bytes) {
+    ++stats_.rejected_too_large;
+    return result;  // served from origin, never cached
+  }
+  const std::uint64_t evictions_before = stats_.evictions;
+  if (!make_room(now, size)) return result;
+  result.evictions = static_cast<std::uint32_t>(stats_.evictions - evictions_before);
+
+  CacheEntry entry;
+  entry.url = url;
+  entry.size = size;
+  entry.etime = now;
+  entry.atime = now;
+  entry.nref = 1;
+  entry.random_tag = rng_();
+  entry.type = type;
+  entry.latency_ms = latency_ms;
+  used_bytes_ += size;
+  if (used_bytes_ > stats_.max_used_bytes) stats_.max_used_bytes = used_bytes_;
+  const auto [pos, inserted] = entries_.emplace(url, entry);
+  assert(inserted);
+  (void)pos;
+  (void)inserted;
+  policy_->on_insert(entry);
+  ++stats_.insertions;
+  result.inserted = true;
+  return result;
+}
+
+bool Cache::erase(UrlId url) {
+  const auto it = entries_.find(url);
+  if (it == entries_.end()) return false;
+  policy_->on_remove(it->second);
+  used_bytes_ -= it->second.size;
+  if (config_.on_evict) config_.on_evict(it->second);
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<CacheEntry> Cache::snapshot() const {
+  std::vector<CacheEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [url, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+}  // namespace wcs

@@ -1,0 +1,129 @@
+// The proxy cache itself.
+//
+// Storage, byte accounting and the hit rule live here; victim *selection*
+// is delegated to a RemovalPolicy. The hit rule is the paper's §1.1
+// definition: a request hits iff the cache holds a copy with the same URL
+// *and* the same size; a size mismatch means the origin document changed,
+// so the stale copy is discarded and the access counts as a miss.
+//
+// Removal runs on-demand (evict from the policy's head until the incoming
+// document fits) and, optionally, periodically at each day boundary down to
+// a "comfort level" — the Pitkow/Recker schedule (§1.3), composable with
+// any policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/entry.h"
+#include "src/core/policy.h"
+#include "src/trace/trace.h"
+#include "src/util/rng.h"
+
+namespace wcs {
+
+struct PeriodicSweepConfig {
+  bool enabled = false;
+  /// Sweep until used <= comfort_fraction * capacity at each day boundary.
+  double comfort_fraction = 0.9;
+};
+
+struct CacheConfig {
+  /// 0 means infinite (Experiment 1's upper-bound cache).
+  std::uint64_t capacity_bytes = 0;
+  PeriodicSweepConfig periodic;
+  /// Seed for per-entry random tags (the always-random final tiebreak).
+  std::uint64_t seed = 0x5ca1ab1e;
+  /// Invoked whenever a document leaves the cache (policy eviction,
+  /// size-change replacement, periodic sweep, or explicit erase) — lets an
+  /// embedder that stores document bodies elsewhere release them.
+  std::function<void(const CacheEntry&)> on_evict;
+};
+
+struct CacheStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t requested_bytes = 0;
+  std::uint64_t hit_bytes = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t evicted_bytes = 0;
+  std::uint64_t size_change_misses = 0;   // URL present, size differed
+  std::uint64_t rejected_too_large = 0;   // document bigger than the cache
+  std::uint64_t periodic_sweeps = 0;
+  std::uint64_t max_used_bytes = 0;       // high-water mark (MaxNeeded when infinite)
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return requests == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(requests);
+  }
+  [[nodiscard]] double weighted_hit_rate() const noexcept {
+    return requested_bytes == 0
+               ? 0.0
+               : static_cast<double>(hit_bytes) / static_cast<double>(requested_bytes);
+  }
+};
+
+struct AccessResult {
+  bool hit = false;
+  bool size_change = false;  // miss caused by a size (consistency) mismatch
+  bool inserted = false;
+  std::uint32_t evictions = 0;
+};
+
+class Cache {
+ public:
+  Cache(CacheConfig config, std::unique_ptr<RemovalPolicy> policy);
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+  Cache(Cache&&) = default;
+  Cache& operator=(Cache&&) = default;
+
+  /// Serve one request; updates metadata, admits on miss, evicts as needed.
+  AccessResult access(SimTime now, UrlId url, std::uint64_t size,
+                      FileType type = FileType::kUnknown, std::uint32_t latency_ms = 0);
+  AccessResult access(const Request& request) {
+    return access(request.time, request.url, request.size, request.type,
+                  request.latency_ms);
+  }
+
+  [[nodiscard]] bool contains(UrlId url) const { return entries_.contains(url); }
+  /// The cached copy, or nullptr. Pointer invalidated by the next mutation.
+  [[nodiscard]] const CacheEntry* find(UrlId url) const;
+
+  /// Explicitly remove a document (consistency purge, admin action).
+  bool erase(UrlId url);
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept { return config_.capacity_bytes; }
+  [[nodiscard]] bool is_infinite() const noexcept { return config_.capacity_bytes == 0; }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_bytes_; }
+  [[nodiscard]] std::uint64_t free_bytes() const noexcept {
+    return is_infinite() ? ~0ULL : config_.capacity_bytes - used_bytes_;
+  }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] RemovalPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] const RemovalPolicy& policy() const noexcept { return *policy_; }
+
+  /// Every cached entry, unordered (diagnostics, tests).
+  [[nodiscard]] std::vector<CacheEntry> snapshot() const;
+
+ private:
+  void advance_day(SimTime now);
+  /// Evict until at least `needed` bytes are free; false if impossible.
+  bool make_room(SimTime now, std::uint64_t incoming_size);
+  void evict(UrlId victim);
+
+  CacheConfig config_;
+  std::unique_ptr<RemovalPolicy> policy_;
+  std::unordered_map<UrlId, CacheEntry> entries_;
+  std::uint64_t used_bytes_ = 0;
+  std::int64_t current_day_ = -1;
+  CacheStats stats_;
+  Rng rng_;
+};
+
+}  // namespace wcs

@@ -1,0 +1,30 @@
+// Metadata a proxy cache keeps per cached document — exactly the fields the
+// paper's sorting keys read (Table 1): size, entry time (ETIME), last access
+// time (ATIME, from which DAY(ATIME) derives) and reference count (NREF),
+// plus a fixed random tag used for the always-random final tiebreak.
+#pragma once
+
+#include <cstdint>
+
+#include "src/trace/file_type.h"
+#include "src/trace/trace.h"
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+struct CacheEntry {
+  UrlId url = kInvalidUrl;
+  std::uint64_t size = 0;     // bytes; the document copy the cache holds
+  SimTime etime = 0;          // when this copy entered the cache
+  SimTime atime = 0;          // last access to this copy
+  std::uint64_t nref = 0;     // number of references since entering
+  std::uint64_t random_tag = 0;  // per-copy random tiebreak value
+  FileType type = FileType::kUnknown;
+  /// Estimated cost of refetching this document from its origin, in
+  /// milliseconds (RTT + size/bandwidth). Feeds the LATENCY sorting key —
+  /// the paper's open problem 1 ("a means of estimating the latency for
+  /// refetching documents ... could be used as a primary sorting key").
+  std::uint32_t latency_ms = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,54 @@
+#include "src/core/expiry.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wcs {
+
+ExpiryFirstPolicy::ExpiryFirstPolicy(std::unique_ptr<RemovalPolicy> inner, SimTime ttl)
+    : inner_(std::move(inner)), ttl_(ttl) {
+  if (inner_ == nullptr) throw std::invalid_argument{"ExpiryFirstPolicy: null inner"};
+  name_ = "EXPIRED->" + std::string{inner_->name()};
+}
+
+void ExpiryFirstPolicy::on_insert(const CacheEntry& entry) {
+  by_etime_.insert({entry.etime, entry.url});
+  inner_->on_insert(entry);
+}
+
+void ExpiryFirstPolicy::on_hit(const CacheEntry& entry) {
+  // etime does not change on a hit; only the inner index moves.
+  inner_->on_hit(entry);
+}
+
+void ExpiryFirstPolicy::on_remove(const CacheEntry& entry) {
+  const auto erased = by_etime_.erase({entry.etime, entry.url});
+  assert(erased == 1 && "ExpiryFirstPolicy: removing untracked entry");
+  (void)erased;
+  inner_->on_remove(entry);
+}
+
+std::optional<UrlId> ExpiryFirstPolicy::choose_victim(const EvictionContext& ctx) {
+  if (ttl_ > 0 && !by_etime_.empty()) {
+    const ByEntryTime& oldest = *by_etime_.begin();
+    if (ctx.now - oldest.etime > ttl_) return oldest.url;
+  }
+  return inner_->choose_victim(ctx);
+}
+
+std::size_t ExpiryFirstPolicy::expired_count(SimTime now) const {
+  if (ttl_ <= 0) return 0;
+  std::size_t count = 0;
+  for (const auto& entry : by_etime_) {
+    if (now - entry.etime <= ttl_) break;  // set is etime-ordered
+    ++count;
+  }
+  return count;
+}
+
+std::unique_ptr<RemovalPolicy> make_expiry_first(std::unique_ptr<RemovalPolicy> inner,
+                                                 SimTime ttl) {
+  return std::make_unique<ExpiryFirstPolicy>(std::move(inner), ttl);
+}
+
+}  // namespace wcs

@@ -1,0 +1,52 @@
+// Expiry-aware removal (paper §5 open problem 4): "the Harvest cache tries
+// to remove expired documents first" — study the interaction of removal
+// policies with consistency/expiration.
+//
+// ExpiryFirstPolicy wraps any removal policy: documents older (by cache
+// entry time, the HTTP/1.0-era freshness heuristic when no Expires header
+// exists) than a TTL are evicted first, oldest first; while nothing is
+// expired, the inner policy chooses as usual.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/core/policy.h"
+
+namespace wcs {
+
+class ExpiryFirstPolicy final : public RemovalPolicy {
+ public:
+  /// `ttl` <= 0 disables the expiry check (pure pass-through).
+  ExpiryFirstPolicy(std::unique_ptr<RemovalPolicy> inner, SimTime ttl);
+
+  void on_insert(const CacheEntry& entry) override;
+  void on_hit(const CacheEntry& entry) override;
+  void on_remove(const CacheEntry& entry) override;
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  [[nodiscard]] SimTime ttl() const noexcept { return ttl_; }
+  [[nodiscard]] RemovalPolicy& inner() noexcept { return *inner_; }
+  /// Number of currently-tracked documents older than the TTL at `now`.
+  [[nodiscard]] std::size_t expired_count(SimTime now) const;
+
+ private:
+  struct ByEntryTime {
+    SimTime etime;
+    UrlId url;
+    friend auto operator<=>(const ByEntryTime&, const ByEntryTime&) = default;
+  };
+
+  std::unique_ptr<RemovalPolicy> inner_;
+  SimTime ttl_;
+  std::string name_;
+  std::set<ByEntryTime> by_etime_;
+};
+
+/// Convenience factory mirroring the policy.h ones.
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_expiry_first(
+    std::unique_ptr<RemovalPolicy> inner, SimTime ttl);
+
+}  // namespace wcs

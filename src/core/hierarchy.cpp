@@ -1,0 +1,52 @@
+#include "src/core/hierarchy.h"
+
+#include <stdexcept>
+
+namespace wcs {
+
+CacheHierarchy::CacheHierarchy(std::vector<LevelSpec> levels) {
+  if (levels.empty()) throw std::invalid_argument{"CacheHierarchy: no levels"};
+  levels_.reserve(levels.size());
+  for (auto& spec : levels) {
+    levels_.emplace_back(spec.config, std::move(spec.policy));
+  }
+  stats_.resize(levels_.size());
+}
+
+CacheHierarchy::Result CacheHierarchy::access(SimTime now, UrlId url, std::uint64_t size,
+                                              FileType type) {
+  ++requests_;
+  requested_bytes_ += size;
+  // Probe outward. Every probed-and-missed level admits the document (the
+  // access() call already did), so nearer levels are refilled on the way.
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    const AccessResult result = levels_[k].access(now, url, size, type);
+    if (result.hit) {
+      ++stats_[k].hits;
+      stats_[k].hit_bytes += size;
+      return {static_cast<int>(k)};
+    }
+  }
+  return {-1};
+}
+
+double CacheHierarchy::hit_rate_of(std::size_t level) const {
+  return requests_ == 0 ? 0.0
+                        : static_cast<double>(stats_.at(level).hits) /
+                              static_cast<double>(requests_);
+}
+
+double CacheHierarchy::weighted_hit_rate_of(std::size_t level) const {
+  return requested_bytes_ == 0 ? 0.0
+                               : static_cast<double>(stats_.at(level).hit_bytes) /
+                                     static_cast<double>(requested_bytes_);
+}
+
+double CacheHierarchy::combined_hit_rate() const {
+  std::uint64_t total = 0;
+  for (const LevelStats& stats : stats_) total += stats.hits;
+  return requests_ == 0 ? 0.0
+                        : static_cast<double>(total) / static_cast<double>(requests_);
+}
+
+}  // namespace wcs

@@ -1,0 +1,64 @@
+// General N-level cache hierarchy — the paper's §5 open problem 3, second
+// half: "an interesting future study would be simulation of a multi-level
+// cache more complex than the single first and second level configuration
+// used here."
+//
+// Levels are ordered nearest-first (browser/client cache, department proxy,
+// campus proxy, ...). A request probes level 0 upward; a hit at level k
+// copies the document into every nearer level (inclusive caching, the same
+// arrangement Experiment 3 uses); a full miss installs it everywhere.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cache.h"
+
+namespace wcs {
+
+class CacheHierarchy {
+ public:
+  struct LevelSpec {
+    CacheConfig config;
+    std::unique_ptr<RemovalPolicy> policy;
+  };
+
+  explicit CacheHierarchy(std::vector<LevelSpec> levels);
+
+  struct Result {
+    /// Level that served the request, or -1 for a miss at every level.
+    int hit_level = -1;
+  };
+  Result access(SimTime now, UrlId url, std::uint64_t size,
+                FileType type = FileType::kUnknown);
+  Result access(const Request& request) {
+    return access(request.time, request.url, request.size, request.type);
+  }
+
+  [[nodiscard]] std::size_t level_count() const noexcept { return levels_.size(); }
+  [[nodiscard]] const Cache& level(std::size_t i) const { return levels_.at(i); }
+
+  struct LevelStats {
+    std::uint64_t hits = 0;       // requests served at this level
+    std::uint64_t hit_bytes = 0;
+  };
+  /// Per-level hits with *all* requests as the denominator.
+  [[nodiscard]] const std::vector<LevelStats>& level_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::uint64_t requested_bytes() const noexcept { return requested_bytes_; }
+
+  [[nodiscard]] double hit_rate_of(std::size_t level) const;
+  [[nodiscard]] double weighted_hit_rate_of(std::size_t level) const;
+  /// Fraction of requests served by any level (1 - origin load).
+  [[nodiscard]] double combined_hit_rate() const;
+
+ private:
+  std::vector<Cache> levels_;
+  std::vector<LevelStats> stats_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t requested_bytes_ = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,99 @@
+#include "src/core/keys.h"
+
+#include <bit>
+#include <string>
+
+namespace wcs {
+
+std::string_view to_string(Key key) noexcept {
+  switch (key) {
+    case Key::kSize: return "SIZE";
+    case Key::kLog2Size: return "LOG2SIZE";
+    case Key::kEtime: return "ETIME";
+    case Key::kAtime: return "ATIME";
+    case Key::kDayAtime: return "DAY(ATIME)";
+    case Key::kNref: return "NREF";
+    case Key::kRandom: return "RANDOM";
+    case Key::kTypePriority: return "TYPE";
+    case Key::kLatency: return "LATENCY";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Removal priority per document type for the TYPE key: byte-heavy media
+/// goes first, text/html is kept longest.
+constexpr int type_removal_class(FileType type) noexcept {
+  switch (type) {
+    case FileType::kVideo: return 5;
+    case FileType::kAudio: return 4;
+    case FileType::kUnknown: return 3;
+    case FileType::kCgi: return 2;
+    case FileType::kGraphics: return 1;
+    case FileType::kText: return 0;
+  }
+  return 3;
+}
+
+}  // namespace
+
+std::int64_t key_rank(Key key, const CacheEntry& entry) noexcept {
+  switch (key) {
+    case Key::kSize:
+      return -static_cast<std::int64_t>(entry.size);
+    case Key::kLog2Size:
+      // floor(log2(size)); size 0 cannot occur for a cached copy (the §1.1
+      // validator resolves zero sizes), but map it below every real bucket
+      // anyway so the comparator stays total.
+      return entry.size == 0 ? 1
+                             : -static_cast<std::int64_t>(std::bit_width(entry.size) - 1);
+    case Key::kEtime:
+      return entry.etime;
+    case Key::kAtime:
+      return entry.atime;
+    case Key::kDayAtime:
+      return day_of(entry.atime);
+    case Key::kNref:
+      return static_cast<std::int64_t>(entry.nref);
+    case Key::kRandom:
+      // Shift into int64 order-preservingly (tags are uniform uint64).
+      return static_cast<std::int64_t>(entry.random_tag >> 1);
+    case Key::kTypePriority:
+      return -type_removal_class(entry.type);  // media first, text last
+    case Key::kLatency:
+      return entry.latency_ms;  // cheapest refetch removed first
+  }
+  return 0;
+}
+
+std::string KeySpec::name() const {
+  std::string out;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += '+';
+    out += to_string(keys[i]);
+  }
+  return out.empty() ? "RANDOM" : out;
+}
+
+std::vector<KeySpec> KeySpec::experiment2_grid() {
+  std::vector<KeySpec> out;
+  for (const Key primary : kPrimaryKeys) {
+    for (const Key secondary : kAllKeys) {
+      if (secondary == primary) continue;  // equal keys are useless (§1.2)
+      out.push_back(KeySpec{{primary, secondary}});
+    }
+  }
+  return out;  // 6 * 6 = 36 combinations
+}
+
+RankTuple make_rank_tuple(const KeySpec& spec, const CacheEntry& entry) {
+  RankTuple tuple;
+  tuple.ranks.reserve(spec.keys.size());
+  for (const Key k : spec.keys) tuple.ranks.push_back(key_rank(k, entry));
+  tuple.random_tag = entry.random_tag;
+  tuple.url = entry.url;
+  return tuple;
+}
+
+}  // namespace wcs

@@ -1,0 +1,93 @@
+// The sorting-key taxonomy of the paper (Table 1).
+//
+// A removal policy is "sort the cache by a key list, evict from the head".
+// Each key maps a cache entry to a rank; *smaller rank means removed
+// earlier*, so each key's natural removal direction (Table 1's "Sort
+// Order" column) is baked into its rank function:
+//
+//   SIZE         rank = -size          largest file removed first
+//   LOG2SIZE     rank = -floor(log2)   one of the largest removed first
+//   ETIME        rank = etime          oldest entry removed first (FIFO)
+//   ATIME        rank = atime          least recently used removed first
+//   DAY(ATIME)   rank = day(atime)     last accessed most days ago first
+//   NREF         rank = nref           least referenced removed first (LFU)
+//   RANDOM       rank = random_tag     uniformly random order
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/core/entry.h"
+
+namespace wcs {
+
+enum class Key : unsigned char {
+  kSize = 0,
+  kLog2Size,
+  kEtime,
+  kAtime,
+  kDayAtime,
+  kNref,
+  kRandom,
+  // ---- extension keys: the paper's §5 open problem 1 ------------------
+  /// Document type: media evicted first, text last — "a sorting key that
+  /// puts text documents at the front" so text stays cheap to serve.
+  kTypePriority,
+  /// Estimated refetch latency: cheapest-to-refetch evicted first, so
+  /// expensive (distant/large) documents stay cached.
+  kLatency,
+};
+
+inline constexpr Key kPrimaryKeys[] = {Key::kSize,  Key::kLog2Size, Key::kEtime,
+                                       Key::kAtime, Key::kDayAtime, Key::kNref};
+inline constexpr Key kAllKeys[] = {Key::kSize,     Key::kLog2Size, Key::kEtime, Key::kAtime,
+                                   Key::kDayAtime, Key::kNref,     Key::kRandom};
+/// The §5 extension keys (not part of the paper's 36-combination grid).
+inline constexpr Key kExtensionKeys[] = {Key::kTypePriority, Key::kLatency};
+
+[[nodiscard]] std::string_view to_string(Key key) noexcept;
+
+/// Rank of `entry` under `key`; smaller rank = closer to the removal head.
+[[nodiscard]] std::int64_t key_rank(Key key, const CacheEntry& entry) noexcept;
+
+/// An ordered list of sorting keys, most significant first. A trailing
+/// random tiebreak (then UrlId, for full determinism) is always appended by
+/// the comparator — the paper likewise "always uses random as a tertiary
+/// key".
+struct KeySpec {
+  std::vector<Key> keys;
+
+  [[nodiscard]] std::string name() const;
+
+  /// The 36 primary x secondary combinations of the paper's Experiment 2:
+  /// each of the 6 Table 1 keys as primary, each of the other 5 keys plus
+  /// RANDOM as secondary.
+  [[nodiscard]] static std::vector<KeySpec> experiment2_grid();
+};
+
+/// Materialized ranks of an entry under a KeySpec, stored inside ordered
+/// containers. The tuple must be recomputed (and the node reinserted)
+/// whenever entry metadata changes — ATIME/NREF/DAY(ATIME) ranks change on
+/// every hit.
+struct RankTuple {
+  std::vector<std::int64_t> ranks;
+  std::uint64_t random_tag = 0;
+  UrlId url = kInvalidUrl;
+
+  friend bool operator<(const RankTuple& a, const RankTuple& b) noexcept {
+    const std::size_t n = a.ranks.size() < b.ranks.size() ? a.ranks.size() : b.ranks.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.ranks[i] != b.ranks[i]) return a.ranks[i] < b.ranks[i];
+    }
+    if (a.random_tag != b.random_tag) return a.random_tag < b.random_tag;
+    return a.url < b.url;
+  }
+  friend bool operator==(const RankTuple& a, const RankTuple& b) noexcept {
+    return a.ranks == b.ranks && a.random_tag == b.random_tag && a.url == b.url;
+  }
+};
+
+[[nodiscard]] RankTuple make_rank_tuple(const KeySpec& spec, const CacheEntry& entry);
+
+}  // namespace wcs

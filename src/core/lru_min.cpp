@@ -1,0 +1,89 @@
+#include "src/core/lru_min.h"
+
+#include <bit>
+#include <cassert>
+
+namespace wcs {
+
+LruMinPolicy::LruMinPolicy(std::uint64_t /*seed*/) {}
+
+int LruMinPolicy::bucket_of(std::uint64_t size) noexcept {
+  return size == 0 ? 0 : std::bit_width(size) - 1;
+}
+
+void LruMinPolicy::insert_key(const DocState& doc) {
+  buckets_[bucket_of(doc.size)].insert(doc.key);
+}
+
+void LruMinPolicy::erase_key(const DocState& doc) {
+  const int bucket = bucket_of(doc.size);
+  const auto it = buckets_.find(bucket);
+  assert(it != buckets_.end());
+  it->second.erase(doc.key);
+  if (it->second.empty()) buckets_.erase(it);
+}
+
+void LruMinPolicy::on_insert(const CacheEntry& entry) {
+  DocState doc{entry.size, LruKey{entry.atime, entry.random_tag, entry.url}};
+  const auto [it, inserted] = state_.emplace(entry.url, doc);
+  assert(inserted && "LRU-MIN on_insert for tracked URL");
+  (void)it;
+  (void)inserted;
+  insert_key(doc);
+}
+
+void LruMinPolicy::on_hit(const CacheEntry& entry) {
+  const auto it = state_.find(entry.url);
+  assert(it != state_.end());
+  erase_key(it->second);
+  it->second.key.atime = entry.atime;
+  it->second.size = entry.size;
+  insert_key(it->second);
+}
+
+void LruMinPolicy::on_remove(const CacheEntry& entry) {
+  const auto it = state_.find(entry.url);
+  assert(it != state_.end());
+  erase_key(it->second);
+  state_.erase(it);
+}
+
+std::optional<UrlId> LruMinPolicy::choose_victim(const EvictionContext& ctx) {
+  if (state_.empty()) return std::nullopt;
+
+  // Descend thresholds T = S, S/2, S/4, ... until some document has
+  // size >= T; among those, pick the least recently used.
+  std::uint64_t threshold = ctx.incoming_size;
+  for (;;) {
+    if (threshold <= 1) {
+      // Every document qualifies: global LRU.
+      const LruKey* best = nullptr;
+      for (const auto& [bucket, keys] : buckets_) {
+        const LruKey& front = *keys.begin();
+        if (best == nullptr || front < *best) best = &front;
+      }
+      return best->url;
+    }
+    const int boundary = bucket_of(threshold);
+    const LruKey* best = nullptr;
+    // Buckets strictly above the boundary: every member qualifies; only the
+    // bucket LRU front can win.
+    for (auto it = buckets_.upper_bound(boundary); it != buckets_.end(); ++it) {
+      const LruKey& front = *it->second.begin();
+      if (best == nullptr || front < *best) best = &front;
+    }
+    // Boundary bucket holds sizes in [2^b, 2^(b+1)): some may be < T.
+    if (const auto it = buckets_.find(boundary); it != buckets_.end()) {
+      for (const LruKey& key : it->second) {
+        if (state_.at(key.url).size >= threshold && (best == nullptr || key < *best)) {
+          best = &key;
+          break;  // keys are LRU-ordered; the first qualifier is the bucket's best
+        }
+      }
+    }
+    if (best != nullptr) return best->url;
+    threshold /= 2;
+  }
+}
+
+}  // namespace wcs

@@ -1,0 +1,67 @@
+#include "src/core/partitioned_cache.h"
+
+#include <stdexcept>
+
+namespace wcs {
+
+PartitionedCache::PartitionedCache(std::vector<PartitionSpec> partitions,
+                                   std::function<std::size_t(FileType)> classify)
+    : classify_(std::move(classify)) {
+  if (partitions.empty()) throw std::invalid_argument{"PartitionedCache: no partitions"};
+  if (!classify_) throw std::invalid_argument{"PartitionedCache: no classifier"};
+  caches_.reserve(partitions.size());
+  names_.reserve(partitions.size());
+  for (auto& spec : partitions) {
+    CacheConfig config;
+    config.capacity_bytes = spec.capacity_bytes;
+    caches_.emplace_back(config, spec.make_policy());
+    names_.push_back(std::move(spec.name));
+  }
+  for (const FileType type : kAllFileTypes) {
+    if (classify_(type) >= caches_.size()) {
+      throw std::invalid_argument{"PartitionedCache: classifier out of range"};
+    }
+  }
+}
+
+AccessResult PartitionedCache::access(SimTime now, UrlId url, std::uint64_t size,
+                                      FileType type) {
+  return caches_[classify_(type)].access(now, url, size, type);
+}
+
+CacheStats PartitionedCache::combined_stats() const {
+  CacheStats total;
+  for (const auto& cache : caches_) {
+    const CacheStats& s = cache.stats();
+    total.requests += s.requests;
+    total.hits += s.hits;
+    total.requested_bytes += s.requested_bytes;
+    total.hit_bytes += s.hit_bytes;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.evicted_bytes += s.evicted_bytes;
+    total.size_change_misses += s.size_change_misses;
+    total.rejected_too_large += s.rejected_too_large;
+    total.periodic_sweeps += s.periodic_sweeps;
+    total.max_used_bytes += s.max_used_bytes;  // sum of per-partition peaks
+  }
+  return total;
+}
+
+PartitionedCache PartitionedCache::audio_split(
+    std::uint64_t total_capacity, double audio_fraction,
+    const std::function<std::unique_ptr<RemovalPolicy>()>& make_policy) {
+  if (!(audio_fraction > 0.0 && audio_fraction < 1.0)) {
+    throw std::invalid_argument{"audio_split: fraction must be in (0, 1)"};
+  }
+  const auto audio_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(total_capacity) * audio_fraction);
+  std::vector<PartitionSpec> partitions;
+  partitions.push_back({"audio", audio_bytes, make_policy});
+  partitions.push_back({"non-audio", total_capacity - audio_bytes, make_policy});
+  return PartitionedCache{std::move(partitions), [](FileType type) -> std::size_t {
+                            return type == FileType::kAudio ? 0 : 1;
+                          }};
+}
+
+}  // namespace wcs

@@ -1,0 +1,58 @@
+// Partitioned cache (the paper's Experiment 4).
+//
+// A fixed byte budget is divided into independent partitions, each with its
+// own capacity and removal policy, and every request is routed to exactly
+// one partition by a media-class rule. The paper partitions workload BR
+// into {audio, non-audio} with the audio share swept over 1/4, 1/2, 3/4 of
+// the total — a large audio file can then never displace the small
+// text/graphics working set.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cache.h"
+
+namespace wcs {
+
+class PartitionedCache {
+ public:
+  struct PartitionSpec {
+    std::string name;
+    std::uint64_t capacity_bytes = 0;
+    std::function<std::unique_ptr<RemovalPolicy>()> make_policy;
+  };
+
+  /// `classify` maps a request's file type to a partition index; it must
+  /// return a value < partitions.size() for every FileType.
+  PartitionedCache(std::vector<PartitionSpec> partitions,
+                   std::function<std::size_t(FileType)> classify);
+
+  AccessResult access(SimTime now, UrlId url, std::uint64_t size, FileType type);
+  AccessResult access(const Request& request) {
+    return access(request.time, request.url, request.size, request.type);
+  }
+
+  [[nodiscard]] std::size_t partition_count() const noexcept { return caches_.size(); }
+  [[nodiscard]] const Cache& partition(std::size_t i) const { return caches_.at(i); }
+  [[nodiscard]] const std::string& partition_name(std::size_t i) const { return names_.at(i); }
+  [[nodiscard]] std::size_t partition_of(FileType type) const { return classify_(type); }
+
+  /// Totals across partitions.
+  [[nodiscard]] CacheStats combined_stats() const;
+
+  /// The canonical Experiment 4 split: partition 0 audio, partition 1
+  /// everything else; both use the given policy factory.
+  static PartitionedCache audio_split(
+      std::uint64_t total_capacity, double audio_fraction,
+      const std::function<std::unique_ptr<RemovalPolicy>()>& make_policy);
+
+ private:
+  std::vector<Cache> caches_;
+  std::vector<std::string> names_;
+  std::function<std::size_t(FileType)> classify_;
+};
+
+}  // namespace wcs

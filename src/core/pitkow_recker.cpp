@@ -1,0 +1,54 @@
+#include "src/core/pitkow_recker.h"
+
+#include <cassert>
+
+namespace wcs {
+
+PitkowReckerPolicy::PitkowReckerPolicy(std::uint64_t /*seed*/) {}
+
+PitkowReckerPolicy::DayKey PitkowReckerPolicy::day_key(const CacheEntry& entry) noexcept {
+  return DayKey{day_of(entry.atime), -static_cast<std::int64_t>(entry.size),
+                entry.random_tag, entry.url};
+}
+
+PitkowReckerPolicy::SizeKey PitkowReckerPolicy::size_key(const CacheEntry& entry) noexcept {
+  return SizeKey{-static_cast<std::int64_t>(entry.size), entry.random_tag, entry.url};
+}
+
+void PitkowReckerPolicy::on_insert(const CacheEntry& entry) {
+  const auto keys = std::pair{day_key(entry), size_key(entry)};
+  const auto [it, inserted] = index_.emplace(entry.url, keys);
+  assert(inserted && "Pitkow/Recker on_insert for tracked URL");
+  (void)it;
+  (void)inserted;
+  by_day_.insert(keys.first);
+  by_size_.insert(keys.second);
+}
+
+void PitkowReckerPolicy::on_hit(const CacheEntry& entry) {
+  const auto it = index_.find(entry.url);
+  assert(it != index_.end());
+  by_day_.erase(it->second.first);
+  by_size_.erase(it->second.second);
+  it->second = {day_key(entry), size_key(entry)};
+  by_day_.insert(it->second.first);
+  by_size_.insert(it->second.second);
+}
+
+void PitkowReckerPolicy::on_remove(const CacheEntry& entry) {
+  const auto it = index_.find(entry.url);
+  assert(it != index_.end());
+  by_day_.erase(it->second.first);
+  by_size_.erase(it->second.second);
+  index_.erase(it);
+}
+
+std::optional<UrlId> PitkowReckerPolicy::choose_victim(const EvictionContext& ctx) {
+  if (by_day_.empty()) return std::nullopt;
+  const std::int64_t today = day_of(ctx.now);
+  const DayKey& oldest = *by_day_.begin();
+  if (oldest.day != today) return oldest.url;  // some document is days old
+  return by_size_.begin()->url;                // all touched today: largest first
+}
+
+}  // namespace wcs

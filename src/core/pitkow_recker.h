@@ -1,0 +1,65 @@
+// Pitkow/Recker policy (1994), as characterized in the paper's §1.2 and
+// Table 3:
+//
+//   If any cached document was last accessed before the current day
+//   (DAY(ATIME) != today), sort by DAY(ATIME) and remove the document last
+//   accessed the most days ago. Otherwise (everything was touched today)
+//   sort by SIZE and remove the largest.
+//
+// Within the day-based branch, ties inside a day are broken by SIZE
+// (largest first) — Pitkow & Recker's published ordering within an
+// equal-recency group — then by the random tag.
+//
+// The original policy also runs *periodically* at the end of each day,
+// removing documents until free space reaches a "comfort level"; in this
+// library that schedule is a Cache-level option (CacheConfig::periodic)
+// composable with any policy, matching the paper's observation that
+// when-to-run is orthogonal to the sorting key (§1.3).
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "src/core/policy.h"
+
+namespace wcs {
+
+class PitkowReckerPolicy final : public RemovalPolicy {
+ public:
+  explicit PitkowReckerPolicy(std::uint64_t seed = 1);
+
+  void on_insert(const CacheEntry& entry) override;
+  void on_hit(const CacheEntry& entry) override;
+  void on_remove(const CacheEntry& entry) override;
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "Pitkow/Recker"; }
+
+  [[nodiscard]] std::size_t tracked() const noexcept { return by_day_.size(); }
+
+ private:
+  // Day order: (day asc, size desc, tag, url) — oldest day first, largest
+  // first within a day.
+  struct DayKey {
+    std::int64_t day;
+    std::int64_t neg_size;
+    std::uint64_t tag;
+    UrlId url;
+    friend auto operator<=>(const DayKey&, const DayKey&) = default;
+  };
+  // Size order: (size desc, tag, url).
+  struct SizeKey {
+    std::int64_t neg_size;
+    std::uint64_t tag;
+    UrlId url;
+    friend auto operator<=>(const SizeKey&, const SizeKey&) = default;
+  };
+
+  std::set<DayKey> by_day_;
+  std::set<SizeKey> by_size_;
+  std::unordered_map<UrlId, std::pair<DayKey, SizeKey>> index_;
+
+  [[nodiscard]] static DayKey day_key(const CacheEntry& entry) noexcept;
+  [[nodiscard]] static SizeKey size_key(const CacheEntry& entry) noexcept;
+};
+
+}  // namespace wcs

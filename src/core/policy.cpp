@@ -1,0 +1,67 @@
+#include "src/core/policy.h"
+
+#include "src/core/lru_min.h"
+#include "src/core/pitkow_recker.h"
+#include "src/core/sorted_policy.h"
+#include "src/util/strings.h"
+
+namespace wcs {
+
+std::unique_ptr<RemovalPolicy> make_sorted_policy(KeySpec spec, std::uint64_t seed) {
+  return std::make_unique<SortedPolicy>(std::move(spec), seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_lru_min(std::uint64_t seed) {
+  return std::make_unique<LruMinPolicy>(seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_pitkow_recker(std::uint64_t seed) {
+  return std::make_unique<PitkowReckerPolicy>(seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_fifo(std::uint64_t seed) {
+  return make_sorted_policy(KeySpec{{Key::kEtime}}, seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_lru(std::uint64_t seed) {
+  return make_sorted_policy(KeySpec{{Key::kAtime}}, seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_lfu(std::uint64_t seed) {
+  return make_sorted_policy(KeySpec{{Key::kNref}}, seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_hyper_g(std::uint64_t seed) {
+  // Table 3: NREF primary, ATIME secondary, SIZE tertiary (the Hyper-G
+  // document flag is irrelevant: the traces contain no Hyper-G documents).
+  return make_sorted_policy(KeySpec{{Key::kNref, Key::kAtime, Key::kSize}}, seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_size(std::uint64_t seed) {
+  return make_sorted_policy(KeySpec{{Key::kSize}}, seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_random(std::uint64_t seed) {
+  return make_sorted_policy(KeySpec{{Key::kRandom}}, seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_policy_by_name(std::string_view name, std::uint64_t seed) {
+  const std::string lower = to_lower(name);
+  if (lower == "fifo" || lower == "etime") return make_fifo(seed);
+  if (lower == "lru" || lower == "atime") return make_lru(seed);
+  if (lower == "lfu" || lower == "nref") return make_lfu(seed);
+  if (lower == "size") return make_size(seed);
+  if (lower == "log2size") return make_sorted_policy(KeySpec{{Key::kLog2Size}}, seed);
+  if (lower == "day(atime)" || lower == "day") {
+    return make_sorted_policy(KeySpec{{Key::kDayAtime}}, seed);
+  }
+  if (lower == "random") return make_random(seed);
+  if (lower == "hyper-g" || lower == "hyperg") return make_hyper_g(seed);
+  if (lower == "lru-min" || lower == "lrumin") return make_lru_min(seed);
+  if (lower == "pitkow-recker" || lower == "pitkow/recker" || lower == "pr") {
+    return make_pitkow_recker(seed);
+  }
+  return nullptr;
+}
+
+}  // namespace wcs

@@ -1,0 +1,83 @@
+// Removal-policy interface.
+//
+// The Cache owns document storage and byte accounting; a RemovalPolicy only
+// maintains whatever index it needs to answer "which document is removed
+// next?". The cache notifies the policy of every insert / hit / removal so
+// the index stays consistent, and asks for victims one at a time until the
+// incoming document fits (the paper's on-demand criterion, §1.3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/core/entry.h"
+#include "src/core/keys.h"
+#include "src/util/rng.h"
+
+namespace wcs {
+
+/// Everything a policy may consult when picking a victim.
+struct EvictionContext {
+  SimTime now = 0;              // time of the request forcing the eviction
+  std::uint64_t incoming_size = 0;  // size of the document being admitted
+  std::uint64_t needed_bytes = 0;   // bytes still to free (<= incoming_size)
+};
+
+class RemovalPolicy {
+ public:
+  virtual ~RemovalPolicy() = default;
+
+  RemovalPolicy(const RemovalPolicy&) = delete;
+  RemovalPolicy& operator=(const RemovalPolicy&) = delete;
+
+  /// A copy of `entry` is now cached.
+  virtual void on_insert(const CacheEntry& entry) = 0;
+
+  /// `entry` was hit; its atime/nref (and thus key ranks) already reflect
+  /// the new access.
+  virtual void on_hit(const CacheEntry& entry) = 0;
+
+  /// `entry` left the cache for a reason other than this policy's own
+  /// choose_victim answer (size-change replacement, explicit erase).
+  virtual void on_remove(const CacheEntry& entry) = 0;
+
+  /// Next document to remove, or nullopt if the policy tracks nothing.
+  /// Must not return a URL that is not currently cached.
+  [[nodiscard]] virtual std::optional<UrlId> choose_victim(const EvictionContext& ctx) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+ protected:
+  RemovalPolicy() = default;
+};
+
+/// Factory for the paper's policies.
+///
+///   make_sorted_policy({SIZE})                the paper's winner
+///   make_sorted_policy({ATIME})               LRU
+///   make_sorted_policy({ETIME})               FIFO
+///   make_sorted_policy({NREF})                LFU
+///   make_sorted_policy({NREF, ATIME, SIZE})   Hyper-G
+///   make_lru_min()                            LRU-MIN (exact, §1.2)
+///   make_pitkow_recker()                      day-dependent key (§1.2)
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_sorted_policy(KeySpec spec,
+                                                                std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_lru_min(std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_pitkow_recker(std::uint64_t seed = 1);
+
+/// Literature aliases (Table 3).
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_fifo(std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_lru(std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_lfu(std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_hyper_g(std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_size(std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_random(std::uint64_t seed = 1);
+
+/// Policy by lower-case name ("lru", "size", "lru-min", "pitkow-recker",
+/// "fifo", "lfu", "hyper-g", "random", "log2size"); nullptr if unknown.
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_policy_by_name(std::string_view name,
+                                                                 std::uint64_t seed = 1);
+
+}  // namespace wcs

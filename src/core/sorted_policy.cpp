@@ -1,0 +1,45 @@
+#include "src/core/sorted_policy.h"
+
+#include <cassert>
+
+namespace wcs {
+
+SortedPolicy::SortedPolicy(KeySpec spec, std::uint64_t /*seed*/)
+    : spec_(std::move(spec)), name_(spec_.name()) {}
+
+void SortedPolicy::on_insert(const CacheEntry& entry) {
+  RankTuple tuple = make_rank_tuple(spec_, entry);
+  const auto [it, inserted] = index_.emplace(entry.url, tuple);
+  assert(inserted && "on_insert for an already-tracked URL");
+  (void)inserted;
+  order_.insert(std::move(tuple));
+}
+
+void SortedPolicy::on_hit(const CacheEntry& entry) {
+  const auto it = index_.find(entry.url);
+  assert(it != index_.end() && "on_hit for an untracked URL");
+  order_.erase(it->second);
+  it->second = make_rank_tuple(spec_, entry);
+  order_.insert(it->second);
+}
+
+void SortedPolicy::on_remove(const CacheEntry& entry) {
+  const auto it = index_.find(entry.url);
+  assert(it != index_.end() && "on_remove for an untracked URL");
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<UrlId> SortedPolicy::choose_victim(const EvictionContext& /*ctx*/) {
+  if (order_.empty()) return std::nullopt;
+  return order_.begin()->url;
+}
+
+std::optional<std::size_t> SortedPolicy::position_of(UrlId url) const {
+  const auto it = index_.find(url);
+  if (it == index_.end()) return std::nullopt;
+  const auto pos = order_.find(it->second);
+  return static_cast<std::size_t>(std::distance(order_.begin(), pos));
+}
+
+}  // namespace wcs

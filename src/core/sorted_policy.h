@@ -1,0 +1,41 @@
+// SortedPolicy — the taxonomy engine.
+//
+// Keeps every cached document in a std::set ordered by its materialized
+// RankTuple (primary key, secondary key, ..., random tag, url). The victim
+// is always *begin()*: the head of the paper's sorted list. All operations
+// are O(log n); a hit re-inserts because ATIME/NREF/DAY(ATIME) ranks move.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "src/core/policy.h"
+
+namespace wcs {
+
+class SortedPolicy final : public RemovalPolicy {
+ public:
+  explicit SortedPolicy(KeySpec spec, std::uint64_t seed = 1);
+
+  void on_insert(const CacheEntry& entry) override;
+  void on_hit(const CacheEntry& entry) override;
+  void on_remove(const CacheEntry& entry) override;
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  [[nodiscard]] const KeySpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t tracked() const noexcept { return index_.size(); }
+
+  /// Position (0-based from the removal head) of a URL in the sorted list;
+  /// the paper's simulator reported "location in sorted list of each URL
+  /// hit". O(n) — diagnostic use only.
+  [[nodiscard]] std::optional<std::size_t> position_of(UrlId url) const;
+
+ private:
+  KeySpec spec_;
+  std::string name_;
+  std::set<RankTuple> order_;
+  std::unordered_map<UrlId, RankTuple> index_;  // current tuple per URL
+};
+
+}  // namespace wcs

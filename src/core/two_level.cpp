@@ -1,0 +1,34 @@
+#include "src/core/two_level.h"
+
+namespace wcs {
+
+TwoLevelCache::TwoLevelCache(CacheConfig l1_config, std::unique_ptr<RemovalPolicy> l1_policy,
+                             CacheConfig l2_config, std::unique_ptr<RemovalPolicy> l2_policy)
+    : l1_(l1_config, std::move(l1_policy)), l2_(l2_config, std::move(l2_policy)) {}
+
+TwoLevelResult TwoLevelCache::access(SimTime now, UrlId url, std::uint64_t size,
+                                     FileType type) {
+  ++stats_.requests;
+  stats_.requested_bytes += size;
+
+  // L1 access admits on miss, exactly as a standalone cache would.
+  const AccessResult r1 = l1_.access(now, url, size, type);
+  if (r1.hit) {
+    ++stats_.l1_hits;
+    stats_.l1_hit_bytes += size;
+    return {HitLevel::kL1};
+  }
+
+  // L1 missed; consult L2. An L2 hit refreshes the L2 copy's metadata and
+  // counts as a network-saving hit; an L2 miss stores the document there
+  // too (the document was already admitted to L1 above).
+  const AccessResult r2 = l2_.access(now, url, size, type);
+  if (r2.hit) {
+    ++stats_.l2_hits;
+    stats_.l2_hit_bytes += size;
+    return {HitLevel::kL2};
+  }
+  return {HitLevel::kMiss};
+}
+
+}  // namespace wcs

@@ -1,0 +1,69 @@
+// Two-level cache hierarchy (the paper's Experiment 3).
+//
+// A finite first-level cache backed by a (typically infinite) second level.
+// On an L1 miss the request goes to L2; an L2 hit copies the document back
+// into L1, an L2 miss stores it in both levels. Because every document
+// enters L2 on its first miss and L2 never evicts when infinite, anything
+// L1 later removes is still in L2 — the paper's "primary cache sends
+// replaced documents to a larger second level cache" arrangement.
+#pragma once
+
+#include <memory>
+
+#include "src/core/cache.h"
+
+namespace wcs {
+
+enum class HitLevel : unsigned char { kL1 = 0, kL2, kMiss };
+
+struct TwoLevelResult {
+  HitLevel level = HitLevel::kMiss;
+};
+
+class TwoLevelCache {
+ public:
+  TwoLevelCache(CacheConfig l1_config, std::unique_ptr<RemovalPolicy> l1_policy,
+                CacheConfig l2_config, std::unique_ptr<RemovalPolicy> l2_policy);
+
+  TwoLevelResult access(SimTime now, UrlId url, std::uint64_t size,
+                        FileType type = FileType::kUnknown);
+  TwoLevelResult access(const Request& request) {
+    return access(request.time, request.url, request.size, request.type);
+  }
+
+  [[nodiscard]] const Cache& l1() const noexcept { return l1_; }
+  [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
+
+  /// L2 statistics over *all* requests (the denominators the paper's
+  /// Figs 16-18 use): an L2 hit is a request that missed L1 and hit L2.
+  struct HierarchyStats {
+    std::uint64_t requests = 0;
+    std::uint64_t requested_bytes = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l1_hit_bytes = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_hit_bytes = 0;
+
+    [[nodiscard]] double l1_hit_rate() const noexcept {
+      return requests == 0 ? 0.0
+                           : static_cast<double>(l1_hits) / static_cast<double>(requests);
+    }
+    [[nodiscard]] double l2_hit_rate() const noexcept {
+      return requests == 0 ? 0.0
+                           : static_cast<double>(l2_hits) / static_cast<double>(requests);
+    }
+    [[nodiscard]] double l2_weighted_hit_rate() const noexcept {
+      return requested_bytes == 0 ? 0.0
+                                  : static_cast<double>(l2_hit_bytes) /
+                                        static_cast<double>(requested_bytes);
+    }
+  };
+  [[nodiscard]] const HierarchyStats& stats() const noexcept { return stats_; }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  HierarchyStats stats_;
+};
+
+}  // namespace wcs

@@ -1,0 +1,40 @@
+#include "src/http/cacheability.h"
+
+#include "src/http/date.h"
+#include "src/util/strings.h"
+
+namespace wcs {
+
+namespace {
+
+bool has_no_cache(const HeaderMap& headers) {
+  const auto pragma = headers.get("Pragma");
+  return pragma && to_lower(*pragma).find("no-cache") != std::string::npos;
+}
+
+}  // namespace
+
+bool is_cacheable(const HttpRequest& request, const HttpResponse& response) {
+  if (!iequals(request.method, "GET")) return false;
+  if (response.status != 200) return false;
+  if (has_no_cache(request.headers) || has_no_cache(response.headers)) return false;
+  if (request.headers.contains("Authorization")) return false;
+  if (looks_dynamic(request.target)) return false;
+  return true;
+}
+
+bool not_modified_since(const HttpRequest& request, SimTime last_modified) {
+  const auto header = request.headers.get("If-Modified-Since");
+  if (!header) return false;
+  const auto since = parse_http_date(*header);
+  if (!since) return false;  // unparseable condition: treat as absent
+  return last_modified <= *since;
+}
+
+std::optional<SimTime> last_modified_of(const HttpResponse& response) {
+  const auto header = response.headers.get("Last-Modified");
+  if (!header) return std::nullopt;
+  return parse_http_date(*header);
+}
+
+}  // namespace wcs

@@ -1,0 +1,29 @@
+// Cacheability and freshness rules for an HTTP/1.0 proxy, as the paper's
+// setting assumes (§1): GET-only, status 200, no reliable dynamic-document
+// marker, consistency estimated via Last-Modified and conditional GET.
+#pragma once
+
+#include <optional>
+
+#include "src/http/message.h"
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+/// May this exchange be stored by a shared proxy cache?
+///   - method GET, status 200
+///   - no "Pragma: no-cache" on either side
+///   - not dynamically generated (query string / cgi path) — HTTP/1.0 has
+///     no reliable marker, so the URL heuristic of §1 applies
+///   - no Authorization on the request
+[[nodiscard]] bool is_cacheable(const HttpRequest& request, const HttpResponse& response);
+
+/// Evaluate a conditional GET: true if the cached copy (with the given
+/// Last-Modified time) is still fresh relative to the request's
+/// If-Modified-Since, i.e. a 304 is the right answer.
+[[nodiscard]] bool not_modified_since(const HttpRequest& request, SimTime last_modified);
+
+/// Last-Modified of a response, if present and parseable.
+[[nodiscard]] std::optional<SimTime> last_modified_of(const HttpResponse& response);
+
+}  // namespace wcs

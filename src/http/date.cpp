@@ -1,0 +1,115 @@
+#include "src/http/date.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonths = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                                 "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+constexpr std::array<const char*, 7> kWeekdays = {"Mon", "Tue", "Wed", "Thu",
+                                                  "Fri", "Sat", "Sun"};
+
+constexpr int kEpochYear = 1995;
+
+constexpr bool leap(int y) noexcept {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) noexcept {
+  constexpr std::array<int, 12> base = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return m == 1 && leap(y) ? 29 : base[static_cast<std::size_t>(m)];
+}
+
+int month_from_name(std::string_view name) noexcept {
+  for (int m = 0; m < 12; ++m) {
+    if (iequals(name, kMonths[static_cast<std::size_t>(m)])) return m;
+  }
+  return -1;
+}
+
+std::optional<SimTime> assemble(int year, int month, int day, int hh, int mm, int ss) {
+  if (month < 0 || day < 1 || hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 60) {
+    return std::nullopt;
+  }
+  if (day > days_in_month(year, month)) return std::nullopt;
+  std::int64_t days = 0;
+  if (year >= kEpochYear) {
+    for (int y = kEpochYear; y < year; ++y) days += leap(y) ? 366 : 365;
+  } else {
+    for (int y = year; y < kEpochYear; ++y) days -= leap(y) ? 366 : 365;
+  }
+  for (int m = 0; m < month; ++m) days += days_in_month(year, m);
+  days += day - 1;
+  return days * kSecondsPerDay + hh * kSecondsPerHour + mm * kSecondsPerMinute + ss;
+}
+
+}  // namespace
+
+std::string to_http_date(SimTime t) {
+  std::int64_t days = day_of(t);
+  const SimTime sec = second_of_day(t);
+  int year = kEpochYear;
+  while (days >= (leap(year) ? 366 : 365)) {
+    days -= leap(year) ? 366 : 365;
+    ++year;
+  }
+  while (days < 0) {
+    --year;
+    days += leap(year) ? 366 : 365;
+  }
+  int month = 0;
+  while (days >= days_in_month(year, month)) {
+    days -= days_in_month(year, month);
+    ++month;
+  }
+  // Day 0 of the simulation epoch (01/Jan/1995) was a Sunday; weekday_of()
+  // treats day 0 as Monday for workload shaping, but HTTP dates must carry
+  // the true weekday of the rendered calendar date.
+  const std::int64_t epoch_days = day_of(t);
+  const int weekday = static_cast<int>(((epoch_days % 7) + 7 + 6) % 7);  // day 0 -> Sun
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s, %02d %s %04d %02d:%02d:%02d GMT",
+                kWeekdays[static_cast<std::size_t>(weekday)], static_cast<int>(days) + 1,
+                kMonths[static_cast<std::size_t>(month)], year,
+                static_cast<int>(sec / kSecondsPerHour),
+                static_cast<int>(sec % kSecondsPerHour / kSecondsPerMinute),
+                static_cast<int>(sec % kSecondsPerMinute));
+  return buf;
+}
+
+std::optional<SimTime> parse_http_date(std::string_view text) {
+  const std::string s{trim(text)};
+  int day = 0;
+  int year = 0;
+  int hh = 0;
+  int mm = 0;
+  int ss = 0;
+  char month_name[4] = {};
+  char weekday[10] = {};
+
+  // RFC 1123: "Sun, 06 Nov 1994 08:49:37 GMT"
+  if (std::sscanf(s.c_str(), "%3s, %d %3s %d %d:%d:%d", weekday, &day, month_name, &year,
+                  &hh, &mm, &ss) == 7) {
+    return assemble(year, month_from_name(month_name), day, hh, mm, ss);
+  }
+  // RFC 850: "Sunday, 06-Nov-94 08:49:37 GMT"
+  if (std::sscanf(s.c_str(), "%9[A-Za-z], %d-%3s-%d %d:%d:%d", weekday, &day, month_name,
+                  &year, &hh, &mm, &ss) == 7) {
+    if (year < 100) year += year < 70 ? 2000 : 1900;
+    return assemble(year, month_from_name(month_name), day, hh, mm, ss);
+  }
+  // asctime: "Sun Nov  6 08:49:37 1994"
+  if (std::sscanf(s.c_str(), "%3s %3s %d %d:%d:%d %d", weekday, month_name, &day, &hh, &mm,
+                  &ss, &year) == 7) {
+    return assemble(year, month_from_name(month_name), day, hh, mm, ss);
+  }
+  return std::nullopt;
+}
+
+}  // namespace wcs

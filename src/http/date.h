@@ -1,0 +1,23 @@
+// HTTP date handling. HTTP/1.0 servers emitted three date formats
+// (RFC 1123, RFC 850, asctime); a proxy must parse all three to evaluate
+// If-Modified-Since against Last-Modified, and should always emit RFC 1123.
+// Times map onto the simulator's SimTime (seconds since the 1995 epoch).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+/// "Sun, 06 Nov 1994 08:49:37 GMT" (RFC 1123) from a SimTime.
+[[nodiscard]] std::string to_http_date(SimTime t);
+
+/// Parse RFC 1123 ("Sun, 06 Nov 1994 08:49:37 GMT"), RFC 850
+/// ("Sunday, 06-Nov-94 08:49:37 GMT") or asctime ("Sun Nov  6 08:49:37
+/// 1994") dates. Returns nullopt on anything else.
+[[nodiscard]] std::optional<SimTime> parse_http_date(std::string_view text);
+
+}  // namespace wcs

@@ -1,0 +1,132 @@
+#include "src/http/delta.h"
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace wcs {
+
+namespace {
+
+constexpr std::size_t kBlock = 32;  // match granularity
+
+void put_u32(std::string& out, std::uint32_t value) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(value & 0xff);
+  bytes[1] = static_cast<char>((value >> 8) & 0xff);
+  bytes[2] = static_cast<char>((value >> 16) & 0xff);
+  bytes[3] = static_cast<char>((value >> 24) & 0xff);
+  out.append(bytes, 4);
+}
+
+bool get_u32(std::string_view& in, std::uint32_t& value) {
+  if (in.size() < 4) return false;
+  value = static_cast<std::uint8_t>(in[0]) | (static_cast<std::uint8_t>(in[1]) << 8) |
+          (static_cast<std::uint8_t>(in[2]) << 16) |
+          (static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[3])) << 24);
+  in.remove_prefix(4);
+  return true;
+}
+
+std::uint64_t block_hash(const char* data) {
+  // FNV-1a over one block; cheap and collision-checked by byte comparison.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void flush_literal(std::string& delta, std::string_view target, std::size_t from,
+                   std::size_t to) {
+  while (from < to) {
+    const std::size_t len = to - from;
+    put_u32((delta += 'A', delta), static_cast<std::uint32_t>(len));
+    delta.append(target.data() + from, len);
+    from += len;
+  }
+}
+
+}  // namespace
+
+std::string encode_delta(std::string_view base, std::string_view target) {
+  std::string delta;
+  if (target.empty()) return delta;
+
+  // Index every block-aligned window of the base.
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  if (base.size() >= kBlock) {
+    index.reserve(base.size() / kBlock * 2);
+    for (std::size_t off = 0; off + kBlock <= base.size(); off += kBlock) {
+      index.emplace(block_hash(base.data() + off), static_cast<std::uint32_t>(off));
+    }
+  }
+
+  std::size_t literal_start = 0;
+  std::size_t pos = 0;
+  while (pos + kBlock <= target.size()) {
+    const auto it = index.find(block_hash(target.data() + pos));
+    bool matched = false;
+    if (it != index.end()) {
+      const std::size_t base_off = it->second;
+      if (std::memcmp(base.data() + base_off, target.data() + pos, kBlock) == 0) {
+        // Extend the verified match forward as far as it goes.
+        std::size_t len = kBlock;
+        while (base_off + len < base.size() && pos + len < target.size() &&
+               base[base_off + len] == target[pos + len]) {
+          ++len;
+        }
+        flush_literal(delta, target, literal_start, pos);
+        delta += 'C';
+        put_u32(delta, static_cast<std::uint32_t>(base_off));
+        put_u32(delta, static_cast<std::uint32_t>(len));
+        pos += len;
+        literal_start = pos;
+        matched = true;
+      }
+    }
+    if (!matched) ++pos;
+  }
+  flush_literal(delta, target, literal_start, target.size());
+  return delta;
+}
+
+std::optional<std::string> apply_delta(std::string_view base, std::string_view delta) {
+  std::string out;
+  std::string_view rest = delta;
+  while (!rest.empty()) {
+    const char op = rest.front();
+    rest.remove_prefix(1);
+    if (op == 'C') {
+      std::uint32_t offset = 0;
+      std::uint32_t length = 0;
+      if (!get_u32(rest, offset) || !get_u32(rest, length)) return std::nullopt;
+      if (static_cast<std::size_t>(offset) + length > base.size()) return std::nullopt;
+      out.append(base.data() + offset, length);
+    } else if (op == 'A') {
+      std::uint32_t length = 0;
+      if (!get_u32(rest, length)) return std::nullopt;
+      if (rest.size() < length) return std::nullopt;
+      out.append(rest.data(), length);
+      rest.remove_prefix(length);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+double delta_ratio(std::string_view base, std::string_view target) {
+  if (target.empty()) return 1.0;
+  return static_cast<double>(encode_delta(base, target).size()) /
+         static_cast<double>(target.size());
+}
+
+bool delta_worthwhile(std::string_view base, std::string_view target) {
+  if (target.size() < 2 * kBlock) return false;  // too small to bother
+  return encode_delta(base, target).size() + 64 < target.size();
+}
+
+}  // namespace wcs

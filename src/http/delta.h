@@ -1,0 +1,40 @@
+// Delta encoding for semi-static documents — the paper's §5 open problem 2:
+//
+//   "in response to a conditional GET a server could send the 'diff' of the
+//    current version and the version matching the Last-Modified date sent
+//    by the client"
+//
+// This module provides the diff itself (an rsync-style copy/add delta with
+// greedy block matching) and the wire format; src/proxy wires it into the
+// conditional-GET exchange via the `A-IM: wcs-delta` / `IM: wcs-delta`
+// headers (the shape later standardized by RFC 3229).
+//
+// Wire format, little-endian u32 lengths:
+//   'C' <u32 offset> <u32 length>      copy from the base version
+//   'A' <u32 length> <bytes>           literal insertion
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wcs {
+
+/// Encode `target` as a delta against `base`. Always succeeds; worst case
+/// is one big ADD (delta slightly larger than the target).
+[[nodiscard]] std::string encode_delta(std::string_view base, std::string_view target);
+
+/// Reconstruct the target from `base` + `delta`; nullopt if the delta is
+/// malformed or references out-of-range base bytes.
+[[nodiscard]] std::optional<std::string> apply_delta(std::string_view base,
+                                                     std::string_view delta);
+
+/// delta bytes / target bytes — < 1 means the delta transfer saves bytes.
+/// Returns 1.0 for an empty target.
+[[nodiscard]] double delta_ratio(std::string_view base, std::string_view target);
+
+/// True when sending the delta beats re-sending the document outright
+/// (with a little headroom for headers).
+[[nodiscard]] bool delta_worthwhile(std::string_view base, std::string_view target);
+
+}  // namespace wcs

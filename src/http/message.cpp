@@ -1,0 +1,109 @@
+#include "src/http/message.h"
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+void HeaderMap::add(std::string name, std::string value) {
+  headers_.push_back({std::move(name), std::move(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string value) {
+  bool replaced = false;
+  for (auto it = headers_.begin(); it != headers_.end();) {
+    if (iequals(it->name, name)) {
+      if (!replaced) {
+        it->value = std::move(value);
+        replaced = true;
+        ++it;
+      } else {
+        it = headers_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+  if (!replaced) add(std::string{name}, std::move(value));
+}
+
+void HeaderMap::remove(std::string_view name) {
+  std::erase_if(headers_, [name](const HttpHeader& h) { return iequals(h.name, name); });
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const noexcept {
+  for (const auto& header : headers_) {
+    if (iequals(header.name, name)) return header.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> HeaderMap::content_length() const noexcept {
+  const auto value = get("Content-Length");
+  if (!value) return std::nullopt;
+  return parse_u64(trim(*value));
+}
+
+namespace {
+
+void serialize_headers(std::string& out, const HeaderMap& headers) {
+  for (const auto& header : headers.all()) {
+    out += header.name;
+    out += ": ";
+    out += header.value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+std::string HttpRequest::serialize() const {
+  std::string out;
+  out.reserve(64 + target.size() + body.size());
+  out += method;
+  out += ' ';
+  out += target;
+  out += ' ';
+  out += version;
+  out += "\r\n";
+  serialize_headers(out, headers);
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out;
+  out.reserve(64 + body.size());
+  out += version;
+  out += ' ';
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\n";
+  serialize_headers(out, headers);
+  out += body;
+  return out;
+}
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Moved Temporarily";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace wcs

@@ -1,0 +1,63 @@
+// HTTP/1.0 message model (RFC 1945 era — the protocol the paper's proxies
+// spoke). Requests and responses carry a header list preserving order and
+// duplicates, with case-insensitive lookup, exactly as a proxy must.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wcs {
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+class HeaderMap {
+ public:
+  void add(std::string name, std::string value);
+  /// Replace the first occurrence (adding if absent); removes duplicates.
+  void set(std::string_view name, std::string value);
+  void remove(std::string_view name);
+
+  [[nodiscard]] std::optional<std::string_view> get(std::string_view name) const noexcept;
+  [[nodiscard]] bool contains(std::string_view name) const noexcept {
+    return get(name).has_value();
+  }
+  [[nodiscard]] const std::vector<HttpHeader>& all() const noexcept { return headers_; }
+  [[nodiscard]] std::size_t size() const noexcept { return headers_.size(); }
+
+  /// Content-Length parsed as unsigned decimal, if present and well-formed.
+  [[nodiscard]] std::optional<std::uint64_t> content_length() const noexcept;
+
+ private:
+  std::vector<HttpHeader> headers_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target;          // absolute URL (proxy form) or origin path
+  std::string version = "HTTP/1.0";
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.0";
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Standard reason phrase for a status code ("OK", "Not Modified", ...).
+[[nodiscard]] std::string_view reason_phrase(int status) noexcept;
+
+}  // namespace wcs

@@ -1,0 +1,227 @@
+#include "src/http/parser.h"
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+namespace {
+
+/// Find the end of the header section ("\r\n\r\n" or the lenient "\n\n").
+/// Returns npos while incomplete.
+std::size_t find_header_end(std::string_view text) {
+  const auto crlf = text.find("\r\n\r\n");
+  const auto lf = text.find("\n\n");
+  if (crlf == std::string_view::npos) return lf == std::string_view::npos ? lf : lf + 2;
+  if (lf == std::string_view::npos || crlf + 2 <= lf) return crlf + 4;
+  return lf + 2;
+}
+
+/// One line up to (and excluding) its terminator; advances `rest`.
+std::optional<std::string_view> take_line(std::string_view& rest) {
+  const auto nl = rest.find('\n');
+  if (nl == std::string_view::npos) return std::nullopt;
+  std::string_view line = rest.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  rest = rest.substr(nl + 1);
+  return line;
+}
+
+}  // namespace
+
+std::optional<std::size_t> parse_header_block(std::string_view text, HeaderMap& out) {
+  std::string_view rest = text;
+  std::string pending_name;
+  std::string pending_value;
+  const auto flush_pending = [&] {
+    if (!pending_name.empty()) out.add(std::move(pending_name), std::move(pending_value));
+    pending_name.clear();
+    pending_value.clear();
+  };
+  while (true) {
+    const auto line = take_line(rest);
+    if (!line) return 0;  // incomplete
+    if (line->empty()) {
+      flush_pending();
+      return text.size() - rest.size();
+    }
+    if (line->front() == ' ' || line->front() == '\t') {
+      // Obsolete header folding: continuation of the previous value.
+      if (pending_name.empty()) return std::nullopt;
+      pending_value += ' ';
+      pending_value += trim(*line);
+      continue;
+    }
+    flush_pending();
+    const auto colon = line->find(':');
+    if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+    const std::string_view name = trim(line->substr(0, colon));
+    if (name.empty() || name.find(' ') != std::string_view::npos) return std::nullopt;
+    pending_name = std::string{name};
+    pending_value = std::string{trim(line->substr(colon + 1))};
+  }
+}
+
+std::optional<HttpRequest> parse_request(std::string_view text) {
+  RequestParser parser;
+  auto messages = parser.feed(text);
+  if (messages.size() != 1 || parser.failed()) return std::nullopt;
+  return std::move(messages.front());
+}
+
+std::optional<HttpResponse> parse_response(std::string_view text) {
+  ResponseParser parser;
+  auto messages = parser.feed(text);
+  if (parser.failed()) return std::nullopt;
+  if (messages.empty()) {
+    auto last = parser.finish();
+    if (!last) return std::nullopt;
+    return last;
+  }
+  return std::move(messages.front());
+}
+
+std::vector<HttpRequest> RequestParser::feed(std::string_view bytes) {
+  std::vector<HttpRequest> out;
+  if (failed_) return out;
+  buffer_.append(bytes);
+  while (true) {
+    const std::string_view view{buffer_};
+    const auto header_end = find_header_end(view);
+    if (header_end == std::string_view::npos) return out;
+
+    std::string_view rest = view;
+    const auto start_line = take_line(rest);
+    if (!start_line) return out;
+    // METHOD SP TARGET [SP VERSION]
+    const auto fields = split(trim(*start_line), ' ');
+    std::vector<std::string_view> tokens;
+    for (const auto f : fields) {
+      if (!f.empty()) tokens.push_back(f);
+    }
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      failed_ = true;
+      return out;
+    }
+    HttpRequest request;
+    request.method = std::string{tokens[0]};
+    request.target = std::string{tokens[1]};
+    request.version = tokens.size() == 3 ? std::string{tokens[2]} : "HTTP/0.9";
+
+    HeaderMap headers;
+    const auto consumed = parse_header_block(view.substr(view.size() - rest.size()), headers);
+    if (!consumed) {
+      failed_ = true;
+      return out;
+    }
+    if (*consumed == 0) return out;  // incomplete headers
+    request.headers = std::move(headers);
+
+    const std::size_t body_start = (view.size() - rest.size()) + *consumed;
+    const std::uint64_t body_len = request.headers.content_length().value_or(0);
+    if (view.size() - body_start < body_len) return out;  // incomplete body
+    request.body = std::string{view.substr(body_start, body_len)};
+    buffer_.erase(0, body_start + body_len);
+    out.push_back(std::move(request));
+  }
+}
+
+void RequestParser::reset() {
+  buffer_.clear();
+  failed_ = false;
+}
+
+std::vector<HttpResponse> ResponseParser::feed(std::string_view bytes) {
+  std::vector<HttpResponse> out;
+  if (failed_) return out;
+  buffer_.append(bytes);
+  while (true) {
+    const std::string_view view{buffer_};
+    const auto header_end = find_header_end(view);
+    if (header_end == std::string_view::npos) return out;
+
+    std::string_view rest = view;
+    const auto start_line = take_line(rest);
+    if (!start_line) return out;
+    // VERSION SP STATUS [SP REASON]
+    const std::string_view line = trim(*start_line);
+    const auto sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos || !starts_with(line, "HTTP/")) {
+      failed_ = true;
+      return out;
+    }
+    const std::string_view after = trim_left(line.substr(sp1 + 1));
+    const auto sp2 = after.find(' ');
+    const std::string_view status_text =
+        sp2 == std::string_view::npos ? after : after.substr(0, sp2);
+    const auto status = parse_u64(status_text);
+    if (!status || *status < 100 || *status > 599) {
+      failed_ = true;
+      return out;
+    }
+    HttpResponse response;
+    response.version = std::string{line.substr(0, sp1)};
+    response.status = static_cast<int>(*status);
+    response.reason =
+        sp2 == std::string_view::npos ? std::string{} : std::string{trim(after.substr(sp2 + 1))};
+
+    HeaderMap headers;
+    const auto consumed = parse_header_block(view.substr(view.size() - rest.size()), headers);
+    if (!consumed) {
+      failed_ = true;
+      return out;
+    }
+    if (*consumed == 0) return out;
+    response.headers = std::move(headers);
+
+    const std::size_t body_start = (view.size() - rest.size()) + *consumed;
+    const auto declared = response.headers.content_length();
+    if (!declared) {
+      // Close-delimited body: wait for finish(). Nothing further can be
+      // parsed from this connection.
+      return out;
+    }
+    if (view.size() - body_start < *declared) return out;
+    response.body = std::string{view.substr(body_start, *declared)};
+    buffer_.erase(0, body_start + *declared);
+    out.push_back(std::move(response));
+  }
+}
+
+std::optional<HttpResponse> ResponseParser::finish() {
+  if (failed_ || buffer_.empty()) return std::nullopt;
+  const std::string_view view{buffer_};
+  const auto header_end = find_header_end(view);
+  if (header_end == std::string_view::npos) return std::nullopt;
+
+  std::string_view rest = view;
+  const auto start_line = take_line(rest);
+  if (!start_line) return std::nullopt;
+  const std::string_view line = trim(*start_line);
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || !starts_with(line, "HTTP/")) return std::nullopt;
+  const std::string_view after = trim_left(line.substr(sp1 + 1));
+  const auto sp2 = after.find(' ');
+  const auto status = parse_u64(sp2 == std::string_view::npos ? after : after.substr(0, sp2));
+  if (!status) return std::nullopt;
+
+  HttpResponse response;
+  response.version = std::string{line.substr(0, sp1)};
+  response.status = static_cast<int>(*status);
+  response.reason =
+      sp2 == std::string_view::npos ? std::string{} : std::string{trim(after.substr(sp2 + 1))};
+  HeaderMap headers;
+  const auto consumed = parse_header_block(view.substr(view.size() - rest.size()), headers);
+  if (!consumed || *consumed == 0) return std::nullopt;
+  response.headers = std::move(headers);
+  const std::size_t body_start = (view.size() - rest.size()) + *consumed;
+  response.body = std::string{view.substr(body_start)};
+  buffer_.clear();
+  return response;
+}
+
+void ResponseParser::reset() {
+  buffer_.clear();
+  failed_ = false;
+}
+
+}  // namespace wcs

@@ -1,0 +1,63 @@
+// Incremental HTTP/1.0 message parsers.
+//
+// Both parsers consume bytes as they arrive (possibly one at a time — TCP
+// reassembly offers no framing guarantees) and emit complete messages.
+// Bodies are delimited by Content-Length; a response without one extends to
+// connection close (finish() flushes it), which was the common HTTP/1.0
+// server behaviour.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/http/message.h"
+
+namespace wcs {
+
+/// Parse a single request/response from a complete buffer (convenience).
+[[nodiscard]] std::optional<HttpRequest> parse_request(std::string_view text);
+[[nodiscard]] std::optional<HttpResponse> parse_response(std::string_view text);
+
+/// Streaming request parser: feed() returns any number of completed
+/// requests (pipelined GETs arrive back to back on one connection).
+class RequestParser {
+ public:
+  /// Returns completed messages; keeps unconsumed bytes buffered.
+  std::vector<HttpRequest> feed(std::string_view bytes);
+
+  [[nodiscard]] bool has_partial() const noexcept { return !buffer_.empty(); }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  void reset();
+
+ private:
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+/// Streaming response parser. HTTP/1.0 responses without Content-Length are
+/// terminated by connection close: call finish() at stream end to flush.
+class ResponseParser {
+ public:
+  std::vector<HttpResponse> feed(std::string_view bytes);
+  /// Signal end of stream; returns the final close-delimited response, if a
+  /// complete header section was seen.
+  std::optional<HttpResponse> finish();
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  void reset();
+
+ private:
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+/// Parse the header block starting after the start line. Returns the number
+/// of bytes consumed including the blank line, or 0 if incomplete, or
+/// nullopt if malformed. Exposed for tests.
+[[nodiscard]] std::optional<std::size_t> parse_header_block(std::string_view text,
+                                                            HeaderMap& out);
+
+}  // namespace wcs

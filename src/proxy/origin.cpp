@@ -1,0 +1,107 @@
+#include "src/proxy/origin.h"
+
+#include "src/http/cacheability.h"
+#include "src/http/date.h"
+#include "src/http/delta.h"
+#include "src/util/strings.h"
+
+namespace wcs {
+
+void OriginServer::put(const std::string& path, std::string content, SimTime modified) {
+  documents_[path] = Document{std::move(content), modified, {}, -1};
+}
+
+bool OriginServer::edit(const std::string& path, std::string content, SimTime modified) {
+  const auto it = documents_.find(path);
+  if (it == documents_.end()) return false;
+  it->second.previous_content = std::move(it->second.content);
+  it->second.previous_modified = it->second.modified;
+  it->second.content = std::move(content);
+  it->second.modified = modified;
+  return true;
+}
+
+std::optional<std::string> OriginServer::path_of(const std::string& target) const {
+  if (starts_with(target, "http://")) {
+    const std::string_view rest = std::string_view{target}.substr(7);
+    const auto slash = rest.find('/');
+    const std::string_view authority =
+        slash == std::string_view::npos ? rest : rest.substr(0, slash);
+    std::string_view host = authority;
+    if (const auto colon = host.find(':'); colon != std::string_view::npos) {
+      host = host.substr(0, colon);
+    }
+    if (!iequals(host, host_)) return std::nullopt;
+    return slash == std::string_view::npos ? std::string{"/"}
+                                           : std::string{rest.substr(slash)};
+  }
+  if (!target.empty() && target.front() == '/') return target;
+  return std::nullopt;
+}
+
+HttpResponse OriginServer::handle(const HttpRequest& request, SimTime now) const {
+  ++served_;
+  HttpResponse response;
+  response.headers.set("Date", to_http_date(now));
+  response.headers.set("Server", "wcs-origin/1.0");
+
+  const bool is_get = iequals(request.method, "GET");
+  const bool is_head = iequals(request.method, "HEAD");
+  if (!is_get && !is_head) {
+    response.status = 501;
+    response.reason = std::string{reason_phrase(501)};
+    response.headers.set("Content-Length", "0");
+    return response;
+  }
+
+  const auto path = path_of(request.target);
+  const auto it = path ? documents_.find(*path) : documents_.end();
+  if (!path || it == documents_.end()) {
+    response.status = 404;
+    response.reason = std::string{reason_phrase(404)};
+    response.body = is_get ? "not found\n" : "";
+    response.headers.set("Content-Length", std::to_string(response.body.size()));
+    return response;
+  }
+
+  const Document& document = it->second;
+  if (not_modified_since(request, document.modified)) {
+    response.status = 304;
+    response.reason = std::string{reason_phrase(304)};
+    response.headers.set("Last-Modified", to_http_date(document.modified));
+    return response;
+  }
+
+  // Delta transfer: the client's copy is stale, but if it is *exactly* our
+  // previous version (If-Modified-Since equal to its Last-Modified — any
+  // other base would corrupt the patch) and the client accepts deltas,
+  // send the diff instead.
+  const auto accept_im = request.headers.get("A-IM");
+  const auto ims_header = request.headers.get("If-Modified-Since");
+  const std::optional<SimTime> client_base =
+      ims_header ? parse_http_date(*ims_header) : std::nullopt;
+  if (accept_im && to_lower(*accept_im).find("wcs-delta") != std::string::npos &&
+      document.previous_modified >= 0 && client_base &&
+      *client_base == document.previous_modified &&
+      delta_worthwhile(document.previous_content, document.content)) {
+    response.status = 226;
+    response.reason = "IM Used";
+    response.headers.set("IM", "wcs-delta");
+    response.headers.set("Last-Modified", to_http_date(document.modified));
+    response.headers.set("Delta-Base", to_http_date(document.previous_modified));
+    response.body = is_get ? encode_delta(document.previous_content, document.content)
+                           : std::string{};
+    response.headers.set("Content-Length", std::to_string(response.body.size()));
+    return response;
+  }
+
+  response.status = 200;
+  response.reason = std::string{reason_phrase(200)};
+  response.headers.set("Last-Modified", to_http_date(document.modified));
+  response.headers.set("Content-Type", "application/octet-stream");
+  response.headers.set("Content-Length", std::to_string(document.content.size()));
+  if (is_get) response.body = document.content;
+  return response;
+}
+
+}  // namespace wcs

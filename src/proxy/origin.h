@@ -1,0 +1,61 @@
+// Origin web-server simulator: a document store that answers GET and
+// conditional GET (If-Modified-Since) the way a 1995 CERN/NCSA httpd did.
+// Documents can be "edited" to advance their Last-Modified time, letting
+// tests and examples exercise the proxy's consistency path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/http/message.h"
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+class OriginServer {
+ public:
+  explicit OriginServer(std::string host) : host_(std::move(host)) {}
+
+  /// Publish (or replace) a document at `path` ("/index.html").
+  void put(const std::string& path, std::string content, SimTime modified);
+
+  /// Edit a document: new content, Last-Modified advanced to `modified`.
+  /// Returns false if the path does not exist.
+  bool edit(const std::string& path, std::string content, SimTime modified);
+
+  bool remove(const std::string& path) { return documents_.erase(path) > 0; }
+
+  /// Serve a request at time `now`. Understands origin-form ("/a.html") and
+  /// absolute-form ("http://host/a.html") targets; a Host mismatch on an
+  /// absolute target yields 404 (this server only knows its own documents).
+  ///
+  /// Delta transfer (paper §5 open problem 2): a conditional GET carrying
+  /// `A-IM: wcs-delta` whose If-Modified-Since matches the *previous*
+  /// version of an edited document is answered with `226 IM Used` and a
+  /// delta body (see src/http/delta.h) when that is smaller than resending.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request, SimTime now) const;
+
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  [[nodiscard]] std::size_t document_count() const noexcept { return documents_.size(); }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept { return served_; }
+
+ private:
+  struct Document {
+    std::string content;
+    SimTime modified = 0;
+    // The immediately preceding version, kept so a delta against the copy
+    // most caches hold can be served.
+    std::string previous_content;
+    SimTime previous_modified = -1;
+  };
+
+  [[nodiscard]] std::optional<std::string> path_of(const std::string& target) const;
+
+  std::string host_;
+  std::unordered_map<std::string, Document> documents_;
+  mutable std::uint64_t served_ = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,192 @@
+#include "src/proxy/proxy.h"
+
+#include <stdexcept>
+
+#include "src/core/policy.h"
+#include "src/http/cacheability.h"
+#include "src/http/date.h"
+#include "src/http/delta.h"
+#include "src/util/strings.h"
+
+namespace wcs {
+
+ProxyCache::ProxyCache(Config config, UpstreamFn upstream)
+    : config_(std::move(config)), upstream_(std::move(upstream)) {
+  if (!upstream_) throw std::invalid_argument{"ProxyCache: no upstream"};
+  auto policy = make_policy_by_name(config_.policy);
+  if (policy == nullptr) {
+    throw std::invalid_argument{"ProxyCache: unknown policy " + config_.policy};
+  }
+  CacheConfig cache_config;
+  cache_config.capacity_bytes = config_.capacity_bytes;
+  cache_config.on_evict = [this](const CacheEntry& entry) { store_.erase(entry.url); };
+  cache_ = std::make_unique<Cache>(cache_config, std::move(policy));
+}
+
+UrlId ProxyCache::intern(const std::string& url) {
+  const auto it = url_ids_.find(url);
+  if (it != url_ids_.end()) return it->second;
+  const auto id = static_cast<UrlId>(url_names_.size());
+  url_names_.push_back(url);
+  url_ids_.emplace(url, id);
+  return id;
+}
+
+HttpResponse ProxyCache::serve_from_store(const StoredDocument& document,
+                                          const HttpRequest& request, bool hit) const {
+  // A client conditional GET against a fresh copy yields 304 directly.
+  if (not_modified_since(request, document.last_modified)) {
+    HttpResponse response;
+    response.status = 304;
+    response.reason = std::string{reason_phrase(304)};
+    response.headers.set("Last-Modified", to_http_date(document.last_modified));
+    response.headers.set("X-Cache", hit ? "HIT" : "MISS");
+    return response;
+  }
+  HttpResponse response;
+  response.status = 200;
+  response.reason = std::string{reason_phrase(200)};
+  for (const auto& header : document.headers.all()) {
+    response.headers.add(header.name, header.value);
+  }
+  response.headers.set("Last-Modified", to_http_date(document.last_modified));
+  response.headers.set("Content-Length", std::to_string(document.body.size()));
+  response.headers.set("X-Cache", hit ? "HIT" : "MISS");
+  response.body = document.body;
+  return response;
+}
+
+void ProxyCache::log_access(const HttpRequest& request, const HttpResponse& response,
+                            SimTime now) {
+  RawRequest record;
+  record.time = now;
+  record.client = "proxy-client";
+  record.method = request.method;
+  record.url = request.target;
+  record.status = response.status;
+  record.size = response.body.size();
+  log_.push_back(std::move(record));
+}
+
+HttpResponse ProxyCache::handle(const HttpRequest& request, SimTime now) {
+  ++stats_.requests;
+
+  // Non-GET traffic is forwarded untouched (a 1.0 proxy caches only GETs).
+  if (!iequals(request.method, "GET")) {
+    ++stats_.uncacheable;
+    HttpResponse response = upstream_(request, now);
+    log_access(request, response, now);
+    return response;
+  }
+
+  const UrlId url = intern(request.target);
+  const auto stored = store_.find(url);
+  if (stored != store_.end()) {
+    StoredDocument& document = stored->second;
+    const bool fresh = now - document.fetched_at <= config_.revalidate_after;
+    if (fresh) {
+      // Case (1): serve the local copy.
+      cache_->access(now, url, document.body.size(), classify_url(request.target));
+      ++stats_.hits;
+      stats_.hit_bytes += document.body.size();
+      HttpResponse response = serve_from_store(document, request, true);
+      log_access(request, response, now);
+      return response;
+    }
+
+    // Case (2): revalidate with a conditional GET.
+    ++stats_.validations;
+    HttpRequest conditional = request;
+    conditional.headers.set("If-Modified-Since", to_http_date(document.last_modified));
+    if (config_.accept_deltas) conditional.headers.set("A-IM", "wcs-delta");
+    HttpResponse upstream_response = upstream_(conditional, now);
+    if (upstream_response.status == 226 && config_.accept_deltas) {
+      // Delta update: patch the cached body instead of refetching whole.
+      const auto im = upstream_response.headers.get("IM");
+      const auto patched =
+          im && to_lower(*im).find("wcs-delta") != std::string::npos
+              ? apply_delta(document.body, upstream_response.body)
+              : std::nullopt;
+      if (patched) {
+        ++stats_.delta_updates;
+        stats_.delta_bytes += upstream_response.body.size();
+        stats_.delta_bytes_avoided += patched->size() - upstream_response.body.size();
+        StoredDocument updated;
+        updated.body = std::move(*patched);
+        updated.last_modified = last_modified_of(upstream_response).value_or(now);
+        updated.fetched_at = now;
+        // Re-admit under the new size. If the edit changed the length this
+        // is a §1.1 size-change miss whose eviction path invalidates
+        // `document`/`stored` (on_evict drops the old store entry); if the
+        // length is unchanged it is a plain hit. Either way the patched
+        // body must replace the stored one.
+        const AccessResult admitted =
+            cache_->access(now, url, updated.body.size(), classify_url(request.target));
+        ++stats_.misses;  // the document did change; clients see a fresh copy
+        stats_.miss_bytes += upstream_response.body.size();
+        HttpResponse response = serve_from_store(updated, request, false);
+        if (admitted.hit || admitted.inserted) {
+          store_[url] = std::move(updated);
+        } else {
+          store_.erase(url);  // too large to re-admit
+        }
+        log_access(request, response, now);
+        return response;
+      }
+      // Unusable delta: fall through to a full fetch.
+      upstream_response = upstream_(request, now);
+    }
+    if (upstream_response.status == 304) {
+      ++stats_.validated_fresh;
+      document.fetched_at = now;
+      cache_->access(now, url, document.body.size(), classify_url(request.target));
+      ++stats_.hits;
+      stats_.hit_bytes += document.body.size();
+      HttpResponse response = serve_from_store(document, request, true);
+      log_access(request, response, now);
+      return response;
+    }
+    // Changed (or error): drop the stale copy; fall through as a miss.
+    cache_->erase(url);  // on_evict removes the stored body
+    if (upstream_response.status == 200 && is_cacheable(request, upstream_response)) {
+      StoredDocument replacement;
+      replacement.body = upstream_response.body;
+      replacement.last_modified =
+          last_modified_of(upstream_response).value_or(now);
+      replacement.fetched_at = now;
+      // access() admits the new copy and evicts per policy (evictions drop
+      // bodies through on_evict); only then store the body.
+      const AccessResult admitted = cache_->access(
+          now, url, upstream_response.body.size(), classify_url(request.target));
+      if (admitted.inserted) store_[url] = std::move(replacement);
+    }
+    ++stats_.misses;
+    stats_.miss_bytes += upstream_response.body.size();
+    upstream_response.headers.set("X-Cache", "MISS");
+    log_access(request, upstream_response, now);
+    return upstream_response;
+  }
+
+  // Case (3): no copy — fetch from upstream.
+  HttpResponse upstream_response = upstream_(request, now);
+  ++stats_.misses;
+  stats_.miss_bytes += upstream_response.body.size();
+  if (is_cacheable(request, upstream_response)) {
+    const AccessResult admitted = cache_->access(
+        now, url, upstream_response.body.size(), classify_url(request.target));
+    if (admitted.inserted) {
+      StoredDocument document;
+      document.body = upstream_response.body;
+      document.last_modified = last_modified_of(upstream_response).value_or(now);
+      document.fetched_at = now;
+      store_[url] = std::move(document);
+    }
+  } else {
+    ++stats_.uncacheable;
+  }
+  upstream_response.headers.set("X-Cache", "MISS");
+  log_access(request, upstream_response, now);
+  return upstream_response;
+}
+
+}  // namespace wcs

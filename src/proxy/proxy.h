@@ -1,0 +1,93 @@
+// The caching proxy itself — the system the simulator models, assembled
+// from the real pieces: HTTP message handling (src/http), the removal-
+// policy cache core (src/core), and an upstream fetch function (an
+// OriginServer, another proxy, or anything callable).
+//
+// Behaviour follows the paper's §1 case analysis:
+//   (1) fresh cached copy            -> serve locally (hit)
+//   (2) possibly-stale cached copy   -> conditional GET upstream;
+//                                       304 keeps the copy (hit),
+//                                       200 replaces it (miss)
+//   (3) no copy                      -> fetch upstream (miss), cache if
+//                                       cacheable, evicting via the policy
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/http/message.h"
+#include "src/trace/trace.h"
+
+namespace wcs {
+
+class ProxyCache {
+ public:
+  using UpstreamFn = std::function<HttpResponse(const HttpRequest&, SimTime)>;
+
+  struct Config {
+    std::uint64_t capacity_bytes = 64ULL << 20;
+    /// Removal policy name (see make_policy_by_name); the paper's winner.
+    std::string policy = "size";
+    /// Serve without revalidating while a copy is younger than this; 0
+    /// forces a conditional GET on every request (maximum consistency).
+    SimTime revalidate_after = 5 * kSecondsPerMinute;
+    /// Advertise `A-IM: wcs-delta` on conditional GETs and apply `226 IM
+    /// Used` delta responses (paper §5 open problem 2).
+    bool accept_deltas = true;
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;            // served from cache (incl. after 304)
+    std::uint64_t validations = 0;     // conditional GETs sent upstream
+    std::uint64_t validated_fresh = 0; // upstream said 304
+    std::uint64_t misses = 0;
+    std::uint64_t uncacheable = 0;
+    std::uint64_t hit_bytes = 0;
+    std::uint64_t miss_bytes = 0;
+    std::uint64_t delta_updates = 0;       // 226 responses applied
+    std::uint64_t delta_bytes = 0;         // delta payload received
+    std::uint64_t delta_bytes_avoided = 0; // full-size resend avoided
+  };
+
+  ProxyCache(Config config, UpstreamFn upstream);
+
+  /// Serve one client request at time `now`.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request, SimTime now);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Cache& cache() const noexcept { return *cache_; }
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept { return cache_->used_bytes(); }
+
+  /// Common-format access log (one record per handled request).
+  [[nodiscard]] const std::vector<RawRequest>& access_log() const noexcept { return log_; }
+
+ private:
+  struct StoredDocument {
+    std::string body;
+    HeaderMap headers;
+    SimTime last_modified = 0;
+    SimTime fetched_at = 0;
+  };
+
+  [[nodiscard]] UrlId intern(const std::string& url);
+  [[nodiscard]] HttpResponse serve_from_store(const StoredDocument& document,
+                                              const HttpRequest& request, bool hit) const;
+  void log_access(const HttpRequest& request, const HttpResponse& response, SimTime now);
+
+  Config config_;
+  UpstreamFn upstream_;
+  std::unique_ptr<Cache> cache_;
+  std::unordered_map<std::string, UrlId> url_ids_;
+  std::vector<std::string> url_names_;
+  std::unordered_map<UrlId, StoredDocument> store_;
+  Stats stats_;
+  std::vector<RawRequest> log_;
+};
+
+}  // namespace wcs

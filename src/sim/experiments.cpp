@@ -1,0 +1,283 @@
+#include "src/sim/experiments.h"
+
+#include <stdexcept>
+
+#include "src/core/policy.h"
+
+namespace wcs {
+
+std::uint64_t fraction_of(std::uint64_t max_needed, double fraction) {
+  if (!(fraction > 0.0)) throw std::invalid_argument{"fraction_of: fraction <= 0"};
+  const auto capacity =
+      static_cast<std::uint64_t>(static_cast<double>(max_needed) * fraction);
+  return capacity == 0 ? 1 : capacity;
+}
+
+Experiment1Result run_experiment1(const std::string& workload, const Trace& trace) {
+  const SimResult sim = simulate_infinite(trace);
+  Experiment1Result result;
+  result.workload = workload;
+  result.max_needed = sim.max_used_bytes;
+  result.overall_hr = sim.daily.overall_hr();
+  result.overall_whr = sim.daily.overall_whr();
+  result.mean_daily_hr = sim.daily.mean_daily_hr();
+  result.mean_daily_whr = sim.daily.mean_daily_whr();
+  result.smoothed_hr = sim.daily.smoothed_hr();
+  result.smoothed_whr = sim.daily.smoothed_whr();
+  return result;
+}
+
+namespace {
+
+PolicyOutcome outcome_for(const std::string& name, const SimResult& sim,
+                          const Experiment1Result& infinite) {
+  PolicyOutcome outcome;
+  outcome.policy = name;
+  outcome.hr = sim.daily.overall_hr();
+  outcome.whr = sim.daily.overall_whr();
+  outcome.hr_ratio_curve = series_ratio(sim.daily.smoothed_hr(), infinite.smoothed_hr);
+  outcome.whr_ratio_curve = series_ratio(sim.daily.smoothed_whr(), infinite.smoothed_whr);
+  outcome.hr_pct_of_infinite = series_mean(outcome.hr_ratio_curve);
+  outcome.whr_pct_of_infinite = series_mean(outcome.whr_ratio_curve);
+  return outcome;
+}
+
+}  // namespace
+
+Experiment2Result run_experiment2(const std::string& workload, const Trace& trace,
+                                  const Experiment1Result& infinite, double cache_fraction,
+                                  const std::vector<KeySpec>& specs) {
+  Experiment2Result result;
+  result.workload = workload;
+  result.cache_fraction = cache_fraction;
+  result.capacity_bytes = fraction_of(infinite.max_needed, cache_fraction);
+  result.outcomes.reserve(specs.size());
+  for (const KeySpec& spec : specs) {
+    const SimResult sim = simulate(trace, result.capacity_bytes,
+                                   [&spec] { return make_sorted_policy(spec); });
+    result.outcomes.push_back(outcome_for(spec.name(), sim, infinite));
+  }
+  return result;
+}
+
+Experiment2Result run_experiment2_literature(const std::string& workload, const Trace& trace,
+                                             const Experiment1Result& infinite,
+                                             double cache_fraction) {
+  Experiment2Result result;
+  result.workload = workload;
+  result.cache_fraction = cache_fraction;
+  result.capacity_bytes = fraction_of(infinite.max_needed, cache_fraction);
+
+  struct Entry {
+    const char* name;
+    PolicyFactory factory;
+    PeriodicSweepConfig periodic;
+  };
+  const std::vector<Entry> entries = {
+      {"SIZE", [] { return make_size(); }, {}},
+      {"LRU-MIN", [] { return make_lru_min(); }, {}},
+      {"LRU", [] { return make_lru(); }, {}},
+      {"FIFO", [] { return make_fifo(); }, {}},
+      {"LFU", [] { return make_lfu(); }, {}},
+      {"Hyper-G", [] { return make_hyper_g(); }, {}},
+      {"Pitkow/Recker", [] { return make_pitkow_recker(); }, {}},
+      // The original schedule: also sweep at each day boundary down to a
+      // comfort level of 90% of capacity.
+      {"Pitkow/Recker+daily", [] { return make_pitkow_recker(); }, {true, 0.9}},
+      {"RANDOM", [] { return make_random(); }, {}},
+  };
+  result.outcomes.reserve(entries.size());
+  for (const Entry& entry : entries) {
+    const SimResult sim =
+        simulate(trace, result.capacity_bytes, entry.factory, entry.periodic);
+    result.outcomes.push_back(outcome_for(entry.name, sim, infinite));
+  }
+  return result;
+}
+
+SecondaryKeyResult run_secondary_key_study(const std::string& workload, const Trace& trace,
+                                           double cache_fraction, Key primary) {
+  SecondaryKeyResult result;
+  result.workload = workload;
+  result.primary = primary;
+
+  const Experiment1Result infinite = run_experiment1(workload, trace);
+  const std::uint64_t capacity = fraction_of(infinite.max_needed, cache_fraction);
+
+  // Baseline: random secondary key.
+  const SimResult baseline = simulate(trace, capacity, [primary] {
+    return make_sorted_policy(KeySpec{{primary, Key::kRandom}});
+  });
+  const OptSeries base_whr = baseline.daily.smoothed_whr();
+  const OptSeries base_hr = baseline.daily.smoothed_hr();
+
+  for (const Key secondary : kPrimaryKeys) {
+    if (secondary == primary) continue;
+    const SimResult sim = simulate(trace, capacity, [primary, secondary] {
+      return make_sorted_policy(KeySpec{{primary, secondary}});
+    });
+    SecondaryKeyOutcome outcome;
+    outcome.secondary = std::string{to_string(secondary)};
+    outcome.whr_ratio_curve = series_ratio(sim.daily.smoothed_whr(), base_whr);
+    outcome.whr_pct_of_random = series_mean(outcome.whr_ratio_curve);
+    outcome.hr_pct_of_random = series_mean(series_ratio(sim.daily.smoothed_hr(), base_hr));
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+Experiment3Result run_experiment3(const std::string& workload, const Trace& trace,
+                                  std::uint64_t max_needed, double l1_fraction) {
+  Experiment3Result result;
+  result.workload = workload;
+  result.l1_fraction = l1_fraction;
+  result.l1_capacity = fraction_of(max_needed, l1_fraction);
+
+  // L1 uses the Experiment 2 winner (SIZE, random secondary); L2 is
+  // infinite so its policy never runs.
+  const TwoLevelSimResult sim = simulate_two_level(
+      trace, result.l1_capacity, [] { return make_size(); }, [] { return make_lru(); });
+  result.l1_hr = sim.stats.l1_hit_rate();
+  result.l2_hr = sim.stats.l2_hit_rate();
+  result.l2_whr = sim.stats.l2_weighted_hit_rate();
+  result.l2_smoothed_hr = sim.l2_daily.smoothed_hr();
+  result.l2_smoothed_whr = sim.l2_daily.smoothed_whr();
+  return result;
+}
+
+Experiment4Result run_experiment4(const std::string& workload, const Trace& trace,
+                                  std::uint64_t max_needed, double cache_fraction,
+                                  const std::vector<double>& audio_fractions) {
+  Experiment4Result result;
+  result.workload = workload;
+  result.total_capacity = fraction_of(max_needed, cache_fraction);
+
+  const ClassWhrReference reference = simulate_infinite_by_class(trace);
+  result.infinite_audio_whr = reference.audio_daily.smoothed_whr();
+  result.infinite_non_audio_whr = reference.non_audio_daily.smoothed_whr();
+
+  for (const double fraction : audio_fractions) {
+    const PartitionedSimResult sim = simulate_partitioned_audio(
+        trace, result.total_capacity, fraction, [] { return make_size(); });
+    Experiment4Curve curve;
+    curve.audio_fraction = fraction;
+    curve.audio_whr = sim.audio_daily.overall_whr();
+    curve.non_audio_whr = sim.non_audio_daily.overall_whr();
+    curve.audio_smoothed_whr = sim.audio_daily.smoothed_whr();
+    curve.non_audio_smoothed_whr = sim.non_audio_daily.smoothed_whr();
+    result.curves.push_back(std::move(curve));
+  }
+  return result;
+}
+
+LatencyStudyResult run_latency_study(const std::string& workload, const Trace& trace,
+                                     std::uint64_t max_needed, double cache_fraction) {
+  LatencyStudyResult result;
+  result.workload = workload;
+  result.capacity_bytes = fraction_of(max_needed, cache_fraction);
+
+  struct Candidate {
+    const char* name;
+    KeySpec spec;
+  };
+  const std::vector<Candidate> candidates = {
+      {"SIZE", KeySpec{{Key::kSize, Key::kRandom}}},
+      {"LATENCY", KeySpec{{Key::kLatency, Key::kRandom}}},
+      {"LATENCY+SIZE", KeySpec{{Key::kLatency, Key::kSize}}},
+      {"TYPE+SIZE", KeySpec{{Key::kTypePriority, Key::kSize}}},
+      {"TYPE+ATIME", KeySpec{{Key::kTypePriority, Key::kAtime}}},
+      {"ATIME", KeySpec{{Key::kAtime, Key::kRandom}}},
+      {"NREF", KeySpec{{Key::kNref, Key::kRandom}}},
+  };
+
+  for (const Candidate& candidate : candidates) {
+    CacheConfig config;
+    config.capacity_bytes = result.capacity_bytes;
+    Cache cache{config, make_sorted_policy(candidate.spec)};
+    std::uint64_t total_latency = 0;
+    std::uint64_t saved_latency = 0;
+    for (const Request& request : trace.requests()) {
+      const AccessResult access = cache.access(request);
+      total_latency += request.latency_ms;
+      if (access.hit) saved_latency += request.latency_ms;
+    }
+    LatencyOutcome outcome;
+    outcome.policy = candidate.name;
+    outcome.hr = cache.stats().hit_rate();
+    outcome.whr = cache.stats().weighted_hit_rate();
+    outcome.latency_savings =
+        total_latency == 0
+            ? 0.0
+            : static_cast<double>(saved_latency) / static_cast<double>(total_latency);
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+SharedL2Result run_shared_l2_study(const std::string& workload, const Trace& trace,
+                                   std::uint64_t max_needed, double l1_fraction,
+                                   int groups) {
+  if (groups < 1) throw std::invalid_argument{"run_shared_l2_study: groups < 1"};
+  SharedL2Result result;
+  result.workload = workload;
+  result.groups = groups;
+  result.l1_capacity =
+      fraction_of(max_needed, l1_fraction) / static_cast<std::uint64_t>(groups);
+  if (result.l1_capacity == 0) result.l1_capacity = 1;
+
+  const auto run = [&](bool shared) {
+    std::vector<Cache> l1s;
+    std::vector<Cache> l2s;
+    l1s.reserve(static_cast<std::size_t>(groups));
+    const std::size_t l2_count = shared ? 1 : static_cast<std::size_t>(groups);
+    l2s.reserve(l2_count);
+    for (int g = 0; g < groups; ++g) {
+      CacheConfig config;
+      config.capacity_bytes = result.l1_capacity;
+      l1s.emplace_back(config, make_size());
+    }
+    for (std::size_t i = 0; i < l2_count; ++i) {
+      l2s.emplace_back(CacheConfig{}, make_lru());  // infinite
+    }
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_hit_bytes = 0;
+    std::uint64_t total_bytes = 0;
+    for (const Request& request : trace.requests()) {
+      const auto group =
+          static_cast<std::size_t>(request.client % static_cast<std::uint32_t>(groups));
+      total_bytes += request.size;
+      if (l1s[group].access(request).hit) {
+        ++l1_hits;
+        continue;
+      }
+      Cache& l2 = l2s[shared ? 0 : group];
+      if (l2.access(request).hit) {
+        ++l2_hits;
+        l2_hit_bytes += request.size;
+      }
+    }
+    const double n = static_cast<double>(trace.size());
+    struct Rates {
+      double l1_hr;
+      double l2_hr;
+      double l2_whr;
+    };
+    return Rates{n == 0 ? 0.0 : static_cast<double>(l1_hits) / n,
+                 n == 0 ? 0.0 : static_cast<double>(l2_hits) / n,
+                 total_bytes == 0 ? 0.0
+                                  : static_cast<double>(l2_hit_bytes) /
+                                        static_cast<double>(total_bytes)};
+  };
+
+  const auto shared = run(true);
+  const auto dedicated = run(false);
+  result.l1_hr = shared.l1_hr;
+  result.shared_l2_hr = shared.l2_hr;
+  result.shared_l2_whr = shared.l2_whr;
+  result.dedicated_l2_hr = dedicated.l2_hr;
+  result.dedicated_l2_whr = dedicated.l2_whr;
+  return result;
+}
+
+}  // namespace wcs

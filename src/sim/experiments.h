@@ -1,0 +1,164 @@
+// The paper's four experiments (Table 5), as reusable runners. Benches and
+// examples render the returned structures; integration tests assert the
+// paper's qualitative findings on them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/keys.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+
+namespace wcs {
+
+using OptSeries = std::vector<std::optional<double>>;
+
+// ---- Experiment 1: infinite cache (Figs 3-7, MaxNeeded table) -----------
+struct Experiment1Result {
+  std::string workload;
+  std::uint64_t max_needed = 0;  // bytes for zero replacements (§4.1)
+  double overall_hr = 0.0;
+  double overall_whr = 0.0;
+  double mean_daily_hr = 0.0;
+  double mean_daily_whr = 0.0;
+  OptSeries smoothed_hr;   // 7-recorded-day MA, per calendar day
+  OptSeries smoothed_whr;
+};
+[[nodiscard]] Experiment1Result run_experiment1(const std::string& workload,
+                                                const Trace& trace);
+
+// ---- Experiment 2: removal-policy comparison (Figs 8-12, §4.3-4.5) ------
+struct PolicyOutcome {
+  std::string policy;
+  double hr = 0.0;
+  double whr = 0.0;
+  /// Mean over days of (daily HR / infinite-cache daily HR), percent.
+  double hr_pct_of_infinite = 0.0;
+  double whr_pct_of_infinite = 0.0;
+  OptSeries hr_ratio_curve;   // the Figs 8-12 series
+  OptSeries whr_ratio_curve;
+};
+struct Experiment2Result {
+  std::string workload;
+  double cache_fraction = 0.0;     // of MaxNeeded
+  std::uint64_t capacity_bytes = 0;
+  std::vector<PolicyOutcome> outcomes;
+};
+/// Run one finite-cache simulation per KeySpec. `infinite` must be the
+/// Experiment 1 result for the same trace.
+[[nodiscard]] Experiment2Result run_experiment2(const std::string& workload,
+                                                const Trace& trace,
+                                                const Experiment1Result& infinite,
+                                                double cache_fraction,
+                                                const std::vector<KeySpec>& specs);
+
+/// Literature policies (Table 3 + LRU-MIN + Pitkow/Recker with its end-of-
+/// day sweep) under the same conditions.
+[[nodiscard]] Experiment2Result run_experiment2_literature(const std::string& workload,
+                                                           const Trace& trace,
+                                                           const Experiment1Result& infinite,
+                                                           double cache_fraction);
+
+// ---- Secondary-key study (Fig 15) ----------------------------------------
+struct SecondaryKeyOutcome {
+  std::string secondary;       // secondary key name
+  double whr_pct_of_random = 0.0;  // overall mean of the ratio curve
+  double hr_pct_of_random = 0.0;
+  OptSeries whr_ratio_curve;   // daily smoothed WHR / random-secondary WHR
+};
+struct SecondaryKeyResult {
+  std::string workload;
+  Key primary = Key::kLog2Size;
+  std::vector<SecondaryKeyOutcome> outcomes;
+};
+[[nodiscard]] SecondaryKeyResult run_secondary_key_study(const std::string& workload,
+                                                         const Trace& trace,
+                                                         double cache_fraction,
+                                                         Key primary = Key::kLog2Size);
+
+// ---- Experiment 3: two-level cache (Figs 16-18) ---------------------------
+struct Experiment3Result {
+  std::string workload;
+  double l1_fraction = 0.0;
+  std::uint64_t l1_capacity = 0;
+  double l1_hr = 0.0;
+  double l2_hr = 0.0;   // over all requests
+  double l2_whr = 0.0;  // over all bytes
+  OptSeries l2_smoothed_hr;
+  OptSeries l2_smoothed_whr;
+};
+[[nodiscard]] Experiment3Result run_experiment3(const std::string& workload,
+                                                const Trace& trace, std::uint64_t max_needed,
+                                                double l1_fraction);
+
+// ---- Experiment 4: partitioned cache (Figs 19-20) -------------------------
+struct Experiment4Curve {
+  double audio_fraction = 0.0;  // of the total cache budget
+  double audio_whr = 0.0;       // over all requests
+  double non_audio_whr = 0.0;
+  OptSeries audio_smoothed_whr;
+  OptSeries non_audio_smoothed_whr;
+};
+struct Experiment4Result {
+  std::string workload;
+  std::uint64_t total_capacity = 0;
+  OptSeries infinite_audio_whr;      // reference curves
+  OptSeries infinite_non_audio_whr;
+  std::vector<Experiment4Curve> curves;  // one per partition split
+};
+[[nodiscard]] Experiment4Result run_experiment4(const std::string& workload,
+                                                const Trace& trace, std::uint64_t max_needed,
+                                                double cache_fraction,
+                                                const std::vector<double>& audio_fractions);
+
+/// Capacity for "fraction of MaxNeeded", never zero (zero means infinite).
+[[nodiscard]] std::uint64_t fraction_of(std::uint64_t max_needed, double fraction);
+
+// ===== Extensions: the paper's §5 open problems ===========================
+
+// ---- Open problem 1: TYPE and LATENCY sorting keys ------------------------
+struct LatencyOutcome {
+  std::string policy;
+  double hr = 0.0;
+  double whr = 0.0;
+  /// Fraction of total estimated refetch latency avoided by cache hits —
+  /// the "transfer time avoided" measure §1 says the traces could not
+  /// support; the synthetic latency model supplies it.
+  double latency_savings = 0.0;
+};
+struct LatencyStudyResult {
+  std::string workload;
+  std::uint64_t capacity_bytes = 0;
+  std::vector<LatencyOutcome> outcomes;
+};
+/// Compare the extension keys (LATENCY, TYPE+SIZE) against the paper's
+/// keys on HR, WHR and latency savings.
+[[nodiscard]] LatencyStudyResult run_latency_study(const std::string& workload,
+                                                   const Trace& trace,
+                                                   std::uint64_t max_needed,
+                                                   double cache_fraction);
+
+// ---- Open problem 3: one L2 shared by several L1 caches -------------------
+struct SharedL2Result {
+  std::string workload;
+  int groups = 0;                  // number of client groups / L1 caches
+  std::uint64_t l1_capacity = 0;   // per L1
+  double l1_hr = 0.0;              // aggregate over all requests
+  double shared_l2_hr = 0.0;       // one L2 behind all L1s
+  double shared_l2_whr = 0.0;
+  double dedicated_l2_hr = 0.0;    // one private L2 per L1 (baseline)
+  double dedicated_l2_whr = 0.0;
+};
+/// Clients are partitioned into `groups` round-robin; each group owns an
+/// L1 (SIZE policy, l1_fraction of MaxNeeded split evenly). The shared
+/// configuration funnels all L1 misses into one infinite L2; the dedicated
+/// baseline gives each group its own. The difference isolates the
+/// cross-group commonality the paper asks about.
+[[nodiscard]] SharedL2Result run_shared_l2_study(const std::string& workload,
+                                                 const Trace& trace,
+                                                 std::uint64_t max_needed,
+                                                 double l1_fraction, int groups);
+
+}  // namespace wcs

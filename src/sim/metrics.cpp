@@ -1,0 +1,149 @@
+#include "src/sim/metrics.h"
+
+namespace wcs {
+
+DailySeries::Day& DailySeries::day_at(SimTime now) {
+  const auto day = static_cast<std::size_t>(day_of(now) < 0 ? 0 : day_of(now));
+  if (day >= days_.size()) days_.resize(day + 1);
+  return days_[day];
+}
+
+void DailySeries::record(SimTime now, bool hit, std::uint64_t bytes) {
+  Day& day = day_at(now);
+  ++day.requests;
+  day.bytes += bytes;
+  ++total_requests_;
+  total_bytes_ += bytes;
+  if (hit) {
+    ++day.hits;
+    day.hit_bytes += bytes;
+    ++total_hits_;
+    total_hit_bytes_ += bytes;
+  }
+}
+
+void DailySeries::record_hit_only(SimTime now, std::uint64_t bytes) {
+  Day& day = day_at(now);
+  ++day.hits;
+  day.hit_bytes += bytes;
+  ++total_hits_;
+  total_hit_bytes_ += bytes;
+}
+
+std::vector<std::optional<double>> DailySeries::daily_hr() const {
+  std::vector<std::optional<double>> out(days_.size());
+  for (std::size_t d = 0; d < days_.size(); ++d) {
+    if (days_[d].requests > 0) {
+      out[d] = static_cast<double>(days_[d].hits) / static_cast<double>(days_[d].requests);
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<double>> DailySeries::daily_whr() const {
+  std::vector<std::optional<double>> out(days_.size());
+  for (std::size_t d = 0; d < days_.size(); ++d) {
+    if (days_[d].bytes > 0) {
+      out[d] = static_cast<double>(days_[d].hit_bytes) / static_cast<double>(days_[d].bytes);
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<double>> DailySeries::smooth(bool weighted,
+                                                       std::size_t window) const {
+  std::vector<std::optional<double>> out(days_.size());
+  // Trailing window over *recorded* days, averaging their daily rates with
+  // equal weight (the paper averages rates, not pooled counts).
+  std::vector<double> recorded;
+  recorded.reserve(days_.size());
+  for (std::size_t d = 0; d < days_.size(); ++d) {
+    const Day& day = days_[d];
+    if (day.requests == 0) continue;
+    const double rate =
+        weighted ? (day.bytes > 0
+                        ? static_cast<double>(day.hit_bytes) / static_cast<double>(day.bytes)
+                        : 0.0)
+                 : static_cast<double>(day.hits) / static_cast<double>(day.requests);
+    recorded.push_back(rate);
+    if (recorded.size() >= window) {
+      double sum = 0.0;
+      for (std::size_t i = recorded.size() - window; i < recorded.size(); ++i) {
+        sum += recorded[i];
+      }
+      out[d] = sum / static_cast<double>(window);
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<double>> DailySeries::smoothed_hr(std::size_t window) const {
+  return smooth(false, window);
+}
+
+std::vector<std::optional<double>> DailySeries::smoothed_whr(std::size_t window) const {
+  return smooth(true, window);
+}
+
+double DailySeries::overall_hr() const noexcept {
+  return total_requests_ == 0
+             ? 0.0
+             : static_cast<double>(total_hits_) / static_cast<double>(total_requests_);
+}
+
+double DailySeries::overall_whr() const noexcept {
+  return total_bytes_ == 0
+             ? 0.0
+             : static_cast<double>(total_hit_bytes_) / static_cast<double>(total_bytes_);
+}
+
+double DailySeries::mean_daily_hr() const noexcept {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const Day& day : days_) {
+    if (day.requests > 0) {
+      sum += static_cast<double>(day.hits) / static_cast<double>(day.requests);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double DailySeries::mean_daily_whr() const noexcept {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const Day& day : days_) {
+    if (day.bytes > 0) {
+      sum += static_cast<double>(day.hit_bytes) / static_cast<double>(day.bytes);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::vector<std::optional<double>> series_ratio(
+    const std::vector<std::optional<double>>& numerator,
+    const std::vector<std::optional<double>>& denominator, double scale) {
+  const std::size_t n = std::min(numerator.size(), denominator.size());
+  std::vector<std::optional<double>> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (numerator[i] && denominator[i] && *denominator[i] > 0.0) {
+      out[i] = scale * *numerator[i] / *denominator[i];
+    }
+  }
+  return out;
+}
+
+double series_mean(const std::vector<std::optional<double>>& series) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& v : series) {
+    if (v) {
+      sum += *v;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace wcs

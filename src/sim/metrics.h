@@ -1,0 +1,73 @@
+// Daily hit-rate bookkeeping.
+//
+// The paper reports HR and WHR per day and plots a 7-day moving average
+// (§3.2). Workload C records nothing on non-class days; the paper averages
+// over "the previous seven *recorded* days", so the moving average here
+// runs over days that saw at least one request.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+class DailySeries {
+ public:
+  /// Record one request outcome at time `now`.
+  void record(SimTime now, bool hit, std::uint64_t bytes);
+  /// Record a second counter variant (e.g. L2 hits) — same day bucketing.
+  void record_hit_only(SimTime now, std::uint64_t bytes);
+
+  [[nodiscard]] std::int64_t day_count() const noexcept {
+    return static_cast<std::int64_t>(days_.size());
+  }
+
+  /// Daily hit rate / weighted hit rate; nullopt for unrecorded days.
+  [[nodiscard]] std::vector<std::optional<double>> daily_hr() const;
+  [[nodiscard]] std::vector<std::optional<double>> daily_whr() const;
+
+  /// 7-recorded-day trailing moving average, aligned to calendar days;
+  /// nullopt where fewer than `window` recorded days precede (the paper
+  /// plots nothing for days 0-5) or on unrecorded days.
+  [[nodiscard]] std::vector<std::optional<double>> smoothed_hr(std::size_t window = 7) const;
+  [[nodiscard]] std::vector<std::optional<double>> smoothed_whr(std::size_t window = 7) const;
+
+  [[nodiscard]] double overall_hr() const noexcept;
+  [[nodiscard]] double overall_whr() const noexcept;
+  /// Mean of per-day hit rates over recorded days — the "averaged over all
+  /// days in the trace" figure the paper quotes in its conclusions.
+  [[nodiscard]] double mean_daily_hr() const noexcept;
+  [[nodiscard]] double mean_daily_whr() const noexcept;
+
+ private:
+  struct Day {
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t hit_bytes = 0;
+  };
+  Day& day_at(SimTime now);
+  [[nodiscard]] std::vector<std::optional<double>> smooth(bool weighted,
+                                                          std::size_t window) const;
+
+  std::vector<Day> days_;
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t total_hits_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_hit_bytes_ = 0;
+};
+
+/// Elementwise ratio a/b (as percentages when scale=100), defined only
+/// where both inputs are and b > 0 — the "percent of infinite-cache HR"
+/// transformation of Figs 8-12.
+[[nodiscard]] std::vector<std::optional<double>> series_ratio(
+    const std::vector<std::optional<double>>& numerator,
+    const std::vector<std::optional<double>>& denominator, double scale = 100.0);
+
+/// Mean of the defined points of a series.
+[[nodiscard]] double series_mean(const std::vector<std::optional<double>>& series);
+
+}  // namespace wcs

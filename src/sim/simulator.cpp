@@ -1,0 +1,80 @@
+#include "src/sim/simulator.h"
+
+namespace wcs {
+
+SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
+                   const PolicyFactory& make_policy, PeriodicSweepConfig periodic) {
+  CacheConfig config;
+  config.capacity_bytes = capacity_bytes;
+  config.periodic = periodic;
+  Cache cache{config, make_policy()};
+
+  SimResult result;
+  for (const Request& request : trace.requests()) {
+    const AccessResult access = cache.access(request);
+    result.daily.record(request.time, access.hit, request.size);
+  }
+  result.stats = cache.stats();
+  result.max_used_bytes = cache.stats().max_used_bytes;
+  return result;
+}
+
+SimResult simulate_infinite(const Trace& trace) {
+  // Policy choice is irrelevant — an infinite cache never evicts.
+  return simulate(trace, 0, [] { return make_lru(); });
+}
+
+TwoLevelSimResult simulate_two_level(const Trace& trace, std::uint64_t l1_capacity,
+                                     const PolicyFactory& l1_policy,
+                                     const PolicyFactory& l2_policy) {
+  CacheConfig l1_config;
+  l1_config.capacity_bytes = l1_capacity;
+  CacheConfig l2_config;  // infinite
+  TwoLevelCache hierarchy{l1_config, l1_policy(), l2_config, l2_policy()};
+
+  TwoLevelSimResult result;
+  for (const Request& request : trace.requests()) {
+    const TwoLevelResult outcome = hierarchy.access(request);
+    result.l1_daily.record(request.time, outcome.level == HitLevel::kL1, request.size);
+    result.l2_daily.record(request.time, outcome.level == HitLevel::kL2, request.size);
+  }
+  result.stats = hierarchy.stats();
+  return result;
+}
+
+PartitionedSimResult simulate_partitioned_audio(const Trace& trace,
+                                                std::uint64_t total_capacity,
+                                                double audio_fraction,
+                                                const PolicyFactory& make_policy) {
+  PartitionedCache cache =
+      PartitionedCache::audio_split(total_capacity, audio_fraction, make_policy);
+
+  PartitionedSimResult result;
+  for (const Request& request : trace.requests()) {
+    const AccessResult access = cache.access(request);
+    const bool is_audio = request.type == FileType::kAudio;
+    // Per-class rates over *all* requests: every request contributes to
+    // both denominators; a hit counts only for its own class.
+    result.audio_daily.record(request.time, access.hit && is_audio, request.size);
+    result.non_audio_daily.record(request.time, access.hit && !is_audio, request.size);
+  }
+  result.audio_stats = cache.partition(0).stats();
+  result.non_audio_stats = cache.partition(1).stats();
+  return result;
+}
+
+ClassWhrReference simulate_infinite_by_class(const Trace& trace) {
+  CacheConfig config;  // infinite
+  Cache cache{config, make_lru()};
+
+  ClassWhrReference result;
+  for (const Request& request : trace.requests()) {
+    const AccessResult access = cache.access(request);
+    const bool is_audio = request.type == FileType::kAudio;
+    result.audio_daily.record(request.time, access.hit && is_audio, request.size);
+    result.non_audio_daily.record(request.time, access.hit && !is_audio, request.size);
+  }
+  return result;
+}
+
+}  // namespace wcs

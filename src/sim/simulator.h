@@ -1,0 +1,72 @@
+// Trace-driven proxy-cache simulator (the C++ replacement for the paper's
+// PERL discrete-event model, Appendix A). Runs a compiled Trace against a
+// single cache, a two-level hierarchy, or a partitioned cache, producing
+// the output measures the paper lists: hit rate and weighted hit rate at
+// daily intervals, final/peak cache size, and upper-level HR/WHR.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/core/cache.h"
+#include "src/core/partitioned_cache.h"
+#include "src/core/two_level.h"
+#include "src/sim/metrics.h"
+#include "src/trace/trace.h"
+
+namespace wcs {
+
+using PolicyFactory = std::function<std::unique_ptr<RemovalPolicy>()>;
+
+struct SimResult {
+  CacheStats stats;
+  DailySeries daily;
+  /// Peak cache occupancy — for an infinite cache this is MaxNeeded, the
+  /// size at which no removal would ever occur (Experiment 1).
+  std::uint64_t max_used_bytes = 0;
+};
+
+/// Run `trace` against a cache of `capacity_bytes` (0 = infinite).
+[[nodiscard]] SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
+                                 const PolicyFactory& make_policy,
+                                 PeriodicSweepConfig periodic = {});
+
+/// Infinite-cache run: the theoretical maxima of Experiment 1.
+[[nodiscard]] SimResult simulate_infinite(const Trace& trace);
+
+struct TwoLevelSimResult {
+  TwoLevelCache::HierarchyStats stats;
+  DailySeries l1_daily;
+  /// L2 daily series with *all* requests as denominator (Figs 16-18).
+  DailySeries l2_daily;
+};
+
+/// L1 finite / L2 infinite hierarchy (Experiment 3).
+[[nodiscard]] TwoLevelSimResult simulate_two_level(const Trace& trace,
+                                                   std::uint64_t l1_capacity,
+                                                   const PolicyFactory& l1_policy,
+                                                   const PolicyFactory& l2_policy);
+
+struct PartitionedSimResult {
+  /// Per-class daily series where the denominator is *all* requests
+  /// ("audio WHR is audio hit bytes over all requested bytes", §4.7).
+  DailySeries audio_daily;
+  DailySeries non_audio_daily;
+  CacheStats audio_stats;
+  CacheStats non_audio_stats;
+};
+
+/// Audio/non-audio split cache (Experiment 4).
+[[nodiscard]] PartitionedSimResult simulate_partitioned_audio(
+    const Trace& trace, std::uint64_t total_capacity, double audio_fraction,
+    const PolicyFactory& make_policy);
+
+/// Audio vs non-audio infinite-cache reference curves for Figs 19-20
+/// (the "Infinite Cache Audio WHR" line).
+struct ClassWhrReference {
+  DailySeries audio_daily;
+  DailySeries non_audio_daily;
+};
+[[nodiscard]] ClassWhrReference simulate_infinite_by_class(const Trace& trace);
+
+}  // namespace wcs

@@ -1,0 +1,113 @@
+#include "src/trace/clf.h"
+
+#include <istream>
+#include <ostream>
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+std::optional<RawRequest> parse_clf_line(std::string_view line) {
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return std::nullopt;
+
+  RawRequest out;
+
+  // remotehost
+  auto space = line.find(' ');
+  if (space == std::string_view::npos) return std::nullopt;
+  out.client = std::string{line.substr(0, space)};
+  line = trim_left(line.substr(space + 1));
+
+  // rfc931 and authuser: skip two space-delimited fields.
+  for (int i = 0; i < 2; ++i) {
+    space = line.find(' ');
+    if (space == std::string_view::npos) return std::nullopt;
+    line = trim_left(line.substr(space + 1));
+  }
+
+  // [date]
+  if (line.empty() || line.front() != '[') return std::nullopt;
+  const auto date_end = line.find(']');
+  if (date_end == std::string_view::npos) return std::nullopt;
+  if (!parse_clf_timestamp(std::string{line.substr(0, date_end + 1)}, out.time)) {
+    return std::nullopt;
+  }
+  line = trim_left(line.substr(date_end + 1));
+
+  // "request" — may contain spaces inside the URL; take the outermost quotes.
+  if (line.empty() || line.front() != '"') return std::nullopt;
+  const auto quote_end = line.rfind('"');
+  if (quote_end == 0) return std::nullopt;
+  const std::string_view request_line = line.substr(1, quote_end - 1);
+  line = trim_left(line.substr(quote_end + 1));
+
+  // request-line = method SP url [SP version]
+  {
+    const auto m_end = request_line.find(' ');
+    if (m_end == std::string_view::npos) return std::nullopt;
+    out.method = std::string{request_line.substr(0, m_end)};
+    std::string_view rest = trim(request_line.substr(m_end + 1));
+    // Strip a trailing "HTTP/x.y" token if present.
+    const auto last_space = rest.rfind(' ');
+    if (last_space != std::string_view::npos &&
+        starts_with(rest.substr(last_space + 1), "HTTP/")) {
+      rest = trim_right(rest.substr(0, last_space));
+    }
+    if (rest.empty()) return std::nullopt;
+    out.url = std::string{rest};
+  }
+
+  // status bytes
+  const auto fields = split(trim(line), ' ');
+  if (fields.size() < 2) return std::nullopt;
+  const auto status = parse_u64(fields[0]);
+  if (!status || *status < 100 || *status > 599) return std::nullopt;
+  out.status = static_cast<int>(*status);
+  const std::string_view bytes_field = fields[1];
+  if (bytes_field == "-") {
+    out.size = 0;
+  } else {
+    const auto bytes = parse_u64(bytes_field);
+    if (!bytes) return std::nullopt;
+    out.size = *bytes;
+  }
+  return out;
+}
+
+std::string format_clf_line(const RawRequest& request) {
+  std::string out;
+  out.reserve(96 + request.url.size());
+  out += request.client.empty() ? "-" : request.client;
+  out += " - - ";
+  out += to_clf_timestamp(request.time);
+  out += " \"";
+  out += request.method.empty() ? "GET" : request.method;
+  out += ' ';
+  out += request.url;
+  out += " HTTP/1.0\" ";
+  out += std::to_string(request.status);
+  out += ' ';
+  out += std::to_string(request.size);
+  return out;
+}
+
+ClfReadResult read_clf(std::istream& in) {
+  ClfReadResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    if (auto parsed = parse_clf_line(line)) {
+      result.requests.push_back(std::move(*parsed));
+    } else {
+      ++result.malformed_lines;
+    }
+  }
+  return result;
+}
+
+void write_clf(std::ostream& out, const std::vector<RawRequest>& requests) {
+  for (const auto& r : requests) out << format_clf_line(r) << '\n';
+}
+
+}  // namespace wcs

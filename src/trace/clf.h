@@ -1,0 +1,45 @@
+// Common log format (CLF) reader/writer.
+//
+// The paper's workloads U, G, C come from CERN proxy logs and BR/BL from a
+// tcpdump-decoding filter, all in NCSA/CERN "common log format":
+//
+//   remotehost rfc931 authuser [date] "request" status bytes
+//
+// e.g.  csgrad.cs.vt.edu - - [17/Sep/1995:08:01:12 +0000]
+//         "GET http://www.w3.org/pub/WWW/ HTTP/1.0" 200 2934
+//
+// The parser is tolerant of the usual real-log damage: '-' byte counts,
+// embedded spaces inside the quoted request, missing protocol versions,
+// and truncated lines (which are rejected, not mis-parsed).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace wcs {
+
+/// Parse one CLF line. Returns nullopt if the line is structurally invalid
+/// (that is different from a line that parses but fails §1.1 validation —
+/// see TraceValidator).
+[[nodiscard]] std::optional<RawRequest> parse_clf_line(std::string_view line);
+
+/// Format a RawRequest as one CLF line (no trailing newline).
+[[nodiscard]] std::string format_clf_line(const RawRequest& request);
+
+/// Parse every line of a stream; structurally invalid lines are counted and
+/// skipped. Returns parsed requests in file order.
+struct ClfReadResult {
+  std::vector<RawRequest> requests;
+  std::size_t malformed_lines = 0;
+};
+[[nodiscard]] ClfReadResult read_clf(std::istream& in);
+
+/// Write requests as a CLF stream.
+void write_clf(std::ostream& out, const std::vector<RawRequest>& requests);
+
+}  // namespace wcs

@@ -1,0 +1,59 @@
+#include "src/trace/file_type.h"
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+std::string_view to_string(FileType type) noexcept {
+  switch (type) {
+    case FileType::kGraphics: return "graphics";
+    case FileType::kText: return "text/html";
+    case FileType::kAudio: return "audio";
+    case FileType::kVideo: return "video";
+    case FileType::kCgi: return "cgi";
+    case FileType::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+FileType classify_extension(std::string_view ext) noexcept {
+  // Extension sets current in 1995-96 era logs plus their modern aliases.
+  constexpr std::string_view kGraphics[] = {"gif",  "jpg", "jpeg", "xbm", "png",
+                                            "tif",  "tiff", "bmp",  "pcx", "ppm",
+                                            "pgm",  "pbm",  "rgb",  "ico"};
+  constexpr std::string_view kText[] = {"html", "htm", "txt", "text", "ps",  "tex",
+                                        "dvi",  "doc", "shtml", "css", "xml", "md"};
+  constexpr std::string_view kAudio[] = {"au", "snd", "wav", "aif", "aiff", "mid",
+                                         "midi", "ra", "ram", "mp2", "mp3"};
+  constexpr std::string_view kVideo[] = {"mpg", "mpeg", "mpe", "mov", "qt", "avi", "fli"};
+  constexpr std::string_view kCgi[] = {"cgi", "pl", "php", "asp"};
+  for (const auto e : kGraphics) {
+    if (ext == e) return FileType::kGraphics;
+  }
+  for (const auto e : kText) {
+    if (ext == e) return FileType::kText;
+  }
+  for (const auto e : kAudio) {
+    if (ext == e) return FileType::kAudio;
+  }
+  for (const auto e : kVideo) {
+    if (ext == e) return FileType::kVideo;
+  }
+  for (const auto e : kCgi) {
+    if (ext == e) return FileType::kCgi;
+  }
+  return FileType::kUnknown;
+}
+
+FileType classify_url(std::string_view url) {
+  if (looks_dynamic(url)) return FileType::kCgi;
+  const std::string ext = url_extension(url);
+  if (ext.empty()) {
+    // Directory URLs ("/", "/foo/") serve an index HTML document.
+    if (url.empty() || url.back() == '/') return FileType::kText;
+    return FileType::kUnknown;
+  }
+  return classify_extension(ext);
+}
+
+}  // namespace wcs

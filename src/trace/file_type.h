@@ -1,0 +1,39 @@
+// The paper's file-type taxonomy (Table 4): documents are grouped by
+// filename extension into graphics, text/html, audio, video, CGI and
+// unknown. The partitioned-cache experiment (Experiment 4) splits on
+// audio vs non-audio using exactly this classification.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace wcs {
+
+enum class FileType : unsigned char {
+  kGraphics = 0,
+  kText,
+  kAudio,
+  kVideo,
+  kCgi,
+  kUnknown,
+};
+
+inline constexpr std::size_t kFileTypeCount = 6;
+
+inline constexpr std::array<FileType, kFileTypeCount> kAllFileTypes = {
+    FileType::kGraphics, FileType::kText, FileType::kAudio,
+    FileType::kVideo,    FileType::kCgi,  FileType::kUnknown,
+};
+
+/// Human-readable name matching the paper's Table 4 rows.
+[[nodiscard]] std::string_view to_string(FileType type) noexcept;
+
+/// Classify a URL by its filename extension, mirroring the grouping the
+/// paper describes ("files ending in .gif, .jpg, .jpeg, etc. are considered
+/// graphics"). Query strings and "/cgi-bin/" paths classify as CGI.
+[[nodiscard]] FileType classify_url(std::string_view url);
+
+/// Classify a bare lower-case extension ("gif" -> graphics).
+[[nodiscard]] FileType classify_extension(std::string_view extension) noexcept;
+
+}  // namespace wcs

@@ -1,0 +1,95 @@
+#include "src/trace/squid.h"
+
+#include <cmath>
+#include <istream>
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+std::optional<RawRequest> parse_squid_line(std::string_view line) {
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return std::nullopt;
+
+  // Tokenize on runs of whitespace (squid pads the elapsed column).
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  if (fields.size() < 7) return std::nullopt;
+
+  RawRequest out;
+
+  // timestamp.ms
+  {
+    const std::string_view stamp = fields[0];
+    const auto dot = stamp.find('.');
+    const auto seconds = parse_i64(dot == std::string_view::npos ? stamp : stamp.substr(0, dot));
+    if (!seconds) return std::nullopt;
+    out.time = *seconds - kUnixAtSimEpoch;
+  }
+
+  // fields[1] = elapsed ms (ignored), fields[2] = client
+  out.client = std::string{fields[2]};
+
+  // action/code, e.g. TCP_MISS/200
+  {
+    const std::string_view action = fields[3];
+    const auto slash = action.rfind('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    const auto code = parse_u64(action.substr(slash + 1));
+    if (!code || *code > 599) return std::nullopt;
+    out.status = static_cast<int>(*code);
+  }
+
+  // size
+  {
+    const auto size = parse_u64(fields[4]);
+    if (!size) return std::nullopt;
+    out.size = *size;
+  }
+
+  out.method = std::string{fields[5]};
+  out.url = std::string{fields[6]};
+  return out;
+}
+
+std::string_view detect_log_format(std::string_view first_line) {
+  first_line = trim(first_line);
+  if (first_line.empty()) return "unknown";
+  // Squid starts with a Unix timestamp ("796430640.123"); CLF starts with a
+  // hostname/IP followed by " - - [".
+  std::size_t digits = 0;
+  while (digits < first_line.size() &&
+         first_line[digits] >= '0' && first_line[digits] <= '9') {
+    ++digits;
+  }
+  if (digits >= 9 && digits < first_line.size() && first_line[digits] == '.') {
+    return "squid";
+  }
+  if (first_line.find(" [") != std::string_view::npos &&
+      first_line.find('"') != std::string_view::npos) {
+    return "clf";
+  }
+  return "unknown";
+}
+
+SquidReadResult read_squid(std::istream& in) {
+  SquidReadResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    if (auto parsed = parse_squid_line(line)) {
+      result.requests.push_back(std::move(*parsed));
+    } else {
+      ++result.malformed_lines;
+    }
+  }
+  return result;
+}
+
+}  // namespace wcs

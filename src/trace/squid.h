@@ -1,0 +1,42 @@
+// Squid native access.log support.
+//
+// Squid (the direct descendant of the Harvest cache the paper cites)
+// writes:
+//
+//   timestamp.ms elapsed client action/code size method URL ident
+//   hierarchy/from content-type
+//
+// e.g.  796430640.123    87 10.0.0.1 TCP_MISS/200 2934 GET
+//         http://www.w3.org/pub/WWW/ - DIRECT/18.23.0.23 text/html
+//
+// Parsing one converts it to the same RawRequest the CLF reader produces,
+// so the §1.1 validator and the whole simulator run unchanged on Squid
+// logs. Timestamps are Unix epoch seconds; they are rebased onto the
+// simulator's 1995-01-01 epoch.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace wcs {
+
+/// Unix time of the simulator epoch (1995-01-01T00:00:00Z).
+inline constexpr std::int64_t kUnixAtSimEpoch = 788'918'400;
+
+/// Parse one Squid native log line; nullopt if structurally invalid.
+[[nodiscard]] std::optional<RawRequest> parse_squid_line(std::string_view line);
+
+/// Detect the format of a log line: "squid", "clf", or "unknown".
+[[nodiscard]] std::string_view detect_log_format(std::string_view first_line);
+
+struct SquidReadResult {
+  std::vector<RawRequest> requests;
+  std::size_t malformed_lines = 0;
+};
+[[nodiscard]] SquidReadResult read_squid(std::istream& in);
+
+}  // namespace wcs

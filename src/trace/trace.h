@@ -1,0 +1,111 @@
+// Trace representation.
+//
+// A RawRequest is one parsed log line. A Trace is the validated, compiled
+// form the simulator consumes: URLs, servers and clients are interned to
+// dense ids so the hot simulation loop never touches strings, and every
+// request carries its resolved transfer size and file type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/file_type.h"
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+using UrlId = std::uint32_t;
+using ServerId = std::uint32_t;
+using ClientId = std::uint32_t;
+
+inline constexpr UrlId kInvalidUrl = static_cast<UrlId>(-1);
+
+/// One log line as parsed from a common-format log (before validation).
+struct RawRequest {
+  SimTime time = 0;
+  std::string client;    // remote host field
+  std::string method;    // "GET", ...
+  std::string url;       // request URL, absolute or path form
+  int status = 0;        // HTTP status code; paper keeps only 200
+  std::uint64_t size = 0;  // bytes transferred; 0 when the log said '-'
+};
+
+/// One validated, compiled request; POD, cache-friendly.
+struct Request {
+  SimTime time = 0;
+  std::uint64_t size = 0;
+  UrlId url = 0;
+  ServerId server = 0;
+  ClientId client = 0;
+  FileType type = FileType::kUnknown;
+  /// Estimated refetch latency from this document's origin (ms); 0 when
+  /// unknown (e.g. real logs). Synthetic workloads stamp it from a
+  /// per-server RTT/bandwidth model; feeds the LATENCY sorting key.
+  std::uint32_t latency_ms = 0;
+};
+
+/// Compiled trace plus the intern tables needed to map ids back to names.
+class Trace {
+ public:
+  /// Intern a URL (and its server, derived from the URL authority or the
+  /// supplied fallback) and return its id. Repeated calls are idempotent.
+  UrlId intern_url(std::string_view url);
+  ClientId intern_client(std::string_view client);
+
+  void add(Request request) { requests_.push_back(request); }
+  void reserve(std::size_t n) { requests_.reserve(n); }
+
+  [[nodiscard]] const std::vector<Request>& requests() const noexcept { return requests_; }
+  /// Mutable access for post-validation annotation (latency stamping).
+  [[nodiscard]] std::vector<Request>& mutable_requests() noexcept { return requests_; }
+  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests_.empty(); }
+
+  [[nodiscard]] std::string_view url_name(UrlId id) const noexcept { return urls_[id]; }
+  [[nodiscard]] std::string_view server_name(ServerId id) const noexcept { return servers_[id]; }
+  [[nodiscard]] std::string_view client_name(ClientId id) const noexcept { return clients_[id]; }
+  [[nodiscard]] ServerId server_of(UrlId id) const noexcept { return url_server_[id]; }
+  [[nodiscard]] FileType type_of(UrlId id) const;
+
+  [[nodiscard]] std::uint32_t url_count() const noexcept {
+    return static_cast<std::uint32_t>(urls_.size());
+  }
+  [[nodiscard]] std::uint32_t server_count() const noexcept {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+  [[nodiscard]] std::uint32_t client_count() const noexcept {
+    return static_cast<std::uint32_t>(clients_.size());
+  }
+
+  /// Number of whole days spanned: last request's day + 1 (0 if empty).
+  [[nodiscard]] std::int64_t day_count() const noexcept;
+
+  /// Total bytes across all requests.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+
+  /// Sum over unique URLs of the *last* size observed for that URL — the
+  /// footprint an infinite cache holds at the end (MaxNeeded upper bound
+  /// is computed by the simulator, which also accounts for size churn).
+  [[nodiscard]] std::uint64_t unique_bytes() const;
+
+ private:
+  ServerId intern_server(std::string_view server);
+
+  std::vector<Request> requests_;
+  std::vector<std::string> urls_;
+  std::vector<std::string> servers_;
+  std::vector<std::string> clients_;
+  std::vector<ServerId> url_server_;
+  std::unordered_map<std::string, UrlId> url_index_;
+  std::unordered_map<std::string, ServerId> server_index_;
+  std::unordered_map<std::string, ClientId> client_index_;
+};
+
+/// Extract the server (authority) part of an absolute URL, or "-" for
+/// path-only URLs. "http://a.b/c" -> "a.b".
+[[nodiscard]] std::string_view url_server(std::string_view url) noexcept;
+
+}  // namespace wcs

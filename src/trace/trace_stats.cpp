@@ -1,0 +1,138 @@
+#include "src/trace/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace wcs {
+
+double FileTypeDistribution::ref_fraction(FileType t) const noexcept {
+  if (total_refs == 0) return 0.0;
+  return static_cast<double>(refs[static_cast<std::size_t>(t)]) /
+         static_cast<double>(total_refs);
+}
+
+double FileTypeDistribution::byte_fraction(FileType t) const noexcept {
+  if (total_bytes == 0) return 0.0;
+  return static_cast<double>(bytes[static_cast<std::size_t>(t)]) /
+         static_cast<double>(total_bytes);
+}
+
+FileTypeDistribution file_type_distribution(const Trace& trace) {
+  FileTypeDistribution out;
+  for (const auto& r : trace.requests()) {
+    const auto idx = static_cast<std::size_t>(r.type);
+    out.refs[idx] += 1;
+    out.bytes[idx] += r.size;
+    out.total_refs += 1;
+    out.total_bytes += r.size;
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::uint64_t> ranked_descending(std::unordered_map<std::uint32_t, std::uint64_t>&& m) {
+  std::vector<std::uint64_t> out;
+  out.reserve(m.size());
+  for (const auto& [key, value] : m) out.push_back(value);
+  std::sort(out.begin(), out.end(), std::greater<>{});
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> requests_per_server_ranked(const Trace& trace) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (const auto& r : trace.requests()) counts[r.server] += 1;
+  return ranked_descending(std::move(counts));
+}
+
+std::vector<std::uint64_t> bytes_per_url_ranked(const Trace& trace) {
+  std::unordered_map<std::uint32_t, std::uint64_t> bytes;
+  for (const auto& r : trace.requests()) bytes[r.url] += r.size;
+  return ranked_descending(std::move(bytes));
+}
+
+double zipf_exponent_estimate(const std::vector<std::uint64_t>& ranked) {
+  // Least squares on (log rank, log count), skipping zero counts.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i] == 0) continue;
+    const double x = std::log10(static_cast<double>(i + 1));
+    const double y = std::log10(static_cast<double>(ranked[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return -(dn * sxy - sx * sy) / denom;
+}
+
+LinearHistogram request_size_histogram(const Trace& trace, double max_size, std::size_t bins) {
+  LinearHistogram hist{0.0, max_size, bins};
+  for (const auto& r : trace.requests()) hist.add(static_cast<double>(r.size));
+  return hist;
+}
+
+std::vector<InterreferenceSample> interreference_samples(const Trace& trace) {
+  std::vector<InterreferenceSample> out;
+  std::unordered_map<UrlId, SimTime> last_seen;
+  last_seen.reserve(trace.url_count());
+  for (const auto& r : trace.requests()) {
+    if (const auto it = last_seen.find(r.url); it != last_seen.end()) {
+      out.push_back({r.size, r.time - it->second});
+    }
+    last_seen[r.url] = r.time;
+  }
+  return out;
+}
+
+InterreferenceSummary summarize_interreference(
+    const std::vector<InterreferenceSample>& samples) {
+  InterreferenceSummary out;
+  out.samples = samples.size();
+  if (samples.empty()) return out;
+  std::vector<double> sizes;
+  std::vector<double> gaps;
+  sizes.reserve(samples.size());
+  gaps.reserve(samples.size());
+  double gap_sum = 0.0;
+  std::size_t over_hour = 0;
+  for (const auto& s : samples) {
+    sizes.push_back(static_cast<double>(s.size));
+    gaps.push_back(static_cast<double>(s.gap));
+    gap_sum += static_cast<double>(s.gap);
+    if (s.gap > kSecondsPerHour) ++over_hour;
+  }
+  out.median_size = percentile(sizes, 50.0);
+  out.median_gap_seconds = percentile(gaps, 50.0);
+  out.mean_gap_seconds = gap_sum / static_cast<double>(samples.size());
+  out.fraction_gap_over_hour =
+      static_cast<double>(over_hour) / static_cast<double>(samples.size());
+  return out;
+}
+
+std::size_t count_for_mass_fraction(const std::vector<std::uint64_t>& ranked, double fraction) {
+  std::uint64_t total = 0;
+  for (const auto v : ranked) total += v;
+  if (total == 0) return 0;
+  const auto target = static_cast<double>(total) * fraction;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    cumulative += static_cast<double>(ranked[i]);
+    if (cumulative >= target) return i + 1;
+  }
+  return ranked.size();
+}
+
+}  // namespace wcs

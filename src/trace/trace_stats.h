@@ -1,0 +1,69 @@
+// Workload characterization (paper §2.2): file-type distributions (Table 4),
+// per-server request concentration (Fig 1), per-URL byte concentration
+// (Fig 2), document-size histogram (Fig 13), and the size-vs-interreference
+// structure behind Fig 14.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/util/stats.h"
+
+namespace wcs {
+
+/// Table 4 row set: per file type, percentage of references and of bytes.
+struct FileTypeDistribution {
+  std::array<std::uint64_t, kFileTypeCount> refs{};
+  std::array<std::uint64_t, kFileTypeCount> bytes{};
+  std::uint64_t total_refs = 0;
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] double ref_fraction(FileType t) const noexcept;
+  [[nodiscard]] double byte_fraction(FileType t) const noexcept;
+};
+
+[[nodiscard]] FileTypeDistribution file_type_distribution(const Trace& trace);
+
+/// Rank-ordered concentration curve: element k is the count/bytes of the
+/// (k+1)-th most popular entity. Fig 1 uses requests per server; Fig 2 uses
+/// bytes per URL.
+[[nodiscard]] std::vector<std::uint64_t> requests_per_server_ranked(const Trace& trace);
+[[nodiscard]] std::vector<std::uint64_t> bytes_per_url_ranked(const Trace& trace);
+
+/// Least-squares slope of log10(count) vs log10(rank) — a Zipf exponent
+/// estimate for the ranked curves above (paper: "follows a Zipf
+/// distribution"). Returns the (negated, positive) exponent.
+[[nodiscard]] double zipf_exponent_estimate(const std::vector<std::uint64_t>& ranked);
+
+/// Fig 13: histogram of request sizes (per reference, not per unique URL).
+[[nodiscard]] LinearHistogram request_size_histogram(const Trace& trace, double max_size,
+                                                     std::size_t bins);
+
+/// One (size, interreference-seconds) sample per re-reference of a URL —
+/// the point cloud of Fig 14.
+struct InterreferenceSample {
+  std::uint64_t size;
+  SimTime gap;
+};
+[[nodiscard]] std::vector<InterreferenceSample> interreference_samples(const Trace& trace);
+
+/// Summary statistics of the Fig 14 cloud used by the benches: median size,
+/// median gap, and fraction of re-references with gap above a threshold.
+struct InterreferenceSummary {
+  double median_size = 0.0;
+  double median_gap_seconds = 0.0;
+  double mean_gap_seconds = 0.0;
+  double fraction_gap_over_hour = 0.0;
+  std::size_t samples = 0;
+};
+[[nodiscard]] InterreferenceSummary summarize_interreference(
+    const std::vector<InterreferenceSample>& samples);
+
+/// Smallest number of top-ranked entities holding at least `fraction` of
+/// the total mass (paper: "~290 of 36,771 URLs returned 50% of bytes").
+[[nodiscard]] std::size_t count_for_mass_fraction(const std::vector<std::uint64_t>& ranked,
+                                                  double fraction);
+
+}  // namespace wcs

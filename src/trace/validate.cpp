@@ -1,0 +1,57 @@
+#include "src/trace/validate.h"
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+bool TraceValidator::feed(const RawRequest& raw) {
+  ++stats_.input;
+  if (options_.keep_only_status_200 && raw.status != 200) {
+    ++stats_.dropped_status;
+    return false;
+  }
+  if (options_.keep_only_get && !iequals(raw.method, "GET")) {
+    ++stats_.dropped_method;
+    return false;
+  }
+  if (options_.exclude_dynamic && looks_dynamic(raw.url)) {
+    ++stats_.dropped_dynamic;
+    return false;
+  }
+
+  const UrlId url = trace_.intern_url(raw.url);
+  std::uint64_t size = raw.size;
+  const auto known = last_size_.find(url);
+  if (size == 0) {
+    if (known == last_size_.end()) {
+      // Rule 3, first clause: zero-size for a never-seen URL — discard.
+      ++stats_.dropped_zero_size_unknown;
+      return false;
+    }
+    size = known->second;  // assume unmodified, use last known size
+    ++stats_.zero_size_resolved;
+  } else if (known != last_size_.end() && known->second != size) {
+    ++stats_.size_changes;
+  }
+  last_size_[url] = size;
+
+  Request request;
+  request.time = raw.time;
+  request.size = size;
+  request.url = url;
+  request.server = trace_.server_of(url);
+  request.client = trace_.intern_client(raw.client);
+  request.type = classify_url(raw.url);
+  trace_.add(request);
+  ++stats_.kept;
+  return true;
+}
+
+ValidatedTrace validate(const std::vector<RawRequest>& raw, ValidationOptions options) {
+  TraceValidator validator{options};
+  for (const auto& r : raw) validator.feed(r);
+  ValidatedTrace out{validator.take_trace(), validator.stats()};
+  return out;
+}
+
+}  // namespace wcs

@@ -1,0 +1,76 @@
+// §1.1 trace validation — the exact preprocessing the paper applies before
+// simulation so that HR and WHR "are with respect to the same exact trace":
+//
+//   1. Only requests with server return code 200 are kept; client/server
+//      errors and requests satisfied by the client's own cache (304) are
+//      dropped.
+//   2. Only GET requests are kept (the simulated cache serves GETs).
+//   3. A logged size of 0 for a URL never seen before is discarded.
+//      A logged size of 0 for a URL previously seen with a non-zero size is
+//      assumed unmodified and assigned the last known size.
+//   4. Requests are stamped with their file type and interned into a Trace.
+//
+// The validator is streaming and single pass; its per-URL state (last known
+// size) is exactly the state a real simulator front-end would keep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace wcs {
+
+struct ValidationOptions {
+  bool keep_only_get = true;
+  bool keep_only_status_200 = true;
+  /// Drop dynamically generated URLs ('?', cgi paths). The paper keeps them
+  /// (CGI is a Table 4 class), so the default is false.
+  bool exclude_dynamic = false;
+};
+
+struct ValidationStats {
+  std::uint64_t input = 0;
+  std::uint64_t kept = 0;
+  std::uint64_t dropped_status = 0;
+  std::uint64_t dropped_method = 0;
+  std::uint64_t dropped_zero_size_unknown = 0;
+  std::uint64_t dropped_dynamic = 0;
+  std::uint64_t zero_size_resolved = 0;  // rule 3, second clause
+  std::uint64_t size_changes = 0;        // same URL reappearing with a new size
+};
+
+/// Streaming validator; feed RawRequests in time order, read the compiled
+/// Trace at the end.
+class TraceValidator {
+ public:
+  explicit TraceValidator(ValidationOptions options = {}) : options_(options) {}
+
+  /// Returns true if the request was kept.
+  bool feed(const RawRequest& raw);
+
+  [[nodiscard]] const ValidationStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  /// Move the compiled trace out; the validator is then empty.
+  [[nodiscard]] Trace take_trace() noexcept { return std::move(trace_); }
+
+ private:
+  ValidationOptions options_;
+  ValidationStats stats_;
+  Trace trace_;
+  std::unordered_map<UrlId, std::uint64_t> last_size_;
+};
+
+/// Convenience: validate a whole vector at once.
+struct ValidatedTrace {
+  Trace trace;
+  ValidationStats stats;
+};
+[[nodiscard]] ValidatedTrace validate(const std::vector<RawRequest>& raw,
+                                      ValidationOptions options = {});
+
+}  // namespace wcs

@@ -1,0 +1,162 @@
+#include "src/util/distributions.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wcs {
+
+namespace {
+
+/// Generalized harmonic number H_{n,s} = sum_{k=1..n} k^-s, computed exactly
+/// for small n and with the Euler-Maclaurin tail for large n.
+double generalized_harmonic(std::uint64_t n, double s) {
+  constexpr std::uint64_t kExactLimit = 1u << 16;
+  if (n <= kExactLimit) {
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) sum += std::pow(static_cast<double>(k), -s);
+    return sum;
+  }
+  double sum = generalized_harmonic(kExactLimit, s);
+  const double a = static_cast<double>(kExactLimit);
+  const double b = static_cast<double>(n);
+  // integral of x^-s over (a, b] plus trapezoid-ish correction terms.
+  double integral;
+  if (std::abs(s - 1.0) < 1e-12) {
+    integral = std::log(b / a);
+  } else {
+    integral = (std::pow(b, 1.0 - s) - std::pow(a, 1.0 - s)) / (1.0 - s);
+  }
+  sum += integral + 0.5 * (std::pow(b, -s) - std::pow(a, -s));
+  return sum;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be >= 1"};
+  if (!(s > 0.0)) throw std::invalid_argument{"ZipfSampler: s must be > 0"};
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  accept_threshold_ = 2.0 - h_inverse(h(2.5) - std::pow(2.0, -s));
+  generalized_harmonic_ = generalized_harmonic(n, s);
+}
+
+double ZipfSampler::h(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const {
+  // Hörmann-Derflinger rejection-inversion over the hat function 1/x^s.
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double k_double = static_cast<double>(k);
+    if (k_double - x <= accept_threshold_ ||
+        u >= h(k_double + 0.5) - std::pow(k_double, -s_)) {
+      return k;
+    }
+  }
+}
+
+double ZipfSampler::pmf(std::uint64_t k) const {
+  if (k < 1 || k > n_) return 0.0;
+  return std::pow(static_cast<double>(k), -s_) / generalized_harmonic_;
+}
+
+double LognormalSampler::operator()(Rng& rng) const noexcept {
+  return std::exp(mu_ + sigma_ * sample_standard_normal(rng));
+}
+
+BoundedParetoSampler::BoundedParetoSampler(double alpha, double lo, double hi) noexcept
+    : alpha_(alpha), lo_(lo), hi_(hi), lo_pow_(std::pow(lo, alpha)), hi_pow_(std::pow(hi, alpha)) {
+  assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+}
+
+double BoundedParetoSampler::operator()(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  // Inverse CDF of the bounded Pareto.
+  const double numerator = u * hi_pow_ - u * lo_pow_ - hi_pow_;
+  return std::pow(-numerator / (hi_pow_ * lo_pow_), -1.0 / alpha_);
+}
+
+double sample_standard_normal(Rng& rng) noexcept {
+  const double u1 = 1.0 - rng.uniform();  // avoid log(0)
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::uint64_t sample_poisson(Rng& rng, double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 64.0) {
+    const double limit = std::exp(-lambda);
+    double product = rng.uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= rng.uniform();
+    }
+    return count;
+  }
+  const double sample =
+      lambda + std::sqrt(lambda) * sample_standard_normal(rng) + 0.5;
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample);
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument{"DiscreteSampler: no weights"};
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument{"DiscreteSampler: negative weight"};
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument{"DiscreteSampler: zero total weight"};
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Walker's alias method (Vose's stable construction).
+  std::vector<double> scaled(n);
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::size_t i : large) probability_[i] = 1.0;
+  for (const std::size_t i : small) probability_[i] = 1.0;  // numeric residue
+}
+
+std::size_t DiscreteSampler::operator()(Rng& rng) const noexcept {
+  const std::size_t cell = static_cast<std::size_t>(rng.below(probability_.size()));
+  return rng.uniform() < probability_[cell] ? cell : alias_[cell];
+}
+
+double DiscreteSampler::probability_of(std::size_t i) const noexcept {
+  return i < normalized_.size() ? normalized_[i] : 0.0;
+}
+
+}  // namespace wcs

@@ -1,0 +1,108 @@
+// Samplers for the distributions that drive synthetic web workloads.
+//
+// The 1996 traces are lost; the workload generator (src/workload) rebuilds
+// their published *distributional* properties, which requires:
+//   - Zipf over document/server popularity (Figs 1-2 of the paper),
+//   - lognormal body + Pareto tail document sizes (Fig 13),
+//   - weighted discrete choice over file-type classes (Table 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace wcs {
+
+/// Zipf(n, s): P(k) proportional to 1/k^s for rank k in [1, n].
+///
+/// Sampling uses the rejection-inversion method of Hörmann & Derflinger
+/// ("Rejection-inversion to generate variates from monotone discrete
+/// distributions", 1996) — O(1) per draw independent of n, exact for any
+/// exponent s > 0, s != 1 handled via the generalized harmonic integral.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draw a rank in [1, n]; rank 1 is the most popular item.
+  [[nodiscard]] std::uint64_t operator()(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double s() const noexcept { return s_; }
+
+  /// Exact probability of rank k (for tests and calibration reports).
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+
+ private:
+  [[nodiscard]] double h(double x) const;         // integral of 1/x^s
+  [[nodiscard]] double h_inverse(double x) const; // inverse of h
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;             // H(1.5) - 1
+  double h_n_;              // H(n + 0.5)
+  double accept_threshold_; // 2 - H^-1(H(2.5) - 2^-s)
+  double generalized_harmonic_;
+};
+
+/// Lognormal(mu, sigma) in natural-log space, returned as a double > 0.
+class LognormalSampler {
+ public:
+  LognormalSampler(double mu, double sigma) noexcept : mu_(mu), sigma_(sigma) {}
+  [[nodiscard]] double operator()(Rng& rng) const noexcept;
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Bounded Pareto on [lo, hi] with shape alpha — the heavy tail of web
+/// document sizes (long transfers dominated by a few large audio/video
+/// files, exactly the BR-workload phenomenon the paper highlights).
+class BoundedParetoSampler {
+ public:
+  BoundedParetoSampler(double alpha, double lo, double hi) noexcept;
+  [[nodiscard]] double operator()(Rng& rng) const noexcept;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double lo_;
+  double hi_;
+  double lo_pow_;  // lo^alpha
+  double hi_pow_;  // hi^alpha
+};
+
+/// Standard normal via Box-Muller (polar form avoided for determinism of
+/// draw count: exactly two uniforms consumed per sample).
+[[nodiscard]] double sample_standard_normal(Rng& rng) noexcept;
+
+/// Poisson(lambda) sample. Uses Knuth's product method for small lambda and
+/// a normal approximation with continuity correction above 64 (daily request
+/// counts reach several thousand; exactness of the extreme tail is
+/// irrelevant there).
+[[nodiscard]] std::uint64_t sample_poisson(Rng& rng, double lambda) noexcept;
+
+/// Weighted discrete choice: returns an index with probability proportional
+/// to weights[i]. Built once (O(n) Walker alias table), sampled in O(1).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t operator()(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return probability_.size(); }
+  /// Normalized probability of index i (for tests).
+  [[nodiscard]] double probability_of(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> probability_;  // alias-table cell probability
+  std::vector<std::size_t> alias_;
+  std::vector<double> normalized_;   // true pmf, kept for probability_of
+};
+
+}  // namespace wcs

@@ -1,0 +1,22 @@
+#include "src/util/rng.h"
+
+namespace wcs {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire's multiply-shift rejection method: unbiased and needs one
+  // multiplication in the common case.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace wcs

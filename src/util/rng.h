@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// All stochastic behaviour in this library flows through Rng so that a
+// (preset, seed) pair fully determines a generated workload and therefore a
+// simulation result. The generator is xoshiro256** seeded via splitmix64,
+// which is fast, has a 2^256-1 period, and passes BigCrush; we deliberately
+// avoid std::mt19937 so results are stable across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace wcs {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit hash of a value (fmix64 from MurmurHash3). Used to derive
+/// per-entity sub-seeds so entity k's randomness is independent of iteration
+/// order.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1996'5193'c0de'cafeULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of resolution.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's unbiased method.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fork an independent stream; child streams do not perturb the parent
+  /// beyond one draw, so adding a consumer does not reshuffle later draws.
+  [[nodiscard]] Rng fork() noexcept { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace wcs

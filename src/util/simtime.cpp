@@ -1,0 +1,106 @@
+#include "src/util/simtime.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace wcs {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonths = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                                 "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+constexpr bool leap(int y) noexcept {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) noexcept {  // m in [0,11]
+  constexpr std::array<int, 12> base = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return m == 1 && leap(y) ? 29 : base[static_cast<std::size_t>(m)];
+}
+
+constexpr int kEpochYear = 1995;  // day 0 == 01/Jan/1995
+
+}  // namespace
+
+std::string to_clf_timestamp(SimTime t) {
+  std::int64_t days = day_of(t);
+  const SimTime sec = second_of_day(t);
+  int year = kEpochYear;
+  while (days >= (leap(year) ? 366 : 365)) {
+    days -= leap(year) ? 366 : 365;
+    ++year;
+  }
+  while (days < 0) {
+    --year;
+    days += leap(year) ? 366 : 365;
+  }
+  int month = 0;
+  while (days >= days_in_month(year, month)) {
+    days -= days_in_month(year, month);
+    ++month;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "[%02d/%s/%04d:%02d:%02d:%02d +0000]",
+                static_cast<int>(days) + 1, kMonths[static_cast<std::size_t>(month)], year,
+                static_cast<int>(sec / kSecondsPerHour),
+                static_cast<int>(sec % kSecondsPerHour / kSecondsPerMinute),
+                static_cast<int>(sec % kSecondsPerMinute));
+  return buf;
+}
+
+bool parse_clf_timestamp(const std::string& text, SimTime& out) {
+  int day = 0;
+  char month_name[4] = {};
+  int year = 0;
+  int hh = 0;
+  int mm = 0;
+  int ss = 0;
+  // Accept with or without the surrounding brackets and timezone.
+  const char* s = text.c_str();
+  if (*s == '[') ++s;
+  if (std::sscanf(s, "%d/%3s/%d:%d:%d:%d", &day, month_name, &year, &hh, &mm, &ss) != 6) {
+    return false;
+  }
+  int month = -1;
+  for (int m = 0; m < 12; ++m) {
+    if (std::strcmp(month_name, kMonths[static_cast<std::size_t>(m)]) == 0) {
+      month = m;
+      break;
+    }
+  }
+  if (month < 0 || day < 1 || day > days_in_month(year, month) || hh < 0 || hh > 23 ||
+      mm < 0 || mm > 59 || ss < 0 || ss > 59) {
+    return false;
+  }
+  std::int64_t days = 0;
+  if (year >= kEpochYear) {
+    for (int y = kEpochYear; y < year; ++y) days += leap(y) ? 366 : 365;
+  } else {
+    for (int y = year; y < kEpochYear; ++y) days -= leap(y) ? 366 : 365;
+  }
+  for (int m = 0; m < month; ++m) days += days_in_month(year, m);
+  days += day - 1;
+  out = days * kSecondsPerDay + hh * kSecondsPerHour + mm * kSecondsPerMinute + ss;
+  return true;
+}
+
+std::string format_duration(SimTime seconds) {
+  const std::int64_t d = seconds / kSecondsPerDay;
+  const SimTime rest = seconds % kSecondsPerDay;
+  char buf[48];
+  if (d > 0) {
+    std::snprintf(buf, sizeof buf, "%lldd %02d:%02d:%02d", static_cast<long long>(d),
+                  static_cast<int>(rest / kSecondsPerHour),
+                  static_cast<int>(rest % kSecondsPerHour / kSecondsPerMinute),
+                  static_cast<int>(rest % kSecondsPerMinute));
+  } else {
+    std::snprintf(buf, sizeof buf, "%02d:%02d:%02d", static_cast<int>(rest / kSecondsPerHour),
+                  static_cast<int>(rest % kSecondsPerHour / kSecondsPerMinute),
+                  static_cast<int>(rest % kSecondsPerMinute));
+  }
+  return buf;
+}
+
+}  // namespace wcs

@@ -1,0 +1,63 @@
+// Simulation time.
+//
+// The simulator works in whole seconds since an arbitrary workload-local
+// epoch (day 0, 00:00). The paper's policies need only two derived views:
+// absolute ordering (ETIME/ATIME keys) and the calendar day of an access
+// (DAY(ATIME) key, daily hit-rate series, Pitkow/Recker's end-of-day sweep).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wcs {
+
+/// Seconds since the workload epoch. A strong typedef would be overkill for
+/// a value that is pure arithmetic; the alias documents intent.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecondsPerMinute = 60;
+inline constexpr SimTime kSecondsPerHour = 3600;
+inline constexpr SimTime kSecondsPerDay = 86'400;
+
+/// Calendar day index of a timestamp (day 0 starts at t = 0).
+[[nodiscard]] constexpr std::int64_t day_of(SimTime t) noexcept {
+  // Floor division: negative times (never produced by the generator, but
+  // accepted from external logs) still map to the correct day.
+  const std::int64_t q = t / kSecondsPerDay;
+  return (t % kSecondsPerDay < 0) ? q - 1 : q;
+}
+
+/// First second of day d.
+[[nodiscard]] constexpr SimTime day_start(std::int64_t d) noexcept {
+  return d * kSecondsPerDay;
+}
+
+/// Seconds elapsed since the start of t's day, in [0, 86400).
+[[nodiscard]] constexpr SimTime second_of_day(SimTime t) noexcept {
+  const SimTime r = t % kSecondsPerDay;
+  return r < 0 ? r + kSecondsPerDay : r;
+}
+
+/// Day of week in [0, 6]; day 0 of a workload is defined to be a Monday=0.
+[[nodiscard]] constexpr int weekday_of(SimTime t) noexcept {
+  return static_cast<int>(day_of(t) % 7 < 0 ? day_of(t) % 7 + 7 : day_of(t) % 7);
+}
+
+[[nodiscard]] constexpr bool is_weekend(SimTime t) noexcept {
+  const int wd = weekday_of(t);
+  return wd == 5 || wd == 6;
+}
+
+/// Render as the common-log-format timestamp "[dd/Mon/yyyy:hh:mm:ss +0000]"
+/// anchored at 01/Jan/1995 for day 0 (the traces are from 1995).
+[[nodiscard]] std::string to_clf_timestamp(SimTime t);
+
+/// Parse a common-log-format timestamp back to a SimTime (inverse of
+/// to_clf_timestamp for the 1995-1996 window; tolerates any year).
+/// Returns false on malformed input.
+[[nodiscard]] bool parse_clf_timestamp(const std::string& text, SimTime& out);
+
+/// "1d 02:03:04"-style human duration, used in reports.
+[[nodiscard]] std::string format_duration(SimTime seconds);
+
+}  // namespace wcs

@@ -1,0 +1,105 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace wcs {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument{"LinearHistogram: need hi > lo and bins >= 1"};
+  }
+}
+
+void LinearHistogram::add(double value, std::uint64_t weight) noexcept {
+  auto bin = static_cast<std::int64_t>((value - lo_) / width_);
+  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double LinearHistogram::bin_hi(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double LinearHistogram::cumulative_fraction(std::size_t bin) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i <= bin && i < counts_.size(); ++i) sum += counts_[i];
+  return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+void Log2Histogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
+  const std::size_t bin = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  if (bin >= counts_.size()) counts_.resize(bin + 1, 0);
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw std::invalid_argument{"percentile: empty input"};
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<std::optional<double>> moving_average(std::span<const double> values,
+                                                  std::size_t window) {
+  if (window == 0) throw std::invalid_argument{"moving_average: window must be >= 1"};
+  std::vector<std::optional<double>> out(values.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += values[i];
+    if (i >= window) sum -= values[i - window];
+    if (i + 1 >= window) out[i] = sum / static_cast<double>(window);
+  }
+  return out;
+}
+
+double gini_coefficient(std::span<const double> masses) {
+  if (masses.empty()) return 0.0;
+  std::vector<double> sorted(masses.begin(), masses.end());
+  std::sort(sorted.begin(), sorted.end());
+  double cumulative_weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cumulative_weighted += static_cast<double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  return (2.0 * cumulative_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace wcs

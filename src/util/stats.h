@@ -1,0 +1,91 @@
+// Small statistics toolkit used by the simulator and the benches:
+// histograms (linear and log-2 binned), running mean/variance, percentiles,
+// and the 7-day moving average the paper applies to all daily hit-rate
+// curves (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wcs {
+
+/// Fixed-width linear histogram over [lo, hi); values outside are clamped
+/// into the first/last bin so totals always balance.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+  /// Fraction of total mass in bins [0, bin].
+  [[nodiscard]] double cumulative_fraction(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Power-of-two binned histogram: bin k holds values in [2^k, 2^(k+1)).
+/// Natural for document sizes spanning bytes to megabytes (paper Fig 13).
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept {
+    return bin < counts_.size() ? counts_[bin] : 0;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] static std::uint64_t bin_lo(std::size_t bin) noexcept {
+    return bin == 0 ? 0 : (1ULL << bin);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Welford online mean/variance.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (p in [0,100]) by linear interpolation; copies & sorts.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Trailing moving average of `window` points, as the paper uses for daily
+/// hit rates: output[i] = mean(input[i-window+1 .. i]); the first window-1
+/// outputs are absent (the paper plots nothing for days 0-5).
+[[nodiscard]] std::vector<std::optional<double>> moving_average(
+    std::span<const double> values, std::size_t window);
+
+/// Gini coefficient of a set of non-negative masses — a scalar summary of
+/// the "concentration" the paper observes in Figs 1-2 (0 = uniform,
+/// -> 1 = all mass on one item).
+[[nodiscard]] double gini_coefficient(std::span<const double> masses);
+
+}  // namespace wcs

@@ -1,0 +1,137 @@
+#include "src/util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+namespace wcs {
+
+namespace {
+[[nodiscard]] bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v';
+}
+[[nodiscard]] char ascii_lower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+std::string_view trim_left(std::string_view s) noexcept {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  return s;
+}
+
+std::string_view trim_right(std::string_view s) noexcept {
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::string_view trim(std::string_view s) noexcept { return trim_right(trim_left(s)); }
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out{s};
+  for (char& c : out) c = ascii_lower(c);
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) noexcept {
+  bool negative = false;
+  if (!s.empty() && s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  const auto magnitude = parse_u64(s);
+  if (!magnitude) return std::nullopt;
+  if (negative) {
+    constexpr auto kMinMagnitude =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 1;
+    if (*magnitude > kMinMagnitude) return std::nullopt;
+    // INT64_MIN cannot be produced by negating a positive int64.
+    if (*magnitude == kMinMagnitude) return std::numeric_limits<std::int64_t>::min();
+    return -static_cast<std::int64_t>(*magnitude);
+  }
+  if (*magnitude > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(*magnitude);
+}
+
+std::string url_extension(std::string_view url) {
+  // Strip scheme+authority if present so we look at the path only.
+  if (const auto scheme = url.find("://"); scheme != std::string_view::npos) {
+    const auto path_start = url.find('/', scheme + 3);
+    url = path_start == std::string_view::npos ? std::string_view{} : url.substr(path_start);
+  }
+  if (const auto q = url.find_first_of("?#"); q != std::string_view::npos) url = url.substr(0, q);
+  const auto slash = url.rfind('/');
+  const std::string_view segment = slash == std::string_view::npos ? url : url.substr(slash + 1);
+  const auto dot = segment.rfind('.');
+  if (dot == std::string_view::npos || dot + 1 == segment.size()) return {};
+  return to_lower(segment.substr(dot + 1));
+}
+
+bool looks_dynamic(std::string_view url) noexcept {
+  if (url.find('?') != std::string_view::npos) return true;
+  const std::string lower = to_lower(url);
+  return lower.find("/cgi-bin/") != std::string::npos ||
+         lower.find(".cgi") != std::string::npos ||
+         lower.find("/cgi/") != std::string::npos;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "kB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace wcs

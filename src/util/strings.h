@@ -1,0 +1,50 @@
+// String helpers shared by the log parser, HTTP parser, and report code.
+// All functions operate on string_view and never allocate unless a string
+// is the return type.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wcs {
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+[[nodiscard]] std::string_view trim_left(std::string_view s) noexcept;
+[[nodiscard]] std::string_view trim_right(std::string_view s) noexcept;
+
+/// Split on a single delimiter character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// ASCII case-insensitive equality (HTTP header names, method names).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Strict decimal unsigned parse of the whole view; rejects empty input,
+/// signs, leading '+', and overflow. Returns nullopt on any violation.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept;
+
+/// Strict decimal signed parse (optional leading '-').
+[[nodiscard]] std::optional<std::int64_t> parse_i64(std::string_view s) noexcept;
+
+/// Lower-cased filename extension of a URL path, without the dot, with any
+/// query string / fragment stripped first. "/a/b/pic.GIF?x=1" -> "gif".
+/// Empty if the last path segment has no dot.
+[[nodiscard]] std::string url_extension(std::string_view url);
+
+/// True if the URL looks dynamically generated (CGI): contains '?' or a
+/// "cgi" path segment ("/cgi-bin/", ".cgi"). Mirrors the paper's "CGI"
+/// file-type class and the non-cacheable dynamic-document rule.
+[[nodiscard]] bool looks_dynamic(std::string_view url) noexcept;
+
+/// "12.3 MB"-style human byte count for reports.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace wcs

@@ -1,0 +1,114 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace wcs {
+
+namespace {
+
+bool cell_is_numeric(const std::string& cell) {
+  if (cell.empty()) return true;
+  std::string body = cell;
+  if (!body.empty() && body.back() == '%') body.pop_back();
+  if (body.empty()) return false;
+  char* end = nullptr;
+  std::strtod(body.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::size_t columns = header_.size();
+  for (const auto& r : rows_) columns = std::max(columns, r.size());
+  if (columns == 0) return;
+
+  std::vector<std::size_t> widths(columns, 0);
+  std::vector<bool> numeric(columns, true);
+  auto scan = [&](const std::vector<std::string>& cells, bool is_header) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      widths[c] = std::max(widths[c], cells[c].size());
+      if (!is_header && !cell_is_numeric(cells[c])) numeric[c] = false;
+    }
+  };
+  scan(header_, true);
+  for (const auto& r : rows_) scan(r, false);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const auto pad = widths[c] - cell.size();
+      os << (c == 0 ? "| " : " ");
+      if (numeric[c]) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  std::size_t rule_len = 1;
+  for (const std::size_t w : widths) rule_len += w + 3;
+  const std::string rule(rule_len, '-');
+  if (!header_.empty()) {
+    emit(header_);
+    os << rule << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+void print_series(std::ostream& os, const std::string& caption,
+                  const std::vector<Series>& series) {
+  os << "# " << caption << '\n';
+  for (const auto& s : series) {
+    os << "# series: " << s.name << '\n';
+    for (const auto& [x, y] : s.points) os << x << ' ' << y << '\n';
+    os << '\n';
+  }
+}
+
+std::string sparkline(const std::vector<double>& ys, double lo, double hi) {
+  static constexpr const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                            "▅", "▆", "▇", "█"};
+  std::string out;
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (const double y : ys) {
+    const double t = std::clamp((y - lo) / span, 0.0, 1.0);
+    out += kLevels[static_cast<std::size_t>(t * 7.0 + 0.5)];
+  }
+  return out;
+}
+
+}  // namespace wcs

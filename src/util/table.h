@@ -1,0 +1,55 @@
+// Minimal ASCII table and gnuplot-series renderers for benches and examples.
+// The bench binaries print the same rows/series as the paper's tables and
+// figures; this module keeps that formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wcs {
+
+/// Column-aligned ASCII table. Cells are strings; numeric columns are
+/// right-aligned automatically (a cell is "numeric" if it parses as a
+/// double, optionally with %, or is empty).
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 2);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named series of (x, y) points, printed in a gnuplot-compatible block:
+///   # <name>
+///   x0 y0
+///   ...
+/// Missing points (the first 6 days of a 7-day moving average) are skipped.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Print several series, blank-line separated, with a figure caption line.
+void print_series(std::ostream& os, const std::string& caption,
+                  const std::vector<Series>& series);
+
+/// Compact ASCII line chart (y vs index) used so bench output conveys curve
+/// *shape* in a terminal: one row per series, sparkline-style.
+[[nodiscard]] std::string sparkline(const std::vector<double>& ys, double lo, double hi);
+
+}  // namespace wcs

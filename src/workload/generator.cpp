@@ -1,0 +1,507 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/distributions.h"
+#include "src/util/strings.h"
+
+namespace wcs {
+
+namespace {
+
+// Lognormal spread per file type: text/graphics vary over ~2 decades,
+// "unknown" (tarballs, binaries, data files) is the widest, media types are
+// comparatively tight around their large means.
+constexpr std::array<double, kFileTypeCount> kSigma = {1.5, 1.6, 0.6, 0.7, 0.8, 1.7};
+// Hard caps keep single draws from dwarfing a whole workload's byte budget.
+constexpr std::array<double, kFileTypeCount> kMaxSize = {
+    2.0e6, 4.0e6, 3.0e7, 8.0e7, 2.0e5, 3.0e7};
+constexpr double kMinSize = 64.0;
+
+constexpr std::array<const char*, kFileTypeCount> kExtension = {"gif", "html", "au",
+                                                                "mpg", "cgi",  "dat"};
+
+// Per-type multiplier on the spec's size_popularity_bias. Small-file types
+// show the strong "popular documents are small" relation (icons, front
+// pages); within media types a popular song or clip is as large as an
+// unpopular one, which is what lets NREF/ATIME beat SIZE on *weighted* hit
+// rate (paper §4.4: NREF clearly best on BR's audio-heavy bytes).
+constexpr std::array<double, kFileTypeCount> kBiasFactor = {1.0, 1.0, 0.05, 0.05, 0.5, 0.25};
+
+// Campus diurnal profile (requests per hour, relative).
+constexpr std::array<double, 24> kHourWeight = {
+    0.20, 0.10, 0.08, 0.06, 0.06, 0.10, 0.20, 0.45, 1.00, 1.60, 2.10, 2.20,
+    1.80, 2.00, 2.20, 2.30, 2.00, 1.60, 1.20, 1.20, 1.40, 1.30, 0.90, 0.50};
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec)
+    : spec_(std::move(spec)),
+      rng_(spec_.seed),
+      server_zipf_(std::max<std::uint32_t>(1, spec_.servers), spec_.server_zipf),
+      hour_sampler_(kHourWeight) {
+  if (spec_.days <= 0) throw std::invalid_argument{"WorkloadGenerator: days <= 0"};
+  if (spec_.phases.empty()) throw std::invalid_argument{"WorkloadGenerator: no phases"};
+  for (const auto& phase : spec_.phases) {
+    if (phase.first_day > phase.last_day || phase.corpus < 0) {
+      throw std::invalid_argument{"WorkloadGenerator: malformed phase"};
+    }
+  }
+  build_corpora();
+}
+
+const WorkloadPhase& WorkloadGenerator::phase_of_day(int day) const {
+  for (const auto& phase : spec_.phases) {
+    if (day >= phase.first_day && day <= phase.last_day) return phase;
+  }
+  return spec_.phases.back();
+}
+
+namespace {
+
+/// Visit ranks 1..n as (rank, multiplicity) pairs: exact for the head,
+/// geometric segments for the tail. Keeps coverage evaluation ~O(10^4)
+/// regardless of n (the Zipf pmf and the coverage integrand are smooth in
+/// the tail, so a segment midpoint stands in for its members).
+template <typename Fn>
+void for_ranks_segmented(std::uint64_t n, Fn&& fn) {
+  constexpr std::uint64_t kExactHead = 4096;
+  const std::uint64_t head = n < kExactHead ? n : kExactHead;
+  for (std::uint64_t k = 1; k <= head; ++k) fn(static_cast<double>(k), 1.0);
+  std::uint64_t a = head + 1;
+  while (a <= n) {
+    std::uint64_t b = static_cast<std::uint64_t>(static_cast<double>(a) * 1.03) + 1;
+    if (b > n + 1) b = n + 1;
+    const double width = static_cast<double>(b - a);
+    fn((static_cast<double>(a) + static_cast<double>(b - 1)) / 2.0, width);
+    a = b;
+  }
+}
+
+}  // namespace
+
+double WorkloadGenerator::zipf_coverage(std::uint64_t n, double s, double draws) {
+  double harmonic = 0.0;
+  for_ranks_segmented(n, [&](double k, double w) { harmonic += w * std::pow(k, -s); });
+  double covered = 0.0;
+  for_ranks_segmented(n, [&](double k, double w) {
+    const double p = std::pow(k, -s) / harmonic;
+    covered += w * (1.0 - std::exp(draws * std::log1p(-p)));
+  });
+  return covered;
+}
+
+std::uint64_t WorkloadGenerator::solve_population(double target, double s, double draws) {
+  if (target <= 1.0 || draws <= 1.0) return 1;
+  // Coverage can never exceed the number of draws; leave rejection headroom.
+  target = std::min(target, draws * 0.98);
+  constexpr std::uint64_t kCap = 4'000'000;
+  std::uint64_t lo = static_cast<std::uint64_t>(target);
+  std::uint64_t hi = lo;
+  while (hi < kCap && zipf_coverage(hi, s, draws) < target) {
+    lo = hi;
+    hi = std::min<std::uint64_t>(kCap, hi * 2);
+  }
+  if (zipf_coverage(hi, s, draws) < target) return hi;  // capped
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (zipf_coverage(mid, s, draws) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+void WorkloadGenerator::build_corpora() {
+  // Expected requests per day and how they route to corpora.
+  const int days = spec_.days;
+  std::vector<double> day_weight(static_cast<std::size_t>(days), 0.0);
+  double weight_sum = 0.0;
+  for (int d = 0; d < days; ++d) {
+    const auto& phase = phase_of_day(d);
+    day_weight[static_cast<std::size_t>(d)] =
+        phase.volume * spec_.weekday_weight[static_cast<std::size_t>(d % 7)];
+    weight_sum += day_weight[static_cast<std::size_t>(d)];
+  }
+  if (weight_sum <= 0.0) throw std::invalid_argument{"WorkloadGenerator: zero total volume"};
+  const double base_rate = static_cast<double>(spec_.valid_requests) / weight_sum;
+
+  // Discovery draws per corpus (review-mode requests never discover).
+  int max_corpus = 0;
+  for (const auto& phase : spec_.phases) max_corpus = std::max(max_corpus, phase.corpus);
+  std::vector<double> discovery(static_cast<std::size_t>(max_corpus) + 1, 0.0);
+  for (int d = 0; d < days; ++d) {
+    const auto& phase = phase_of_day(d);
+    const double requests = base_rate * day_weight[static_cast<std::size_t>(d)];
+    const double f = phase.fresh_corpus_fraction;
+    if (f > 0.0) {
+      discovery[static_cast<std::size_t>(phase.corpus)] += requests * f;
+      discovery[0] += requests * (1.0 - f);
+    } else {
+      discovery[0] += requests * (1.0 + f);  // f <= 0: |f| are review re-refs
+    }
+  }
+  double discovery_total = 0.0;
+  for (const double d : discovery) discovery_total += d;
+
+  corpora_.resize(discovery.size());
+  type_zipf_.clear();
+  type_mix_.clear();
+  type_zipf_.reserve(discovery.size() * kFileTypeCount);
+  for (std::size_t c = 0; c < corpora_.size(); ++c) {
+    corpora_[c].pools.resize(kFileTypeCount);
+    const double share = discovery_total > 0.0 ? discovery[c] / discovery_total : 0.0;
+    for (const FileType type : kAllFileTypes) {
+      const auto t = static_cast<std::size_t>(type);
+      const double draws = discovery[c] * spec_.ref_mix[t];
+      const double mean = std::max(200.0, spec_.mean_size(type));
+      const double target_docs = spec_.unique_bytes_of(type) * share / mean;
+      const double unique_bytes_target = spec_.unique_bytes_of(type) * share;
+      TypePool& pool = corpora_[c].pools[t];
+
+      // Materialize the pool, iterating its population so that the
+      // *expected touched bytes* — sum over ranks of P(touched within
+      // `draws` samples) x size — hits the unique-byte target. One pass
+      // would miss because the size-popularity pairing below makes touched
+      // (popular) documents systematically smaller than the plain mean.
+      double lambda = 1.0;
+      for (int iteration = 0; iteration < 3; ++iteration) {
+        const std::uint64_t population = std::max<std::uint64_t>(
+            1, solve_population(target_docs * lambda, spec_.url_zipf, draws));
+        pool.population = population;
+        pool.docs.assign(population, Doc{});
+        ZipfSampler zipf{population, spec_.url_zipf};
+
+        // 1. Draw lognormal sizes, normalize their plain mean to the
+        //    Table 4 mean.
+        std::vector<double> draws_raw(population);
+        double plain_mean = 0.0;
+        for (std::uint64_t rank = 1; rank <= population; ++rank) {
+          const std::uint64_t doc_key =
+              mix64(spec_.seed ^ (static_cast<std::uint64_t>(c) << 48) ^
+                    (static_cast<std::uint64_t>(t) << 40) ^ rank);
+          draws_raw[rank - 1] = static_cast<double>(draw_size(type, doc_key));
+          plain_mean += draws_raw[rank - 1];
+        }
+        plain_mean /= static_cast<double>(population);
+        if (plain_mean > 0.0) {
+          const double norm = mean / plain_mean;
+          for (double& v : draws_raw) v *= norm;
+        }
+
+        // 2. Pair sizes with popularity ranks through a *noisy sort*: rank
+        //    k's pairing key blends its normalized log-rank with uniform
+        //    noise, so popular documents tend to get the small sizes
+        //    (strength = size_popularity_bias x per-type factor) without a
+        //    hard deterministic mapping.
+        std::sort(draws_raw.begin(), draws_raw.end());
+        const double bias =
+            std::clamp(spec_.size_popularity_bias * kBiasFactor[t], 0.0, 1.0);
+        Rng pair_rng{mix64(spec_.seed ^ (static_cast<std::uint64_t>(c) << 44) ^
+                           (static_cast<std::uint64_t>(t) << 36) ^ 0xbeadULL)};
+        const double log_n = std::log(static_cast<double>(population) + 1.0);
+        std::vector<std::uint32_t> rank_order(population);
+        std::vector<double> pair_key(population);
+        for (std::uint64_t i = 0; i < population; ++i) {
+          rank_order[i] = static_cast<std::uint32_t>(i);
+          pair_key[i] = bias * (std::log(static_cast<double>(i) + 1.0) / log_n) +
+                        (1.0 - bias) * pair_rng.uniform();
+        }
+        std::sort(rank_order.begin(), rank_order.end(),
+                  [&](std::uint32_t a, std::uint32_t b) { return pair_key[a] < pair_key[b]; });
+        std::vector<double> assigned(population);
+        for (std::uint64_t i = 0; i < population; ++i) {
+          assigned[rank_order[i]] = draws_raw[i];  // i-th smallest size
+        }
+
+        // 3. Rescale so the popularity-weighted mean transfer size is
+        //    exactly the Table 4 mean — otherwise total bytes would be a
+        //    lottery on the sizes of the top-ranked documents (BR has ~100
+        //    audio documents carrying 88% of all bytes).
+        double weighted_mean = 0.0;
+        for (std::uint64_t rank = 1; rank <= population; ++rank) {
+          weighted_mean += zipf.pmf(rank) * assigned[rank - 1];
+        }
+        const double scale = weighted_mean > 0.0 ? mean / weighted_mean : 1.0;
+        const double cap = std::min(kMaxSize[t], mean * 50.0) * 2.0;
+        double expected_touched_bytes = 0.0;
+        for (std::uint64_t rank = 1; rank <= population; ++rank) {
+          const double size = std::clamp(assigned[rank - 1] * scale, kMinSize, cap);
+          pool.docs[rank - 1].current_size = static_cast<std::uint64_t>(size);
+          const double p_touch = 1.0 - std::exp(draws * std::log1p(-zipf.pmf(rank)));
+          expected_touched_bytes += p_touch * size;
+        }
+
+        if (unique_bytes_target <= 0.0 || expected_touched_bytes <= 0.0) break;
+        const double error = expected_touched_bytes / unique_bytes_target;
+        if (error > 0.95 && error < 1.05) break;
+        lambda = std::clamp(lambda / error, 0.1, 10.0);
+      }
+      type_zipf_.emplace_back(pool.population, spec_.url_zipf);
+    }
+    type_mix_.emplace_back(std::span<const double>{spec_.ref_mix.data(), kFileTypeCount});
+  }
+}
+
+std::uint64_t WorkloadGenerator::draw_size(FileType type, std::uint64_t doc_key) const {
+  const auto t = static_cast<std::size_t>(type);
+  const double sigma = kSigma[t];
+  const double mean = std::max(200.0, spec_.mean_size(type));
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  Rng doc_rng{mix64(doc_key ^ 0x517e'd0c5ULL)};
+  const double raw = LognormalSampler{mu, sigma}(doc_rng);
+  // The 50x-mean cap bounds the damage any single tail draw can do to a
+  // small pool's realized byte volume (one 100 MB "unknown" file would
+  // otherwise dwarf a workload whose whole unknown budget is ~10 MB).
+  return static_cast<std::uint64_t>(
+      std::clamp(raw, kMinSize, std::min(kMaxSize[t], mean * 50.0)));
+}
+
+std::uint32_t WorkloadGenerator::server_of_doc(std::uint64_t doc_key) const {
+  Rng doc_rng{mix64(doc_key ^ 0x5e47e3ULL)};
+  return static_cast<std::uint32_t>(server_zipf_(doc_rng));
+}
+
+std::string WorkloadGenerator::url_of(int corpus, FileType type, std::uint32_t rank) const {
+  const std::uint64_t doc_key =
+      mix64(spec_.seed ^ (static_cast<std::uint64_t>(corpus) << 48) ^
+            (static_cast<std::uint64_t>(type) << 40) ^ rank);
+  std::string url = "http://srv";
+  url += std::to_string(server_of_doc(doc_key));
+  url += '.';
+  url += to_lower(spec_.name);
+  url += ".example/c";
+  url += std::to_string(corpus);
+  url += "/t";
+  url += std::to_string(static_cast<int>(type));
+  url += "/d";
+  url += std::to_string(rank);
+  url += '.';
+  url += kExtension[static_cast<std::size_t>(type)];
+  return url;
+}
+
+std::string WorkloadGenerator::client_name(std::uint32_t client) const {
+  std::string name = "client";
+  name += std::to_string(client);
+  name += '.';
+  name += to_lower(spec_.name);
+  name += ".example";
+  return name;
+}
+
+WorkloadGenerator::Emission WorkloadGenerator::draw_request(SimTime now, int corpus_id,
+                                                            bool review) {
+  auto& corpus = corpora_[static_cast<std::size_t>(corpus_id)];
+  const std::size_t type_index = type_mix_[static_cast<std::size_t>(corpus_id)](rng_);
+  const auto type = static_cast<FileType>(type_index);
+  auto& pool = corpus.pools[type_index];
+  ZipfSampler& zipf =
+      type_zipf_[static_cast<std::size_t>(corpus_id) * kFileTypeCount + type_index];
+
+  std::uint32_t rank = 0;
+  if (review && !pool.seen_ranks.empty()) {
+    // Re-reference only: re-draw until hitting a seen document (popular
+    // ranks are seen early, so this converges fast); fall back to a uniform
+    // pick from the seen set.
+    bool found = false;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto candidate = static_cast<std::uint32_t>(zipf(rng_));
+      if (pool.docs[candidate - 1].seen) {
+        rank = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      rank = pool.seen_ranks[rng_.below(pool.seen_ranks.size())];
+    }
+  } else {
+    rank = static_cast<std::uint32_t>(zipf(rng_));
+  }
+
+  Doc& doc = pool.docs[rank - 1];
+  if (!doc.seen) {
+    doc.seen = true;
+    pool.seen_ranks.push_back(rank);
+  } else if (rng_.chance(spec_.modification_rate)) {
+    // The origin document was modified; almost any real edit changes the
+    // length (§1.1), so force a strictly different size. The factor is
+    // symmetric in log space — repeated edits must not drift a popular
+    // document's size upward.
+    const double factor = std::exp(rng_.uniform(-0.18, 0.18));
+    auto resized = static_cast<std::uint64_t>(
+        std::clamp(static_cast<double>(doc.current_size) * factor, kMinSize,
+                   kMaxSize[type_index]));
+    if (resized == doc.current_size) ++resized;
+    doc.current_size = resized;
+  }
+
+  Emission emission;
+  emission.time = now;
+  emission.corpus = corpus_id;
+  emission.type = type;
+  emission.rank = rank;
+  emission.size = doc.current_size;
+  emission.client = static_cast<std::uint32_t>(rng_.below(std::max(1u, spec_.clients)));
+  return emission;
+}
+
+template <typename Sink>
+void WorkloadGenerator::run(Sink&& sink) {
+  // Recompute the per-day rate normalization (cheap, keeps state local).
+  std::vector<double> day_weight(static_cast<std::size_t>(spec_.days), 0.0);
+  double weight_sum = 0.0;
+  for (int d = 0; d < spec_.days; ++d) {
+    const auto& phase = phase_of_day(d);
+    day_weight[static_cast<std::size_t>(d)] =
+        phase.volume * spec_.weekday_weight[static_cast<std::size_t>(d % 7)];
+    weight_sum += day_weight[static_cast<std::size_t>(d)];
+  }
+  const double base_rate = static_cast<double>(spec_.valid_requests) / weight_sum;
+
+  std::uint64_t missing_counter = 0;
+  std::uint64_t zero_counter = 0;
+  // Ring of recently seen documents for 304-style noise.
+  std::vector<Emission> recent;
+  constexpr std::size_t kRecentCap = 512;
+
+  for (int d = 0; d < spec_.days; ++d) {
+    const auto& phase = phase_of_day(d);
+    const double expected = base_rate * day_weight[static_cast<std::size_t>(d)];
+    const auto count = sample_poisson(rng_, expected);
+    if (count == 0) continue;
+
+    // Times for the day, sorted.
+    std::vector<SimTime> times;
+    times.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto hour = static_cast<SimTime>(hour_sampler_(rng_));
+      times.push_back(day_start(d) + hour * kSecondsPerHour +
+                      static_cast<SimTime>(rng_.below(kSecondsPerHour)));
+    }
+    std::sort(times.begin(), times.end());
+
+    for (const SimTime now : times) {
+      // Route to corpus / review mode per the day's phase.
+      const double f = phase.fresh_corpus_fraction;
+      int corpus_id = 0;
+      bool review = false;
+      if (f > 0.0 && rng_.chance(f)) {
+        corpus_id = phase.corpus;
+      } else if (f < 0.0 && rng_.chance(-f)) {
+        review = true;
+      }
+      const Emission emission = draw_request(now, corpus_id, review);
+
+      RawRequest raw;
+      raw.time = emission.time;
+      raw.client = client_name(emission.client);
+      raw.method = "GET";
+      raw.url = url_of(emission.corpus, emission.type, emission.rank);
+      raw.status = 200;
+      raw.size = emission.size;
+      sink(raw);
+
+      if (recent.size() < kRecentCap) {
+        recent.push_back(emission);
+      } else {
+        recent[rng_.below(kRecentCap)] = emission;
+      }
+
+      // Interleave log noise (dropped by the §1.1 validator).
+      if (!recent.empty() && rng_.chance(spec_.noise_not_modified)) {
+        const Emission& seen = recent[rng_.below(recent.size())];
+        RawRequest noise = raw;
+        noise.url = url_of(seen.corpus, seen.type, seen.rank);
+        noise.status = 304;
+        noise.size = 0;
+        sink(noise);
+      }
+      if (rng_.chance(spec_.noise_client_error)) {
+        RawRequest noise = raw;
+        noise.url = "http://srv1." + to_lower(spec_.name) + ".example/missing/m" +
+                    std::to_string(missing_counter++) + ".html";
+        noise.status = 404;
+        noise.size = 0;
+        sink(noise);
+      }
+      if (rng_.chance(spec_.noise_server_error)) {
+        RawRequest noise = raw;
+        noise.status = 500;
+        noise.size = 0;
+        sink(noise);
+      }
+      if (rng_.chance(spec_.noise_non_get)) {
+        RawRequest noise = raw;
+        noise.method = "POST";
+        noise.url = "http://srv1." + to_lower(spec_.name) + ".example/cgi-bin/form.cgi";
+        noise.status = 200;
+        noise.size = 512;
+        sink(noise);
+      }
+      if (rng_.chance(spec_.noise_zero_unknown)) {
+        RawRequest noise = raw;
+        noise.url = "http://srv2." + to_lower(spec_.name) + ".example/zero/z" +
+                    std::to_string(zero_counter++) + ".html";
+        noise.status = 200;
+        noise.size = 0;
+        sink(noise);
+      }
+    }
+  }
+}
+
+std::vector<RawRequest> WorkloadGenerator::generate_raw() {
+  std::vector<RawRequest> out;
+  out.reserve(static_cast<std::size_t>(static_cast<double>(spec_.valid_requests) * 1.1));
+  run([&out](const RawRequest& raw) { out.push_back(raw); });
+  return out;
+}
+
+std::uint32_t WorkloadGenerator::estimate_refetch_latency_ms(std::uint64_t server_key,
+                                                             std::uint64_t size_bytes) {
+  const std::uint64_t h = mix64(server_key ^ 0x1a7e'c0ffULL);
+  const bool distant = (h % 100) < 30;  // ~30% of servers are far away
+  // RTT in ms; bandwidth in bytes/ms (i.e. kB/s / 1000 * 1024 ~ kB/ms).
+  const std::uint32_t rtt_ms =
+      distant ? 120 + static_cast<std::uint32_t>(h >> 8) % 280   // 120-399 ms
+              : 5 + static_cast<std::uint32_t>(h >> 8) % 55;     // 5-59 ms
+  const std::uint64_t bytes_per_ms =
+      distant ? 5 + (h >> 40) % 35     // ~5-40 kB/s
+              : 50 + (h >> 40) % 450;  // ~50-500 kB/s
+  const std::uint64_t transfer_ms = size_bytes / bytes_per_ms;
+  constexpr std::uint64_t kCap = 10'000'000;  // 10,000 s: keep uint32-safe
+  const std::uint64_t total = rtt_ms + std::min<std::uint64_t>(transfer_ms, kCap);
+  return static_cast<std::uint32_t>(total);
+}
+
+GeneratedWorkload WorkloadGenerator::generate() {
+  TraceValidator validator;
+  run([&validator](const RawRequest& raw) { validator.feed(raw); });
+  GeneratedWorkload out{spec_, validator.take_trace(), validator.stats()};
+  // Stamp refetch-latency estimates (per-server model, deterministic in
+  // the server name — FNV-1a, stable across platforms — so real-log
+  // replays could do the same).
+  const auto fnv1a = [](std::string_view text) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  };
+  for (Request& request : out.trace.mutable_requests()) {
+    const std::uint64_t server_key = fnv1a(out.trace.server_name(request.server));
+    request.latency_ms = estimate_refetch_latency_ms(server_key, request.size);
+  }
+  return out;
+}
+
+}  // namespace wcs

@@ -1,0 +1,109 @@
+// Synthetic trace generator.
+//
+// Model: each (corpus, file type) pair owns a finite URL population of size
+// N sampled by rank from Zipf(N, s). N is solved numerically so that the
+// *expected Zipf coverage* — E[unique URLs touched after R draws] — times
+// the type's mean document size equals the type's unique-byte target. The
+// finite corpus gives the two behaviours the paper's experiments rest on:
+//   - concentration: few URLs/servers receive most requests (Figs 1-2), and
+//   - declining discovery: early days fill the cache, later days re-visit,
+//     so infinite-cache daily hit rates climb toward a plateau (Figs 3-7).
+// Document sizes are lognormal per type with the mean derived from Table 4
+// (see spec.h); re-references occasionally change a document's size, which
+// the §1.1 rules turn into consistency misses.
+//
+// Everything is deterministic given the spec (including its seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/trace/validate.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+#include "src/workload/spec.h"
+
+namespace wcs {
+
+struct GeneratedWorkload {
+  WorkloadSpec spec;
+  Trace trace;              // validated, compiled
+  ValidationStats validation;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadSpec spec);
+
+  /// Full raw log (valid requests plus the spec's noise records), in time
+  /// order, as a CERN/NCSA common-format log would contain.
+  [[nodiscard]] std::vector<RawRequest> generate_raw();
+
+  /// Generate and validate in one pass (no raw-log materialization).
+  [[nodiscard]] GeneratedWorkload generate();
+
+  /// Expected unique URLs after `draws` samples from Zipf(n, s) — the
+  /// coverage function the corpus sizing inverts. Exposed for tests.
+  [[nodiscard]] static double zipf_coverage(std::uint64_t n, double s, double draws);
+
+  /// Smallest population n with zipf_coverage(n, s, draws) >= target
+  /// (clamped to target when even n -> infinity cannot reach it, i.e.
+  /// target > draws). Exposed for tests.
+  [[nodiscard]] static std::uint64_t solve_population(double target, double s, double draws);
+
+  /// Refetch-latency model (paper §5 open problem 1): deterministic
+  /// per-server RTT and bandwidth (a ~30% minority of servers are
+  /// "distant" — the transatlantic case the paper describes — with high
+  /// RTT and low bandwidth), plus a size/bandwidth transfer term.
+  [[nodiscard]] static std::uint32_t estimate_refetch_latency_ms(std::uint64_t server_key,
+                                                                 std::uint64_t size_bytes);
+
+ private:
+  struct Doc {
+    std::uint64_t current_size = 0;  // 0 = not yet materialized
+    bool seen = false;
+  };
+  struct TypePool {
+    std::uint64_t population = 0;
+    std::vector<Doc> docs;           // index = rank-1
+    std::vector<std::uint32_t> seen_ranks;  // ranks touched so far (review mode)
+  };
+  struct Corpus {
+    std::vector<TypePool> pools;     // one per FileType
+  };
+
+  // One emitted request (pre-noise), before string materialization.
+  struct Emission {
+    SimTime time;
+    int corpus;
+    FileType type;
+    std::uint32_t rank;      // 1-based Zipf rank within (corpus, type)
+    std::uint64_t size;
+    std::uint32_t client;
+  };
+
+  void build_corpora();
+  [[nodiscard]] double phase_weight_sum() const;
+  [[nodiscard]] const WorkloadPhase& phase_of_day(int day) const;
+  /// Draw one document reference for the given corpus/type, honoring
+  /// review mode; materializes the doc and applies size modifications.
+  [[nodiscard]] Emission draw_request(SimTime now, int corpus_id, bool review);
+  [[nodiscard]] std::string url_of(int corpus, FileType type, std::uint32_t rank) const;
+  [[nodiscard]] std::string client_name(std::uint32_t client) const;
+  [[nodiscard]] std::uint64_t draw_size(FileType type, std::uint64_t doc_key) const;
+  [[nodiscard]] std::uint32_t server_of_doc(std::uint64_t doc_key) const;
+
+  template <typename Sink>
+  void run(Sink&& sink);  // drives generation, calling sink(RawRequest)
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::vector<Corpus> corpora_;
+  std::vector<ZipfSampler> type_zipf_;      // per corpus*type sampler storage
+  std::vector<DiscreteSampler> type_mix_;   // per corpus: type chooser
+  ZipfSampler server_zipf_;
+  DiscreteSampler hour_sampler_;
+};
+
+}  // namespace wcs

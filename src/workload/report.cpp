@@ -1,0 +1,72 @@
+#include "src/workload/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "src/trace/trace_stats.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace wcs {
+
+double WorkloadReport::worst_relative_error() const noexcept {
+  const auto rel = [](double actual, double target) {
+    return target == 0.0 ? 0.0 : std::abs(actual - target) / target;
+  };
+  double worst = rel(static_cast<double>(requests_actual), static_cast<double>(requests_target));
+  worst = std::max(worst, rel(static_cast<double>(bytes_actual),
+                              static_cast<double>(bytes_target)));
+  worst = std::max(worst, rel(static_cast<double>(unique_bytes_actual),
+                              static_cast<double>(unique_bytes_target)));
+  return worst;
+}
+
+WorkloadReport make_report(const WorkloadSpec& spec, const Trace& trace) {
+  WorkloadReport report;
+  report.workload = spec.name;
+  report.days_target = spec.days;
+  report.days_actual = trace.day_count();
+  report.requests_target = spec.valid_requests;
+  report.requests_actual = trace.size();
+  report.bytes_target = spec.total_bytes;
+  report.bytes_actual = trace.total_bytes();
+  report.unique_bytes_target = spec.unique_bytes;
+  report.unique_bytes_actual = trace.unique_bytes();
+  report.unique_urls = trace.url_count();
+  report.servers = trace.server_count();
+  report.ref_mix_target = spec.ref_mix;
+  report.byte_mix_target = spec.byte_mix;
+
+  const FileTypeDistribution dist = file_type_distribution(trace);
+  for (const FileType type : kAllFileTypes) {
+    const auto i = static_cast<std::size_t>(type);
+    report.ref_mix_actual[i] = dist.ref_fraction(type);
+    report.byte_mix_actual[i] = dist.byte_fraction(type);
+  }
+  return report;
+}
+
+void print_report(std::ostream& os, const WorkloadReport& report) {
+  Table table{"Workload " + report.workload + ": generated vs paper"};
+  table.header({"metric", "paper", "generated"});
+  table.row({"days", std::to_string(report.days_target), std::to_string(report.days_actual)});
+  table.row({"valid requests", std::to_string(report.requests_target),
+             std::to_string(report.requests_actual)});
+  table.row({"bytes transferred", format_bytes(report.bytes_target),
+             format_bytes(report.bytes_actual)});
+  table.row({"unique bytes (MaxNeeded)", format_bytes(report.unique_bytes_target),
+             format_bytes(report.unique_bytes_actual)});
+  table.row({"unique URLs", "", std::to_string(report.unique_urls)});
+  table.row({"servers", "", std::to_string(report.servers)});
+  for (const FileType type : kAllFileTypes) {
+    const auto i = static_cast<std::size_t>(type);
+    table.row({std::string{to_string(type)} + " %refs",
+               Table::pct(report.ref_mix_target[i]), Table::pct(report.ref_mix_actual[i])});
+    table.row({std::string{to_string(type)} + " %bytes",
+               Table::pct(report.byte_mix_target[i]), Table::pct(report.byte_mix_actual[i])});
+  }
+  table.print(os);
+}
+
+}  // namespace wcs

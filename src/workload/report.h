@@ -1,0 +1,41 @@
+// Calibration report: generated-trace statistics side by side with the
+// paper's published targets. Every bench prints this before its results so
+// a reader can judge how faithful the synthetic workload is.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/workload/spec.h"
+
+namespace wcs {
+
+struct WorkloadReport {
+  std::string workload;
+  std::int64_t days_target = 0;
+  std::int64_t days_actual = 0;
+  std::uint64_t requests_target = 0;
+  std::uint64_t requests_actual = 0;
+  std::uint64_t bytes_target = 0;
+  std::uint64_t bytes_actual = 0;
+  std::uint64_t unique_bytes_target = 0;
+  std::uint64_t unique_bytes_actual = 0;
+  std::uint32_t unique_urls = 0;
+  std::uint32_t servers = 0;
+  std::array<double, kFileTypeCount> ref_mix_target{};
+  std::array<double, kFileTypeCount> ref_mix_actual{};
+  std::array<double, kFileTypeCount> byte_mix_target{};
+  std::array<double, kFileTypeCount> byte_mix_actual{};
+
+  /// Largest relative error across requests / bytes / unique bytes —
+  /// a single scalar fidelity check used by integration tests.
+  [[nodiscard]] double worst_relative_error() const noexcept;
+};
+
+[[nodiscard]] WorkloadReport make_report(const WorkloadSpec& spec, const Trace& trace);
+
+/// Render as an aligned comparison table.
+void print_report(std::ostream& os, const WorkloadReport& report);
+
+}  // namespace wcs

@@ -1,0 +1,110 @@
+// Workload specifications.
+//
+// The five 1995 Virginia Tech traces (U, G, C, BR, BL) are lost; each
+// WorkloadSpec encodes every statistic the paper publishes about one of
+// them — duration, valid request count, bytes transferred, unique-byte
+// footprint (MaxNeeded, §4.1), the Table 4 file-type mix, concentration
+// (Figs 1-2), and the temporal phases §2.2/§4.1 describe (semester break,
+// fall-surge, 4-class-days-per-week, exam review) — and the generator
+// synthesizes a trace matching them.
+//
+// Derived quantities used by the generator:
+//   mean transfer size of type t   m_t = byte%_t * bytes / (ref%_t * reqs)
+//   unique-byte target of type t   U_t = byte%_t * unique_bytes
+// so matching Table 4 automatically reproduces the byte-volume skew
+// ("audio is 3% of refs but 88% of bytes in BR") the paper highlights.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/file_type.h"
+
+namespace wcs {
+
+/// A contiguous run of days with its own activity level and corpus mixing.
+struct WorkloadPhase {
+  int first_day = 0;             // inclusive
+  int last_day = 0;              // inclusive
+  double volume = 1.0;           // relative request-rate multiplier
+  /// Positive f: fraction of the phase's requests drawn from the phase's
+  /// *fresh* corpus instead of the base corpus — models population change
+  /// (the fall influx of new users in workload U permanently depresses hit
+  /// rates, Fig 3). Negative f: *review mode* — with probability |f| a
+  /// request is forced to re-reference an already-seen document (end-of-
+  /// semester exam review in workloads G and C, Figs 4-5).
+  double fresh_corpus_fraction = 0.0;
+  int corpus = 0;                // corpus id; 0 is the base corpus
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::string description;
+
+  int days = 30;
+  std::uint64_t valid_requests = 10'000;     // target size after §1.1 validation
+  std::uint64_t total_bytes = 100'000'000;   // target bytes transferred
+  std::uint64_t unique_bytes = 50'000'000;   // target footprint (MaxNeeded)
+
+  /// Table 4 row for this workload, as fractions summing to ~1. Order
+  /// follows FileType: graphics, text, audio, video, cgi, unknown.
+  std::array<double, kFileTypeCount> ref_mix{};
+  std::array<double, kFileTypeCount> byte_mix{};
+
+  std::uint32_t servers = 100;      // server population (Fig 1)
+  double server_zipf = 1.0;         // Zipf exponent over servers
+  double url_zipf = 0.75;           // Zipf exponent over URL popularity
+  std::uint32_t clients = 30;
+
+  /// Per-day relative weight for each weekday, Monday=0. Workload C meets
+  /// four days a week; weekends are quiet everywhere.
+  std::array<double, 7> weekday_weight{1, 1, 1, 1, 1, 0.55, 0.6};
+
+  std::vector<WorkloadPhase> phases;  // must cover [0, days); see presets
+
+  /// Within-type correlation between popularity and (small) size, in
+  /// [0, 1]: 0 pairs sizes with popularity ranks at random; 1 gives the
+  /// most popular document the smallest size outright. Real traces show a
+  /// clear negative size-popularity relation — the paper's Fig 14 puts the
+  /// re-referenced mass at "just over 1kB" while the overall mean transfer
+  /// is ~12kB, and its §4.3 notes professional pages keep graphics small.
+  double size_popularity_bias = 0.2;
+
+  /// Probability that a re-referenced document was modified (size change ->
+  /// consistency miss). The paper measures 0.5%-4.1% of re-references
+  /// arriving with a different size.
+  double modification_rate = 0.006;
+
+  /// Raw-log noise rates (relative to valid requests); exercised by the
+  /// §1.1 validator and dropped by it.
+  double noise_not_modified = 0.06;  // 304 responses
+  double noise_client_error = 0.02;  // 404/403
+  double noise_server_error = 0.004; // 5xx
+  double noise_non_get = 0.005;      // POST/HEAD
+  double noise_zero_unknown = 0.004; // size 0, URL never seen
+
+  std::uint64_t seed = 1996;
+
+  /// Scale request volume and footprint by `factor`, preserving all rates
+  /// and ratios (used for smoke-test runs).
+  [[nodiscard]] WorkloadSpec scaled(double factor) const;
+
+  /// Mean transfer size of type t (derived; see file header).
+  [[nodiscard]] double mean_size(FileType t) const noexcept;
+  /// Unique-byte target of type t.
+  [[nodiscard]] double unique_bytes_of(FileType t) const noexcept;
+
+  // ---- The five paper presets -------------------------------------------
+  [[nodiscard]] static WorkloadSpec undergrad();       // U: 190 days, 173,384 reqs
+  [[nodiscard]] static WorkloadSpec graduate();        // G: 76 days, 46,834 reqs
+  [[nodiscard]] static WorkloadSpec classroom();       // C: 96 days, 30,316 reqs
+  [[nodiscard]] static WorkloadSpec backbone_remote(); // BR: 38 days, 180,132 reqs
+  [[nodiscard]] static WorkloadSpec backbone_local();  // BL: 37 days, 53,881 reqs
+  [[nodiscard]] static std::vector<WorkloadSpec> all_presets();
+  /// Preset by name ("U", "G", "C", "BR", "BL"); throws on unknown name.
+  [[nodiscard]] static WorkloadSpec preset(const std::string& name);
+};
+
+}  // namespace wcs

@@ -1,0 +1,180 @@
+#include "src/core/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wcs {
+namespace {
+
+Cache make_cache(std::uint64_t capacity, std::unique_ptr<RemovalPolicy> policy = nullptr) {
+  CacheConfig config;
+  config.capacity_bytes = capacity;
+  return Cache{config, policy ? std::move(policy) : make_lru()};
+}
+
+TEST(Cache, MissThenHit) {
+  Cache cache = make_cache(1000);
+  const auto miss = cache.access(1, 1, 100);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_TRUE(miss.inserted);
+  const auto hit = cache.access(2, 1, 100);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().requests, 2u);
+  EXPECT_EQ(cache.used_bytes(), 100u);
+}
+
+TEST(Cache, SizeMismatchIsConsistencyMiss) {
+  // §1.1: a hit requires URL *and* size to match.
+  Cache cache = make_cache(1000);
+  cache.access(1, 1, 100);
+  const auto changed = cache.access(2, 1, 120);
+  EXPECT_FALSE(changed.hit);
+  EXPECT_TRUE(changed.size_change);
+  EXPECT_EQ(cache.stats().size_change_misses, 1u);
+  // The new copy replaced the old one.
+  EXPECT_EQ(cache.used_bytes(), 120u);
+  EXPECT_TRUE(cache.access(3, 1, 120).hit);
+}
+
+TEST(Cache, EvictsToMakeRoom) {
+  Cache cache = make_cache(250);
+  cache.access(1, 1, 100);
+  cache.access(2, 2, 100);
+  const auto result = cache.access(3, 3, 100);  // needs one eviction
+  EXPECT_TRUE(result.inserted);
+  EXPECT_EQ(result.evictions, 1u);
+  EXPECT_FALSE(cache.contains(1));  // LRU victim
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_LE(cache.used_bytes(), 250u);
+}
+
+TEST(Cache, LruOrderRespondsToHits) {
+  Cache cache = make_cache(250);
+  cache.access(1, 1, 100);
+  cache.access(2, 2, 100);
+  cache.access(3, 1, 100);      // touch 1: now 2 is LRU
+  cache.access(4, 3, 100);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(Cache, DocumentLargerThanCacheBypasses) {
+  Cache cache = make_cache(100);
+  cache.access(1, 1, 50);
+  const auto result = cache.access(2, 2, 500);
+  EXPECT_FALSE(result.hit);
+  EXPECT_FALSE(result.inserted);
+  EXPECT_EQ(cache.stats().rejected_too_large, 1u);
+  EXPECT_TRUE(cache.contains(1));  // nothing was evicted for it
+}
+
+TEST(Cache, InfiniteCacheNeverEvicts) {
+  Cache cache = make_cache(0);
+  for (std::uint32_t i = 0; i < 1000; ++i) cache.access(i, i, 10'000);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.entry_count(), 1000u);
+  EXPECT_TRUE(cache.is_infinite());
+  EXPECT_EQ(cache.stats().max_used_bytes, 10'000'000u);
+}
+
+TEST(Cache, MaxUsedTracksHighWater) {
+  Cache cache = make_cache(300);
+  cache.access(1, 1, 200);
+  cache.access(2, 2, 100);
+  cache.access(3, 3, 250);  // evicts both
+  EXPECT_EQ(cache.stats().max_used_bytes, 300u);
+}
+
+TEST(Cache, EraseRemovesAndReports) {
+  Cache cache = make_cache(1000);
+  cache.access(1, 1, 100);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Cache, FindExposesMetadata) {
+  Cache cache = make_cache(1000);
+  cache.access(5, 1, 100, FileType::kAudio);
+  cache.access(9, 1, 100, FileType::kAudio);
+  const CacheEntry* entry = cache.find(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->etime, 5);
+  EXPECT_EQ(entry->atime, 9);
+  EXPECT_EQ(entry->nref, 2u);
+  EXPECT_EQ(entry->type, FileType::kAudio);
+  EXPECT_EQ(cache.find(99), nullptr);
+}
+
+TEST(Cache, HitAndByteAccounting) {
+  Cache cache = make_cache(1000);
+  cache.access(1, 1, 300);
+  cache.access(2, 1, 300);
+  cache.access(3, 2, 100);
+  const CacheStats& stats = cache.stats();
+  EXPECT_EQ(stats.requested_bytes, 700u);
+  EXPECT_EQ(stats.hit_bytes, 300u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.weighted_hit_rate(), 3.0 / 7.0);
+}
+
+TEST(Cache, OnEvictCallbackFires) {
+  std::vector<UrlId> evicted;
+  CacheConfig config;
+  config.capacity_bytes = 150;
+  config.on_evict = [&evicted](const CacheEntry& entry) { evicted.push_back(entry.url); };
+  Cache cache{config, make_lru()};
+  cache.access(1, 1, 100);
+  cache.access(2, 2, 100);  // evicts 1
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+  cache.access(3, 2, 120);  // size change removes old copy
+  EXPECT_EQ(evicted.size(), 2u);
+  cache.erase(2);
+  EXPECT_EQ(evicted.size(), 3u);
+}
+
+TEST(Cache, PeriodicSweepTrimsAtDayBoundary) {
+  CacheConfig config;
+  config.capacity_bytes = 1000;
+  config.periodic = {true, 0.5};
+  Cache cache{config, make_lru()};
+  cache.access(day_start(0) + 10, 1, 400);
+  cache.access(day_start(0) + 20, 2, 400);
+  EXPECT_EQ(cache.used_bytes(), 800u);
+  // First access of day 1 triggers the sweep down to 500 bytes first.
+  cache.access(day_start(1) + 10, 3, 100);
+  EXPECT_LE(cache.used_bytes(), 500u);
+  EXPECT_EQ(cache.stats().periodic_sweeps, 1u);
+  EXPECT_FALSE(cache.contains(1));  // LRU went first
+}
+
+TEST(Cache, PeriodicSweepDisabledByDefault) {
+  Cache cache = make_cache(1000);
+  cache.access(day_start(0), 1, 900);
+  cache.access(day_start(5), 2, 50);
+  EXPECT_EQ(cache.stats().periodic_sweeps, 0u);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Cache, RejectsBadConfig) {
+  EXPECT_THROW(Cache(CacheConfig{}, nullptr), std::invalid_argument);
+  CacheConfig config;
+  config.periodic = {true, 1.5};
+  EXPECT_THROW(Cache(config, make_lru()), std::invalid_argument);
+}
+
+TEST(Cache, SnapshotListsEntries) {
+  Cache cache = make_cache(1000);
+  cache.access(1, 1, 100);
+  cache.access(2, 2, 200);
+  const auto snapshot = cache.snapshot();
+  EXPECT_EQ(snapshot.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,87 @@
+#include "src/http/cacheability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/date.h"
+
+namespace wcs {
+namespace {
+
+HttpRequest get_request(std::string target = "http://h/doc.html") {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::move(target);
+  return request;
+}
+
+HttpResponse ok_response() {
+  HttpResponse response;
+  response.status = 200;
+  return response;
+}
+
+TEST(Cacheability, PlainGetOkIsCacheable) {
+  EXPECT_TRUE(is_cacheable(get_request(), ok_response()));
+}
+
+TEST(Cacheability, NonGetIsNot) {
+  HttpRequest request = get_request();
+  request.method = "POST";
+  EXPECT_FALSE(is_cacheable(request, ok_response()));
+}
+
+TEST(Cacheability, Non200IsNot) {
+  HttpResponse response = ok_response();
+  response.status = 404;
+  EXPECT_FALSE(is_cacheable(get_request(), response));
+  response.status = 304;
+  EXPECT_FALSE(is_cacheable(get_request(), response));
+}
+
+TEST(Cacheability, PragmaNoCacheBlocks) {
+  HttpRequest request = get_request();
+  request.headers.set("Pragma", "no-cache");
+  EXPECT_FALSE(is_cacheable(request, ok_response()));
+
+  HttpResponse response = ok_response();
+  response.headers.set("Pragma", "No-Cache");
+  EXPECT_FALSE(is_cacheable(get_request(), response));
+}
+
+TEST(Cacheability, DynamicUrlsBlocked) {
+  EXPECT_FALSE(is_cacheable(get_request("http://h/cgi-bin/run"), ok_response()));
+  EXPECT_FALSE(is_cacheable(get_request("http://h/page?id=3"), ok_response()));
+}
+
+TEST(Cacheability, AuthorizationBlocks) {
+  HttpRequest request = get_request();
+  request.headers.set("Authorization", "Basic abc");
+  EXPECT_FALSE(is_cacheable(request, ok_response()));
+}
+
+TEST(Conditional, NotModifiedSince) {
+  HttpRequest request = get_request();
+  request.headers.set("If-Modified-Since", to_http_date(1000));
+  EXPECT_TRUE(not_modified_since(request, 500));    // older copy: fresh
+  EXPECT_TRUE(not_modified_since(request, 1000));   // equal: fresh
+  EXPECT_FALSE(not_modified_since(request, 2000));  // modified after: stale
+}
+
+TEST(Conditional, MissingOrBadHeaderIsStale) {
+  EXPECT_FALSE(not_modified_since(get_request(), 0));
+  HttpRequest request = get_request();
+  request.headers.set("If-Modified-Since", "not a date");
+  EXPECT_FALSE(not_modified_since(request, 0));
+}
+
+TEST(Conditional, LastModifiedExtraction) {
+  HttpResponse response = ok_response();
+  EXPECT_FALSE(last_modified_of(response).has_value());
+  response.headers.set("Last-Modified", to_http_date(777));
+  EXPECT_EQ(last_modified_of(response), 777);
+  response.headers.set("Last-Modified", "garbage");
+  EXPECT_FALSE(last_modified_of(response).has_value());
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,107 @@
+#include "src/trace/clf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wcs {
+namespace {
+
+constexpr const char* kLine =
+    "csgrad.cs.vt.edu - - [17/Sep/1995:08:01:12 +0000] "
+    "\"GET http://www.w3.org/pub/WWW/ HTTP/1.0\" 200 2934";
+
+TEST(Clf, ParsesWellFormedLine) {
+  const auto parsed = parse_clf_line(kLine);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->client, "csgrad.cs.vt.edu");
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->url, "http://www.w3.org/pub/WWW/");
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->size, 2934u);
+  SimTime expected = 0;
+  ASSERT_TRUE(parse_clf_timestamp("[17/Sep/1995:08:01:12 +0000]", expected));
+  EXPECT_EQ(parsed->time, expected);
+}
+
+TEST(Clf, ParsesDashByteCountAsZero) {
+  const auto parsed = parse_clf_line(
+      "host - - [01/Jan/1995:00:00:01 +0000] \"GET /x.html HTTP/1.0\" 304 -");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size, 0u);
+  EXPECT_EQ(parsed->status, 304);
+}
+
+TEST(Clf, ParsesMissingVersion) {
+  const auto parsed =
+      parse_clf_line("h - - [01/Jan/1995:00:00:01 +0000] \"GET /legacy.html\" 200 10");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->url, "/legacy.html");
+}
+
+TEST(Clf, ParsesSpacesInsideUrl) {
+  const auto parsed = parse_clf_line(
+      "h - - [01/Jan/1995:00:00:01 +0000] \"GET /my file.html HTTP/1.0\" 200 10");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->url, "/my file.html");
+}
+
+TEST(Clf, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_clf_line(""));
+  EXPECT_FALSE(parse_clf_line("# comment"));
+  EXPECT_FALSE(parse_clf_line("too short"));
+  EXPECT_FALSE(parse_clf_line("h - - [bad date] \"GET / HTTP/1.0\" 200 10"));
+  EXPECT_FALSE(parse_clf_line("h - - [01/Jan/1995:00:00:01 +0000] \"GET /\" abc 10"));
+  EXPECT_FALSE(parse_clf_line("h - - [01/Jan/1995:00:00:01 +0000] \"GET /\" 999999 10"));
+  EXPECT_FALSE(parse_clf_line("h - - [01/Jan/1995:00:00:01 +0000] no-quotes 200 10"));
+  EXPECT_FALSE(parse_clf_line("h - - [01/Jan/1995:00:00:01 +0000] \"GET / HTTP/1.0\" 200"));
+}
+
+TEST(Clf, FormatParseRoundTrip) {
+  RawRequest request;
+  request.time = 86'400 * 10 + 3600;
+  request.client = "client5.u.example";
+  request.method = "GET";
+  request.url = "http://srv1.u.example/a/b.gif";
+  request.status = 200;
+  request.size = 1234;
+  const auto parsed = parse_clf_line(format_clf_line(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, request.time);
+  EXPECT_EQ(parsed->client, request.client);
+  EXPECT_EQ(parsed->url, request.url);
+  EXPECT_EQ(parsed->status, request.status);
+  EXPECT_EQ(parsed->size, request.size);
+}
+
+TEST(Clf, ReadStreamCountsMalformed) {
+  std::istringstream in{std::string{kLine} + "\ngarbage line\n\n" + kLine + "\n"};
+  const auto result = read_clf(in);
+  EXPECT_EQ(result.requests.size(), 2u);
+  EXPECT_EQ(result.malformed_lines, 1u);
+}
+
+TEST(Clf, WriteThenReadStream) {
+  std::vector<RawRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    RawRequest r;
+    r.time = i * 100;
+    r.client = "c";
+    r.method = "GET";
+    r.url = "/doc" + std::to_string(i) + ".html";
+    r.status = 200;
+    r.size = static_cast<std::uint64_t>(100 + i);
+    requests.push_back(r);
+  }
+  std::ostringstream out;
+  write_clf(out, requests);
+  std::istringstream in{out.str()};
+  const auto result = read_clf(in);
+  EXPECT_EQ(result.malformed_lines, 0u);
+  ASSERT_EQ(result.requests.size(), 5u);
+  EXPECT_EQ(result.requests[4].url, "/doc4.html");
+  EXPECT_EQ(result.requests[4].size, 104u);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,241 @@
+// Delta transfer (§5 open problem 2): codec unit + property tests, and the
+// end-to-end origin/proxy integration.
+#include "src/http/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/date.h"
+#include "src/proxy/origin.h"
+#include "src/proxy/proxy.h"
+#include "src/util/rng.h"
+
+namespace wcs {
+namespace {
+
+TEST(Delta, IdenticalDocumentsProduceTinyDelta) {
+  const std::string document(10'000, 'x');
+  const std::string delta = encode_delta(document, document);
+  EXPECT_LT(delta.size(), 32u);  // one COPY op
+  EXPECT_EQ(apply_delta(document, delta), document);
+}
+
+TEST(Delta, EmptyCases) {
+  EXPECT_EQ(apply_delta("base", encode_delta("base", "")), "");
+  const std::string target = "fresh content with no base at all, long enough to matter";
+  EXPECT_EQ(apply_delta("", encode_delta("", target)), target);
+}
+
+TEST(Delta, SmallEditSmallDelta) {
+  std::string base;
+  for (int i = 0; i < 200; ++i) base += "line " + std::to_string(i) + " of the page\n";
+  std::string target = base;
+  target.replace(1000, 4, "EDIT");
+  const std::string delta = encode_delta(base, target);
+  EXPECT_LT(delta.size(), target.size() / 10);
+  EXPECT_EQ(apply_delta(base, delta), target);
+}
+
+TEST(Delta, InsertionAndDeletion) {
+  std::string base;
+  for (int i = 0; i < 100; ++i) base += "paragraph " + std::to_string(i) + " text text\n";
+  std::string target = base;
+  target.insert(500, "NEWLY INSERTED SENTENCE. ");
+  target.erase(1500, 300);
+  const std::string delta = encode_delta(base, target);
+  EXPECT_LT(delta.size(), target.size() / 4);
+  EXPECT_EQ(apply_delta(base, delta), target);
+}
+
+TEST(Delta, CompletelyDifferentFallsBackToLiteral) {
+  const std::string base(2000, 'a');
+  const std::string target(2000, 'b');
+  const std::string delta = encode_delta(base, target);
+  EXPECT_EQ(apply_delta(base, delta), target);
+  EXPECT_FALSE(delta_worthwhile(base, target));
+}
+
+TEST(Delta, RejectsMalformedInput) {
+  EXPECT_FALSE(apply_delta("base", "Z???").has_value());
+  EXPECT_FALSE(apply_delta("base", "C\x01").has_value());  // truncated
+  // COPY beyond the base.
+  std::string bad = encode_delta("0123456789012345678901234567890123456789",
+                                 "0123456789012345678901234567890123456789");
+  EXPECT_TRUE(apply_delta("0123456789012345678901234567890123456789", bad).has_value());
+  EXPECT_FALSE(apply_delta("short", bad).has_value());
+}
+
+TEST(Delta, RatioAndWorthwhile) {
+  std::string base;
+  for (int i = 0; i < 500; ++i) base += "stable content block " + std::to_string(i % 7);
+  std::string target = base + " appended tail";
+  EXPECT_LT(delta_ratio(base, target), 0.1);
+  EXPECT_TRUE(delta_worthwhile(base, target));
+  EXPECT_FALSE(delta_worthwhile("tiny", "also tiny"));  // below block size
+}
+
+class DeltaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaProperty, RandomEditsRoundTrip) {
+  Rng rng{GetParam()};
+  for (int round = 0; round < 30; ++round) {
+    // Random base document.
+    std::string base;
+    const std::size_t len = 100 + rng.below(5000);
+    for (std::size_t i = 0; i < len; ++i) {
+      base += static_cast<char>('a' + rng.below(26));
+    }
+    // Random sequence of edits.
+    std::string target = base;
+    const int edits = 1 + static_cast<int>(rng.below(6));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = target.empty() ? 0 : rng.below(target.size());
+      switch (rng.below(3)) {
+        case 0:  // replace
+          if (pos < target.size()) target[pos] = static_cast<char>('A' + rng.below(26));
+          break;
+        case 1:  // insert
+          target.insert(pos, std::string(1 + rng.below(50), 'Z'));
+          break;
+        default:  // erase
+          target.erase(pos, rng.below(60));
+          break;
+      }
+    }
+    const std::string delta = encode_delta(base, target);
+    const auto restored = apply_delta(base, delta);
+    ASSERT_TRUE(restored.has_value());
+    ASSERT_EQ(*restored, target) << "seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaProperty, ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---- origin + proxy integration -------------------------------------------
+
+HttpRequest get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return request;
+}
+
+TEST(DeltaIntegration, OriginServes226ForPreviousVersion) {
+  OriginServer origin{"h"};
+  std::string v1;
+  for (int i = 0; i < 300; ++i) v1 += "stable line " + std::to_string(i) + "\n";
+  origin.put("/page.html", v1, 100);
+  std::string v2 = v1;
+  v2.replace(40, 6, "edited");
+  origin.edit("/page.html", v2, 200);
+
+  HttpRequest request = get("/page.html");
+  request.headers.set("If-Modified-Since", to_http_date(100));
+  request.headers.set("A-IM", "wcs-delta");
+  const HttpResponse response = origin.handle(request, 300);
+  EXPECT_EQ(response.status, 226);
+  EXPECT_EQ(response.headers.get("IM"), "wcs-delta");
+  EXPECT_LT(response.body.size(), v2.size() / 4);
+  EXPECT_EQ(apply_delta(v1, response.body), v2);
+}
+
+TEST(DeltaIntegration, OriginRefusesDeltaForWrongBase) {
+  OriginServer origin{"h"};
+  std::string v1(3000, '1');
+  origin.put("/p", v1, 100);
+  origin.edit("/p", std::string(3000, '2'), 200);
+  origin.edit("/p", std::string(3000, '3'), 300);
+  // Client holds v1 but the origin only keeps v2 as previous: full 200.
+  HttpRequest request = get("/p");
+  request.headers.set("If-Modified-Since", to_http_date(100));
+  request.headers.set("A-IM", "wcs-delta");
+  EXPECT_EQ(origin.handle(request, 400).status, 200);
+}
+
+TEST(DeltaIntegration, ProxyAppliesDeltaUpdate) {
+  OriginServer origin{"srv.example"};
+  std::string v1;
+  for (int i = 0; i < 500; ++i) v1 += "content block " + std::to_string(i) + "\n";
+  origin.put("/page.html", v1, 10);
+
+  ProxyCache::Config config;
+  config.revalidate_after = 100;
+  ProxyCache proxy{config, [&](const HttpRequest& request, SimTime now) {
+                     return origin.handle(request, now);
+                   }};
+
+  // Warm the cache with v1.
+  EXPECT_EQ(proxy.handle(get("http://srv.example/page.html"), 1000).body, v1);
+
+  // Edit upstream; proxy revalidates past the TTL and receives a delta.
+  std::string v2 = v1;
+  v2.insert(2000, "INSERTED PARAGRAPH. ");
+  origin.edit("/page.html", v2, 1500);
+  const HttpResponse updated = proxy.handle(get("http://srv.example/page.html"), 2000);
+  EXPECT_EQ(updated.status, 200);
+  EXPECT_EQ(updated.body, v2);
+  EXPECT_EQ(proxy.stats().delta_updates, 1u);
+  EXPECT_GT(proxy.stats().delta_bytes_avoided, v2.size() / 2);
+  EXPECT_LT(proxy.stats().delta_bytes, v2.size() / 4);
+
+  // The patched copy now serves hits.
+  const HttpResponse hit = proxy.handle(get("http://srv.example/page.html"), 2010);
+  EXPECT_EQ(hit.headers.get("X-Cache"), "HIT");
+  EXPECT_EQ(hit.body, v2);
+}
+
+TEST(DeltaIntegration, SameSizeEditUpdatesStoredBody) {
+  // Regression: an in-place edit keeps the document length, so re-admitting
+  // the patched copy is a cache *hit*, not an insert — the patched body
+  // must still replace the stored one, and the next revalidation must get
+  // a 304, not another delta.
+  OriginServer origin{"srv.example"};
+  std::string v1(8000, 'a');
+  for (std::size_t i = 0; i < v1.size(); i += 11) v1[i] = static_cast<char>('b' + i % 20);
+  origin.put("/p.html", v1, 10);
+
+  ProxyCache::Config config;
+  config.revalidate_after = 100;
+  ProxyCache proxy{config, [&](const HttpRequest& request, SimTime now) {
+                     return origin.handle(request, now);
+                   }};
+  (void)proxy.handle(get("http://srv.example/p.html"), 1000);
+
+  std::string v2 = v1;
+  v2[4321] = '!';  // same length
+  origin.edit("/p.html", v2, 1500);
+
+  const HttpResponse first = proxy.handle(get("http://srv.example/p.html"), 2000);
+  EXPECT_EQ(first.body, v2);
+  EXPECT_EQ(proxy.stats().delta_updates, 1u);
+
+  // Past the TTL again, with no further edit: must revalidate to a 304
+  // (validated_fresh), NOT receive a second delta.
+  const HttpResponse second = proxy.handle(get("http://srv.example/p.html"), 3000);
+  EXPECT_EQ(second.body, v2);
+  EXPECT_EQ(proxy.stats().delta_updates, 1u);
+  EXPECT_EQ(proxy.stats().validated_fresh, 1u);
+}
+
+TEST(DeltaIntegration, ProxyWithDeltasDisabledFetchesFull) {
+  OriginServer origin{"srv.example"};
+  std::string v1(5000, 'a');
+  for (std::size_t i = 0; i < v1.size(); i += 7) v1[i] = 'b';
+  origin.put("/p.html", v1, 10);
+
+  ProxyCache::Config config;
+  config.revalidate_after = 100;
+  config.accept_deltas = false;
+  ProxyCache proxy{config, [&](const HttpRequest& request, SimTime now) {
+                     return origin.handle(request, now);
+                   }};
+  (void)proxy.handle(get("http://srv.example/p.html"), 1000);
+  std::string v2 = v1;
+  v2[123] = 'Z';
+  origin.edit("/p.html", v2, 1500);
+  const HttpResponse updated = proxy.handle(get("http://srv.example/p.html"), 2000);
+  EXPECT_EQ(updated.body, v2);
+  EXPECT_EQ(proxy.stats().delta_updates, 0u);
+}
+
+}  // namespace
+}  // namespace wcs

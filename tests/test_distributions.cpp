@@ -1,0 +1,195 @@
+#include "src/util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace wcs {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  for (const double s : {0.5, 0.74, 1.0, 1.3}) {
+    ZipfSampler zipf{1000, s};
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= 1000; ++k) sum += zipf.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(Zipf, PmfMonotoneDecreasing) {
+  ZipfSampler zipf{100, 0.9};
+  for (std::uint64_t k = 1; k < 100; ++k) EXPECT_GT(zipf.pmf(k), zipf.pmf(k + 1));
+}
+
+TEST(Zipf, PmfZeroOutsideSupport) {
+  ZipfSampler zipf{10, 1.0};
+  EXPECT_EQ(zipf.pmf(0), 0.0);
+  EXPECT_EQ(zipf.pmf(11), 0.0);
+}
+
+TEST(Zipf, SamplesStayInSupport) {
+  ZipfSampler zipf{50, 0.8};
+  Rng rng{1};
+  for (int i = 0; i < 20'000; ++i) {
+    const auto k = zipf(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 50u);
+  }
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  constexpr std::uint64_t kN = 200;
+  ZipfSampler zipf{kN, 1.0};
+  Rng rng{2};
+  constexpr int kSamples = 200'000;
+  std::vector<int> counts(kN + 1, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf(rng)];
+  for (const std::uint64_t k : {1ULL, 2ULL, 5ULL, 20ULL, 100ULL}) {
+    const double expected = zipf.pmf(k) * kSamples;
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 8.0) << "rank " << k;
+  }
+}
+
+TEST(Zipf, SingletonSupport) {
+  ZipfSampler zipf{1, 1.0};
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 1u);
+  EXPECT_NEAR(zipf.pmf(1), 1.0, 1e-12);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(Lognormal, MeanMatchesTheory) {
+  // E[X] = exp(mu + sigma^2/2)
+  const double mu = std::log(10'000.0) - 0.5;
+  const double sigma = 1.0;
+  LognormalSampler sampler{mu, sigma};
+  Rng rng{4};
+  double sum = 0.0;
+  constexpr int kSamples = 400'000;
+  for (int i = 0; i < kSamples; ++i) sum += sampler(rng);
+  const double expected = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(sum / kSamples, expected, expected * 0.03);
+}
+
+TEST(Lognormal, AlwaysPositive) {
+  LognormalSampler sampler{0.0, 2.0};
+  Rng rng{5};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(sampler(rng), 0.0);
+}
+
+TEST(BoundedPareto, StaysInBounds) {
+  BoundedParetoSampler sampler{1.2, 100.0, 1e6};
+  Rng rng{6};
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = sampler(rng);
+    EXPECT_GE(x, 100.0 * 0.999);
+    EXPECT_LE(x, 1e6 * 1.001);
+  }
+}
+
+TEST(BoundedPareto, MedianMatchesTheory) {
+  const double alpha = 1.0;
+  const double lo = 1.0;
+  const double hi = 1000.0;
+  BoundedParetoSampler sampler{alpha, lo, hi};
+  // Median: F(m) = 0.5 with F(x) = (1 - lo^a x^-a) / (1 - (lo/hi)^a).
+  Rng rng{7};
+  std::vector<double> samples;
+  for (int i = 0; i < 50'000; ++i) samples.push_back(sampler(rng));
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  const double median = samples[samples.size() / 2];
+  const double denom = 1.0 - std::pow(lo / hi, alpha);
+  const double expected = std::pow(1.0 - 0.5 * denom, -1.0 / alpha) * lo;
+  EXPECT_NEAR(median, expected, expected * 0.05);
+}
+
+TEST(Normal, StandardMoments) {
+  Rng rng{8};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = sample_standard_normal(rng);
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(Poisson, ZeroAndNegativeLambda) {
+  Rng rng{9};
+  EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+  EXPECT_EQ(sample_poisson(rng, -5.0), 0u);
+}
+
+TEST(Poisson, SmallLambdaMean) {
+  Rng rng{10};
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(sample_poisson(rng, 3.5));
+  EXPECT_NEAR(sum / kSamples, 3.5, 0.05);
+}
+
+TEST(Poisson, LargeLambdaMean) {
+  Rng rng{11};
+  double sum = 0.0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(sample_poisson(rng, 2000.0));
+  EXPECT_NEAR(sum / kSamples, 2000.0, 2000.0 * 0.01);
+}
+
+TEST(Discrete, MatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 7.0};
+  DiscreteSampler sampler{weights};
+  Rng rng{12};
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) ++counts[sampler(rng)];
+  EXPECT_NEAR(counts[0], kSamples * 0.1, kSamples * 0.01);
+  EXPECT_NEAR(counts[1], kSamples * 0.2, kSamples * 0.01);
+  EXPECT_NEAR(counts[2], kSamples * 0.7, kSamples * 0.01);
+}
+
+TEST(Discrete, ZeroWeightNeverChosen) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 1.0};
+  DiscreteSampler sampler{weights};
+  Rng rng{13};
+  for (int i = 0; i < 10'000; ++i) {
+    const auto idx = sampler(rng);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Discrete, ProbabilityOfReportsNormalized) {
+  const std::vector<double> weights = {2.0, 2.0, 4.0};
+  DiscreteSampler sampler{weights};
+  EXPECT_DOUBLE_EQ(sampler.probability_of(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.probability_of(2), 0.5);
+  EXPECT_DOUBLE_EQ(sampler.probability_of(99), 0.0);
+}
+
+TEST(Discrete, RejectsBadInput) {
+  const std::vector<double> empty;
+  const std::vector<double> zeros = {0.0, 0.0};
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(DiscreteSampler{empty}, std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler{zeros}, std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler{negative}, std::invalid_argument);
+}
+
+TEST(Discrete, SingleOutcome) {
+  DiscreteSampler sampler{std::vector<double>{5.0}};
+  Rng rng{14};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler(rng), 0u);
+}
+
+}  // namespace
+}  // namespace wcs

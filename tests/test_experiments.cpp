@@ -1,0 +1,215 @@
+// Integration tests: the paper's qualitative findings must hold on the
+// synthesized workloads. Run on scaled-down presets to stay fast; the bench
+// binaries run the full-size versions.
+#include "src/sim/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wcs {
+namespace {
+
+struct Prepared {
+  GeneratedWorkload generated;
+  Experiment1Result infinite;
+};
+
+const Prepared& prepared(const std::string& name) {
+  static std::map<std::string, Prepared> cache;
+  const auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  GeneratedWorkload generated =
+      WorkloadGenerator{WorkloadSpec::preset(name).scaled(0.15)}.generate();
+  Experiment1Result infinite = run_experiment1(name, generated.trace);
+  return cache.emplace(name, Prepared{std::move(generated), std::move(infinite)})
+      .first->second;
+}
+
+double hr_of(const Experiment2Result& result, const std::string& policy) {
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.policy == policy) return outcome.hr;
+  }
+  ADD_FAILURE() << "policy " << policy << " missing";
+  return 0.0;
+}
+
+double whr_of(const Experiment2Result& result, const std::string& policy) {
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.policy == policy) return outcome.whr;
+  }
+  ADD_FAILURE() << "policy " << policy << " missing";
+  return 0.0;
+}
+
+std::vector<KeySpec> primary_keys_with_random() {
+  std::vector<KeySpec> specs;
+  for (const Key key : kPrimaryKeys) specs.push_back(KeySpec{{key, Key::kRandom}});
+  return specs;
+}
+
+TEST(Experiment1, MaxNeededScalesWithSpec) {
+  // At scale 0.15, MaxNeeded should be ~15% of the paper's value.
+  const auto& p = prepared("BL");
+  const double expected = 0.15 * 408e6;
+  EXPECT_NEAR(static_cast<double>(p.infinite.max_needed), expected, expected * 0.3);
+}
+
+TEST(Experiment1, BackboneRemoteHitRatesNearPaperValues) {
+  const auto& p = prepared("BR");
+  // Paper: >98% HR for most of the period, ~95% mean WHR.
+  EXPECT_GT(p.infinite.overall_hr, 0.93);
+  EXPECT_GT(p.infinite.overall_whr, 0.90);
+}
+
+TEST(Experiment1, CampusWorkloadsReachMidRangeHitRates) {
+  for (const char* name : {"G", "C"}) {
+    const auto& p = prepared(name);
+    EXPECT_GT(p.infinite.overall_hr, 0.25) << name;
+    EXPECT_LT(p.infinite.overall_hr, 0.85) << name;
+  }
+}
+
+TEST(Experiment1, SmoothedSeriesAlignedToDays) {
+  const auto& p = prepared("BL");
+  EXPECT_EQ(static_cast<std::int64_t>(p.infinite.smoothed_hr.size()),
+            p.generated.trace.day_count());
+}
+
+TEST(Experiment2, SizeMaximizesHitRateEverywhere) {
+  // The paper's headline: SIZE (and LOG2SIZE) beat every other primary key
+  // on HR, on every workload.
+  for (const char* name : {"BL", "G", "C", "BR"}) {
+    const auto& p = prepared(name);
+    const auto result =
+        run_experiment2(name, p.generated.trace, p.infinite, 0.10, primary_keys_with_random());
+    const double size_hr = hr_of(result, "SIZE+RANDOM");
+    for (const char* other : {"ETIME+RANDOM", "ATIME+RANDOM", "NREF+RANDOM",
+                              "DAY(ATIME)+RANDOM"}) {
+      EXPECT_GT(size_hr, hr_of(result, other)) << name << " vs " << other;
+    }
+    EXPECT_NEAR(hr_of(result, "LOG2SIZE+RANDOM"), size_hr, 0.03) << name;
+  }
+}
+
+TEST(Experiment2, EtimeIsWorstOnHitRate) {
+  for (const char* name : {"BL", "G"}) {
+    const auto& p = prepared(name);
+    const auto result =
+        run_experiment2(name, p.generated.trace, p.infinite, 0.10, primary_keys_with_random());
+    const double etime_hr = hr_of(result, "ETIME+RANDOM");
+    for (const char* other :
+         {"SIZE+RANDOM", "ATIME+RANDOM", "NREF+RANDOM", "LOG2SIZE+RANDOM"}) {
+      EXPECT_LE(etime_hr, hr_of(result, other) + 0.01) << name << " vs " << other;
+    }
+  }
+}
+
+TEST(Experiment2, SizeIsWorstOnWeightedHitRateForBR) {
+  // §4.4: for WHR the results flip — SIZE worst, NREF clearly best on BR.
+  // NREF's edge lives in the re-reference counts of the popular audio
+  // files, which need a near-full-size corpus: run BR at scale 0.4.
+  GeneratedWorkload generated =
+      WorkloadGenerator{WorkloadSpec::preset("BR").scaled(0.4)}.generate();
+  const Experiment1Result infinite = run_experiment1("BR", generated.trace);
+  const auto result =
+      run_experiment2("BR", generated.trace, infinite, 0.10, primary_keys_with_random());
+  const double size_whr = whr_of(result, "SIZE+RANDOM");
+  const double nref_whr = whr_of(result, "NREF+RANDOM");
+  EXPECT_LT(size_whr, whr_of(result, "ATIME+RANDOM"));
+  EXPECT_LT(size_whr, nref_whr);
+  EXPECT_GT(nref_whr, whr_of(result, "ATIME+RANDOM"));
+  EXPECT_GT(nref_whr, whr_of(result, "ETIME+RANDOM"));
+}
+
+TEST(Experiment2, TenPercentCacheNearsOptimalHr) {
+  // "some replacement policy achieves ... over 90% of optimal most of the
+  // time, even though the cache size is only 10% of MaxNeeded".
+  for (const char* name : {"BL", "BR", "C"}) {
+    const auto& p = prepared(name);
+    const auto result = run_experiment2(name, p.generated.trace, p.infinite, 0.10,
+                                        {KeySpec{{Key::kSize, Key::kRandom}}});
+    EXPECT_GT(result.outcomes[0].hr_pct_of_infinite, 80.0) << name;
+  }
+}
+
+TEST(Experiment2, FiftyPercentCacheBeatsTenPercent) {
+  const auto& p = prepared("BL");
+  const auto at10 = run_experiment2("BL", p.generated.trace, p.infinite, 0.10,
+                                    {KeySpec{{Key::kAtime, Key::kRandom}}});
+  const auto at50 = run_experiment2("BL", p.generated.trace, p.infinite, 0.50,
+                                    {KeySpec{{Key::kAtime, Key::kRandom}}});
+  EXPECT_GT(at50.outcomes[0].hr, at10.outcomes[0].hr);
+  EXPECT_GT(at50.outcomes[0].whr, at10.outcomes[0].whr);
+}
+
+TEST(Experiment2, LiteraturePoliciesRankAsPaperConcludes) {
+  // Conclusions: "SIZE first, then NREF, then ATIME", ETIME worst; LRU-MIN
+  // among the best.
+  const auto& p = prepared("BL");
+  const auto result = run_experiment2_literature("BL", p.generated.trace, p.infinite, 0.10);
+  const double size_hr = hr_of(result, "SIZE");
+  const double lru_min_hr = hr_of(result, "LRU-MIN");
+  const double lru_hr = hr_of(result, "LRU");
+  const double fifo_hr = hr_of(result, "FIFO");
+  const double lfu_hr = hr_of(result, "LFU");
+  EXPECT_GT(size_hr, lru_hr);
+  EXPECT_GT(size_hr, fifo_hr);
+  EXPECT_GT(lfu_hr, lru_hr - 0.02);
+  EXPECT_GT(lru_hr, fifo_hr - 0.005);
+  EXPECT_GT(lru_min_hr, lru_hr);  // size-awareness helps
+  // Pitkow/Recker (day-based) performs poorly, as §5 reports.
+  EXPECT_LT(hr_of(result, "Pitkow/Recker"), size_hr);
+}
+
+TEST(SecondaryKeys, InsignificantVersusRandom) {
+  // Fig 15: no secondary key moves WHR more than ~5% from random, and the
+  // average effect is ~1%.
+  const auto& p = prepared("G");
+  const auto result = run_secondary_key_study("G", p.generated.trace, 0.10);
+  ASSERT_EQ(result.outcomes.size(), 5u);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_GT(outcome.whr_pct_of_random, 85.0) << outcome.secondary;
+    EXPECT_LT(outcome.whr_pct_of_random, 115.0) << outcome.secondary;
+    EXPECT_GT(outcome.hr_pct_of_random, 90.0) << outcome.secondary;
+    EXPECT_LT(outcome.hr_pct_of_random, 110.0) << outcome.secondary;
+  }
+}
+
+TEST(Experiment3, SecondLevelWhrExceedsHr) {
+  // Figs 16-18: with SIZE in L1, big documents live in L2, so L2's WHR far
+  // exceeds its HR.
+  for (const char* name : {"BR", "C", "G"}) {
+    const auto& p = prepared(name);
+    const auto result = run_experiment3(name, p.generated.trace, p.infinite.max_needed, 0.10);
+    EXPECT_GT(result.l2_whr, result.l2_hr) << name;
+    EXPECT_GT(result.l2_whr, 0.05) << name;
+    EXPECT_LT(result.l2_hr, 0.35) << name;
+  }
+}
+
+TEST(Experiment4, PartitionSweepBehavesMonotonically) {
+  const auto& p = prepared("BR");
+  const auto result = run_experiment4("BR", p.generated.trace, p.infinite.max_needed, 0.10,
+                                      {0.25, 0.5, 0.75});
+  ASSERT_EQ(result.curves.size(), 3u);
+  // More audio space -> more audio WHR; less non-audio space -> less
+  // non-audio WHR.
+  EXPECT_LE(result.curves[0].audio_whr, result.curves[1].audio_whr + 0.01);
+  EXPECT_LE(result.curves[1].audio_whr, result.curves[2].audio_whr + 0.01);
+  EXPECT_GE(result.curves[0].non_audio_whr, result.curves[1].non_audio_whr - 0.01);
+  EXPECT_GE(result.curves[1].non_audio_whr, result.curves[2].non_audio_whr - 0.01);
+  // Even 3/4 of a 10% cache is overwhelmed by BR's audio volume (Fig 19).
+  const double infinite_audio = series_mean(result.infinite_audio_whr);
+  const double best_audio = series_mean(result.curves[2].audio_smoothed_whr);
+  EXPECT_LT(best_audio, infinite_audio * 0.8);
+}
+
+TEST(Experiments, FractionOfGuards) {
+  EXPECT_EQ(fraction_of(1000, 0.1), 100u);
+  EXPECT_EQ(fraction_of(0, 0.1), 1u);  // never returns 0 (0 = infinite)
+  EXPECT_THROW((void)fraction_of(1000, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcs

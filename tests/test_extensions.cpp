@@ -1,0 +1,139 @@
+// Tests for the §5 open-problem extensions: TYPE and LATENCY sorting keys,
+// the latency-savings study, and the shared second-level cache.
+#include <gtest/gtest.h>
+
+#include "src/core/cache.h"
+#include "src/core/sorted_policy.h"
+#include "src/sim/experiments.h"
+#include "src/workload/generator.h"
+
+namespace wcs {
+namespace {
+
+CacheEntry entry(UrlId url, std::uint64_t size, FileType type, std::uint32_t latency) {
+  CacheEntry e;
+  e.url = url;
+  e.size = size;
+  e.type = type;
+  e.latency_ms = latency;
+  e.nref = 1;
+  return e;
+}
+
+TEST(ExtensionKeys, TypeKeyEvictsMediaFirstTextLast) {
+  SortedPolicy policy{KeySpec{{Key::kTypePriority}}};
+  policy.on_insert(entry(1, 100, FileType::kText, 0));
+  policy.on_insert(entry(2, 100, FileType::kVideo, 0));
+  policy.on_insert(entry(3, 100, FileType::kGraphics, 0));
+  policy.on_insert(entry(4, 100, FileType::kAudio, 0));
+  EXPECT_EQ(policy.choose_victim({}), 2u);  // video first
+  policy.on_remove(entry(2, 100, FileType::kVideo, 0));
+  EXPECT_EQ(policy.choose_victim({}), 4u);  // then audio
+  policy.on_remove(entry(4, 100, FileType::kAudio, 0));
+  EXPECT_EQ(policy.choose_victim({}), 3u);  // graphics before text
+}
+
+TEST(ExtensionKeys, LatencyKeyKeepsExpensiveDocuments) {
+  SortedPolicy policy{KeySpec{{Key::kLatency}}};
+  policy.on_insert(entry(1, 100, FileType::kText, 500));   // transatlantic
+  policy.on_insert(entry(2, 100, FileType::kText, 12));    // local
+  policy.on_insert(entry(3, 100, FileType::kText, 80));
+  EXPECT_EQ(policy.choose_victim({}), 2u);  // cheapest refetch goes first
+}
+
+TEST(ExtensionKeys, KeyNamesAndRanks) {
+  EXPECT_EQ(to_string(Key::kTypePriority), "TYPE");
+  EXPECT_EQ(to_string(Key::kLatency), "LATENCY");
+  EXPECT_LT(key_rank(Key::kLatency, entry(1, 1, FileType::kText, 10)),
+            key_rank(Key::kLatency, entry(2, 1, FileType::kText, 90)));
+}
+
+TEST(ExtensionKeys, CachePropagatesLatency) {
+  CacheConfig config;
+  config.capacity_bytes = 1000;
+  Cache cache{config, make_lru()};
+  cache.access(1, 7, 100, FileType::kText, 321);
+  const CacheEntry* stored = cache.find(7);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->latency_ms, 321u);
+}
+
+TEST(LatencyModel, DeterministicAndSizeMonotone) {
+  const auto a = WorkloadGenerator::estimate_refetch_latency_ms(42, 1000);
+  EXPECT_EQ(a, WorkloadGenerator::estimate_refetch_latency_ms(42, 1000));
+  EXPECT_LE(a, WorkloadGenerator::estimate_refetch_latency_ms(42, 10'000'000));
+  EXPECT_GT(a, 0u);
+}
+
+TEST(LatencyModel, GeneratedTracesCarryLatencies) {
+  const auto generated =
+      WorkloadGenerator{WorkloadSpec::preset("BL").scaled(0.02)}.generate();
+  std::size_t with_latency = 0;
+  for (const Request& request : generated.trace.requests()) {
+    if (request.latency_ms > 0) ++with_latency;
+  }
+  EXPECT_EQ(with_latency, generated.trace.size());
+}
+
+TEST(LatencyStudy, SizeBeatsTheLatencyKeyEvenOnLatencySaved) {
+  // The study's (negative) finding on the paper's open problem 1: a pure
+  // LATENCY key hoards expensive but *unpopular* documents, so SIZE wins
+  // not only on hit rate but on total refetch latency avoided as well —
+  // popularity dominates per-hit cost.
+  const auto generated =
+      WorkloadGenerator{WorkloadSpec::preset("BL").scaled(0.15)}.generate();
+  const Experiment1Result infinite = run_experiment1("BL", generated.trace);
+  const LatencyStudyResult result =
+      run_latency_study("BL", generated.trace, infinite.max_needed, 0.10);
+  double latency_key_savings = 0.0;
+  double size_savings = 0.0;
+  double size_hr = 0.0;
+  double latency_hr = 0.0;
+  double type_size_hr = 0.0;
+  for (const LatencyOutcome& outcome : result.outcomes) {
+    if (outcome.policy == "LATENCY") {
+      latency_key_savings = outcome.latency_savings;
+      latency_hr = outcome.hr;
+    }
+    if (outcome.policy == "SIZE") {
+      size_savings = outcome.latency_savings;
+      size_hr = outcome.hr;
+    }
+    if (outcome.policy == "TYPE+SIZE") type_size_hr = outcome.hr;
+  }
+  EXPECT_GT(size_savings, latency_key_savings);
+  EXPECT_GT(size_hr, latency_hr);
+  // TYPE+SIZE lands between the size-blind keys and SIZE on HR.
+  EXPECT_GT(type_size_hr, latency_hr);
+  EXPECT_LE(type_size_hr, size_hr + 0.01);
+}
+
+TEST(SharedL2, SharingBeatsDedicatedOnHitRate) {
+  // Different client groups request overlapping documents, so one shared
+  // L2 warms faster than per-group L2s — the commonality the paper's open
+  // problem 3 asks about.
+  const auto generated =
+      WorkloadGenerator{WorkloadSpec::preset("BL").scaled(0.15)}.generate();
+  const Experiment1Result infinite = run_experiment1("BL", generated.trace);
+  const SharedL2Result result =
+      run_shared_l2_study("BL", generated.trace, infinite.max_needed, 0.10, 4);
+  EXPECT_GT(result.shared_l2_hr, result.dedicated_l2_hr);
+  EXPECT_GT(result.shared_l2_whr, result.dedicated_l2_whr);
+  EXPECT_GT(result.l1_hr, 0.0);
+}
+
+TEST(SharedL2, OneGroupDegeneratesToTwoLevel) {
+  const auto generated =
+      WorkloadGenerator{WorkloadSpec::preset("BL").scaled(0.05)}.generate();
+  const Experiment1Result infinite = run_experiment1("BL", generated.trace);
+  const SharedL2Result result =
+      run_shared_l2_study("BL", generated.trace, infinite.max_needed, 0.10, 1);
+  EXPECT_DOUBLE_EQ(result.shared_l2_hr, result.dedicated_l2_hr);
+  EXPECT_DOUBLE_EQ(result.shared_l2_whr, result.dedicated_l2_whr);
+  EXPECT_THROW(
+      run_shared_l2_study("BL", generated.trace, infinite.max_needed, 0.10, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcs

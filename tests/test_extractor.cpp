@@ -1,0 +1,146 @@
+#include "src/capture/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/capture/synth.h"
+#include "src/http/message.h"
+#include "src/trace/clf.h"
+
+namespace wcs {
+namespace {
+
+SynthExchange make_exchange(const std::string& url, const std::string& body,
+                            int status = 200, std::int64_t start = 100) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = url;
+  HttpResponse response;
+  response.status = status;
+  response.reason = std::string{reason_phrase(status)};
+  response.headers.set("Content-Length", std::to_string(body.size()));
+  response.body = body;
+  SynthExchange exchange;
+  exchange.request = request.serialize();
+  exchange.response = response.serialize();
+  exchange.start_time = start;
+  return exchange;
+}
+
+std::vector<HttpTransaction> run_pipeline(const std::vector<SynthExchange>& exchanges,
+                                          const SynthOptions& options = {}) {
+  std::vector<HttpTransaction> transactions;
+  HttpExtractor extractor{[&](const HttpTransaction& t) { transactions.push_back(t); }};
+  for (const TcpSegment& segment : synthesize_capture(exchanges, options)) {
+    extractor.accept(segment);
+  }
+  extractor.finish();
+  return transactions;
+}
+
+TEST(Extractor, SingleExchange) {
+  const auto transactions =
+      run_pipeline({make_exchange("http://srv.example/a.html", "hello world")});
+  ASSERT_EQ(transactions.size(), 1u);
+  EXPECT_EQ(transactions[0].url, "http://srv.example/a.html");
+  EXPECT_EQ(transactions[0].status, 200);
+  EXPECT_EQ(transactions[0].bytes, 11u);
+  EXPECT_EQ(transactions[0].method, "GET");
+  EXPECT_EQ(transactions[0].client, "10.0.0.1");
+}
+
+TEST(Extractor, MultipleConnections) {
+  std::vector<SynthExchange> exchanges;
+  for (int i = 0; i < 20; ++i) {
+    exchanges.push_back(make_exchange("http://s/e" + std::to_string(i) + ".gif",
+                                      std::string(100 + i, 'x'), 200, i * 10));
+  }
+  const auto transactions = run_pipeline(exchanges);
+  ASSERT_EQ(transactions.size(), 20u);
+  EXPECT_EQ(transactions[7].bytes, 107u);
+}
+
+TEST(Extractor, SurvivesReorderingAndDuplication) {
+  SynthOptions options;
+  options.reorder_probability = 0.3;
+  options.duplicate_probability = 0.2;
+  options.max_segment_bytes = 64;  // force many segments
+  std::vector<SynthExchange> exchanges;
+  for (int i = 0; i < 30; ++i) {
+    exchanges.push_back(make_exchange("http://s/r" + std::to_string(i) + ".html",
+                                      std::string(500, static_cast<char>('a' + i % 26))));
+  }
+  const auto transactions = run_pipeline(exchanges, options);
+  ASSERT_EQ(transactions.size(), 30u);
+  for (const auto& transaction : transactions) EXPECT_EQ(transaction.bytes, 500u);
+}
+
+TEST(Extractor, HostHeaderReconstructsAbsoluteUrl) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/relative/doc.html";
+  request.headers.set("Host", "www.example.edu");
+  HttpResponse response;
+  response.status = 200;
+  response.headers.set("Content-Length", "2");
+  response.body = "ok";
+  SynthExchange exchange;
+  exchange.request = request.serialize();
+  exchange.response = response.serialize();
+  const auto transactions = run_pipeline({exchange});
+  ASSERT_EQ(transactions.size(), 1u);
+  EXPECT_EQ(transactions[0].url, "http://www.example.edu/relative/doc.html");
+}
+
+TEST(Extractor, CloseDelimitedResponseFlushedByFin) {
+  // Response with no Content-Length: body extends to connection close.
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "http://s/nolen.txt";
+  SynthExchange exchange;
+  exchange.request = request.serialize();
+  exchange.response = "HTTP/1.0 200 OK\r\n\r\nbody until close";
+  const auto transactions = run_pipeline({exchange});
+  ASSERT_EQ(transactions.size(), 1u);
+  EXPECT_EQ(transactions[0].bytes, 16u);
+}
+
+TEST(Extractor, NonOkStatusesReported) {
+  const auto transactions = run_pipeline({make_exchange("http://s/missing.html", "", 404)});
+  ASSERT_EQ(transactions.size(), 1u);
+  EXPECT_EQ(transactions[0].status, 404);
+  EXPECT_EQ(transactions[0].bytes, 0u);
+}
+
+TEST(Extractor, ToRawRequestAndClfExport) {
+  const auto transactions =
+      run_pipeline({make_exchange("http://srv.example/x.gif", "imgdata", 200, 12'345)});
+  ASSERT_EQ(transactions.size(), 1u);
+  const RawRequest raw = HttpExtractor::to_raw_request(transactions[0]);
+  EXPECT_EQ(raw.url, "http://srv.example/x.gif");
+  EXPECT_EQ(raw.size, 7u);
+  // The record must round-trip through the common log format.
+  const auto reparsed = parse_clf_line(format_clf_line(raw));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->url, raw.url);
+  EXPECT_EQ(reparsed->size, raw.size);
+  EXPECT_EQ(reparsed->status, 200);
+}
+
+TEST(Extractor, CountsEmitted) {
+  std::vector<SynthExchange> exchanges = {make_exchange("http://s/1.html", "a"),
+                                          make_exchange("http://s/2.html", "b")};
+  HttpExtractor extractor{[](const HttpTransaction&) {}};
+  for (const TcpSegment& segment : synthesize_capture(exchanges)) extractor.accept(segment);
+  extractor.finish();
+  EXPECT_EQ(extractor.transactions_emitted(), 2u);
+  EXPECT_EQ(extractor.parse_failures(), 0u);
+}
+
+TEST(Extractor, FormatIpv4) {
+  EXPECT_EQ(format_ipv4(0x0a000001), "10.0.0.1");
+  EXPECT_EQ(format_ipv4(0xffffffff), "255.255.255.255");
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,68 @@
+#include "src/trace/file_type.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+TEST(FileType, GraphicsExtensions) {
+  EXPECT_EQ(classify_url("/img/logo.gif"), FileType::kGraphics);
+  EXPECT_EQ(classify_url("/photo.JPG"), FileType::kGraphics);
+  EXPECT_EQ(classify_url("http://h/a/b.jpeg"), FileType::kGraphics);
+  EXPECT_EQ(classify_url("/x.xbm"), FileType::kGraphics);
+}
+
+TEST(FileType, TextExtensions) {
+  EXPECT_EQ(classify_url("/index.html"), FileType::kText);
+  EXPECT_EQ(classify_url("/notes.txt"), FileType::kText);
+  EXPECT_EQ(classify_url("/paper.ps"), FileType::kText);
+  EXPECT_EQ(classify_url("/syllabus.htm"), FileType::kText);
+}
+
+TEST(FileType, AudioVideo) {
+  EXPECT_EQ(classify_url("/songs/track1.au"), FileType::kAudio);
+  EXPECT_EQ(classify_url("/clip.wav"), FileType::kAudio);
+  EXPECT_EQ(classify_url("/movie.mpg"), FileType::kVideo);
+  EXPECT_EQ(classify_url("/demo.mov"), FileType::kVideo);
+}
+
+TEST(FileType, CgiByExtensionAndShape) {
+  EXPECT_EQ(classify_url("/cgi-bin/counter"), FileType::kCgi);
+  EXPECT_EQ(classify_url("/search?q=web"), FileType::kCgi);
+  EXPECT_EQ(classify_url("/run.cgi"), FileType::kCgi);
+}
+
+TEST(FileType, DirectoryUrlIsText) {
+  // Directory URLs serve index documents.
+  EXPECT_EQ(classify_url("/"), FileType::kText);
+  EXPECT_EQ(classify_url("/dir/sub/"), FileType::kText);
+}
+
+TEST(FileType, UnknownExtensions) {
+  EXPECT_EQ(classify_url("/data.dat"), FileType::kUnknown);
+  EXPECT_EQ(classify_url("/archive.zip"), FileType::kUnknown);
+  EXPECT_EQ(classify_url("/noextension"), FileType::kUnknown);
+}
+
+TEST(FileType, ExtensionClassifierDirect) {
+  EXPECT_EQ(classify_extension("gif"), FileType::kGraphics);
+  EXPECT_EQ(classify_extension("mp3"), FileType::kAudio);
+  EXPECT_EQ(classify_extension("qt"), FileType::kVideo);
+  EXPECT_EQ(classify_extension("weird"), FileType::kUnknown);
+}
+
+TEST(FileType, NamesMatchTable4Rows) {
+  EXPECT_EQ(to_string(FileType::kGraphics), "graphics");
+  EXPECT_EQ(to_string(FileType::kText), "text/html");
+  EXPECT_EQ(to_string(FileType::kAudio), "audio");
+  EXPECT_EQ(to_string(FileType::kVideo), "video");
+  EXPECT_EQ(to_string(FileType::kCgi), "cgi");
+  EXPECT_EQ(to_string(FileType::kUnknown), "unknown");
+}
+
+TEST(FileType, AllTypesEnumerated) {
+  EXPECT_EQ(kAllFileTypes.size(), kFileTypeCount);
+}
+
+}  // namespace
+}  // namespace wcs

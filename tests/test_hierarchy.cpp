@@ -1,0 +1,115 @@
+// N-level hierarchy (§5 open problem 3, multi-level part).
+#include "src/core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/policy.h"
+#include "src/util/rng.h"
+
+namespace wcs {
+namespace {
+
+CacheHierarchy make_three_level(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2) {
+  std::vector<CacheHierarchy::LevelSpec> levels;
+  const auto add = [&levels](std::uint64_t capacity) {
+    CacheHierarchy::LevelSpec spec;
+    spec.config.capacity_bytes = capacity;
+    spec.policy = make_size();
+    levels.push_back(std::move(spec));
+  };
+  add(l0);
+  add(l1);
+  add(l2);
+  return CacheHierarchy{std::move(levels)};
+}
+
+TEST(Hierarchy, MissInstallsAtEveryLevel) {
+  CacheHierarchy hierarchy = make_three_level(1000, 10'000, 0);
+  EXPECT_EQ(hierarchy.access(1, 1, 100).hit_level, -1);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_TRUE(hierarchy.level(k).contains(1));
+}
+
+TEST(Hierarchy, NearestLevelServes) {
+  CacheHierarchy hierarchy = make_three_level(1000, 10'000, 0);
+  hierarchy.access(1, 1, 100);
+  EXPECT_EQ(hierarchy.access(2, 1, 100).hit_level, 0);
+  EXPECT_EQ(hierarchy.level_stats()[0].hits, 1u);
+}
+
+TEST(Hierarchy, FarLevelHitRefillsNearerLevels) {
+  CacheHierarchy hierarchy = make_three_level(150, 10'000, 0);
+  hierarchy.access(1, 1, 100);
+  hierarchy.access(2, 2, 100);  // evicts 1 from level 0 only
+  EXPECT_FALSE(hierarchy.level(0).contains(1));
+  EXPECT_TRUE(hierarchy.level(1).contains(1));
+  const auto result = hierarchy.access(3, 1, 100);
+  EXPECT_EQ(result.hit_level, 1);
+  EXPECT_TRUE(hierarchy.level(0).contains(1));  // refilled on the way
+}
+
+TEST(Hierarchy, StatsOverAllRequests) {
+  CacheHierarchy hierarchy = make_three_level(150, 400, 0);
+  hierarchy.access(1, 1, 100);   // miss
+  hierarchy.access(2, 1, 100);   // L0 hit
+  hierarchy.access(3, 2, 100);   // miss, evicts 1 from L0
+  hierarchy.access(4, 1, 100);   // L1 hit
+  EXPECT_EQ(hierarchy.requests(), 4u);
+  EXPECT_DOUBLE_EQ(hierarchy.hit_rate_of(0), 0.25);
+  EXPECT_DOUBLE_EQ(hierarchy.hit_rate_of(1), 0.25);
+  EXPECT_DOUBLE_EQ(hierarchy.combined_hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(hierarchy.weighted_hit_rate_of(1), 0.25);
+}
+
+TEST(Hierarchy, SizeChangeMissesEverywhere) {
+  CacheHierarchy hierarchy = make_three_level(1000, 10'000, 0);
+  hierarchy.access(1, 1, 100);
+  const auto result = hierarchy.access(2, 1, 120);
+  EXPECT_EQ(result.hit_level, -1);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(hierarchy.level(k).find(1)->size, 120u);
+  }
+}
+
+TEST(Hierarchy, SingleLevelDegeneratesToCache) {
+  std::vector<CacheHierarchy::LevelSpec> levels;
+  CacheHierarchy::LevelSpec spec;
+  spec.config.capacity_bytes = 500;
+  spec.policy = make_lru();
+  levels.push_back(std::move(spec));
+  CacheHierarchy hierarchy{std::move(levels)};
+  hierarchy.access(1, 1, 100);
+  EXPECT_EQ(hierarchy.access(2, 1, 100).hit_level, 0);
+  EXPECT_EQ(hierarchy.level_count(), 1u);
+}
+
+TEST(Hierarchy, EmptyRejected) {
+  EXPECT_THROW(CacheHierarchy{std::vector<CacheHierarchy::LevelSpec>{}},
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, DeeperHierarchyNeverServesFewerRequestsOverall) {
+  // Adding an infinite outer level can only add hits.
+  const auto run = [](bool with_outer) {
+    std::vector<CacheHierarchy::LevelSpec> levels;
+    CacheHierarchy::LevelSpec l0;
+    l0.config.capacity_bytes = 2'000;
+    l0.policy = make_size();
+    levels.push_back(std::move(l0));
+    if (with_outer) {
+      CacheHierarchy::LevelSpec l1;
+      l1.config.capacity_bytes = 0;  // infinite
+      l1.policy = make_lru();
+      levels.push_back(std::move(l1));
+    }
+    CacheHierarchy hierarchy{std::move(levels)};
+    Rng rng{3};
+    for (int i = 0; i < 5'000; ++i) {
+      hierarchy.access(i, static_cast<UrlId>(rng.below(50)), 200 + rng.below(800));
+    }
+    return hierarchy.combined_hit_rate();
+  };
+  EXPECT_GE(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace wcs

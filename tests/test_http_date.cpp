@@ -1,0 +1,77 @@
+#include "src/http/date.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+TEST(HttpDate, FormatsEpoch) {
+  // Day 0 of the simulation epoch is 01/Jan/1995, a Sunday.
+  EXPECT_EQ(to_http_date(0), "Sun, 01 Jan 1995 00:00:00 GMT");
+}
+
+TEST(HttpDate, FormatsWeekdayProgression) {
+  EXPECT_EQ(to_http_date(day_start(1)), "Mon, 02 Jan 1995 00:00:00 GMT");
+  EXPECT_EQ(to_http_date(day_start(7)), "Sun, 08 Jan 1995 00:00:00 GMT");
+}
+
+TEST(HttpDate, ParsesRfc1123) {
+  const auto t = parse_http_date("Sun, 01 Jan 1995 00:00:10 GMT");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 10);
+}
+
+TEST(HttpDate, ParsesRfc850) {
+  const auto t = parse_http_date("Sunday, 01-Jan-95 00:00:10 GMT");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 10);
+}
+
+TEST(HttpDate, ParsesAsctime) {
+  const auto t = parse_http_date("Sun Jan 1 00:00:10 1995");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 10);
+}
+
+TEST(HttpDate, RoundTripsArbitraryTimes) {
+  for (const SimTime t : {SimTime{0}, SimTime{86'399}, SimTime{86'400 * 100 + 12'345},
+                          SimTime{86'400 * 400 + 1}}) {
+    const auto parsed = parse_http_date(to_http_date(t));
+    ASSERT_TRUE(parsed.has_value()) << to_http_date(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(HttpDate, ParsesPre1995Dates) {
+  const auto t = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_LT(*t, 0);  // before the simulation epoch
+  EXPECT_EQ(to_http_date(*t), "Sun, 06 Nov 1994 08:49:37 GMT");
+}
+
+TEST(HttpDate, TwoDigitYearWindow) {
+  const auto y95 = parse_http_date("Sunday, 01-Jan-95 00:00:00 GMT");
+  ASSERT_TRUE(y95.has_value());
+  EXPECT_EQ(*y95, 0);
+  const auto y05 = parse_http_date("Saturday, 01-Jan-05 00:00:00 GMT");
+  ASSERT_TRUE(y05.has_value());
+  EXPECT_GT(*y05, 0);  // 2005, not 1905
+}
+
+TEST(HttpDate, RejectsGarbage) {
+  EXPECT_FALSE(parse_http_date("").has_value());
+  EXPECT_FALSE(parse_http_date("yesterday").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 32 Jan 1995 00:00:00 GMT").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 01 Foo 1995 00:00:00 GMT").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 01 Jan 1995 25:00:00 GMT").has_value());
+}
+
+TEST(HttpDate, LeapDay) {
+  const auto t = parse_http_date("Thu, 29 Feb 1996 12:00:00 GMT");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(to_http_date(*t), "Thu, 29 Feb 1996 12:00:00 GMT");
+  EXPECT_FALSE(parse_http_date("Wed, 29 Feb 1995 12:00:00 GMT").has_value());
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,94 @@
+#include "src/http/message.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+TEST(HeaderMap, AddAndCaseInsensitiveGet) {
+  HeaderMap headers;
+  headers.add("Content-Type", "text/html");
+  EXPECT_EQ(headers.get("content-type"), "text/html");
+  EXPECT_EQ(headers.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(headers.get("missing").has_value());
+  EXPECT_TRUE(headers.contains("Content-Type"));
+}
+
+TEST(HeaderMap, GetReturnsFirstOfDuplicates) {
+  HeaderMap headers;
+  headers.add("X-Multi", "one");
+  headers.add("X-Multi", "two");
+  EXPECT_EQ(headers.get("x-multi"), "one");
+  EXPECT_EQ(headers.size(), 2u);
+}
+
+TEST(HeaderMap, SetReplacesAndDeduplicates) {
+  HeaderMap headers;
+  headers.add("X-Multi", "one");
+  headers.add("X-Multi", "two");
+  headers.set("x-multi", "three");
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_EQ(headers.get("X-Multi"), "three");
+}
+
+TEST(HeaderMap, SetAddsWhenAbsent) {
+  HeaderMap headers;
+  headers.set("Host", "example.com");
+  EXPECT_EQ(headers.get("host"), "example.com");
+}
+
+TEST(HeaderMap, RemoveDeletesAllOccurrences) {
+  HeaderMap headers;
+  headers.add("A", "1");
+  headers.add("a", "2");
+  headers.add("B", "3");
+  headers.remove("A");
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_FALSE(headers.contains("a"));
+}
+
+TEST(HeaderMap, ContentLengthParsing) {
+  HeaderMap headers;
+  EXPECT_FALSE(headers.content_length().has_value());
+  headers.set("Content-Length", " 1234 ");
+  EXPECT_EQ(headers.content_length(), 1234u);
+  headers.set("Content-Length", "junk");
+  EXPECT_FALSE(headers.content_length().has_value());
+}
+
+TEST(HttpRequest, Serialize) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "http://h/x.html";
+  request.headers.add("Accept", "*/*");
+  const std::string wire = request.serialize();
+  EXPECT_EQ(wire, "GET http://h/x.html HTTP/1.0\r\nAccept: */*\r\n\r\n");
+}
+
+TEST(HttpRequest, SerializeWithBody) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/cgi-bin/form.cgi";
+  request.headers.add("Content-Length", "5");
+  request.body = "a=b&c";
+  const std::string wire = request.serialize();
+  EXPECT_NE(wire.find("\r\n\r\na=b&c"), std::string::npos);
+}
+
+TEST(HttpResponse, Serialize) {
+  HttpResponse response;
+  response.status = 404;
+  response.reason = "Not Found";
+  response.headers.add("Content-Length", "0");
+  EXPECT_EQ(response.serialize(), "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+}
+
+TEST(ReasonPhrase, KnownAndUnknown) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(304), "Not Modified");
+  EXPECT_EQ(reason_phrase(501), "Not Implemented");
+  EXPECT_EQ(reason_phrase(299), "Unknown");
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,162 @@
+#include "src/http/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+TEST(HttpParser, ParsesSimpleRequest) {
+  const auto request = parse_request("GET /x.html HTTP/1.0\r\nHost: h\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/x.html");
+  EXPECT_EQ(request->version, "HTTP/1.0");
+  EXPECT_EQ(request->headers.get("Host"), "h");
+}
+
+TEST(HttpParser, ParsesRequestWithBody) {
+  const auto request =
+      parse_request("POST /f HTTP/1.0\r\nContent-Length: 4\r\n\r\nabcd");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->body, "abcd");
+}
+
+TEST(HttpParser, ToleratesBareLfLineEndings) {
+  const auto request = parse_request("GET / HTTP/1.0\nHost: h\n\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->headers.get("host"), "h");
+}
+
+TEST(HttpParser, Http09RequestWithoutVersion) {
+  RequestParser parser;
+  const auto messages = parser.feed("GET /old.html\r\n\r\n");
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].version, "HTTP/0.9");
+}
+
+TEST(HttpParser, RejectsGarbageStartLine) {
+  RequestParser parser;
+  parser.feed("NONSENSE\r\n\r\n");
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(HttpParser, IncrementalByteAtATime) {
+  RequestParser parser;
+  const std::string wire = "GET /inc.html HTTP/1.0\r\nX-A: 1\r\n\r\n";
+  std::vector<HttpRequest> all;
+  for (const char c : wire) {
+    auto out = parser.feed(std::string_view{&c, 1});
+    for (auto& m : out) all.push_back(std::move(m));
+  }
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].target, "/inc.html");
+  EXPECT_FALSE(parser.has_partial());
+}
+
+TEST(HttpParser, PipelinedRequests) {
+  RequestParser parser;
+  const auto messages =
+      parser.feed("GET /a HTTP/1.0\r\n\r\nGET /b HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].target, "/a");
+  EXPECT_EQ(messages[1].target, "/b");
+}
+
+TEST(HttpParser, HeaderFolding) {
+  const auto request =
+      parse_request("GET / HTTP/1.0\r\nX-Long: part1\r\n part2\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->headers.get("X-Long"), "part1 part2");
+}
+
+TEST(HttpParser, MalformedHeaderFails) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.0\r\nno-colon-here\r\n\r\n");
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(HttpParser, ParsesResponseWithContentLength) {
+  const auto response = parse_response(
+      "HTTP/1.0 200 OK\r\nContent-Length: 5\r\nLast-Modified: x\r\n\r\nhello");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->reason, "OK");
+  EXPECT_EQ(response->body, "hello");
+}
+
+TEST(HttpParser, ResponseReasonMayContainSpaces) {
+  const auto response =
+      parse_response("HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->reason, "Not Found");
+}
+
+TEST(HttpParser, CloseDelimitedResponseNeedsFinish) {
+  ResponseParser parser;
+  auto messages = parser.feed("HTTP/1.0 200 OK\r\n\r\npartial body");
+  EXPECT_TRUE(messages.empty());
+  messages = parser.feed(" continues");
+  EXPECT_TRUE(messages.empty());
+  const auto last = parser.finish();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->body, "partial body continues");
+}
+
+TEST(HttpParser, PipelinedResponses) {
+  ResponseParser parser;
+  const auto messages = parser.feed(
+      "HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nab"
+      "HTTP/1.0 304 Not Modified\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].body, "ab");
+  EXPECT_EQ(messages[1].status, 304);
+}
+
+TEST(HttpParser, ResponseInvalidStatusFails) {
+  ResponseParser parser;
+  parser.feed("HTTP/1.0 9999 Wat\r\n\r\n");
+  EXPECT_TRUE(parser.failed());
+  ResponseParser parser2;
+  parser2.feed("NOTHTTP 200 OK\r\n\r\n");
+  EXPECT_TRUE(parser2.failed());
+}
+
+TEST(HttpParser, ResetClearsState) {
+  RequestParser parser;
+  parser.feed("GARBAGE\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  parser.reset();
+  EXPECT_FALSE(parser.failed());
+  const auto messages = parser.feed("GET /ok HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(messages.size(), 1u);
+}
+
+TEST(HttpParser, HeaderBlockHelper) {
+  HeaderMap headers;
+  const auto consumed = parse_header_block("A: 1\r\nB: 2\r\n\r\nrest", headers);
+  ASSERT_TRUE(consumed.has_value());
+  EXPECT_EQ(*consumed, 14u);
+  EXPECT_EQ(headers.get("A"), "1");
+  EXPECT_EQ(headers.get("B"), "2");
+
+  HeaderMap incomplete;
+  EXPECT_EQ(parse_header_block("A: 1\r\n", incomplete), 0u);
+
+  HeaderMap bad;
+  EXPECT_FALSE(parse_header_block(": nameless\r\n\r\n", bad).has_value());
+}
+
+TEST(HttpParser, RoundTripSerializeParse) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "http://host/path/doc.html";
+  request.headers.add("If-Modified-Since", "Sun, 01 Jan 1995 00:00:00 GMT");
+  const auto reparsed = parse_request(request.serialize());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->target, request.target);
+  EXPECT_EQ(reparsed->headers.get("if-modified-since"),
+            "Sun, 01 Jan 1995 00:00:00 GMT");
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,113 @@
+#include "src/core/keys.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace wcs {
+namespace {
+
+CacheEntry entry(std::uint64_t size, SimTime etime, SimTime atime, std::uint64_t nref,
+                 std::uint64_t tag = 0, UrlId url = 1) {
+  CacheEntry e;
+  e.url = url;
+  e.size = size;
+  e.etime = etime;
+  e.atime = atime;
+  e.nref = nref;
+  e.random_tag = tag;
+  return e;
+}
+
+TEST(Keys, SizeRankRemovesLargestFirst) {
+  // Smaller rank = removed earlier; the larger file must rank smaller.
+  EXPECT_LT(key_rank(Key::kSize, entry(5000, 0, 0, 1)),
+            key_rank(Key::kSize, entry(100, 0, 0, 1)));
+}
+
+TEST(Keys, Log2SizeBucketsTies) {
+  // 1200 and 1400 share floor(log2) = 10; 5000 is in bucket 12.
+  EXPECT_EQ(key_rank(Key::kLog2Size, entry(1200, 0, 0, 1)),
+            key_rank(Key::kLog2Size, entry(1400, 0, 0, 1)));
+  EXPECT_LT(key_rank(Key::kLog2Size, entry(5000, 0, 0, 1)),
+            key_rank(Key::kLog2Size, entry(1200, 0, 0, 1)));
+}
+
+TEST(Keys, EtimeRankIsFifo) {
+  EXPECT_LT(key_rank(Key::kEtime, entry(1, 10, 99, 1)),
+            key_rank(Key::kEtime, entry(1, 20, 5, 1)));
+}
+
+TEST(Keys, AtimeRankIsLru) {
+  EXPECT_LT(key_rank(Key::kAtime, entry(1, 0, 100, 1)),
+            key_rank(Key::kAtime, entry(1, 0, 200, 1)));
+}
+
+TEST(Keys, DayAtimeCollapsesWithinDay) {
+  const SimTime morning = day_start(3) + 8 * kSecondsPerHour;
+  const SimTime evening = day_start(3) + 20 * kSecondsPerHour;
+  EXPECT_EQ(key_rank(Key::kDayAtime, entry(1, 0, morning, 1)),
+            key_rank(Key::kDayAtime, entry(1, 0, evening, 1)));
+  EXPECT_LT(key_rank(Key::kDayAtime, entry(1, 0, morning, 1)),
+            key_rank(Key::kDayAtime, entry(1, 0, day_start(4), 1)));
+}
+
+TEST(Keys, NrefRankIsLfu) {
+  EXPECT_LT(key_rank(Key::kNref, entry(1, 0, 0, 2)), key_rank(Key::kNref, entry(1, 0, 0, 9)));
+}
+
+TEST(Keys, RandomRankUsesTag) {
+  EXPECT_LT(key_rank(Key::kRandom, entry(1, 0, 0, 1, 10)),
+            key_rank(Key::kRandom, entry(1, 0, 0, 1, 20)));
+}
+
+TEST(Keys, Names) {
+  EXPECT_EQ(to_string(Key::kSize), "SIZE");
+  EXPECT_EQ(to_string(Key::kLog2Size), "LOG2SIZE");
+  EXPECT_EQ(to_string(Key::kDayAtime), "DAY(ATIME)");
+  const KeySpec spec{{Key::kSize, Key::kAtime}};
+  EXPECT_EQ(spec.name(), "SIZE+ATIME");
+}
+
+TEST(Keys, Experiment2GridHas36Combinations) {
+  const auto grid = KeySpec::experiment2_grid();
+  EXPECT_EQ(grid.size(), 36u);
+  for (const auto& spec : grid) {
+    ASSERT_EQ(spec.keys.size(), 2u);
+    EXPECT_NE(spec.keys[0], spec.keys[1]);
+    EXPECT_NE(spec.keys[0], Key::kRandom);  // random is never a primary
+  }
+  // All specs distinct.
+  std::set<std::string> names;
+  for (const auto& spec : grid) names.insert(spec.name());
+  EXPECT_EQ(names.size(), 36u);
+}
+
+TEST(Keys, RankTupleLexicographicOrder) {
+  const KeySpec spec{{Key::kSize, Key::kAtime}};
+  const auto big_old = make_rank_tuple(spec, entry(5000, 0, 10, 1, 7, 1));
+  const auto big_new = make_rank_tuple(spec, entry(5000, 0, 99, 1, 7, 2));
+  const auto small_any = make_rank_tuple(spec, entry(10, 0, 1, 1, 7, 3));
+  EXPECT_LT(big_old, big_new);    // size ties broken by atime
+  EXPECT_LT(big_new, small_any);  // larger size always first
+}
+
+TEST(Keys, RankTupleTiebreaksByTagThenUrl) {
+  const KeySpec spec{{Key::kSize}};
+  const auto a = make_rank_tuple(spec, entry(100, 0, 0, 1, 5, 1));
+  const auto b = make_rank_tuple(spec, entry(100, 0, 0, 1, 5, 2));
+  const auto c = make_rank_tuple(spec, entry(100, 0, 0, 1, 9, 1));
+  EXPECT_LT(a, b);  // same ranks+tag: url decides
+  EXPECT_LT(a, c);  // same ranks: tag decides
+  EXPECT_EQ(a, a);
+}
+
+TEST(Keys, ZeroSizeEntryStillOrders) {
+  // The validator prevents zero sizes, but the comparator must stay total.
+  EXPECT_GT(key_rank(Key::kLog2Size, entry(0, 0, 0, 1)),
+            key_rank(Key::kLog2Size, entry(1, 0, 0, 1)));
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,127 @@
+#include "src/core/lru_min.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cache.h"
+#include "src/core/sorted_policy.h"
+
+namespace wcs {
+namespace {
+
+CacheEntry entry(UrlId url, std::uint64_t size, SimTime atime, std::uint64_t tag = 0) {
+  CacheEntry e;
+  e.url = url;
+  e.size = size;
+  e.etime = atime;
+  e.atime = atime;
+  e.nref = 1;
+  e.random_tag = tag;
+  return e;
+}
+
+EvictionContext incoming(std::uint64_t size) {
+  EvictionContext ctx;
+  ctx.incoming_size = size;
+  ctx.needed_bytes = size;
+  return ctx;
+}
+
+TEST(LruMin, PrefersDocAtLeastIncomingSize) {
+  LruMinPolicy policy;
+  policy.on_insert(entry(1, 8000, 10));   // large, old
+  policy.on_insert(entry(2, 500, 5));     // small, oldest
+  policy.on_insert(entry(3, 9000, 20));   // large, newer
+  // Incoming 6000: docs >= 6000 are {1, 3}; LRU among them is 1 — even
+  // though doc 2 is older overall.
+  EXPECT_EQ(policy.choose_victim(incoming(6000)), 1u);
+}
+
+TEST(LruMin, HalvesThresholdWhenNoneQualify) {
+  LruMinPolicy policy;
+  policy.on_insert(entry(1, 300, 10));
+  policy.on_insert(entry(2, 700, 5));
+  // Incoming 3000: none >= 3000, none >= 1500; at 750 none; at 375 doc 2
+  // qualifies (700 >= 375).
+  EXPECT_EQ(policy.choose_victim(incoming(3000)), 2u);
+}
+
+TEST(LruMin, FallsBackToGlobalLru) {
+  LruMinPolicy policy;
+  policy.on_insert(entry(1, 4, 10));
+  policy.on_insert(entry(2, 6, 5));
+  // Incoming 1: threshold 1 -> every doc qualifies: plain LRU.
+  EXPECT_EQ(policy.choose_victim(incoming(1)), 2u);
+}
+
+TEST(LruMin, LruWithinSameThresholdClass) {
+  LruMinPolicy policy;
+  policy.on_insert(entry(1, 1000, 50));
+  policy.on_insert(entry(2, 1100, 20));
+  policy.on_insert(entry(3, 1200, 90));
+  EXPECT_EQ(policy.choose_victim(incoming(1000)), 2u);
+}
+
+TEST(LruMin, BoundaryBucketFiltersBySize) {
+  LruMinPolicy policy;
+  // Bucket 9 holds [512, 1024): 600 does NOT qualify for threshold 700,
+  // 800 does.
+  policy.on_insert(entry(1, 600, 5));   // oldest but too small
+  policy.on_insert(entry(2, 800, 50));
+  EXPECT_EQ(policy.choose_victim(incoming(700)), 2u);
+}
+
+TEST(LruMin, HitRefreshesRecency) {
+  LruMinPolicy policy;
+  policy.on_insert(entry(1, 1000, 10));
+  policy.on_insert(entry(2, 1000, 20));
+  CacheEntry touched = entry(1, 1000, 99);
+  touched.nref = 2;
+  policy.on_hit(touched);
+  EXPECT_EQ(policy.choose_victim(incoming(1000)), 2u);
+}
+
+TEST(LruMin, RemoveUntracks) {
+  LruMinPolicy policy;
+  const CacheEntry doc = entry(1, 1000, 10);
+  policy.on_insert(doc);
+  policy.on_remove(doc);
+  EXPECT_EQ(policy.tracked(), 0u);
+  EXPECT_FALSE(policy.choose_victim(incoming(100)).has_value());
+}
+
+TEST(LruMin, WorksInsideCache) {
+  CacheConfig config;
+  config.capacity_bytes = 10'000;
+  Cache cache{config, make_lru_min()};
+  cache.access(1, 1, 6000);
+  cache.access(2, 2, 3000);
+  cache.access(3, 3, 900);
+  // Incoming 5000 forces evictions; the 6000-byte doc (>= incoming) goes
+  // first, freeing enough in one removal.
+  const auto result = cache.access(4, 4, 5000);
+  EXPECT_TRUE(result.inserted);
+  EXPECT_EQ(result.evictions, 1u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(LruMin, DiffersFromLog2SizeApproximation) {
+  // §1.2: LRU-MIN thresholds are relative to the incoming size; LOG2SIZE
+  // buckets are absolute. An old medium doc and a newer large doc order
+  // differently under the two policies when the incoming doc is small.
+  LruMinPolicy lru_min;
+  SortedPolicy log2{KeySpec{{Key::kLog2Size, Key::kAtime}}};
+  for (auto* target : {static_cast<RemovalPolicy*>(&lru_min),
+                       static_cast<RemovalPolicy*>(&log2)}) {
+    target->on_insert(entry(1, 10'000, 5));   // old, large
+    target->on_insert(entry(2, 64'000, 90));  // newest, largest
+  }
+  // Incoming 8000: LRU-MIN's first threshold (>= 8000) admits both; LRU
+  // picks the older doc 1. LOG2SIZE removes one of the largest -> doc 2.
+  EXPECT_EQ(lru_min.choose_victim(incoming(8000)), 1u);
+  EXPECT_EQ(log2.choose_victim(incoming(8000)), 2u);
+}
+
+}  // namespace
+}  // namespace wcs

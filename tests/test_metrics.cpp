@@ -1,0 +1,93 @@
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+TEST(DailySeries, DailyRates) {
+  DailySeries series;
+  series.record(day_start(0) + 10, true, 100);
+  series.record(day_start(0) + 20, false, 300);
+  series.record(day_start(2) + 10, true, 50);
+  const auto hr = series.daily_hr();
+  const auto whr = series.daily_whr();
+  ASSERT_EQ(hr.size(), 3u);
+  EXPECT_DOUBLE_EQ(*hr[0], 0.5);
+  EXPECT_FALSE(hr[1].has_value());  // unrecorded day
+  EXPECT_DOUBLE_EQ(*hr[2], 1.0);
+  EXPECT_DOUBLE_EQ(*whr[0], 0.25);
+}
+
+TEST(DailySeries, OverallAndMeanDaily) {
+  DailySeries series;
+  series.record(day_start(0), true, 100);   // day 0: HR 1.0
+  series.record(day_start(1), false, 100);  // day 1: HR 0
+  series.record(day_start(1), false, 100);
+  EXPECT_DOUBLE_EQ(series.overall_hr(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(series.mean_daily_hr(), 0.5);  // days weighted equally
+  EXPECT_DOUBLE_EQ(series.overall_whr(), 1.0 / 3.0);
+}
+
+TEST(DailySeries, SmoothedSkipsFirstSixRecordedDays) {
+  DailySeries series;
+  for (int d = 0; d < 10; ++d) {
+    series.record(day_start(d), d % 2 == 0, 100);  // alternating 1.0 / 0.0
+  }
+  const auto smoothed = series.smoothed_hr(7);
+  for (int d = 0; d < 6; ++d) EXPECT_FALSE(smoothed[d].has_value()) << d;
+  ASSERT_TRUE(smoothed[6].has_value());
+  EXPECT_NEAR(*smoothed[6], 4.0 / 7.0, 1e-12);  // days 0,2,4,6 hit
+  EXPECT_NEAR(*smoothed[7], 3.0 / 7.0, 1e-12);
+}
+
+TEST(DailySeries, SmoothedAveragesRecordedDaysOnly) {
+  // Workload C records nothing Fri-Sun; the paper averages the previous
+  // seven *recorded* days.
+  DailySeries series;
+  int recorded = 0;
+  for (int d = 0; d < 21 && recorded < 8; ++d) {
+    if (d % 7 >= 4) continue;  // skip 3 days a week
+    series.record(day_start(d), true, 100);
+    ++recorded;
+  }
+  const auto smoothed = series.smoothed_hr(7);
+  // The 7th recorded day lands on calendar day 10 (days 0,1,2,3,7,8,9).
+  ASSERT_TRUE(smoothed[9].has_value());
+  EXPECT_DOUBLE_EQ(*smoothed[9], 1.0);
+  EXPECT_FALSE(smoothed[8].has_value());
+  EXPECT_FALSE(smoothed[4].has_value());  // unrecorded day stays empty
+}
+
+TEST(DailySeries, RecordHitOnlyAugments) {
+  DailySeries series;
+  series.record(day_start(0), false, 100);
+  series.record_hit_only(day_start(0), 100);
+  EXPECT_DOUBLE_EQ(series.overall_hr(), 1.0);  // 1 hit / 1 request
+}
+
+TEST(SeriesRatio, ElementwisePercent) {
+  std::vector<std::optional<double>> num = {0.5, std::nullopt, 0.2, 0.3};
+  std::vector<std::optional<double>> den = {1.0, 0.5, std::nullopt, 0.0};
+  const auto ratio = series_ratio(num, den);
+  ASSERT_EQ(ratio.size(), 4u);
+  EXPECT_DOUBLE_EQ(*ratio[0], 50.0);
+  EXPECT_FALSE(ratio[1].has_value());
+  EXPECT_FALSE(ratio[2].has_value());
+  EXPECT_FALSE(ratio[3].has_value());  // division by zero suppressed
+}
+
+TEST(SeriesRatio, SizeMismatchUsesShorter) {
+  std::vector<std::optional<double>> num = {1.0, 1.0};
+  std::vector<std::optional<double>> den = {2.0};
+  EXPECT_EQ(series_ratio(num, den).size(), 1u);
+}
+
+TEST(SeriesMean, IgnoresMissing) {
+  std::vector<std::optional<double>> series = {std::nullopt, 2.0, 4.0, std::nullopt};
+  EXPECT_DOUBLE_EQ(series_mean(series), 3.0);
+  EXPECT_DOUBLE_EQ(series_mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace wcs

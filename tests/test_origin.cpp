@@ -1,0 +1,100 @@
+#include "src/proxy/origin.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/date.h"
+
+namespace wcs {
+namespace {
+
+HttpRequest get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return request;
+}
+
+TEST(Origin, ServesPublishedDocument) {
+  OriginServer origin{"www.cs.vt.edu"};
+  origin.put("/index.html", "<html>hi</html>", 100);
+  const HttpResponse response = origin.handle(get("/index.html"), 500);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "<html>hi</html>");
+  EXPECT_EQ(response.headers.get("Last-Modified"), to_http_date(100));
+  EXPECT_EQ(response.headers.content_length(), response.body.size());
+}
+
+TEST(Origin, AbsoluteUrlForOwnHost) {
+  OriginServer origin{"www.cs.vt.edu"};
+  origin.put("/a.gif", "GIF89a", 1);
+  EXPECT_EQ(origin.handle(get("http://www.cs.vt.edu/a.gif"), 2).status, 200);
+  EXPECT_EQ(origin.handle(get("http://WWW.CS.VT.EDU/a.gif"), 2).status, 200);
+  EXPECT_EQ(origin.handle(get("http://www.cs.vt.edu:80/a.gif"), 2).status, 200);
+  EXPECT_EQ(origin.handle(get("http://other.host/a.gif"), 2).status, 404);
+}
+
+TEST(Origin, UnknownPathIs404) {
+  OriginServer origin{"h"};
+  EXPECT_EQ(origin.handle(get("/nope.html"), 1).status, 404);
+}
+
+TEST(Origin, NonGetIs501) {
+  OriginServer origin{"h"};
+  origin.put("/x", "data", 1);
+  HttpRequest request = get("/x");
+  request.method = "DELETE";
+  EXPECT_EQ(origin.handle(request, 2).status, 501);
+}
+
+TEST(Origin, HeadOmitsBody) {
+  OriginServer origin{"h"};
+  origin.put("/x", "data", 1);
+  HttpRequest request = get("/x");
+  request.method = "HEAD";
+  const HttpResponse response = origin.handle(request, 2);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(response.body.empty());
+  EXPECT_EQ(response.headers.content_length(), 4u);
+}
+
+TEST(Origin, ConditionalGetFreshIs304) {
+  OriginServer origin{"h"};
+  origin.put("/x", "data", 100);
+  HttpRequest request = get("/x");
+  request.headers.set("If-Modified-Since", to_http_date(200));
+  const HttpResponse response = origin.handle(request, 300);
+  EXPECT_EQ(response.status, 304);
+  EXPECT_TRUE(response.body.empty());
+}
+
+TEST(Origin, ConditionalGetStaleIsFullResponse) {
+  OriginServer origin{"h"};
+  origin.put("/x", "v1", 100);
+  ASSERT_TRUE(origin.edit("/x", "v2 longer", 400));
+  HttpRequest request = get("/x");
+  request.headers.set("If-Modified-Since", to_http_date(200));
+  const HttpResponse response = origin.handle(request, 500);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "v2 longer");
+}
+
+TEST(Origin, EditAndRemove) {
+  OriginServer origin{"h"};
+  EXPECT_FALSE(origin.edit("/missing", "x", 1));
+  origin.put("/x", "v1", 1);
+  EXPECT_EQ(origin.document_count(), 1u);
+  EXPECT_TRUE(origin.remove("/x"));
+  EXPECT_FALSE(origin.remove("/x"));
+  EXPECT_EQ(origin.handle(get("/x"), 2).status, 404);
+}
+
+TEST(Origin, CountsRequests) {
+  OriginServer origin{"h"};
+  origin.put("/x", "d", 1);
+  (void)origin.handle(get("/x"), 2);
+  (void)origin.handle(get("/y"), 3);
+  EXPECT_EQ(origin.requests_served(), 2u);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,146 @@
+// The paper's worked example (Table 2): a 42.5kB cache, the 15-request
+// trace for documents A-H, and a new 1.5kB document I arriving at time 15+.
+// Table 2's middle section fixes each document's key values; its bottom
+// section (and §1.2's prose) fixes which documents each policy removes.
+// Sizes use 1kB = 1024 bytes (that is the convention under which Table 2's
+// floor(log2) values hold, e.g. E = 8kB -> bucket 13).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/core/policy.h"
+
+namespace wcs {
+namespace {
+
+constexpr std::uint64_t kB = 1024;
+
+struct Doc {
+  UrlId id;
+  std::uint64_t size;
+};
+
+// A..H get ids 1..8.
+const std::map<char, Doc> kDocs = {
+    {'A', {1, 1945}},   // 1.9 kB
+    {'B', {2, 1229}},   // 1.2 kB
+    {'C', {3, 9216}},   // 9 kB
+    {'D', {4, 15360}},  // 15 kB
+    {'E', {5, 8192}},   // 8 kB
+    {'F', {6, 307}},    // 0.3 kB
+    {'G', {7, 1945}},   // 1.9 kB
+    {'H', {8, 5325}},   // 5.2 kB
+};
+
+constexpr std::string_view kTrace = "ABCBBADECDFGADH";  // times 1..15
+
+Cache run_table2(std::unique_ptr<RemovalPolicy> policy) {
+  CacheConfig config;
+  config.capacity_bytes = static_cast<std::uint64_t>(42.5 * kB);  // 43520
+  Cache cache{config, std::move(policy)};
+  SimTime t = 1;
+  for (const char name : kTrace) {
+    const Doc& doc = kDocs.at(name);
+    cache.access(t++, doc.id, doc.size);
+  }
+  return cache;
+}
+
+std::vector<char> evicted_after_insert(Cache& cache) {
+  // Document I: 1.5 kB, previously unseen, id 9, at time 16.
+  std::vector<char> evicted;
+  for (const auto& [name, doc] : kDocs) {
+    if (!cache.contains(doc.id)) evicted.push_back(name);
+  }
+  EXPECT_TRUE(evicted.empty()) << "cache should be full but complete before I";
+  cache.access(16, 9, static_cast<std::uint64_t>(1.5 * kB));
+  evicted.clear();
+  for (const auto& [name, doc] : kDocs) {
+    if (!cache.contains(doc.id)) evicted.push_back(name);
+  }
+  return evicted;
+}
+
+TEST(PaperTable2, CacheIsExactlyFullAfterTrace) {
+  Cache cache = run_table2(make_lru());
+  EXPECT_EQ(cache.entry_count(), 8u);
+  EXPECT_EQ(cache.used_bytes(), 43'519u);  // one byte shy of 42.5 kB
+  EXPECT_EQ(cache.stats().hits, 7u);       // B,B,A,C,D,A,D repeats
+}
+
+TEST(PaperTable2, KeyValuesMatchMiddleTable) {
+  Cache cache = run_table2(make_lru());
+  const auto check = [&](char name, SimTime etime, SimTime atime, std::uint64_t nref) {
+    const CacheEntry* entry = cache.find(kDocs.at(name).id);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_EQ(entry->etime, etime) << name;
+    EXPECT_EQ(entry->atime, atime) << name;
+    EXPECT_EQ(entry->nref, nref) << name;
+  };
+  check('A', 1, 13, 3);
+  check('B', 2, 5, 3);
+  check('C', 3, 9, 2);
+  check('D', 7, 14, 3);
+  check('E', 8, 8, 1);
+  check('F', 11, 11, 1);
+  check('G', 12, 12, 1);
+  check('H', 15, 15, 1);
+}
+
+TEST(PaperTable2, FifoRemovesA) {
+  // ETIME primary: A entered first; 1.9 kB frees enough for I.
+  Cache cache = run_table2(make_fifo());
+  EXPECT_EQ(evicted_after_insert(cache), std::vector<char>{'A'});
+}
+
+TEST(PaperTable2, LruRemovesBThenE) {
+  // §1.2: "LRU will first remove document B, freeing up 1.2kB ... but this
+  // is insufficient ... LRU then removes E to free 8kB more."
+  Cache cache = run_table2(make_lru());
+  EXPECT_EQ(evicted_after_insert(cache), (std::vector<char>{'B', 'E'}));
+}
+
+TEST(PaperTable2, SizeRemovesD) {
+  Cache cache = run_table2(make_size());
+  EXPECT_EQ(evicted_after_insert(cache), std::vector<char>{'D'});
+}
+
+TEST(PaperTable2, Log2SizeWithAtimeRemovesE) {
+  // Bucket 13 holds C, D, E; E is the least recently used of the three.
+  Cache cache = run_table2(
+      make_sorted_policy(KeySpec{{Key::kLog2Size, Key::kAtime}}));
+  EXPECT_EQ(evicted_after_insert(cache), std::vector<char>{'E'});
+}
+
+TEST(PaperTable2, LfuWithEtimeRemovesE) {
+  // NREF=1 group ordered by ETIME: E entered first.
+  Cache cache = run_table2(make_sorted_policy(KeySpec{{Key::kNref, Key::kEtime}}));
+  EXPECT_EQ(evicted_after_insert(cache), std::vector<char>{'E'});
+}
+
+TEST(PaperTable2, HyperGRemovesE) {
+  // NREF then ATIME: E is the only doc with nref=1 and the oldest access.
+  Cache cache = run_table2(make_hyper_g());
+  EXPECT_EQ(evicted_after_insert(cache), std::vector<char>{'E'});
+}
+
+TEST(PaperTable2, PitkowReckerFallsBackToSize) {
+  // Every document was accessed "today" (all times within day 0), so the
+  // policy's SIZE branch governs: D goes.
+  Cache cache = run_table2(make_pitkow_recker());
+  EXPECT_EQ(evicted_after_insert(cache), std::vector<char>{'D'});
+}
+
+TEST(PaperTable2, LruMinRemovesDocAtLeastIncomingSize) {
+  // LRU-MIN with incoming 1.5kB: documents >= 1.5kB are A,C,D,E,G,H; the
+  // least recently used of them is B? no - B is 1.2kB. Among qualifiers the
+  // oldest access is E (atime 8).
+  Cache cache = run_table2(make_lru_min());
+  EXPECT_EQ(evicted_after_insert(cache), std::vector<char>{'E'});
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,85 @@
+#include "src/core/partitioned_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/policy.h"
+
+namespace wcs {
+namespace {
+
+PartitionedCache audio_split(std::uint64_t total, double fraction) {
+  return PartitionedCache::audio_split(total, fraction, [] { return make_size(); });
+}
+
+TEST(Partitioned, RoutesByMediaClass) {
+  PartitionedCache cache = audio_split(1000, 0.5);
+  cache.access(1, 1, 100, FileType::kAudio);
+  cache.access(2, 2, 100, FileType::kText);
+  EXPECT_EQ(cache.partition(0).entry_count(), 1u);
+  EXPECT_EQ(cache.partition(1).entry_count(), 1u);
+  EXPECT_EQ(cache.partition_of(FileType::kAudio), 0u);
+  EXPECT_EQ(cache.partition_of(FileType::kGraphics), 1u);
+  EXPECT_EQ(cache.partition_name(0), "audio");
+}
+
+TEST(Partitioned, CapacitySplitMatchesFraction) {
+  PartitionedCache cache = audio_split(1000, 0.25);
+  EXPECT_EQ(cache.partition(0).capacity_bytes(), 250u);
+  EXPECT_EQ(cache.partition(1).capacity_bytes(), 750u);
+}
+
+TEST(Partitioned, AudioCannotDisplaceNonAudio) {
+  PartitionedCache cache = audio_split(1000, 0.5);
+  cache.access(1, 1, 400, FileType::kText);
+  // A burst of audio fills its own partition only.
+  for (std::uint32_t i = 10; i < 20; ++i) cache.access(2, i, 450, FileType::kAudio);
+  EXPECT_TRUE(cache.partition(1).contains(1));
+  EXPECT_LE(cache.partition(0).used_bytes(), 500u);
+}
+
+TEST(Partitioned, HitsCountedPerPartition) {
+  PartitionedCache cache = audio_split(1000, 0.5);
+  cache.access(1, 1, 100, FileType::kAudio);
+  cache.access(2, 1, 100, FileType::kAudio);
+  EXPECT_EQ(cache.partition(0).stats().hits, 1u);
+  EXPECT_EQ(cache.partition(1).stats().hits, 0u);
+}
+
+TEST(Partitioned, CombinedStatsSum) {
+  PartitionedCache cache = audio_split(1000, 0.5);
+  cache.access(1, 1, 100, FileType::kAudio);
+  cache.access(2, 2, 100, FileType::kText);
+  cache.access(3, 1, 100, FileType::kAudio);
+  const CacheStats total = cache.combined_stats();
+  EXPECT_EQ(total.requests, 3u);
+  EXPECT_EQ(total.hits, 1u);
+  EXPECT_EQ(total.requested_bytes, 300u);
+}
+
+TEST(Partitioned, CustomPartitionsAndClassifier) {
+  std::vector<PartitionedCache::PartitionSpec> specs;
+  specs.push_back({"media", 600, [] { return make_lru(); }});
+  specs.push_back({"small", 400, [] { return make_lru(); }});
+  PartitionedCache cache{std::move(specs), [](FileType type) -> std::size_t {
+                           return type == FileType::kAudio || type == FileType::kVideo ? 0 : 1;
+                         }};
+  cache.access(1, 1, 10, FileType::kVideo);
+  cache.access(2, 2, 10, FileType::kCgi);
+  EXPECT_EQ(cache.partition(0).entry_count(), 1u);
+  EXPECT_EQ(cache.partition(1).entry_count(), 1u);
+}
+
+TEST(Partitioned, RejectsBadConstruction) {
+  EXPECT_THROW(PartitionedCache({}, [](FileType) -> std::size_t { return 0; }),
+               std::invalid_argument);
+  std::vector<PartitionedCache::PartitionSpec> specs;
+  specs.push_back({"only", 100, [] { return make_lru(); }});
+  EXPECT_THROW(PartitionedCache(std::move(specs),
+                                [](FileType) -> std::size_t { return 5; }),
+               std::invalid_argument);
+  EXPECT_THROW(audio_split(1000, 0.0), std::invalid_argument);
+  EXPECT_THROW(audio_split(1000, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,164 @@
+// Property suite run against EVERY removal policy: the cache invariants
+// that must hold regardless of which document a policy picks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/core/keys.h"
+#include "src/core/policy.h"
+#include "src/util/rng.h"
+
+namespace wcs {
+namespace {
+
+struct PolicyCase {
+  std::string name;
+  std::function<std::unique_ptr<RemovalPolicy>()> factory;
+};
+
+std::vector<PolicyCase> all_policies() {
+  std::vector<PolicyCase> cases;
+  for (const KeySpec& spec : KeySpec::experiment2_grid()) {
+    cases.push_back({spec.name(), [spec] { return make_sorted_policy(spec); }});
+  }
+  cases.push_back({"LRU-MIN", [] { return make_lru_min(); }});
+  cases.push_back({"Pitkow-Recker", [] { return make_pitkow_recker(); }});
+  cases.push_back({"Hyper-G", [] { return make_hyper_g(); }});
+  cases.push_back({"RANDOM", [] { return make_random(); }});
+  return cases;
+}
+
+class PolicyProperty : public ::testing::TestWithParam<PolicyCase> {};
+
+// A deterministic random workload with repeats, varied sizes and occasional
+// size changes, driven through a small cache.
+struct Step {
+  SimTime time;
+  UrlId url;
+  std::uint64_t size;
+};
+
+std::vector<Step> random_workload(std::uint64_t seed, std::size_t steps) {
+  Rng rng{seed};
+  std::vector<Step> out;
+  std::map<UrlId, std::uint64_t> sizes;
+  SimTime now = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    now += static_cast<SimTime>(rng.below(4 * kSecondsPerHour));
+    const auto url = static_cast<UrlId>(rng.below(60));
+    auto [it, inserted] = sizes.emplace(url, 16 + rng.below(5000));
+    if (!inserted && rng.chance(0.05)) it->second += 7;  // document modified
+    out.push_back({now, url, it->second});
+  }
+  return out;
+}
+
+TEST_P(PolicyProperty, CacheNeverExceedsCapacity) {
+  CacheConfig config;
+  config.capacity_bytes = 12'000;
+  Cache cache{config, GetParam().factory()};
+  for (const Step& step : random_workload(1, 3000)) {
+    cache.access(step.time, step.url, step.size);
+    ASSERT_LE(cache.used_bytes(), config.capacity_bytes);
+  }
+}
+
+TEST_P(PolicyProperty, HitImpliesPreviouslyInserted) {
+  CacheConfig config;
+  config.capacity_bytes = 12'000;
+  Cache cache{config, GetParam().factory()};
+  std::map<UrlId, std::uint64_t> last_admitted;  // url -> size, while cached
+  for (const Step& step : random_workload(2, 3000)) {
+    const bool was_cached = cache.contains(step.url);
+    const auto* before = cache.find(step.url);
+    const bool expect_hit = was_cached && before->size == step.size;
+    const AccessResult result = cache.access(step.time, step.url, step.size);
+    ASSERT_EQ(result.hit, expect_hit) << "url " << step.url;
+  }
+  (void)last_admitted;
+}
+
+TEST_P(PolicyProperty, UsedBytesMatchesEntrySum) {
+  CacheConfig config;
+  config.capacity_bytes = 9'000;
+  Cache cache{config, GetParam().factory()};
+  const auto workload = random_workload(3, 2000);
+  for (const Step& step : workload) cache.access(step.time, step.url, step.size);
+  std::uint64_t sum = 0;
+  for (const CacheEntry& entry : cache.snapshot()) sum += entry.size;
+  ASSERT_EQ(sum, cache.used_bytes());
+  ASSERT_EQ(cache.snapshot().size(), cache.entry_count());
+}
+
+TEST_P(PolicyProperty, DeterministicAcrossRuns) {
+  const auto run = [&](std::uint64_t seed) {
+    CacheConfig config;
+    config.capacity_bytes = 10'000;
+    config.seed = seed;
+    Cache cache{config, GetParam().factory()};
+    std::uint64_t hits = 0;
+    for (const Step& step : random_workload(4, 2500)) {
+      if (cache.access(step.time, step.url, step.size).hit) ++hits;
+    }
+    return hits;
+  };
+  ASSERT_EQ(run(77), run(77));
+}
+
+TEST_P(PolicyProperty, StatsAreConsistent) {
+  CacheConfig config;
+  config.capacity_bytes = 15'000;
+  Cache cache{config, GetParam().factory()};
+  for (const Step& step : random_workload(5, 3000)) {
+    cache.access(step.time, step.url, step.size);
+  }
+  const CacheStats& stats = cache.stats();
+  ASSERT_EQ(stats.requests, 3000u);
+  ASSERT_LE(stats.hits, stats.requests);
+  ASSERT_LE(stats.hit_bytes, stats.requested_bytes);
+  ASSERT_GE(stats.max_used_bytes, cache.used_bytes());
+  ASSERT_LE(stats.max_used_bytes, config.capacity_bytes);
+  // insertions - evictions - (entries removed by size change) == live docs.
+  ASSERT_EQ(stats.insertions - stats.evictions - stats.size_change_misses,
+            cache.entry_count());
+}
+
+TEST_P(PolicyProperty, SurvivesTinyCache) {
+  // A cache barely bigger than single documents: constant eviction churn.
+  CacheConfig config;
+  config.capacity_bytes = 600;
+  Cache cache{config, GetParam().factory()};
+  for (const Step& step : random_workload(6, 2000)) {
+    cache.access(step.time, step.url, step.size % 512 + 1);
+    ASSERT_LE(cache.used_bytes(), config.capacity_bytes);
+  }
+}
+
+TEST_P(PolicyProperty, EraseLeavesConsistentState) {
+  CacheConfig config;
+  config.capacity_bytes = 20'000;
+  Cache cache{config, GetParam().factory()};
+  Rng rng{7};
+  for (const Step& step : random_workload(8, 1500)) {
+    cache.access(step.time, step.url, step.size);
+    if (rng.chance(0.05)) cache.erase(static_cast<UrlId>(rng.below(60)));
+  }
+  std::uint64_t sum = 0;
+  for (const CacheEntry& entry : cache.snapshot()) sum += entry.size;
+  ASSERT_EQ(sum, cache.used_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperty, ::testing::ValuesIn(all_policies()),
+                         [](const ::testing::TestParamInfo<PolicyCase>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace wcs

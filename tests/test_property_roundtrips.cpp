@@ -1,0 +1,202 @@
+// Parameterized round-trip property suites over randomized inputs:
+// serialize/parse identities for the common log format, HTTP dates, HTTP
+// messages, and the TCP reassembly + HTTP extraction pipeline under random
+// segmentation and delivery order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/capture/extractor.h"
+#include "src/capture/synth.h"
+#include "src/http/date.h"
+#include "src/http/parser.h"
+#include "src/trace/clf.h"
+#include "src/util/rng.h"
+
+namespace wcs {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string random_token(Rng& rng, std::size_t max_len) {
+  static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789-._";
+  std::string out;
+  const std::size_t len = 1 + rng.below(max_len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kChars[rng.below(sizeof(kChars) - 1)];
+  }
+  return out;
+}
+
+TEST_P(RoundTrip, ClfRecordSurvivesFormatParse) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    RawRequest record;
+    record.time = static_cast<SimTime>(rng.below(500ULL * kSecondsPerDay));
+    record.client = random_token(rng, 24) + ".example";
+    record.method = "GET";
+    record.url = "http://" + random_token(rng, 12) + ".edu/" + random_token(rng, 30) +
+                 (rng.chance(0.5) ? ".html" : ".gif");
+    record.status = rng.chance(0.8) ? 200 : (rng.chance(0.5) ? 304 : 404);
+    record.size = rng.below(100'000'000);
+    const auto reparsed = parse_clf_line(format_clf_line(record));
+    ASSERT_TRUE(reparsed.has_value()) << format_clf_line(record);
+    EXPECT_EQ(reparsed->time, record.time);
+    EXPECT_EQ(reparsed->client, record.client);
+    EXPECT_EQ(reparsed->url, record.url);
+    EXPECT_EQ(reparsed->status, record.status);
+    EXPECT_EQ(reparsed->size, record.size);
+  }
+}
+
+TEST_P(RoundTrip, HttpDateSurvivesFormatParse) {
+  Rng rng{GetParam() ^ 0x11};
+  for (int i = 0; i < 500; ++i) {
+    // Dates within ~8 years of the 1995 epoch, either side.
+    const auto t = static_cast<SimTime>(rng.range(-3000LL * kSecondsPerDay,
+                                                  3000LL * kSecondsPerDay));
+    const auto parsed = parse_http_date(to_http_date(t));
+    ASSERT_TRUE(parsed.has_value()) << to_http_date(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST_P(RoundTrip, HttpRequestSurvivesSerializeParse) {
+  Rng rng{GetParam() ^ 0x22};
+  for (int i = 0; i < 100; ++i) {
+    HttpRequest request;
+    request.method = rng.chance(0.8) ? "GET" : "HEAD";
+    request.target = "http://" + random_token(rng, 10) + "/" + random_token(rng, 20);
+    const std::size_t headers = rng.below(6);
+    for (std::size_t h = 0; h < headers; ++h) {
+      request.headers.add("X-" + random_token(rng, 8), random_token(rng, 16));
+    }
+    if (rng.chance(0.3)) {
+      request.body = random_token(rng, 64);
+      request.headers.set("Content-Length", std::to_string(request.body.size()));
+    }
+    const auto reparsed = parse_request(request.serialize());
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(reparsed->method, request.method);
+    EXPECT_EQ(reparsed->target, request.target);
+    EXPECT_EQ(reparsed->body, request.body);
+    EXPECT_EQ(reparsed->headers.size(), request.headers.size());
+  }
+}
+
+TEST_P(RoundTrip, ClfStreamSurvivesWriteRead) {
+  Rng rng{GetParam() ^ 0x33};
+  std::vector<RawRequest> records;
+  for (int i = 0; i < 100; ++i) {
+    RawRequest record;
+    record.time = static_cast<SimTime>(i * 61);
+    record.client = "c" + std::to_string(rng.below(10));
+    record.method = "GET";
+    record.url = "/d" + std::to_string(rng.below(50)) + ".html";
+    record.status = 200;
+    record.size = rng.below(1'000'000);
+    records.push_back(std::move(record));
+  }
+  std::stringstream stream;
+  write_clf(stream, records);
+  const auto read_back = read_clf(stream);
+  EXPECT_EQ(read_back.malformed_lines, 0u);
+  ASSERT_EQ(read_back.requests.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(read_back.requests[i].url, records[i].url);
+    EXPECT_EQ(read_back.requests[i].size, records[i].size);
+  }
+}
+
+TEST_P(RoundTrip, CapturePipelineRecoversAllTransactions) {
+  Rng rng{GetParam() ^ 0x44};
+  std::vector<SynthExchange> exchanges;
+  std::vector<std::uint64_t> body_sizes;
+  const std::size_t count = 5 + rng.below(20);
+  for (std::size_t i = 0; i < count; ++i) {
+    HttpRequest request;
+    request.method = "GET";
+    request.target = "http://h/" + random_token(rng, 12);
+    HttpResponse response;
+    response.status = 200;
+    const std::uint64_t body = rng.below(5000);
+    response.headers.set("Content-Length", std::to_string(body));
+    response.body = std::string(body, 'z');
+    body_sizes.push_back(body);
+    SynthExchange exchange;
+    exchange.request = request.serialize();
+    exchange.response = response.serialize();
+    exchange.start_time = static_cast<std::int64_t>(i);
+    exchanges.push_back(std::move(exchange));
+  }
+  SynthOptions options;
+  options.max_segment_bytes = 1 + rng.below(700);
+  options.reorder_probability = rng.uniform() * 0.4;
+  options.duplicate_probability = rng.uniform() * 0.3;
+  options.seed = GetParam();
+
+  std::vector<HttpTransaction> transactions;
+  HttpExtractor extractor{[&](const HttpTransaction& t) { transactions.push_back(t); }};
+  for (const TcpSegment& segment : synthesize_capture(exchanges, options)) {
+    extractor.accept(segment);
+  }
+  extractor.finish();
+  ASSERT_EQ(transactions.size(), exchanges.size());
+  for (std::size_t i = 0; i < transactions.size(); ++i) {
+    EXPECT_EQ(transactions[i].bytes, body_sizes[i]);
+    EXPECT_EQ(transactions[i].status, 200);
+  }
+  EXPECT_EQ(extractor.parse_failures(), 0u);
+}
+
+TEST_P(RoundTrip, ReassemblerOrderInvariance) {
+  // Any delivery order of the data segments (SYN first) yields the same
+  // byte stream.
+  Rng rng{GetParam() ^ 0x55};
+  const FlowKey flow{1, 2, 3, 80};
+  const std::string message = [&] {
+    std::string out;
+    const std::size_t len = 50 + rng.below(2000);
+    for (std::size_t i = 0; i < len; ++i) {
+      out += static_cast<char>('a' + (i * 31 + len) % 26);
+    }
+    return out;
+  }();
+
+  std::vector<TcpSegment> data_segments;
+  std::uint32_t seq = 1001;  // SYN at 1000
+  std::size_t offset = 0;
+  while (offset < message.size()) {
+    const std::size_t len = 1 + rng.below(97);
+    TcpSegment segment;
+    segment.flow = flow;
+    segment.seq = seq;
+    segment.payload = message.substr(offset, len);
+    seq += static_cast<std::uint32_t>(segment.payload.size());
+    offset += segment.payload.size();
+    data_segments.push_back(std::move(segment));
+  }
+  // Shuffle deterministically.
+  for (std::size_t i = data_segments.size(); i > 1; --i) {
+    std::swap(data_segments[i - 1], data_segments[rng.below(i)]);
+  }
+
+  std::string delivered;
+  StreamReassembler reassembler{
+      [&](const FlowKey&, std::string_view bytes, std::int64_t) { delivered.append(bytes); }};
+  TcpSegment syn;
+  syn.flow = flow;
+  syn.seq = 1000;
+  syn.syn = true;
+  reassembler.accept(syn);
+  for (const TcpSegment& segment : data_segments) reassembler.accept(segment);
+  EXPECT_EQ(delivered, message);
+  EXPECT_EQ(reassembler.flows_with_gaps(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace wcs

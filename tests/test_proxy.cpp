@@ -1,0 +1,185 @@
+#include "src/proxy/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/date.h"
+#include "src/proxy/origin.h"
+
+namespace wcs {
+namespace {
+
+HttpRequest get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return request;
+}
+
+struct Fixture {
+  OriginServer origin{"srv.example"};
+  ProxyCache::Config config;
+
+  ProxyCache make() {
+    return ProxyCache{config, [this](const HttpRequest& request, SimTime now) {
+                        return origin.handle(request, now);
+                      }};
+  }
+};
+
+TEST(Proxy, MissThenHit) {
+  Fixture fixture;
+  fixture.origin.put("/a.html", "document body", 10);
+  ProxyCache proxy = fixture.make();
+
+  const HttpResponse first = proxy.handle(get("http://srv.example/a.html"), 100);
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(first.headers.get("X-Cache"), "MISS");
+  EXPECT_EQ(first.body, "document body");
+
+  const HttpResponse second = proxy.handle(get("http://srv.example/a.html"), 110);
+  EXPECT_EQ(second.status, 200);
+  EXPECT_EQ(second.headers.get("X-Cache"), "HIT");
+  EXPECT_EQ(second.body, "document body");
+
+  EXPECT_EQ(proxy.stats().requests, 2u);
+  EXPECT_EQ(proxy.stats().hits, 1u);
+  EXPECT_EQ(proxy.stats().misses, 1u);
+  // The origin saw only the first request.
+  EXPECT_EQ(fixture.origin.requests_served(), 1u);
+}
+
+TEST(Proxy, RevalidatesAfterTtlAndKeeps304Fresh) {
+  Fixture fixture;
+  fixture.config.revalidate_after = 100;
+  fixture.origin.put("/a.html", "stable", 10);
+  ProxyCache proxy = fixture.make();
+
+  (void)proxy.handle(get("http://srv.example/a.html"), 1000);
+  // Past the TTL: proxy sends a conditional GET; origin answers 304.
+  const HttpResponse response = proxy.handle(get("http://srv.example/a.html"), 2000);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "stable");
+  EXPECT_EQ(proxy.stats().validations, 1u);
+  EXPECT_EQ(proxy.stats().validated_fresh, 1u);
+  EXPECT_EQ(proxy.stats().hits, 1u);  // a validated-fresh serve is a hit
+  EXPECT_EQ(fixture.origin.requests_served(), 2u);
+}
+
+TEST(Proxy, RevalidationFetchesChangedDocument) {
+  Fixture fixture;
+  fixture.config.revalidate_after = 100;
+  fixture.origin.put("/a.html", "version one", 10);
+  ProxyCache proxy = fixture.make();
+
+  (void)proxy.handle(get("http://srv.example/a.html"), 1000);
+  fixture.origin.edit("/a.html", "version two!", 1500);
+  const HttpResponse response = proxy.handle(get("http://srv.example/a.html"), 2000);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "version two!");
+  EXPECT_EQ(proxy.stats().validations, 1u);
+  EXPECT_EQ(proxy.stats().validated_fresh, 0u);
+  EXPECT_EQ(proxy.stats().misses, 2u);
+  // Subsequent request hits the refreshed copy.
+  const HttpResponse again = proxy.handle(get("http://srv.example/a.html"), 2010);
+  EXPECT_EQ(again.body, "version two!");
+  EXPECT_EQ(again.headers.get("X-Cache"), "HIT");
+}
+
+TEST(Proxy, ClientConditionalGetAnswered304) {
+  Fixture fixture;
+  fixture.origin.put("/a.html", "body", 10);
+  ProxyCache proxy = fixture.make();
+  (void)proxy.handle(get("http://srv.example/a.html"), 100);
+
+  HttpRequest conditional = get("http://srv.example/a.html");
+  conditional.headers.set("If-Modified-Since", to_http_date(50));
+  const HttpResponse response = proxy.handle(conditional, 110);
+  EXPECT_EQ(response.status, 304);
+  EXPECT_TRUE(response.body.empty());
+}
+
+TEST(Proxy, EvictionDropsStoredBody) {
+  Fixture fixture;
+  fixture.config.capacity_bytes = 1000;
+  fixture.config.policy = "lru";
+  ProxyCache proxy = fixture.make();
+  fixture.origin.put("/big1", std::string(600, 'a'), 1);
+  fixture.origin.put("/big2", std::string(600, 'b'), 1);
+  (void)proxy.handle(get("http://srv.example/big1"), 100);
+  (void)proxy.handle(get("http://srv.example/big2"), 200);  // evicts big1
+  EXPECT_LE(proxy.stored_bytes(), 1000u);
+  // big1 is a miss again (and the origin serves it).
+  const HttpResponse response = proxy.handle(get("http://srv.example/big1"), 300);
+  EXPECT_EQ(response.headers.get("X-Cache"), "MISS");
+  EXPECT_EQ(proxy.stats().misses, 3u);
+}
+
+TEST(Proxy, SizePolicyEvictsLargestFirst) {
+  Fixture fixture;
+  fixture.config.capacity_bytes = 1000;
+  fixture.config.policy = "size";
+  ProxyCache proxy = fixture.make();
+  fixture.origin.put("/big", std::string(700, 'a'), 1);
+  fixture.origin.put("/small", std::string(100, 'b'), 1);
+  fixture.origin.put("/medium", std::string(400, 'c'), 1);
+  (void)proxy.handle(get("http://srv.example/big"), 100);
+  (void)proxy.handle(get("http://srv.example/small"), 110);
+  (void)proxy.handle(get("http://srv.example/medium"), 120);  // evicts /big
+  EXPECT_EQ(proxy.handle(get("http://srv.example/small"), 130).headers.get("X-Cache"),
+            "HIT");
+  EXPECT_EQ(proxy.handle(get("http://srv.example/big"), 140).headers.get("X-Cache"),
+            "MISS");
+}
+
+TEST(Proxy, UncacheableResponsesNotStored) {
+  Fixture fixture;
+  fixture.origin.put("/dyn.cgi", "generated", 1);
+  ProxyCache proxy = fixture.make();
+  (void)proxy.handle(get("http://srv.example/dyn.cgi"), 100);
+  const HttpResponse again = proxy.handle(get("http://srv.example/dyn.cgi"), 110);
+  EXPECT_EQ(again.headers.get("X-Cache"), "MISS");
+  EXPECT_EQ(proxy.stats().uncacheable, 2u);
+  EXPECT_EQ(fixture.origin.requests_served(), 2u);
+}
+
+TEST(Proxy, NonGetForwardedNotCached) {
+  Fixture fixture;
+  ProxyCache proxy = fixture.make();
+  HttpRequest post = get("http://srv.example/form");
+  post.method = "POST";
+  const HttpResponse response = proxy.handle(post, 100);
+  EXPECT_EQ(response.status, 501);  // origin refuses non-GET
+  EXPECT_EQ(proxy.stats().uncacheable, 1u);
+  EXPECT_EQ(proxy.cache().entry_count(), 0u);
+}
+
+TEST(Proxy, ErrorResponsesNotCached) {
+  Fixture fixture;
+  ProxyCache proxy = fixture.make();
+  const HttpResponse response = proxy.handle(get("http://srv.example/missing"), 100);
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(proxy.cache().entry_count(), 0u);
+}
+
+TEST(Proxy, AccessLogRecordsEveryRequest) {
+  Fixture fixture;
+  fixture.origin.put("/a.html", "x", 1);
+  ProxyCache proxy = fixture.make();
+  (void)proxy.handle(get("http://srv.example/a.html"), 100);
+  (void)proxy.handle(get("http://srv.example/a.html"), 110);
+  (void)proxy.handle(get("http://srv.example/missing"), 120);
+  ASSERT_EQ(proxy.access_log().size(), 3u);
+  EXPECT_EQ(proxy.access_log()[0].status, 200);
+  EXPECT_EQ(proxy.access_log()[2].status, 404);
+  EXPECT_EQ(proxy.access_log()[1].size, 1u);
+}
+
+TEST(Proxy, RejectsBadConfig) {
+  Fixture fixture;
+  fixture.config.policy = "not-a-policy";
+  EXPECT_THROW(fixture.make(), std::invalid_argument);
+  EXPECT_THROW(ProxyCache(ProxyCache::Config{}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,146 @@
+#include "src/capture/reassembler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wcs {
+namespace {
+
+struct Collector {
+  std::string data;
+  int fin_count = 0;
+
+  StreamReassembler make() {
+    return StreamReassembler{
+        [this](const FlowKey&, std::string_view bytes, std::int64_t) {
+          data.append(bytes);
+        },
+        [this](const FlowKey&, std::int64_t) { ++fin_count; }};
+  }
+};
+
+const FlowKey kFlow{0x0a000001, 0x0a000002, 1234, 80};
+
+TcpSegment seg(std::uint32_t seq, std::string payload, bool syn = false, bool fin = false) {
+  TcpSegment s;
+  s.flow = kFlow;
+  s.seq = seq;
+  s.syn = syn;
+  s.fin = fin;
+  s.payload = std::move(payload);
+  return s;
+}
+
+TEST(Reassembler, InOrderDelivery) {
+  Collector collector;
+  auto reassembler = collector.make();
+  reassembler.accept(seg(100, "", true));
+  reassembler.accept(seg(101, "hello "));
+  reassembler.accept(seg(107, "world"));
+  EXPECT_EQ(collector.data, "hello world");
+}
+
+TEST(Reassembler, OutOfOrderBuffersThenDelivers) {
+  Collector collector;
+  auto reassembler = collector.make();
+  reassembler.accept(seg(100, "", true));
+  reassembler.accept(seg(107, "world"));
+  EXPECT_EQ(collector.data, "");
+  EXPECT_EQ(reassembler.flows_with_gaps(), 1u);
+  reassembler.accept(seg(101, "hello "));
+  EXPECT_EQ(collector.data, "hello world");
+  EXPECT_EQ(reassembler.flows_with_gaps(), 0u);
+}
+
+TEST(Reassembler, DuplicateSegmentsDeliverOnce) {
+  Collector collector;
+  auto reassembler = collector.make();
+  reassembler.accept(seg(100, "", true));
+  reassembler.accept(seg(101, "abc"));
+  reassembler.accept(seg(101, "abc"));
+  reassembler.accept(seg(104, "def"));
+  EXPECT_EQ(collector.data, "abcdef");
+}
+
+TEST(Reassembler, OverlappingRetransmissionTrimmed) {
+  Collector collector;
+  auto reassembler = collector.make();
+  reassembler.accept(seg(100, "", true));
+  reassembler.accept(seg(101, "abcd"));
+  reassembler.accept(seg(103, "cdEF"));  // overlaps last two delivered bytes
+  EXPECT_EQ(collector.data, "abcdEF");
+}
+
+TEST(Reassembler, SynCarriesPayload) {
+  Collector collector;
+  auto reassembler = collector.make();
+  TcpSegment s = seg(200, "early", true);
+  reassembler.accept(s);
+  EXPECT_EQ(collector.data, "early");
+}
+
+TEST(Reassembler, FinSignaledOnlyAfterAllData) {
+  Collector collector;
+  auto reassembler = collector.make();
+  reassembler.accept(seg(100, "", true));
+  TcpSegment fin = seg(104, "", false, true);
+  reassembler.accept(fin);  // data 101..103 still missing
+  EXPECT_EQ(collector.fin_count, 0);
+  reassembler.accept(seg(101, "xyz"));
+  EXPECT_EQ(collector.data, "xyz");
+  EXPECT_EQ(collector.fin_count, 1);
+}
+
+TEST(Reassembler, FinWithPayload) {
+  Collector collector;
+  auto reassembler = collector.make();
+  reassembler.accept(seg(100, "", true));
+  reassembler.accept(seg(101, "bye", false, true));
+  EXPECT_EQ(collector.data, "bye");
+  EXPECT_EQ(collector.fin_count, 1);
+}
+
+TEST(Reassembler, OrphanBytesCounted) {
+  Collector collector;
+  auto reassembler = collector.make();
+  reassembler.accept(seg(500, "lost"));  // no SYN seen
+  EXPECT_EQ(reassembler.orphan_bytes(), 4u);
+  EXPECT_EQ(collector.data, "");
+}
+
+TEST(Reassembler, SequenceWraparound) {
+  Collector collector;
+  auto reassembler = collector.make();
+  const std::uint32_t near_wrap = 0xFFFFFFFE;
+  reassembler.accept(seg(near_wrap, "", true));
+  reassembler.accept(seg(near_wrap + 1, "ab"));  // wraps to 0x00000000+1
+  reassembler.accept(seg(1, "cd"));
+  EXPECT_EQ(collector.data, "abcd");
+}
+
+TEST(Reassembler, IndependentFlows) {
+  Collector collector;
+  auto reassembler = collector.make();
+  reassembler.accept(seg(100, "", true));
+  TcpSegment other = seg(100, "", true);
+  other.flow = FlowKey{9, 9, 9, 9};
+  reassembler.accept(other);
+  TcpSegment other_data = seg(101, "B");
+  other_data.flow = other.flow;
+  reassembler.accept(seg(101, "A"));
+  reassembler.accept(other_data);
+  EXPECT_EQ(collector.data, "AB");
+  EXPECT_EQ(reassembler.active_flows(), 2u);
+}
+
+TEST(FlowKey, ReversedSwapsEndpoints) {
+  const FlowKey reversed = kFlow.reversed();
+  EXPECT_EQ(reversed.src_ip, kFlow.dst_ip);
+  EXPECT_EQ(reversed.src_port, kFlow.dst_port);
+  EXPECT_EQ(reversed.reversed(), kFlow);
+}
+
+}  // namespace
+}  // namespace wcs

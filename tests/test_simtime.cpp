@@ -1,0 +1,83 @@
+#include "src/util/simtime.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+TEST(SimTime, DayOf) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(86'399), 0);
+  EXPECT_EQ(day_of(86'400), 1);
+  EXPECT_EQ(day_of(-1), -1);
+  EXPECT_EQ(day_of(-86'400), -1);
+  EXPECT_EQ(day_of(-86'401), -2);
+}
+
+TEST(SimTime, DayStartRoundTrips) {
+  for (const std::int64_t d : {0LL, 1LL, 37LL, 190LL}) {
+    EXPECT_EQ(day_of(day_start(d)), d);
+    EXPECT_EQ(day_of(day_start(d) + kSecondsPerDay - 1), d);
+  }
+}
+
+TEST(SimTime, SecondOfDay) {
+  EXPECT_EQ(second_of_day(0), 0);
+  EXPECT_EQ(second_of_day(86'400 + 3661), 3661);
+  EXPECT_EQ(second_of_day(-1), 86'399);
+}
+
+TEST(SimTime, WeekdayCyclesSevenDays) {
+  EXPECT_EQ(weekday_of(day_start(0)), 0);
+  EXPECT_EQ(weekday_of(day_start(6)), 6);
+  EXPECT_EQ(weekday_of(day_start(7)), 0);
+  EXPECT_TRUE(is_weekend(day_start(5)));
+  EXPECT_TRUE(is_weekend(day_start(6)));
+  EXPECT_FALSE(is_weekend(day_start(4)));
+}
+
+TEST(SimTime, ClfTimestampFormat) {
+  EXPECT_EQ(to_clf_timestamp(0), "[01/Jan/1995:00:00:00 +0000]");
+  EXPECT_EQ(to_clf_timestamp(86'400 + 3661), "[02/Jan/1995:01:01:01 +0000]");
+}
+
+TEST(SimTime, ClfTimestampYearBoundary) {
+  // 1995 has 365 days; day 365 is 01/Jan/1996.
+  EXPECT_EQ(to_clf_timestamp(day_start(365)), "[01/Jan/1996:00:00:00 +0000]");
+  // 1996 is a leap year: Feb 29 exists.
+  const SimTime feb29_1996 = day_start(365 + 31 + 28);
+  EXPECT_EQ(to_clf_timestamp(feb29_1996), "[29/Feb/1996:00:00:00 +0000]");
+}
+
+TEST(SimTime, ClfTimestampRoundTrip) {
+  for (const SimTime t : {SimTime{0}, SimTime{12'345'678}, SimTime{86'400 * 400 + 7}}) {
+    SimTime parsed = -1;
+    ASSERT_TRUE(parse_clf_timestamp(to_clf_timestamp(t), parsed));
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+TEST(SimTime, ParseRejectsGarbage) {
+  SimTime out = 0;
+  EXPECT_FALSE(parse_clf_timestamp("", out));
+  EXPECT_FALSE(parse_clf_timestamp("[not/a/date]", out));
+  EXPECT_FALSE(parse_clf_timestamp("[32/Jan/1995:00:00:00 +0000]", out));
+  EXPECT_FALSE(parse_clf_timestamp("[01/Foo/1995:00:00:00 +0000]", out));
+  EXPECT_FALSE(parse_clf_timestamp("[01/Jan/1995:25:00:00 +0000]", out));
+  EXPECT_FALSE(parse_clf_timestamp("[29/Feb/1995:00:00:00 +0000]", out));  // not a leap year
+}
+
+TEST(SimTime, ParseAcceptsUnbracketed) {
+  SimTime out = 0;
+  ASSERT_TRUE(parse_clf_timestamp("01/Jan/1995:00:00:10 +0000", out));
+  EXPECT_EQ(out, 10);
+}
+
+TEST(SimTime, FormatDuration) {
+  EXPECT_EQ(format_duration(0), "00:00:00");
+  EXPECT_EQ(format_duration(3661), "01:01:01");
+  EXPECT_EQ(format_duration(86'400 + 61), "1d 00:01:01");
+}
+
+}  // namespace
+}  // namespace wcs

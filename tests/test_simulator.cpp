@@ -1,0 +1,100 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/policy.h"
+
+namespace wcs {
+namespace {
+
+/// A tiny handcrafted trace: two small popular docs, one large audio doc.
+Trace tiny_trace() {
+  Trace trace;
+  const UrlId a = trace.intern_url("http://s/a.html");
+  const UrlId b = trace.intern_url("http://s/b.gif");
+  const UrlId big = trace.intern_url("http://s/song.au");
+  auto add = [&](SimTime t, UrlId u, std::uint64_t size, FileType type) {
+    Request r;
+    r.time = t;
+    r.url = u;
+    r.size = size;
+    r.type = type;
+    trace.add(r);
+  };
+  for (int day = 0; day < 10; ++day) {
+    const SimTime base = day_start(day);
+    add(base + 10, a, 1000, FileType::kText);
+    add(base + 20, b, 2000, FileType::kGraphics);
+    add(base + 30, a, 1000, FileType::kText);
+    add(base + 40, big, 50'000, FileType::kAudio);
+  }
+  return trace;
+}
+
+TEST(Simulator, InfiniteCacheMaxNeededEqualsUniqueBytes) {
+  const Trace trace = tiny_trace();
+  const SimResult result = simulate_infinite(trace);
+  EXPECT_EQ(result.max_used_bytes, 53'000u);
+  EXPECT_EQ(result.stats.evictions, 0u);
+  // 40 requests, 37 hits (3 first references).
+  EXPECT_EQ(result.stats.requests, 40u);
+  EXPECT_EQ(result.stats.hits, 37u);
+}
+
+TEST(Simulator, InfiniteDailyHitRateRisesAfterDayZero) {
+  const SimResult result = simulate_infinite(tiny_trace());
+  const auto hr = result.daily.daily_hr();
+  ASSERT_GE(hr.size(), 2u);
+  EXPECT_DOUBLE_EQ(*hr[0], 0.25);  // day 0: 1 hit of 4
+  EXPECT_DOUBLE_EQ(*hr[1], 1.0);   // everything cached
+}
+
+TEST(Simulator, FiniteCacheWithSizePolicySheddsBigDoc) {
+  const Trace trace = tiny_trace();
+  // Room for the two small docs only.
+  const SimResult result = simulate(trace, 5000, [] { return make_size(); });
+  // a and b always hit after day 0; big never fits -> rejected, never hits.
+  EXPECT_EQ(result.stats.rejected_too_large, 10u);
+  EXPECT_EQ(result.stats.hits, 28u);
+}
+
+TEST(Simulator, ResultsDeterministic) {
+  const Trace trace = tiny_trace();
+  const SimResult a = simulate(trace, 10'000, [] { return make_lru(); });
+  const SimResult b = simulate(trace, 10'000, [] { return make_lru(); });
+  EXPECT_EQ(a.stats.hits, b.stats.hits);
+  EXPECT_EQ(a.stats.evictions, b.stats.evictions);
+}
+
+TEST(Simulator, TwoLevelL2CatchesL1Victims) {
+  const Trace trace = tiny_trace();
+  const TwoLevelSimResult result = simulate_two_level(
+      trace, 5000, [] { return make_size(); }, [] { return make_lru(); });
+  // big misses L1 forever but hits the infinite L2 from its 2nd reference.
+  EXPECT_EQ(result.stats.l2_hits, 9u);
+  EXPECT_GT(result.l2_daily.overall_whr(), result.l2_daily.overall_hr());
+}
+
+TEST(Simulator, PartitionedAudioIsolation) {
+  const Trace trace = tiny_trace();
+  // Total 8kB: audio partition 4kB (too small for the song), non-audio
+  // 4kB (fits both small docs).
+  const PartitionedSimResult result =
+      simulate_partitioned_audio(trace, 8000, 0.5, [] { return make_size(); });
+  EXPECT_EQ(result.audio_stats.hits, 0u);
+  EXPECT_EQ(result.non_audio_stats.hits, 28u);
+  // Class rates are over ALL requests.
+  EXPECT_DOUBLE_EQ(result.non_audio_daily.overall_hr(), 28.0 / 40.0);
+  EXPECT_DOUBLE_EQ(result.audio_daily.overall_hr(), 0.0);
+}
+
+TEST(Simulator, InfiniteByClassReference) {
+  const ClassWhrReference reference = simulate_infinite_by_class(tiny_trace());
+  // Audio: 9 hits of 50kB each over total bytes.
+  const double total_bytes = 10.0 * (1000 + 2000 + 1000 + 50'000);
+  EXPECT_NEAR(reference.audio_daily.overall_whr(), 9.0 * 50'000.0 / total_bytes, 1e-9);
+  EXPECT_GT(reference.non_audio_daily.overall_whr(), 0.0);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,129 @@
+#include "src/core/sorted_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cache.h"
+
+namespace wcs {
+namespace {
+
+CacheEntry entry(UrlId url, std::uint64_t size, SimTime etime, SimTime atime,
+                 std::uint64_t nref, std::uint64_t tag = 0) {
+  CacheEntry e;
+  e.url = url;
+  e.size = size;
+  e.etime = etime;
+  e.atime = atime;
+  e.nref = nref;
+  e.random_tag = tag;
+  return e;
+}
+
+TEST(SortedPolicy, SizePrimaryEvictsLargest) {
+  SortedPolicy policy{KeySpec{{Key::kSize}}};
+  policy.on_insert(entry(1, 100, 0, 0, 1));
+  policy.on_insert(entry(2, 900, 0, 0, 1));
+  policy.on_insert(entry(3, 500, 0, 0, 1));
+  EXPECT_EQ(policy.choose_victim({}), 2u);
+}
+
+TEST(SortedPolicy, AtimePrimaryEvictsLeastRecent) {
+  SortedPolicy policy{KeySpec{{Key::kAtime}}};
+  policy.on_insert(entry(1, 10, 0, 50, 1));
+  policy.on_insert(entry(2, 10, 0, 20, 1));
+  policy.on_insert(entry(3, 10, 0, 80, 1));
+  EXPECT_EQ(policy.choose_victim({}), 2u);
+}
+
+TEST(SortedPolicy, HitReordersIndex) {
+  SortedPolicy policy{KeySpec{{Key::kAtime}}};
+  policy.on_insert(entry(1, 10, 0, 10, 1));
+  policy.on_insert(entry(2, 10, 0, 20, 1));
+  CacheEntry touched = entry(1, 10, 0, 99, 2);
+  policy.on_hit(touched);
+  EXPECT_EQ(policy.choose_victim({}), 2u);
+}
+
+TEST(SortedPolicy, RemoveUntracksEntry) {
+  SortedPolicy policy{KeySpec{{Key::kSize}}};
+  const CacheEntry big = entry(1, 900, 0, 0, 1);
+  policy.on_insert(big);
+  policy.on_insert(entry(2, 100, 0, 0, 1));
+  policy.on_remove(big);
+  EXPECT_EQ(policy.tracked(), 1u);
+  EXPECT_EQ(policy.choose_victim({}), 2u);
+}
+
+TEST(SortedPolicy, EmptyReturnsNullopt) {
+  SortedPolicy policy{KeySpec{{Key::kSize}}};
+  EXPECT_FALSE(policy.choose_victim({}).has_value());
+}
+
+TEST(SortedPolicy, SecondaryKeyBreaksTies) {
+  SortedPolicy policy{KeySpec{{Key::kSize, Key::kAtime}}};
+  policy.on_insert(entry(1, 500, 0, 30, 1));
+  policy.on_insert(entry(2, 500, 0, 10, 1));  // same size, older access
+  policy.on_insert(entry(3, 500, 0, 20, 1));
+  EXPECT_EQ(policy.choose_victim({}), 2u);
+}
+
+TEST(SortedPolicy, TertiaryRandomTagBreaksRemainingTies) {
+  SortedPolicy policy{KeySpec{{Key::kSize, Key::kNref}}};
+  policy.on_insert(entry(1, 500, 0, 0, 1, /*tag=*/50));
+  policy.on_insert(entry(2, 500, 0, 0, 1, /*tag=*/10));
+  EXPECT_EQ(policy.choose_victim({}), 2u);
+}
+
+TEST(SortedPolicy, NrefPrimaryIsLfu) {
+  SortedPolicy policy{KeySpec{{Key::kNref}}};
+  policy.on_insert(entry(1, 10, 0, 0, 5));
+  policy.on_insert(entry(2, 10, 0, 0, 2));
+  policy.on_insert(entry(3, 10, 0, 0, 9));
+  EXPECT_EQ(policy.choose_victim({}), 2u);
+}
+
+TEST(SortedPolicy, PositionOfReportsSortedIndex) {
+  SortedPolicy policy{KeySpec{{Key::kSize}}};
+  policy.on_insert(entry(1, 900, 0, 0, 1));
+  policy.on_insert(entry(2, 100, 0, 0, 1));
+  policy.on_insert(entry(3, 500, 0, 0, 1));
+  EXPECT_EQ(policy.position_of(1), 0u);  // largest = head of removal list
+  EXPECT_EQ(policy.position_of(3), 1u);
+  EXPECT_EQ(policy.position_of(2), 2u);
+  EXPECT_FALSE(policy.position_of(99).has_value());
+}
+
+TEST(SortedPolicy, HyperGKeyOrder) {
+  // Hyper-G: NREF, then ATIME, then SIZE.
+  SortedPolicy policy{KeySpec{{Key::kNref, Key::kAtime, Key::kSize}}};
+  policy.on_insert(entry(1, 100, 0, 50, 2));
+  policy.on_insert(entry(2, 100, 0, 10, 2));  // same nref, older -> victim
+  policy.on_insert(entry(3, 100, 0, 5, 7));   // more refs, safe
+  EXPECT_EQ(policy.choose_victim({}), 2u);
+  // Tie on nref and atime: larger size goes first.
+  SortedPolicy tie_policy{KeySpec{{Key::kNref, Key::kAtime, Key::kSize}}};
+  tie_policy.on_insert(entry(1, 100, 0, 10, 2));
+  tie_policy.on_insert(entry(2, 999, 0, 10, 2));
+  EXPECT_EQ(tie_policy.choose_victim({}), 2u);
+}
+
+TEST(SortedPolicy, FactoryNames) {
+  EXPECT_EQ(make_fifo()->name(), "ETIME");
+  EXPECT_EQ(make_lru()->name(), "ATIME");
+  EXPECT_EQ(make_lfu()->name(), "NREF");
+  EXPECT_EQ(make_size()->name(), "SIZE");
+  EXPECT_EQ(make_hyper_g()->name(), "NREF+ATIME+SIZE");
+}
+
+TEST(SortedPolicy, FactoryByName) {
+  EXPECT_NE(make_policy_by_name("lru"), nullptr);
+  EXPECT_NE(make_policy_by_name("SIZE"), nullptr);
+  EXPECT_NE(make_policy_by_name("lru-min"), nullptr);
+  EXPECT_NE(make_policy_by_name("pitkow-recker"), nullptr);
+  EXPECT_NE(make_policy_by_name("hyper-g"), nullptr);
+  EXPECT_NE(make_policy_by_name("log2size"), nullptr);
+  EXPECT_EQ(make_policy_by_name("bogus"), nullptr);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,99 @@
+#include "src/trace/squid.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/clf.h"
+#include "src/trace/validate.h"
+
+namespace wcs {
+namespace {
+
+constexpr const char* kLine =
+    "796430640.123     87 10.0.0.1 TCP_MISS/200 2934 GET "
+    "http://www.w3.org/pub/WWW/ - DIRECT/18.23.0.23 text/html";
+
+TEST(Squid, ParsesNativeLine) {
+  const auto parsed = parse_squid_line(kLine);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->client, "10.0.0.1");
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->url, "http://www.w3.org/pub/WWW/");
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->size, 2934u);
+  EXPECT_EQ(parsed->time, 796'430'640 - kUnixAtSimEpoch);
+}
+
+TEST(Squid, TimestampRebasedToSimEpoch) {
+  const auto parsed = parse_squid_line(
+      "788918400.000 1 c TCP_HIT/200 10 GET /x.html - NONE/- text/html");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, 0);  // exactly the 1995-01-01 epoch
+}
+
+TEST(Squid, ParsesHitAndMissActions) {
+  for (const char* action : {"TCP_HIT/200", "TCP_MISS/200", "TCP_REFRESH_HIT/304",
+                             "TCP_CLIENT_REFRESH_MISS/200", "UDP_HIT/000"}) {
+    const std::string line = std::string{"796430640.1 5 c "} + action +
+                             " 10 GET http://h/x - DIRECT/1.2.3.4 -";
+    const auto parsed = parse_squid_line(line);
+    if (std::string_view{action}.ends_with("/000")) {
+      EXPECT_TRUE(parsed.has_value());  // code 0 is parseable; validator drops it
+    } else {
+      ASSERT_TRUE(parsed.has_value()) << action;
+    }
+  }
+}
+
+TEST(Squid, RejectsMalformed) {
+  EXPECT_FALSE(parse_squid_line(""));
+  EXPECT_FALSE(parse_squid_line("# comment"));
+  EXPECT_FALSE(parse_squid_line("only three fields here"));
+  EXPECT_FALSE(parse_squid_line("notatime 5 c TCP_MISS/200 10 GET /x - D/- -"));
+  EXPECT_FALSE(parse_squid_line("796430640.1 5 c NOSLASH 10 GET /x - D/- -"));
+  EXPECT_FALSE(parse_squid_line("796430640.1 5 c TCP_MISS/999999 10 GET /x - D/- -"));
+  EXPECT_FALSE(parse_squid_line("796430640.1 5 c TCP_MISS/200 xx GET /x - D/- -"));
+}
+
+TEST(Squid, FormatDetection) {
+  EXPECT_EQ(detect_log_format(kLine), "squid");
+  EXPECT_EQ(detect_log_format("csgrad.cs.vt.edu - - [17/Sep/1995:08:01:12 +0000] "
+                              "\"GET http://x/ HTTP/1.0\" 200 2934"),
+            "clf");
+  EXPECT_EQ(detect_log_format("garbage"), "unknown");
+  EXPECT_EQ(detect_log_format(""), "unknown");
+}
+
+TEST(Squid, StreamReadAndValidate) {
+  std::ostringstream log;
+  for (int i = 0; i < 5; ++i) {
+    log << (788'918'400 + i * 60) << ".5 10 client" << i % 2
+        << " TCP_MISS/200 " << 1000 + i << " GET http://h/doc" << i % 3
+        << ".html - DIRECT/1.1.1.1 text/html\n";
+  }
+  log << "malformed\n";
+  std::istringstream in{log.str()};
+  const SquidReadResult result = read_squid(in);
+  EXPECT_EQ(result.requests.size(), 5u);
+  EXPECT_EQ(result.malformed_lines, 1u);
+
+  // The same validator the CLF path uses applies unchanged.
+  const ValidatedTrace validated = validate(result.requests);
+  EXPECT_EQ(validated.stats.kept, 5u);
+  EXPECT_EQ(validated.trace.url_count(), 3u);
+}
+
+TEST(Squid, RoundTripThroughClf) {
+  // A squid record can be re-emitted as a CLF line and reparsed.
+  const auto parsed = parse_squid_line(kLine);
+  ASSERT_TRUE(parsed.has_value());
+  const auto reparsed = parse_clf_line(format_clf_line(*parsed));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->url, parsed->url);
+  EXPECT_EQ(reparsed->size, parsed->size);
+  EXPECT_EQ(reparsed->time, parsed->time);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,152 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wcs {
+namespace {
+
+TEST(LinearHistogram, BinsAndTotals) {
+  LinearHistogram hist{0.0, 100.0, 10};
+  hist.add(5.0);
+  hist.add(15.0);
+  hist.add(15.5);
+  hist.add(99.9);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 2u);
+  EXPECT_EQ(hist.count(9), 1u);
+}
+
+TEST(LinearHistogram, ClampsOutliers) {
+  LinearHistogram hist{0.0, 10.0, 2};
+  hist.add(-5.0);
+  hist.add(100.0);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.total(), 2u);
+}
+
+TEST(LinearHistogram, WeightsAccumulate) {
+  LinearHistogram hist{0.0, 10.0, 10};
+  hist.add(1.0, 5);
+  EXPECT_EQ(hist.count(1), 5u);
+  EXPECT_EQ(hist.total(), 5u);
+}
+
+TEST(LinearHistogram, BinEdges) {
+  LinearHistogram hist{0.0, 100.0, 4};
+  EXPECT_DOUBLE_EQ(hist.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(0), 25.0);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(3), 75.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(3), 100.0);
+}
+
+TEST(LinearHistogram, CumulativeFraction) {
+  LinearHistogram hist{0.0, 4.0, 4};
+  hist.add(0.5);
+  hist.add(1.5);
+  hist.add(2.5);
+  hist.add(3.5);
+  EXPECT_DOUBLE_EQ(hist.cumulative_fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(hist.cumulative_fraction(3), 1.0);
+}
+
+TEST(LinearHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LinearHistogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Log2Histogram, PowerBuckets) {
+  Log2Histogram hist;
+  hist.add(0);
+  hist.add(1);
+  hist.add(2);
+  hist.add(3);
+  hist.add(1024);
+  EXPECT_EQ(hist.count(0), 2u);  // 0 and 1
+  EXPECT_EQ(hist.count(1), 2u);  // 2 and 3
+  EXPECT_EQ(hist.count(10), 1u);
+  EXPECT_EQ(hist.total(), 5u);
+}
+
+TEST(Log2Histogram, BinLowerBounds) {
+  EXPECT_EQ(Log2Histogram::bin_lo(0), 0u);
+  EXPECT_EQ(Log2Histogram::bin_lo(4), 16u);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 4.571428, 1e-5);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(42.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> values = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 5.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW((void)percentile(std::vector<double>{}, 50.0), std::invalid_argument);
+}
+
+TEST(MovingAverage, SevenDayWindow) {
+  std::vector<double> values(10, 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i);
+  const auto ma = moving_average(values, 7);
+  // The paper plots nothing for days 0-5.
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FALSE(ma[i].has_value());
+  ASSERT_TRUE(ma[6].has_value());
+  EXPECT_DOUBLE_EQ(*ma[6], 3.0);  // mean of 0..6
+  EXPECT_DOUBLE_EQ(*ma[9], 6.0);  // mean of 3..9
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> values = {1.0, 5.0, 9.0};
+  const auto ma = moving_average(values, 1);
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_DOUBLE_EQ(*ma[i], values[i]);
+}
+
+TEST(MovingAverage, ZeroWindowThrows) {
+  EXPECT_THROW(moving_average(std::vector<double>{1.0}, 0), std::invalid_argument);
+}
+
+TEST(Gini, UniformIsZero) {
+  const std::vector<double> masses(100, 1.0);
+  EXPECT_NEAR(gini_coefficient(masses), 0.0, 1e-9);
+}
+
+TEST(Gini, ConcentratedIsNearOne) {
+  std::vector<double> masses(100, 0.0);
+  masses[0] = 1.0;
+  EXPECT_GT(gini_coefficient(masses), 0.95);
+}
+
+TEST(Gini, EmptyAndZeroSafe) {
+  EXPECT_DOUBLE_EQ(gini_coefficient({}), 0.0);
+  const std::vector<double> zeros(10, 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient(zeros), 0.0);
+}
+
+}  // namespace
+}  // namespace wcs

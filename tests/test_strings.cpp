@@ -1,0 +1,94 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim_left("  a "), "a ");
+  EXPECT_EQ(trim_right(" a  "), " a");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitEmptyAndTrailing) {
+  EXPECT_EQ(split("", ',').size(), 1u);
+  const auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, IequalsAndLower) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("htt", "http"));
+  EXPECT_TRUE(ends_with("file.gif", ".gif"));
+  EXPECT_FALSE(ends_with("gif", ".gif"));
+}
+
+TEST(Strings, ParseU64Strict) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ULL);
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64("12a"));
+  EXPECT_FALSE(parse_u64(" 1"));
+}
+
+TEST(Strings, ParseI64) {
+  EXPECT_EQ(parse_i64("-42"), -42);
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-9223372036854775808"), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parse_i64("9223372036854775807"), std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE(parse_i64("9223372036854775808"));
+  EXPECT_FALSE(parse_i64("-9223372036854775809"));
+  EXPECT_FALSE(parse_i64("-"));
+}
+
+TEST(Strings, UrlExtension) {
+  EXPECT_EQ(url_extension("http://a.b/c/pic.GIF"), "gif");
+  EXPECT_EQ(url_extension("/path/file.html"), "html");
+  EXPECT_EQ(url_extension("/path/file.html?x=1"), "html");
+  EXPECT_EQ(url_extension("/path/file.tar.gz"), "gz");
+  EXPECT_EQ(url_extension("/noext"), "");
+  EXPECT_EQ(url_extension("/dir/"), "");
+  EXPECT_EQ(url_extension("http://host.only"), "");
+  EXPECT_EQ(url_extension("/trailingdot."), "");
+}
+
+TEST(Strings, LooksDynamic) {
+  EXPECT_TRUE(looks_dynamic("/cgi-bin/search"));
+  EXPECT_TRUE(looks_dynamic("/page?query=1"));
+  EXPECT_TRUE(looks_dynamic("/scripts/run.cgi"));
+  EXPECT_FALSE(looks_dynamic("/static/page.html"));
+  EXPECT_FALSE(looks_dynamic("http://host/img.gif"));
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 kB");
+  EXPECT_EQ(format_bytes(5ULL * 1024 * 1024), "5.00 MB");
+  EXPECT_EQ(format_bytes(3ULL * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,65 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wcs {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table table{"demo"};
+  table.header({"name", "value"});
+  table.row({"alpha", "1.00"});
+  table.row({"beta", "22.50"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.50"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumAndPctFormat) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.5), "50.00%");
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table table;
+  table.header({"a", "b", "c"});
+  table.row({"only-one"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_FALSE(table.to_string().empty());
+}
+
+TEST(Table, EmptyTableRendersNothing) {
+  Table table;
+  EXPECT_TRUE(table.to_string().empty());
+}
+
+TEST(Series, PrintsGnuplotBlocks) {
+  std::ostringstream os;
+  print_series(os, "Figure X", {{"curve", {{0.0, 1.0}, {1.0, 2.0}}}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# Figure X"), std::string::npos);
+  EXPECT_NE(out.find("# series: curve"), std::string::npos);
+  EXPECT_NE(out.find("0 1"), std::string::npos);
+  EXPECT_NE(out.find("1 2"), std::string::npos);
+}
+
+TEST(Sparkline, MapsRange) {
+  const std::string line = sparkline({0.0, 50.0, 100.0}, 0.0, 100.0);
+  EXPECT_FALSE(line.empty());
+  // First glyph must differ from last (low vs high).
+  EXPECT_NE(line.substr(0, 3), line.substr(line.size() - 3));
+}
+
+TEST(Sparkline, DegenerateRangeSafe) {
+  const std::string line = sparkline({5.0, 5.0}, 5.0, 5.0);
+  EXPECT_FALSE(line.empty());
+}
+
+}  // namespace
+}  // namespace wcs

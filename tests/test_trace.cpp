@@ -1,0 +1,85 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+TEST(Trace, UrlServerExtraction) {
+  EXPECT_EQ(url_server("http://a.b.c/path"), "a.b.c");
+  EXPECT_EQ(url_server("http://a.b.c"), "a.b.c");
+  EXPECT_EQ(url_server("http://a.b.c:8080/x"), "a.b.c");
+  EXPECT_EQ(url_server("/relative/path"), "-");
+  EXPECT_EQ(url_server("http:///odd"), "-");
+}
+
+TEST(Trace, InternUrlIsIdempotent) {
+  Trace trace;
+  const UrlId a = trace.intern_url("http://s1/x.html");
+  const UrlId b = trace.intern_url("http://s1/x.html");
+  const UrlId c = trace.intern_url("http://s1/y.html");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(trace.url_count(), 2u);
+  EXPECT_EQ(trace.url_name(a), "http://s1/x.html");
+}
+
+TEST(Trace, ServersSharedAcrossUrls) {
+  Trace trace;
+  const UrlId a = trace.intern_url("http://s1/x.html");
+  const UrlId b = trace.intern_url("http://s1/y.html");
+  const UrlId c = trace.intern_url("http://s2/z.html");
+  EXPECT_EQ(trace.server_of(a), trace.server_of(b));
+  EXPECT_NE(trace.server_of(a), trace.server_of(c));
+  EXPECT_EQ(trace.server_count(), 2u);
+  EXPECT_EQ(trace.server_name(trace.server_of(c)), "s2");
+}
+
+TEST(Trace, ClientInterning) {
+  Trace trace;
+  const ClientId a = trace.intern_client("host1");
+  const ClientId b = trace.intern_client("host1");
+  const ClientId c = trace.intern_client("host2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(trace.client_count(), 2u);
+}
+
+TEST(Trace, TotalsAndDayCount) {
+  Trace trace;
+  const UrlId u1 = trace.intern_url("http://s/a.gif");
+  const UrlId u2 = trace.intern_url("http://s/b.gif");
+  trace.add({.time = 10, .size = 100, .url = u1});
+  trace.add({.time = 86'400 * 2 + 5, .size = 200, .url = u2});
+  trace.add({.time = 86'400 * 2 + 9, .size = 100, .url = u1});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.total_bytes(), 400u);
+  EXPECT_EQ(trace.day_count(), 3);  // days 0..2
+}
+
+TEST(Trace, UniqueBytesUsesLastSeenSize) {
+  Trace trace;
+  const UrlId u1 = trace.intern_url("http://s/a.gif");
+  trace.add({.time = 1, .size = 100, .url = u1});
+  trace.add({.time = 2, .size = 300, .url = u1});  // document grew
+  EXPECT_EQ(trace.unique_bytes(), 300u);
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.day_count(), 0);
+  EXPECT_EQ(trace.total_bytes(), 0u);
+  EXPECT_EQ(trace.unique_bytes(), 0u);
+}
+
+TEST(Trace, TypeOfUsesUrlClassification) {
+  Trace trace;
+  const UrlId gif = trace.intern_url("http://s/a.gif");
+  const UrlId html = trace.intern_url("http://s/a.html");
+  EXPECT_EQ(trace.type_of(gif), FileType::kGraphics);
+  EXPECT_EQ(trace.type_of(html), FileType::kText);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,111 @@
+#include "src/trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+Trace tiny_trace() {
+  Trace trace;
+  const UrlId gif = trace.intern_url("http://s1/a.gif");
+  const UrlId html = trace.intern_url("http://s1/b.html");
+  const UrlId au = trace.intern_url("http://s2/c.au");
+  auto add = [&](SimTime t, UrlId u, std::uint64_t size, FileType type) {
+    Request r;
+    r.time = t;
+    r.url = u;
+    r.size = size;
+    r.type = type;
+    r.server = trace.server_of(u);
+    trace.add(r);
+  };
+  add(1, gif, 100, FileType::kGraphics);
+  add(2, gif, 100, FileType::kGraphics);
+  add(3, html, 50, FileType::kText);
+  add(10, au, 1000, FileType::kAudio);
+  return trace;
+}
+
+TEST(TraceStats, FileTypeDistribution) {
+  const auto dist = file_type_distribution(tiny_trace());
+  EXPECT_EQ(dist.total_refs, 4u);
+  EXPECT_EQ(dist.total_bytes, 1250u);
+  EXPECT_DOUBLE_EQ(dist.ref_fraction(FileType::kGraphics), 0.5);
+  EXPECT_DOUBLE_EQ(dist.byte_fraction(FileType::kAudio), 0.8);
+  EXPECT_DOUBLE_EQ(dist.ref_fraction(FileType::kVideo), 0.0);
+}
+
+TEST(TraceStats, EmptyDistributionSafe) {
+  const auto dist = file_type_distribution(Trace{});
+  EXPECT_DOUBLE_EQ(dist.ref_fraction(FileType::kText), 0.0);
+  EXPECT_DOUBLE_EQ(dist.byte_fraction(FileType::kText), 0.0);
+}
+
+TEST(TraceStats, ServerRanking) {
+  const auto ranked = requests_per_server_ranked(tiny_trace());
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 3u);  // s1 served gif,gif,html
+  EXPECT_EQ(ranked[1], 1u);
+}
+
+TEST(TraceStats, UrlByteRanking) {
+  const auto ranked = bytes_per_url_ranked(tiny_trace());
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], 1000u);
+  EXPECT_EQ(ranked[1], 200u);
+  EXPECT_EQ(ranked[2], 50u);
+}
+
+TEST(TraceStats, ZipfExponentOfPerfectZipf) {
+  // counts proportional to 1/k -> slope 1.
+  std::vector<std::uint64_t> ranked;
+  for (int k = 1; k <= 1000; ++k) ranked.push_back(static_cast<std::uint64_t>(1'000'000 / k));
+  EXPECT_NEAR(zipf_exponent_estimate(ranked), 1.0, 0.02);
+}
+
+TEST(TraceStats, ZipfExponentDegenerate) {
+  EXPECT_DOUBLE_EQ(zipf_exponent_estimate({}), 0.0);
+  EXPECT_DOUBLE_EQ(zipf_exponent_estimate({5}), 0.0);
+  EXPECT_NEAR(zipf_exponent_estimate({7, 7, 7, 7}), 0.0, 1e-9);
+}
+
+TEST(TraceStats, SizeHistogram) {
+  const auto hist = request_size_histogram(tiny_trace(), 2000.0, 20);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.count(0), 1u);   // the 50-byte html file, [0, 100)
+  EXPECT_EQ(hist.count(1), 2u);   // the two 100-byte gif requests, [100, 200)
+  EXPECT_EQ(hist.count(10), 1u);  // the 1000-byte audio file
+}
+
+TEST(TraceStats, InterreferenceSamples) {
+  const auto samples = interreference_samples(tiny_trace());
+  ASSERT_EQ(samples.size(), 1u);  // only the gif repeats
+  EXPECT_EQ(samples[0].size, 100u);
+  EXPECT_EQ(samples[0].gap, 1);
+}
+
+TEST(TraceStats, InterreferenceSummary) {
+  std::vector<InterreferenceSample> samples = {
+      {100, 10}, {200, kSecondsPerHour + 1}, {300, 2 * kSecondsPerHour}};
+  const auto summary = summarize_interreference(samples);
+  EXPECT_EQ(summary.samples, 3u);
+  EXPECT_DOUBLE_EQ(summary.median_size, 200.0);
+  EXPECT_NEAR(summary.fraction_gap_over_hour, 2.0 / 3.0, 1e-9);
+}
+
+TEST(TraceStats, InterreferenceSummaryEmpty) {
+  const auto summary = summarize_interreference({});
+  EXPECT_EQ(summary.samples, 0u);
+  EXPECT_DOUBLE_EQ(summary.median_size, 0.0);
+}
+
+TEST(TraceStats, CountForMassFraction) {
+  const std::vector<std::uint64_t> ranked = {50, 30, 10, 5, 5};
+  EXPECT_EQ(count_for_mass_fraction(ranked, 0.5), 1u);
+  EXPECT_EQ(count_for_mass_fraction(ranked, 0.8), 2u);
+  EXPECT_EQ(count_for_mass_fraction(ranked, 1.0), 5u);
+  EXPECT_EQ(count_for_mass_fraction({}, 0.5), 0u);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,89 @@
+#include "src/core/two_level.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/policy.h"
+
+namespace wcs {
+namespace {
+
+TwoLevelCache make_hierarchy(std::uint64_t l1_capacity) {
+  CacheConfig l1;
+  l1.capacity_bytes = l1_capacity;
+  CacheConfig l2;  // infinite
+  return TwoLevelCache{l1, make_size(), l2, make_lru()};
+}
+
+TEST(TwoLevel, MissGoesToBothLevels) {
+  TwoLevelCache hierarchy = make_hierarchy(1000);
+  const auto result = hierarchy.access(1, 1, 100);
+  EXPECT_EQ(result.level, HitLevel::kMiss);
+  EXPECT_TRUE(hierarchy.l1().contains(1));
+  EXPECT_TRUE(hierarchy.l2().contains(1));
+}
+
+TEST(TwoLevel, L1HitDoesNotTouchL2Stats) {
+  TwoLevelCache hierarchy = make_hierarchy(1000);
+  hierarchy.access(1, 1, 100);
+  const auto result = hierarchy.access(2, 1, 100);
+  EXPECT_EQ(result.level, HitLevel::kL1);
+  EXPECT_EQ(hierarchy.stats().l1_hits, 1u);
+  EXPECT_EQ(hierarchy.stats().l2_hits, 0u);
+}
+
+TEST(TwoLevel, EvictedFromL1StillInL2) {
+  // The paper's arrangement: documents L1 replaces remain available in L2.
+  TwoLevelCache hierarchy = make_hierarchy(250);
+  hierarchy.access(1, 1, 200);   // big doc: SIZE policy will evict it first
+  hierarchy.access(2, 2, 100);   // forces eviction of doc 1 from L1
+  EXPECT_FALSE(hierarchy.l1().contains(1));
+  EXPECT_TRUE(hierarchy.l2().contains(1));
+  const auto result = hierarchy.access(3, 1, 200);  // back from L2
+  EXPECT_EQ(result.level, HitLevel::kL2);
+  EXPECT_EQ(hierarchy.stats().l2_hits, 1u);
+  // The copy was re-admitted to L1.
+  EXPECT_TRUE(hierarchy.l1().contains(1));
+}
+
+TEST(TwoLevel, SizeChangeMissesBothLevels) {
+  TwoLevelCache hierarchy = make_hierarchy(1000);
+  hierarchy.access(1, 1, 100);
+  const auto result = hierarchy.access(2, 1, 150);
+  EXPECT_EQ(result.level, HitLevel::kMiss);
+  // Both levels now hold the new copy.
+  EXPECT_EQ(hierarchy.l1().find(1)->size, 150u);
+  EXPECT_EQ(hierarchy.l2().find(1)->size, 150u);
+}
+
+TEST(TwoLevel, StatsDenominatorsAreAllRequests) {
+  TwoLevelCache hierarchy = make_hierarchy(250);
+  hierarchy.access(1, 1, 200);
+  hierarchy.access(2, 2, 100);  // evicts 1 from L1
+  hierarchy.access(3, 1, 200);  // L2 hit
+  hierarchy.access(4, 9, 50);   // miss
+  const auto& stats = hierarchy.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.requested_bytes, 550u);
+  EXPECT_DOUBLE_EQ(stats.l2_hit_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(stats.l2_weighted_hit_rate(), 200.0 / 550.0);
+  EXPECT_DOUBLE_EQ(stats.l1_hit_rate(), 0.0);
+}
+
+TEST(TwoLevel, L2WhrExceedsL2HrUnderSizePolicy) {
+  // SIZE pushes big documents down; their byte mass makes L2's weighted
+  // hit rate exceed its unweighted hit rate (the Figs 16-18 signature).
+  TwoLevelCache hierarchy = make_hierarchy(3000);
+  // Small popular docs stay in L1; big docs bounce to L2.
+  for (std::uint32_t round = 0; round < 20; ++round) {
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      hierarchy.access(static_cast<SimTime>(round * 100 + i), 100 + i, 100);
+    }
+    hierarchy.access(static_cast<SimTime>(round * 100 + 50), 999, 2500);  // the big one
+  }
+  const auto& stats = hierarchy.stats();
+  EXPECT_GT(stats.l2_hits, 0u);
+  EXPECT_GT(stats.l2_weighted_hit_rate(), stats.l2_hit_rate());
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,114 @@
+#include "src/trace/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace wcs {
+namespace {
+
+RawRequest make_raw(SimTime time, std::string url, int status, std::uint64_t size,
+                    std::string method = "GET") {
+  RawRequest raw;
+  raw.time = time;
+  raw.client = "client";
+  raw.method = std::move(method);
+  raw.url = std::move(url);
+  raw.status = status;
+  raw.size = size;
+  return raw;
+}
+
+TEST(Validate, KeepsOnly200) {
+  TraceValidator validator;
+  EXPECT_TRUE(validator.feed(make_raw(1, "/a.html", 200, 100)));
+  EXPECT_FALSE(validator.feed(make_raw(2, "/a.html", 304, 0)));
+  EXPECT_FALSE(validator.feed(make_raw(3, "/a.html", 404, 0)));
+  EXPECT_FALSE(validator.feed(make_raw(4, "/a.html", 500, 0)));
+  EXPECT_EQ(validator.stats().kept, 1u);
+  EXPECT_EQ(validator.stats().dropped_status, 3u);
+}
+
+TEST(Validate, KeepsOnlyGet) {
+  TraceValidator validator;
+  EXPECT_FALSE(validator.feed(make_raw(1, "/a.html", 200, 100, "POST")));
+  EXPECT_FALSE(validator.feed(make_raw(2, "/a.html", 200, 100, "HEAD")));
+  EXPECT_TRUE(validator.feed(make_raw(3, "/a.html", 200, 100, "get")));  // case-insensitive
+  EXPECT_EQ(validator.stats().dropped_method, 2u);
+}
+
+TEST(Validate, ZeroSizeUnknownUrlDiscarded) {
+  // §1.1: "if the log records a size of 0 for a requested URL and that URL
+  // has not been encountered before then it is discarded".
+  TraceValidator validator;
+  EXPECT_FALSE(validator.feed(make_raw(1, "/fresh.html", 200, 0)));
+  EXPECT_EQ(validator.stats().dropped_zero_size_unknown, 1u);
+  EXPECT_EQ(validator.trace().size(), 0u);
+}
+
+TEST(Validate, ZeroSizeKnownUrlGetsLastKnownSize) {
+  // §1.1: "if the URL has been encountered before, with a non-zero size,
+  // then it is assumed that the URL has not been modified".
+  TraceValidator validator;
+  ASSERT_TRUE(validator.feed(make_raw(1, "/a.html", 200, 555)));
+  ASSERT_TRUE(validator.feed(make_raw(2, "/a.html", 200, 0)));
+  const auto& requests = validator.trace().requests();
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[1].size, 555u);
+  EXPECT_EQ(validator.stats().zero_size_resolved, 1u);
+}
+
+TEST(Validate, SizeChangeCounted) {
+  TraceValidator validator;
+  ASSERT_TRUE(validator.feed(make_raw(1, "/a.html", 200, 100)));
+  ASSERT_TRUE(validator.feed(make_raw(2, "/a.html", 200, 150)));
+  ASSERT_TRUE(validator.feed(make_raw(3, "/a.html", 200, 150)));
+  EXPECT_EQ(validator.stats().size_changes, 1u);
+}
+
+TEST(Validate, ZeroAfterChangeUsesLatestSize) {
+  TraceValidator validator;
+  ASSERT_TRUE(validator.feed(make_raw(1, "/a.html", 200, 100)));
+  ASSERT_TRUE(validator.feed(make_raw(2, "/a.html", 200, 150)));
+  ASSERT_TRUE(validator.feed(make_raw(3, "/a.html", 200, 0)));
+  EXPECT_EQ(validator.trace().requests()[2].size, 150u);
+}
+
+TEST(Validate, DynamicExclusionOption) {
+  ValidationOptions options;
+  options.exclude_dynamic = true;
+  TraceValidator validator{options};
+  EXPECT_FALSE(validator.feed(make_raw(1, "/cgi-bin/x", 200, 10)));
+  EXPECT_FALSE(validator.feed(make_raw(2, "/a?q=1", 200, 10)));
+  EXPECT_TRUE(validator.feed(make_raw(3, "/a.html", 200, 10)));
+  EXPECT_EQ(validator.stats().dropped_dynamic, 2u);
+}
+
+TEST(Validate, DynamicKeptByDefault) {
+  TraceValidator validator;
+  EXPECT_TRUE(validator.feed(make_raw(1, "/cgi-bin/x", 200, 10)));
+  EXPECT_EQ(validator.trace().requests()[0].type, FileType::kCgi);
+}
+
+TEST(Validate, CompiledRequestFieldsPopulated) {
+  TraceValidator validator;
+  ASSERT_TRUE(validator.feed(make_raw(7, "http://sv.example/pic.gif", 200, 321)));
+  const Request& request = validator.trace().requests()[0];
+  EXPECT_EQ(request.time, 7);
+  EXPECT_EQ(request.size, 321u);
+  EXPECT_EQ(request.type, FileType::kGraphics);
+  EXPECT_EQ(validator.trace().server_name(request.server), "sv.example");
+  EXPECT_EQ(validator.trace().client_name(request.client), "client");
+}
+
+TEST(Validate, BatchHelperMatchesStreaming) {
+  std::vector<RawRequest> raw;
+  raw.push_back(make_raw(1, "/a.html", 200, 10));
+  raw.push_back(make_raw(2, "/a.html", 404, 0));
+  raw.push_back(make_raw(3, "/b.html", 200, 20));
+  const auto validated = validate(raw);
+  EXPECT_EQ(validated.trace.size(), 2u);
+  EXPECT_EQ(validated.stats.input, 3u);
+  EXPECT_EQ(validated.stats.kept, 2u);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,179 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "src/trace/trace_stats.h"
+#include "src/util/stats.h"
+#include "src/workload/report.h"
+
+namespace wcs {
+namespace {
+
+// Scaled-down presets keep these tests fast; ratios and shapes survive
+// scaling by construction.
+GeneratedWorkload generate_scaled(const std::string& name, double scale = 0.1) {
+  return WorkloadGenerator{WorkloadSpec::preset(name).scaled(scale)}.generate();
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const auto a = generate_scaled("BL", 0.05);
+  const auto b = generate_scaled("BL", 0.05);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); i += 97) {
+    EXPECT_EQ(a.trace.requests()[i].time, b.trace.requests()[i].time);
+    EXPECT_EQ(a.trace.requests()[i].url, b.trace.requests()[i].url);
+    EXPECT_EQ(a.trace.requests()[i].size, b.trace.requests()[i].size);
+  }
+}
+
+TEST(Workload, SeedChangesTrace) {
+  WorkloadSpec spec = WorkloadSpec::preset("BL").scaled(0.05);
+  const auto a = WorkloadGenerator{spec}.generate();
+  spec.seed ^= 0xdeadbeef;
+  const auto b = WorkloadGenerator{spec}.generate();
+  EXPECT_NE(a.trace.total_bytes(), b.trace.total_bytes());
+}
+
+TEST(Workload, RequestsAreTimeOrderedAndInRange) {
+  const auto generated = generate_scaled("BL");
+  SimTime previous = 0;
+  for (const Request& request : generated.trace.requests()) {
+    EXPECT_GE(request.time, previous);
+    previous = request.time;
+    EXPECT_GE(request.size, 1u);
+  }
+  EXPECT_LE(generated.trace.day_count(), generated.spec.days);
+}
+
+TEST(Workload, CalibrationWithinTolerance) {
+  for (const char* name : {"BL", "BR"}) {
+    const auto generated = generate_scaled(name, 0.2);
+    const WorkloadReport report = make_report(generated.spec, generated.trace);
+    EXPECT_LT(report.worst_relative_error(), 0.25)
+        << name << ": requests " << report.requests_actual << "/" << report.requests_target
+        << ", bytes " << report.bytes_actual << "/" << report.bytes_target << ", unique "
+        << report.unique_bytes_actual << "/" << report.unique_bytes_target;
+  }
+}
+
+TEST(Workload, TypeMixMatchesTable4) {
+  const auto generated = generate_scaled("BL", 0.2);
+  const auto dist = file_type_distribution(generated.trace);
+  for (const FileType type : kAllFileTypes) {
+    const auto i = static_cast<std::size_t>(type);
+    EXPECT_NEAR(dist.ref_fraction(type), generated.spec.ref_mix[i], 0.02)
+        << to_string(type);
+  }
+}
+
+TEST(Workload, ValidatorSawNoise) {
+  const auto generated = generate_scaled("BL");
+  EXPECT_GT(generated.validation.dropped_status, 0u);
+  EXPECT_GT(generated.validation.dropped_method, 0u);
+  EXPECT_GT(generated.validation.dropped_zero_size_unknown, 0u);
+  EXPECT_GT(generated.validation.size_changes, 0u);
+  EXPECT_EQ(generated.validation.kept, generated.trace.size());
+}
+
+TEST(Workload, RawLogRoundTripsThroughValidation) {
+  WorkloadSpec spec = WorkloadSpec::preset("BL").scaled(0.02);
+  auto raw = WorkloadGenerator{spec}.generate_raw();
+  const auto validated = validate(raw);
+  const auto direct = WorkloadGenerator{spec}.generate();
+  EXPECT_EQ(validated.trace.size(), direct.trace.size());
+  EXPECT_EQ(validated.trace.total_bytes(), direct.trace.total_bytes());
+}
+
+TEST(Workload, ClassroomMeetsFourDaysPerWeek) {
+  const auto generated = generate_scaled("C", 0.25);
+  std::array<std::uint64_t, 7> by_weekday{};
+  for (const Request& request : generated.trace.requests()) {
+    by_weekday[static_cast<std::size_t>(day_of(request.time) % 7)] += 1;
+  }
+  EXPECT_GT(by_weekday[0], 0u);
+  EXPECT_GT(by_weekday[3], 0u);
+  EXPECT_EQ(by_weekday[4], 0u);
+  EXPECT_EQ(by_weekday[5], 0u);
+  EXPECT_EQ(by_weekday[6], 0u);
+}
+
+TEST(Workload, BackboneRemoteIsHighlyConcentrated) {
+  // BR: tiny unique footprint relative to request volume (one popular
+  // audio site), so re-reference rate is extreme.
+  const auto generated = generate_scaled("BR", 0.2);
+  EXPECT_LT(static_cast<double>(generated.trace.url_count()),
+            0.1 * static_cast<double>(generated.trace.size()));
+}
+
+TEST(Workload, ServerPopularityIsZipfLike) {
+  const auto generated = generate_scaled("BL", 0.25);
+  const auto ranked = requests_per_server_ranked(generated.trace);
+  EXPECT_GT(ranked.size(), 100u);
+  const double exponent = zipf_exponent_estimate(ranked);
+  EXPECT_GT(exponent, 0.5);
+  EXPECT_LT(exponent, 2.0);
+}
+
+TEST(Workload, MostRequestsGoToSmallDocuments) {
+  // Fig 13's shape: within the dominant types, the median request is far
+  // smaller than the mean request.
+  const auto generated = generate_scaled("BL", 0.2);
+  std::vector<double> sizes;
+  sizes.reserve(generated.trace.size());
+  double sum = 0.0;
+  for (const Request& request : generated.trace.requests()) {
+    sizes.push_back(static_cast<double>(request.size));
+    sum += static_cast<double>(request.size);
+  }
+  const double mean = sum / static_cast<double>(sizes.size());
+  EXPECT_LT(percentile(sizes, 50.0), mean * 0.5);
+}
+
+TEST(Workload, ZipfCoverageMonotoneInPopulation) {
+  const double a = WorkloadGenerator::zipf_coverage(100, 0.8, 1000);
+  const double b = WorkloadGenerator::zipf_coverage(1000, 0.8, 1000);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, 100.0);
+  EXPECT_LE(b, 1000.0);
+}
+
+TEST(Workload, SolvePopulationHitsTarget) {
+  const std::uint64_t population = WorkloadGenerator::solve_population(500.0, 0.8, 2000.0);
+  const double coverage = WorkloadGenerator::zipf_coverage(population, 0.8, 2000.0);
+  EXPECT_NEAR(coverage, 500.0, 25.0);
+}
+
+TEST(Workload, SolvePopulationDegenerateInputs) {
+  EXPECT_EQ(WorkloadGenerator::solve_population(0.5, 0.8, 100.0), 1u);
+  EXPECT_EQ(WorkloadGenerator::solve_population(100.0, 0.8, 0.5), 1u);
+}
+
+TEST(Workload, ScaledPreservesRates) {
+  const WorkloadSpec base = WorkloadSpec::preset("BL");
+  const WorkloadSpec scaled = base.scaled(0.5);
+  EXPECT_NEAR(static_cast<double>(scaled.valid_requests),
+              0.5 * static_cast<double>(base.valid_requests), 1.0);
+  EXPECT_EQ(scaled.days, base.days);
+  EXPECT_THROW(base.scaled(0.0), std::invalid_argument);
+}
+
+TEST(Workload, AllPresetsEnumerated) {
+  const auto presets = WorkloadSpec::all_presets();
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_THROW(WorkloadSpec::preset("X"), std::invalid_argument);
+}
+
+TEST(Workload, RejectsMalformedSpecs) {
+  WorkloadSpec spec = WorkloadSpec::preset("BL");
+  spec.days = 0;
+  EXPECT_THROW(WorkloadGenerator{spec}, std::invalid_argument);
+  WorkloadSpec no_phases = WorkloadSpec::preset("BL");
+  no_phases.phases.clear();
+  EXPECT_THROW(WorkloadGenerator{no_phases}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcs
