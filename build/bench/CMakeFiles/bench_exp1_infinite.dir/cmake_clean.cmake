@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_infinite.dir/bench_exp1_infinite.cpp.o"
+  "CMakeFiles/bench_exp1_infinite.dir/bench_exp1_infinite.cpp.o.d"
+  "bench_exp1_infinite"
+  "bench_exp1_infinite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_infinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

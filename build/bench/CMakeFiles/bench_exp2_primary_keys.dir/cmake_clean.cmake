@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_primary_keys.dir/bench_exp2_primary_keys.cpp.o"
+  "CMakeFiles/bench_exp2_primary_keys.dir/bench_exp2_primary_keys.cpp.o.d"
+  "bench_exp2_primary_keys"
+  "bench_exp2_primary_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_primary_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

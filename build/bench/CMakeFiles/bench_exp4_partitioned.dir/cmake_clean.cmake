@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp4_partitioned.dir/bench_exp4_partitioned.cpp.o"
+  "CMakeFiles/bench_exp4_partitioned.dir/bench_exp4_partitioned.cpp.o.d"
+  "bench_exp4_partitioned"
+  "bench_exp4_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp4_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

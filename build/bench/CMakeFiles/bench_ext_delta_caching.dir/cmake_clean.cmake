@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_delta_caching.dir/bench_ext_delta_caching.cpp.o"
+  "CMakeFiles/bench_ext_delta_caching.dir/bench_ext_delta_caching.cpp.o.d"
+  "bench_ext_delta_caching"
+  "bench_ext_delta_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_delta_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

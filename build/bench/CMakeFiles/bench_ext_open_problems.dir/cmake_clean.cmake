@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_open_problems.dir/bench_ext_open_problems.cpp.o"
+  "CMakeFiles/bench_ext_open_problems.dir/bench_ext_open_problems.cpp.o.d"
+  "bench_ext_open_problems"
+  "bench_ext_open_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_open_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_fig2_concentration.dir/bench_fig1_fig2_concentration.cpp.o"
+  "CMakeFiles/bench_fig1_fig2_concentration.dir/bench_fig1_fig2_concentration.cpp.o.d"
+  "bench_fig1_fig2_concentration"
+  "bench_fig1_fig2_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fig2_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_example.cpp" "bench/CMakeFiles/bench_table2_example.dir/bench_table2_example.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_example.dir/bench_table2_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/wcs_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/wcs_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/wcs_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

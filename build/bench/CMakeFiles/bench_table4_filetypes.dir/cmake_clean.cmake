@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_filetypes.dir/bench_table4_filetypes.cpp.o"
+  "CMakeFiles/bench_table4_filetypes.dir/bench_table4_filetypes.cpp.o.d"
+  "bench_table4_filetypes"
+  "bench_table4_filetypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_filetypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_replayer.dir/log_replayer.cpp.o"
+  "CMakeFiles/log_replayer.dir/log_replayer.cpp.o.d"
+  "log_replayer"
+  "log_replayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_replayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_demo.dir/proxy_demo.cpp.o"
+  "CMakeFiles/proxy_demo.dir/proxy_demo.cpp.o.d"
+  "proxy_demo"
+  "proxy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

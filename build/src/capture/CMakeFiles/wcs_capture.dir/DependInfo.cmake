@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/extractor.cpp" "src/capture/CMakeFiles/wcs_capture.dir/extractor.cpp.o" "gcc" "src/capture/CMakeFiles/wcs_capture.dir/extractor.cpp.o.d"
+  "/root/repo/src/capture/reassembler.cpp" "src/capture/CMakeFiles/wcs_capture.dir/reassembler.cpp.o" "gcc" "src/capture/CMakeFiles/wcs_capture.dir/reassembler.cpp.o.d"
+  "/root/repo/src/capture/synth.cpp" "src/capture/CMakeFiles/wcs_capture.dir/synth.cpp.o" "gcc" "src/capture/CMakeFiles/wcs_capture.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/wcs_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcs_capture.dir/extractor.cpp.o"
+  "CMakeFiles/wcs_capture.dir/extractor.cpp.o.d"
+  "CMakeFiles/wcs_capture.dir/reassembler.cpp.o"
+  "CMakeFiles/wcs_capture.dir/reassembler.cpp.o.d"
+  "CMakeFiles/wcs_capture.dir/synth.cpp.o"
+  "CMakeFiles/wcs_capture.dir/synth.cpp.o.d"
+  "libwcs_capture.a"
+  "libwcs_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcs_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/wcs_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/expiry.cpp" "src/core/CMakeFiles/wcs_core.dir/expiry.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/expiry.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/wcs_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/keys.cpp" "src/core/CMakeFiles/wcs_core.dir/keys.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/keys.cpp.o.d"
+  "/root/repo/src/core/lru_min.cpp" "src/core/CMakeFiles/wcs_core.dir/lru_min.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/lru_min.cpp.o.d"
+  "/root/repo/src/core/partitioned_cache.cpp" "src/core/CMakeFiles/wcs_core.dir/partitioned_cache.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/partitioned_cache.cpp.o.d"
+  "/root/repo/src/core/pitkow_recker.cpp" "src/core/CMakeFiles/wcs_core.dir/pitkow_recker.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/pitkow_recker.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/wcs_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/sorted_policy.cpp" "src/core/CMakeFiles/wcs_core.dir/sorted_policy.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/sorted_policy.cpp.o.d"
+  "/root/repo/src/core/two_level.cpp" "src/core/CMakeFiles/wcs_core.dir/two_level.cpp.o" "gcc" "src/core/CMakeFiles/wcs_core.dir/two_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/wcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

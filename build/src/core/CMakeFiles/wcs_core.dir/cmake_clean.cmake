@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcs_core.dir/cache.cpp.o"
+  "CMakeFiles/wcs_core.dir/cache.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/expiry.cpp.o"
+  "CMakeFiles/wcs_core.dir/expiry.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/wcs_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/keys.cpp.o"
+  "CMakeFiles/wcs_core.dir/keys.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/lru_min.cpp.o"
+  "CMakeFiles/wcs_core.dir/lru_min.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/partitioned_cache.cpp.o"
+  "CMakeFiles/wcs_core.dir/partitioned_cache.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/pitkow_recker.cpp.o"
+  "CMakeFiles/wcs_core.dir/pitkow_recker.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/policy.cpp.o"
+  "CMakeFiles/wcs_core.dir/policy.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/sorted_policy.cpp.o"
+  "CMakeFiles/wcs_core.dir/sorted_policy.cpp.o.d"
+  "CMakeFiles/wcs_core.dir/two_level.cpp.o"
+  "CMakeFiles/wcs_core.dir/two_level.cpp.o.d"
+  "libwcs_core.a"
+  "libwcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcs_http.dir/cacheability.cpp.o"
+  "CMakeFiles/wcs_http.dir/cacheability.cpp.o.d"
+  "CMakeFiles/wcs_http.dir/date.cpp.o"
+  "CMakeFiles/wcs_http.dir/date.cpp.o.d"
+  "CMakeFiles/wcs_http.dir/delta.cpp.o"
+  "CMakeFiles/wcs_http.dir/delta.cpp.o.d"
+  "CMakeFiles/wcs_http.dir/message.cpp.o"
+  "CMakeFiles/wcs_http.dir/message.cpp.o.d"
+  "CMakeFiles/wcs_http.dir/parser.cpp.o"
+  "CMakeFiles/wcs_http.dir/parser.cpp.o.d"
+  "libwcs_http.a"
+  "libwcs_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcs_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwcs_http.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcs_proxy.dir/origin.cpp.o"
+  "CMakeFiles/wcs_proxy.dir/origin.cpp.o.d"
+  "CMakeFiles/wcs_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/wcs_proxy.dir/proxy.cpp.o.d"
+  "libwcs_proxy.a"
+  "libwcs_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcs_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcs_sim.dir/experiments.cpp.o"
+  "CMakeFiles/wcs_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/wcs_sim.dir/metrics.cpp.o"
+  "CMakeFiles/wcs_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/wcs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wcs_sim.dir/simulator.cpp.o.d"
+  "libwcs_sim.a"
+  "libwcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/clf.cpp" "src/trace/CMakeFiles/wcs_trace.dir/clf.cpp.o" "gcc" "src/trace/CMakeFiles/wcs_trace.dir/clf.cpp.o.d"
+  "/root/repo/src/trace/file_type.cpp" "src/trace/CMakeFiles/wcs_trace.dir/file_type.cpp.o" "gcc" "src/trace/CMakeFiles/wcs_trace.dir/file_type.cpp.o.d"
+  "/root/repo/src/trace/squid.cpp" "src/trace/CMakeFiles/wcs_trace.dir/squid.cpp.o" "gcc" "src/trace/CMakeFiles/wcs_trace.dir/squid.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/wcs_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/wcs_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/wcs_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/wcs_trace.dir/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/trace/CMakeFiles/wcs_trace.dir/validate.cpp.o" "gcc" "src/trace/CMakeFiles/wcs_trace.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

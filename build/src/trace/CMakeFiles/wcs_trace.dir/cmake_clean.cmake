@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcs_trace.dir/clf.cpp.o"
+  "CMakeFiles/wcs_trace.dir/clf.cpp.o.d"
+  "CMakeFiles/wcs_trace.dir/file_type.cpp.o"
+  "CMakeFiles/wcs_trace.dir/file_type.cpp.o.d"
+  "CMakeFiles/wcs_trace.dir/squid.cpp.o"
+  "CMakeFiles/wcs_trace.dir/squid.cpp.o.d"
+  "CMakeFiles/wcs_trace.dir/trace.cpp.o"
+  "CMakeFiles/wcs_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/wcs_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/wcs_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/wcs_trace.dir/validate.cpp.o"
+  "CMakeFiles/wcs_trace.dir/validate.cpp.o.d"
+  "libwcs_trace.a"
+  "libwcs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcs_util.dir/distributions.cpp.o"
+  "CMakeFiles/wcs_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/wcs_util.dir/rng.cpp.o"
+  "CMakeFiles/wcs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wcs_util.dir/simtime.cpp.o"
+  "CMakeFiles/wcs_util.dir/simtime.cpp.o.d"
+  "CMakeFiles/wcs_util.dir/stats.cpp.o"
+  "CMakeFiles/wcs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wcs_util.dir/strings.cpp.o"
+  "CMakeFiles/wcs_util.dir/strings.cpp.o.d"
+  "CMakeFiles/wcs_util.dir/table.cpp.o"
+  "CMakeFiles/wcs_util.dir/table.cpp.o.d"
+  "libwcs_util.a"
+  "libwcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

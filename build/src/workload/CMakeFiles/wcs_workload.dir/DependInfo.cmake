@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/wcs_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/wcs_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/report.cpp" "src/workload/CMakeFiles/wcs_workload.dir/report.cpp.o" "gcc" "src/workload/CMakeFiles/wcs_workload.dir/report.cpp.o.d"
+  "/root/repo/src/workload/spec.cpp" "src/workload/CMakeFiles/wcs_workload.dir/spec.cpp.o" "gcc" "src/workload/CMakeFiles/wcs_workload.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/wcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

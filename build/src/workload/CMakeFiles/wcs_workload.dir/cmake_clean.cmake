@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcs_workload.dir/generator.cpp.o"
+  "CMakeFiles/wcs_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/wcs_workload.dir/report.cpp.o"
+  "CMakeFiles/wcs_workload.dir/report.cpp.o.d"
+  "CMakeFiles/wcs_workload.dir/spec.cpp.o"
+  "CMakeFiles/wcs_workload.dir/spec.cpp.o.d"
+  "libwcs_workload.a"
+  "libwcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wcs_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/wcs_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cacheability.cpp" "tests/CMakeFiles/wcs_tests.dir/test_cacheability.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_cacheability.cpp.o.d"
+  "/root/repo/tests/test_clf.cpp" "tests/CMakeFiles/wcs_tests.dir/test_clf.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_clf.cpp.o.d"
+  "/root/repo/tests/test_delta.cpp" "tests/CMakeFiles/wcs_tests.dir/test_delta.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_delta.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/wcs_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/wcs_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_expiry.cpp" "tests/CMakeFiles/wcs_tests.dir/test_expiry.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_expiry.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/wcs_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_extractor.cpp" "tests/CMakeFiles/wcs_tests.dir/test_extractor.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_extractor.cpp.o.d"
+  "/root/repo/tests/test_file_type.cpp" "tests/CMakeFiles/wcs_tests.dir/test_file_type.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_file_type.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/wcs_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_http_date.cpp" "tests/CMakeFiles/wcs_tests.dir/test_http_date.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_http_date.cpp.o.d"
+  "/root/repo/tests/test_http_message.cpp" "tests/CMakeFiles/wcs_tests.dir/test_http_message.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_http_message.cpp.o.d"
+  "/root/repo/tests/test_http_parser.cpp" "tests/CMakeFiles/wcs_tests.dir/test_http_parser.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_http_parser.cpp.o.d"
+  "/root/repo/tests/test_keys.cpp" "tests/CMakeFiles/wcs_tests.dir/test_keys.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_keys.cpp.o.d"
+  "/root/repo/tests/test_lru_min.cpp" "tests/CMakeFiles/wcs_tests.dir/test_lru_min.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_lru_min.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/wcs_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_origin.cpp" "tests/CMakeFiles/wcs_tests.dir/test_origin.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_origin.cpp.o.d"
+  "/root/repo/tests/test_paper_table2.cpp" "tests/CMakeFiles/wcs_tests.dir/test_paper_table2.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_paper_table2.cpp.o.d"
+  "/root/repo/tests/test_partitioned.cpp" "tests/CMakeFiles/wcs_tests.dir/test_partitioned.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_partitioned.cpp.o.d"
+  "/root/repo/tests/test_pitkow_recker.cpp" "tests/CMakeFiles/wcs_tests.dir/test_pitkow_recker.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_pitkow_recker.cpp.o.d"
+  "/root/repo/tests/test_policy_properties.cpp" "tests/CMakeFiles/wcs_tests.dir/test_policy_properties.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_policy_properties.cpp.o.d"
+  "/root/repo/tests/test_property_roundtrips.cpp" "tests/CMakeFiles/wcs_tests.dir/test_property_roundtrips.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_property_roundtrips.cpp.o.d"
+  "/root/repo/tests/test_proxy.cpp" "tests/CMakeFiles/wcs_tests.dir/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_proxy.cpp.o.d"
+  "/root/repo/tests/test_reassembler.cpp" "tests/CMakeFiles/wcs_tests.dir/test_reassembler.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_reassembler.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/wcs_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_simtime.cpp" "tests/CMakeFiles/wcs_tests.dir/test_simtime.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_simtime.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/wcs_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sorted_policy.cpp" "tests/CMakeFiles/wcs_tests.dir/test_sorted_policy.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_sorted_policy.cpp.o.d"
+  "/root/repo/tests/test_squid.cpp" "tests/CMakeFiles/wcs_tests.dir/test_squid.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_squid.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/wcs_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/wcs_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/wcs_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/wcs_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_stats.cpp" "tests/CMakeFiles/wcs_tests.dir/test_trace_stats.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_trace_stats.cpp.o.d"
+  "/root/repo/tests/test_two_level.cpp" "tests/CMakeFiles/wcs_tests.dir/test_two_level.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_two_level.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/wcs_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/wcs_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/wcs_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/wcs_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/wcs_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/wcs_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
