@@ -1,0 +1,55 @@
+#include "src/core/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wcs {
+
+std::size_t AuditReport::count(std::string_view invariant) const {
+  std::size_t n = 0;
+  for (const AuditViolation& violation : violations_) {
+    if (violation.invariant == invariant) ++n;
+  }
+  return n;
+}
+
+void AuditReport::add(std::string invariant, std::string detail) {
+  violations_.push_back({std::move(invariant), std::move(detail)});
+}
+
+void AuditReport::absorb(std::string_view scope, const AuditReport& nested) {
+  for (const AuditViolation& violation : nested.violations_) {
+    std::string id;
+    id.reserve(scope.size() + 1 + violation.invariant.size());
+    id.append(scope).append(".").append(violation.invariant);
+    violations_.push_back({std::move(id), violation.detail});
+  }
+}
+
+std::string AuditReport::to_string() const {
+  if (ok()) return "audit: ok";
+  std::string out = "audit: " + std::to_string(violations_.size()) + " violation(s)";
+  for (const AuditViolation& violation : violations_) {
+    out.append("\n  [").append(violation.invariant).append("] ").append(violation.detail);
+  }
+  return out;
+}
+
+namespace audit_detail {
+
+void assert_fail(const char* expr, const char* message, const char* file,
+                 int line) noexcept {
+  std::fprintf(stderr, "%s:%d: WCS_ASSERT(%s) failed: %s\n", file, line, expr, message);
+  std::abort();
+}
+
+void check_report(const AuditReport& report, const char* expr, const char* file, int line) {
+  if (report.ok()) return;
+  std::fprintf(stderr, "%s:%d: WCS_AUDIT(%s) failed:\n%s\n", file, line, expr,
+               report.to_string().c_str());
+  std::abort();
+}
+
+}  // namespace audit_detail
+
+}  // namespace wcs

@@ -1,0 +1,82 @@
+// Runtime invariant auditing for the cache core.
+//
+// The paper's methodology reduces every removal policy to "keep the cache
+// sorted by a key list, evict from the head" (§1.3) — so the simulator is
+// only as trustworthy as (a) the byte accounting in Cache and (b) the
+// agreement between each policy's internal index and its declared key
+// comparator. This header provides:
+//
+//   AuditReport        an accumulating list of invariant violations
+//   Cache::audit()     (and TwoLevelCache / PartitionedCache / CacheHierarchy
+//                      counterparts) — always compiled, returns a report
+//   WCS_ASSERT(c, msg) fast inline invariant check
+//   WCS_AUDIT(obj)     full audit() sweep that aborts on any violation
+//
+// The macros compile to ((void)0) in release builds (NDEBUG) unless
+// WCS_AUDIT_ENABLED is forced (the CMake option WCS_AUDIT, on in the
+// asan-ubsan preset). The audit() methods themselves are *always* available:
+// tests and the Simulator's audit_interval flag call them directly and
+// decide what to do with the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wcs {
+
+/// One broken invariant, e.g. {"cache.used_bytes", "used_bytes=10 but ..."}.
+struct AuditViolation {
+  std::string invariant;  ///< stable dotted id of the rule that fired
+  std::string detail;     ///< human-readable evidence
+};
+
+/// Accumulates violations across nested audits (cache -> policy -> buckets).
+class AuditReport {
+ public:
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<AuditViolation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t count(std::string_view invariant) const;
+
+  void add(std::string invariant, std::string detail);
+  /// Fold `nested` in, prefixing each violation id with "`scope`." —
+  /// partitioned/two-level audits scope per-member cache reports this way.
+  void absorb(std::string_view scope, const AuditReport& nested);
+
+  /// One line per violation; "audit: ok" when clean.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<AuditViolation> violations_;
+};
+
+namespace audit_detail {
+/// Prints "file:line: assertion `expr` failed: msg" to stderr and aborts.
+[[noreturn]] void assert_fail(const char* expr, const char* message, const char* file,
+                              int line) noexcept;
+/// Aborts with the report's violations if it is not ok().
+void check_report(const AuditReport& report, const char* expr, const char* file, int line);
+}  // namespace audit_detail
+
+}  // namespace wcs
+
+// WCS_AUDIT_ENABLED: audits compile in. Defaults to the debug build setting;
+// -DWCS_AUDIT=ON (cmake) forces it on in any build type.
+#if !defined(WCS_AUDIT_ENABLED) && !defined(NDEBUG)
+#define WCS_AUDIT_ENABLED 1
+#endif
+
+#if defined(WCS_AUDIT_ENABLED)
+#define WCS_ASSERT(condition, message)                                              \
+  (static_cast<bool>(condition)                                                     \
+       ? static_cast<void>(0)                                                       \
+       : ::wcs::audit_detail::assert_fail(#condition, message, __FILE__, __LINE__))
+#define WCS_AUDIT(auditable)                                                        \
+  ::wcs::audit_detail::check_report((auditable).audit(), #auditable, __FILE__, __LINE__)
+#else
+#define WCS_ASSERT(condition, message) static_cast<void>(0)
+#define WCS_AUDIT(auditable) static_cast<void>(0)
+#endif

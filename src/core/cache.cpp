@@ -1,12 +1,11 @@
 #include "src/core/cache.h"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace wcs {
 
 Cache::Cache(CacheConfig config, std::unique_ptr<RemovalPolicy> policy)
-    : config_(config), policy_(std::move(policy)), rng_(config.seed) {
+    : config_(std::move(config)), policy_(std::move(policy)), rng_(config_.seed) {
   if (policy_ == nullptr) throw std::invalid_argument{"Cache: null policy"};
   if (config_.periodic.enabled &&
       (config_.periodic.comfort_fraction <= 0.0 || config_.periodic.comfort_fraction > 1.0)) {
@@ -41,11 +40,13 @@ void Cache::advance_day(SimTime now) {
     removed_any = true;
   }
   if (removed_any) ++stats_.periodic_sweeps;
+  // Day boundaries are rare enough to afford a full sweep in audit builds.
+  WCS_AUDIT(*this);
 }
 
 void Cache::evict(UrlId victim) {
   const auto it = entries_.find(victim);
-  assert(it != entries_.end() && "policy chose a victim that is not cached");
+  WCS_ASSERT(it != entries_.end(), "policy chose a victim that is not cached");
   policy_->on_remove(it->second);
   used_bytes_ -= it->second.size;
   ++stats_.evictions;
@@ -122,7 +123,7 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
   used_bytes_ += size;
   if (used_bytes_ > stats_.max_used_bytes) stats_.max_used_bytes = used_bytes_;
   const auto [pos, inserted] = entries_.emplace(url, entry);
-  assert(inserted);
+  WCS_ASSERT(inserted, "admitting a URL that is already cached");
   (void)pos;
   (void)inserted;
   policy_->on_insert(entry);
@@ -139,6 +140,65 @@ bool Cache::erase(UrlId url) {
   if (config_.on_evict) config_.on_evict(it->second);
   entries_.erase(it);
   return true;
+}
+
+AuditReport Cache::audit() const {
+  AuditReport report;
+
+  // Byte accounting: used_bytes must equal the sum of entry sizes exactly.
+  std::uint64_t sum = 0;
+  for (const auto& [url, entry] : entries_) {
+    sum += entry.size;
+    if (entry.url != url) {
+      report.add("cache.entry_key",
+                 "entry stored under url " + std::to_string(url) + " claims url " +
+                     std::to_string(entry.url));
+    }
+    if (entry.nref == 0) {
+      report.add("cache.entry_nref",
+                 "url " + std::to_string(url) + " is cached with nref == 0");
+    }
+    if (entry.atime < entry.etime) {
+      report.add("cache.entry_times",
+                 "url " + std::to_string(url) + " has atime " +
+                     std::to_string(entry.atime) + " before etime " +
+                     std::to_string(entry.etime));
+    }
+  }
+  if (sum != used_bytes_) {
+    report.add("cache.used_bytes", "used_bytes=" + std::to_string(used_bytes_) +
+                                       " but entries sum to " + std::to_string(sum));
+  }
+  if (!is_infinite() && used_bytes_ > config_.capacity_bytes) {
+    report.add("cache.capacity", "used_bytes=" + std::to_string(used_bytes_) +
+                                     " exceeds capacity " +
+                                     std::to_string(config_.capacity_bytes));
+  }
+  if (stats_.max_used_bytes < used_bytes_) {
+    report.add("cache.high_water",
+               "max_used_bytes=" + std::to_string(stats_.max_used_bytes) +
+                   " below current used_bytes=" + std::to_string(used_bytes_));
+  }
+
+  // Counter sanity: the stats must describe a possible history.
+  if (stats_.hits > stats_.requests) {
+    report.add("cache.stats_hits", "hits exceed requests");
+  }
+  if (stats_.hit_bytes > stats_.requested_bytes) {
+    report.add("cache.stats_hit_bytes", "hit_bytes exceed requested_bytes");
+  }
+  if (stats_.insertions > stats_.requests || stats_.evictions > stats_.insertions) {
+    report.add("cache.stats_flow",
+               "insertions/evictions inconsistent: " + std::to_string(stats_.insertions) +
+                   " insertions, " + std::to_string(stats_.evictions) + " evictions, " +
+                   std::to_string(stats_.requests) + " requests");
+  }
+
+  // Policy index: must mirror the entry table under the declared comparator.
+  AuditReport policy_report;
+  policy_->audit_index(entries_, policy_report);
+  report.absorb("policy", policy_report);
+  return report;
 }
 
 std::vector<CacheEntry> Cache::snapshot() const {

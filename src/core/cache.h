@@ -18,12 +18,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/audit.h"
 #include "src/core/entry.h"
 #include "src/core/policy.h"
 #include "src/trace/trace.h"
 #include "src/util/rng.h"
 
 namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
 
 struct PeriodicSweepConfig {
   bool enabled = false;
@@ -111,7 +114,21 @@ class Cache {
   /// Every cached entry, unordered (diagnostics, tests).
   [[nodiscard]] std::vector<CacheEntry> snapshot() const;
 
+  /// Full invariant sweep (always compiled; see src/core/audit.h):
+  ///   - used_bytes equals the sum of cached entry sizes and never exceeds
+  ///     a finite capacity; the high-water mark is >= the current level
+  ///   - per-entry sanity: map key matches entry.url, nref >= 1,
+  ///     atime >= etime
+  ///   - counter sanity: hits <= requests, hit_bytes <= requested_bytes,
+  ///     evictions <= insertions <= requests
+  ///   - the policy's index mirrors the entry table and its victim order
+  ///     still agrees with its declared key comparator
+  ///     (RemovalPolicy::audit_index, scoped under "policy.")
+  /// O(n log n) — debug/diagnostic use; WCS_AUDIT(cache) aborts on failure.
+  [[nodiscard]] AuditReport audit() const;
+
  private:
+  friend struct AuditTamper;
   void advance_day(SimTime now);
   /// Evict until at least `needed` bytes are free; false if impossible.
   bool make_room(SimTime now, std::uint64_t incoming_size);

@@ -8,7 +8,7 @@ CacheHierarchy::CacheHierarchy(std::vector<LevelSpec> levels) {
   if (levels.empty()) throw std::invalid_argument{"CacheHierarchy: no levels"};
   levels_.reserve(levels.size());
   for (auto& spec : levels) {
-    levels_.emplace_back(spec.config, std::move(spec.policy));
+    levels_.emplace_back(std::move(spec.config), std::move(spec.policy));
   }
   stats_.resize(levels_.size());
 }
@@ -40,6 +40,24 @@ double CacheHierarchy::weighted_hit_rate_of(std::size_t level) const {
   return requested_bytes_ == 0 ? 0.0
                                : static_cast<double>(stats_.at(level).hit_bytes) /
                                      static_cast<double>(requested_bytes_);
+}
+
+AuditReport CacheHierarchy::audit() const {
+  AuditReport report;
+  std::uint64_t total_hits = 0;
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    report.absorb("level" + std::to_string(k), levels_[k].audit());
+    total_hits += stats_[k].hits;
+  }
+  if (!levels_.empty() && levels_[0].stats().requests != requests_) {
+    report.add("hierarchy.level0_requests",
+               "level 0 saw " + std::to_string(levels_[0].stats().requests) +
+                   " requests but the hierarchy recorded " + std::to_string(requests_));
+  }
+  if (total_hits > requests_) {
+    report.add("hierarchy.hit_flow", "per-level hits exceed total requests");
+  }
+  return report;
 }
 
 double CacheHierarchy::combined_hit_rate() const {

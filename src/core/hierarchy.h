@@ -54,6 +54,10 @@ class CacheHierarchy {
   /// Fraction of requests served by any level (1 - origin load).
   [[nodiscard]] double combined_hit_rate() const;
 
+  /// Audits every level (scoped "level<k>.") plus request-flow sanity:
+  /// level 0 sees every request and total hits never exceed requests.
+  [[nodiscard]] AuditReport audit() const;
+
  private:
   std::vector<Cache> levels_;
   std::vector<LevelStats> stats_;

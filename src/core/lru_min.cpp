@@ -1,7 +1,6 @@
 #include "src/core/lru_min.h"
 
 #include <bit>
-#include <cassert>
 
 namespace wcs {
 
@@ -18,7 +17,7 @@ void LruMinPolicy::insert_key(const DocState& doc) {
 void LruMinPolicy::erase_key(const DocState& doc) {
   const int bucket = bucket_of(doc.size);
   const auto it = buckets_.find(bucket);
-  assert(it != buckets_.end());
+  WCS_ASSERT(it != buckets_.end(), "LRU-MIN: erase_key for an unbucketed size class");
   it->second.erase(doc.key);
   if (it->second.empty()) buckets_.erase(it);
 }
@@ -26,7 +25,7 @@ void LruMinPolicy::erase_key(const DocState& doc) {
 void LruMinPolicy::on_insert(const CacheEntry& entry) {
   DocState doc{entry.size, LruKey{entry.atime, entry.random_tag, entry.url}};
   const auto [it, inserted] = state_.emplace(entry.url, doc);
-  assert(inserted && "LRU-MIN on_insert for tracked URL");
+  WCS_ASSERT(inserted, "LRU-MIN: on_insert for an already-tracked URL");
   (void)it;
   (void)inserted;
   insert_key(doc);
@@ -34,7 +33,7 @@ void LruMinPolicy::on_insert(const CacheEntry& entry) {
 
 void LruMinPolicy::on_hit(const CacheEntry& entry) {
   const auto it = state_.find(entry.url);
-  assert(it != state_.end());
+  WCS_ASSERT(it != state_.end(), "LRU-MIN: on_hit for an untracked URL");
   erase_key(it->second);
   it->second.key.atime = entry.atime;
   it->second.size = entry.size;
@@ -43,9 +42,66 @@ void LruMinPolicy::on_hit(const CacheEntry& entry) {
 
 void LruMinPolicy::on_remove(const CacheEntry& entry) {
   const auto it = state_.find(entry.url);
-  assert(it != state_.end());
+  WCS_ASSERT(it != state_.end(), "LRU-MIN: on_remove for an untracked URL");
   erase_key(it->second);
   state_.erase(it);
+}
+
+void LruMinPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
+  if (state_.size() != entries.size()) {
+    report.add("lru_min.tracked_count",
+               "policy tracks " + std::to_string(state_.size()) + " URLs but cache holds " +
+                   std::to_string(entries.size()));
+  }
+  for (const auto& [url, entry] : entries) {
+    const auto it = state_.find(url);
+    if (it == state_.end()) {
+      report.add("lru_min.untracked", "cached url " + std::to_string(url) + " not in state");
+      continue;
+    }
+    const DocState& doc = it->second;
+    if (doc.size != entry.size || doc.key.atime != entry.atime ||
+        doc.key.tie != entry.random_tag || doc.key.url != url) {
+      report.add("lru_min.stale_state",
+                 "url " + std::to_string(url) + " has state (size=" +
+                     std::to_string(doc.size) + ", atime=" + std::to_string(doc.key.atime) +
+                     ") that no longer matches the cache entry");
+    }
+  }
+
+  // Size-class thresholds: bucket b holds exactly the sizes with
+  // floor(log2(size)) == b, every key maps back to a tracked document, and
+  // no bucket is left empty (an empty set would distort threshold scans).
+  std::size_t bucketed = 0;
+  for (const auto& [bucket, keys] : buckets_) {
+    if (keys.empty()) {
+      report.add("lru_min.empty_bucket",
+                 "bucket " + std::to_string(bucket) + " exists but holds no keys");
+      continue;
+    }
+    for (const LruKey& key : keys) {
+      ++bucketed;
+      const auto it = state_.find(key.url);
+      if (it == state_.end()) {
+        report.add("lru_min.orphan_key",
+                   "bucket " + std::to_string(bucket) + " holds untracked url " +
+                       std::to_string(key.url));
+        continue;
+      }
+      if (bucket_of(it->second.size) != bucket) {
+        report.add("lru_min.size_class",
+                   "url " + std::to_string(key.url) + " (size " +
+                       std::to_string(it->second.size) + ") sits in bucket " +
+                       std::to_string(bucket) + " but belongs in bucket " +
+                       std::to_string(bucket_of(it->second.size)));
+      }
+    }
+  }
+  if (bucketed != state_.size()) {
+    report.add("lru_min.bucket_count",
+               "buckets hold " + std::to_string(bucketed) + " keys but state tracks " +
+                   std::to_string(state_.size()) + " documents");
+  }
 }
 
 std::optional<UrlId> LruMinPolicy::choose_victim(const EvictionContext& ctx) {

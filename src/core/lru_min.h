@@ -19,6 +19,8 @@
 
 namespace wcs {
 
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+
 class LruMinPolicy final : public RemovalPolicy {
  public:
   explicit LruMinPolicy(std::uint64_t seed = 1);
@@ -31,7 +33,13 @@ class LruMinPolicy final : public RemovalPolicy {
 
   [[nodiscard]] std::size_t tracked() const noexcept { return state_.size(); }
 
+  /// Verifies the per-document state mirrors the cache (size/atime/tag) and
+  /// the size-class thresholds: every bucketed key lives in the bucket
+  /// floor(log2(size)) — i.e. bucket b holds exactly sizes in [2^b, 2^(b+1)).
+  void audit_index(const EntryMap& entries, AuditReport& report) const override;
+
  private:
+  friend struct AuditTamper;
   // (atime, tie, url) ascending — front = least recently used.
   struct LruKey {
     SimTime atime;

@@ -48,6 +48,23 @@ CacheStats PartitionedCache::combined_stats() const {
   return total;
 }
 
+AuditReport PartitionedCache::audit() const {
+  AuditReport report;
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    report.absorb(names_[i], caches_[i].audit());
+    for (const CacheEntry& entry : caches_[i].snapshot()) {
+      const std::size_t home = classify_(entry.type);
+      if (home != i) {
+        report.add("partitioned.routing",
+                   "url " + std::to_string(entry.url) + " (type class " +
+                       std::to_string(home) + ") is cached in partition " +
+                       std::to_string(i) + " ('" + names_[i] + "')");
+      }
+    }
+  }
+  return report;
+}
+
 PartitionedCache PartitionedCache::audio_split(
     std::uint64_t total_capacity, double audio_fraction,
     const std::function<std::unique_ptr<RemovalPolicy>()>& make_policy) {

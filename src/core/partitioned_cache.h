@@ -43,6 +43,12 @@ class PartitionedCache {
   /// Totals across partitions.
   [[nodiscard]] CacheStats combined_stats() const;
 
+  /// Audits every partition (scoped by partition name) plus the routing
+  /// invariant: a document cached in partition i must classify to i — a
+  /// misrouted document would corrupt the per-class byte accounting the
+  /// paper's Experiment 4 depends on.
+  [[nodiscard]] AuditReport audit() const;
+
   /// The canonical Experiment 4 split: partition 0 audio, partition 1
   /// everything else; both use the given policy factory.
   static PartitionedCache audio_split(
@@ -50,6 +56,7 @@ class PartitionedCache {
       const std::function<std::unique_ptr<RemovalPolicy>()>& make_policy);
 
  private:
+  friend struct AuditTamper;
   std::vector<Cache> caches_;
   std::vector<std::string> names_;
   std::function<std::size_t(FileType)> classify_;

@@ -1,7 +1,5 @@
 #include "src/core/pitkow_recker.h"
 
-#include <cassert>
-
 namespace wcs {
 
 PitkowReckerPolicy::PitkowReckerPolicy(std::uint64_t /*seed*/) {}
@@ -18,7 +16,7 @@ PitkowReckerPolicy::SizeKey PitkowReckerPolicy::size_key(const CacheEntry& entry
 void PitkowReckerPolicy::on_insert(const CacheEntry& entry) {
   const auto keys = std::pair{day_key(entry), size_key(entry)};
   const auto [it, inserted] = index_.emplace(entry.url, keys);
-  assert(inserted && "Pitkow/Recker on_insert for tracked URL");
+  WCS_ASSERT(inserted, "Pitkow/Recker: on_insert for an already-tracked URL");
   (void)it;
   (void)inserted;
   by_day_.insert(keys.first);
@@ -27,7 +25,7 @@ void PitkowReckerPolicy::on_insert(const CacheEntry& entry) {
 
 void PitkowReckerPolicy::on_hit(const CacheEntry& entry) {
   const auto it = index_.find(entry.url);
-  assert(it != index_.end());
+  WCS_ASSERT(it != index_.end(), "Pitkow/Recker: on_hit for an untracked URL");
   by_day_.erase(it->second.first);
   by_size_.erase(it->second.second);
   it->second = {day_key(entry), size_key(entry)};
@@ -37,10 +35,41 @@ void PitkowReckerPolicy::on_hit(const CacheEntry& entry) {
 
 void PitkowReckerPolicy::on_remove(const CacheEntry& entry) {
   const auto it = index_.find(entry.url);
-  assert(it != index_.end());
+  WCS_ASSERT(it != index_.end(), "Pitkow/Recker: on_remove for an untracked URL");
   by_day_.erase(it->second.first);
   by_size_.erase(it->second.second);
   index_.erase(it);
+}
+
+void PitkowReckerPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
+  if (index_.size() != entries.size()) {
+    report.add("pitkow_recker.tracked_count",
+               "policy tracks " + std::to_string(index_.size()) + " URLs but cache holds " +
+                   std::to_string(entries.size()));
+  }
+  if (by_day_.size() != index_.size() || by_size_.size() != index_.size()) {
+    report.add("pitkow_recker.order_count",
+               "day order holds " + std::to_string(by_day_.size()) + ", size order " +
+                   std::to_string(by_size_.size()) + ", index " +
+                   std::to_string(index_.size()));
+  }
+  for (const auto& [url, entry] : entries) {
+    const auto it = index_.find(url);
+    if (it == index_.end()) {
+      report.add("pitkow_recker.untracked",
+                 "cached url " + std::to_string(url) + " not in index");
+      continue;
+    }
+    if (it->second.first != day_key(entry) || it->second.second != size_key(entry)) {
+      report.add("pitkow_recker.stale_key",
+                 "url " + std::to_string(url) +
+                     " has stored keys that no longer match the cache entry");
+    }
+    if (!by_day_.contains(it->second.first) || !by_size_.contains(it->second.second)) {
+      report.add("pitkow_recker.order_missing",
+                 "url " + std::to_string(url) + "'s keys are absent from an order set");
+    }
+  }
 }
 
 std::optional<UrlId> PitkowReckerPolicy::choose_victim(const EvictionContext& ctx) {

@@ -36,6 +36,10 @@ class PitkowReckerPolicy final : public RemovalPolicy {
 
   [[nodiscard]] std::size_t tracked() const noexcept { return by_day_.size(); }
 
+  /// Verifies both orderings (day asc / size desc) mirror the cache: every
+  /// cached URL indexed, stored keys equal to recomputed day_key/size_key.
+  void audit_index(const EntryMap& entries, AuditReport& report) const override;
+
  private:
   // Day order: (day asc, size desc, tag, url) — oldest day first, largest
   // first within a day.

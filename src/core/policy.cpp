@@ -7,6 +7,8 @@
 
 namespace wcs {
 
+void RemovalPolicy::audit_index(const EntryMap& /*entries*/, AuditReport& /*report*/) const {}
+
 std::unique_ptr<RemovalPolicy> make_sorted_policy(KeySpec spec, std::uint64_t seed) {
   return std::make_unique<SortedPolicy>(std::move(spec), seed);
 }

@@ -11,12 +11,17 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
+#include "src/core/audit.h"
 #include "src/core/entry.h"
 #include "src/core/keys.h"
 #include "src/util/rng.h"
 
 namespace wcs {
+
+/// The cache's entry table, as handed to RemovalPolicy::audit_index.
+using EntryMap = std::unordered_map<UrlId, CacheEntry>;
 
 /// Everything a policy may consult when picking a victim.
 struct EvictionContext {
@@ -48,6 +53,13 @@ class RemovalPolicy {
   [[nodiscard]] virtual std::optional<UrlId> choose_victim(const EvictionContext& ctx) = 0;
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Cross-check this policy's internal index against the cache's entry
+  /// table, appending one violation per broken invariant. Implementations
+  /// must verify (at minimum) that the index tracks exactly the cached URLs
+  /// and that the victim order still agrees with the policy's declared key
+  /// comparator. Default: nothing to check (stateless policy).
+  virtual void audit_index(const EntryMap& entries, AuditReport& report) const;
 
  protected:
   RemovalPolicy() = default;

@@ -1,6 +1,6 @@
 #include "src/core/sorted_policy.h"
 
-#include <cassert>
+#include <utility>
 
 namespace wcs {
 
@@ -10,14 +10,15 @@ SortedPolicy::SortedPolicy(KeySpec spec, std::uint64_t /*seed*/)
 void SortedPolicy::on_insert(const CacheEntry& entry) {
   RankTuple tuple = make_rank_tuple(spec_, entry);
   const auto [it, inserted] = index_.emplace(entry.url, tuple);
-  assert(inserted && "on_insert for an already-tracked URL");
+  WCS_ASSERT(inserted, "SortedPolicy::on_insert for an already-tracked URL");
+  (void)it;
   (void)inserted;
   order_.insert(std::move(tuple));
 }
 
 void SortedPolicy::on_hit(const CacheEntry& entry) {
   const auto it = index_.find(entry.url);
-  assert(it != index_.end() && "on_hit for an untracked URL");
+  WCS_ASSERT(it != index_.end(), "SortedPolicy::on_hit for an untracked URL");
   order_.erase(it->second);
   it->second = make_rank_tuple(spec_, entry);
   order_.insert(it->second);
@@ -25,7 +26,7 @@ void SortedPolicy::on_hit(const CacheEntry& entry) {
 
 void SortedPolicy::on_remove(const CacheEntry& entry) {
   const auto it = index_.find(entry.url);
-  assert(it != index_.end() && "on_remove for an untracked URL");
+  WCS_ASSERT(it != index_.end(), "SortedPolicy::on_remove for an untracked URL");
   order_.erase(it->second);
   index_.erase(it);
 }
@@ -33,6 +34,52 @@ void SortedPolicy::on_remove(const CacheEntry& entry) {
 std::optional<UrlId> SortedPolicy::choose_victim(const EvictionContext& /*ctx*/) {
   if (order_.empty()) return std::nullopt;
   return order_.begin()->url;
+}
+
+void SortedPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
+  if (index_.size() != entries.size()) {
+    report.add("sorted.tracked_count",
+               "policy tracks " + std::to_string(index_.size()) + " URLs but cache holds " +
+                   std::to_string(entries.size()));
+  }
+  if (order_.size() != index_.size()) {
+    report.add("sorted.order_count",
+               "order set holds " + std::to_string(order_.size()) + " tuples but index has " +
+                   std::to_string(index_.size()));
+  }
+
+  bool have_min = false;
+  RankTuple min_tuple;
+  for (const auto& [url, entry] : entries) {
+    const auto it = index_.find(url);
+    if (it == index_.end()) {
+      report.add("sorted.untracked", "cached url " + std::to_string(url) + " not in index");
+      continue;
+    }
+    RankTuple expected = make_rank_tuple(spec_, entry);
+    if (!(it->second == expected)) {
+      report.add("sorted.stale_rank",
+                 "url " + std::to_string(url) +
+                     " has a stored tuple that no longer matches its recomputed ranks");
+    }
+    if (!order_.contains(it->second)) {
+      report.add("sorted.order_missing",
+                 "url " + std::to_string(url) + "'s tuple is absent from the order set");
+    }
+    if (!have_min || expected < min_tuple) {
+      min_tuple = std::move(expected);
+      have_min = true;
+    }
+  }
+
+  // The victim the policy would return must be the recomputed minimum —
+  // i.e. the declared (primary, secondary, ..., random-tag, url) comparator
+  // still governs the head of the sorted list.
+  if (have_min && !order_.empty() && order_.begin()->url != min_tuple.url) {
+    report.add("sorted.victim_order",
+               "head of order set is url " + std::to_string(order_.begin()->url) +
+                   " but the comparator minimum is url " + std::to_string(min_tuple.url));
+  }
 }
 
 std::optional<std::size_t> SortedPolicy::position_of(UrlId url) const {

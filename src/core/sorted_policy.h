@@ -13,6 +13,8 @@
 
 namespace wcs {
 
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+
 class SortedPolicy final : public RemovalPolicy {
  public:
   explicit SortedPolicy(KeySpec spec, std::uint64_t seed = 1);
@@ -31,7 +33,14 @@ class SortedPolicy final : public RemovalPolicy {
   /// hit". O(n) — diagnostic use only.
   [[nodiscard]] std::optional<std::size_t> position_of(UrlId url) const;
 
+  /// Verifies index/order agreement with the declared comparator: every
+  /// cached URL tracked exactly once, every stored tuple equal to the
+  /// freshly recomputed make_rank_tuple(spec, entry), and the head of
+  /// order_ equal to the recomputed minimum (the §1.3 victim).
+  void audit_index(const EntryMap& entries, AuditReport& report) const override;
+
  private:
+  friend struct AuditTamper;
   KeySpec spec_;
   std::string name_;
   std::set<RankTuple> order_;

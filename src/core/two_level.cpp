@@ -4,7 +4,8 @@ namespace wcs {
 
 TwoLevelCache::TwoLevelCache(CacheConfig l1_config, std::unique_ptr<RemovalPolicy> l1_policy,
                              CacheConfig l2_config, std::unique_ptr<RemovalPolicy> l2_policy)
-    : l1_(l1_config, std::move(l1_policy)), l2_(l2_config, std::move(l2_policy)) {}
+    : l1_(std::move(l1_config), std::move(l1_policy)),
+      l2_(std::move(l2_config), std::move(l2_policy)) {}
 
 TwoLevelResult TwoLevelCache::access(SimTime now, UrlId url, std::uint64_t size,
                                      FileType type) {
@@ -29,6 +30,45 @@ TwoLevelResult TwoLevelCache::access(SimTime now, UrlId url, std::uint64_t size,
     return {HitLevel::kL2};
   }
   return {HitLevel::kMiss};
+}
+
+AuditReport TwoLevelCache::audit() const {
+  AuditReport report;
+  report.absorb("l1", l1_.audit());
+  report.absorb("l2", l2_.audit());
+
+  if (stats_.l1_hits + stats_.l2_hits > stats_.requests) {
+    report.add("two_level.hit_flow", "level hits exceed total requests");
+  }
+  if (l1_.stats().requests != stats_.requests) {
+    report.add("two_level.l1_requests",
+               "L1 saw " + std::to_string(l1_.stats().requests) + " requests but the "
+                   "hierarchy recorded " + std::to_string(stats_.requests));
+  }
+  if (l2_.stats().requests != stats_.requests - stats_.l1_hits) {
+    report.add("two_level.l2_requests",
+               "L2 saw " + std::to_string(l2_.stats().requests) +
+                   " requests but L1 missed " +
+                   std::to_string(stats_.requests - stats_.l1_hits));
+  }
+
+  // Inclusion (the paper's Experiment 3 arrangement): with an infinite L2,
+  // every document L1 holds entered L2 on the same miss and L2 never evicts.
+  if (l2_.is_infinite()) {
+    for (const CacheEntry& entry : l1_.snapshot()) {
+      const CacheEntry* twin = l2_.find(entry.url);
+      if (twin == nullptr) {
+        report.add("two_level.inclusion", "url " + std::to_string(entry.url) +
+                                              " cached in L1 but missing from infinite L2");
+      } else if (twin->size != entry.size) {
+        report.add("two_level.inclusion_size",
+                   "url " + std::to_string(entry.url) + " is " +
+                       std::to_string(entry.size) + " bytes in L1 but " +
+                       std::to_string(twin->size) + " in L2");
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace wcs

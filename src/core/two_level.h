@@ -60,7 +60,14 @@ class TwoLevelCache {
   };
   [[nodiscard]] const HierarchyStats& stats() const noexcept { return stats_; }
 
+  /// Audits both levels (scoped "l1." / "l2."), the request-flow identities
+  /// (every request probes L1; L2 sees exactly the L1 misses; level hits
+  /// never exceed requests) and, when L2 is infinite, the inclusion
+  /// property: every L1 document is also in L2 at the same size.
+  [[nodiscard]] AuditReport audit() const;
+
  private:
+  friend struct AuditTamper;
   Cache l1_;
   Cache l2_;
   HierarchyStats stats_;

@@ -1,6 +1,24 @@
 #include "src/sim/metrics.h"
 
+#include "src/core/cache.h"
+
 namespace wcs {
+
+std::vector<CounterRow> stats_rows(const CacheStats& stats) {
+  return {
+      {"requests", stats.requests},
+      {"hits", stats.hits},
+      {"requested_bytes", stats.requested_bytes},
+      {"hit_bytes", stats.hit_bytes},
+      {"insertions", stats.insertions},
+      {"evictions", stats.evictions},
+      {"evicted_bytes", stats.evicted_bytes},
+      {"size_change_misses", stats.size_change_misses},
+      {"rejected_too_large", stats.rejected_too_large},
+      {"periodic_sweeps", stats.periodic_sweeps},
+      {"max_used_bytes", stats.max_used_bytes},
+  };
+}
 
 DailySeries::Day& DailySeries::day_at(SimTime now) {
   const auto day = static_cast<std::size_t>(day_of(now) < 0 ? 0 : day_of(now));

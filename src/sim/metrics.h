@@ -8,11 +8,26 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/util/simtime.h"
 
 namespace wcs {
+
+struct CacheStats;  // src/core/cache.h
+
+/// One named CacheStats counter, for reports and dashboards.
+struct CounterRow {
+  std::string_view name;
+  std::uint64_t value = 0;
+};
+
+/// Every counter of CacheStats as (name, value) rows, in declaration order.
+/// This is the single place reporting code reads the struct field-by-field;
+/// tools/lint.py's stats-coverage rule keeps it exhaustive, and
+/// tests/test_metrics.cpp pins the row count to the struct.
+[[nodiscard]] std::vector<CounterRow> stats_rows(const CacheStats& stats);
 
 class DailySeries {
  public:

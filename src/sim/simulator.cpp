@@ -1,19 +1,44 @@
 #include "src/sim/simulator.h"
 
+#include <stdexcept>
+
 namespace wcs {
+namespace {
+
+/// Throws with the audit report if `auditable` (anything with an audit()
+/// method) is in a corrupt state — the SimAudit debug contract.
+template <typename Auditable>
+void check_audit(const Auditable& auditable, std::uint64_t request_index) {
+  const AuditReport report = auditable.audit();
+  if (!report.ok()) {
+    throw std::runtime_error{"simulate: invariant audit failed after request " +
+                             std::to_string(request_index) + "\n" + report.to_string()};
+  }
+}
+
+/// True on every `interval`-th request (1-based); never when interval is 0.
+[[nodiscard]] bool audit_due(const SimAudit& audit, std::uint64_t request_index) {
+  return audit.interval != 0 && request_index % audit.interval == 0;
+}
+
+}  // namespace
 
 SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
-                   const PolicyFactory& make_policy, PeriodicSweepConfig periodic) {
+                   const PolicyFactory& make_policy, PeriodicSweepConfig periodic,
+                   SimAudit audit) {
   CacheConfig config;
   config.capacity_bytes = capacity_bytes;
   config.periodic = periodic;
   Cache cache{config, make_policy()};
 
   SimResult result;
+  std::uint64_t index = 0;
   for (const Request& request : trace.requests()) {
     const AccessResult access = cache.access(request);
     result.daily.record(request.time, access.hit, request.size);
+    if (audit_due(audit, ++index)) check_audit(cache, index);
   }
+  if (audit.interval != 0) check_audit(cache, index);
   result.stats = cache.stats();
   result.max_used_bytes = cache.stats().max_used_bytes;
   return result;
@@ -26,18 +51,21 @@ SimResult simulate_infinite(const Trace& trace) {
 
 TwoLevelSimResult simulate_two_level(const Trace& trace, std::uint64_t l1_capacity,
                                      const PolicyFactory& l1_policy,
-                                     const PolicyFactory& l2_policy) {
+                                     const PolicyFactory& l2_policy, SimAudit audit) {
   CacheConfig l1_config;
   l1_config.capacity_bytes = l1_capacity;
   CacheConfig l2_config;  // infinite
   TwoLevelCache hierarchy{l1_config, l1_policy(), l2_config, l2_policy()};
 
   TwoLevelSimResult result;
+  std::uint64_t index = 0;
   for (const Request& request : trace.requests()) {
     const TwoLevelResult outcome = hierarchy.access(request);
     result.l1_daily.record(request.time, outcome.level == HitLevel::kL1, request.size);
     result.l2_daily.record(request.time, outcome.level == HitLevel::kL2, request.size);
+    if (audit_due(audit, ++index)) check_audit(hierarchy, index);
   }
+  if (audit.interval != 0) check_audit(hierarchy, index);
   result.stats = hierarchy.stats();
   return result;
 }
@@ -45,11 +73,13 @@ TwoLevelSimResult simulate_two_level(const Trace& trace, std::uint64_t l1_capaci
 PartitionedSimResult simulate_partitioned_audio(const Trace& trace,
                                                 std::uint64_t total_capacity,
                                                 double audio_fraction,
-                                                const PolicyFactory& make_policy) {
+                                                const PolicyFactory& make_policy,
+                                                SimAudit audit) {
   PartitionedCache cache =
       PartitionedCache::audio_split(total_capacity, audio_fraction, make_policy);
 
   PartitionedSimResult result;
+  std::uint64_t index = 0;
   for (const Request& request : trace.requests()) {
     const AccessResult access = cache.access(request);
     const bool is_audio = request.type == FileType::kAudio;
@@ -57,7 +87,9 @@ PartitionedSimResult simulate_partitioned_audio(const Trace& trace,
     // both denominators; a hit counts only for its own class.
     result.audio_daily.record(request.time, access.hit && is_audio, request.size);
     result.non_audio_daily.record(request.time, access.hit && !is_audio, request.size);
+    if (audit_due(audit, ++index)) check_audit(cache, index);
   }
+  if (audit.interval != 0) check_audit(cache, index);
   result.audio_stats = cache.partition(0).stats();
   result.non_audio_stats = cache.partition(1).stats();
   return result;

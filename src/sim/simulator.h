@@ -26,10 +26,18 @@ struct SimResult {
   std::uint64_t max_used_bytes = 0;
 };
 
+/// Debug knob: when `interval` > 0 the simulator runs a full invariant
+/// audit (Cache::audit and friends) every `interval` requests and again at
+/// end of trace, throwing std::runtime_error with the report on the first
+/// violation. Costs O(n log n) per sweep — leave at 0 for measurements.
+struct SimAudit {
+  std::uint64_t interval = 0;
+};
+
 /// Run `trace` against a cache of `capacity_bytes` (0 = infinite).
 [[nodiscard]] SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
                                  const PolicyFactory& make_policy,
-                                 PeriodicSweepConfig periodic = {});
+                                 PeriodicSweepConfig periodic = {}, SimAudit audit = {});
 
 /// Infinite-cache run: the theoretical maxima of Experiment 1.
 [[nodiscard]] SimResult simulate_infinite(const Trace& trace);
@@ -45,7 +53,8 @@ struct TwoLevelSimResult {
 [[nodiscard]] TwoLevelSimResult simulate_two_level(const Trace& trace,
                                                    std::uint64_t l1_capacity,
                                                    const PolicyFactory& l1_policy,
-                                                   const PolicyFactory& l2_policy);
+                                                   const PolicyFactory& l2_policy,
+                                                   SimAudit audit = {});
 
 struct PartitionedSimResult {
   /// Per-class daily series where the denominator is *all* requests
@@ -59,7 +68,7 @@ struct PartitionedSimResult {
 /// Audio/non-audio split cache (Experiment 4).
 [[nodiscard]] PartitionedSimResult simulate_partitioned_audio(
     const Trace& trace, std::uint64_t total_capacity, double audio_fraction,
-    const PolicyFactory& make_policy);
+    const PolicyFactory& make_policy, SimAudit audit = {});
 
 /// Audio vs non-audio infinite-cache reference curves for Figs 19-20
 /// (the "Infinite Cache Audio WHR" line).

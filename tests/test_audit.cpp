@@ -1,0 +1,261 @@
+// Mutation tests for the invariant-audit layer (src/core/audit.h).
+//
+// Each test drives a cache into a healthy state, verifies a clean audit,
+// then deliberately corrupts one internal structure through AuditTamper and
+// asserts the audit names that corruption. An auditor that cannot detect a
+// seeded fault is weaker than no auditor — it certifies broken state.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/cache.h"
+#include "src/core/lru_min.h"
+#include "src/core/partitioned_cache.h"
+#include "src/core/policy.h"
+#include "src/core/sorted_policy.h"
+#include "src/core/two_level.h"
+#include "src/sim/simulator.h"
+
+namespace wcs {
+
+// Test-only backdoor into private state, befriended by the core classes.
+// Every method here *breaks* an invariant on purpose.
+struct AuditTamper {
+  static std::uint64_t& used_bytes(Cache& cache) { return cache.used_bytes_; }
+  static EntryMap& entries(Cache& cache) { return cache.entries_; }
+  static CacheStats& stats(Cache& cache) { return cache.stats_; }
+  static Cache& l2(TwoLevelCache& hierarchy) { return hierarchy.l2_; }
+  static Cache& partition(PartitionedCache& cache, std::size_t i) {
+    return cache.caches_.at(i);
+  }
+
+  /// Re-keys `url` in both the index and the order set with a skewed
+  /// primary rank — internally consistent, but disagreeing with the
+  /// declared key comparator (the recomputed rank).
+  static void skew_rank(SortedPolicy& policy, UrlId url, std::int64_t delta) {
+    RankTuple& tuple = policy.index_.at(url);
+    policy.order_.erase(tuple);
+    tuple.ranks.at(0) += delta;
+    policy.order_.insert(tuple);
+  }
+
+  /// Removes `url`'s tuple from the order set only — the index still
+  /// tracks it, so eviction would never consider it.
+  static void drop_from_order(SortedPolicy& policy, UrlId url) {
+    policy.order_.erase(policy.index_.at(url));
+  }
+
+  /// Moves `url`'s LRU key out of its floor(log2(size)) bucket — breaking
+  /// the size-class thresholds LRU-MIN's T = S, S/2, ... scan relies on.
+  static void misbucket(LruMinPolicy& policy, UrlId url, int bucket_delta) {
+    const LruMinPolicy::DocState& doc = policy.state_.at(url);
+    policy.erase_key(doc);
+    policy.buckets_[LruMinPolicy::bucket_of(doc.size) + bucket_delta].insert(doc.key);
+  }
+};
+
+namespace {
+
+constexpr SimTime kHour = kSecondsPerHour;
+
+/// A cache pre-loaded with a few documents of distinct sizes and reuse.
+Cache make_loaded_cache(std::unique_ptr<RemovalPolicy> policy,
+                        std::uint64_t capacity = 100'000) {
+  CacheConfig config;
+  config.capacity_bytes = capacity;
+  Cache cache{config, std::move(policy)};
+  cache.access(1 * kHour, 1, 4'000);
+  cache.access(2 * kHour, 2, 900);
+  cache.access(3 * kHour, 3, 17'000);
+  cache.access(4 * kHour, 4, 64);
+  cache.access(5 * kHour, 2, 900);  // hit: moves url 2's ATIME/NREF ranks
+  cache.access(6 * kHour, 5, 2'048);
+  return cache;
+}
+
+TEST(Audit, CleanCacheReportsZeroViolations) {
+  Cache cache = make_loaded_cache(make_lru());
+  const AuditReport report = cache.audit();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.to_string(), "audit: ok");
+}
+
+TEST(Audit, CorruptUsedBytesIsCaught) {
+  Cache cache = make_loaded_cache(make_size());
+  ASSERT_TRUE(cache.audit().ok());
+  AuditTamper::used_bytes(cache) += 3;
+  const AuditReport report = cache.audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.count("cache.used_bytes"), 1u) << report.to_string();
+}
+
+TEST(Audit, CorruptEntrySizeIsCaughtByAccountingAndPolicy) {
+  Cache cache = make_loaded_cache(make_size());
+  ASSERT_TRUE(cache.audit().ok());
+  // Shrink a document behind the cache's back: the byte sum no longer
+  // matches used_bytes AND the SIZE policy's stored rank goes stale.
+  AuditTamper::entries(cache).at(3).size -= 1'000;
+  const AuditReport report = cache.audit();
+  EXPECT_EQ(report.count("cache.used_bytes"), 1u) << report.to_string();
+  EXPECT_GE(report.count("policy.sorted.stale_rank"), 1u) << report.to_string();
+}
+
+TEST(Audit, CorruptStatsFlowIsCaught) {
+  Cache cache = make_loaded_cache(make_lru());
+  AuditTamper::stats(cache).hits = AuditTamper::stats(cache).requests + 1;
+  EXPECT_EQ(cache.audit().count("cache.stats_hits"), 1u);
+}
+
+TEST(Audit, SkewedSortedRankIsCaught) {
+  Cache cache = make_loaded_cache(make_size());
+  auto& policy = dynamic_cast<SortedPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok());
+  // SIZE ranks are -size; push the small url 4 to the front of the removal
+  // order. Index and order agree with each other but not the comparator.
+  AuditTamper::skew_rank(policy, 4, -1'000'000);
+  const AuditReport report = cache.audit();
+  EXPECT_GE(report.count("policy.sorted.stale_rank"), 1u) << report.to_string();
+  EXPECT_EQ(report.count("policy.sorted.victim_order"), 1u) << report.to_string();
+}
+
+TEST(Audit, DroppedOrderTupleIsCaught) {
+  Cache cache = make_loaded_cache(make_lru());
+  auto& policy = dynamic_cast<SortedPolicy&>(cache.policy());
+  AuditTamper::drop_from_order(policy, 5);
+  const AuditReport report = cache.audit();
+  EXPECT_EQ(report.count("policy.sorted.order_missing"), 1u) << report.to_string();
+  EXPECT_EQ(report.count("policy.sorted.order_count"), 1u) << report.to_string();
+}
+
+TEST(Audit, LruMinSizeClassViolationIsCaught) {
+  Cache cache = make_loaded_cache(make_lru_min());
+  auto& policy = dynamic_cast<LruMinPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok());
+  // url 3 (17000 bytes, bucket 14) filed three classes too low: a threshold
+  // scan for T in (2^12, 2^14] would now skip a qualifying document.
+  AuditTamper::misbucket(policy, 3, -3);
+  const AuditReport report = cache.audit();
+  EXPECT_EQ(report.count("policy.lru_min.size_class"), 1u) << report.to_string();
+}
+
+TEST(Audit, LruMinCleanAfterMixedWorkload) {
+  Cache cache = make_loaded_cache(make_lru_min(), 20'000);  // forces evictions
+  cache.access(7 * kHour, 6, 15'000);
+  cache.access(8 * kHour, 7, 3'000);
+  const AuditReport report = cache.audit();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Audit, PitkowReckerStaleKeyIsCaught) {
+  Cache cache = make_loaded_cache(make_pitkow_recker());
+  ASSERT_TRUE(cache.audit().ok());
+  AuditTamper::entries(cache).at(1).atime += 3 * kSecondsPerDay;
+  const AuditReport report = cache.audit();
+  EXPECT_GE(report.count("policy.pitkow_recker.stale_key"), 1u) << report.to_string();
+}
+
+TEST(Audit, TwoLevelInclusionViolationIsCaught) {
+  CacheConfig l1_config;
+  l1_config.capacity_bytes = 10'000;
+  CacheConfig l2_config;  // infinite
+  TwoLevelCache hierarchy{l1_config, make_lru(), l2_config, make_lru()};
+  hierarchy.access(1 * kHour, 1, 2'000);
+  hierarchy.access(2 * kHour, 2, 3'000);
+  ASSERT_TRUE(hierarchy.audit().ok()) << hierarchy.audit().to_string();
+
+  // Purge a document from the infinite L2 while L1 still holds it.
+  AuditTamper::l2(hierarchy).erase(1);
+  const AuditReport report = hierarchy.audit();
+  EXPECT_EQ(report.count("two_level.inclusion"), 1u) << report.to_string();
+}
+
+TEST(Audit, PartitionedRoutingViolationIsCaught) {
+  PartitionedCache cache =
+      PartitionedCache::audio_split(100'000, 0.5, [] { return make_lru(); });
+  cache.access(1 * kHour, 1, 5'000, FileType::kAudio);
+  cache.access(2 * kHour, 2, 1'000, FileType::kText);
+  ASSERT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+
+  // Smuggle an audio document into the non-audio partition.
+  AuditTamper::partition(cache, 1).access(3 * kHour, 3, 2'000, FileType::kAudio);
+  const AuditReport report = cache.audit();
+  EXPECT_EQ(report.count("partitioned.routing"), 1u) << report.to_string();
+}
+
+TEST(Audit, ReportScopingAndCounting) {
+  AuditReport inner;
+  inner.add("used_bytes", "off by 3");
+  inner.add("used_bytes", "off by 7");
+  AuditReport outer;
+  outer.absorb("l1", inner);
+  outer.add("routing", "misplaced");
+  EXPECT_FALSE(outer.ok());
+  EXPECT_EQ(outer.count("l1.used_bytes"), 2u);
+  EXPECT_EQ(outer.count("routing"), 1u);
+  EXPECT_EQ(outer.count("absent"), 0u);
+  EXPECT_NE(outer.to_string().find("[l1.used_bytes] off by 3"), std::string::npos);
+}
+
+// --- the Simulator's debug audit flag ------------------------------------
+
+Trace small_trace() {
+  Trace trace;
+  Request r;
+  for (int i = 0; i < 200; ++i) {
+    r.time = static_cast<SimTime>(i) * kHour;
+    r.url = static_cast<UrlId>(i % 17);
+    r.size = 500 + static_cast<std::uint64_t>(i % 5) * 700;
+    trace.add(r);
+  }
+  return trace;
+}
+
+TEST(Audit, SimulatorAuditFlagPassesOnHealthyRuns) {
+  const Trace trace = small_trace();
+  const SimAudit audit{/*interval=*/25};
+  EXPECT_NO_THROW({
+    const SimResult r = simulate(trace, 6'000, [] { return make_size(); }, {}, audit);
+    EXPECT_GT(r.stats.requests, 0u);
+  });
+  EXPECT_NO_THROW(
+      simulate_two_level(trace, 4'000, [] { return make_lru(); },
+                         [] { return make_lru(); }, audit));
+  EXPECT_NO_THROW(
+      simulate_partitioned_audio(trace, 8'000, 0.5, [] { return make_lru(); }, audit));
+}
+
+// A policy that lies: it reports documents it no longer tracks, so the
+// audit must flag it (and the simulator's audit flag must throw).
+class AmnesiacPolicy final : public RemovalPolicy {
+ public:
+  void on_insert(const CacheEntry& entry) override { inner_.on_insert(entry); }
+  void on_hit(const CacheEntry& entry) override { inner_.on_hit(entry); }
+  void on_remove(const CacheEntry& entry) override {
+    inner_.on_remove(entry);
+    ++forgotten_;
+  }
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override {
+    return inner_.choose_victim(ctx);
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "amnesiac"; }
+  void audit_index(const EntryMap& entries, AuditReport& report) const override {
+    inner_.audit_index(entries, report);
+    if (forgotten_ > 0) report.add("amnesiac.forgot", "dropped removal bookkeeping");
+  }
+
+ private:
+  SortedPolicy inner_{KeySpec{{Key::kAtime}}};
+  int forgotten_ = 0;
+};
+
+TEST(Audit, SimulatorAuditFlagThrowsOnViolation) {
+  const Trace trace = small_trace();
+  // Capacity small enough to force evictions -> on_remove -> "violation".
+  EXPECT_THROW(
+      (void)simulate(trace, 2'000, [] { return std::make_unique<AmnesiacPolicy>(); }, {},
+                     SimAudit{/*interval=*/10}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -2,8 +2,39 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/cache.h"
+
 namespace wcs {
 namespace {
+
+TEST(StatsRows, CoversEveryCacheStatsCounter) {
+  CacheStats stats;
+  stats.requests = 10;
+  stats.hits = 4;
+  stats.requested_bytes = 1000;
+  stats.hit_bytes = 400;
+  stats.insertions = 6;
+  stats.evictions = 2;
+  stats.evicted_bytes = 300;
+  stats.size_change_misses = 1;
+  stats.rejected_too_large = 1;
+  stats.periodic_sweeps = 3;
+  stats.max_used_bytes = 900;
+
+  const std::vector<CounterRow> rows = stats_rows(stats);
+  // One row per uint64 counter in CacheStats. If you add a counter, extend
+  // stats_rows() (tools/lint.py's stats-coverage rule will insist) and bump
+  // this expectation.
+  ASSERT_EQ(rows.size(), 11u);
+  EXPECT_EQ(rows.front().name, "requests");
+  EXPECT_EQ(rows.front().value, 10u);
+  std::uint64_t sum = 0;
+  for (const CounterRow& row : rows) {
+    EXPECT_FALSE(row.name.empty());
+    sum += row.value;
+  }
+  EXPECT_EQ(sum, 10u + 4 + 1000 + 400 + 6 + 2 + 300 + 1 + 1 + 3 + 900);
+}
 
 TEST(DailySeries, DailyRates) {
   DailySeries series;

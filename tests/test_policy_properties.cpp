@@ -151,6 +151,27 @@ TEST_P(PolicyProperty, EraseLeavesConsistentState) {
   ASSERT_EQ(sum, cache.used_bytes());
 }
 
+TEST_P(PolicyProperty, AuditStaysCleanThroughChurn) {
+  // The full invariant sweep (byte accounting + policy-index agreement with
+  // the declared comparator, src/core/audit.h) after every phase of a
+  // churny workload with erases and size changes.
+  CacheConfig config;
+  config.capacity_bytes = 8'000;
+  Cache cache{config, GetParam().factory()};
+  Rng rng{9};
+  std::size_t step_index = 0;
+  for (const Step& step : random_workload(10, 2000)) {
+    cache.access(step.time, step.url, step.size);
+    if (rng.chance(0.03)) cache.erase(static_cast<UrlId>(rng.below(60)));
+    if (++step_index % 250 == 0) {
+      const AuditReport report = cache.audit();
+      ASSERT_TRUE(report.ok()) << report.to_string();
+    }
+  }
+  const AuditReport report = cache.audit();
+  ASSERT_TRUE(report.ok()) << report.to_string();
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperty, ::testing::ValuesIn(all_policies()),
                          [](const ::testing::TestParamInfo<PolicyCase>& info) {
                            std::string name = info.param.name;

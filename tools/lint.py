@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Project-specific lint for webcachesim.
+
+Enforces repo rules that clang-tidy cannot express. Run from anywhere:
+
+    python3 tools/lint.py [repo-root]
+
+Exit status 0 when clean, 1 when any rule fires (one line per finding,
+``path:line: [rule] message``). Wired into ctest as the ``wcs_lint`` test.
+
+Rules
+-----
+rng-isolation     All randomness flows through src/util/rng.*. ``rand()``,
+                  ``srand()``, ``std::random_device``, ``std::mt19937`` (et
+                  al.) anywhere else silently break the (preset, seed) ->
+                  result determinism the trace-repro story depends on.
+no-build-include  ``#include`` paths must never reach into a build tree;
+                  generated headers differ per machine.
+pragma-once       Every header carries ``#pragma once``.
+no-float          ``float`` is banned in src/core/: byte accounting and rank
+                  arithmetic must stay exact (uint64/int64; ``double`` is
+                  allowed only for the paper's ratio outputs).
+stats-coverage    Every counter field of ``CacheStats`` (src/core/cache.h)
+                  must be mentioned in src/sim/metrics.{h,cpp} so reporting
+                  code cannot silently fall behind the struct.
+no-using-namespace-header
+                  Headers must not inject namespaces into every includer.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".h", ".cpp"}
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
+RNG_PATTERNS = [
+    (re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+                r"ranlux\w+|knuth_b)\b"), "a std <random> engine"),
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
+FLOAT_RE = re.compile(r"\bfloat\b")
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+\w")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks.
+
+    A lexer-lite pass: good enough for the token-level patterns above without
+    false-positives from prose in comments ("uniformly random order") or
+    quoted examples.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":  # unterminated literal; bail to newline
+                    break
+                i += 1
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[str] = []
+
+    def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        rel = path.relative_to(self.root)
+        self.findings.append(f"{rel}:{line}: [{rule}] {message}")
+
+    # -- per-file rules ----------------------------------------------------
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        code = strip_comments_and_strings(raw)
+        code_lines = code.splitlines()
+        raw_lines = raw.splitlines()
+
+        if path.suffix == ".h" and "#pragma once" not in raw:
+            self.report(path, 1, "pragma-once", "header is missing '#pragma once'")
+
+        if rel not in RNG_HOME:
+            for lineno, line in enumerate(code_lines, 1):
+                for pattern, what in RNG_PATTERNS:
+                    if pattern.search(line):
+                        self.report(
+                            path, lineno, "rng-isolation",
+                            f"{what} outside src/util/rng.* breaks trace-repro "
+                            "determinism; draw from wcs::Rng instead")
+
+        for lineno, line in enumerate(raw_lines, 1):
+            match = INCLUDE_RE.match(line)
+            if match and re.search(r"(^|/)build[^/]*/", match.group(1)):
+                self.report(path, lineno, "no-build-include",
+                            f"#include of a build tree path '{match.group(1)}'")
+
+        if rel.startswith("src/core/"):
+            for lineno, line in enumerate(code_lines, 1):
+                if FLOAT_RE.search(line):
+                    self.report(
+                        path, lineno, "no-float",
+                        "'float' in byte-accounting code; use std::uint64_t / "
+                        "std::int64_t (or double for final ratios)")
+
+        if path.suffix == ".h":
+            for lineno, line in enumerate(code_lines, 1):
+                if USING_NAMESPACE_RE.search(line):
+                    self.report(path, lineno, "no-using-namespace-header",
+                                "'using namespace' in a header leaks into every includer")
+
+    # -- whole-repo rules --------------------------------------------------
+
+    def lint_stats_coverage(self) -> None:
+        cache_h = self.root / "src/core/cache.h"
+        struct = re.search(r"struct\s+CacheStats\s*\{(.*?)\n\};", cache_h.read_text(),
+                           re.DOTALL)
+        if struct is None:
+            self.report(cache_h, 1, "stats-coverage", "could not locate struct CacheStats")
+            return
+        body = strip_comments_and_strings(struct.group(1))
+        counters = re.findall(r"\bstd::uint64_t\s+(\w+)\s*=", body)
+        if not counters:
+            self.report(cache_h, 1, "stats-coverage", "no counters parsed from CacheStats")
+            return
+        metrics = "".join((self.root / "src/sim" / name).read_text()
+                          for name in ("metrics.h", "metrics.cpp"))
+        for counter in counters:
+            if not re.search(rf"\b{re.escape(counter)}\b", metrics):
+                self.report(
+                    cache_h, 1, "stats-coverage",
+                    f"CacheStats counter '{counter}' is never mentioned in "
+                    "src/sim/metrics.h or metrics.cpp; extend wcs::stats_rows()")
+
+    def run(self) -> int:
+        files = sorted(
+            path
+            for directory in SOURCE_DIRS
+            for path in (self.root / directory).rglob("*")
+            if path.suffix in CPP_SUFFIXES and path.is_file())
+        if not files:
+            print(f"lint.py: no sources found under {self.root}", file=sys.stderr)
+            return 2
+        for path in files:
+            self.lint_file(path)
+        self.lint_stats_coverage()
+        for finding in self.findings:
+            print(finding)
+        print(f"lint.py: {len(files)} files checked, {len(self.findings)} finding(s)")
+        return 1 if self.findings else 0
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
