@@ -35,14 +35,26 @@ int main() {
   print_header("Experiment 2 — full 36-policy matrix + literature policies (Table 5)");
   const auto grid = KeySpec::experiment2_grid();
 
-  for (const char* name : {"U", "G", "C", "BL", "BR"}) {
+  // Fan the grid out on the WCS_JOBS-sized pool: workload generation and
+  // the per-workload infinite-cache references are one cell each, then
+  // every (policy, capacity) simulation is a cell inside run_experiment2.
+  // Results collect in submission order, so output is identical to the old
+  // serial loops for any job count.
+  ParallelRunner& runner = ParallelRunner::shared();
+  const std::vector<std::string> names = {"U", "G", "C", "BL", "BR"};
+  preload_workloads(names, runner);
+  const std::vector<Experiment1Result> infinites = runner.map(names.size(), [&](std::size_t i) {
+    return [&names, i] { return run_experiment1(names[i], workload(names[i]).trace); };
+  });
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
     const Trace& trace = workload(name).trace;
-    const Experiment1Result infinite = run_experiment1(name, trace);
     for (const double fraction : {0.10, 0.50}) {
-      print_matrix(run_experiment2(name, trace, infinite, fraction, grid));
+      print_matrix(run_experiment2(name, trace, infinites[i], fraction, grid, runner));
     }
     std::cout << "Literature policies (Table 3), 10% of MaxNeeded:\n";
-    print_matrix(run_experiment2_literature(name, trace, infinite, 0.10));
+    print_matrix(run_experiment2_literature(name, trace, infinites[i], 0.10, runner));
   }
 
   std::cout << "Paper shape checks:\n"

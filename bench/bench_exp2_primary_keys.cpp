@@ -15,10 +15,22 @@ int main() {
   std::vector<KeySpec> specs;
   for (const Key key : kPrimaryKeys) specs.push_back(KeySpec{{key, Key::kRandom}});
 
-  for (const char* name : {"U", "G", "C", "BL", "BR"}) {
-    const Trace& trace = workload(name).trace;
-    const Experiment1Result infinite = run_experiment1(name, trace);
-    const Experiment2Result result = run_experiment2(name, trace, infinite, 0.10, specs);
+  // Cells: workload generation, then per-workload (infinite reference +
+  // 6-policy sweep); collection order keeps the printout deterministic.
+  ParallelRunner& runner = ParallelRunner::shared();
+  const std::vector<std::string> names = {"U", "G", "C", "BL", "BR"};
+  preload_workloads(names, runner);
+  const std::vector<Experiment2Result> results = runner.map(names.size(), [&](std::size_t i) {
+    return [&names, &specs, i] {
+      const Trace& trace = workload(names[i]).trace;
+      const Experiment1Result infinite = run_experiment1(names[i], trace);
+      return run_experiment2(names[i], trace, infinite, 0.10, specs);
+    };
+  });
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const Experiment2Result& result = results[i];
 
     const std::string fig = std::string{name} == "U"    ? "8"
                             : std::string{name} == "G"  ? "9"

@@ -11,9 +11,20 @@ using namespace wcs::bench;
 int main() {
   print_header("Fig 15 — secondary sort key performance vs random secondary");
 
-  for (const char* name : {"G", "U", "C", "BL", "BR"}) {
-    const Trace& trace = workload(name).trace;
-    const SecondaryKeyResult result = run_secondary_key_study(name, trace, 0.10);
+  // One cell per workload study; each study fans its per-secondary-key
+  // simulations out as nested cells (run inline on the owning worker).
+  ParallelRunner& runner = ParallelRunner::shared();
+  const std::vector<std::string> names = {"G", "U", "C", "BL", "BR"};
+  preload_workloads(names, runner);
+  const std::vector<SecondaryKeyResult> results = runner.map(names.size(), [&](std::size_t i) {
+    return [&names, i] {
+      return run_secondary_key_study(names[i], workload(names[i]).trace, 0.10);
+    };
+  });
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const SecondaryKeyResult& result = results[i];
 
     Table table{"workload " + std::string{name} +
                 ", primary LOG2SIZE, 10% of MaxNeeded"};

@@ -12,28 +12,44 @@ int main() {
   print_header("Experiment 3 — second-level cache behind 10% L1 with SIZE policy");
 
   // Table 5 runs the first level at both 10% and 50% of MaxNeeded; the
-  // figures show the memory-starved 10% case.
+  // figures show the memory-starved 10% case. Each (workload, L1 size)
+  // simulation is one runner cell; collection order keeps the table rows
+  // deterministic.
+  ParallelRunner& runner = ParallelRunner::shared();
+  const std::vector<std::string> names = {"BR", "C", "G", "U", "BL"};
+  const std::vector<double> fractions = {0.10, 0.50};
+  preload_workloads(names, runner);
+  const std::vector<Experiment1Result> infinites = runner.map(names.size(), [&](std::size_t i) {
+    return [&names, i] { return run_experiment1(names[i], workload(names[i]).trace); };
+  });
+  const std::vector<Experiment3Result> results =
+      runner.map(names.size() * fractions.size(), [&](std::size_t cell) {
+        return [&names, &fractions, &infinites, cell] {
+          const std::size_t w = cell / fractions.size();
+          const double fraction = fractions[cell % fractions.size()];
+          return run_experiment3(names[w], workload(names[w]).trace,
+                                 infinites[w].max_needed, fraction);
+        };
+      });
+
   Table table{"L2 performance over all requests (Figs 16-18)"};
   table.header({"workload", "L1 size", "L1 HR", "L2 HR", "L2 WHR", "L2 WHR / L2 HR"});
-  for (const char* name : {"BR", "C", "G", "U", "BL"}) {
-    const Trace& trace = workload(name).trace;
-    const Experiment1Result infinite = run_experiment1(name, trace);
-    for (const double fraction : {0.10, 0.50}) {
-      const Experiment3Result result =
-          run_experiment3(name, trace, infinite.max_needed, fraction);
-      table.row({name, Table::pct(fraction, 0), Table::pct(result.l1_hr, 1),
-                 Table::pct(result.l2_hr, 1), Table::pct(result.l2_whr, 1),
-                 result.l2_hr > 0 ? Table::num(result.l2_whr / result.l2_hr, 1) : "-"});
-      if (fraction != 0.10) continue;
-      const std::string fig = std::string{name} == "BR"  ? "16"
-                              : std::string{name} == "C" ? "17"
-                              : std::string{name} == "G" ? "18"
-                                                         : "(not shown in paper)";
-      std::cout << "Fig " << fig << " — workload " << name << " (10% L1):\n";
-      print_curve("L2 HR ", result.l2_smoothed_hr, 0.0, 1.0);
-      print_curve("L2 WHR", result.l2_smoothed_whr, 0.0, 1.0);
-      std::cout << '\n';
-    }
+  for (std::size_t cell = 0; cell < results.size(); ++cell) {
+    const std::string& name = names[cell / fractions.size()];
+    const double fraction = fractions[cell % fractions.size()];
+    const Experiment3Result& result = results[cell];
+    table.row({name, Table::pct(fraction, 0), Table::pct(result.l1_hr, 1),
+               Table::pct(result.l2_hr, 1), Table::pct(result.l2_whr, 1),
+               result.l2_hr > 0 ? Table::num(result.l2_whr / result.l2_hr, 1) : "-"});
+    if (fraction != 0.10) continue;
+    const std::string fig = name == "BR"  ? "16"
+                            : name == "C" ? "17"
+                            : name == "G" ? "18"
+                                          : "(not shown in paper)";
+    std::cout << "Fig " << fig << " — workload " << name << " (10% L1):\n";
+    print_curve("L2 HR ", result.l2_smoothed_hr, 0.0, 1.0);
+    print_curve("L2 WHR", result.l2_smoothed_whr, 0.0, 1.0);
+    std::cout << '\n';
   }
   table.print(std::cout);
 

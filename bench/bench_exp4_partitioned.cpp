@@ -13,8 +13,10 @@ int main() {
 
   const Trace& trace = workload("BR").trace;
   const Experiment1Result infinite = run_experiment1("BR", trace);
+  // Each partition split is one cell on the shared WCS_JOBS pool.
   const Experiment4Result result =
-      run_experiment4("BR", trace, infinite.max_needed, 0.10, {0.25, 0.5, 0.75});
+      run_experiment4("BR", trace, infinite.max_needed, 0.10, {0.25, 0.5, 0.75},
+                      ParallelRunner::shared());
 
   Table table{"WHR over all requests, total cache = " +
               Table::num(static_cast<double>(result.total_capacity) / 1e6, 1) +

@@ -13,11 +13,14 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/sim/experiments.h"
+#include "src/sim/runner.h"
 #include "src/util/table.h"
 #include "src/workload/generator.h"
 #include "src/workload/report.h"
@@ -38,12 +41,46 @@ inline bool gnuplot_from_env() {
 }
 
 /// Generate (and memoize) a workload preset at the bench scale.
+///
+/// Thread-safe: the map is guarded by a mutex and each preset generates
+/// under its own std::once_flag, so ParallelRunner cells may request
+/// workloads concurrently — two cells asking for *distinct* presets
+/// generate in parallel, two asking for the *same* preset generate once
+/// and share the result. Slots are heap-allocated so the returned
+/// reference stays stable across later insertions.
 inline const GeneratedWorkload& workload(const std::string& name) {
-  static std::map<std::string, GeneratedWorkload> cache;
-  const auto it = cache.find(name);
-  if (it != cache.end()) return it->second;
-  WorkloadGenerator generator{WorkloadSpec::preset(name).scaled(scale_from_env())};
-  return cache.emplace(name, generator.generate()).first->second;
+  struct Slot {
+    std::once_flag once;
+    std::optional<GeneratedWorkload> value;
+  };
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<Slot>> cache;
+
+  Slot* slot = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock{mutex};
+    auto& owned = cache[name];
+    if (!owned) owned = std::make_unique<Slot>();
+    slot = owned.get();
+  }
+  std::call_once(slot->once, [&] {
+    WorkloadGenerator generator{WorkloadSpec::preset(name).scaled(scale_from_env())};
+    slot->value = generator.generate();
+  });
+  return *slot->value;
+}
+
+/// Warm the workload cache for `names`, generating distinct presets
+/// concurrently on `runner`. Benches call this before fanning experiment
+/// cells out so no cell stalls on trace generation.
+inline void preload_workloads(const std::vector<std::string>& names,
+                              ParallelRunner& runner = ParallelRunner::shared()) {
+  (void)runner.map(names.size(), [&](std::size_t i) {
+    return [&names, i] {
+      (void)workload(names[i]);
+      return 0;
+    };
+  });
 }
 
 inline void print_calibration(const std::string& name) {

@@ -1,6 +1,7 @@
 #include "src/core/keys.h"
 
 #include <bit>
+#include <stdexcept>
 #include <string>
 
 namespace wcs {
@@ -88,9 +89,16 @@ std::vector<KeySpec> KeySpec::experiment2_grid() {
 }
 
 RankTuple make_rank_tuple(const KeySpec& spec, const CacheEntry& entry) {
+  if (spec.keys.size() > kMaxRankKeys) {
+    throw std::length_error{"make_rank_tuple: KeySpec deeper than kMaxRankKeys (" +
+                            std::to_string(spec.keys.size()) + " keys); raise the "
+                            "RankTuple inline bound"};
+  }
   RankTuple tuple;
-  tuple.ranks.reserve(spec.keys.size());
-  for (const Key k : spec.keys) tuple.ranks.push_back(key_rank(k, entry));
+  tuple.count = static_cast<std::uint8_t>(spec.keys.size());
+  for (std::size_t i = 0; i < spec.keys.size(); ++i) {
+    tuple.ranks[i] = key_rank(spec.keys[i], entry);
+  }
   tuple.random_tag = entry.random_tag;
   tuple.url = entry.url;
   return tuple;

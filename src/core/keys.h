@@ -14,6 +14,7 @@
 //   RANDOM       rank = random_tag     uniformly random order
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -66,17 +67,32 @@ struct KeySpec {
   [[nodiscard]] static std::vector<KeySpec> experiment2_grid();
 };
 
+/// Upper bound on the number of sorting keys a RankTuple can materialize
+/// inline. The paper's grid never exceeds 3 keys (Hyper-G's
+/// NREF+ATIME+SIZE); one spare slot covers extension composites without
+/// another size bump.
+inline constexpr std::size_t kMaxRankKeys = 4;
+static_assert(kMaxRankKeys >= 3,
+              "RankTuple must hold the paper's deepest key list (Hyper-G, 3 keys) inline");
+
 /// Materialized ranks of an entry under a KeySpec, stored inside ordered
 /// containers. The tuple must be recomputed (and the node reinserted)
 /// whenever entry metadata changes — ATIME/NREF/DAY(ATIME) ranks change on
 /// every hit.
+///
+/// Ranks live in a fixed-capacity inline array (`count` slots of `ranks`
+/// are valid) so that materializing a tuple on the simulator's hot path —
+/// once per hit, per policy — never touches the heap. The comparator is
+/// unchanged from the original vector-based tuple: lexicographic over the
+/// common rank prefix, then random_tag, then url.
 struct RankTuple {
-  std::vector<std::int64_t> ranks;
+  std::array<std::int64_t, kMaxRankKeys> ranks{};  // only [0, count) are meaningful
+  std::uint8_t count = 0;
   std::uint64_t random_tag = 0;
   UrlId url = kInvalidUrl;
 
   friend bool operator<(const RankTuple& a, const RankTuple& b) noexcept {
-    const std::size_t n = a.ranks.size() < b.ranks.size() ? a.ranks.size() : b.ranks.size();
+    const std::size_t n = a.count < b.count ? a.count : b.count;
     for (std::size_t i = 0; i < n; ++i) {
       if (a.ranks[i] != b.ranks[i]) return a.ranks[i] < b.ranks[i];
     }
@@ -84,10 +100,17 @@ struct RankTuple {
     return a.url < b.url;
   }
   friend bool operator==(const RankTuple& a, const RankTuple& b) noexcept {
-    return a.ranks == b.ranks && a.random_tag == b.random_tag && a.url == b.url;
+    if (a.count != b.count || a.random_tag != b.random_tag || a.url != b.url) return false;
+    for (std::size_t i = 0; i < a.count; ++i) {
+      if (a.ranks[i] != b.ranks[i]) return false;
+    }
+    return true;
   }
 };
 
+/// Materializes `entry`'s ranks under `spec`. Allocation-free; asserts
+/// spec.keys.size() <= kMaxRankKeys (enforced for all shipped specs by the
+/// static_assert above plus tests over experiment2_grid()).
 [[nodiscard]] RankTuple make_rank_tuple(const KeySpec& spec, const CacheEntry& entry);
 
 }  // namespace wcs

@@ -19,9 +19,15 @@ void SortedPolicy::on_insert(const CacheEntry& entry) {
 void SortedPolicy::on_hit(const CacheEntry& entry) {
   const auto it = index_.find(entry.url);
   WCS_ASSERT(it != index_.end(), "SortedPolicy::on_hit for an untracked URL");
-  order_.erase(it->second);
-  it->second = make_rank_tuple(spec_, entry);
-  order_.insert(it->second);
+  // Re-rank without touching the allocator: unlink the existing tree node,
+  // overwrite its tuple in place, and relink it. The erase+insert it
+  // replaces freed and reallocated a node on every single hit, which
+  // dominated the simulator's hot path.
+  auto node = order_.extract(it->second);
+  WCS_ASSERT(!node.empty(), "SortedPolicy::on_hit tuple missing from order set");
+  node.value() = make_rank_tuple(spec_, entry);
+  it->second = node.value();
+  order_.insert(std::move(node));
 }
 
 void SortedPolicy::on_remove(const CacheEntry& entry) {

@@ -3,7 +3,9 @@
 // Keeps every cached document in a std::set ordered by its materialized
 // RankTuple (primary key, secondary key, ..., random tag, url). The victim
 // is always *begin()*: the head of the paper's sorted list. All operations
-// are O(log n); a hit re-inserts because ATIME/NREF/DAY(ATIME) ranks move.
+// are O(log n); a hit re-ranks because ATIME/NREF/DAY(ATIME) ranks move —
+// implemented as a node extract + relink so the hot path never allocates
+// (RankTuple itself is a fixed-capacity inline array, see keys.h).
 #pragma once
 
 #include <set>
@@ -30,7 +32,13 @@ class SortedPolicy final : public RemovalPolicy {
 
   /// Position (0-based from the removal head) of a URL in the sorted list;
   /// the paper's simulator reported "location in sorted list of each URL
-  /// hit". O(n) — diagnostic use only.
+  /// hit".
+  ///
+  /// COST: O(n). std::set iterators are not random-access, so this walks
+  /// the order set from begin() via std::distance. It exists for audits,
+  /// tests and offline diagnostics only and must never appear on a
+  /// simulation hot path — tools/lint.py's `position-of-hot-path` rule
+  /// rejects any call site under src/.
   [[nodiscard]] std::optional<std::size_t> position_of(UrlId url) const;
 
   /// Verifies index/order agreement with the declared comparator: every

@@ -46,23 +46,28 @@ PolicyOutcome outcome_for(const std::string& name, const SimResult& sim,
 
 Experiment2Result run_experiment2(const std::string& workload, const Trace& trace,
                                   const Experiment1Result& infinite, double cache_fraction,
-                                  const std::vector<KeySpec>& specs) {
+                                  const std::vector<KeySpec>& specs, ParallelRunner& runner) {
   Experiment2Result result;
   result.workload = workload;
   result.cache_fraction = cache_fraction;
   result.capacity_bytes = fraction_of(infinite.max_needed, cache_fraction);
-  result.outcomes.reserve(specs.size());
-  for (const KeySpec& spec : specs) {
-    const SimResult sim = simulate(trace, result.capacity_bytes,
-                                   [&spec] { return make_sorted_policy(spec); });
-    result.outcomes.push_back(outcome_for(spec.name(), sim, infinite));
-  }
+  // One cell per KeySpec; cells share only read-only state (trace, infinite
+  // reference) and are collected in spec order, so the outcome table is
+  // independent of the job count.
+  const std::uint64_t capacity = result.capacity_bytes;
+  result.outcomes = runner.map(specs.size(), [&](std::size_t i) {
+    return [&trace, &infinite, &specs, capacity, i] {
+      const SimResult sim =
+          simulate(trace, capacity, [&specs, i] { return make_sorted_policy(specs[i]); });
+      return outcome_for(specs[i].name(), sim, infinite);
+    };
+  });
   return result;
 }
 
 Experiment2Result run_experiment2_literature(const std::string& workload, const Trace& trace,
                                              const Experiment1Result& infinite,
-                                             double cache_fraction) {
+                                             double cache_fraction, ParallelRunner& runner) {
   Experiment2Result result;
   result.workload = workload;
   result.cache_fraction = cache_fraction;
@@ -86,17 +91,20 @@ Experiment2Result run_experiment2_literature(const std::string& workload, const 
       {"Pitkow/Recker+daily", [] { return make_pitkow_recker(); }, {true, 0.9}},
       {"RANDOM", [] { return make_random(); }, {}},
   };
-  result.outcomes.reserve(entries.size());
-  for (const Entry& entry : entries) {
-    const SimResult sim =
-        simulate(trace, result.capacity_bytes, entry.factory, entry.periodic);
-    result.outcomes.push_back(outcome_for(entry.name, sim, infinite));
-  }
+  const std::uint64_t capacity = result.capacity_bytes;
+  result.outcomes = runner.map(entries.size(), [&](std::size_t i) {
+    return [&trace, &infinite, &entries, capacity, i] {
+      const Entry& entry = entries[i];
+      const SimResult sim = simulate(trace, capacity, entry.factory, entry.periodic);
+      return outcome_for(entry.name, sim, infinite);
+    };
+  });
   return result;
 }
 
 SecondaryKeyResult run_secondary_key_study(const std::string& workload, const Trace& trace,
-                                           double cache_fraction, Key primary) {
+                                           double cache_fraction, Key primary,
+                                           ParallelRunner& runner) {
   SecondaryKeyResult result;
   result.workload = workload;
   result.primary = primary;
@@ -111,18 +119,24 @@ SecondaryKeyResult run_secondary_key_study(const std::string& workload, const Tr
   const OptSeries base_whr = baseline.daily.smoothed_whr();
   const OptSeries base_hr = baseline.daily.smoothed_hr();
 
+  std::vector<Key> secondaries;
   for (const Key secondary : kPrimaryKeys) {
-    if (secondary == primary) continue;
-    const SimResult sim = simulate(trace, capacity, [primary, secondary] {
-      return make_sorted_policy(KeySpec{{primary, secondary}});
-    });
-    SecondaryKeyOutcome outcome;
-    outcome.secondary = std::string{to_string(secondary)};
-    outcome.whr_ratio_curve = series_ratio(sim.daily.smoothed_whr(), base_whr);
-    outcome.whr_pct_of_random = series_mean(outcome.whr_ratio_curve);
-    outcome.hr_pct_of_random = series_mean(series_ratio(sim.daily.smoothed_hr(), base_hr));
-    result.outcomes.push_back(std::move(outcome));
+    if (secondary != primary) secondaries.push_back(secondary);
   }
+  result.outcomes = runner.map(secondaries.size(), [&](std::size_t i) {
+    return [&trace, &secondaries, &base_whr, &base_hr, capacity, primary, i] {
+      const Key secondary = secondaries[i];
+      const SimResult sim = simulate(trace, capacity, [primary, secondary] {
+        return make_sorted_policy(KeySpec{{primary, secondary}});
+      });
+      SecondaryKeyOutcome outcome;
+      outcome.secondary = std::string{to_string(secondary)};
+      outcome.whr_ratio_curve = series_ratio(sim.daily.smoothed_whr(), base_whr);
+      outcome.whr_pct_of_random = series_mean(outcome.whr_ratio_curve);
+      outcome.hr_pct_of_random = series_mean(series_ratio(sim.daily.smoothed_hr(), base_hr));
+      return outcome;
+    };
+  });
   return result;
 }
 
@@ -147,7 +161,8 @@ Experiment3Result run_experiment3(const std::string& workload, const Trace& trac
 
 Experiment4Result run_experiment4(const std::string& workload, const Trace& trace,
                                   std::uint64_t max_needed, double cache_fraction,
-                                  const std::vector<double>& audio_fractions) {
+                                  const std::vector<double>& audio_fractions,
+                                  ParallelRunner& runner) {
   Experiment4Result result;
   result.workload = workload;
   result.total_capacity = fraction_of(max_needed, cache_fraction);
@@ -156,17 +171,21 @@ Experiment4Result run_experiment4(const std::string& workload, const Trace& trac
   result.infinite_audio_whr = reference.audio_daily.smoothed_whr();
   result.infinite_non_audio_whr = reference.non_audio_daily.smoothed_whr();
 
-  for (const double fraction : audio_fractions) {
-    const PartitionedSimResult sim = simulate_partitioned_audio(
-        trace, result.total_capacity, fraction, [] { return make_size(); });
-    Experiment4Curve curve;
-    curve.audio_fraction = fraction;
-    curve.audio_whr = sim.audio_daily.overall_whr();
-    curve.non_audio_whr = sim.non_audio_daily.overall_whr();
-    curve.audio_smoothed_whr = sim.audio_daily.smoothed_whr();
-    curve.non_audio_smoothed_whr = sim.non_audio_daily.smoothed_whr();
-    result.curves.push_back(std::move(curve));
-  }
+  const std::uint64_t capacity = result.total_capacity;
+  result.curves = runner.map(audio_fractions.size(), [&](std::size_t i) {
+    return [&trace, &audio_fractions, capacity, i] {
+      const double fraction = audio_fractions[i];
+      const PartitionedSimResult sim = simulate_partitioned_audio(
+          trace, capacity, fraction, [] { return make_size(); });
+      Experiment4Curve curve;
+      curve.audio_fraction = fraction;
+      curve.audio_whr = sim.audio_daily.overall_whr();
+      curve.non_audio_whr = sim.non_audio_daily.overall_whr();
+      curve.audio_smoothed_whr = sim.audio_daily.smoothed_whr();
+      curve.non_audio_smoothed_whr = sim.non_audio_daily.smoothed_whr();
+      return curve;
+    };
+  });
   return result;
 }
 

@@ -1,6 +1,13 @@
 // The paper's four experiments (Table 5), as reusable runners. Benches and
 // examples render the returned structures; integration tests assert the
 // paper's qualitative findings on them.
+//
+// Every function that sweeps independent (policy, capacity) cells takes a
+// trailing ParallelRunner& (default: the WCS_JOBS-sized shared pool) and
+// fans the cells out across it. Results are collected in submission order
+// and each cell's RNG seeding is untouched, so serial (jobs=1) and
+// parallel runs produce bit-identical tables — the determinism contract
+// tests/test_runner.cpp enforces.
 #pragma once
 
 #include <optional>
@@ -8,6 +15,7 @@
 #include <vector>
 
 #include "src/core/keys.h"
+#include "src/sim/runner.h"
 #include "src/sim/simulator.h"
 #include "src/workload/generator.h"
 
@@ -46,20 +54,22 @@ struct Experiment2Result {
   std::uint64_t capacity_bytes = 0;
   std::vector<PolicyOutcome> outcomes;
 };
-/// Run one finite-cache simulation per KeySpec. `infinite` must be the
-/// Experiment 1 result for the same trace.
+/// Run one finite-cache simulation per KeySpec — each spec is one parallel
+/// cell. `infinite` must be the Experiment 1 result for the same trace.
 [[nodiscard]] Experiment2Result run_experiment2(const std::string& workload,
                                                 const Trace& trace,
                                                 const Experiment1Result& infinite,
                                                 double cache_fraction,
-                                                const std::vector<KeySpec>& specs);
+                                                const std::vector<KeySpec>& specs,
+                                                ParallelRunner& runner = ParallelRunner::shared());
 
 /// Literature policies (Table 3 + LRU-MIN + Pitkow/Recker with its end-of-
-/// day sweep) under the same conditions.
+/// day sweep) under the same conditions; each policy is one parallel cell.
 [[nodiscard]] Experiment2Result run_experiment2_literature(const std::string& workload,
                                                            const Trace& trace,
                                                            const Experiment1Result& infinite,
-                                                           double cache_fraction);
+                                                           double cache_fraction,
+                                                           ParallelRunner& runner = ParallelRunner::shared());
 
 // ---- Secondary-key study (Fig 15) ----------------------------------------
 struct SecondaryKeyOutcome {
@@ -73,10 +83,9 @@ struct SecondaryKeyResult {
   Key primary = Key::kLog2Size;
   std::vector<SecondaryKeyOutcome> outcomes;
 };
-[[nodiscard]] SecondaryKeyResult run_secondary_key_study(const std::string& workload,
-                                                         const Trace& trace,
-                                                         double cache_fraction,
-                                                         Key primary = Key::kLog2Size);
+[[nodiscard]] SecondaryKeyResult run_secondary_key_study(
+    const std::string& workload, const Trace& trace, double cache_fraction,
+    Key primary = Key::kLog2Size, ParallelRunner& runner = ParallelRunner::shared());
 
 // ---- Experiment 3: two-level cache (Figs 16-18) ---------------------------
 struct Experiment3Result {
@@ -108,10 +117,12 @@ struct Experiment4Result {
   OptSeries infinite_non_audio_whr;
   std::vector<Experiment4Curve> curves;  // one per partition split
 };
+/// Each audio/non-audio split is one parallel cell.
 [[nodiscard]] Experiment4Result run_experiment4(const std::string& workload,
                                                 const Trace& trace, std::uint64_t max_needed,
                                                 double cache_fraction,
-                                                const std::vector<double>& audio_fractions);
+                                                const std::vector<double>& audio_fractions,
+                                                ParallelRunner& runner = ParallelRunner::shared());
 
 /// Capacity for "fraction of MaxNeeded", never zero (zero means infinite).
 [[nodiscard]] std::uint64_t fraction_of(std::uint64_t max_needed, double fraction);

@@ -1,0 +1,70 @@
+#include "src/sim/runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace wcs {
+
+unsigned ParallelRunner::jobs_from_env() noexcept {
+  if (const char* text = std::getenv("WCS_JOBS")) {
+    const long value = std::strtol(text, nullptr, 10);
+    if (value >= 1) return static_cast<unsigned>(std::min(value, 256L));
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ParallelRunner& ParallelRunner::shared() {
+  static ParallelRunner runner{jobs_from_env()};
+  return runner;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs == 0 ? jobs_from_env() : jobs) {
+  if (jobs_ <= 1) return;  // inline mode: no threads at all
+  workers_.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelRunner::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ParallelRunner::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // a packaged_task: exceptions land in the cell's future
+  }
+}
+
+bool ParallelRunner::on_worker_thread() const noexcept {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& worker : workers_) {
+    if (worker.get_id() == self) return true;
+  }
+  return false;
+}
+
+}  // namespace wcs

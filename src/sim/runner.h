@@ -1,0 +1,103 @@
+// Parallel experiment runner.
+//
+// The paper's methodology is a grid — 36 key combinations x 5 workloads x
+// several cache sizes — and every cell is an independent simulation: its
+// randomness comes from the workload trace and per-cache seeds fixed at
+// construction, never from cross-cell state. ParallelRunner fans such
+// cells out across a fixed pool of worker threads while keeping results
+// *deterministic*: submit() hands back a std::future per cell and helpers
+// collect them in submission order, so the assembled result table is
+// bit-identical whatever the job count (see DESIGN.md "Determinism
+// contract of the parallel runner").
+//
+// Sizing: ParallelRunner{jobs}; jobs = 0 reads the WCS_JOBS environment
+// variable, falling back to std::thread::hardware_concurrency().
+//
+// Nesting: a task running on a pool worker may itself call submit() on the
+// same runner — the nested task executes inline on that worker instead of
+// queueing, so a task can never block on a future that no free worker
+// would ever run (the classic pool self-deadlock). With jobs == 1 every
+// submit() executes inline at the call site, making the serial path a
+// plain loop in disguise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace wcs {
+
+class ParallelRunner {
+ public:
+  /// A pool of `jobs` workers; jobs == 0 means jobs_from_env(). A runner
+  /// with 1 job spawns no threads and runs every task inline.
+  explicit ParallelRunner(unsigned jobs = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Schedule one cell; the future yields its result (or rethrows its
+  /// exception). Executes inline when the pool has a single job or when
+  /// called from one of this runner's own workers.
+  template <typename Fn>
+  [[nodiscard]] std::future<std::invoke_result_t<Fn&>> submit(Fn fn) {
+    using Result = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+    std::future<Result> future = task->get_future();
+    if (jobs_ <= 1 || on_worker_thread()) {
+      (*task)();
+    } else {
+      enqueue([task] { (*task)(); });
+    }
+    return future;
+  }
+
+  /// Fan out `count` cells produced by make_cell(index) and collect their
+  /// results in index order — the deterministic gather used by the
+  /// experiment runners. Exceptions propagate from the first failing cell.
+  template <typename MakeCell>
+  [[nodiscard]] auto map(std::size_t count, MakeCell make_cell)
+      -> std::vector<std::invoke_result_t<std::invoke_result_t<MakeCell&, std::size_t>&>> {
+    using Cell = std::invoke_result_t<MakeCell&, std::size_t>;
+    using Result = std::invoke_result_t<Cell&>;
+    std::vector<std::future<Result>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) futures.push_back(submit(make_cell(i)));
+    std::vector<Result> results;
+    results.reserve(count);
+    for (auto& future : futures) results.push_back(future.get());
+    return results;
+  }
+
+  /// WCS_JOBS (>= 1), else std::thread::hardware_concurrency(), else 1.
+  [[nodiscard]] static unsigned jobs_from_env() noexcept;
+
+  /// Process-wide runner sized by jobs_from_env() — what the experiment
+  /// runners use when no explicit runner is passed. Constructed on first
+  /// use; WCS_JOBS is read at that moment.
+  [[nodiscard]] static ParallelRunner& shared();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
+  unsigned jobs_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace wcs

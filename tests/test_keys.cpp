@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "src/util/rng.h"
 
 namespace wcs {
 namespace {
@@ -101,6 +106,89 @@ TEST(Keys, RankTupleTiebreaksByTagThenUrl) {
   EXPECT_LT(a, b);  // same ranks+tag: url decides
   EXPECT_LT(a, c);  // same ranks: tag decides
   EXPECT_EQ(a, a);
+}
+
+// ---- Property test: inline-array tuple == old vector-based tuple ---------
+
+// The pre-inline-array RankTuple, kept verbatim as the comparator oracle:
+// ranks in a heap vector, same lexicographic-then-tag-then-url ordering.
+struct VectorRankTuple {
+  std::vector<std::int64_t> ranks;
+  std::uint64_t random_tag = 0;
+  UrlId url = kInvalidUrl;
+
+  friend bool operator<(const VectorRankTuple& a, const VectorRankTuple& b) noexcept {
+    const std::size_t n = std::min(a.ranks.size(), b.ranks.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.ranks[i] != b.ranks[i]) return a.ranks[i] < b.ranks[i];
+    }
+    if (a.random_tag != b.random_tag) return a.random_tag < b.random_tag;
+    return a.url < b.url;
+  }
+};
+
+VectorRankTuple vector_rank_tuple(const KeySpec& spec, const CacheEntry& e) {
+  VectorRankTuple tuple;
+  tuple.ranks.reserve(spec.keys.size());
+  for (const Key key : spec.keys) tuple.ranks.push_back(key_rank(key, e));
+  tuple.random_tag = e.random_tag;
+  tuple.url = e.url;
+  return tuple;
+}
+
+CacheEntry random_entry(Rng& rng) {
+  CacheEntry e;
+  e.url = static_cast<UrlId>(rng.below(50));  // small ranges force rank ties
+  e.size = rng.below(1 << 20) + 1;
+  e.etime = static_cast<SimTime>(rng.below(30 * kSecondsPerDay));
+  e.atime = e.etime + static_cast<SimTime>(rng.below(kSecondsPerDay));
+  e.nref = rng.below(8) + 1;
+  e.random_tag = rng.below(16);
+  e.type = kAllFileTypes[rng.below(kFileTypeCount)];
+  e.latency_ms = static_cast<std::uint32_t>(rng.below(500));
+  return e;
+}
+
+TEST(Keys, InlineTupleAgreesWithVectorTupleOnEverySpec) {
+  // Every KeySpec the repo ships — the 36-combination Experiment-2 grid,
+  // the extension keys, and the deepest (3-key Hyper-G) composite — must
+  // order randomized entry pairs exactly as the old vector-based tuple did.
+  std::vector<KeySpec> specs = KeySpec::experiment2_grid();
+  for (const Key key : kExtensionKeys) {
+    specs.push_back(KeySpec{{key}});
+    specs.push_back(KeySpec{{key, Key::kSize, Key::kRandom}});
+  }
+  specs.push_back(KeySpec{{Key::kNref, Key::kAtime, Key::kSize}});  // Hyper-G
+  specs.push_back(KeySpec{{Key::kSize}});
+
+  Rng rng{0xA11FEEDULL};
+  for (const KeySpec& spec : specs) {
+    ASSERT_LE(spec.keys.size(), kMaxRankKeys) << spec.name();
+    for (int trial = 0; trial < 200; ++trial) {
+      const CacheEntry ea = random_entry(rng);
+      const CacheEntry eb = random_entry(rng);
+      const RankTuple a = make_rank_tuple(spec, ea);
+      const RankTuple b = make_rank_tuple(spec, eb);
+      const VectorRankTuple va = vector_rank_tuple(spec, ea);
+      const VectorRankTuple vb = vector_rank_tuple(spec, eb);
+      ASSERT_EQ(a.count, va.ranks.size()) << spec.name();
+      for (std::size_t i = 0; i < va.ranks.size(); ++i) {
+        ASSERT_EQ(a.ranks[i], va.ranks[i]) << spec.name() << " key " << i;
+      }
+      EXPECT_EQ(a < b, va < vb) << spec.name() << " trial " << trial;
+      EXPECT_EQ(b < a, vb < va) << spec.name() << " trial " << trial;
+      EXPECT_EQ(a < a, false) << spec.name();  // irreflexive
+      EXPECT_EQ(a == a, true) << spec.name();
+    }
+  }
+}
+
+TEST(Keys, MakeRankTupleRejectsSpecsDeeperThanInlineCapacity) {
+  // The guard is always-on (not an assert): a KeySpec deeper than the
+  // inline array would otherwise write out of bounds in release builds.
+  KeySpec deep;
+  deep.keys.assign(kMaxRankKeys + 1, Key::kSize);
+  EXPECT_THROW((void)make_rank_tuple(deep, entry(100, 0, 0, 1)), std::length_error);
 }
 
 TEST(Keys, ZeroSizeEntryStillOrders) {

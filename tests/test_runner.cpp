@@ -1,0 +1,171 @@
+// ParallelRunner unit tests plus the determinism contract (DESIGN.md):
+// fanning the Experiment-2 grid over any job count must produce tables
+// bit-identical to a plain serial loop. These tests are also the TSan
+// workload for the runner — the tsan preset runs them with real threads.
+#include "src/sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/sim/experiments.h"
+
+namespace wcs {
+namespace {
+
+TEST(Runner, ExplicitJobCountIsRespected) {
+  EXPECT_EQ(ParallelRunner{1}.jobs(), 1u);
+  EXPECT_EQ(ParallelRunner{3}.jobs(), 3u);
+}
+
+TEST(Runner, SingleJobRunsInlineOnCallingThread) {
+  ParallelRunner runner{1};
+  const std::thread::id caller = std::this_thread::get_id();
+  auto future = runner.submit([caller] { return std::this_thread::get_id() == caller; });
+  EXPECT_TRUE(future.get());
+}
+
+TEST(Runner, PoolRunsTasksOffThread) {
+  ParallelRunner runner{2};
+  const std::thread::id caller = std::this_thread::get_id();
+  auto future = runner.submit([caller] { return std::this_thread::get_id() != caller; });
+  EXPECT_TRUE(future.get());
+}
+
+TEST(Runner, MapCollectsResultsInSubmissionOrder) {
+  ParallelRunner runner{4};
+  // Early cells sleep longest so completion order inverts submission order;
+  // map() must still return results indexed by submission.
+  const std::vector<std::size_t> results = runner.map(16, [](std::size_t i) {
+    return [i] {
+      std::this_thread::sleep_for(std::chrono::microseconds((16 - i) * 100));
+      return i;
+    };
+  });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(results, expected);
+}
+
+TEST(Runner, NestedSubmitRunsInlineWithoutDeadlock) {
+  // A cell that blocks on a nested submit() of the same runner must not
+  // wait for a free worker (there may be none) — nested tasks run inline.
+  ParallelRunner runner{2};
+  const std::vector<int> results = runner.map(8, [&runner](std::size_t i) {
+    return [&runner, i] {
+      auto inner = runner.submit([i] { return static_cast<int>(i) * 2; });
+      return inner.get() + 1;
+    };
+  });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) * 2 + 1);
+  }
+}
+
+TEST(Runner, ExceptionsPropagateThroughFutures) {
+  ParallelRunner runner{2};
+  auto future = runner.submit([]() -> int { throw std::runtime_error{"cell failed"}; });
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(Runner, ManyMoreCellsThanWorkers) {
+  ParallelRunner runner{2};
+  std::atomic<int> ran{0};
+  const auto results = runner.map(200, [&ran](std::size_t i) {
+    return [&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    };
+  });
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_EQ(results.size(), 200u);
+}
+
+// ---- Determinism contract -------------------------------------------------
+
+void expect_series_identical(const OptSeries& a, const OptSeries& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].has_value(), b[i].has_value()) << what << " day " << i;
+    if (a[i].has_value()) {
+      // Bit-identical, not approximately equal: the contract is exact.
+      EXPECT_EQ(*a[i], *b[i]) << what << " day " << i;
+    }
+  }
+}
+
+void expect_outcome_identical(const PolicyOutcome& a, const PolicyOutcome& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.hr, b.hr) << a.policy;
+  EXPECT_EQ(a.whr, b.whr) << a.policy;
+  EXPECT_EQ(a.hr_pct_of_infinite, b.hr_pct_of_infinite) << a.policy;
+  EXPECT_EQ(a.whr_pct_of_infinite, b.whr_pct_of_infinite) << a.policy;
+  expect_series_identical(a.hr_ratio_curve, b.hr_ratio_curve, a.policy + " hr_ratio");
+  expect_series_identical(a.whr_ratio_curve, b.whr_ratio_curve, a.policy + " whr_ratio");
+}
+
+TEST(RunnerDeterminism, Experiment2GridBitIdenticalAcrossJobCounts) {
+  // The ISSUE's acceptance test: the full 36-spec Experiment-2 grid at
+  // scale 0.05 must yield the same PolicyOutcome table — every field, bit
+  // for bit — whether run by a plain serial loop or fanned over 1, 2 or 8
+  // jobs. Per-cell seeding never depends on thread scheduling, and map()
+  // gathers in submission order, so any divergence is a real bug.
+  GeneratedWorkload generated =
+      WorkloadGenerator{WorkloadSpec::preset("U").scaled(0.05)}.generate();
+  const Experiment1Result infinite = run_experiment1("U", generated.trace);
+  const std::vector<KeySpec> grid = KeySpec::experiment2_grid();
+
+  // Serial reference: one spec at a time on a threadless runner — literally
+  // a loop of independent simulations.
+  ParallelRunner serial{1};
+  std::vector<PolicyOutcome> reference;
+  reference.reserve(grid.size());
+  for (const KeySpec& spec : grid) {
+    Experiment2Result one =
+        run_experiment2("U", generated.trace, infinite, 0.10, {spec}, serial);
+    ASSERT_EQ(one.outcomes.size(), 1u);
+    reference.push_back(std::move(one.outcomes.front()));
+  }
+
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    ParallelRunner runner{jobs};
+    const Experiment2Result result =
+        run_experiment2("U", generated.trace, infinite, 0.10, grid, runner);
+    ASSERT_EQ(result.outcomes.size(), reference.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) + " spec=" + grid[i].name());
+      expect_outcome_identical(reference[i], result.outcomes[i]);
+    }
+  }
+}
+
+TEST(RunnerDeterminism, LiteraturePoliciesIdenticalAcrossJobCounts) {
+  // Same contract for the literature runner, whose Pitkow/Recker cell has
+  // the end-of-day sweep — the most stateful policy in the repo.
+  GeneratedWorkload generated =
+      WorkloadGenerator{WorkloadSpec::preset("C").scaled(0.05)}.generate();
+  const Experiment1Result infinite = run_experiment1("C", generated.trace);
+
+  ParallelRunner serial{1};
+  const Experiment2Result reference =
+      run_experiment2_literature("C", generated.trace, infinite, 0.10, serial);
+  for (const unsigned jobs : {2u, 8u}) {
+    ParallelRunner runner{jobs};
+    const Experiment2Result result =
+        run_experiment2_literature("C", generated.trace, infinite, 0.10, runner);
+    ASSERT_EQ(result.outcomes.size(), reference.outcomes.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs));
+      expect_outcome_identical(reference.outcomes[i], result.outcomes[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcs

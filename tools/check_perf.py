@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Gate BENCH_perf.json against the checked-in throughput floors.
+
+Usage:
+    python3 tools/check_perf.py BENCH_perf.json [baseline.json] [--tolerance 0.30]
+
+Reads the measurement JSON written by bench/bench_perf and the floor file
+(default: bench/BENCH_perf_baseline.json next to this script's repo root).
+A metric fails when
+
+    measured < floor * (1 - tolerance)
+
+i.e. the floors are already conservative and the tolerance (default 30%)
+is slack on top, so only genuine regressions — an accidentally quadratic
+hot path, a debug build, a re-introduced per-hit allocation storm — trip
+the gate, not CI-runner jitter.
+
+Exit status: 0 clean, 1 any metric under its floor, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured", help="BENCH_perf.json written by bench_perf")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=str(Path(__file__).resolve().parent.parent / "bench" / "BENCH_perf_baseline.json"),
+        help="floor file (default: bench/BENCH_perf_baseline.json)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="fractional slack below the floor (default 0.30)")
+    args = parser.parse_args()
+
+    try:
+        measured = json.loads(Path(args.measured).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_perf: cannot load inputs: {error}", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    checked = 0
+
+    def check(label: str, value: float, floor: float) -> None:
+        nonlocal checked
+        checked += 1
+        limit = floor * (1.0 - args.tolerance)
+        status = "ok" if value >= limit else "FAIL"
+        print(f"  {status:4} {label}: {value:,.0f} (floor {floor:,.0f}, limit {limit:,.0f})")
+        if value < limit:
+            failures.append(label)
+
+    grid_floor = baseline.get("grid", {}).get("serial_requests_per_sec_floor")
+    if grid_floor is not None:
+        check("grid.serial_requests_per_sec",
+              float(measured["grid"]["serial_requests_per_sec"]), float(grid_floor))
+
+    micro_floor = baseline.get("micro", {}).get("requests_per_sec_floor")
+    if micro_floor is not None:
+        for row in measured.get("micro", []):
+            label = f"micro.{row['workload']}.{row['policy']}.requests_per_sec"
+            check(label, float(row["requests_per_sec"]), float(micro_floor))
+
+    if checked == 0:
+        print("check_perf: no metrics checked — baseline file defines no floors",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"check_perf: {len(failures)}/{checked} metric(s) below floor: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"check_perf: {checked} metric(s) at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

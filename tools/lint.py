@@ -25,6 +25,12 @@ stats-coverage    Every counter field of ``CacheStats`` (src/core/cache.h)
                   code cannot silently fall behind the struct.
 no-using-namespace-header
                   Headers must not inject namespaces into every includer.
+position-of-hot-path
+                  ``SortedPolicy::position_of`` is a linear scan kept only
+                  for tests and offline diagnostics; calling it from src/
+                  puts an O(n) walk where the simulator expects O(log n).
+                  Only its home (src/core/sorted_policy.{h,cpp}) may name
+                  it; tests/ and bench/ may call it freely.
 """
 
 from __future__ import annotations
@@ -47,6 +53,8 @@ RNG_PATTERNS = [
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
 FLOAT_RE = re.compile(r"\bfloat\b")
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+\w")
+POSITION_OF_RE = re.compile(r"\bposition_of\s*\(")
+POSITION_OF_HOME = ("src/core/sorted_policy.h", "src/core/sorted_policy.cpp")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -136,6 +144,14 @@ class Linter:
                 if USING_NAMESPACE_RE.search(line):
                     self.report(path, lineno, "no-using-namespace-header",
                                 "'using namespace' in a header leaks into every includer")
+
+        if rel.startswith("src/") and rel not in POSITION_OF_HOME:
+            for lineno, line in enumerate(code_lines, 1):
+                if POSITION_OF_RE.search(line):
+                    self.report(
+                        path, lineno, "position-of-hot-path",
+                        "position_of() is an O(n) scan reserved for tests and "
+                        "diagnostics; simulation code must stay O(log n) per op")
 
     # -- whole-repo rules --------------------------------------------------
 
