@@ -13,6 +13,11 @@
 //      faithful reimplementation of the pre-optimization SortedPolicy
 //      (heap-allocated vector rank tuples, erase+insert on every hit) to
 //      quantify the allocation-free index win.
+//   3. streaming: the BL preset at 10x duration simulated twice — from a
+//      fully materialized Trace and from a WorkloadStream that never holds
+//      more than one day of raw log — with a bit-identity cross-check and
+//      the resident-memory row (source_resident_bytes per leg) that
+//      tools/check_perf.py gates on.
 //
 // Results print as a table and are written as JSON (default
 // BENCH_perf.json; override with argv[1] or WCS_BENCH_OUT) so CI can
@@ -30,6 +35,7 @@
 #include <sstream>
 
 #include "src/core/sorted_policy.h"
+#include "src/workload/stream.h"
 
 using namespace wcs;
 using namespace wcs::bench;
@@ -281,7 +287,75 @@ int main(int argc, char** argv) {
   }
   micro_table.print(std::cout);
 
-  // ---- 3. JSON out --------------------------------------------------------
+  // ---- 3. streaming: materialized vs streaming at 10x duration ------------
+  // Same request sequence both ways (the RequestSource determinism
+  // contract); the materialized leg pays O(requests) for the trace while
+  // the streaming leg pays O(corpus). The streaming wall time includes
+  // generation — that is its honest cost: it generates and simulates in
+  // one pass instead of two.
+  constexpr int kDurationFactor = 10;
+  const WorkloadSpec streaming_spec =
+      WorkloadSpec::preset("BL").scaled(scale).extended(kDurationFactor);
+  WorkloadGenerator streaming_generator{streaming_spec};
+
+  const auto materialize_start = std::chrono::steady_clock::now();
+  const GeneratedWorkload streaming_workload = streaming_generator.generate();
+  const double materialize_seconds = seconds_since(materialize_start);
+  const std::uint64_t streaming_capacity = streaming_workload.trace.unique_bytes() / 10;
+  const PolicyFactory streaming_policy = [] { return make_size(); };
+
+  const auto materialized_start = std::chrono::steady_clock::now();
+  const SimResult materialized_result =
+      simulate(streaming_workload.trace, streaming_capacity, streaming_policy);
+  const double materialized_sim_seconds = seconds_since(materialized_start);
+
+  const auto streaming_start = std::chrono::steady_clock::now();
+  WorkloadStream stream = streaming_generator.stream();
+  const SimResult streaming_result = simulate(stream, streaming_capacity, streaming_policy);
+  const double streaming_seconds = seconds_since(streaming_start);
+
+  // Bit-identity cross-check: any divergence is a broken RNG schedule or
+  // intern-order drift, not noise.
+  {
+    const auto rows_a = stats_rows(materialized_result.stats);
+    const auto rows_b = stats_rows(streaming_result.stats);
+    bool identical = materialized_result.max_used_bytes == streaming_result.max_used_bytes &&
+                     materialized_result.daily.overall_hr() == streaming_result.daily.overall_hr() &&
+                     materialized_result.daily.overall_whr() == streaming_result.daily.overall_whr();
+    for (std::size_t i = 0; identical && i < rows_a.size(); ++i) {
+      identical = rows_a[i].value == rows_b[i].value;
+    }
+    if (!identical) {
+      std::cerr << "FATAL: streaming and materialized simulations diverge\n";
+      return 1;
+    }
+  }
+
+  const std::uint64_t materialized_bytes =
+      materialized_result.footprint.source_resident_bytes;
+  const std::uint64_t streaming_bytes = streaming_result.footprint.source_resident_bytes;
+  const double resident_ratio = materialized_bytes > 0
+      ? static_cast<double>(streaming_bytes) / static_cast<double>(materialized_bytes)
+      : 0.0;
+
+  Table streaming_table{"Streaming vs materialized (workload BL x" +
+                        std::to_string(kDurationFactor) + " duration, SIZE policy)"};
+  streaming_table.header({"leg", "wall s", "source MB", "requests"});
+  streaming_table.row({"materialized (gen + sim)",
+                       Table::num(materialize_seconds + materialized_sim_seconds, 2),
+                       Table::num(static_cast<double>(materialized_bytes) / 1e6, 2),
+                       std::to_string(materialized_result.footprint.requests)});
+  streaming_table.row({"streaming (one pass)", Table::num(streaming_seconds, 2),
+                       Table::num(static_cast<double>(streaming_bytes) / 1e6, 2),
+                       std::to_string(streaming_result.footprint.requests)});
+  streaming_table.print(std::cout);
+  std::cout << "  results bit-identical; streaming keeps "
+            << Table::num(100.0 * resident_ratio, 1) << "% of the materialized bytes resident"
+            << " (peak RSS " << Table::num(
+                   static_cast<double>(streaming_result.footprint.peak_rss_bytes) / 1e6, 1)
+            << " MB)\n\n";
+
+  // ---- 4. JSON out --------------------------------------------------------
   std::string out_path = "BENCH_perf.json";
   if (const char* env = std::getenv("WCS_BENCH_OUT")) out_path = env;
   if (argc > 1) out_path = argv[1];
@@ -318,7 +392,19 @@ int main(int argc, char** argv) {
     }
     json << "}" << (i + 1 < micro.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n"
+       << "  \"streaming\": {\n"
+       << "    \"workload\": \"BL\",\n"
+       << "    \"duration_factor\": " << kDurationFactor << ",\n"
+       << "    \"requests\": " << streaming_result.footprint.requests << ",\n"
+       << "    \"materialized_bytes\": " << materialized_bytes << ",\n"
+       << "    \"streaming_bytes\": " << streaming_bytes << ",\n"
+       << "    \"resident_ratio\": " << json_num(resident_ratio) << ",\n"
+       << "    \"peak_rss_bytes\": " << streaming_result.footprint.peak_rss_bytes << ",\n"
+       << "    \"materialize_seconds\": " << json_num(materialize_seconds) << ",\n"
+       << "    \"materialized_sim_seconds\": " << json_num(materialized_sim_seconds) << ",\n"
+       << "    \"streaming_seconds\": " << json_num(streaming_seconds) << "\n"
+       << "  }\n}\n";
 
   std::ofstream out{out_path};
   out << json.str();

@@ -1,74 +1,64 @@
 // Log replayer — answer "what cache should I buy?" from your own log.
 //
-// Reads a CERN/NCSA common-log-format file, validates it (§1.1), then
-// replays it through every literature policy at the disk budgets you name,
-// printing HR/WHR per (policy, size) — the operational decision table the
-// paper's methodology supports.
+// Streams a CERN/NCSA common-log-format or Squid access log straight from
+// disk (LogStreamSource parses, validates per §1.1, and interns line by
+// line), replaying it through every literature policy at the disk budgets
+// you name and printing HR/WHR per (policy, size) — the operational
+// decision table the paper's methodology supports.
+//
+// Because the trace is never materialized, memory stays O(unique URLs)
+// however long the log is: each simulation pass simply re-opens the file
+// (--stream architecture; see DESIGN.md "Streaming request sources").
 //
 // Usage:
 //   log_replayer <access.log | --demo> [sizeMB ...]
 //   log_replayer access.log 16 64 256
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
-#include <sstream>
+#include <memory>
 
 #include "src/sim/simulator.h"
-#include "src/trace/clf.h"
-#include "src/trace/squid.h"
-#include "src/trace/validate.h"
+#include "src/trace/log_source.h"
 #include "src/util/table.h"
-#include "src/workload/generator.h"
+#include "src/workload/spec.h"
+#include "src/workload/stream.h"
 
 using namespace wcs;
 
 namespace {
 
-Trace load(const std::string& source) {
-  if (source == "--demo") {
-    std::cout << "(--demo: generating workload BL at scale 0.2)\n";
-    return WorkloadGenerator{WorkloadSpec::preset("BL").scaled(0.2)}.generate().trace;
+// Streaming sources are single pass, so every simulation run gets a fresh
+// source: re-open the file, or re-generate the synthetic stream.
+using SourceFactory = std::function<std::unique_ptr<RequestSource>()>;
+
+SourceFactory make_factory(const std::string& arg) {
+  if (arg == "--demo") {
+    std::cout << "(--demo: streaming workload BL at scale 0.2)\n";
+    return [] {
+      return std::make_unique<WorkloadStream>(WorkloadSpec::preset("BL").scaled(0.2));
+    };
   }
-  std::ifstream in{source};
-  if (!in) {
-    std::cerr << "cannot open " << source << '\n';
+  // Fail fast on an unreadable path before the first pass.
+  if (!std::ifstream{arg}) {
+    std::cerr << "cannot open " << arg << '\n';
     std::exit(2);
   }
-  // Auto-detect CLF vs Squid native format from the first line.
-  std::string first_line;
-  std::getline(in, first_line);
-  in.seekg(0);
-  const std::string_view format = detect_log_format(first_line);
-  std::vector<RawRequest> records;
-  std::size_t malformed = 0;
-  if (format == "squid") {
-    SquidReadResult parsed = read_squid(in);
-    records = std::move(parsed.requests);
-    malformed = parsed.malformed_lines;
-  } else {
-    ClfReadResult parsed = read_clf(in);
-    records = std::move(parsed.requests);
-    malformed = parsed.malformed_lines;
-  }
-  std::cout << "parsed " << records.size() << " records (" << format << " format, "
-            << malformed << " malformed skipped)\n";
-  ValidatedTrace validated = validate(records);
-  std::cout << "kept " << validated.stats.kept << " valid GET/200 requests\n";
-  return std::move(validated.trace);
+  return [arg]() -> std::unique_ptr<RequestSource> { return LogStreamSource::open(arg); };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: log_replayer <common-format-log | --demo> [sizeMB ...]\n";
+    std::cerr << "usage: log_replayer <common-format-log | --demo> [sizeMB ...]\n"
+                 "  The log is streamed from disk (never fully loaded), so any\n"
+                 "  length replays in O(unique URLs) memory; each pass re-reads\n"
+                 "  the file.\n";
     return 2;
   }
-  const Trace trace = load(argv[1]);
-  if (trace.empty()) {
-    std::cerr << "no valid requests\n";
-    return 1;
-  }
+  const SourceFactory make_source = make_factory(argv[1]);
 
   std::vector<std::uint64_t> sizes_mb;
   for (int i = 2; i < argc; ++i) {
@@ -77,7 +67,26 @@ int main(int argc, char** argv) {
   }
   if (sizes_mb.empty()) sizes_mb = {16, 64, 256};
 
-  const SimResult infinite = simulate_infinite(trace);
+  // First pass doubles as the parse/validation report.
+  std::unique_ptr<RequestSource> first = make_source();
+  const SimResult infinite = simulate_infinite(*first);
+  if (auto* log = dynamic_cast<LogStreamSource*>(first.get())) {
+    std::cout << "streamed " << (log->format() == LogStreamSource::Format::kSquid
+                                     ? "squid"
+                                     : "clf")
+              << " log: kept " << log->validation().kept << " valid GET/200 requests ("
+              << log->malformed_lines() << " malformed lines skipped)\n";
+  } else {
+    std::cout << "streamed " << infinite.footprint.requests << " synthetic requests\n";
+  }
+  if (infinite.footprint.requests == 0) {
+    std::cerr << "no valid requests\n";
+    return 1;
+  }
+  std::cout << "source kept " << static_cast<double>(first->resident_bytes()) / 1e6
+            << " MB resident while streaming\n";
+  first.reset();
+
   std::cout << "\ninfinite cache: HR " << Table::pct(infinite.daily.overall_hr(), 1)
             << ", WHR " << Table::pct(infinite.daily.overall_whr(), 1)
             << ", footprint " << static_cast<double>(infinite.max_used_bytes) / 1e6
@@ -101,7 +110,8 @@ int main(int argc, char** argv) {
     Table table{"cache = " + std::to_string(mb) + " MB"};
     table.header({"policy", "HR", "WHR", "% of max HR"});
     for (const Entry& entry : policies) {
-      const SimResult sim = simulate(trace, mb * 1'000'000, entry.factory);
+      std::unique_ptr<RequestSource> source = make_source();
+      const SimResult sim = simulate(*source, mb * 1'000'000, entry.factory);
       const double hr = sim.daily.overall_hr();
       table.row({entry.name, Table::pct(hr, 1), Table::pct(sim.daily.overall_whr(), 1),
                  infinite.daily.overall_hr() > 0

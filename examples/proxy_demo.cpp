@@ -44,6 +44,9 @@ int main() {
   config.capacity_bytes = 500'000;
   config.policy = "size";
   config.revalidate_after = 10 * kSecondsPerMinute;
+  std::vector<RawRequest> access_log;  // demo-sized; a real proxy would use
+                                       // a file sink or BoundedLogRing
+  config.log_sink = ProxyCache::log_to_vector(access_log);
   ProxyCache proxy{config, [&](const HttpRequest& request, SimTime now) {
                      // Route by authority: the in-process "network".
                      if (request.target.find("media.cs.vt.edu") != std::string::npos) {
@@ -87,7 +90,7 @@ int main() {
             << ", 304-fresh: " << proxy.stats().validated_fresh << ")\n\n";
 
   std::cout << "=== 4. The proxy's own access log (common log format) ===\n";
-  for (const RawRequest& record : proxy.access_log()) {
+  for (const RawRequest& record : access_log) {
     std::cout << "  " << format_clf_line(record) << '\n';
   }
 
@@ -96,7 +99,7 @@ int main() {
   // tcpdump -> filter -> common-format-log pipeline.
   std::vector<SynthExchange> exchanges;
   std::int64_t t = 1000;
-  for (const RawRequest& record : proxy.access_log()) {
+  for (const RawRequest& record : access_log) {
     HttpRequest request = get(record.url);
     HttpResponse response;
     response.status = record.status;

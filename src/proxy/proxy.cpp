@@ -58,6 +58,7 @@ HttpResponse ProxyCache::serve_from_store(const StoredDocument& document,
 
 void ProxyCache::log_access(const HttpRequest& request, const HttpResponse& response,
                             SimTime now) {
+  if (!config_.log_sink) return;
   RawRequest record;
   record.time = now;
   record.client = "proxy-client";
@@ -65,7 +66,40 @@ void ProxyCache::log_access(const HttpRequest& request, const HttpResponse& resp
   record.url = request.target;
   record.status = response.status;
   record.size = response.body.size();
-  log_.push_back(std::move(record));
+  config_.log_sink(record);
+}
+
+ProxyCache::LogSink ProxyCache::log_to_vector(std::vector<RawRequest>& out) {
+  return [&out](const RawRequest& record) { out.push_back(record); };
+}
+
+BoundedLogRing::BoundedLogRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument{"BoundedLogRing: capacity 0"};
+  ring_.reserve(capacity);
+}
+
+void BoundedLogRing::push(const RawRequest& record) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+    return;
+  }
+  ring_[next_] = record;
+  next_ = (next_ + 1) % capacity_;
+}
+
+ProxyCache::LogSink BoundedLogRing::sink() noexcept {
+  return [this](const RawRequest& record) { push(record); };
+}
+
+std::vector<RawRequest> BoundedLogRing::snapshot() const {
+  std::vector<RawRequest> out;
+  out.reserve(ring_.size());
+  // Once full, next_ is the oldest retained record.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
 }
 
 HttpResponse ProxyCache::handle(const HttpRequest& request, SimTime now) {

@@ -28,6 +28,12 @@ namespace wcs {
 class ProxyCache {
  public:
   using UpstreamFn = std::function<HttpResponse(const HttpRequest&, SimTime)>;
+  /// Receives one common-format record per handled request. The proxy never
+  /// stores records itself — a long-running proxy must not grow without
+  /// bound — so the sink decides the retention policy: write to disk, keep
+  /// a bounded ring (BoundedLogRing), or collect into a vector for tests
+  /// (log_to_vector).
+  using LogSink = std::function<void(const RawRequest&)>;
 
   struct Config {
     std::uint64_t capacity_bytes = 64ULL << 20;
@@ -39,6 +45,9 @@ class ProxyCache {
     /// Advertise `A-IM: wcs-delta` on conditional GETs and apply `226 IM
     /// Used` delta responses (paper §5 open problem 2).
     bool accept_deltas = true;
+    /// Access-log sink; null disables logging entirely (no allocation).
+    /// Whatever the sink captures must outlive the proxy.
+    LogSink log_sink;
   };
 
   struct Stats {
@@ -64,8 +73,10 @@ class ProxyCache {
   [[nodiscard]] const Cache& cache() const noexcept { return *cache_; }
   [[nodiscard]] std::uint64_t stored_bytes() const noexcept { return cache_->used_bytes(); }
 
-  /// Common-format access log (one record per handled request).
-  [[nodiscard]] const std::vector<RawRequest>& access_log() const noexcept { return log_; }
+  /// Convenience sink that appends every record to `out` (tests, short
+  /// demos). `out` must outlive the proxy; unbounded by construction, so
+  /// not for long-running use — prefer BoundedLogRing there.
+  [[nodiscard]] static LogSink log_to_vector(std::vector<RawRequest>& out);
 
  private:
   struct StoredDocument {
@@ -87,7 +98,32 @@ class ProxyCache {
   std::vector<std::string> url_names_;
   std::unordered_map<UrlId, StoredDocument> store_;
   Stats stats_;
-  std::vector<RawRequest> log_;
+};
+
+/// Fixed-capacity access-log retention: keeps the newest `capacity`
+/// records, overwriting the oldest — O(capacity) memory for any run
+/// length. Plug into ProxyCache via `config.log_sink = ring.sink();`
+/// (the ring must outlive the proxy).
+class BoundedLogRing {
+ public:
+  explicit BoundedLogRing(std::size_t capacity);
+
+  void push(const RawRequest& record);
+  /// A sink bound to this ring (holds a pointer to it).
+  [[nodiscard]] ProxyCache::LogSink sink() noexcept;
+
+  /// Retained records, oldest first.
+  [[nodiscard]] std::vector<RawRequest> snapshot() const;
+  /// Total records ever pushed (>= snapshot().size()).
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+
+ private:
+  std::vector<RawRequest> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t next_ = 0;  // overwrite position once full
+  std::uint64_t total_ = 0;
 };
 
 }  // namespace wcs

@@ -215,7 +215,9 @@ LatencyStudyResult run_latency_study(const std::string& workload, const Trace& t
     Cache cache{config, make_sorted_policy(candidate.spec)};
     std::uint64_t total_latency = 0;
     std::uint64_t saved_latency = 0;
-    for (const Request& request : trace.requests()) {
+    TraceSource source{trace};
+    Request request;
+    while (source.next(request)) {
       const AccessResult access = cache.access(request);
       total_latency += request.latency_ms;
       if (access.hit) saved_latency += request.latency_ms;
@@ -262,7 +264,9 @@ SharedL2Result run_shared_l2_study(const std::string& workload, const Trace& tra
     std::uint64_t l2_hits = 0;
     std::uint64_t l2_hit_bytes = 0;
     std::uint64_t total_bytes = 0;
-    for (const Request& request : trace.requests()) {
+    TraceSource source{trace};
+    Request request;
+    while (source.next(request)) {
       const auto group =
           static_cast<std::size_t>(request.client % static_cast<std::uint32_t>(groups));
       total_bytes += request.size;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/util/memory.h"
+
 namespace wcs {
 namespace {
 
@@ -23,7 +25,7 @@ void check_audit(const Auditable& auditable, std::uint64_t request_index) {
 
 }  // namespace
 
-SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
+SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
                    const PolicyFactory& make_policy, PeriodicSweepConfig periodic,
                    SimAudit audit) {
   CacheConfig config;
@@ -33,7 +35,8 @@ SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
 
   SimResult result;
   std::uint64_t index = 0;
-  for (const Request& request : trace.requests()) {
+  Request request;
+  while (source.next(request)) {
     const AccessResult access = cache.access(request);
     result.daily.record(request.time, access.hit, request.size);
     if (audit_due(audit, ++index)) check_audit(cache, index);
@@ -41,15 +44,30 @@ SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
   if (audit.interval != 0) check_audit(cache, index);
   result.stats = cache.stats();
   result.max_used_bytes = cache.stats().max_used_bytes;
+  result.footprint.requests = index;
+  result.footprint.source_resident_bytes = source.resident_bytes();
+  result.footprint.peak_rss_bytes = peak_rss_bytes();
   return result;
 }
 
-SimResult simulate_infinite(const Trace& trace) {
-  // Policy choice is irrelevant — an infinite cache never evicts.
-  return simulate(trace, 0, [] { return make_lru(); });
+SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
+                   const PolicyFactory& make_policy, PeriodicSweepConfig periodic,
+                   SimAudit audit) {
+  TraceSource source{trace};
+  return simulate(source, capacity_bytes, make_policy, periodic, audit);
 }
 
-TwoLevelSimResult simulate_two_level(const Trace& trace, std::uint64_t l1_capacity,
+SimResult simulate_infinite(RequestSource& source) {
+  // Policy choice is irrelevant — an infinite cache never evicts.
+  return simulate(source, 0, [] { return make_lru(); });
+}
+
+SimResult simulate_infinite(const Trace& trace) {
+  TraceSource source{trace};
+  return simulate_infinite(source);
+}
+
+TwoLevelSimResult simulate_two_level(RequestSource& source, std::uint64_t l1_capacity,
                                      const PolicyFactory& l1_policy,
                                      const PolicyFactory& l2_policy, SimAudit audit) {
   CacheConfig l1_config;
@@ -59,7 +77,8 @@ TwoLevelSimResult simulate_two_level(const Trace& trace, std::uint64_t l1_capaci
 
   TwoLevelSimResult result;
   std::uint64_t index = 0;
-  for (const Request& request : trace.requests()) {
+  Request request;
+  while (source.next(request)) {
     const TwoLevelResult outcome = hierarchy.access(request);
     result.l1_daily.record(request.time, outcome.level == HitLevel::kL1, request.size);
     result.l2_daily.record(request.time, outcome.level == HitLevel::kL2, request.size);
@@ -70,7 +89,14 @@ TwoLevelSimResult simulate_two_level(const Trace& trace, std::uint64_t l1_capaci
   return result;
 }
 
-PartitionedSimResult simulate_partitioned_audio(const Trace& trace,
+TwoLevelSimResult simulate_two_level(const Trace& trace, std::uint64_t l1_capacity,
+                                     const PolicyFactory& l1_policy,
+                                     const PolicyFactory& l2_policy, SimAudit audit) {
+  TraceSource source{trace};
+  return simulate_two_level(source, l1_capacity, l1_policy, l2_policy, audit);
+}
+
+PartitionedSimResult simulate_partitioned_audio(RequestSource& source,
                                                 std::uint64_t total_capacity,
                                                 double audio_fraction,
                                                 const PolicyFactory& make_policy,
@@ -80,7 +106,8 @@ PartitionedSimResult simulate_partitioned_audio(const Trace& trace,
 
   PartitionedSimResult result;
   std::uint64_t index = 0;
-  for (const Request& request : trace.requests()) {
+  Request request;
+  while (source.next(request)) {
     const AccessResult access = cache.access(request);
     const bool is_audio = request.type == FileType::kAudio;
     // Per-class rates over *all* requests: every request contributes to
@@ -95,18 +122,33 @@ PartitionedSimResult simulate_partitioned_audio(const Trace& trace,
   return result;
 }
 
-ClassWhrReference simulate_infinite_by_class(const Trace& trace) {
+PartitionedSimResult simulate_partitioned_audio(const Trace& trace,
+                                                std::uint64_t total_capacity,
+                                                double audio_fraction,
+                                                const PolicyFactory& make_policy,
+                                                SimAudit audit) {
+  TraceSource source{trace};
+  return simulate_partitioned_audio(source, total_capacity, audio_fraction, make_policy, audit);
+}
+
+ClassWhrReference simulate_infinite_by_class(RequestSource& source) {
   CacheConfig config;  // infinite
   Cache cache{config, make_lru()};
 
   ClassWhrReference result;
-  for (const Request& request : trace.requests()) {
+  Request request;
+  while (source.next(request)) {
     const AccessResult access = cache.access(request);
     const bool is_audio = request.type == FileType::kAudio;
     result.audio_daily.record(request.time, access.hit && is_audio, request.size);
     result.non_audio_daily.record(request.time, access.hit && !is_audio, request.size);
   }
   return result;
+}
+
+ClassWhrReference simulate_infinite_by_class(const Trace& trace) {
+  TraceSource source{trace};
+  return simulate_infinite_by_class(source);
 }
 
 }  // namespace wcs

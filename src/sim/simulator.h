@@ -1,8 +1,11 @@
 // Trace-driven proxy-cache simulator (the C++ replacement for the paper's
-// PERL discrete-event model, Appendix A). Runs a compiled Trace against a
-// single cache, a two-level hierarchy, or a partitioned cache, producing
-// the output measures the paper lists: hit rate and weighted hit rate at
-// daily intervals, final/peak cache size, and upper-level HR/WHR.
+// PERL discrete-event model, Appendix A). Streams a RequestSource — a
+// materialized Trace, a line-by-line log reader, or a lazy synthetic
+// workload — against a single cache, a two-level hierarchy, or a
+// partitioned cache, producing the output measures the paper lists: hit
+// rate and weighted hit rate at daily intervals, final/peak cache size,
+// and upper-level HR/WHR. Results are bit-identical across source kinds
+// fed the same request sequence (the RequestSource determinism contract).
 #pragma once
 
 #include <functional>
@@ -12,11 +15,23 @@
 #include "src/core/partitioned_cache.h"
 #include "src/core/two_level.h"
 #include "src/sim/metrics.h"
+#include "src/trace/request_source.h"
 #include "src/trace/trace.h"
 
 namespace wcs {
 
 using PolicyFactory = std::function<std::unique_ptr<RemovalPolicy>()>;
+
+/// What the run cost in memory: how much the request source kept resident
+/// (self-reported; O(requests) for a Trace, O(corpus) for streaming
+/// sources) and the process peak RSS for the record (monotone across the
+/// process — comparable only run-to-run, not leg-to-leg within one
+/// process).
+struct SourceFootprint {
+  std::uint64_t requests = 0;
+  std::uint64_t source_resident_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
+};
 
 struct SimResult {
   CacheStats stats;
@@ -24,6 +39,7 @@ struct SimResult {
   /// Peak cache occupancy — for an infinite cache this is MaxNeeded, the
   /// size at which no removal would ever occur (Experiment 1).
   std::uint64_t max_used_bytes = 0;
+  SourceFootprint footprint;
 };
 
 /// Debug knob: when `interval` > 0 the simulator runs a full invariant
@@ -34,12 +50,19 @@ struct SimAudit {
   std::uint64_t interval = 0;
 };
 
-/// Run `trace` against a cache of `capacity_bytes` (0 = infinite).
+/// Run `source` against a cache of `capacity_bytes` (0 = infinite). The
+/// source is consumed (single pass).
+[[nodiscard]] SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
+                                 const PolicyFactory& make_policy,
+                                 PeriodicSweepConfig periodic = {}, SimAudit audit = {});
+
+/// Materialized adapter for multi-pass callers.
 [[nodiscard]] SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
                                  const PolicyFactory& make_policy,
                                  PeriodicSweepConfig periodic = {}, SimAudit audit = {});
 
 /// Infinite-cache run: the theoretical maxima of Experiment 1.
+[[nodiscard]] SimResult simulate_infinite(RequestSource& source);
 [[nodiscard]] SimResult simulate_infinite(const Trace& trace);
 
 struct TwoLevelSimResult {
@@ -50,6 +73,11 @@ struct TwoLevelSimResult {
 };
 
 /// L1 finite / L2 infinite hierarchy (Experiment 3).
+[[nodiscard]] TwoLevelSimResult simulate_two_level(RequestSource& source,
+                                                   std::uint64_t l1_capacity,
+                                                   const PolicyFactory& l1_policy,
+                                                   const PolicyFactory& l2_policy,
+                                                   SimAudit audit = {});
 [[nodiscard]] TwoLevelSimResult simulate_two_level(const Trace& trace,
                                                    std::uint64_t l1_capacity,
                                                    const PolicyFactory& l1_policy,
@@ -67,6 +95,9 @@ struct PartitionedSimResult {
 
 /// Audio/non-audio split cache (Experiment 4).
 [[nodiscard]] PartitionedSimResult simulate_partitioned_audio(
+    RequestSource& source, std::uint64_t total_capacity, double audio_fraction,
+    const PolicyFactory& make_policy, SimAudit audit = {});
+[[nodiscard]] PartitionedSimResult simulate_partitioned_audio(
     const Trace& trace, std::uint64_t total_capacity, double audio_fraction,
     const PolicyFactory& make_policy, SimAudit audit = {});
 
@@ -76,6 +107,7 @@ struct ClassWhrReference {
   DailySeries audio_daily;
   DailySeries non_audio_daily;
 };
+[[nodiscard]] ClassWhrReference simulate_infinite_by_class(RequestSource& source);
 [[nodiscard]] ClassWhrReference simulate_infinite_by_class(const Trace& trace);
 
 }  // namespace wcs

@@ -1,0 +1,70 @@
+#include "src/trace/intern.h"
+
+namespace wcs {
+
+std::string_view url_server(std::string_view url) noexcept {
+  const auto scheme = url.find("://");
+  if (scheme == std::string_view::npos) return "-";
+  const auto host_start = scheme + 3;
+  const auto host_end = url.find('/', host_start);
+  auto host = host_end == std::string_view::npos ? url.substr(host_start)
+                                                 : url.substr(host_start, host_end - host_start);
+  if (const auto colon = host.find(':'); colon != std::string_view::npos) {
+    host = host.substr(0, colon);
+  }
+  return host.empty() ? "-" : host;
+}
+
+UrlId InternTable::intern_url(std::string_view url) {
+  if (const auto it = url_index_.find(std::string{url}); it != url_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<UrlId>(urls_.size());
+  urls_.emplace_back(url);
+  url_server_.push_back(intern_server(url_server(url)));
+  url_index_.emplace(urls_.back(), id);
+  return id;
+}
+
+ServerId InternTable::intern_server(std::string_view server) {
+  if (const auto it = server_index_.find(std::string{server}); it != server_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<ServerId>(servers_.size());
+  servers_.emplace_back(server);
+  server_index_.emplace(servers_.back(), id);
+  return id;
+}
+
+ClientId InternTable::intern_client(std::string_view client) {
+  if (const auto it = client_index_.find(std::string{client}); it != client_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<ClientId>(clients_.size());
+  clients_.emplace_back(client);
+  client_index_.emplace(clients_.back(), id);
+  return id;
+}
+
+namespace {
+
+std::uint64_t string_bytes(const std::vector<std::string>& strings) {
+  std::uint64_t sum = strings.capacity() * sizeof(std::string);
+  for (const auto& s : strings) sum += s.capacity();
+  return sum;
+}
+
+}  // namespace
+
+std::uint64_t InternTable::memory_footprint_bytes() const noexcept {
+  // The index maps duplicate the key strings; count node + key per entry.
+  constexpr std::uint64_t kNodeOverhead = 4 * sizeof(void*);
+  std::uint64_t sum = string_bytes(urls_) + string_bytes(servers_) + string_bytes(clients_);
+  sum += url_server_.capacity() * sizeof(ServerId);
+  for (const auto& [key, value] : url_index_) sum += key.capacity() + kNodeOverhead;
+  for (const auto& [key, value] : server_index_) sum += key.capacity() + kNodeOverhead;
+  for (const auto& [key, value] : client_index_) sum += key.capacity() + kNodeOverhead;
+  return sum;
+}
+
+}  // namespace wcs

@@ -1,0 +1,62 @@
+// Intern tables: the id <-> name mapping shared by every request source.
+//
+// URLs, servers and clients are interned to dense ids in first-seen order,
+// so the simulator never touches strings and two sources fed the same
+// record sequence assign identical ids (the bit-identity contract between
+// materialized and streaming simulation rests on this). The table is
+// append-only: ids already handed out stay valid for the table's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace wcs {
+
+class InternTable {
+ public:
+  /// Intern a URL (and its server, derived from the URL authority or "-")
+  /// and return its id. Repeated calls are idempotent.
+  UrlId intern_url(std::string_view url);
+  ClientId intern_client(std::string_view client);
+
+  [[nodiscard]] std::string_view url_name(UrlId id) const noexcept { return urls_[id]; }
+  [[nodiscard]] std::string_view server_name(ServerId id) const noexcept { return servers_[id]; }
+  [[nodiscard]] std::string_view client_name(ClientId id) const noexcept { return clients_[id]; }
+  [[nodiscard]] ServerId server_of(UrlId id) const noexcept { return url_server_[id]; }
+
+  [[nodiscard]] std::uint32_t url_count() const noexcept {
+    return static_cast<std::uint32_t>(urls_.size());
+  }
+  [[nodiscard]] std::uint32_t server_count() const noexcept {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+  [[nodiscard]] std::uint32_t client_count() const noexcept {
+    return static_cast<std::uint32_t>(clients_.size());
+  }
+
+  /// Approximate resident bytes: string payloads + vector slots + index
+  /// entries. O(corpus) — this is the floor any streaming source pays.
+  [[nodiscard]] std::uint64_t memory_footprint_bytes() const noexcept;
+
+ private:
+  ServerId intern_server(std::string_view server);
+
+  std::vector<std::string> urls_;
+  std::vector<std::string> servers_;
+  std::vector<std::string> clients_;
+  std::vector<ServerId> url_server_;
+  std::unordered_map<std::string, UrlId> url_index_;
+  std::unordered_map<std::string, ServerId> server_index_;
+  std::unordered_map<std::string, ClientId> client_index_;
+};
+
+/// Extract the server (authority) part of an absolute URL, or "-" for
+/// path-only URLs. "http://a.b/c" -> "a.b".
+[[nodiscard]] std::string_view url_server(std::string_view url) noexcept;
+
+}  // namespace wcs

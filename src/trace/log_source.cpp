@@ -1,0 +1,59 @@
+#include "src/trace/log_source.h"
+
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+#include "src/trace/clf.h"
+#include "src/trace/squid.h"
+
+namespace wcs {
+
+LogStreamSource::LogStreamSource(std::istream& in, ValidationOptions options, Format format)
+    : in_(&in),
+      format_(format),
+      names_(std::make_unique<InternTable>()),
+      core_(std::make_unique<StreamingValidator>(*names_, options)) {}
+
+std::unique_ptr<LogStreamSource> LogStreamSource::open(const std::string& path,
+                                                       ValidationOptions options, Format format) {
+  auto stream = std::make_unique<std::ifstream>(path);
+  if (!*stream) {
+    throw std::runtime_error("LogStreamSource: cannot open " + path);
+  }
+  auto source = std::unique_ptr<LogStreamSource>(new LogStreamSource(*stream, options, format));
+  source->owned_ = std::move(stream);
+  return source;
+}
+
+bool LogStreamSource::next(Request& out) {
+  while (std::getline(*in_, line_)) {
+    if (line_.empty()) continue;
+    if (format_ == Format::kAuto) {
+      // Sniff from the first non-empty line; unrecognized lines fall back
+      // to CLF and will be counted as malformed below.
+      format_ = detect_log_format(line_) == "squid" ? Format::kSquid : Format::kClf;
+    }
+    const auto raw =
+        format_ == Format::kSquid ? parse_squid_line(line_) : parse_clf_line(line_);
+    if (!raw) {
+      ++malformed_lines_;
+      continue;
+    }
+    if (auto request = core_->feed(*raw)) {
+      out = *request;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t LogStreamSource::resident_bytes() const noexcept {
+  // Intern tables dominate; add the line buffer and a flat estimate of the
+  // validator's per-URL last-size map (one entry per URL).
+  constexpr std::uint64_t kMapEntry = sizeof(UrlId) + sizeof(std::uint64_t) + 4 * sizeof(void*);
+  return names_->memory_footprint_bytes() + line_.capacity() +
+         static_cast<std::uint64_t>(names_->url_count()) * kMapEntry;
+}
+
+}  // namespace wcs

@@ -1,0 +1,62 @@
+// Streaming log reader: CLF or Squid access logs -> validated Requests,
+// one line at a time.
+//
+// Unlike read_clf/read_squid + validate(), which materialize the whole log
+// twice (RawRequest vector, then Trace), LogStreamSource holds one line,
+// the intern tables and the validator's per-URL state — O(corpus) — so it
+// replays logs of any length. Single pass: to simulate the same log again,
+// open a fresh source.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "src/trace/request_source.h"
+#include "src/trace/validate.h"
+
+namespace wcs {
+
+class LogStreamSource final : public RequestSource {
+ public:
+  enum class Format { kAuto, kClf, kSquid };
+
+  /// Stream from `in`, which must outlive the source. kAuto sniffs the
+  /// format from the first line (falling back to CLF for unrecognized
+  /// lines, which then count as malformed).
+  explicit LogStreamSource(std::istream& in, ValidationOptions options = {},
+                           Format format = Format::kAuto);
+
+  /// Open a log file for streaming; throws std::runtime_error if the file
+  /// cannot be opened. The returned source owns the stream.
+  [[nodiscard]] static std::unique_ptr<LogStreamSource> open(const std::string& path,
+                                                             ValidationOptions options = {},
+                                                             Format format = Format::kAuto);
+
+  bool next(Request& out) override;
+
+  [[nodiscard]] const InternTable& names() const noexcept override { return *names_; }
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept override;
+
+  /// §1.1 validation counters for everything consumed so far.
+  [[nodiscard]] const ValidationStats& validation() const noexcept { return core_->stats(); }
+  /// Structurally invalid lines skipped so far (distinct from validation
+  /// drops, which are well-formed lines the paper's rules reject).
+  [[nodiscard]] std::size_t malformed_lines() const noexcept { return malformed_lines_; }
+  /// Resolved format (kAuto is replaced once the first line is read).
+  [[nodiscard]] Format format() const noexcept { return format_; }
+
+ private:
+  std::unique_ptr<std::istream> owned_;  // set by open(); null when borrowing
+  std::istream* in_;
+  Format format_;
+  // unique_ptr so the validator's pointer into the table survives moves.
+  std::unique_ptr<InternTable> names_;
+  std::unique_ptr<StreamingValidator> core_;
+  std::string line_;
+  std::size_t malformed_lines_ = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,47 @@
+// Request records — the currency of every trace layer.
+//
+// A RawRequest is one parsed log line. A Request is the validated, compiled
+// form the simulator consumes: URLs, servers and clients are interned to
+// dense ids so the hot simulation loop never touches strings, and every
+// request carries its resolved transfer size and file type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/file_type.h"
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+using UrlId = std::uint32_t;
+using ServerId = std::uint32_t;
+using ClientId = std::uint32_t;
+
+inline constexpr UrlId kInvalidUrl = static_cast<UrlId>(-1);
+
+/// One log line as parsed from a common-format log (before validation).
+struct RawRequest {
+  SimTime time = 0;
+  std::string client;    // remote host field
+  std::string method;    // "GET", ...
+  std::string url;       // request URL, absolute or path form
+  int status = 0;        // HTTP status code; paper keeps only 200
+  std::uint64_t size = 0;  // bytes transferred; 0 when the log said '-'
+};
+
+/// One validated, compiled request; POD, cache-friendly.
+struct Request {
+  SimTime time = 0;
+  std::uint64_t size = 0;
+  UrlId url = 0;
+  ServerId server = 0;
+  ClientId client = 0;
+  FileType type = FileType::kUnknown;
+  /// Estimated refetch latency from this document's origin (ms); 0 when
+  /// unknown (e.g. real logs). Synthetic workloads stamp it from a
+  /// per-server RTT/bandwidth model; feeds the LATENCY sorting key.
+  std::uint32_t latency_ms = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,74 @@
+// RequestSource — the pull-based request stream every simulator entry point
+// consumes.
+//
+// Source taxonomy:
+//   * TraceSource      — adapter over a materialized Trace (multi-pass
+//                        container; O(requests) memory, rewindable by
+//                        constructing a fresh source).
+//   * LogStreamSource  — parses + validates a CLF/Squid log line-by-line
+//                        (log_source.h; O(corpus) memory, single pass).
+//   * WorkloadStream   — lazily generates a synthetic preset in time order
+//                        (src/workload/stream.h; O(corpus) memory,
+//                        bit-identical to WorkloadGenerator::generate()).
+//
+// Determinism contract: two sources fed/derived from the same record
+// sequence yield the same Request sequence and identical intern tables, so
+// simulation results are bit-identical regardless of which source backs
+// them. Sources are single-pass: a second pass means a fresh source.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace wcs {
+
+/// Pull-based stream of compiled Requests plus the intern table that maps
+/// their ids back to names. Non-copyable; single pass.
+class RequestSource {
+ public:
+  RequestSource() = default;
+  RequestSource(const RequestSource&) = delete;
+  RequestSource& operator=(const RequestSource&) = delete;
+  virtual ~RequestSource() = default;
+
+  /// Fill `out` with the next request and return true, or return false at
+  /// end of stream (out is left untouched).
+  virtual bool next(Request& out) = 0;
+
+  /// Id -> name tables for everything emitted so far. Streaming sources
+  /// grow the table as they go; ids already emitted never change meaning.
+  [[nodiscard]] virtual const InternTable& names() const noexcept = 0;
+
+  /// Approximate bytes this source keeps resident while streaming
+  /// (intern tables, per-URL state, buffers). A materialized source also
+  /// counts its request vector. Used for the streaming-vs-materialized
+  /// observability row; 0 when unknown.
+  [[nodiscard]] virtual std::uint64_t resident_bytes() const noexcept { return 0; }
+};
+
+/// Materialized adapter: streams an existing Trace. The trace must outlive
+/// the source.
+class TraceSource final : public RequestSource {
+ public:
+  explicit TraceSource(const Trace& trace) noexcept : trace_(&trace) {}
+
+  bool next(Request& out) override {
+    if (index_ >= trace_->size()) return false;
+    out = trace_->requests()[index_++];
+    return true;
+  }
+
+  [[nodiscard]] const InternTable& names() const noexcept override { return trace_->names(); }
+
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept override {
+    return trace_->memory_footprint_bytes();
+  }
+
+ private:
+  const Trace* trace_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace wcs

@@ -4,51 +4,15 @@
 
 namespace wcs {
 
-std::string_view url_server(std::string_view url) noexcept {
-  const auto scheme = url.find("://");
-  if (scheme == std::string_view::npos) return "-";
-  const auto host_start = scheme + 3;
-  const auto host_end = url.find('/', host_start);
-  auto host = host_end == std::string_view::npos ? url.substr(host_start)
-                                                 : url.substr(host_start, host_end - host_start);
-  if (const auto colon = host.find(':'); colon != std::string_view::npos) {
-    host = host.substr(0, colon);
-  }
-  return host.empty() ? "-" : host;
+FileType Trace::type_of(UrlId id) const { return classify_url(names_.url_name(id)); }
+
+void Trace::stamp_latencies(const std::function<std::uint32_t(const Request&)>& fn) {
+  for (auto& r : requests_) r.latency_ms = fn(r);
 }
 
-UrlId Trace::intern_url(std::string_view url) {
-  if (const auto it = url_index_.find(std::string{url}); it != url_index_.end()) {
-    return it->second;
-  }
-  const auto id = static_cast<UrlId>(urls_.size());
-  urls_.emplace_back(url);
-  url_server_.push_back(intern_server(url_server(url)));
-  url_index_.emplace(urls_.back(), id);
-  return id;
+std::uint64_t Trace::memory_footprint_bytes() const noexcept {
+  return requests_.capacity() * sizeof(Request) + names_.memory_footprint_bytes();
 }
-
-ServerId Trace::intern_server(std::string_view server) {
-  if (const auto it = server_index_.find(std::string{server}); it != server_index_.end()) {
-    return it->second;
-  }
-  const auto id = static_cast<ServerId>(servers_.size());
-  servers_.emplace_back(server);
-  server_index_.emplace(servers_.back(), id);
-  return id;
-}
-
-ClientId Trace::intern_client(std::string_view client) {
-  if (const auto it = client_index_.find(std::string{client}); it != client_index_.end()) {
-    return it->second;
-  }
-  const auto id = static_cast<ClientId>(clients_.size());
-  clients_.emplace_back(client);
-  client_index_.emplace(clients_.back(), id);
-  return id;
-}
-
-FileType Trace::type_of(UrlId id) const { return classify_url(urls_[id]); }
 
 std::int64_t Trace::day_count() const noexcept {
   return requests_.empty() ? 0 : day_of(requests_.back().time) + 1;
@@ -62,7 +26,7 @@ std::uint64_t Trace::total_bytes() const noexcept {
 
 std::uint64_t Trace::unique_bytes() const {
   std::unordered_map<UrlId, std::uint64_t> last_size;
-  last_size.reserve(urls_.size());
+  last_size.reserve(names_.url_count());
   for (const auto& r : requests_) last_size[r.url] = r.size;
   std::uint64_t sum = 0;
   for (const auto& [url, size] : last_size) sum += size;

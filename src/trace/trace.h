@@ -1,84 +1,66 @@
-// Trace representation.
+// Materialized trace representation.
 //
-// A RawRequest is one parsed log line. A Trace is the validated, compiled
-// form the simulator consumes: URLs, servers and clients are interned to
-// dense ids so the hot simulation loop never touches strings, and every
-// request carries its resolved transfer size and file type.
+// A Trace is the validated, compiled form of a request log held fully in
+// memory: an InternTable (id <-> name mapping) plus a flat vector of
+// Requests. It is the multi-pass request container — experiments that
+// replay the same workload many times build one Trace and scan it per
+// configuration. Single-pass consumers should prefer a streaming
+// RequestSource (see request_source.h) which bounds memory at O(corpus).
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <functional>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
-#include "src/trace/file_type.h"
-#include "src/util/simtime.h"
+#include "src/trace/intern.h"
+#include "src/trace/request.h"
 
 namespace wcs {
-
-using UrlId = std::uint32_t;
-using ServerId = std::uint32_t;
-using ClientId = std::uint32_t;
-
-inline constexpr UrlId kInvalidUrl = static_cast<UrlId>(-1);
-
-/// One log line as parsed from a common-format log (before validation).
-struct RawRequest {
-  SimTime time = 0;
-  std::string client;    // remote host field
-  std::string method;    // "GET", ...
-  std::string url;       // request URL, absolute or path form
-  int status = 0;        // HTTP status code; paper keeps only 200
-  std::uint64_t size = 0;  // bytes transferred; 0 when the log said '-'
-};
-
-/// One validated, compiled request; POD, cache-friendly.
-struct Request {
-  SimTime time = 0;
-  std::uint64_t size = 0;
-  UrlId url = 0;
-  ServerId server = 0;
-  ClientId client = 0;
-  FileType type = FileType::kUnknown;
-  /// Estimated refetch latency from this document's origin (ms); 0 when
-  /// unknown (e.g. real logs). Synthetic workloads stamp it from a
-  /// per-server RTT/bandwidth model; feeds the LATENCY sorting key.
-  std::uint32_t latency_ms = 0;
-};
 
 /// Compiled trace plus the intern tables needed to map ids back to names.
 class Trace {
  public:
   /// Intern a URL (and its server, derived from the URL authority or the
   /// supplied fallback) and return its id. Repeated calls are idempotent.
-  UrlId intern_url(std::string_view url);
-  ClientId intern_client(std::string_view client);
+  UrlId intern_url(std::string_view url) { return names_.intern_url(url); }
+  ClientId intern_client(std::string_view client) { return names_.intern_client(client); }
 
   void add(Request request) { requests_.push_back(request); }
   void reserve(std::size_t n) { requests_.reserve(n); }
 
   [[nodiscard]] const std::vector<Request>& requests() const noexcept { return requests_; }
-  /// Mutable access for post-validation annotation (latency stamping).
-  [[nodiscard]] std::vector<Request>& mutable_requests() noexcept { return requests_; }
   [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
   [[nodiscard]] bool empty() const noexcept { return requests_.empty(); }
 
-  [[nodiscard]] std::string_view url_name(UrlId id) const noexcept { return urls_[id]; }
-  [[nodiscard]] std::string_view server_name(ServerId id) const noexcept { return servers_[id]; }
-  [[nodiscard]] std::string_view client_name(ClientId id) const noexcept { return clients_[id]; }
-  [[nodiscard]] ServerId server_of(UrlId id) const noexcept { return url_server_[id]; }
+  /// The id <-> name tables. The non-const overload lets validators intern
+  /// directly into the trace; it never invalidates existing ids.
+  [[nodiscard]] const InternTable& names() const noexcept { return names_; }
+  [[nodiscard]] InternTable& names() noexcept { return names_; }
+
+  [[nodiscard]] std::string_view url_name(UrlId id) const noexcept { return names_.url_name(id); }
+  [[nodiscard]] std::string_view server_name(ServerId id) const noexcept {
+    return names_.server_name(id);
+  }
+  [[nodiscard]] std::string_view client_name(ClientId id) const noexcept {
+    return names_.client_name(id);
+  }
+  [[nodiscard]] ServerId server_of(UrlId id) const noexcept { return names_.server_of(id); }
   [[nodiscard]] FileType type_of(UrlId id) const;
 
-  [[nodiscard]] std::uint32_t url_count() const noexcept {
-    return static_cast<std::uint32_t>(urls_.size());
-  }
-  [[nodiscard]] std::uint32_t server_count() const noexcept {
-    return static_cast<std::uint32_t>(servers_.size());
-  }
-  [[nodiscard]] std::uint32_t client_count() const noexcept {
-    return static_cast<std::uint32_t>(clients_.size());
-  }
+  [[nodiscard]] std::uint32_t url_count() const noexcept { return names_.url_count(); }
+  [[nodiscard]] std::uint32_t server_count() const noexcept { return names_.server_count(); }
+  [[nodiscard]] std::uint32_t client_count() const noexcept { return names_.client_count(); }
+
+  /// Stamp every request's latency_ms with fn(request). The one sanctioned
+  /// post-validation mutation: requests are otherwise immutable once
+  /// compiled. fn must be deterministic for the reproducibility contract.
+  void stamp_latencies(const std::function<std::uint32_t(const Request&)>& fn);
+
+  /// Approximate resident bytes of the whole trace: the request vector plus
+  /// the intern tables. This is what streaming saves: a RequestSource pays
+  /// only the intern-table part.
+  [[nodiscard]] std::uint64_t memory_footprint_bytes() const noexcept;
 
   /// Number of whole days spanned: last request's day + 1 (0 if empty).
   [[nodiscard]] std::int64_t day_count() const noexcept;
@@ -92,20 +74,8 @@ class Trace {
   [[nodiscard]] std::uint64_t unique_bytes() const;
 
  private:
-  ServerId intern_server(std::string_view server);
-
   std::vector<Request> requests_;
-  std::vector<std::string> urls_;
-  std::vector<std::string> servers_;
-  std::vector<std::string> clients_;
-  std::vector<ServerId> url_server_;
-  std::unordered_map<std::string, UrlId> url_index_;
-  std::unordered_map<std::string, ServerId> server_index_;
-  std::unordered_map<std::string, ClientId> client_index_;
+  InternTable names_;
 };
-
-/// Extract the server (authority) part of an absolute URL, or "-" for
-/// path-only URLs. "http://a.b/c" -> "a.b".
-[[nodiscard]] std::string_view url_server(std::string_view url) noexcept;
 
 }  // namespace wcs

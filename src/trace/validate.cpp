@@ -4,29 +4,29 @@
 
 namespace wcs {
 
-bool TraceValidator::feed(const RawRequest& raw) {
+std::optional<Request> StreamingValidator::feed(const RawRequest& raw) {
   ++stats_.input;
   if (options_.keep_only_status_200 && raw.status != 200) {
     ++stats_.dropped_status;
-    return false;
+    return std::nullopt;
   }
   if (options_.keep_only_get && !iequals(raw.method, "GET")) {
     ++stats_.dropped_method;
-    return false;
+    return std::nullopt;
   }
   if (options_.exclude_dynamic && looks_dynamic(raw.url)) {
     ++stats_.dropped_dynamic;
-    return false;
+    return std::nullopt;
   }
 
-  const UrlId url = trace_.intern_url(raw.url);
+  const UrlId url = names_->intern_url(raw.url);
   std::uint64_t size = raw.size;
   const auto known = last_size_.find(url);
   if (size == 0) {
     if (known == last_size_.end()) {
       // Rule 3, first clause: zero-size for a never-seen URL — discard.
       ++stats_.dropped_zero_size_unknown;
-      return false;
+      return std::nullopt;
     }
     size = known->second;  // assume unmodified, use last known size
     ++stats_.zero_size_resolved;
@@ -39,11 +39,17 @@ bool TraceValidator::feed(const RawRequest& raw) {
   request.time = raw.time;
   request.size = size;
   request.url = url;
-  request.server = trace_.server_of(url);
-  request.client = trace_.intern_client(raw.client);
+  request.server = names_->server_of(url);
+  request.client = names_->intern_client(raw.client);
   request.type = classify_url(raw.url);
-  trace_.add(request);
   ++stats_.kept;
+  return request;
+}
+
+bool TraceValidator::feed(const RawRequest& raw) {
+  const auto request = core_.feed(raw);
+  if (!request) return false;
+  trace_.add(*request);
   return true;
 }
 

@@ -8,14 +8,16 @@
 //   3. A logged size of 0 for a URL never seen before is discarded.
 //      A logged size of 0 for a URL previously seen with a non-zero size is
 //      assumed unmodified and assigned the last known size.
-//   4. Requests are stamped with their file type and interned into a Trace.
+//   4. Requests are stamped with their file type and interned.
 //
-// The validator is streaming and single pass; its per-URL state (last known
-// size) is exactly the state a real simulator front-end would keep.
+// StreamingValidator is the single-pass core: it interns into a caller-owned
+// InternTable and hands back one compiled Request at a time, so a streaming
+// reader never holds more than the per-URL last-known-size state.
+// TraceValidator wraps it to accumulate a materialized Trace.
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -42,27 +44,45 @@ struct ValidationStats {
   std::uint64_t size_changes = 0;        // same URL reappearing with a new size
 };
 
-/// Streaming validator; feed RawRequests in time order, read the compiled
-/// Trace at the end.
-class TraceValidator {
+/// Streaming core: feed RawRequests in time order; each kept record comes
+/// back as a compiled Request interned into the bound table. Holds only the
+/// per-URL last-known-size map — O(corpus), not O(requests).
+class StreamingValidator {
  public:
-  explicit TraceValidator(ValidationOptions options = {}) : options_(options) {}
+  explicit StreamingValidator(InternTable& names, ValidationOptions options = {})
+      : options_(options), names_(&names) {}
 
-  /// Returns true if the request was kept.
-  bool feed(const RawRequest& raw);
+  /// Returns the compiled request if kept, std::nullopt if dropped.
+  [[nodiscard]] std::optional<Request> feed(const RawRequest& raw);
 
   [[nodiscard]] const ValidationStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] Trace& trace() noexcept { return trace_; }
-  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
-
-  /// Move the compiled trace out; the validator is then empty.
-  [[nodiscard]] Trace take_trace() noexcept { return std::move(trace_); }
 
  private:
   ValidationOptions options_;
   ValidationStats stats_;
-  Trace trace_;
+  InternTable* names_;
   std::unordered_map<UrlId, std::uint64_t> last_size_;
+};
+
+/// Materializing wrapper: feed RawRequests, read the compiled Trace at the
+/// end.
+class TraceValidator {
+ public:
+  explicit TraceValidator(ValidationOptions options = {}) : core_(trace_.names(), options) {}
+
+  /// Returns true if the request was kept.
+  bool feed(const RawRequest& raw);
+
+  [[nodiscard]] const ValidationStats& stats() const noexcept { return core_.stats(); }
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  /// Move the compiled trace out; the validator must not be fed afterwards.
+  [[nodiscard]] Trace take_trace() noexcept { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+  StreamingValidator core_;  // bound to trace_.names(); declared after it
 };
 
 /// Convenience: validate a whole vector at once.

@@ -1,0 +1,14 @@
+// Process memory observability.
+#pragma once
+
+#include <cstdint>
+
+namespace wcs {
+
+/// Peak resident set size of the calling process in bytes, or 0 when the
+/// platform offers no way to read it. Monotone over the process lifetime —
+/// useful as a record ("this run never exceeded X"), not as a differential
+/// between two phases of one process.
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+}  // namespace wcs

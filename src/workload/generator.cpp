@@ -52,6 +52,16 @@ WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec)
     }
   }
   build_corpora();
+
+  day_weight_.assign(static_cast<std::size_t>(spec_.days), 0.0);
+  double weight_sum = 0.0;
+  for (int d = 0; d < spec_.days; ++d) {
+    const auto& phase = phase_of_day(d);
+    day_weight_[static_cast<std::size_t>(d)] =
+        phase.volume * spec_.weekday_weight[static_cast<std::size_t>(d % 7)];
+    weight_sum += day_weight_[static_cast<std::size_t>(d)];
+  }
+  base_rate_ = static_cast<double>(spec_.valid_requests) / weight_sum;
 }
 
 const WorkloadPhase& WorkloadGenerator::phase_of_day(int day) const {
@@ -353,108 +363,102 @@ WorkloadGenerator::Emission WorkloadGenerator::draw_request(SimTime now, int cor
   return emission;
 }
 
+void WorkloadGenerator::emit_day(int day, std::vector<RawRequest>& out) {
+  constexpr std::size_t kRecentCap = 512;  // ring of recently seen docs
+  const auto& phase = phase_of_day(day);
+  const double expected = base_rate_ * day_weight_[static_cast<std::size_t>(day)];
+  const auto count = sample_poisson(rng_, expected);
+  if (count == 0) return;
+
+  // Times for the day, sorted.
+  std::vector<SimTime> times;
+  times.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto hour = static_cast<SimTime>(hour_sampler_(rng_));
+    times.push_back(day_start(day) + hour * kSecondsPerHour +
+                    static_cast<SimTime>(rng_.below(kSecondsPerHour)));
+  }
+  std::sort(times.begin(), times.end());
+
+  for (const SimTime now : times) {
+    // Route to corpus / review mode per the day's phase.
+    const double f = phase.fresh_corpus_fraction;
+    int corpus_id = 0;
+    bool review = false;
+    if (f > 0.0 && rng_.chance(f)) {
+      corpus_id = phase.corpus;
+    } else if (f < 0.0 && rng_.chance(-f)) {
+      review = true;
+    }
+    const Emission emission = draw_request(now, corpus_id, review);
+
+    RawRequest raw;
+    raw.time = emission.time;
+    raw.client = client_name(emission.client);
+    raw.method = "GET";
+    raw.url = url_of(emission.corpus, emission.type, emission.rank);
+    raw.status = 200;
+    raw.size = emission.size;
+    out.push_back(raw);
+
+    if (recent_.size() < kRecentCap) {
+      recent_.push_back(emission);
+    } else {
+      recent_[rng_.below(kRecentCap)] = emission;
+    }
+
+    // Interleave log noise (dropped by the §1.1 validator).
+    if (!recent_.empty() && rng_.chance(spec_.noise_not_modified)) {
+      const Emission& seen = recent_[rng_.below(recent_.size())];
+      RawRequest noise = raw;
+      noise.url = url_of(seen.corpus, seen.type, seen.rank);
+      noise.status = 304;
+      noise.size = 0;
+      out.push_back(noise);
+    }
+    if (rng_.chance(spec_.noise_client_error)) {
+      RawRequest noise = raw;
+      noise.url = "http://srv1." + to_lower(spec_.name) + ".example/missing/m" +
+                  std::to_string(missing_counter_++) + ".html";
+      noise.status = 404;
+      noise.size = 0;
+      out.push_back(noise);
+    }
+    if (rng_.chance(spec_.noise_server_error)) {
+      RawRequest noise = raw;
+      noise.status = 500;
+      noise.size = 0;
+      out.push_back(noise);
+    }
+    if (rng_.chance(spec_.noise_non_get)) {
+      RawRequest noise = raw;
+      noise.method = "POST";
+      noise.url = "http://srv1." + to_lower(spec_.name) + ".example/cgi-bin/form.cgi";
+      noise.status = 200;
+      noise.size = 512;
+      out.push_back(noise);
+    }
+    if (rng_.chance(spec_.noise_zero_unknown)) {
+      RawRequest noise = raw;
+      noise.url = "http://srv2." + to_lower(spec_.name) + ".example/zero/z" +
+                  std::to_string(zero_counter_++) + ".html";
+      noise.status = 200;
+      noise.size = 0;
+      out.push_back(noise);
+    }
+  }
+}
+
 template <typename Sink>
 void WorkloadGenerator::run(Sink&& sink) {
-  // Recompute the per-day rate normalization (cheap, keeps state local).
-  std::vector<double> day_weight(static_cast<std::size_t>(spec_.days), 0.0);
-  double weight_sum = 0.0;
+  missing_counter_ = 0;
+  zero_counter_ = 0;
+  recent_.clear();
+  std::vector<RawRequest> day_buffer;
   for (int d = 0; d < spec_.days; ++d) {
-    const auto& phase = phase_of_day(d);
-    day_weight[static_cast<std::size_t>(d)] =
-        phase.volume * spec_.weekday_weight[static_cast<std::size_t>(d % 7)];
-    weight_sum += day_weight[static_cast<std::size_t>(d)];
-  }
-  const double base_rate = static_cast<double>(spec_.valid_requests) / weight_sum;
-
-  std::uint64_t missing_counter = 0;
-  std::uint64_t zero_counter = 0;
-  // Ring of recently seen documents for 304-style noise.
-  std::vector<Emission> recent;
-  constexpr std::size_t kRecentCap = 512;
-
-  for (int d = 0; d < spec_.days; ++d) {
-    const auto& phase = phase_of_day(d);
-    const double expected = base_rate * day_weight[static_cast<std::size_t>(d)];
-    const auto count = sample_poisson(rng_, expected);
-    if (count == 0) continue;
-
-    // Times for the day, sorted.
-    std::vector<SimTime> times;
-    times.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const auto hour = static_cast<SimTime>(hour_sampler_(rng_));
-      times.push_back(day_start(d) + hour * kSecondsPerHour +
-                      static_cast<SimTime>(rng_.below(kSecondsPerHour)));
-    }
-    std::sort(times.begin(), times.end());
-
-    for (const SimTime now : times) {
-      // Route to corpus / review mode per the day's phase.
-      const double f = phase.fresh_corpus_fraction;
-      int corpus_id = 0;
-      bool review = false;
-      if (f > 0.0 && rng_.chance(f)) {
-        corpus_id = phase.corpus;
-      } else if (f < 0.0 && rng_.chance(-f)) {
-        review = true;
-      }
-      const Emission emission = draw_request(now, corpus_id, review);
-
-      RawRequest raw;
-      raw.time = emission.time;
-      raw.client = client_name(emission.client);
-      raw.method = "GET";
-      raw.url = url_of(emission.corpus, emission.type, emission.rank);
-      raw.status = 200;
-      raw.size = emission.size;
-      sink(raw);
-
-      if (recent.size() < kRecentCap) {
-        recent.push_back(emission);
-      } else {
-        recent[rng_.below(kRecentCap)] = emission;
-      }
-
-      // Interleave log noise (dropped by the §1.1 validator).
-      if (!recent.empty() && rng_.chance(spec_.noise_not_modified)) {
-        const Emission& seen = recent[rng_.below(recent.size())];
-        RawRequest noise = raw;
-        noise.url = url_of(seen.corpus, seen.type, seen.rank);
-        noise.status = 304;
-        noise.size = 0;
-        sink(noise);
-      }
-      if (rng_.chance(spec_.noise_client_error)) {
-        RawRequest noise = raw;
-        noise.url = "http://srv1." + to_lower(spec_.name) + ".example/missing/m" +
-                    std::to_string(missing_counter++) + ".html";
-        noise.status = 404;
-        noise.size = 0;
-        sink(noise);
-      }
-      if (rng_.chance(spec_.noise_server_error)) {
-        RawRequest noise = raw;
-        noise.status = 500;
-        noise.size = 0;
-        sink(noise);
-      }
-      if (rng_.chance(spec_.noise_non_get)) {
-        RawRequest noise = raw;
-        noise.method = "POST";
-        noise.url = "http://srv1." + to_lower(spec_.name) + ".example/cgi-bin/form.cgi";
-        noise.status = 200;
-        noise.size = 512;
-        sink(noise);
-      }
-      if (rng_.chance(spec_.noise_zero_unknown)) {
-        RawRequest noise = raw;
-        noise.url = "http://srv2." + to_lower(spec_.name) + ".example/zero/z" +
-                    std::to_string(zero_counter++) + ".html";
-        noise.status = 200;
-        noise.size = 0;
-        sink(noise);
-      }
-    }
+    day_buffer.clear();
+    emit_day(d, day_buffer);
+    for (const auto& raw : day_buffer) sink(raw);
   }
 }
 
@@ -482,6 +486,27 @@ std::uint32_t WorkloadGenerator::estimate_refetch_latency_ms(std::uint64_t serve
   return static_cast<std::uint32_t>(total);
 }
 
+std::uint32_t WorkloadGenerator::latency_of(const Request& request, const InternTable& names) {
+  const std::string_view server = names.server_name(request.server);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : server) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return estimate_refetch_latency_ms(h, request.size);
+}
+
+std::uint64_t WorkloadGenerator::corpus_resident_bytes() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& corpus : corpora_) {
+    for (const auto& pool : corpus.pools) {
+      sum += pool.docs.capacity() * sizeof(Doc) +
+             pool.seen_ranks.capacity() * sizeof(std::uint32_t);
+    }
+  }
+  return sum + recent_.capacity() * sizeof(Emission);
+}
+
 GeneratedWorkload WorkloadGenerator::generate() {
   TraceValidator validator;
   run([&validator](const RawRequest& raw) { validator.feed(raw); });
@@ -489,18 +514,8 @@ GeneratedWorkload WorkloadGenerator::generate() {
   // Stamp refetch-latency estimates (per-server model, deterministic in
   // the server name — FNV-1a, stable across platforms — so real-log
   // replays could do the same).
-  const auto fnv1a = [](std::string_view text) {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const char c : text) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  };
-  for (Request& request : out.trace.mutable_requests()) {
-    const std::uint64_t server_key = fnv1a(out.trace.server_name(request.server));
-    request.latency_ms = estimate_refetch_latency_ms(server_key, request.size);
-  }
+  const InternTable& names = out.trace.names();
+  out.trace.stamp_latencies([&names](const Request& r) { return latency_of(r, names); });
   return out;
 }
 

@@ -26,6 +26,8 @@
 
 namespace wcs {
 
+class WorkloadStream;
+
 struct GeneratedWorkload {
   WorkloadSpec spec;
   Trace trace;              // validated, compiled
@@ -42,6 +44,32 @@ class WorkloadGenerator {
 
   /// Generate and validate in one pass (no raw-log materialization).
   [[nodiscard]] GeneratedWorkload generate();
+
+  /// Streaming equivalent of generate(): a RequestSource lazily emitting
+  /// the bit-identical request sequence with O(corpus) memory instead of
+  /// O(requests). Builds its own generator from the spec; `this` is not
+  /// consumed.
+  [[nodiscard]] WorkloadStream stream() const;
+
+  /// Incremental generation: append day `day`'s raw log records (valid
+  /// requests plus noise), in time order, to `out`. Visiting days
+  /// 0..days()-1 in order on a fresh generator reproduces generate_raw()
+  /// exactly; days must not be skipped or revisited (the RNG schedule and
+  /// corpus state advance with each day).
+  void emit_day(int day, std::vector<RawRequest>& out);
+
+  [[nodiscard]] int days() const noexcept { return spec_.days; }
+  [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
+
+  /// The latency stamp generate() applies to every validated request:
+  /// deterministic in the server name (FNV-1a, stable across platforms)
+  /// and the transfer size.
+  [[nodiscard]] static std::uint32_t latency_of(const Request& request,
+                                                const InternTable& names);
+
+  /// Approximate resident bytes of generator state (document pools, seen
+  /// sets, recency ring) — the O(corpus) floor a streaming run keeps.
+  [[nodiscard]] std::uint64_t corpus_resident_bytes() const noexcept;
 
   /// Expected unique URLs after `draws` samples from Zipf(n, s) — the
   /// coverage function the corpus sizing inverts. Exposed for tests.
@@ -104,6 +132,14 @@ class WorkloadGenerator {
   std::vector<DiscreteSampler> type_mix_;   // per corpus: type chooser
   ZipfSampler server_zipf_;
   DiscreteSampler hour_sampler_;
+
+  // Day-rate normalization (fixed at construction) and the cross-day
+  // emission state emit_day() advances.
+  std::vector<double> day_weight_;
+  double base_rate_ = 0.0;
+  std::uint64_t missing_counter_ = 0;
+  std::uint64_t zero_counter_ = 0;
+  std::vector<Emission> recent_;  // ring of recently seen docs (304 noise)
 };
 
 }  // namespace wcs

@@ -18,6 +18,26 @@ WorkloadSpec WorkloadSpec::scaled(double factor) const {
   return out;
 }
 
+WorkloadSpec WorkloadSpec::extended(int factor) const {
+  if (factor < 1) throw std::invalid_argument{"WorkloadSpec::extended: factor < 1"};
+  WorkloadSpec out = *this;
+  out.days = days * factor;
+  out.valid_requests = valid_requests * static_cast<std::uint64_t>(factor);
+  out.total_bytes = total_bytes * static_cast<std::uint64_t>(factor);
+  // unique_bytes intentionally unchanged: same corpus, longer observation.
+  out.phases.clear();
+  out.phases.reserve(phases.size() * static_cast<std::size_t>(factor));
+  for (int rep = 0; rep < factor; ++rep) {
+    for (const auto& phase : phases) {
+      WorkloadPhase shifted = phase;
+      shifted.first_day += rep * days;
+      shifted.last_day += rep * days;
+      out.phases.push_back(shifted);
+    }
+  }
+  return out;
+}
+
 double WorkloadSpec::mean_size(FileType t) const noexcept {
   const auto i = static_cast<std::size_t>(t);
   const double refs = ref_mix[i] * static_cast<double>(valid_requests);

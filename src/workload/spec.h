@@ -91,6 +91,14 @@ struct WorkloadSpec {
   /// and ratios (used for smoke-test runs).
   [[nodiscard]] WorkloadSpec scaled(double factor) const;
 
+  /// Extend duration by an integer `factor`: days, request count and
+  /// transferred bytes scale with factor while the unique-byte footprint
+  /// stays fixed — the same population browsing the same document universe
+  /// for factor times as long. Phases are tiled with day offsets so the
+  /// temporal structure (breaks, surges, review weeks) repeats each term.
+  /// This is the streaming scale test: requests grow, the corpus doesn't.
+  [[nodiscard]] WorkloadSpec extended(int factor) const;
+
   /// Mean transfer size of type t (derived; see file header).
   [[nodiscard]] double mean_size(FileType t) const noexcept;
   /// Unique-byte target of type t.

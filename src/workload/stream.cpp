@@ -1,0 +1,40 @@
+#include "src/workload/stream.h"
+
+namespace wcs {
+
+WorkloadStream::WorkloadStream(WorkloadSpec spec)
+    : generator_(std::make_unique<WorkloadGenerator>(std::move(spec))),
+      names_(std::make_unique<InternTable>()),
+      validator_(std::make_unique<StreamingValidator>(*names_)) {}
+
+bool WorkloadStream::next(Request& out) {
+  for (;;) {
+    while (buffer_index_ < buffer_.size()) {
+      const RawRequest& raw = buffer_[buffer_index_++];
+      if (auto request = validator_->feed(raw)) {
+        request->latency_ms = WorkloadGenerator::latency_of(*request, *names_);
+        out = *request;
+        return true;
+      }
+    }
+    if (day_ >= generator_->days()) return false;
+    buffer_.clear();
+    buffer_index_ = 0;
+    generator_->emit_day(day_++, buffer_);
+  }
+}
+
+std::uint64_t WorkloadStream::resident_bytes() const noexcept {
+  std::uint64_t buffer_bytes = buffer_.capacity() * sizeof(RawRequest);
+  for (const auto& raw : buffer_) {
+    buffer_bytes += raw.client.capacity() + raw.method.capacity() + raw.url.capacity();
+  }
+  // Flat estimate for the validator's per-URL last-size map.
+  constexpr std::uint64_t kMapEntry = sizeof(UrlId) + sizeof(std::uint64_t) + 4 * sizeof(void*);
+  return names_->memory_footprint_bytes() + generator_->corpus_resident_bytes() + buffer_bytes +
+         static_cast<std::uint64_t>(names_->url_count()) * kMapEntry;
+}
+
+WorkloadStream WorkloadGenerator::stream() const { return WorkloadStream{spec_}; }
+
+}  // namespace wcs

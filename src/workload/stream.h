@@ -1,0 +1,49 @@
+// Streaming synthetic workload: the lazy counterpart of
+// WorkloadGenerator::generate().
+//
+// WorkloadStream owns a fresh generator and emits the validated, latency-
+// stamped request sequence one record at a time, buffering at most one
+// day's raw log. Because a fresh generator replays the same RNG schedule
+// and the streaming validator interns in the same first-seen order, the
+// emitted sequence is bit-identical to generate().trace — but memory stays
+// O(corpus), so a preset extended 10-100x in duration streams in the same
+// footprint the original needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/trace/request_source.h"
+#include "src/trace/validate.h"
+#include "src/workload/generator.h"
+
+namespace wcs {
+
+class WorkloadStream final : public RequestSource {
+ public:
+  explicit WorkloadStream(WorkloadSpec spec);
+
+  bool next(Request& out) override;
+
+  [[nodiscard]] const InternTable& names() const noexcept override { return *names_; }
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept override;
+
+  [[nodiscard]] const WorkloadSpec& spec() const noexcept { return generator_->spec(); }
+  /// §1.1 validation counters for everything emitted so far (the noise
+  /// records the generator interleaves are dropped here, exactly as
+  /// generate() drops them).
+  [[nodiscard]] const ValidationStats& validation() const noexcept { return validator_->stats(); }
+
+ private:
+  std::unique_ptr<WorkloadGenerator> generator_;
+  // unique_ptr so the validator's pointer into the table survives moves.
+  std::unique_ptr<InternTable> names_;
+  std::unique_ptr<StreamingValidator> validator_;
+  int day_ = 0;
+  std::vector<RawRequest> buffer_;  // one day's raw records
+  std::size_t buffer_index_ = 0;
+};
+
+}  // namespace wcs

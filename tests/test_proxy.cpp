@@ -161,17 +161,61 @@ TEST(Proxy, ErrorResponsesNotCached) {
   EXPECT_EQ(proxy.cache().entry_count(), 0u);
 }
 
-TEST(Proxy, AccessLogRecordsEveryRequest) {
+TEST(Proxy, AccessLogSinkReceivesEveryRequest) {
   Fixture fixture;
   fixture.origin.put("/a.html", "x", 1);
+  std::vector<RawRequest> log;
+  fixture.config.log_sink = ProxyCache::log_to_vector(log);
   ProxyCache proxy = fixture.make();
   (void)proxy.handle(get("http://srv.example/a.html"), 100);
   (void)proxy.handle(get("http://srv.example/a.html"), 110);
   (void)proxy.handle(get("http://srv.example/missing"), 120);
-  ASSERT_EQ(proxy.access_log().size(), 3u);
-  EXPECT_EQ(proxy.access_log()[0].status, 200);
-  EXPECT_EQ(proxy.access_log()[2].status, 404);
-  EXPECT_EQ(proxy.access_log()[1].size, 1u);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].status, 200);
+  EXPECT_EQ(log[2].status, 404);
+  EXPECT_EQ(log[1].size, 1u);
+}
+
+TEST(Proxy, NullLogSinkDisablesLogging) {
+  Fixture fixture;
+  fixture.origin.put("/a.html", "x", 1);
+  ProxyCache proxy = fixture.make();  // default config: no sink
+  (void)proxy.handle(get("http://srv.example/a.html"), 100);
+  EXPECT_EQ(proxy.stats().requests, 1u);  // logging off, serving unaffected
+}
+
+TEST(Proxy, BoundedLogRingKeepsNewestRecords) {
+  Fixture fixture;
+  fixture.origin.put("/a.html", "x", 1);
+  BoundedLogRing ring{4};
+  fixture.config.log_sink = ring.sink();
+  ProxyCache proxy = fixture.make();
+  for (int i = 0; i < 10; ++i) {
+    (void)proxy.handle(get("http://srv.example/a.html"), 100 + 10 * i);
+  }
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  EXPECT_EQ(ring.size(), 4u);
+  const std::vector<RawRequest> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  // The newest four records, oldest first: times 160, 170, 180, 190.
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].time, 160 + 10 * static_cast<SimTime>(i));
+  }
+}
+
+TEST(Proxy, BoundedLogRingBelowCapacityIsInOrder) {
+  BoundedLogRing ring{8};
+  for (int i = 0; i < 3; ++i) {
+    RawRequest record;
+    record.time = i;
+    ring.push(record);
+  }
+  const std::vector<RawRequest> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].time, static_cast<SimTime>(i));
+  }
+  EXPECT_THROW(BoundedLogRing{0}, std::invalid_argument);
 }
 
 TEST(Proxy, RejectsBadConfig) {

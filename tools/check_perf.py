@@ -68,6 +68,21 @@ def main() -> int:
             label = f"micro.{row['workload']}.{row['policy']}.requests_per_sec"
             check(label, float(row["requests_per_sec"]), float(micro_floor))
 
+    # Streaming memory gate: a *ceiling*, not a floor. The streaming leg's
+    # resident bytes must stay below max_resident_fraction of the
+    # materialized trace's — if it creeps up, someone re-introduced an
+    # O(requests) buffer into the streaming path. Tolerance is NOT applied:
+    # the fraction is already far above the measured ratio.
+    streaming_cap = baseline.get("streaming", {}).get("max_resident_fraction")
+    if streaming_cap is not None and "streaming" in measured:
+        checked += 1
+        ratio = float(measured["streaming"]["resident_ratio"])
+        cap = float(streaming_cap)
+        status = "ok" if ratio <= cap else "FAIL"
+        print(f"  {status:4} streaming.resident_ratio: {ratio:.3f} (ceiling {cap:.3f})")
+        if ratio > cap:
+            failures.append("streaming.resident_ratio")
+
     if checked == 0:
         print("check_perf: no metrics checked — baseline file defines no floors",
               file=sys.stderr)

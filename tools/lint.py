@@ -31,6 +31,13 @@ position-of-hot-path
                   puts an O(n) walk where the simulator expects O(log n).
                   Only its home (src/core/sorted_policy.{h,cpp}) may name
                   it; tests/ and bench/ may call it freely.
+no-trace-scan-in-sim
+                  ``trace.requests()`` loops inside src/sim/ materialize the
+                  whole request vector in the hot path. Simulation code
+                  streams through ``RequestSource`` (wrap a Trace in
+                  ``TraceSource`` when a materialized pass is genuinely
+                  needed); only the streaming-free field accesses of
+                  ``stats.requests`` (no parens) remain legal.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ FLOAT_RE = re.compile(r"\bfloat\b")
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+\w")
 POSITION_OF_RE = re.compile(r"\bposition_of\s*\(")
 POSITION_OF_HOME = ("src/core/sorted_policy.h", "src/core/sorted_policy.cpp")
+TRACE_SCAN_RE = re.compile(r"\.\s*requests\s*\(\s*\)")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -152,6 +160,15 @@ class Linter:
                         path, lineno, "position-of-hot-path",
                         "position_of() is an O(n) scan reserved for tests and "
                         "diagnostics; simulation code must stay O(log n) per op")
+
+        if rel.startswith("src/sim/"):
+            for lineno, line in enumerate(code_lines, 1):
+                if TRACE_SCAN_RE.search(line):
+                    self.report(
+                        path, lineno, "no-trace-scan-in-sim",
+                        "scanning trace.requests() in src/sim/ bypasses the "
+                        "streaming architecture; pull from a RequestSource "
+                        "(TraceSource for a materialized pass) instead")
 
     # -- whole-repo rules --------------------------------------------------
 
