@@ -18,6 +18,12 @@
 //      more than one day of raw log — with a bit-identity cross-check and
 //      the resident-memory row (source_resident_bytes per leg) that
 //      tools/check_perf.py gates on.
+//   4. faults: the resilience layer's no-fault overhead on the proxy hot
+//      path — the BR preset replayed through a real ProxyCache with the
+//      resilience wrapper enabled (faults off) vs disabled (the pre-
+//      resilience direct-call path), interleaved best-of-N, with a
+//      behavior cross-check. tools/check_perf.py gates the overhead
+//      ratio at <= 2%.
 //
 // Results print as a table and are written as JSON (default
 // BENCH_perf.json; override with argv[1] or WCS_BENCH_OUT) so CI can
@@ -35,6 +41,7 @@
 #include <sstream>
 
 #include "src/core/sorted_policy.h"
+#include "src/sim/chaos.h"
 #include "src/workload/stream.h"
 
 using namespace wcs;
@@ -355,7 +362,89 @@ int main(int argc, char** argv) {
                    static_cast<double>(streaming_result.footprint.peak_rss_bytes) / 1e6, 1)
             << " MB)\n\n";
 
-  // ---- 4. JSON out --------------------------------------------------------
+  // ---- 4. faults: resilience-layer overhead on the proxy hot path ---------
+  // Every ProxyCache upstream call now routes through ResilientUpstream;
+  // the contract is that with no faults configured the wrapper costs <= 2%
+  // over the direct pass-through (resilience.enabled = false IS that
+  // path, preserved verbatim). Each timed measurement replays the trace
+  // `faults_passes` times so a leg is long enough to time honestly; the
+  // legs are interleaved and the minimum kept, which filters scheduler
+  // noise out of the ratio.
+  const Trace& faults_trace = workload("BR").trace;
+  const std::uint64_t faults_capacity = faults_trace.unique_bytes() / 10;
+
+  ProxyReplayConfig faults_enabled;
+  faults_enabled.proxy.capacity_bytes = faults_capacity;
+  ProxyReplayConfig faults_disabled = faults_enabled;
+  faults_disabled.proxy.resilience.enabled = false;
+
+  const auto run_replay = [&faults_trace](const ProxyReplayConfig& config) {
+    TraceSource source{faults_trace};
+    return replay_through_proxy(source, config);
+  };
+
+  // Behavior cross-check: the enabled wrapper must be invisible when the
+  // upstream never fails.
+  {
+    const ProxyReplayResult with_wrapper = run_replay(faults_enabled);
+    const ProxyReplayResult without_wrapper = run_replay(faults_disabled);
+    if (with_wrapper.stats.hits != without_wrapper.stats.hits ||
+        with_wrapper.stats.misses != without_wrapper.stats.misses ||
+        with_wrapper.stats.hit_bytes != without_wrapper.stats.hit_bytes ||
+        with_wrapper.stats.failed_requests + without_wrapper.stats.failed_requests != 0 ||
+        with_wrapper.stats.retries != 0) {
+      std::cerr << "FATAL: resilience wrapper changed no-fault proxy behavior\n";
+      return 1;
+    }
+  }
+
+  // Size a measurement to >= 0.25 s from a calibration pass (both legs use
+  // the same pass count, so the ratio is unaffected).
+  const auto calibrate_start = std::chrono::steady_clock::now();
+  (void)run_replay(faults_disabled);
+  const double calibrate_seconds = seconds_since(calibrate_start);
+  const int faults_passes =
+      calibrate_seconds > 0.0
+          ? std::max(1, static_cast<int>(0.25 / calibrate_seconds) + 1)
+          : 1;
+  const auto time_replay = [&](const ProxyReplayConfig& config) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < faults_passes; ++pass) (void)run_replay(config);
+    return seconds_since(start);
+  };
+
+  constexpr int kFaultsReps = 5;
+  double faults_disabled_seconds = 0.0;
+  double faults_enabled_seconds = 0.0;
+  for (int rep = 0; rep < kFaultsReps; ++rep) {
+    const double disabled_seconds = time_replay(faults_disabled);
+    const double enabled_seconds = time_replay(faults_enabled);
+    if (rep == 0 || disabled_seconds < faults_disabled_seconds) {
+      faults_disabled_seconds = disabled_seconds;
+    }
+    if (rep == 0 || enabled_seconds < faults_enabled_seconds) {
+      faults_enabled_seconds = enabled_seconds;
+    }
+  }
+  const double faults_overhead_ratio =
+      faults_disabled_seconds > 0.0
+          ? faults_enabled_seconds / faults_disabled_seconds - 1.0
+          : 0.0;
+  const double faults_requests =
+      static_cast<double>(faults_trace.size()) * faults_passes;
+
+  Table faults_table{"Resilience wrapper overhead (workload BR proxy replay, faults off)"};
+  faults_table.header({"leg", "wall s", "Mreq/s"});
+  faults_table.row({"resilience disabled", Table::num(faults_disabled_seconds, 3),
+                    Table::num(faults_requests / faults_disabled_seconds / 1e6, 2)});
+  faults_table.row({"resilience enabled", Table::num(faults_enabled_seconds, 3),
+                    Table::num(faults_requests / faults_enabled_seconds / 1e6, 2)});
+  faults_table.print(std::cout);
+  std::cout << "  overhead " << Table::num(100.0 * faults_overhead_ratio, 2)
+            << "% (" << faults_passes << " passes/measurement, best of " << kFaultsReps
+            << "; behavior cross-checked identical)\n\n";
+
+  // ---- 5. JSON out --------------------------------------------------------
   std::string out_path = "BENCH_perf.json";
   if (const char* env = std::getenv("WCS_BENCH_OUT")) out_path = env;
   if (argc > 1) out_path = argv[1];
@@ -404,6 +493,16 @@ int main(int argc, char** argv) {
        << "    \"materialize_seconds\": " << json_num(materialize_seconds) << ",\n"
        << "    \"materialized_sim_seconds\": " << json_num(materialized_sim_seconds) << ",\n"
        << "    \"streaming_seconds\": " << json_num(streaming_seconds) << "\n"
+       << "  },\n"
+       << "  \"faults\": {\n"
+       << "    \"workload\": \"BR\",\n"
+       << "    \"requests_per_pass\": " << faults_trace.size() << ",\n"
+       << "    \"passes\": " << faults_passes << ",\n"
+       << "    \"disabled_seconds\": " << json_num(faults_disabled_seconds) << ",\n"
+       << "    \"enabled_seconds\": " << json_num(faults_enabled_seconds) << ",\n"
+       << "    \"overhead_ratio\": " << json_num(faults_overhead_ratio) << ",\n"
+       << "    \"enabled_requests_per_sec\": "
+       << json_num(faults_requests / faults_enabled_seconds) << "\n"
        << "  }\n}\n";
 
   std::ofstream out{out_path};

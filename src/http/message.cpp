@@ -102,6 +102,7 @@ std::string_view reason_phrase(int status) noexcept {
     case 501: return "Not Implemented";
     case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }

@@ -1,0 +1,183 @@
+#include "src/proxy/faults.h"
+
+#include <string>
+#include <utility>
+
+#include "src/trace/intern.h"
+#include "src/util/backoff.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace wcs {
+namespace {
+
+// Distinct salts keep the outage and transient draws independent even when
+// every other hash input coincides.
+constexpr std::uint64_t kOutageSalt = 0x007a6e5a17c0ffeeULL;
+constexpr std::uint64_t kTransientSalt = 0x7a151e47deadbeefULL;
+
+[[nodiscard]] HttpResponse transport_failure(FaultKind kind, std::uint32_t latency_ms) {
+  HttpResponse response;
+  response.status = kTransportError;
+  response.reason = "Transport Error";
+  response.headers.set("X-Fault", std::string{to_string(kind)});
+  if (latency_ms > 0) {
+    response.headers.set("X-Fault-Latency-Ms", std::to_string(latency_ms));
+  }
+  return response;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kServerError: return "server-error";
+    case FaultKind::kReset: return "reset";
+    case FaultKind::kSlow: return "slow";
+    case FaultKind::kTruncated: return "truncated";
+    case FaultKind::kOutage: return "outage";
+  }
+  return "none";
+}
+
+FaultSpec FaultSpec::transient_mix(double rate, std::uint64_t seed) {
+  FaultSpec spec;
+  spec.seed = seed;
+  const double share = rate / 5.0;
+  spec.timeout = share;
+  spec.server_error = share;
+  spec.reset = share;
+  spec.slow = share;
+  spec.truncated = share;
+  spec.outage = rate / 10.0;
+  return spec;
+}
+
+FaultKind FaultPlan::decide(std::string_view url, SimTime now,
+                            std::uint32_t attempt) const noexcept {
+  if (!spec_.enabled()) return FaultKind::kNone;
+  const std::uint64_t host = fnv1a64(url_server(url));
+
+  // Persistent outage windows first: the whole (host, window) pair is down,
+  // and no retry within the window can clear it (attempt is not hashed in).
+  if (spec_.outage > 0.0 && spec_.outage_window > 0) {
+    SimTime window = now / spec_.outage_window;
+    if (now % spec_.outage_window < 0) --window;  // floor for negative times
+    std::uint64_t h = mix64(spec_.seed ^ kOutageSalt);
+    h = mix64(h ^ host);
+    h = mix64(h ^ static_cast<std::uint64_t>(window));
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 < spec_.outage) return FaultKind::kOutage;
+  }
+
+  // One uniform draw per (host, second, attempt) selects among the
+  // transient kinds by cumulative probability.
+  const double total = spec_.transient_sum();
+  if (total <= 0.0) return FaultKind::kNone;
+  std::uint64_t h = mix64(spec_.seed ^ kTransientSalt);
+  h = mix64(h ^ host);
+  h = mix64(h ^ static_cast<std::uint64_t>(now));
+  h = mix64(h ^ attempt);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  double edge = spec_.timeout;
+  if (u < edge) return FaultKind::kTimeout;
+  edge += spec_.server_error;
+  if (u < edge) return FaultKind::kServerError;
+  edge += spec_.reset;
+  if (u < edge) return FaultKind::kReset;
+  edge += spec_.slow;
+  if (u < edge) return FaultKind::kSlow;
+  edge += spec_.truncated;
+  if (u < edge) return FaultKind::kTruncated;
+  return FaultKind::kNone;
+}
+
+HttpResponse FaultPlan::apply(const HttpRequest& request, SimTime now,
+                              const UpstreamFn& inner) const {
+  std::uint32_t attempt = 0;
+  if (const auto header = request.headers.get(kAttemptHeader)) {
+    attempt = static_cast<std::uint32_t>(parse_u64(*header).value_or(0));
+  }
+  switch (decide(request.target, now, attempt)) {
+    case FaultKind::kNone:
+      return inner(request, now);
+    case FaultKind::kOutage:
+      return transport_failure(FaultKind::kOutage, spec_.timeout_latency_ms);
+    case FaultKind::kTimeout:
+      return transport_failure(FaultKind::kTimeout, spec_.timeout_latency_ms);
+    case FaultKind::kReset:
+      return transport_failure(FaultKind::kReset, spec_.reset_latency_ms);
+    case FaultKind::kServerError: {
+      // Overloaded origin: it answers (fast), but with 503 — inner is never
+      // consulted, exactly like a front-end shedding load.
+      HttpResponse response;
+      response.status = 503;
+      response.reason = std::string{reason_phrase(503)};
+      response.headers.set("Content-Length", "0");
+      response.headers.set("X-Fault", std::string{to_string(FaultKind::kServerError)});
+      response.headers.set("X-Fault-Latency-Ms", std::to_string(spec_.reset_latency_ms));
+      return response;
+    }
+    case FaultKind::kSlow: {
+      HttpResponse response = inner(request, now);
+      response.headers.set("X-Fault", std::string{to_string(FaultKind::kSlow)});
+      response.headers.set("X-Fault-Latency-Ms", std::to_string(spec_.slow_latency_ms));
+      return response;
+    }
+    case FaultKind::kTruncated: {
+      HttpResponse response = inner(request, now);
+      if (response.status == 200 && response.body.size() >= 2) {
+        // Keep Content-Length: the mismatch *is* the fault signature.
+        response.body.resize(response.body.size() / 2);
+        response.headers.set("X-Fault", std::string{to_string(FaultKind::kTruncated)});
+        if (spec_.reset_latency_ms > 0) {
+          response.headers.set("X-Fault-Latency-Ms", std::to_string(spec_.reset_latency_ms));
+        }
+        return response;
+      }
+      // Nothing to truncate (304, error body): degrade to a reset.
+      return transport_failure(FaultKind::kReset, spec_.reset_latency_ms);
+    }
+  }
+  return inner(request, now);
+}
+
+UpstreamFn FaultPlan::wrap(UpstreamFn inner) const {
+  if (!enabled()) return inner;
+  return [plan = *this, inner = std::move(inner)](const HttpRequest& request, SimTime now) {
+    return plan.apply(request, now, inner);
+  };
+}
+
+bool is_upstream_failure(const HttpResponse& response) noexcept {
+  if (response.status == kTransportError) return true;
+  if (response.status == 500 || response.status == 502 || response.status == 503 ||
+      response.status == 504) {
+    return true;
+  }
+  if (response.status == 200) {
+    const auto declared = response.headers.content_length();
+    if (declared && *declared > response.body.size()) return true;  // truncated
+  }
+  return false;
+}
+
+FaultKind fault_kind_of(const HttpResponse& response) noexcept {
+  const auto header = response.headers.get("X-Fault");
+  if (!header) return FaultKind::kNone;
+  for (const FaultKind kind :
+       {FaultKind::kTimeout, FaultKind::kServerError, FaultKind::kReset, FaultKind::kSlow,
+        FaultKind::kTruncated, FaultKind::kOutage}) {
+    if (*header == to_string(kind)) return kind;
+  }
+  return FaultKind::kNone;
+}
+
+std::uint32_t fault_latency_ms(const HttpResponse& response) noexcept {
+  const auto header = response.headers.get("X-Fault-Latency-Ms");
+  if (!header) return 0;
+  return static_cast<std::uint32_t>(parse_u64(*header).value_or(0));
+}
+
+}  // namespace wcs

@@ -1,0 +1,127 @@
+// Deterministic upstream fault injection.
+//
+// A FaultPlan wraps any UpstreamFn and injects the failure modes a proxy
+// on the 1995 Internet actually met: connection timeouts, overloaded-
+// server 5xx answers, mid-transfer connection resets, slow responses, and
+// truncated bodies, plus persistent per-host outage windows (a server
+// unreachable for an afternoon, which retries cannot clear).
+//
+// Every decision is *stateless*: hashed (mix64 / fnv1a64) from
+// (seed, host, time, attempt), never drawn from mutable RNG state. That
+// makes a schedule reproducible, independent of call order and thread
+// interleaving, and unobservable to the request source feeding the
+// simulation — the same discipline as the per-entity sub-seeds of
+// src/util/rng.h.
+//
+// Transport-level failures cannot be expressed as ordinary HTTP statuses;
+// they are modelled as a response with status 0 (kTransportError) carrying
+// an "X-Fault" header naming the kind. Server overload is an ordinary 503.
+// Slow responses succeed but carry "X-Fault-Latency-Ms", which the
+// resilience layer charges against the request's timeout budget. Truncated
+// bodies keep the original Content-Length, so the mismatch is detectable
+// exactly the way a real client detects it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "src/http/message.h"
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+/// The upstream fetch signature shared by ProxyCache, FaultPlan and
+/// ResilientUpstream (ProxyCache::UpstreamFn aliases this).
+using UpstreamFn = std::function<HttpResponse(const HttpRequest&, SimTime)>;
+
+/// Status used for synthesized transport-level failures (no HTTP response
+/// ever came back).
+inline constexpr int kTransportError = 0;
+
+/// Retry-attempt request header: the resilience layer stamps retries with
+/// the attempt index so the stateless schedule can clear a transient fault
+/// on a later attempt. Absent means attempt 0 (set only on retries, so the
+/// no-retry hot path never copies the request).
+inline constexpr std::string_view kAttemptHeader = "X-Attempt";
+
+enum class FaultKind : unsigned char {
+  kNone = 0,
+  kTimeout,      // connection/read timeout: status 0, costs timeout_latency_ms
+  kServerError,  // overloaded origin: synthesized 503, inner never called
+  kReset,        // connection reset mid-handshake: status 0, fails fast
+  kSlow,         // response arrives, but slow_latency_ms late
+  kTruncated,    // body cut short; Content-Length exposes the damage
+  kOutage,       // persistent per-host window: unreachable, like kTimeout
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+struct FaultSpec {
+  std::uint64_t seed = 0x5eed0f57ULL;
+  // Per-attempt transient probabilities. One uniform draw per attempt is
+  // compared against their cumulative sum, so keep the sum <= 1.
+  double timeout = 0.0;
+  double server_error = 0.0;
+  double reset = 0.0;
+  double slow = 0.0;
+  double truncated = 0.0;
+  /// Probability that a given (host, window) pair is down for the *whole*
+  /// window — persistent, attempt-independent failure.
+  double outage = 0.0;
+  SimTime outage_window = kSecondsPerHour;
+  // Virtual latency charged by each kind (milliseconds).
+  std::uint32_t timeout_latency_ms = 1000;
+  std::uint32_t slow_latency_ms = 400;
+  std::uint32_t reset_latency_ms = 50;
+
+  [[nodiscard]] double transient_sum() const noexcept {
+    return timeout + server_error + reset + slow + truncated;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return transient_sum() > 0.0 || outage > 0.0; }
+
+  /// An even mix of all five transient kinds totalling `rate`, plus a small
+  /// persistent-outage share (rate / 10 per host-window).
+  [[nodiscard]] static FaultSpec transient_mix(double rate, std::uint64_t seed = 0x5eed0f57ULL);
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;  // disabled: decide() is kNone, wrap() the identity
+  explicit FaultPlan(FaultSpec spec) noexcept : spec_(spec) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return spec_.enabled(); }
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// The fault (if any) for attempt `attempt` of a request for `url` at
+  /// `now`. Pure function of (spec, url's host, now, attempt): faults are
+  /// host-level network events, shared by every URL on the host.
+  [[nodiscard]] FaultKind decide(std::string_view url, SimTime now,
+                                 std::uint32_t attempt) const noexcept;
+
+  /// Inject this plan's faults in front of `inner`. Reads kAttemptHeader
+  /// to key retries. A disabled plan returns `inner` unchanged, so the
+  /// no-faults configuration costs nothing.
+  [[nodiscard]] UpstreamFn wrap(UpstreamFn inner) const;
+
+  /// One wrapped call (exposed for tests; wrap() routes through this).
+  [[nodiscard]] HttpResponse apply(const HttpRequest& request, SimTime now,
+                                   const UpstreamFn& inner) const;
+
+ private:
+  FaultSpec spec_;
+};
+
+/// Classify a response the way the resilience layer does. A failure is a
+/// transport error (status 0), a 5xx gateway/overload status (500, 502,
+/// 503, 504 — not 501, which OriginServer uses for unimplemented methods),
+/// or a truncated body (Content-Length larger than the body received).
+[[nodiscard]] bool is_upstream_failure(const HttpResponse& response) noexcept;
+
+/// The injected FaultKind recorded on a response (kNone when unfaulted).
+[[nodiscard]] FaultKind fault_kind_of(const HttpResponse& response) noexcept;
+
+/// Virtual latency the fault charged ("X-Fault-Latency-Ms"), 0 if none.
+[[nodiscard]] std::uint32_t fault_latency_ms(const HttpResponse& response) noexcept;
+
+}  // namespace wcs

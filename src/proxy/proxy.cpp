@@ -11,8 +11,7 @@
 namespace wcs {
 
 ProxyCache::ProxyCache(Config config, UpstreamFn upstream)
-    : config_(std::move(config)), upstream_(std::move(upstream)) {
-  if (!upstream_) throw std::invalid_argument{"ProxyCache: no upstream"};
+    : config_(std::move(config)), resilient_(config_.resilience, std::move(upstream)) {
   auto policy = make_policy_by_name(config_.policy);
   if (policy == nullptr) {
     throw std::invalid_argument{"ProxyCache: unknown policy " + config_.policy};
@@ -73,6 +72,46 @@ ProxyCache::LogSink ProxyCache::log_to_vector(std::vector<RawRequest>& out) {
   return [&out](const RawRequest& record) { out.push_back(record); };
 }
 
+UpstreamOutcome ProxyCache::fetch_upstream(const HttpRequest& request, SimTime now) {
+  UpstreamOutcome outcome = resilient_.fetch(request, now);
+  if (outcome.attempts > 1) stats_.retries += outcome.attempts - 1;
+  if (outcome.failed) ++stats_.upstream_failures;
+  if (outcome.breaker_opened) ++stats_.breaker_opens;
+  if (outcome.negative_hit) ++stats_.negative_hits;
+  return outcome;
+}
+
+HttpResponse ProxyCache::failure_response(const UpstreamOutcome& outcome) const {
+  HttpResponse response;
+  response.status = outcome.timed_out ? 504 : 502;
+  response.reason = std::string{reason_phrase(response.status)};
+  response.headers.set("Content-Length", "0");
+  response.headers.set("X-Cache", "MISS");
+  return response;
+}
+
+HttpResponse ProxyCache::serve_stale_or_fail(UrlId url, StoredDocument& document,
+                                             const HttpRequest& request,
+                                             const UpstreamOutcome& outcome, SimTime now) {
+  if (config_.resilience.stale_if_error) {
+    // Stale-if-error: the upstream is down but we hold a copy. Serving it
+    // beats a 5xx — exactly the availability role related work assigns to
+    // caches. fetched_at stays put, so the next request retries upstream.
+    cache_->access(now, url, document.body.size(), classify_url(request.target));
+    ++stats_.hits;
+    stats_.hit_bytes += document.body.size();
+    ++stats_.stale_served;
+    HttpResponse response = serve_from_store(document, request, true);
+    response.headers.set("Warning", "111 - \"Revalidation Failed\"");
+    log_access(request, response, now);
+    return response;
+  }
+  ++stats_.failed_requests;
+  HttpResponse response = failure_response(outcome);
+  log_access(request, response, now);
+  return response;
+}
+
 BoundedLogRing::BoundedLogRing(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) throw std::invalid_argument{"BoundedLogRing: capacity 0"};
   ring_.reserve(capacity);
@@ -108,9 +147,16 @@ HttpResponse ProxyCache::handle(const HttpRequest& request, SimTime now) {
   // Non-GET traffic is forwarded untouched (a 1.0 proxy caches only GETs).
   if (!iequals(request.method, "GET")) {
     ++stats_.uncacheable;
-    HttpResponse response = upstream_(request, now);
-    log_access(request, response, now);
-    return response;
+    UpstreamOutcome outcome = fetch_upstream(request, now);
+    if (outcome.failed) {
+      // Nothing cacheable to fall back on for non-GETs: fail the client.
+      ++stats_.failed_requests;
+      HttpResponse response = failure_response(outcome);
+      log_access(request, response, now);
+      return response;
+    }
+    log_access(request, outcome.response, now);
+    return outcome.response;
   }
 
   const UrlId url = intern(request.target);
@@ -133,7 +179,9 @@ HttpResponse ProxyCache::handle(const HttpRequest& request, SimTime now) {
     HttpRequest conditional = request;
     conditional.headers.set("If-Modified-Since", to_http_date(document.last_modified));
     if (config_.accept_deltas) conditional.headers.set("A-IM", "wcs-delta");
-    HttpResponse upstream_response = upstream_(conditional, now);
+    UpstreamOutcome outcome = fetch_upstream(conditional, now);
+    if (outcome.failed) return serve_stale_or_fail(url, document, request, outcome, now);
+    HttpResponse upstream_response = std::move(outcome.response);
     if (upstream_response.status == 226 && config_.accept_deltas) {
       // Delta update: patch the cached body instead of refetching whole.
       const auto im = upstream_response.headers.get("IM");
@@ -168,7 +216,9 @@ HttpResponse ProxyCache::handle(const HttpRequest& request, SimTime now) {
         return response;
       }
       // Unusable delta: fall through to a full fetch.
-      upstream_response = upstream_(request, now);
+      UpstreamOutcome refetch = fetch_upstream(request, now);
+      if (refetch.failed) return serve_stale_or_fail(url, document, request, refetch, now);
+      upstream_response = std::move(refetch.response);
     }
     if (upstream_response.status == 304) {
       ++stats_.validated_fresh;
@@ -201,8 +251,16 @@ HttpResponse ProxyCache::handle(const HttpRequest& request, SimTime now) {
     return upstream_response;
   }
 
-  // Case (3): no copy — fetch from upstream.
-  HttpResponse upstream_response = upstream_(request, now);
+  // Case (3): no copy — fetch from upstream. Stale-if-error has nothing to
+  // offer here: without a stored body the only honest answer is 502/504.
+  UpstreamOutcome outcome = fetch_upstream(request, now);
+  if (outcome.failed) {
+    ++stats_.failed_requests;
+    HttpResponse response = failure_response(outcome);
+    log_access(request, response, now);
+    return response;
+  }
+  HttpResponse upstream_response = std::move(outcome.response);
   ++stats_.misses;
   stats_.miss_bytes += upstream_response.body.size();
   if (is_cacheable(request, upstream_response)) {

@@ -21,13 +21,15 @@
 
 #include "src/core/cache.h"
 #include "src/http/message.h"
+#include "src/proxy/resilience.h"
 #include "src/trace/trace.h"
 
 namespace wcs {
 
 class ProxyCache {
  public:
-  using UpstreamFn = std::function<HttpResponse(const HttpRequest&, SimTime)>;
+  /// Upstream fetch signature (shared with FaultPlan / ResilientUpstream).
+  using UpstreamFn = wcs::UpstreamFn;
   /// Receives one common-format record per handled request. The proxy never
   /// stores records itself — a long-running proxy must not grow without
   /// bound — so the sink decides the retention policy: write to disk, keep
@@ -48,6 +50,10 @@ class ProxyCache {
     /// Access-log sink; null disables logging entirely (no allocation).
     /// Whatever the sink captures must outlive the proxy.
     LogSink log_sink;
+    /// Failure handling for every upstream call (DESIGN.md §9): retries,
+    /// breaker, negative cache, stale-if-error. `resilience.enabled =
+    /// false` restores the pre-resilience single-call passthrough exactly.
+    ResilienceConfig resilience;
   };
 
   struct Stats {
@@ -62,6 +68,21 @@ class ProxyCache {
     std::uint64_t delta_updates = 0;       // 226 responses applied
     std::uint64_t delta_bytes = 0;         // delta payload received
     std::uint64_t delta_bytes_avoided = 0; // full-size resend avoided
+    // Resilience counters (all zero while resilience is disabled or the
+    // upstream stays healthy).
+    std::uint64_t upstream_failures = 0; // fetches with no usable response
+    std::uint64_t retries = 0;           // upstream attempts beyond the first
+    std::uint64_t breaker_opens = 0;     // circuit-breaker open transitions
+    std::uint64_t stale_served = 0;      // failures masked by the cached copy
+    std::uint64_t negative_hits = 0;     // negative-cache short-circuits
+    std::uint64_t failed_requests = 0;   // answered 502/504 (nothing to serve)
+
+    /// Fraction of requests answered with a usable response.
+    [[nodiscard]] double availability() const noexcept {
+      return requests == 0
+                 ? 1.0
+                 : 1.0 - static_cast<double>(failed_requests) / static_cast<double>(requests);
+    }
   };
 
   ProxyCache(Config config, UpstreamFn upstream);
@@ -71,6 +92,8 @@ class ProxyCache {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Cache& cache() const noexcept { return *cache_; }
+  /// The resilience wrapper fronting the upstream (breaker state, config).
+  [[nodiscard]] const ResilientUpstream& resilience() const noexcept { return resilient_; }
   [[nodiscard]] std::uint64_t stored_bytes() const noexcept { return cache_->used_bytes(); }
 
   /// Convenience sink that appends every record to `out` (tests, short
@@ -90,9 +113,18 @@ class ProxyCache {
   [[nodiscard]] HttpResponse serve_from_store(const StoredDocument& document,
                                               const HttpRequest& request, bool hit) const;
   void log_access(const HttpRequest& request, const HttpResponse& response, SimTime now);
+  /// One resilient fetch with stats accounting folded in.
+  [[nodiscard]] UpstreamOutcome fetch_upstream(const HttpRequest& request, SimTime now);
+  /// 502 (upstream unusable) or 504 (budget/timeout) for a failed fetch.
+  [[nodiscard]] HttpResponse failure_response(const UpstreamOutcome& outcome) const;
+  /// Degraded path when revalidation fails but a copy exists: stale-if-
+  /// error serve with Warning 111, or the failure status if disabled.
+  [[nodiscard]] HttpResponse serve_stale_or_fail(UrlId url, StoredDocument& document,
+                                                 const HttpRequest& request,
+                                                 const UpstreamOutcome& outcome, SimTime now);
 
   Config config_;
-  UpstreamFn upstream_;
+  ResilientUpstream resilient_;  // the only path to the raw upstream
   std::unique_ptr<Cache> cache_;
   std::unordered_map<std::string, UrlId> url_ids_;
   std::vector<std::string> url_names_;

@@ -1,0 +1,146 @@
+#include "src/proxy/resilience.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/trace/intern.h"
+
+namespace wcs {
+namespace {
+
+[[nodiscard]] HttpResponse local_failure(std::string_view why) {
+  HttpResponse response;
+  response.status = kTransportError;
+  response.reason = "Transport Error";
+  response.headers.set("X-Fault", std::string{why});
+  return response;
+}
+
+}  // namespace
+
+ResilientUpstream::ResilientUpstream(ResilienceConfig config, UpstreamFn upstream)
+    : config_(config), upstream_(std::move(upstream)) {
+  if (!upstream_) throw std::invalid_argument{"ResilientUpstream: no upstream"};
+  if (config_.retry.max_attempts == 0) config_.retry.max_attempts = 1;
+}
+
+ResilientUpstream::BreakerState ResilientUpstream::breaker_state(std::string_view host,
+                                                                 SimTime now) const noexcept {
+  const auto it = breakers_.find(std::string{host});
+  if (it == breakers_.end()) return BreakerState::kClosed;
+  const Breaker& breaker = it->second;
+  if (breaker.state == BreakerState::kOpen &&
+      now - breaker.opened_at >= config_.breaker.open_duration) {
+    return BreakerState::kHalfOpen;  // what the next fetch would see
+  }
+  return breaker.state;
+}
+
+void ResilientUpstream::record_result(Breaker& breaker, bool ok, SimTime now,
+                                      UpstreamOutcome& outcome) {
+  if (ok) {
+    if (breaker.state == BreakerState::kHalfOpen) {
+      if (++breaker.half_open_successes >= config_.breaker.half_open_successes) {
+        breaker.state = BreakerState::kClosed;
+        breaker.consecutive_failures = 0;
+      }
+    } else {
+      breaker.consecutive_failures = 0;
+    }
+    return;
+  }
+  if (breaker.state == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately — the host is still sick.
+    breaker.state = BreakerState::kOpen;
+    breaker.opened_at = now;
+    breaker.half_open_successes = 0;
+    outcome.breaker_opened = true;
+    return;
+  }
+  if (breaker.state == BreakerState::kClosed &&
+      ++breaker.consecutive_failures >= config_.breaker.failure_threshold) {
+    breaker.state = BreakerState::kOpen;
+    breaker.opened_at = now;
+    outcome.breaker_opened = true;
+  }
+}
+
+UpstreamOutcome ResilientUpstream::fetch(const HttpRequest& request, SimTime now) {
+  UpstreamOutcome outcome;
+  if (!config_.enabled) {
+    // The pre-resilience contract: one call, passed through unclassified.
+    outcome.response = upstream_(request, now);
+    outcome.attempts = 1;
+    return outcome;
+  }
+
+  // 1. Negative cache: a URL that just failed keeps failing locally.
+  if (config_.negative.ttl > 0) {
+    const auto it = negative_until_.find(request.target);
+    if (it != negative_until_.end()) {
+      if (now < it->second) {
+        outcome.failed = true;
+        outcome.negative_hit = true;
+        outcome.response = local_failure("negative-cache");
+        return outcome;
+      }
+      negative_until_.erase(it);
+    }
+  }
+
+  // 2. Circuit breaker for the URL's host.
+  Breaker& breaker = breakers_[std::string{url_server(request.target)}];
+  if (breaker.state == BreakerState::kOpen) {
+    if (now - breaker.opened_at >= config_.breaker.open_duration) {
+      breaker.state = BreakerState::kHalfOpen;
+      breaker.half_open_successes = 0;
+    } else {
+      outcome.failed = true;
+      outcome.breaker_short_circuit = true;
+      outcome.response = local_failure("breaker-open");
+      return outcome;
+    }
+  }
+
+  // 3. Bounded retries under the timeout budget.
+  const std::uint32_t budget = config_.timeout_budget_ms;
+  bool ok = false;
+  for (std::uint32_t attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
+    if (attempt == 0) {
+      outcome.response = upstream_(request, now);
+    } else {
+      const std::uint32_t delay = backoff_delay_ms(config_.retry.backoff, config_.seed,
+                                                   fnv1a64(request.target), attempt);
+      if (outcome.latency_ms + delay >= budget) {
+        outcome.timed_out = true;  // no budget left to even wait out the backoff
+        break;
+      }
+      outcome.latency_ms += delay;
+      HttpRequest retry = request;
+      retry.headers.set(std::string{kAttemptHeader}, std::to_string(attempt));
+      outcome.response = upstream_(retry, now);
+    }
+    ++outcome.attempts;
+    outcome.latency_ms += fault_latency_ms(outcome.response);
+    ok = !is_upstream_failure(outcome.response);
+    if (ok) break;
+    if (outcome.latency_ms >= budget) {
+      outcome.timed_out = true;
+      break;
+    }
+  }
+  outcome.failed = !ok;
+  if (!ok) {
+    const FaultKind kind = fault_kind_of(outcome.response);
+    if (kind == FaultKind::kTimeout || kind == FaultKind::kOutage) outcome.timed_out = true;
+  }
+
+  record_result(breaker, ok, now, outcome);
+  if (!ok && config_.negative.ttl > 0) {
+    negative_until_[request.target] = now + config_.negative.ttl;
+  }
+  return outcome;
+}
+
+}  // namespace wcs

@@ -1,0 +1,110 @@
+// Resilient upstream wrapper: the only component allowed to call the raw
+// upstream function inside the proxy (lint rule no-unchecked-upstream).
+//
+// Pipeline per fetch, in order:
+//   1. negative cache — a URL that just failed keeps failing for `ttl`
+//      seconds without another upstream call;
+//   2. per-host circuit breaker — after `failure_threshold` consecutive
+//      failures the host is open (fetches short-circuit) for
+//      `open_duration`, then half-open (probe traffic allowed) until
+//      `half_open_successes` probes close it again;
+//   3. bounded retries under a per-request timeout budget, with
+//      exponential backoff + deterministic jitter (src/util/backoff.h).
+//      Injected fault latencies and backoff delays are *virtual*
+//      milliseconds charged against the budget; simulated time never
+//      advances mid-request.
+//
+// With `enabled == false` a fetch is exactly one raw upstream call passed
+// through unclassified — bit-identical to the pre-resilience proxy, which
+// is both the compatibility contract and the bench_perf overhead baseline.
+//
+// What counts as a failure is is_upstream_failure() (src/proxy/faults.h):
+// transport errors, 500/502/503/504, truncation. 4xx and 501 answers are
+// *successes* — the origin spoke; its answer is the answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/proxy/faults.h"
+#include "src/util/backoff.h"
+
+namespace wcs {
+
+struct RetryConfig {
+  std::uint32_t max_attempts = 3;  // total upstream tries per fetch (>= 1)
+  BackoffConfig backoff;           // virtual delay between tries
+};
+
+struct BreakerConfig {
+  std::uint32_t failure_threshold = 5;    // consecutive failures to open
+  SimTime open_duration = 30;             // seconds open before half-open
+  std::uint32_t half_open_successes = 2;  // probe successes to close
+};
+
+struct NegativeCacheConfig {
+  SimTime ttl = 5;  // seconds a known-bad URL fails locally; 0 disables
+};
+
+struct ResilienceConfig {
+  /// false = pre-PR-4 behaviour: one upstream call, response passed
+  /// through raw, no classification, no stats.
+  bool enabled = true;
+  /// Virtual milliseconds one fetch may spend across attempts, backoff
+  /// delays and injected fault latencies before giving up with 504.
+  std::uint32_t timeout_budget_ms = 3000;
+  RetryConfig retry;
+  BreakerConfig breaker;
+  NegativeCacheConfig negative;
+  /// Proxy-level: on upstream failure serve the cached (possibly stale)
+  /// copy with `Warning: 111` instead of failing the client.
+  bool stale_if_error = true;
+  /// Seed for the backoff-jitter hash (independent of any FaultPlan seed).
+  std::uint64_t seed = 0xbacc0ff5ULL;
+};
+
+/// One resilient fetch, accounted.
+struct UpstreamOutcome {
+  HttpResponse response;  // usable response, or the last failure seen
+  bool failed = false;    // no usable response; the proxy must degrade
+  bool timed_out = false;            // budget exhausted / timeout-kind failure
+  std::uint32_t attempts = 0;        // raw upstream calls actually made
+  std::uint32_t latency_ms = 0;      // virtual: fault latencies + backoff
+  bool breaker_short_circuit = false;  // open breaker: no upstream call
+  bool breaker_opened = false;         // this fetch tripped a breaker open
+  bool negative_hit = false;           // negative cache answered
+};
+
+class ResilientUpstream {
+ public:
+  enum class BreakerState : unsigned char { kClosed, kOpen, kHalfOpen };
+
+  /// Throws std::invalid_argument if `upstream` is null.
+  ResilientUpstream(ResilienceConfig config, UpstreamFn upstream);
+
+  [[nodiscard]] UpstreamOutcome fetch(const HttpRequest& request, SimTime now);
+
+  [[nodiscard]] const ResilienceConfig& config() const noexcept { return config_; }
+  /// Breaker state for `host` as of `now` (an expired open window reads as
+  /// half-open, matching what the next fetch would see).
+  [[nodiscard]] BreakerState breaker_state(std::string_view host, SimTime now) const noexcept;
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    std::uint32_t consecutive_failures = 0;
+    std::uint32_t half_open_successes = 0;
+    SimTime opened_at = 0;
+  };
+
+  void record_result(Breaker& breaker, bool ok, SimTime now, UpstreamOutcome& outcome);
+
+  ResilienceConfig config_;
+  UpstreamFn upstream_;
+  std::unordered_map<std::string, Breaker> breakers_;       // by host
+  std::unordered_map<std::string, SimTime> negative_until_;  // by URL
+};
+
+}  // namespace wcs

@@ -1,0 +1,202 @@
+#include "src/sim/chaos.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "src/http/cacheability.h"
+#include "src/http/date.h"
+
+namespace wcs {
+namespace {
+
+/// Trace-driven origin: serves each URL at the size the replay loop last
+/// told it ("the trace is the ground truth about the document corpus").
+/// When the trace's size for a URL changes, the document is edited —
+/// Last-Modified moves forward — so the proxy's conditional GETs get real
+/// 200-replaces alongside 304s.
+class SynthOrigin {
+ public:
+  void set_next_size(std::uint64_t size) noexcept { next_size_ = size; }
+
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request, SimTime now) {
+    Doc& doc = docs_[request.target];
+    if (!doc.known || doc.size != next_size_) {
+      doc.known = true;
+      doc.size = next_size_;
+      doc.modified = now;
+    }
+    if (not_modified_since(request, doc.modified)) {
+      HttpResponse response;
+      response.status = 304;
+      response.reason = std::string{reason_phrase(304)};
+      response.headers.set("Last-Modified", to_http_date(doc.modified));
+      return response;
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.reason = std::string{reason_phrase(200)};
+    response.headers.set("Last-Modified", to_http_date(doc.modified));
+    response.headers.set("Content-Length", std::to_string(doc.size));
+    response.body.assign(doc.size, 'x');
+    return response;
+  }
+
+ private:
+  struct Doc {
+    bool known = false;
+    std::uint64_t size = 0;
+    SimTime modified = 0;
+  };
+  std::unordered_map<std::string, Doc> docs_;
+  std::uint64_t next_size_ = 0;
+};
+
+/// Every counter of ProxyCache::Stats, flattened for the monotonicity
+/// check (order is arbitrary but fixed).
+[[nodiscard]] std::vector<std::uint64_t> counter_values(const ProxyCache::Stats& s) {
+  return {s.requests,      s.hits,          s.validations,   s.validated_fresh,
+          s.misses,        s.uncacheable,   s.hit_bytes,     s.miss_bytes,
+          s.delta_updates, s.delta_bytes,   s.delta_bytes_avoided,
+          s.upstream_failures, s.retries,   s.breaker_opens, s.stale_served,
+          s.negative_hits, s.failed_requests};
+}
+
+[[noreturn]] void violation(std::uint64_t index, const std::string& what) {
+  throw std::runtime_error{"replay_through_proxy: invariant violation after request " +
+                           std::to_string(index) + ": " + what};
+}
+
+/// The replay's invariants: audit-clean cache, monotonic counters, and the
+/// GET accounting identity (every request resolves to exactly one of
+/// hit / miss / failed for GET-only traffic).
+void check_invariants(const ProxyCache& proxy, std::vector<std::uint64_t>& previous,
+                      std::uint64_t index, std::uint64_t capacity_bytes) {
+  const ProxyCache::Stats& s = proxy.stats();
+  std::vector<std::uint64_t> current = counter_values(s);
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (!previous.empty() && current[i] < previous[i]) {
+      violation(index, "counter #" + std::to_string(i) + " went backwards");
+    }
+  }
+  previous = std::move(current);
+  if (s.hits + s.misses + s.failed_requests != s.requests) {
+    violation(index, "accounting identity broken: hits + misses + failed != requests");
+  }
+  if (s.stale_served > s.hits) violation(index, "stale_served exceeds hits");
+  if (s.failed_requests > s.upstream_failures + s.negative_hits) {
+    violation(index, "more failed requests than upstream failures");
+  }
+  if (s.validated_fresh > s.validations) violation(index, "validated_fresh exceeds validations");
+  if (capacity_bytes > 0 && proxy.stored_bytes() > capacity_bytes) {
+    violation(index, "stored bytes exceed capacity");
+  }
+  const AuditReport report = proxy.cache().audit();
+  if (!report.ok()) violation(index, "cache audit failed\n" + report.to_string());
+}
+
+}  // namespace
+
+ProxyReplayResult replay_through_proxy(RequestSource& source, const ProxyReplayConfig& config) {
+  SynthOrigin origin;
+  const FaultPlan plan{config.faults};
+  ProxyCache proxy{config.proxy,
+                   plan.wrap([&origin](const HttpRequest& request, SimTime now) {
+                     return origin.handle(request, now);
+                   })};
+
+  ProxyReplayResult result;
+  std::vector<std::uint64_t> previous;
+  std::uint64_t index = 0;
+  Request request;
+  HttpRequest http;  // reused; the proxy never keeps a reference
+  while (source.next(request)) {
+    origin.set_next_size(request.size);
+    http.target.assign(source.names().url_name(request.url));
+    const HttpResponse response = proxy.handle(http, request.time);
+    const bool failed = response.status == 502 || response.status == 504;
+    const auto cache_header = response.headers.get("X-Cache");
+    const bool hit = cache_header && *cache_header == "HIT";
+    result.daily.record(request.time, hit, request.size);
+    if (failed) {
+      ++result.availability.failed;
+    } else {
+      ++result.availability.served;
+    }
+    ++index;
+    if (config.check_interval != 0 && index % config.check_interval == 0) {
+      check_invariants(proxy, previous, index, config.proxy.capacity_bytes);
+    }
+  }
+  if (const auto error = source.stream_error()) {
+    throw std::runtime_error{"replay_through_proxy: source failed mid-stream: " + *error};
+  }
+  check_invariants(proxy, previous, index, config.proxy.capacity_bytes);
+  result.stats = proxy.stats();
+  result.cache_stats = proxy.cache().stats();
+  return result;
+}
+
+ChaosSweepResult run_chaos_sweep(const std::string& workload, const Trace& trace,
+                                 const ChaosSweepConfig& config, ParallelRunner& runner) {
+  ChaosSweepResult result;
+  result.workload = workload;
+
+  const auto replay = [&](double rate, bool with_cache) {
+    ProxyReplayConfig cell;
+    cell.proxy.capacity_bytes = with_cache ? config.capacity_bytes : 1;
+    cell.proxy.revalidate_after = config.revalidate_after;
+    cell.proxy.resilience = config.resilience;
+    cell.faults = rate > 0.0 ? FaultSpec::transient_mix(rate, config.fault_seed) : FaultSpec{};
+    cell.check_interval = config.check_interval;
+    TraceSource source{trace};
+    return replay_through_proxy(source, cell);
+  };
+
+  // Fan every (rate, cache/no-cache) replay over the runner; gather in
+  // submission order so the sweep is deterministic under any job count.
+  const std::size_t rates = config.fault_rates.size();
+  std::vector<ProxyReplayResult> replays =
+      runner.map(rates * 2, [&](std::size_t i) {
+        const double rate = config.fault_rates[i / 2];
+        const bool with_cache = i % 2 == 0;
+        return [&replay, rate, with_cache] { return replay(rate, with_cache); };
+      });
+
+  result.cells.reserve(rates);
+  for (std::size_t i = 0; i < rates; ++i) {
+    ChaosCell cell;
+    cell.fault_rate = config.fault_rates[i];
+    cell.with_cache = std::move(replays[i * 2]);
+    cell.no_cache = std::move(replays[i * 2 + 1]);
+    result.cells.push_back(std::move(cell));
+  }
+
+  // Degradation bound: each cell against its zero-fault twin. When the
+  // grid has no explicit zero-rate cell, run one.
+  double baseline_hit_rate = -1.0;
+  for (const ChaosCell& cell : result.cells) {
+    if (cell.fault_rate == 0.0) {
+      baseline_hit_rate = cell.with_cache.hit_rate();
+      break;
+    }
+  }
+  if (baseline_hit_rate < 0.0) baseline_hit_rate = replay(0.0, true).hit_rate();
+
+  for (const ChaosCell& cell : result.cells) {
+    const double bound =
+        baseline_hit_rate *
+        (1.0 - config.degradation_slack - cell.fault_rate * config.degradation_per_fault);
+    if (cell.with_cache.hit_rate() < bound) {
+      std::ostringstream message;
+      message << "run_chaos_sweep(" << workload << "): hit rate degraded beyond bound at rate "
+              << cell.fault_rate << ": " << cell.with_cache.hit_rate() << " < " << bound
+              << " (zero-fault " << baseline_hit_rate << ")";
+      throw std::runtime_error{message.str()};
+    }
+  }
+  return result;
+}
+
+}  // namespace wcs

@@ -1,0 +1,99 @@
+// Chaos harness (DESIGN.md §9): replay a workload through a *real*
+// ProxyCache whose upstream is wrapped in a deterministic FaultPlan,
+// measure availability and hit-rate degradation, and assert the proxy's
+// invariants while doing it.
+//
+// Two layers:
+//   * replay_through_proxy — one replay of a RequestSource against a
+//     ProxyCache backed by a synthetic trace-driven origin, with periodic
+//     invariant checks (cache audit clean, counters monotonic, the GET
+//     accounting identity). Throws std::runtime_error on any violation.
+//   * run_chaos_sweep — a grid of fault rates fanned over the
+//     ParallelRunner, each cell replayed twice: once with the configured
+//     cache and once with a 1-byte cache — the "no cache" availability
+//     baseline under the *same* resilience machinery, which the cached
+//     run must beat or match (the cache can only add ways to answer:
+//     fresh hits skip the flaky upstream, stale-if-error masks failures).
+//
+// Everything is deterministic: the fault schedule is stateless, cells are
+// gathered in submission order, and a sweep with the same (trace, config)
+// is bit-identical whatever WCS_JOBS says.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/proxy/faults.h"
+#include "src/proxy/proxy.h"
+#include "src/sim/runner.h"
+#include "src/sim/simulator.h"
+#include "src/trace/request_source.h"
+
+namespace wcs {
+
+/// One proxy replay, accounted at the proxy level.
+struct ProxyReplayResult {
+  ProxyCache::Stats stats;
+  CacheStats cache_stats;
+  DailySeries daily;  // proxy-level hits (X-Cache: HIT) per day
+  AvailabilityStats availability;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return stats.requests == 0
+               ? 0.0
+               : static_cast<double>(stats.hits) / static_cast<double>(stats.requests);
+  }
+};
+
+struct ProxyReplayConfig {
+  ProxyCache::Config proxy;
+  FaultSpec faults;  // default: disabled (FaultPlan::wrap is the identity)
+  /// Run the invariant checks every N requests (and always at the end);
+  /// 0 checks at the end only.
+  std::uint64_t check_interval = 0;
+};
+
+/// Replay `source` through a ProxyCache backed by a synthetic origin that
+/// serves each URL at the size the trace last assigned it (a size change
+/// in the trace edits the origin document, so the paper's §1.1 size-change
+/// misses become real revalidation traffic). Single pass; throws
+/// std::runtime_error on invariant violations or a source stream error.
+[[nodiscard]] ProxyReplayResult replay_through_proxy(RequestSource& source,
+                                                     const ProxyReplayConfig& config);
+
+/// One sweep cell: the same trace and fault rate, with and without cache.
+struct ChaosCell {
+  double fault_rate = 0.0;
+  ProxyReplayResult with_cache;
+  ProxyReplayResult no_cache;
+};
+
+struct ChaosSweepResult {
+  std::string workload;
+  std::vector<ChaosCell> cells;  // one per fault rate, input order
+};
+
+struct ChaosSweepConfig {
+  std::vector<double> fault_rates = {0.0, 0.01, 0.05, 0.10, 0.25};
+  std::uint64_t capacity_bytes = 16ULL << 20;
+  SimTime revalidate_after = 5 * kSecondsPerMinute;
+  ResilienceConfig resilience;
+  std::uint64_t fault_seed = 0x5eed0f57ULL;
+  std::uint64_t check_interval = 4096;
+  /// Hit-rate degradation bound, asserted per cell against the cell's own
+  /// zero-fault twin: hit_rate >= zero_fault_hit_rate *
+  /// (1 - degradation_slack - fault_rate * degradation_per_fault).
+  double degradation_per_fault = 2.0;
+  double degradation_slack = 0.05;
+};
+
+/// Replay `trace` (named `workload` for the report) under every fault rate
+/// in the grid, fanning the cells over `runner`. Asserts (throws
+/// std::runtime_error) that every cell's invariants held and that hit-rate
+/// degradation stays within the configured bound.
+[[nodiscard]] ChaosSweepResult run_chaos_sweep(const std::string& workload, const Trace& trace,
+                                               const ChaosSweepConfig& config = {},
+                                               ParallelRunner& runner = ParallelRunner::shared());
+
+}  // namespace wcs

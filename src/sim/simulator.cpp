@@ -23,6 +23,15 @@ void check_audit(const Auditable& auditable, std::uint64_t request_index) {
   return audit.interval != 0 && request_index % audit.interval == 0;
 }
 
+/// Fail loudly when a source ended because of an I/O error rather than a
+/// clean end of stream: results over a silently truncated trace would look
+/// plausible and be wrong.
+void check_stream(const RequestSource& source) {
+  if (const auto error = source.stream_error()) {
+    throw std::runtime_error{"simulate: request source failed mid-stream: " + *error};
+  }
+}
+
 }  // namespace
 
 SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
@@ -41,12 +50,14 @@ SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
     result.daily.record(request.time, access.hit, request.size);
     if (audit_due(audit, ++index)) check_audit(cache, index);
   }
+  check_stream(source);
   if (audit.interval != 0) check_audit(cache, index);
   result.stats = cache.stats();
   result.max_used_bytes = cache.stats().max_used_bytes;
   result.footprint.requests = index;
   result.footprint.source_resident_bytes = source.resident_bytes();
   result.footprint.peak_rss_bytes = peak_rss_bytes();
+  result.availability.served = index;  // the implicit upstream never fails
   return result;
 }
 
@@ -84,6 +95,7 @@ TwoLevelSimResult simulate_two_level(RequestSource& source, std::uint64_t l1_cap
     result.l2_daily.record(request.time, outcome.level == HitLevel::kL2, request.size);
     if (audit_due(audit, ++index)) check_audit(hierarchy, index);
   }
+  check_stream(source);
   if (audit.interval != 0) check_audit(hierarchy, index);
   result.stats = hierarchy.stats();
   return result;
@@ -116,6 +128,7 @@ PartitionedSimResult simulate_partitioned_audio(RequestSource& source,
     result.non_audio_daily.record(request.time, access.hit && !is_audio, request.size);
     if (audit_due(audit, ++index)) check_audit(cache, index);
   }
+  check_stream(source);
   if (audit.interval != 0) check_audit(cache, index);
   result.audio_stats = cache.partition(0).stats();
   result.non_audio_stats = cache.partition(1).stats();
@@ -143,6 +156,7 @@ ClassWhrReference simulate_infinite_by_class(RequestSource& source) {
     result.audio_daily.record(request.time, access.hit && is_audio, request.size);
     result.non_audio_daily.record(request.time, access.hit && !is_audio, request.size);
   }
+  check_stream(source);
   return result;
 }
 

@@ -33,6 +33,20 @@ struct SourceFootprint {
   std::uint64_t peak_rss_bytes = 0;
 };
 
+/// Availability bookkeeping (DESIGN.md §9): how many requests got a usable
+/// answer. The pure cache simulator's implicit upstream is perfect, so
+/// simulate() reports served == requests and failed == 0; the chaos
+/// harness (src/sim/chaos.h) replays through a real ProxyCache under a
+/// FaultPlan and fills in real failures.
+struct AvailabilityStats {
+  std::uint64_t served = 0;
+  std::uint64_t failed = 0;
+  [[nodiscard]] double availability() const noexcept {
+    const std::uint64_t total = served + failed;
+    return total == 0 ? 1.0 : static_cast<double>(served) / static_cast<double>(total);
+  }
+};
+
 struct SimResult {
   CacheStats stats;
   DailySeries daily;
@@ -40,6 +54,7 @@ struct SimResult {
   /// size at which no removal would ever occur (Experiment 1).
   std::uint64_t max_used_bytes = 0;
   SourceFootprint footprint;
+  AvailabilityStats availability;
 };
 
 /// Debug knob: when `interval` > 0 the simulator runs a full invariant

@@ -27,7 +27,9 @@ std::unique_ptr<LogStreamSource> LogStreamSource::open(const std::string& path,
 }
 
 bool LogStreamSource::next(Request& out) {
+  if (stream_error_) return false;  // the stream is gone; don't touch it again
   while (std::getline(*in_, line_)) {
+    ++lines_read_;
     if (line_.empty()) continue;
     if (format_ == Format::kAuto) {
       // Sniff from the first non-empty line; unrecognized lines fall back
@@ -44,6 +46,11 @@ bool LogStreamSource::next(Request& out) {
       out = *request;
       return true;
     }
+  }
+  // getline stopped: clean EOF sets eofbit only, a mid-read I/O failure
+  // sets badbit. Record the latter so it cannot masquerade as end-of-log.
+  if (in_->bad()) {
+    stream_error_ = "log stream I/O error after " + std::to_string(lines_read_) + " line(s)";
   }
   return false;
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/trace/request_source.h"
@@ -39,6 +40,10 @@ class LogStreamSource final : public RequestSource {
 
   [[nodiscard]] const InternTable& names() const noexcept override { return *names_; }
   [[nodiscard]] std::uint64_t resident_bytes() const noexcept override;
+  /// Set when the underlying stream died mid-read (badbit): the log was
+  /// NOT fully consumed and results so far cover only a prefix. Clean EOF
+  /// (including an empty file) leaves this unset.
+  [[nodiscard]] std::optional<std::string> stream_error() const override { return stream_error_; }
 
   /// §1.1 validation counters for everything consumed so far.
   [[nodiscard]] const ValidationStats& validation() const noexcept { return core_->stats(); }
@@ -57,6 +62,8 @@ class LogStreamSource final : public RequestSource {
   std::unique_ptr<StreamingValidator> core_;
   std::string line_;
   std::size_t malformed_lines_ = 0;
+  std::size_t lines_read_ = 0;
+  std::optional<std::string> stream_error_;
 };
 
 }  // namespace wcs

@@ -19,6 +19,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "src/trace/trace.h"
 
@@ -46,6 +48,14 @@ class RequestSource {
   /// counts its request vector. Used for the streaming-vs-materialized
   /// observability row; 0 when unknown.
   [[nodiscard]] virtual std::uint64_t resident_bytes() const noexcept { return 0; }
+
+  /// A fatal error that ended the stream early (I/O failure mid-file), or
+  /// nullopt for a clean end of stream. next() returning false is
+  /// ambiguous on its own — a silently truncated trace yields plausible-
+  /// looking but wrong results — so consumers that care about completeness
+  /// MUST check this after the stream ends. Every simulator entry point
+  /// does, and throws.
+  [[nodiscard]] virtual std::optional<std::string> stream_error() const { return std::nullopt; }
 };
 
 /// Materialized adapter: streams an existing Trace. The trace must outlive

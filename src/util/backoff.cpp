@@ -1,0 +1,33 @@
+#include "src/util/backoff.h"
+
+#include "src/util/rng.h"
+
+namespace wcs {
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double hashed_uniform(std::uint64_t x) noexcept {
+  return static_cast<double>(mix64(x) >> 11) * 0x1.0p-53;
+}
+
+std::uint32_t backoff_delay_ms(const BackoffConfig& config, std::uint64_t seed,
+                               std::uint64_t key, std::uint32_t attempt) noexcept {
+  if (attempt == 0) return 0;
+  // Clamp the shift so huge attempt counts cannot overflow the doubling.
+  const std::uint32_t shift = attempt - 1 < 16 ? attempt - 1 : 16;
+  std::uint64_t nominal = static_cast<std::uint64_t>(config.base_ms) << shift;
+  if (nominal > config.max_ms) nominal = config.max_ms;
+  const double u = hashed_uniform(seed ^ mix64(key) ^ (0x9e3779b97f4a7c15ULL * attempt));
+  const double factor = 1.0 + config.jitter * (u - 0.5);
+  const double jittered = static_cast<double>(nominal) * factor;
+  return jittered <= 0.0 ? 0U : static_cast<std::uint32_t>(jittered);
+}
+
+}  // namespace wcs

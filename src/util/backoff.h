@@ -1,0 +1,39 @@
+// Deterministic bounded exponential backoff with jitter.
+//
+// Retry schedules must be reproducible: the same (seed, key, attempt)
+// triple always yields the same delay regardless of which thread computed
+// it or in what order, so a simulated retry storm replays bit-identically.
+// The jitter is therefore *hashed*, not drawn from a stateful generator —
+// mix64 over the triple, following the per-entity sub-seed discipline of
+// src/util/rng.h.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wcs {
+
+struct BackoffConfig {
+  std::uint32_t base_ms = 100;  // nominal delay before the first retry
+  std::uint32_t max_ms = 2000;  // cap on any single delay
+  /// Jitter width as a fraction of the nominal delay: the actual delay is
+  /// uniform in nominal * [1 - jitter/2, 1 + jitter/2). 0 disables jitter.
+  double jitter = 0.5;
+};
+
+/// FNV-1a 64-bit hash — stable across platforms and standard libraries
+/// (unlike std::hash), so hashed schedules are part of the determinism
+/// contract.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// Uniform double in [0, 1) hashed statelessly from `x` — the stateless
+/// counterpart of Rng::uniform() for schedule-style randomness.
+[[nodiscard]] double hashed_uniform(std::uint64_t x) noexcept;
+
+/// Delay before retry `attempt` (1 = first retry; 0 returns 0). Nominal
+/// value is base_ms * 2^(attempt-1) clamped to max_ms, then jittered by a
+/// deterministic uniform hashed from (seed, key, attempt).
+[[nodiscard]] std::uint32_t backoff_delay_ms(const BackoffConfig& config, std::uint64_t seed,
+                                             std::uint64_t key, std::uint32_t attempt) noexcept;
+
+}  // namespace wcs

@@ -1,0 +1,496 @@
+// Fault-injection + resilience properties (DESIGN.md §9):
+//   * determinism — same seed => bit-identical fault schedule and Stats;
+//   * compatibility — with FaultPlan disabled (and with resilience
+//     disabled) proxy replays are bit-identical across all 5 presets;
+//   * stale-if-error never fabricates a body when no copy is cached;
+//   * circuit breaker closed -> open -> half-open -> closed recovery;
+//   * the acceptance sweep — a 10% transient plan on every preset
+//     completes audit-clean with stale serves and availability at or
+//     above the no-cache baseline.
+#include "src/proxy/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/proxy/origin.h"
+#include "src/proxy/proxy.h"
+#include "src/proxy/resilience.h"
+#include "src/sim/chaos.h"
+#include "src/util/backoff.h"
+#include "src/workload/generator.h"
+
+namespace wcs {
+namespace {
+
+constexpr const char* kPresets[] = {"U", "G", "C", "BR", "BL"};
+
+/// Presets at test scale, generated once per binary run (tests run
+/// sequentially in one thread).
+const Trace& preset_trace(const std::string& name) {
+  static auto* traces = new std::map<std::string, Trace>;
+  auto it = traces->find(name);
+  if (it == traces->end()) {
+    WorkloadGenerator generator{WorkloadSpec::preset(name).scaled(0.02)};
+    it = traces->emplace(name, std::move(generator.generate().trace)).first;
+  }
+  return it->second;
+}
+
+HttpRequest get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return request;
+}
+
+void expect_replays_identical(const ProxyReplayResult& a, const ProxyReplayResult& b) {
+  EXPECT_EQ(a.stats.requests, b.stats.requests);
+  EXPECT_EQ(a.stats.hits, b.stats.hits);
+  EXPECT_EQ(a.stats.misses, b.stats.misses);
+  EXPECT_EQ(a.stats.validations, b.stats.validations);
+  EXPECT_EQ(a.stats.validated_fresh, b.stats.validated_fresh);
+  EXPECT_EQ(a.stats.hit_bytes, b.stats.hit_bytes);
+  EXPECT_EQ(a.stats.miss_bytes, b.stats.miss_bytes);
+  EXPECT_EQ(a.stats.delta_updates, b.stats.delta_updates);
+  EXPECT_EQ(a.stats.upstream_failures, b.stats.upstream_failures);
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_EQ(a.stats.breaker_opens, b.stats.breaker_opens);
+  EXPECT_EQ(a.stats.stale_served, b.stats.stale_served);
+  EXPECT_EQ(a.stats.negative_hits, b.stats.negative_hits);
+  EXPECT_EQ(a.stats.failed_requests, b.stats.failed_requests);
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  EXPECT_EQ(a.cache_stats.evictions, b.cache_stats.evictions);
+  EXPECT_EQ(a.cache_stats.max_used_bytes, b.cache_stats.max_used_bytes);
+  EXPECT_EQ(a.availability.served, b.availability.served);
+  EXPECT_EQ(a.availability.failed, b.availability.failed);
+  EXPECT_EQ(a.daily.overall_hr(), b.daily.overall_hr());
+  EXPECT_EQ(a.daily.overall_whr(), b.daily.overall_whr());
+}
+
+// ---- backoff --------------------------------------------------------------
+
+TEST(Backoff, DeterministicAndBounded) {
+  const BackoffConfig config;  // base 100, max 2000, jitter 0.5
+  for (std::uint32_t attempt = 1; attempt <= 8; ++attempt) {
+    const std::uint32_t a = backoff_delay_ms(config, 7, 42, attempt);
+    const std::uint32_t b = backoff_delay_ms(config, 7, 42, attempt);
+    EXPECT_EQ(a, b) << "attempt " << attempt;
+    // Jitter scales the nominal delay by [0.75, 1.25).
+    const double nominal = std::min<double>(100.0 * (1u << (attempt - 1)), 2000.0);
+    EXPECT_GE(a, static_cast<std::uint32_t>(nominal * 0.75)) << "attempt " << attempt;
+    EXPECT_LT(a, static_cast<std::uint32_t>(nominal * 1.25) + 1) << "attempt " << attempt;
+  }
+  EXPECT_EQ(backoff_delay_ms(config, 7, 42, 0), 0u);
+  // Different seeds / keys decorrelate the jitter somewhere in the range.
+  bool any_difference = false;
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    if (backoff_delay_ms(config, 1, key, 3) != backoff_delay_ms(config, 2, key, 3)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ---- fault schedule determinism -------------------------------------------
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  const FaultSpec spec = FaultSpec::transient_mix(0.30, 1234);
+  const FaultPlan a{spec};
+  const FaultPlan b{spec};
+  FaultSpec other = spec;
+  other.seed = 999;
+  const FaultPlan c{other};
+
+  const char* urls[] = {"http://h1.example/x", "http://h2.example/y", "http://h3.example/z"};
+  int differences_vs_c = 0;
+  for (const char* url : urls) {
+    for (SimTime now = 0; now < 2000; now += 37) {
+      for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+        const FaultKind ka = a.decide(url, now, attempt);
+        ASSERT_EQ(ka, b.decide(url, now, attempt)) << url << " t=" << now << " a=" << attempt;
+        if (ka != c.decide(url, now, attempt)) ++differences_vs_c;
+      }
+    }
+  }
+  EXPECT_GT(differences_vs_c, 0) << "a different seed must give a different schedule";
+}
+
+TEST(FaultPlan, DisabledIsIdentity) {
+  const FaultPlan plan;  // default FaultSpec: all probabilities zero
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan.decide("http://h.example/a", 100, 0), FaultKind::kNone);
+  int calls = 0;
+  UpstreamFn inner = [&calls](const HttpRequest&, SimTime) {
+    ++calls;
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  };
+  const UpstreamFn wrapped = plan.wrap(inner);
+  const HttpResponse response = wrapped(get("http://h.example/a"), 5);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(response.body, "ok");
+  EXPECT_FALSE(response.headers.contains("X-Fault"));
+}
+
+TEST(FaultPlan, OutagePersistsAcrossAttempts) {
+  FaultSpec spec;
+  spec.outage = 1.0;  // every (host, window) is down
+  const FaultPlan plan{spec};
+  for (std::uint32_t attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(plan.decide("http://h.example/a", 100, attempt), FaultKind::kOutage);
+  }
+}
+
+TEST(FaultPlan, FailureClassification) {
+  HttpResponse ok;
+  EXPECT_FALSE(is_upstream_failure(ok));
+  HttpResponse not_found = ok;
+  not_found.status = 404;
+  EXPECT_FALSE(is_upstream_failure(not_found));  // the origin answered
+  HttpResponse not_implemented = ok;
+  not_implemented.status = 501;
+  EXPECT_FALSE(is_upstream_failure(not_implemented));
+  for (const int status : {500, 502, 503, 504}) {
+    HttpResponse gateway = ok;
+    gateway.status = status;
+    EXPECT_TRUE(is_upstream_failure(gateway)) << status;
+  }
+  HttpResponse transport;
+  transport.status = kTransportError;
+  EXPECT_TRUE(is_upstream_failure(transport));
+  HttpResponse truncated;
+  truncated.body = "half";
+  truncated.headers.set("Content-Length", "8");
+  EXPECT_TRUE(is_upstream_failure(truncated));
+  truncated.headers.set("Content-Length", "4");
+  EXPECT_FALSE(is_upstream_failure(truncated));
+}
+
+// ---- resilient upstream ---------------------------------------------------
+
+/// Scripted upstream: fails (503) while `failing` is true, counts calls.
+struct ScriptedUpstream {
+  bool failing = false;
+  int calls = 0;
+
+  UpstreamFn fn() {
+    return [this](const HttpRequest&, SimTime) {
+      ++calls;
+      HttpResponse response;
+      if (failing) {
+        response.status = 503;
+        response.reason = "Service Unavailable";
+      } else {
+        response.body = "payload";
+      }
+      return response;
+    };
+  }
+};
+
+TEST(Resilience, RetriesClearTransientFailures) {
+  int calls = 0;
+  ResilienceConfig config;
+  config.retry.max_attempts = 3;
+  ResilientUpstream upstream{config, [&calls](const HttpRequest& request, SimTime) {
+                               ++calls;
+                               HttpResponse response;
+                               // Fail until the second retry (attempt 2).
+                               const auto attempt = request.headers.get(kAttemptHeader);
+                               if (!attempt || *attempt != "2") response.status = 503;
+                               return response;
+                             }};
+  const UpstreamOutcome outcome = upstream.fetch(get("http://h.example/a"), 100);
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(calls, 3);
+  EXPECT_GT(outcome.latency_ms, 0u);  // backoff delays were charged
+}
+
+TEST(Resilience, BreakerOpensHalfOpensAndRecovers) {
+  ScriptedUpstream origin;
+  origin.failing = true;
+  ResilienceConfig config;
+  config.retry.max_attempts = 1;  // isolate the breaker from retry effects
+  config.breaker.failure_threshold = 3;
+  config.breaker.open_duration = 30;
+  config.breaker.half_open_successes = 2;
+  config.negative.ttl = 0;  // isolate from the negative cache
+  ResilientUpstream upstream{config, origin.fn()};
+  const HttpRequest request = get("http://h.example/a");
+  const std::string host = "h.example";
+
+  // Three consecutive failures trip the breaker open.
+  SimTime now = 100;
+  for (int i = 0; i < 3; ++i) {
+    const UpstreamOutcome outcome = upstream.fetch(request, now++);
+    EXPECT_TRUE(outcome.failed);
+    EXPECT_EQ(outcome.breaker_opened, i == 2);
+  }
+  EXPECT_EQ(upstream.breaker_state(host, now), ResilientUpstream::BreakerState::kOpen);
+
+  // While open: short-circuit, no upstream call.
+  const int calls_before = origin.calls;
+  const UpstreamOutcome blocked = upstream.fetch(request, now);
+  EXPECT_TRUE(blocked.failed);
+  EXPECT_TRUE(blocked.breaker_short_circuit);
+  EXPECT_EQ(origin.calls, calls_before);
+
+  // After open_duration the breaker half-opens and probes pass through.
+  now += 40;
+  origin.failing = false;
+  EXPECT_EQ(upstream.breaker_state(host, now), ResilientUpstream::BreakerState::kHalfOpen);
+  const UpstreamOutcome probe1 = upstream.fetch(request, now);
+  EXPECT_FALSE(probe1.failed);
+  EXPECT_EQ(upstream.breaker_state(host, now), ResilientUpstream::BreakerState::kHalfOpen);
+  const UpstreamOutcome probe2 = upstream.fetch(request, now + 1);
+  EXPECT_FALSE(probe2.failed);
+  EXPECT_EQ(upstream.breaker_state(host, now + 1), ResilientUpstream::BreakerState::kClosed);
+}
+
+TEST(Resilience, FailedProbeReopensBreaker) {
+  ScriptedUpstream origin;
+  origin.failing = true;
+  ResilienceConfig config;
+  config.retry.max_attempts = 1;
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_duration = 10;
+  config.negative.ttl = 0;
+  ResilientUpstream upstream{config, origin.fn()};
+  const HttpRequest request = get("http://h.example/a");
+
+  (void)upstream.fetch(request, 0);
+  (void)upstream.fetch(request, 1);  // opens
+  const UpstreamOutcome probe = upstream.fetch(request, 20);  // half-open probe fails
+  EXPECT_TRUE(probe.failed);
+  EXPECT_TRUE(probe.breaker_opened);  // re-open counts as an open transition
+  EXPECT_EQ(upstream.breaker_state("h.example", 21), ResilientUpstream::BreakerState::kOpen);
+}
+
+TEST(Resilience, NegativeCacheShortCircuits) {
+  ScriptedUpstream origin;
+  origin.failing = true;
+  ResilienceConfig config;
+  config.retry.max_attempts = 1;
+  config.breaker.failure_threshold = 100;  // keep the breaker out of the way
+  config.negative.ttl = 10;
+  ResilientUpstream upstream{config, origin.fn()};
+  const HttpRequest request = get("http://h.example/a");
+
+  (void)upstream.fetch(request, 100);
+  EXPECT_EQ(origin.calls, 1);
+  const UpstreamOutcome cached = upstream.fetch(request, 105);  // within ttl
+  EXPECT_TRUE(cached.failed);
+  EXPECT_TRUE(cached.negative_hit);
+  EXPECT_EQ(origin.calls, 1);  // no upstream call
+  origin.failing = false;
+  const UpstreamOutcome after = upstream.fetch(request, 111);  // ttl expired
+  EXPECT_FALSE(after.failed);
+  EXPECT_EQ(origin.calls, 2);
+}
+
+TEST(Resilience, TimeoutBudgetYields504Class) {
+  FaultSpec spec;
+  spec.timeout = 1.0;  // every attempt times out
+  const FaultPlan plan{spec};
+  ScriptedUpstream origin;
+  ResilienceConfig config;
+  config.timeout_budget_ms = 1500;  // < 2 * timeout_latency_ms
+  ResilientUpstream upstream{config, plan.wrap(origin.fn())};
+  const UpstreamOutcome outcome = upstream.fetch(get("http://h.example/a"), 100);
+  EXPECT_TRUE(outcome.failed);
+  EXPECT_TRUE(outcome.timed_out);
+  EXPECT_LE(outcome.attempts, 2u);  // budget cut the retry loop short
+  EXPECT_EQ(origin.calls, 0);       // the fault fired before the origin
+}
+
+// ---- stale-if-error at the proxy ------------------------------------------
+
+TEST(StaleIfError, ServesCachedCopyWithWarning) {
+  OriginServer origin{"srv.example"};
+  origin.put("/a.html", "document body", 10);
+  bool fail_now = false;
+  ProxyCache::Config config;
+  config.revalidate_after = 100;
+  ProxyCache proxy{config, [&](const HttpRequest& request, SimTime now) {
+                     if (fail_now) {
+                       HttpResponse response;
+                       response.status = kTransportError;
+                       response.reason = "Transport Error";
+                       response.headers.set("X-Fault", "reset");
+                       return response;
+                     }
+                     return origin.handle(request, now);
+                   }};
+
+  const HttpResponse first = proxy.handle(get("http://srv.example/a.html"), 1000);
+  ASSERT_EQ(first.status, 200);
+
+  // Past the TTL with the origin unreachable: the stale copy is served.
+  fail_now = true;
+  const HttpResponse stale = proxy.handle(get("http://srv.example/a.html"), 2000);
+  EXPECT_EQ(stale.status, 200);
+  EXPECT_EQ(stale.body, "document body");
+  EXPECT_EQ(stale.headers.get("X-Cache"), "HIT");
+  ASSERT_TRUE(stale.headers.get("Warning").has_value());
+  EXPECT_NE(stale.headers.get("Warning")->find("111"), std::string::npos);
+  EXPECT_EQ(proxy.stats().stale_served, 1u);
+  EXPECT_EQ(proxy.stats().hits, 1u);
+  EXPECT_GE(proxy.stats().upstream_failures, 1u);
+  EXPECT_EQ(proxy.stats().failed_requests, 0u);
+
+  // The copy stays stale (fetched_at unchanged): once the negative-cache
+  // TTL lapses, recovery revalidates upstream again.
+  fail_now = false;
+  const HttpResponse recovered = proxy.handle(
+      get("http://srv.example/a.html"), 2000 + config.resilience.negative.ttl + 1);
+  EXPECT_EQ(recovered.status, 200);
+  EXPECT_FALSE(recovered.headers.contains("Warning"));
+  EXPECT_EQ(proxy.stats().validated_fresh, 1u);
+}
+
+TEST(StaleIfError, NeverFabricatesABody) {
+  // 100% reset plan, nothing cached: the only honest answer is 502.
+  FaultSpec spec;
+  spec.reset = 1.0;
+  const FaultPlan plan{spec};
+  OriginServer origin{"srv.example"};
+  origin.put("/a.html", "document body", 10);
+  ProxyCache::Config config;
+  ProxyCache proxy{config, plan.wrap([&origin](const HttpRequest& request, SimTime now) {
+                     return origin.handle(request, now);
+                   })};
+
+  const HttpResponse response = proxy.handle(get("http://srv.example/a.html"), 100);
+  EXPECT_EQ(response.status, 502);
+  EXPECT_TRUE(response.body.empty());
+  EXPECT_EQ(proxy.stats().stale_served, 0u);
+  EXPECT_EQ(proxy.stats().failed_requests, 1u);
+  EXPECT_EQ(proxy.stats().availability(), 0.0);
+
+  // Timeout-class failures surface as 504, still with no body.
+  FaultSpec timeout_spec;
+  timeout_spec.timeout = 1.0;
+  const FaultPlan timeout_plan{timeout_spec};
+  ProxyCache timeout_proxy{config,
+                           timeout_plan.wrap([&origin](const HttpRequest& request, SimTime now) {
+                             return origin.handle(request, now);
+                           })};
+  const HttpResponse gateway = timeout_proxy.handle(get("http://srv.example/b.html"), 100);
+  EXPECT_EQ(gateway.status, 504);
+  EXPECT_TRUE(gateway.body.empty());
+}
+
+TEST(StaleIfError, DisabledFallsBackToFailure) {
+  OriginServer origin{"srv.example"};
+  origin.put("/a.html", "document body", 10);
+  bool fail_now = false;
+  ProxyCache::Config config;
+  config.revalidate_after = 100;
+  config.resilience.stale_if_error = false;
+  ProxyCache proxy{config, [&](const HttpRequest& request, SimTime now) {
+                     if (fail_now) {
+                       HttpResponse response;
+                       response.status = 503;
+                       return response;
+                     }
+                     return origin.handle(request, now);
+                   }};
+  (void)proxy.handle(get("http://srv.example/a.html"), 1000);
+  fail_now = true;
+  const HttpResponse failed = proxy.handle(get("http://srv.example/a.html"), 2000);
+  EXPECT_EQ(failed.status, 502);
+  EXPECT_EQ(proxy.stats().stale_served, 0u);
+  EXPECT_EQ(proxy.stats().failed_requests, 1u);
+}
+
+// ---- compatibility: disabled faults are a no-op ---------------------------
+
+TEST(FaultPlan, DisabledZeroBehavioralDiffAllPresets) {
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const Trace& trace = preset_trace(preset);
+
+    ProxyReplayConfig enabled;  // resilience on, faults off
+    enabled.proxy.capacity_bytes = 4ULL << 20;
+    enabled.check_interval = 2048;
+    ProxyReplayConfig disabled = enabled;  // resilience fully off
+    disabled.proxy.resilience.enabled = false;
+
+    TraceSource source_a{trace};
+    const ProxyReplayResult with_resilience = replay_through_proxy(source_a, enabled);
+    TraceSource source_b{trace};
+    const ProxyReplayResult without_resilience = replay_through_proxy(source_b, disabled);
+    TraceSource source_c{trace};
+    const ProxyReplayResult repeat = replay_through_proxy(source_c, enabled);
+
+    // Resilience enabled with no faults == the raw pre-PR-4 path, and the
+    // replay itself is deterministic.
+    expect_replays_identical(with_resilience, without_resilience);
+    expect_replays_identical(with_resilience, repeat);
+    EXPECT_EQ(with_resilience.stats.upstream_failures, 0u);
+    EXPECT_EQ(with_resilience.stats.retries, 0u);
+    EXPECT_EQ(with_resilience.stats.failed_requests, 0u);
+    EXPECT_EQ(with_resilience.availability.failed, 0u);
+  }
+}
+
+// ---- the chaos acceptance sweep -------------------------------------------
+
+TEST(Chaos, TenPercentSweepCompletesOnEveryPreset) {
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const Trace& trace = preset_trace(preset);
+    ChaosSweepConfig config;
+    config.fault_rates = {0.0, 0.10};
+    config.capacity_bytes = 4ULL << 20;
+    config.check_interval = 1024;
+
+    const ChaosSweepResult sweep = run_chaos_sweep(preset, trace, config);
+    ASSERT_EQ(sweep.cells.size(), 2u);
+
+    const ChaosCell& clean = sweep.cells[0];
+    EXPECT_EQ(clean.with_cache.availability.failed, 0u);
+    EXPECT_EQ(clean.with_cache.availability.availability(), 1.0);
+    EXPECT_EQ(clean.with_cache.stats.stale_served, 0u);
+
+    const ChaosCell& faulty = sweep.cells[1];
+    // Faults really happened, stale-if-error really masked some of them...
+    EXPECT_GT(faulty.with_cache.stats.upstream_failures, 0u);
+    EXPECT_GT(faulty.with_cache.stats.stale_served, 0u);
+    EXPECT_LT(faulty.with_cache.availability.availability(), 1.0);
+    // ...and the cache is availability infrastructure: it must beat (or
+    // match) the same resilience stack with no cache behind it.
+    EXPECT_GE(faulty.with_cache.availability.availability(),
+              faulty.no_cache.availability.availability());
+  }
+}
+
+TEST(Chaos, SameSeedBitIdenticalSweep) {
+  const Trace& trace = preset_trace("BR");
+  ChaosSweepConfig config;
+  config.fault_rates = {0.10};
+  config.capacity_bytes = 4ULL << 20;
+  config.check_interval = 0;  // end-of-run checks only; speed
+  const ChaosSweepResult a = run_chaos_sweep("BR", trace, config);
+  const ChaosSweepResult b = run_chaos_sweep("BR", trace, config);
+  ASSERT_EQ(a.cells.size(), 1u);
+  ASSERT_EQ(b.cells.size(), 1u);
+  expect_replays_identical(a.cells[0].with_cache, b.cells[0].with_cache);
+  expect_replays_identical(a.cells[0].no_cache, b.cells[0].no_cache);
+}
+
+TEST(Chaos, SimulatorReportsPerfectAvailability) {
+  const Trace& trace = preset_trace("U");
+  const SimResult result = simulate_infinite(trace);
+  EXPECT_EQ(result.availability.served, trace.size());
+  EXPECT_EQ(result.availability.failed, 0u);
+  EXPECT_EQ(result.availability.availability(), 1.0);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -83,6 +83,22 @@ def main() -> int:
         if ratio > cap:
             failures.append("streaming.resident_ratio")
 
+    # Faults overhead gate: also a ceiling. The resilience wrapper must stay
+    # within max_overhead_ratio of the direct-upstream path when no faults
+    # are configured. Timing ratios are noisier than memory ratios, so the
+    # --tolerance slack applies multiplicatively on top of the cap.
+    faults_cap = baseline.get("faults", {}).get("max_overhead_ratio")
+    if faults_cap is not None and "faults" in measured:
+        checked += 1
+        ratio = float(measured["faults"]["overhead_ratio"])
+        cap = float(faults_cap)
+        limit = cap * (1.0 + args.tolerance)
+        status = "ok" if ratio <= limit else "FAIL"
+        print(f"  {status:4} faults.overhead_ratio: {ratio:+.4f} "
+              f"(ceiling {cap:.3f}, limit {limit:.3f})")
+        if ratio > limit:
+            failures.append("faults.overhead_ratio")
+
     if checked == 0:
         print("check_perf: no metrics checked — baseline file defines no floors",
               file=sys.stderr)

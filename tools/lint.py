@@ -38,6 +38,13 @@ no-trace-scan-in-sim
                   ``TraceSource`` when a materialized pass is genuinely
                   needed); only the streaming-free field accesses of
                   ``stats.requests`` (no parens) remain legal.
+no-unchecked-upstream
+                  Direct ``upstream_(...)`` calls in src/proxy/ bypass the
+                  resilience layer (retries, circuit breaker, negative
+                  cache, stale-if-error) and its failure accounting. Only
+                  the wrapper itself (src/proxy/resilience.{h,cpp}) may
+                  call the raw upstream; everything else goes through
+                  ``ResilientUpstream::fetch``.
 """
 
 from __future__ import annotations
@@ -63,6 +70,8 @@ USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+\w")
 POSITION_OF_RE = re.compile(r"\bposition_of\s*\(")
 POSITION_OF_HOME = ("src/core/sorted_policy.h", "src/core/sorted_policy.cpp")
 TRACE_SCAN_RE = re.compile(r"\.\s*requests\s*\(\s*\)")
+UPSTREAM_CALL_RE = re.compile(r"\bupstream_\s*\(")
+RESILIENCE_HOME = ("src/proxy/resilience.h", "src/proxy/resilience.cpp")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -160,6 +169,15 @@ class Linter:
                         path, lineno, "position-of-hot-path",
                         "position_of() is an O(n) scan reserved for tests and "
                         "diagnostics; simulation code must stay O(log n) per op")
+
+        if rel.startswith("src/proxy/") and rel not in RESILIENCE_HOME:
+            for lineno, line in enumerate(code_lines, 1):
+                if UPSTREAM_CALL_RE.search(line):
+                    self.report(
+                        path, lineno, "no-unchecked-upstream",
+                        "direct upstream_(...) call bypasses the resilience "
+                        "wrapper (retries, breaker, stale-if-error); route "
+                        "through ResilientUpstream::fetch instead")
 
         if rel.startswith("src/sim/"):
             for lineno, line in enumerate(code_lines, 1):
