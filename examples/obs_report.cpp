@@ -1,0 +1,150 @@
+// Observability report: one recorded run, all four export formats.
+//
+//   obs_report [--preset BL] [--out obs_out] [--scale 0.05] [--chaos 0.1]
+//
+// Replays a workload preset through the simulator and through a chaos
+// proxy replay with a single ObsRecorder attached, fans a small policy
+// comparison over the ParallelRunner so the wall-clock track has job
+// spans, then writes the recorder out as:
+//
+//   <out>/events.jsonl   structured event log (one JSON object per line)
+//   <out>/trace.json     Chrome trace_event JSON — load in Perfetto or
+//                        chrome://tracing (sim-time + wall-clock tracks)
+//   <out>/metrics.prom   Prometheus text exposition
+//   <out>/series.csv     per-simulated-day HR / byte-HR time series
+//
+// tools/check_obs.py validates all four (runs as the wcs_obs_report ctest).
+// WCS_SCALE is honoured when --scale is absent; determinism contract: same
+// (preset, scale, chaos rate) -> byte-identical events.jsonl and series.csv.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/obs/export.h"
+#include "src/obs/recorder.h"
+#include "src/sim/chaos.h"
+#include "src/sim/runner.h"
+#include "src/sim/simulator.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+
+using namespace wcs;
+
+int main(int argc, char** argv) {
+  std::string preset = "BL";
+  std::string out_dir = "obs_out";
+  double scale = 0.0;  // 0 = WCS_SCALE or 1.0
+  double chaos_rate = 0.1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--preset" && i + 1 < argc) preset = argv[++i];
+    else if (arg == "--out" && i + 1 < argc) out_dir = argv[++i];
+    else if (arg == "--scale" && i + 1 < argc) scale = std::atof(argv[++i]);
+    else if (arg == "--chaos" && i + 1 < argc) chaos_rate = std::atof(argv[++i]);
+    else {
+      std::cerr << "usage: obs_report [--preset U|G|C|BR|BL] [--out dir] [--scale f]"
+                   " [--chaos rate]\n";
+      return 2;
+    }
+  }
+  if (scale <= 0.0) {
+    scale = 1.0;
+    if (const char* text = std::getenv("WCS_SCALE")) {
+      const double value = std::atof(text);
+      if (value > 0.0) scale = value;
+    }
+  }
+
+  std::cout << "=== obs_report: preset " << preset << ", scale " << scale << " ===\n";
+  WorkloadGenerator generator{WorkloadSpec::preset(preset).scaled(scale)};
+  const GeneratedWorkload generated = generator.generate();
+  // 10% of MaxNeeded — the middle of the paper's Experiment-2 size range.
+  const std::uint64_t unique = generated.trace.unique_bytes();
+  const std::uint64_t capacity = unique / 10 == 0 ? 1ULL << 20 : unique / 10;
+
+  ObsRecorder recorder;
+
+  // 1. Recorded simulation: cache events, "sim" daily series, day spans.
+  const SimResult sim = simulate(generated.trace, capacity, [] { return make_size(); },
+                                 {}, {}, &recorder);
+  std::cout << "  simulate: " << sim.stats.requests << " requests, HR "
+            << Table::pct(sim.stats.hit_rate(), 1) << ", WHR "
+            << Table::pct(sim.stats.weighted_hit_rate(), 1) << "\n";
+
+  // 2. Recorded chaos replay: proxy/resilience events under injected
+  // faults (retries, breaker transitions, stale serves, chaos faults).
+  ProxyReplayConfig replay_config;
+  replay_config.proxy.capacity_bytes = capacity;
+  replay_config.proxy.policy = "size";
+  replay_config.faults =
+      chaos_rate > 0.0 ? FaultSpec::transient_mix(chaos_rate) : FaultSpec{};
+  replay_config.obs = &recorder;
+  TraceSource replay_source{generated.trace};
+  const ProxyReplayResult replay = replay_through_proxy(replay_source, replay_config);
+  std::cout << "  replay (chaos " << chaos_rate << "): availability "
+            << Table::pct(replay.availability.availability(), 1) << ", "
+            << replay.stats.retries << " retries, " << replay.stats.breaker_opens
+            << " breaker opens, " << replay.stats.stale_served << " stale serves\n";
+
+  // 3. Small policy fan-out so the wall-clock track shows runner jobs.
+  ParallelRunner runner;
+  runner.set_span_recorder(&recorder.spans());
+  const std::vector<std::string> policies = {"size", "lru", "lfu", "fifo"};
+  const std::vector<double> rates = runner.map(policies.size(), [&](std::size_t i) {
+    return [&generated, &policies, capacity, i] {
+      return simulate(generated.trace, capacity,
+                      [&] { return make_policy_by_name(policies[i]); })
+          .stats.hit_rate();
+    };
+  });
+  runner.set_span_recorder(nullptr);
+  Table comparison{"Policy comparison (runner fan-out)"};
+  comparison.header({"policy", "HR"});
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    comparison.row({policies[i], Table::pct(rates[i], 1)});
+  }
+  comparison.print(std::cout);
+
+  // 4. Export everything.
+  const ExportPaths paths = write_all_exports(recorder, out_dir);
+  std::cout << "\nwrote " << paths.events_jsonl << "\n      " << paths.trace_json
+            << "\n      " << paths.metrics_prom << "\n      " << paths.series_csv << "\n\n";
+
+  // Terminal summary: what the recorder holds.
+  Table events{"Recorded events"};
+  events.header({"kind", "count"});
+  for (const EventKind kind :
+       {EventKind::kAdmission, EventKind::kEviction, EventKind::kSizeChangeMiss,
+        EventKind::kPeriodicSweep, EventKind::kUpstreamRetry, EventKind::kBreakerTransition,
+        EventKind::kStaleServed, EventKind::kNegativeHit, EventKind::kChaosFault,
+        EventKind::kRunMarker}) {
+    const std::size_t count = recorder.event_count_of(kind);
+    if (count > 0) events.row({std::string{to_string(kind)}, std::to_string(count)});
+  }
+  events.print(std::cout);
+
+  Table series{"Time series"};
+  series.header({"name", "points", "overall HR", "overall byte-HR"});
+  for (const TimeSeries* ts : recorder.all_series()) {
+    std::uint64_t requests = 0, hits = 0, bytes = 0, hit_bytes = 0;
+    for (const SeriesPoint& point : ts->points()) {
+      requests += point.requests;
+      hits += point.hits;
+      bytes += point.bytes;
+      hit_bytes += point.hit_bytes;
+    }
+    series.row({ts->name(), std::to_string(ts->points().size()),
+                requests == 0 ? "-" : Table::pct(static_cast<double>(hits) /
+                                                     static_cast<double>(requests), 1),
+                bytes == 0 ? "-" : Table::pct(static_cast<double>(hit_bytes) /
+                                                  static_cast<double>(bytes), 1)});
+  }
+  series.print(std::cout);
+
+  std::cout << "metrics registered: " << recorder.registry().size()
+            << ", spans recorded: " << recorder.spans().size()
+            << "\nopen " << paths.trace_json << " in https://ui.perfetto.dev to explore\n";
+  return 0;
+}

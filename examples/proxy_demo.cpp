@@ -17,6 +17,10 @@
 // traffic with a deterministic FaultPlan injected in front of the origins,
 // demonstrating stale-if-error, the circuit breaker, and the resilience
 // summary counters (DESIGN.md §9).
+//
+// With `--obs <dir>` the demo attaches an ObsRecorder to both proxies and
+// writes the four observability exports (events.jsonl, trace.json,
+// metrics.prom, series.csv — DESIGN.md §10) into <dir>.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -25,9 +29,12 @@
 #include "src/capture/synth.h"
 #include "src/core/policy.h"
 #include "src/http/date.h"
+#include "src/obs/export.h"
+#include "src/obs/recorder.h"
 #include "src/proxy/faults.h"
 #include "src/proxy/origin.h"
 #include "src/proxy/proxy.h"
+#include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/trace/clf.h"
 #include "src/trace/validate.h"
@@ -37,11 +44,18 @@ using namespace wcs;
 
 int main(int argc, char** argv) {
   double chaos_rate = -1.0;
+  std::string obs_dir;  // --obs <dir>: write the four observability exports
   for (int i = 1; i < argc; ++i) {
     if (std::string{argv[i]} == "--chaos" && i + 1 < argc) {
       chaos_rate = std::atof(argv[++i]);
+    } else if (std::string{argv[i]} == "--obs" && i + 1 < argc) {
+      obs_dir = argv[++i];
     }
   }
+  // One recorder observes the whole demo (the main proxy and, with
+  // --chaos, the faulted proxy). Harmless when --obs is absent: recording
+  // never changes behaviour, and the exports are simply not written.
+  ObsRecorder recorder;
   std::cout << "=== 1. Publish documents on two origin servers ===\n";
   OriginServer www{"www.cs.vt.edu"};
   OriginServer media{"media.cs.vt.edu"};
@@ -61,6 +75,7 @@ int main(int argc, char** argv) {
   std::vector<RawRequest> access_log;  // demo-sized; a real proxy would use
                                        // a file sink or BoundedLogRing
   config.log_sink = ProxyCache::log_to_vector(access_log);
+  config.obs = &recorder;
   ProxyCache proxy{config, [&](const HttpRequest& request, SimTime now) {
                      // Route by authority: the in-process "network".
                      if (request.target.find("media.cs.vt.edu") != std::string::npos) {
@@ -163,6 +178,7 @@ int main(int argc, char** argv) {
     chaos_config.capacity_bytes = 500'000;
     chaos_config.policy = "size";
     chaos_config.revalidate_after = 2 * kSecondsPerMinute;
+    chaos_config.obs = &recorder;
     ProxyCache chaos_proxy{chaos_config,
                            plan.wrap([&](const HttpRequest& request, SimTime at) {
                              if (request.target.find("media.cs.vt.edu") != std::string::npos) {
@@ -190,13 +206,37 @@ int main(int argc, char** argv) {
     const ProxyCache::Stats& stats = chaos_proxy.stats();
     std::cout << "  600 requests: " << ok_responses << " fresh, " << stale_responses
               << " stale-if-error (Warning: 111), " << failed_responses << " failed (502/504)\n";
-    std::cout << "  resilience: " << stats.upstream_failures << " upstream failures, "
-              << stats.retries << " retries, " << stats.breaker_opens << " breaker opens, "
-              << stats.negative_hits << " negative-cache hits\n";
+    // The resilience summary is read back through the metric registry —
+    // the same sync-point publication path the exporters use — so the
+    // demo exercises satellite coverage: every failure counter must have
+    // a registry name (tools/lint.py stats-coverage enforces the list).
+    publish_proxy_stats(recorder.registry(), stats);
+    const auto metric = [&recorder](const char* name) -> std::uint64_t {
+      const Counter* counter = recorder.registry().find_counter(name);
+      return counter != nullptr ? counter->value() : 0;
+    };
+    std::cout << "  resilience (via registry): "
+              << metric("wcs_proxy_upstream_failures") << " upstream failures, "
+              << metric("wcs_proxy_retries") << " retries, "
+              << metric("wcs_proxy_breaker_opens") << " breaker opens, "
+              << metric("wcs_proxy_negative_hits") << " negative-cache hits, "
+              << metric("wcs_proxy_stale_served") << " stale serves\n";
     std::cout << "  availability " << Table::pct(stats.availability(), 1)
               << " (stale serves masked "
               << (stats.upstream_failures > 0 ? stats.stale_served : 0)
               << " failures); same seed -> same schedule, so this run is reproducible\n";
+  }
+
+  if (!obs_dir.empty()) {
+    if (chaos_rate < 0.0) {
+      // No chaos stage ran: publish the main proxy's counters so the
+      // Prometheus export is not empty of proxy metrics.
+      publish_proxy_stats(recorder.registry(), proxy.stats());
+    }
+    const ExportPaths paths = write_all_exports(recorder, obs_dir);
+    std::cout << "\nobservability exports (--obs):\n  " << paths.events_jsonl << "\n  "
+              << paths.trace_json << "\n  " << paths.metrics_prom << "\n  "
+              << paths.series_csv << "\n";
   }
   return 0;
 }

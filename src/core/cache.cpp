@@ -2,7 +2,37 @@
 
 #include <stdexcept>
 
+#include "src/obs/recorder.h"
+
 namespace wcs {
+
+// Eviction events carry the victim's full rank tuple inline.
+static_assert(kMaxRankKeys <= kMaxEventRanks,
+              "Event::ranks must hold any RankTuple a policy can produce");
+
+namespace {
+
+/// Eviction event tagged with the victim's materialized rank tuple — the
+/// per-document form of the paper's sorted-list narrative. Called only when
+/// recording is enabled; rank_of is O(1) for SortedPolicy and nullopt for
+/// rank-free policies.
+void emit_eviction(ObsRecorder& obs, const RemovalPolicy& policy, SimTime now,
+                   const CacheEntry& victim) {
+  Event event;
+  event.kind = EventKind::kEviction;
+  event.time = now;
+  event.url = static_cast<ObsUrlId>(victim.url);
+  event.size = victim.size;
+  event.a = victim.nref;
+  event.b = victim.atime;
+  if (const auto tuple = policy.rank_of(victim.url)) {
+    event.rank_count = tuple->count;
+    for (std::size_t i = 0; i < tuple->count; ++i) event.ranks[i] = tuple->ranks[i];
+  }
+  obs.emit(event);
+}
+
+}  // namespace
 
 Cache::Cache(CacheConfig config, std::unique_ptr<RemovalPolicy> policy)
     : config_(std::move(config)), policy_(std::move(policy)), rng_(config_.seed) {
@@ -10,6 +40,11 @@ Cache::Cache(CacheConfig config, std::unique_ptr<RemovalPolicy> policy)
   if (config_.periodic.enabled &&
       (config_.periodic.comfort_fraction <= 0.0 || config_.periodic.comfort_fraction > 1.0)) {
     throw std::invalid_argument{"Cache: comfort_fraction must be in (0, 1]"};
+  }
+  if (config_.obs != nullptr) {
+    evicted_size_hist_ = &config_.obs->registry().histogram(
+        "wcs_evicted_document_bytes", Histogram::exponential_bounds(512, 1u << 24),
+        "Size distribution of evicted documents (log2 buckets)");
   }
 }
 
@@ -31,22 +66,37 @@ void Cache::advance_day(SimTime now) {
   // Pitkow/Recker-style end-of-day sweep: trim to the comfort level.
   const auto comfort = static_cast<std::uint64_t>(
       config_.periodic.comfort_fraction * static_cast<double>(config_.capacity_bytes));
+  const std::uint64_t evictions_before = stats_.evictions;
+  const std::uint64_t bytes_before = stats_.evicted_bytes;
   bool removed_any = false;
   while (used_bytes_ > comfort) {
     const EvictionContext ctx{now, 0, used_bytes_ - comfort};
     const auto victim = policy_->choose_victim(ctx);
     if (!victim) break;
-    evict(*victim);
+    evict(now, *victim);
     removed_any = true;
   }
   if (removed_any) ++stats_.periodic_sweeps;
+  if (removed_any && config_.obs != nullptr) {
+    Event event;
+    event.kind = EventKind::kPeriodicSweep;
+    event.time = now;
+    event.size = stats_.evicted_bytes - bytes_before;
+    event.a = static_cast<std::int64_t>(stats_.evictions - evictions_before);
+    config_.obs->emit(event);
+  }
   // Day boundaries are rare enough to afford a full sweep in audit builds.
   WCS_AUDIT(*this);
 }
 
-void Cache::evict(UrlId victim) {
+void Cache::evict(SimTime now, UrlId victim) {
   const auto it = entries_.find(victim);
   WCS_ASSERT(it != entries_.end(), "policy chose a victim that is not cached");
+  if (config_.obs != nullptr) {
+    // Tag before on_remove drops the policy's index entry for the victim.
+    emit_eviction(*config_.obs, *policy_, now, it->second);
+    evicted_size_hist_->observe(it->second.size);
+  }
   policy_->on_remove(it->second);
   used_bytes_ -= it->second.size;
   ++stats_.evictions;
@@ -63,7 +113,7 @@ bool Cache::make_room(SimTime now, std::uint64_t incoming_size) {
                               incoming_size - (config_.capacity_bytes - used_bytes_)};
     const auto victim = policy_->choose_victim(ctx);
     if (!victim) return false;  // nothing left to evict
-    evict(*victim);
+    evict(now, *victim);
     ++evicted;
   }
   (void)evicted;
@@ -96,6 +146,15 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
     // copy is inconsistent. Discard it; this access is a miss.
     result.size_change = true;
     ++stats_.size_change_misses;
+    if (config_.obs != nullptr) {
+      Event event;
+      event.kind = EventKind::kSizeChangeMiss;
+      event.time = now;
+      event.url = static_cast<ObsUrlId>(url);
+      event.size = size;                                       // new size
+      event.a = static_cast<std::int64_t>(it->second.size);    // stale size
+      config_.obs->emit(event);
+    }
     policy_->on_remove(it->second);
     used_bytes_ -= it->second.size;
     if (config_.on_evict) config_.on_evict(it->second);
@@ -129,6 +188,15 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
   policy_->on_insert(entry);
   ++stats_.insertions;
   result.inserted = true;
+  if (config_.obs != nullptr) {
+    Event event;
+    event.kind = EventKind::kAdmission;
+    event.time = now;
+    event.url = static_cast<ObsUrlId>(url);
+    event.size = size;
+    event.a = static_cast<std::int64_t>(result.evictions);  // evictions it cost
+    config_.obs->emit(event);
+  }
   return result;
 }
 

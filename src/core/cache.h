@@ -27,6 +27,9 @@
 namespace wcs {
 
 struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+class ObsRecorder;   // src/obs/recorder.h — forward-declared so the default
+                     // (obs disabled) build path never includes obs headers
+class Histogram;     // src/obs/registry.h
 
 struct PeriodicSweepConfig {
   bool enabled = false;
@@ -44,6 +47,11 @@ struct CacheConfig {
   /// size-change replacement, periodic sweep, or explicit erase) — lets an
   /// embedder that stores document bodies elsewhere release them.
   std::function<void(const CacheEntry&)> on_evict;
+  /// Observability recorder (src/obs/recorder.h); nullptr = disabled (the
+  /// default). A recorder observes and never participates: enabling it must
+  /// not change RNG draws, eviction order, or any counter (bit-identity
+  /// property, tests/test_obs.cpp; overhead gated by bench_perf's obs leg).
+  ObsRecorder* obs = nullptr;
 };
 
 struct CacheStats {
@@ -132,7 +140,7 @@ class Cache {
   void advance_day(SimTime now);
   /// Evict until at least `needed` bytes are free; false if impossible.
   bool make_room(SimTime now, std::uint64_t incoming_size);
-  void evict(UrlId victim);
+  void evict(SimTime now, UrlId victim);
 
   CacheConfig config_;
   std::unique_ptr<RemovalPolicy> policy_;
@@ -141,6 +149,9 @@ class Cache {
   std::int64_t current_day_ = -1;
   CacheStats stats_;
   Rng rng_;
+  /// Cached registry handle (stable for the registry's lifetime); non-null
+  /// iff config_.obs is set.
+  Histogram* evicted_size_hist_ = nullptr;
 };
 
 }  // namespace wcs

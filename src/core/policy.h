@@ -54,6 +54,15 @@ class RemovalPolicy {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
+  /// Current rank tuple of a cached URL, for observability: eviction events
+  /// are tagged with the victim's materialized key values (the paper's
+  /// "location in sorted list" narrative, per-document). Policies without a
+  /// rank index return nullopt. Queried only when recording is enabled —
+  /// never on the default hot path.
+  [[nodiscard]] virtual std::optional<RankTuple> rank_of(UrlId /*url*/) const {
+    return std::nullopt;
+  }
+
   /// Cross-check this policy's internal index against the cache's entry
   /// table, appending one violation per broken invariant. Implementations
   /// must verify (at minimum) that the index tracks exactly the cached URLs

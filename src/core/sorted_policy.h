@@ -27,6 +27,13 @@ class SortedPolicy final : public RemovalPolicy {
   [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
 
+  /// O(1) copy of the stored tuple (obs: eviction-event rank tagging).
+  [[nodiscard]] std::optional<RankTuple> rank_of(UrlId url) const override {
+    const auto it = index_.find(url);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
   [[nodiscard]] const KeySpec& spec() const noexcept { return spec_; }
   [[nodiscard]] std::size_t tracked() const noexcept { return index_.size(); }
 

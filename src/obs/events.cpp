@@ -1,0 +1,103 @@
+#include "src/obs/events.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "src/obs/export.h"
+
+namespace wcs {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kAdmission: return "admission";
+    case EventKind::kEviction: return "eviction";
+    case EventKind::kSizeChangeMiss: return "size_change_miss";
+    case EventKind::kPeriodicSweep: return "periodic_sweep";
+    case EventKind::kUpstreamRetry: return "upstream_retry";
+    case EventKind::kBreakerTransition: return "breaker_transition";
+    case EventKind::kStaleServed: return "stale_served";
+    case EventKind::kNegativeHit: return "negative_hit";
+    case EventKind::kChaosFault: return "chaos_fault";
+    case EventKind::kRunMarker: return "run_marker";
+  }
+  return "unknown";
+}
+
+void EventBus::add_sink(EventSink* sink) {
+  if (sink == nullptr) throw std::invalid_argument{"EventBus: null sink"};
+  sinks_.push_back(sink);
+}
+
+void CollectingSink::on_event(const Event& event) {
+  // Hot path for the instrumented cache: one compact Record write; the
+  // variable-size parts go to the arenas only when present (admissions —
+  // the bulk — carry neither ranks nor detail).
+  if (records_.capacity() == records_.size()) {
+    records_.reserve(records_.empty() ? 1024 : records_.capacity() * 2);
+  }
+  Record record;
+  record.time = event.time;
+  record.a = event.a;
+  record.b = event.b;
+  record.size = event.size;
+  record.url = event.url;
+  record.kind = event.kind;
+  record.rank_count = event.rank_count;
+  if (event.rank_count > 0) {
+    record.rank_offset = static_cast<std::uint32_t>(ranks_.size());
+    ranks_.insert(ranks_.end(), event.ranks.begin(), event.ranks.begin() + event.rank_count);
+  }
+  if (!event.detail.empty()) {
+    record.detail_offset = static_cast<std::uint32_t>(details_.size());
+    record.detail_length = static_cast<std::uint32_t>(event.detail.size());
+    details_.append(event.detail);
+  }
+  records_.push_back(record);
+}
+
+Event CollectingSink::view_at(std::size_t i) const {
+  const Record& record = records_[i];
+  Event event;
+  event.kind = record.kind;
+  event.rank_count = record.rank_count;
+  event.time = record.time;
+  event.url = record.url;
+  event.size = record.size;
+  event.a = record.a;
+  event.b = record.b;
+  for (std::size_t k = 0; k < record.rank_count; ++k) {
+    event.ranks[k] = ranks_[record.rank_offset + k];
+  }
+  if (record.detail_length > 0) {
+    event.detail =
+        std::string_view{details_}.substr(record.detail_offset, record.detail_length);
+  }
+  return event;
+}
+
+OwnedEvent CollectingSink::at(std::size_t i) const {
+  const Event event = view_at(i);
+  OwnedEvent owned{event, std::string{event.detail}};
+  owned.event.detail = {};  // the string_view would dangle; read `detail`
+  return owned;
+}
+
+std::size_t CollectingSink::count_of(EventKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const Record& record : records_) {
+    if (record.kind == kind) ++n;
+  }
+  return n;
+}
+
+void CollectingSink::clear() {
+  records_.clear();
+  ranks_.clear();
+  details_.clear();
+}
+
+void JsonlSink::on_event(const Event& event) {
+  write_event_jsonl(*out_, event, event.detail);
+}
+
+}  // namespace wcs

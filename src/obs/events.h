@@ -1,0 +1,165 @@
+// Structured event bus: typed events, pluggable sinks.
+//
+// Events are the narrative the final tables cannot tell — *when* the cache
+// churned, *which* host tripped its breaker, *what* rank tuple the victim
+// carried. Each event is a flat POD-ish record stamped with a deterministic
+// sim-time timestamp: replaying the same (preset, seed, config) emits the
+// same event sequence byte-for-byte, so a JSONL event log is a reproducible
+// artifact exactly like a results table (DESIGN.md §10).
+//
+// Determinism rules:
+//   * event time is always SimTime (never wall clock);
+//   * events are emitted synchronously at the point the simulated action
+//     happens, so file order == causal order within one run;
+//   * parallel sweeps give each cell its own recorder (events from
+//     concurrent cells are never interleaved into one bus).
+//
+// The `detail` field is a std::string_view valid ONLY during dispatch —
+// sinks that retain events (CollectingSink) copy it; sinks that stream
+// (JsonlSink) write it through. This keeps the emit path allocation-free
+// for the hot producers (admission/eviction), which carry no detail text.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+/// Mirrors UrlId in src/trace/intern.h without pulling the interner in —
+/// the obs layer sits below src/trace in the link order.
+using ObsUrlId = std::uint32_t;
+inline constexpr ObsUrlId kObsNoUrl = 0xffffffffU;
+
+enum class EventKind : unsigned char {
+  kAdmission = 0,       // document admitted to a cache
+  kEviction,            // policy eviction (ranks carry the victim's tuple)
+  kSizeChangeMiss,      // §1.1 consistency miss replaced a stale copy
+  kPeriodicSweep,       // Pitkow/Recker end-of-day sweep ran
+  kUpstreamRetry,       // resilience layer re-attempted a fetch
+  kBreakerTransition,   // circuit breaker changed state (detail = host)
+  kStaleServed,         // stale-if-error masked an upstream failure
+  kNegativeHit,         // negative cache short-circuited a fetch
+  kChaosFault,          // fault plan injected a fault (detail = kind)
+  kRunMarker,           // run-level milestone (detail = what)
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+/// Upper bound on rank slots an eviction event can carry; must cover
+/// kMaxRankKeys (src/core/keys.h — statically asserted where the two meet).
+inline constexpr std::size_t kMaxEventRanks = 4;
+
+struct Event {
+  EventKind kind = EventKind::kRunMarker;
+  std::uint8_t rank_count = 0;  // valid slots of `ranks` (evictions only)
+  SimTime time = 0;             // deterministic sim-time stamp
+  ObsUrlId url = kObsNoUrl;
+  std::uint64_t size = 0;  // bytes involved (document size, swept bytes...)
+  /// Generic numeric payload; meaning is per-kind and documented in the
+  /// JSONL exporter: retry -> {attempt, delay_ms}, breaker -> {from, to},
+  /// chaos -> {fault kind, latency_ms}, sweep -> {evicted count, 0}.
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::array<std::int64_t, kMaxEventRanks> ranks{};
+  /// Short text payload (host name, fault kind, marker label). Valid only
+  /// during sink dispatch; retaining sinks must copy.
+  std::string_view detail;
+};
+
+/// Sink interface. on_event is called synchronously on the emitting thread.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Fan-out bus. Sinks are registered at setup time (not thread-safe) and
+/// must outlive the bus's last emit.
+class EventBus {
+ public:
+  void add_sink(EventSink* sink);
+  void emit(const Event& event) {
+    for (EventSink* sink : sinks_) sink->on_event(event);
+  }
+  [[nodiscard]] bool empty() const noexcept { return sinks_.empty(); }
+  [[nodiscard]] std::size_t sink_count() const noexcept { return sinks_.size(); }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+/// An event with its detail text owned — the materialized record
+/// CollectingSink::at hands back (tests, one-off inspection).
+struct OwnedEvent {
+  Event event;
+  std::string detail;
+};
+
+/// Retains every event in emission order (exporters, tests, terminal
+/// summaries). Memory is O(events); bounded runs only.
+///
+/// Storage is deliberately compact: the fixed-size Record keeps only the
+/// scalar payload, while the two variable-size parts — eviction rank
+/// tuples and detail text — pack into shared arenas. Collection is the
+/// recorder's only per-event memory traffic, so its footprint is what the
+/// bench_perf obs leg's <= 2% contract rides on: half the bytes written is
+/// half the cache pollution in the instrumented hot loop.
+class CollectingSink final : public EventSink {
+ public:
+  void on_event(const Event& event) override;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  /// Materialize record `i` (emission order) with its detail copied out.
+  [[nodiscard]] OwnedEvent at(std::size_t i) const;
+  /// Visit every record in emission order. The visited Event's `detail`
+  /// view points into the sink's arena: valid until clear() or
+  /// destruction, no allocation per visit.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < records_.size(); ++i) fn(view_at(i));
+  }
+  [[nodiscard]] std::size_t count_of(EventKind kind) const noexcept;
+  /// Drop every record; capacity (records and arenas) is retained so
+  /// steady-state collect-export-drain cycles stop allocating.
+  void clear();
+
+ private:
+  struct Record {
+    SimTime time = 0;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::uint64_t size = 0;
+    std::uint32_t rank_offset = 0;    // into ranks_ (rank_count slots)
+    std::uint32_t detail_offset = 0;  // into details_
+    std::uint32_t detail_length = 0;
+    ObsUrlId url = kObsNoUrl;
+    EventKind kind = EventKind::kRunMarker;
+    std::uint8_t rank_count = 0;
+  };
+  [[nodiscard]] Event view_at(std::size_t i) const;
+
+  std::vector<Record> records_;
+  std::vector<std::int64_t> ranks_;  // packed eviction rank tuples
+  std::string details_;              // packed detail text
+};
+
+/// Streams each event as one JSON object per line to an ostream the caller
+/// owns (must outlive the sink). The line format is the JSONL exporter's
+/// (src/obs/export.h: write_event_jsonl).
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  void on_event(const Event& event) override;
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace wcs

@@ -1,0 +1,219 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/recorder.h"
+#include "src/obs/registry.h"
+
+namespace wcs {
+namespace {
+
+/// Render a double the way every JSON consumer accepts (no locale, enough
+/// digits to round-trip the ratios we export).
+std::string format_double(double value) {
+  std::ostringstream out;
+  out.precision(10);
+  out << value;
+  return out.str();
+}
+
+void write_csv_field(std::ostream& out, std::string_view text) {
+  // Series names are repo-controlled identifiers, but quote defensively so
+  // a comma or quote can never silently shift columns.
+  if (text.find_first_of(",\"\n") == std::string_view::npos) {
+    out << text;
+    return;
+  }
+  out << '"';
+  for (const char c : text) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+/// One Chrome trace_event object. `extra` is raw JSON appended inside the
+/// object (already comma-prefixed by the caller when non-empty).
+void write_trace_record(std::ostream& out, bool& first, std::string_view name,
+                        std::string_view phase, int pid, std::uint32_t tid,
+                        std::int64_t ts_us, const std::string& extra) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "    {\"name\": " << json_quote(name) << ", \"ph\": \"" << phase
+      << "\", \"pid\": " << pid << ", \"tid\": " << tid << ", \"ts\": " << ts_us << extra
+      << "}";
+}
+
+}  // namespace
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_event_jsonl(std::ostream& out, const Event& event, std::string_view detail) {
+  out << "{\"kind\": " << json_quote(to_string(event.kind)) << ", \"t\": " << event.time;
+  if (event.url != kObsNoUrl) out << ", \"url\": " << event.url;
+  if (event.size != 0) out << ", \"size\": " << event.size;
+  if (event.a != 0 || event.b != 0) {
+    out << ", \"a\": " << event.a << ", \"b\": " << event.b;
+  }
+  if (event.rank_count > 0) {
+    out << ", \"ranks\": [";
+    for (std::uint8_t i = 0; i < event.rank_count; ++i) {
+      if (i > 0) out << ", ";
+      out << event.ranks[i];
+    }
+    out << "]";
+  }
+  if (!detail.empty()) out << ", \"detail\": " << json_quote(detail);
+  out << "}\n";
+}
+
+void write_events_jsonl(std::ostream& out, const ObsRecorder& recorder) {
+  recorder.collected().for_each(
+      [&out](const Event& event) { write_event_jsonl(out, event, event.detail); });
+}
+
+void write_chrome_trace(std::ostream& out, const ObsRecorder& recorder) {
+  constexpr int kSimPid = 1;
+  constexpr int kWallPid = 2;
+
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+
+  // Process-name metadata so the two clocks are labelled in the viewer.
+  write_trace_record(out, first, "process_name", "M", kSimPid, 0, 0,
+                     ", \"args\": {\"name\": \"sim-time (1 sim second = 1 us)\"}");
+  write_trace_record(out, first, "process_name", "M", kWallPid, 0, 0,
+                     ", \"args\": {\"name\": \"wall-clock (runner jobs)\"}");
+
+  // Spans: complete ("X") events on their clock's process track.
+  for (const SpanRecord& span : recorder.spans().snapshot()) {
+    std::ostringstream extra;
+    extra << ", \"dur\": " << (span.duration <= 0 ? 1 : span.duration);
+    write_trace_record(out, first, span.name, "X", span.sim_clock ? kSimPid : kWallPid,
+                       span.track, span.start, extra.str());
+  }
+
+  // Bus events: instants ("i", thread scope) on the sim track.
+  recorder.collected().for_each([&](const Event& event) {
+    std::ostringstream extra;
+    extra << ", \"s\": \"t\", \"args\": {";
+    extra << "\"url\": " << (event.url == kObsNoUrl ? -1 : static_cast<std::int64_t>(event.url))
+          << ", \"size\": " << event.size << ", \"a\": " << event.a
+          << ", \"b\": " << event.b;
+    if (!event.detail.empty()) extra << ", \"detail\": " << json_quote(event.detail);
+    extra << "}";
+    write_trace_record(out, first, to_string(event.kind), "i", kSimPid, 0, event.time,
+                       extra.str());
+  });
+
+  // Time series: counter ("C") samples at each day boundary — Perfetto
+  // renders them as the hit-rate curves of the paper's daily plots.
+  for (const TimeSeries* series : recorder.all_series()) {
+    for (const SeriesPoint& point : series->points()) {
+      std::ostringstream extra;
+      extra << ", \"args\": {\"hit_rate\": " << format_double(point.hit_rate())
+            << ", \"byte_hit_rate\": " << format_double(point.byte_hit_rate()) << "}";
+      write_trace_record(out, first, series->name(), "C", kSimPid, 0,
+                         day_start(point.day), extra.str());
+    }
+  }
+
+  out << "\n  ]\n}\n";
+}
+
+void write_prometheus(std::ostream& out, const MetricRegistry& registry) {
+  for (const MetricRegistry::Entry& entry : registry.entries()) {
+    if (!entry.help.empty()) out << "# HELP " << entry.name << ' ' << entry.help << '\n';
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out << "# TYPE " << entry.name << " counter\n";
+        out << entry.name << ' ' << entry.counter->value() << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << "# TYPE " << entry.name << " gauge\n";
+        out << entry.name << ' ' << entry.gauge->value() << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        out << "# TYPE " << entry.name << " histogram\n";
+        const Histogram& h = *entry.histogram;
+        std::uint64_t cumulative = 0;
+        const auto& bounds = h.upper_bounds();
+        const auto& counts = h.bucket_counts();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += counts[i];
+          out << entry.name << "_bucket{le=\"" << bounds[i] << "\"} " << cumulative << '\n';
+        }
+        out << entry.name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+        out << entry.name << "_sum " << h.sum() << '\n';
+        out << entry.name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void write_series_csv(std::ostream& out, const ObsRecorder& recorder) {
+  out << "series,day,requests,hits,hit_rate,bytes,hit_bytes,byte_hit_rate,"
+         "annotation_label,annotation\n";
+  for (const TimeSeries* series : recorder.all_series()) {
+    for (const SeriesPoint& point : series->points()) {
+      write_csv_field(out, series->name());
+      out << ',' << point.day << ',' << point.requests << ',' << point.hits << ','
+          << format_double(point.hit_rate()) << ',' << point.bytes << ','
+          << point.hit_bytes << ',' << format_double(point.byte_hit_rate()) << ',';
+      write_csv_field(out, series->annotation_label());
+      out << ',' << format_double(point.annotation) << '\n';
+    }
+  }
+}
+
+ExportPaths write_all_exports(const ObsRecorder& recorder, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  const auto write_file = [&](const std::string& name, const auto& writer) {
+    const std::string path = (std::filesystem::path{directory} / name).string();
+    std::ofstream out{path};
+    writer(out);
+    if (!out) throw std::runtime_error{"write_all_exports: cannot write " + path};
+    return path;
+  };
+  ExportPaths paths;
+  paths.events_jsonl = write_file(
+      "events.jsonl", [&](std::ostream& out) { write_events_jsonl(out, recorder); });
+  paths.trace_json = write_file(
+      "trace.json", [&](std::ostream& out) { write_chrome_trace(out, recorder); });
+  paths.metrics_prom = write_file(
+      "metrics.prom", [&](std::ostream& out) { write_prometheus(out, recorder.registry()); });
+  paths.series_csv = write_file(
+      "series.csv", [&](std::ostream& out) { write_series_csv(out, recorder); });
+  return paths;
+}
+
+}  // namespace wcs

@@ -1,0 +1,73 @@
+// Exporters: JSONL event log, Chrome trace_event JSON, Prometheus text,
+// and per-day CSV time series (DESIGN.md §10).
+//
+// Formats:
+//   events.jsonl  One JSON object per event, emission order. Stable field
+//                 set: {"kind","t"} always; "url" when the event names a
+//                 document; "size","a","b" when non-zero is meaningful;
+//                 "ranks" on evictions; "detail" when non-empty.
+//   trace.json    Chrome trace_event JSON ({"traceEvents":[...]}) loadable
+//                 in chrome://tracing and Perfetto. Two process tracks:
+//                 pid 1 = sim time (1 simulated second rendered as 1 trace
+//                 microsecond, so a 38-day workload is a ~3.3 s timeline),
+//                 pid 2 = wall clock (runner jobs, real microseconds).
+//                 Spans are "ph":"X" complete events, bus events are
+//                 "ph":"i" instants, and per-day series points are emitted
+//                 as "ph":"C" counters so Perfetto plots the hit-rate
+//                 curves directly.
+//   metrics.prom  Prometheus text exposition: HELP/TYPE headers, counter
+//                 and gauge samples, histogram _bucket/_sum/_count with
+//                 cumulative le labels.
+//   series.csv    Every named TimeSeries flattened to rows of
+//                 series,day,requests,hits,hit_rate,bytes,hit_bytes,
+//                 byte_hit_rate,annotation_label,annotation.
+//
+// tools/check_obs.py round-trips all four (runs as the wcs_obs_report
+// ctest).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/obs/events.h"
+
+namespace wcs {
+
+class ObsRecorder;
+class MetricRegistry;
+
+/// JSON-escape `text` into a double-quoted JSON string literal.
+[[nodiscard]] std::string json_quote(std::string_view text);
+
+/// One event as a single JSONL line (used by JsonlSink for live streaming
+/// and by write_events_jsonl for post-run export). `detail` is passed
+/// separately because Event::detail may already be detached (OwnedEvent).
+void write_event_jsonl(std::ostream& out, const Event& event, std::string_view detail);
+
+/// Every collected event of `recorder`, one line each.
+void write_events_jsonl(std::ostream& out, const ObsRecorder& recorder);
+
+/// Chrome trace_event JSON: spans + events + per-day counter tracks.
+void write_chrome_trace(std::ostream& out, const ObsRecorder& recorder);
+
+/// Prometheus text exposition of every registered metric.
+void write_prometheus(std::ostream& out, const MetricRegistry& registry);
+
+/// All named time series as CSV (header + one row per sample).
+void write_series_csv(std::ostream& out, const ObsRecorder& recorder);
+
+/// Paths written by write_all_exports.
+struct ExportPaths {
+  std::string events_jsonl;
+  std::string trace_json;
+  std::string metrics_prom;
+  std::string series_csv;
+};
+
+/// Write all four formats into `directory` (created if missing) as
+/// events.jsonl / trace.json / metrics.prom / series.csv. Throws
+/// std::runtime_error when a file cannot be written.
+ExportPaths write_all_exports(const ObsRecorder& recorder, const std::string& directory);
+
+}  // namespace wcs

@@ -1,0 +1,22 @@
+#include "src/obs/recorder.h"
+
+namespace wcs {
+
+ObsRecorder::ObsRecorder() { bus_.add_sink(&collected_); }
+
+TimeSeries& ObsRecorder::series(std::string_view name, std::string_view annotation_label) {
+  const auto it = series_by_name_.find(std::string{name});
+  if (it != series_by_name_.end()) return series_[it->second];
+  series_by_name_.emplace(std::string{name}, series_.size());
+  series_.emplace_back(std::string{name}, std::string{annotation_label});
+  return series_.back();
+}
+
+std::vector<const TimeSeries*> ObsRecorder::all_series() const {
+  std::vector<const TimeSeries*> out;
+  out.reserve(series_.size());
+  for (const TimeSeries& series : series_) out.push_back(&series);
+  return out;
+}
+
+}  // namespace wcs

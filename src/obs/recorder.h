@@ -1,0 +1,122 @@
+// ObsRecorder — the façade every instrumented layer takes a pointer to.
+//
+// One recorder bundles the four observability primitives (DESIGN.md §10):
+// a MetricRegistry, an EventBus, a SpanRecorder, and named per-day
+// TimeSeries. Instrumented code receives `ObsRecorder*` and treats nullptr
+// as "observability disabled" — the null recorder is the default
+// everywhere, and its entire hot-path cost is one pointer test (gated ≤2%
+// by bench_perf's obs leg via tools/check_perf.py).
+//
+// The cardinal rule, enforced by tests/test_obs.cpp's bit-identity
+// property: a recorder OBSERVES and never PARTICIPATES. Instrumented code
+// must not branch on recorder state in any way that changes RNG draws,
+// eviction order, or any counter — with recording on or off, SimResult is
+// bit-identical across all five presets.
+//
+// Ownership: the recorder owns its primitives and an always-attached
+// CollectingSink (exporters read it after the run). Additional sinks
+// (JsonlSink for live streaming) can be attached before the run starts.
+// One recorder per simulation/replay — parallel sweeps either give each
+// cell its own recorder or record only at the deterministic gather point.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/events.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+/// One per-day sample of a named time series.
+struct SeriesPoint {
+  std::int64_t day = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hit_bytes = 0;
+  /// Free-form per-series annotation (chaos sweeps store the fault rate);
+  /// the series' annotation_label names it in exports.
+  double annotation = 0.0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) / static_cast<double>(requests);
+  }
+  [[nodiscard]] double byte_hit_rate() const noexcept {
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(hit_bytes) / static_cast<double>(bytes);
+  }
+};
+
+/// A named per-simulated-day series (hit-rate dynamics, chaos degradation
+/// curves). Sampled at sync points — day boundaries and end of run — never
+/// per request.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, std::string annotation_label)
+      : name_(std::move(name)), annotation_label_(std::move(annotation_label)) {}
+
+  void sample(SeriesPoint point) { points_.push_back(point); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& annotation_label() const noexcept {
+    return annotation_label_;
+  }
+  [[nodiscard]] const std::vector<SeriesPoint>& points() const noexcept { return points_; }
+
+ private:
+  std::string name_;
+  std::string annotation_label_;
+  std::vector<SeriesPoint> points_;
+};
+
+class ObsRecorder {
+ public:
+  ObsRecorder();
+  ObsRecorder(const ObsRecorder&) = delete;
+  ObsRecorder& operator=(const ObsRecorder&) = delete;
+
+  [[nodiscard]] MetricRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const MetricRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] EventBus& events() noexcept { return bus_; }
+  [[nodiscard]] SpanRecorder& spans() noexcept { return spans_; }
+  [[nodiscard]] const SpanRecorder& spans() const noexcept { return spans_; }
+
+  /// Emit on the bus (synchronous fan-out to every sink).
+  void emit(const Event& event) { bus_.emit(event); }
+
+  /// The built-in sink: every event recorded so far, emission order.
+  [[nodiscard]] const CollectingSink& collected() const noexcept { return collected_; }
+  [[nodiscard]] std::size_t event_count() const noexcept { return collected_.size(); }
+  [[nodiscard]] std::size_t event_count_of(EventKind kind) const noexcept {
+    return collected_.count_of(kind);
+  }
+  /// Drain the built-in sink (e.g. after exporting a checkpoint of a
+  /// long-running process). Capacity is retained, so steady-state
+  /// collection after a drain allocates and page-faults nothing.
+  void clear_events() { collected_.clear(); }
+
+  /// Find-or-create a named time series; `annotation_label` is recorded on
+  /// first use (empty = no annotation column in exports). References are
+  /// stable for the recorder's lifetime.
+  TimeSeries& series(std::string_view name, std::string_view annotation_label = {});
+  /// All series in registration order.
+  [[nodiscard]] std::vector<const TimeSeries*> all_series() const;
+
+ private:
+  MetricRegistry registry_;
+  EventBus bus_;
+  CollectingSink collected_;
+  SpanRecorder spans_;
+  std::deque<TimeSeries> series_;
+  std::unordered_map<std::string, std::size_t> series_by_name_;
+};
+
+}  // namespace wcs

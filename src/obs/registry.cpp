@@ -1,0 +1,138 @@
+#include "src/obs/registry.h"
+
+#include <stdexcept>
+
+namespace wcs {
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  if (upper_bounds_.empty() || upper_bounds_.size() > kMaxBuckets) {
+    throw std::invalid_argument{"Histogram: bucket count must be in [1, " +
+                                std::to_string(kMaxBuckets) + "]"};
+  }
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    if (upper_bounds_[i] <= upper_bounds_[i - 1]) {
+      throw std::invalid_argument{"Histogram: bucket bounds must be strictly increasing"};
+    }
+  }
+  counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  std::size_t bucket = upper_bounds_.size();  // overflow slot
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (value <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<std::uint64_t> Histogram::exponential_bounds(std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t bound = lo; bound < hi && bounds.size() < kMaxBuckets - 1;
+       bound *= 2) {
+    bounds.push_back(bound);
+  }
+  bounds.push_back(hi);
+  return bounds;
+}
+
+const MetricRegistry::Slot* MetricRegistry::find_slot(std::string_view name) const noexcept {
+  const auto it = by_name_.find(std::string{name});
+  return it == by_name_.end() ? nullptr : &order_[it->second];
+}
+
+Counter& MetricRegistry::counter(std::string_view name, std::string_view help) {
+  if (const Slot* slot = find_slot(name)) {
+    if (slot->kind != MetricKind::kCounter) {
+      throw std::invalid_argument{"MetricRegistry: '" + std::string{name} +
+                                  "' already registered with a different kind"};
+    }
+    return counters_[slot->index];
+  }
+  by_name_.emplace(std::string{name}, order_.size());
+  order_.push_back({std::string{name}, std::string{help}, MetricKind::kCounter,
+                    counters_.size()});
+  counters_.emplace_back();
+  return counters_.back();
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view help) {
+  if (const Slot* slot = find_slot(name)) {
+    if (slot->kind != MetricKind::kGauge) {
+      throw std::invalid_argument{"MetricRegistry: '" + std::string{name} +
+                                  "' already registered with a different kind"};
+    }
+    return gauges_[slot->index];
+  }
+  by_name_.emplace(std::string{name}, order_.size());
+  order_.push_back({std::string{name}, std::string{help}, MetricKind::kGauge,
+                    gauges_.size()});
+  gauges_.emplace_back();
+  return gauges_.back();
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::vector<std::uint64_t> upper_bounds,
+                                     std::string_view help) {
+  if (const Slot* slot = find_slot(name)) {
+    if (slot->kind != MetricKind::kHistogram) {
+      throw std::invalid_argument{"MetricRegistry: '" + std::string{name} +
+                                  "' already registered with a different kind"};
+    }
+    Histogram& existing = histograms_[slot->index];
+    if (existing.upper_bounds() != upper_bounds) {
+      throw std::invalid_argument{"MetricRegistry: '" + std::string{name} +
+                                  "' already registered with different buckets"};
+    }
+    return existing;
+  }
+  by_name_.emplace(std::string{name}, order_.size());
+  order_.push_back({std::string{name}, std::string{help}, MetricKind::kHistogram,
+                    histograms_.size()});
+  histograms_.emplace_back(std::move(upper_bounds));
+  return histograms_.back();
+}
+
+std::vector<MetricRegistry::Entry> MetricRegistry::entries() const {
+  std::vector<Entry> out;
+  out.reserve(order_.size());
+  for (const Slot& slot : order_) {
+    Entry entry;
+    entry.name = slot.name;
+    entry.help = slot.help;
+    entry.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricKind::kCounter: entry.counter = &counters_[slot.index]; break;
+      case MetricKind::kGauge: entry.gauge = &gauges_[slot.index]; break;
+      case MetricKind::kHistogram: entry.histogram = &histograms_[slot.index]; break;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+const Counter* MetricRegistry::find_counter(std::string_view name) const noexcept {
+  const Slot* slot = find_slot(name);
+  return slot != nullptr && slot->kind == MetricKind::kCounter ? &counters_[slot->index]
+                                                               : nullptr;
+}
+
+const Gauge* MetricRegistry::find_gauge(std::string_view name) const noexcept {
+  const Slot* slot = find_slot(name);
+  return slot != nullptr && slot->kind == MetricKind::kGauge ? &gauges_[slot->index]
+                                                             : nullptr;
+}
+
+const Histogram* MetricRegistry::find_histogram(std::string_view name) const noexcept {
+  const Slot* slot = find_slot(name);
+  return slot != nullptr && slot->kind == MetricKind::kHistogram
+             ? &histograms_[slot->index]
+             : nullptr;
+}
+
+}  // namespace wcs

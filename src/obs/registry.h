@@ -1,0 +1,141 @@
+// Metric registry: counters, gauges and fixed-bucket histograms.
+//
+// The registry is the *reporting* surface of the observability subsystem
+// (DESIGN.md §10) — it is not a hot-path accounting mechanism. Hot loops
+// keep counting in their plain structs (CacheStats, ProxyCache::Stats);
+// sync points (end of run, day boundaries) publish snapshots into the
+// registry via wcs::publish_stats / wcs::publish_proxy_stats
+// (src/sim/metrics.h), and exporters (src/obs/export.h) render whatever
+// the registry holds. The only metrics updated per-operation are the few
+// histograms the recorder owns (eviction sizes, retry attempts), each a
+// branch plus a small linear bucket scan.
+//
+// Metric handles returned by counter()/gauge()/histogram() are stable for
+// the registry's lifetime (deque storage); callers cache the reference and
+// update without further lookups. Registration is idempotent: asking for an
+// existing name returns the same metric. The registry is NOT thread-safe —
+// each simulation or replay owns its recorder, mirroring the one-runner-
+// cell-per-thread architecture everywhere else in this repo.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wcs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  /// Snapshot-style publication: counters mirrored from a stats struct are
+  /// *set*, not accumulated, so republishing at every sync point is
+  /// idempotent.
+  void set(std::uint64_t value) noexcept { value_ = value; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept { value_ = value; }
+  void add(std::int64_t delta) noexcept { value_ += delta; }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram (Prometheus-style cumulative buckets on export).
+/// Bucket upper bounds are set at registration and never change; observe()
+/// is a linear scan over at most kMaxHistogramBuckets bounds.
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxBuckets = 16;
+
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  void observe(std::uint64_t value) noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& upper_bounds() const noexcept {
+    return upper_bounds_;
+  }
+  /// Per-bucket (non-cumulative) counts; counts_[i] is values <=
+  /// upper_bounds_[i] and > the previous bound. The final slot counts
+  /// overflow (+Inf bucket).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+
+  /// Power-of-two bounds from `lo` doubling up to `hi` — the default shape
+  /// for byte-size distributions (the paper's Figs 13-14 are log2-binned).
+  [[nodiscard]] static std::vector<std::uint64_t> exponential_bounds(std::uint64_t lo,
+                                                                     std::uint64_t hi);
+
+ private:
+  std::vector<std::uint64_t> upper_bounds_;
+  std::vector<std::uint64_t> counts_;  // upper_bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+enum class MetricKind : unsigned char { kCounter, kGauge, kHistogram };
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Find-or-create by name. `help` is recorded on first registration only.
+  /// Throws std::invalid_argument if the name exists with a different kind
+  /// (or, for histograms, different bounds).
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::vector<std::uint64_t> upper_bounds,
+                       std::string_view help = {});
+
+  /// One registered metric, for exporters. Exactly one of the pointers is
+  /// non-null, matching `kind`.
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  /// All metrics in registration order (deterministic given deterministic
+  /// registration, which every sync point in this repo provides).
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  /// Value of a registered counter, or nullopt-like 0/false via the pointer
+  /// forms below (tests and terminal summaries).
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const noexcept;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const noexcept;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const noexcept;
+
+ private:
+  struct Slot {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::size_t index = 0;  // into the kind-specific deque
+  };
+  [[nodiscard]] const Slot* find_slot(std::string_view name) const noexcept;
+
+  std::unordered_map<std::string, std::size_t> by_name_;  // -> order_ index
+  std::vector<Slot> order_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace wcs

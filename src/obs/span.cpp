@@ -1,0 +1,42 @@
+#include "src/obs/span.h"
+
+namespace wcs {
+
+void SpanRecorder::record_sim_span(std::string name, SimTime begin, SimTime end) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.track = 0;
+  record.sim_clock = true;
+  record.start = begin;
+  record.duration = end >= begin ? end - begin : 0;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  spans_.push_back(std::move(record));
+}
+
+void SpanRecorder::record_wall_span(std::string name, std::uint32_t track,
+                                    std::chrono::steady_clock::time_point begin,
+                                    std::chrono::steady_clock::time_point end) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.track = track;
+  record.sim_clock = false;
+  record.start =
+      std::chrono::duration_cast<std::chrono::microseconds>(begin - epoch_).count();
+  const auto duration =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - begin).count();
+  record.duration = duration < 0 ? 0 : duration;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> SpanRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return spans_;
+}
+
+std::size_t SpanRecorder::size() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return spans_.size();
+}
+
+}  // namespace wcs

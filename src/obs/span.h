@@ -1,0 +1,84 @@
+// Span-based profiling scopes.
+//
+// Two clocks, two uses (DESIGN.md §10):
+//   * sim-time spans — workload-level intervals (a simulated day, a whole
+//     replay) stamped in SimTime seconds. Deterministic: same run, same
+//     spans, byte for byte. Exported to the Chrome trace's "sim" process
+//     track with 1 simulated second rendered as 1 trace microsecond.
+//   * wall-clock spans — runner jobs and other host-side work, stamped in
+//     microseconds since the recorder's construction. Nondeterministic by
+//     nature (they measure the machine, not the model); they never feed
+//     results, only the profiling export.
+//
+// Wall-span recording is thread-safe (ParallelRunner workers push
+// concurrently); sim-span recording is single-threaded like the simulators
+// that emit it, but routes through the same mutex for simplicity — span
+// emission is orders of magnitude rarer than requests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/simtime.h"
+
+namespace wcs {
+
+struct SpanRecord {
+  std::string name;
+  /// Track: worker index for wall spans, 0 for sim spans.
+  std::uint32_t track = 0;
+  bool sim_clock = false;     // true: start/duration are SimTime seconds
+  std::int64_t start = 0;     // sim seconds, or wall µs since recorder epoch
+  std::int64_t duration = 0;  // same unit as start
+};
+
+class SpanRecorder {
+ public:
+  SpanRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// A completed sim-time span (begin/end known at call time).
+  void record_sim_span(std::string name, SimTime begin, SimTime end);
+
+  /// A completed wall-clock span; `track` groups spans per worker.
+  void record_wall_span(std::string name, std::uint32_t track,
+                        std::chrono::steady_clock::time_point begin,
+                        std::chrono::steady_clock::time_point end);
+
+  /// RAII wall-clock scope: records on destruction.
+  class WallScope {
+   public:
+    WallScope(SpanRecorder* recorder, std::string name, std::uint32_t track)
+        : recorder_(recorder), name_(std::move(name)), track_(track),
+          begin_(std::chrono::steady_clock::now()) {}
+    WallScope(const WallScope&) = delete;
+    WallScope& operator=(const WallScope&) = delete;
+    ~WallScope() {
+      if (recorder_ != nullptr) {
+        recorder_->record_wall_span(std::move(name_), track_, begin_,
+                                    std::chrono::steady_clock::now());
+      }
+    }
+
+   private:
+    SpanRecorder* recorder_;  // null = disabled scope, records nothing
+    std::string name_;
+    std::uint32_t track_;
+    std::chrono::steady_clock::time_point begin_;
+  };
+
+  /// Snapshot of every recorded span, emission order.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+};
+
+}  // namespace wcs

@@ -6,12 +6,19 @@
 #include "src/http/cacheability.h"
 #include "src/http/date.h"
 #include "src/http/delta.h"
+#include "src/obs/recorder.h"
 #include "src/util/strings.h"
 
 namespace wcs {
 
 ProxyCache::ProxyCache(Config config, UpstreamFn upstream)
-    : config_(std::move(config)), resilient_(config_.resilience, std::move(upstream)) {
+    : config_([&config] {
+        // One recorder for the whole proxy: flow it into the resilience
+        // layer before the member initializer below copies the config.
+        config.resilience.obs = config.obs;
+        return std::move(config);
+      }()),
+      resilient_(config_.resilience, std::move(upstream)) {
   auto policy = make_policy_by_name(config_.policy);
   if (policy == nullptr) {
     throw std::invalid_argument{"ProxyCache: unknown policy " + config_.policy};
@@ -19,6 +26,7 @@ ProxyCache::ProxyCache(Config config, UpstreamFn upstream)
   CacheConfig cache_config;
   cache_config.capacity_bytes = config_.capacity_bytes;
   cache_config.on_evict = [this](const CacheEntry& entry) { store_.erase(entry.url); };
+  cache_config.obs = config_.obs;
   cache_ = std::make_unique<Cache>(cache_config, std::move(policy));
 }
 
@@ -101,6 +109,15 @@ HttpResponse ProxyCache::serve_stale_or_fail(UrlId url, StoredDocument& document
     ++stats_.hits;
     stats_.hit_bytes += document.body.size();
     ++stats_.stale_served;
+    if (config_.obs != nullptr) {
+      Event event;
+      event.kind = EventKind::kStaleServed;
+      event.time = now;
+      event.url = static_cast<ObsUrlId>(url);
+      event.size = document.body.size();
+      event.detail = request.target;
+      config_.obs->emit(event);
+    }
     HttpResponse response = serve_from_store(document, request, true);
     response.headers.set("Warning", "111 - \"Revalidation Failed\"");
     log_access(request, response, now);

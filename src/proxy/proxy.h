@@ -54,6 +54,11 @@ class ProxyCache {
     /// breaker, negative cache, stale-if-error. `resilience.enabled =
     /// false` restores the pre-resilience single-call passthrough exactly.
     ResilienceConfig resilience;
+    /// Observability recorder (src/obs/recorder.h); nullptr = disabled.
+    /// Propagated into the cache core and the resilience layer, so one
+    /// recorder sees the whole per-request event stream. Observes only —
+    /// responses, stats and eviction order are identical on or off.
+    ObsRecorder* obs = nullptr;
   };
 
   struct Stats {

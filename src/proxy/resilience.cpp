@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/recorder.h"
 #include "src/trace/intern.h"
 
 namespace wcs {
@@ -15,6 +16,37 @@ namespace {
   response.reason = "Transport Error";
   response.headers.set("X-Fault", std::string{why});
   return response;
+}
+
+void emit_breaker_transition(ObsRecorder* obs, SimTime now, std::string_view host,
+                             ResilientUpstream::BreakerState from,
+                             ResilientUpstream::BreakerState to) {
+  if (obs == nullptr) return;
+  Event event;
+  event.kind = EventKind::kBreakerTransition;
+  event.time = now;
+  event.a = static_cast<std::int64_t>(from);
+  event.b = static_cast<std::int64_t>(to);
+  event.detail = host;
+  obs->emit(event);
+}
+
+/// A fault the plan injected on this attempt (any kind, including the
+/// non-failure kSlow) becomes a kChaosFault event — the trace's record of
+/// what the network did to this request.
+void emit_chaos_fault(ObsRecorder* obs, SimTime now, const HttpResponse& response,
+                      std::uint32_t attempt) {
+  if (obs == nullptr) return;
+  const FaultKind kind = fault_kind_of(response);
+  if (kind == FaultKind::kNone) return;
+  Event event;
+  event.kind = EventKind::kChaosFault;
+  event.time = now;
+  event.a = static_cast<std::int64_t>(kind);
+  event.b = attempt;
+  event.size = fault_latency_ms(response);
+  event.detail = to_string(kind);
+  obs->emit(event);
 }
 
 }  // namespace
@@ -37,13 +69,15 @@ ResilientUpstream::BreakerState ResilientUpstream::breaker_state(std::string_vie
   return breaker.state;
 }
 
-void ResilientUpstream::record_result(Breaker& breaker, bool ok, SimTime now,
-                                      UpstreamOutcome& outcome) {
+void ResilientUpstream::record_result(Breaker& breaker, std::string_view host, bool ok,
+                                      SimTime now, UpstreamOutcome& outcome) {
   if (ok) {
     if (breaker.state == BreakerState::kHalfOpen) {
       if (++breaker.half_open_successes >= config_.breaker.half_open_successes) {
         breaker.state = BreakerState::kClosed;
         breaker.consecutive_failures = 0;
+        emit_breaker_transition(config_.obs, now, host, BreakerState::kHalfOpen,
+                                BreakerState::kClosed);
       }
     } else {
       breaker.consecutive_failures = 0;
@@ -56,6 +90,8 @@ void ResilientUpstream::record_result(Breaker& breaker, bool ok, SimTime now,
     breaker.opened_at = now;
     breaker.half_open_successes = 0;
     outcome.breaker_opened = true;
+    emit_breaker_transition(config_.obs, now, host, BreakerState::kHalfOpen,
+                            BreakerState::kOpen);
     return;
   }
   if (breaker.state == BreakerState::kClosed &&
@@ -63,6 +99,8 @@ void ResilientUpstream::record_result(Breaker& breaker, bool ok, SimTime now,
     breaker.state = BreakerState::kOpen;
     breaker.opened_at = now;
     outcome.breaker_opened = true;
+    emit_breaker_transition(config_.obs, now, host, BreakerState::kClosed,
+                            BreakerState::kOpen);
   }
 }
 
@@ -83,6 +121,14 @@ UpstreamOutcome ResilientUpstream::fetch(const HttpRequest& request, SimTime now
         outcome.failed = true;
         outcome.negative_hit = true;
         outcome.response = local_failure("negative-cache");
+        if (config_.obs != nullptr) {
+          Event event;
+          event.kind = EventKind::kNegativeHit;
+          event.time = now;
+          event.b = it->second - now;  // seconds of TTL remaining
+          event.detail = request.target;
+          config_.obs->emit(event);
+        }
         return outcome;
       }
       negative_until_.erase(it);
@@ -90,11 +136,14 @@ UpstreamOutcome ResilientUpstream::fetch(const HttpRequest& request, SimTime now
   }
 
   // 2. Circuit breaker for the URL's host.
-  Breaker& breaker = breakers_[std::string{url_server(request.target)}];
+  const std::string host{url_server(request.target)};
+  Breaker& breaker = breakers_[host];
   if (breaker.state == BreakerState::kOpen) {
     if (now - breaker.opened_at >= config_.breaker.open_duration) {
       breaker.state = BreakerState::kHalfOpen;
       breaker.half_open_successes = 0;
+      emit_breaker_transition(config_.obs, now, host, BreakerState::kOpen,
+                              BreakerState::kHalfOpen);
     } else {
       outcome.failed = true;
       outcome.breaker_short_circuit = true;
@@ -117,11 +166,21 @@ UpstreamOutcome ResilientUpstream::fetch(const HttpRequest& request, SimTime now
         break;
       }
       outcome.latency_ms += delay;
+      if (config_.obs != nullptr) {
+        Event event;
+        event.kind = EventKind::kUpstreamRetry;
+        event.time = now;
+        event.a = attempt;
+        event.b = delay;
+        event.detail = request.target;
+        config_.obs->emit(event);
+      }
       HttpRequest retry = request;
       retry.headers.set(std::string{kAttemptHeader}, std::to_string(attempt));
       outcome.response = upstream_(retry, now);
     }
     ++outcome.attempts;
+    emit_chaos_fault(config_.obs, now, outcome.response, attempt);
     outcome.latency_ms += fault_latency_ms(outcome.response);
     ok = !is_upstream_failure(outcome.response);
     if (ok) break;
@@ -136,7 +195,7 @@ UpstreamOutcome ResilientUpstream::fetch(const HttpRequest& request, SimTime now
     if (kind == FaultKind::kTimeout || kind == FaultKind::kOutage) outcome.timed_out = true;
   }
 
-  record_result(breaker, ok, now, outcome);
+  record_result(breaker, host, ok, now, outcome);
   if (!ok && config_.negative.ttl > 0) {
     negative_until_[request.target] = now + config_.negative.ttl;
   }

@@ -33,6 +33,8 @@
 
 namespace wcs {
 
+class ObsRecorder;  // src/obs/recorder.h
+
 struct RetryConfig {
   std::uint32_t max_attempts = 3;  // total upstream tries per fetch (>= 1)
   BackoffConfig backoff;           // virtual delay between tries
@@ -63,6 +65,11 @@ struct ResilienceConfig {
   bool stale_if_error = true;
   /// Seed for the backoff-jitter hash (independent of any FaultPlan seed).
   std::uint64_t seed = 0xbacc0ff5ULL;
+  /// Observability recorder; nullptr = disabled. Emits retry, breaker-
+  /// transition, negative-hit and chaos-fault events. Observes only: the
+  /// fetch pipeline, backoff schedule and every counter are identical with
+  /// recording on or off (tests/test_obs.cpp bit-identity property).
+  ObsRecorder* obs = nullptr;
 };
 
 /// One resilient fetch, accounted.
@@ -99,7 +106,8 @@ class ResilientUpstream {
     SimTime opened_at = 0;
   };
 
-  void record_result(Breaker& breaker, bool ok, SimTime now, UpstreamOutcome& outcome);
+  void record_result(Breaker& breaker, std::string_view host, bool ok, SimTime now,
+                     UpstreamOutcome& outcome);
 
   ResilienceConfig config_;
   UpstreamFn upstream_;

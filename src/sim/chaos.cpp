@@ -7,6 +7,7 @@
 
 #include "src/http/cacheability.h"
 #include "src/http/date.h"
+#include "src/obs/recorder.h"
 
 namespace wcs {
 namespace {
@@ -63,6 +64,25 @@ class SynthOrigin {
           s.negative_hits, s.failed_requests};
 }
 
+/// Copy a replay's daily curve into an obs time series, stamping every
+/// point with `annotation` (the cell's fault rate for sweep series, 0 for a
+/// single replay). Sync-point work: runs after the replay loop.
+void fill_series_from_daily(TimeSeries& series, const DailySeries& daily,
+                            double annotation) {
+  for (std::int64_t day = 0; day < daily.day_count(); ++day) {
+    const DailySeries::DayTotals totals = daily.totals_of_day(day);
+    if (totals.requests == 0) continue;
+    SeriesPoint point;
+    point.day = day;
+    point.requests = totals.requests;
+    point.hits = totals.hits;
+    point.bytes = totals.bytes;
+    point.hit_bytes = totals.hit_bytes;
+    point.annotation = annotation;
+    series.sample(point);
+  }
+}
+
 [[noreturn]] void violation(std::uint64_t index, const std::string& what) {
   throw std::runtime_error{"replay_through_proxy: invariant violation after request " +
                            std::to_string(index) + ": " + what};
@@ -101,7 +121,9 @@ void check_invariants(const ProxyCache& proxy, std::vector<std::uint64_t>& previ
 ProxyReplayResult replay_through_proxy(RequestSource& source, const ProxyReplayConfig& config) {
   SynthOrigin origin;
   const FaultPlan plan{config.faults};
-  ProxyCache proxy{config.proxy,
+  ProxyCache::Config proxy_config = config.proxy;
+  if (config.obs != nullptr) proxy_config.obs = config.obs;
+  ProxyCache proxy{proxy_config,
                    plan.wrap([&origin](const HttpRequest& request, SimTime now) {
                      return origin.handle(request, now);
                    })};
@@ -135,6 +157,18 @@ ProxyReplayResult replay_through_proxy(RequestSource& source, const ProxyReplayC
   check_invariants(proxy, previous, index, config.proxy.capacity_bytes);
   result.stats = proxy.stats();
   result.cache_stats = proxy.cache().stats();
+  if (config.obs != nullptr) {
+    // End-of-replay sync point: publish both stat snapshots, fill the
+    // per-day proxy hit-rate series, span the replayed interval.
+    publish_proxy_stats(config.obs->registry(), result.stats);
+    publish_stats(config.obs->registry(), result.cache_stats);
+    fill_series_from_daily(config.obs->series("proxy"), result.daily, 0.0);
+    const std::int64_t days = result.daily.day_count();
+    if (days > 0) {
+      config.obs->spans().record_sim_span("replay_through_proxy", day_start(0),
+                                          day_start(days));
+    }
+  }
   return result;
 }
 
@@ -195,6 +229,29 @@ ChaosSweepResult run_chaos_sweep(const std::string& workload, const Trace& trace
               << " (zero-fault " << baseline_hit_rate << ")";
       throw std::runtime_error{message.str()};
     }
+  }
+
+  if (config.obs != nullptr) {
+    // Deterministic post-gather recording: cells completed in submission
+    // order, so the series layout is independent of WCS_JOBS.
+    for (const ChaosCell& cell : result.cells) {
+      std::ostringstream prefix;
+      prefix << "chaos/" << cell.fault_rate;
+      fill_series_from_daily(
+          config.obs->series(prefix.str() + "/cache", "fault_rate"),
+          cell.with_cache.daily, cell.fault_rate);
+      fill_series_from_daily(
+          config.obs->series(prefix.str() + "/no-cache", "fault_rate"),
+          cell.no_cache.daily, cell.fault_rate);
+    }
+    config.obs->registry()
+        .counter("wcs_chaos_cells", "Chaos sweep cells replayed (cache + no-cache pairs)")
+        .set(result.cells.size());
+    Event marker;
+    marker.kind = EventKind::kRunMarker;
+    marker.size = result.cells.size();
+    marker.detail = "run_chaos_sweep:end";
+    config.obs->emit(marker);
   }
   return result;
 }

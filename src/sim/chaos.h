@@ -52,6 +52,12 @@ struct ProxyReplayConfig {
   /// Run the invariant checks every N requests (and always at the end);
   /// 0 checks at the end only.
   std::uint64_t check_interval = 0;
+  /// Observability recorder for this replay; nullptr = disabled. Flows into
+  /// the proxy (and through it the cache core and resilience layer), so the
+  /// recorder sees the full per-request event stream; the replay also
+  /// publishes final stats into the registry and fills the "proxy" daily
+  /// series. Single-replay only — parallel sweep cells must not share one.
+  ObsRecorder* obs = nullptr;
 };
 
 /// Replay `source` through a ProxyCache backed by a synthetic origin that
@@ -86,6 +92,14 @@ struct ChaosSweepConfig {
   /// (1 - degradation_slack - fault_rate * degradation_per_fault).
   double degradation_per_fault = 2.0;
   double degradation_slack = 0.05;
+  /// Sweep-level recorder; nullptr = disabled. Cells replay WITHOUT
+  /// per-request recording (they run concurrently; a shared bus would
+  /// interleave nondeterministically) — instead, after the deterministic
+  /// submission-order gather, each cell's daily curve is written as a
+  /// fault-rate-annotated time series ("chaos/<rate>/{cache,no-cache}",
+  /// annotation = the cell's fault rate), so the export is bit-identical
+  /// for a given (trace, config) whatever WCS_JOBS says.
+  ObsRecorder* obs = nullptr;
 };
 
 /// Replay `trace` (named `workload` for the report) under every fault rate

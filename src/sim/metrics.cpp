@@ -1,6 +1,7 @@
 #include "src/sim/metrics.h"
 
 #include "src/core/cache.h"
+#include "src/obs/registry.h"
 
 namespace wcs {
 
@@ -18,6 +19,49 @@ std::vector<CounterRow> stats_rows(const CacheStats& stats) {
       {"periodic_sweeps", stats.periodic_sweeps},
       {"max_used_bytes", stats.max_used_bytes},
   };
+}
+
+std::vector<CounterRow> proxy_stats_rows(const ProxyCache::Stats& stats) {
+  return {
+      {"requests", stats.requests},
+      {"hits", stats.hits},
+      {"validations", stats.validations},
+      {"validated_fresh", stats.validated_fresh},
+      {"misses", stats.misses},
+      {"uncacheable", stats.uncacheable},
+      {"hit_bytes", stats.hit_bytes},
+      {"miss_bytes", stats.miss_bytes},
+      {"delta_updates", stats.delta_updates},
+      {"delta_bytes", stats.delta_bytes},
+      {"delta_bytes_avoided", stats.delta_bytes_avoided},
+      {"upstream_failures", stats.upstream_failures},
+      {"retries", stats.retries},
+      {"breaker_opens", stats.breaker_opens},
+      {"stale_served", stats.stale_served},
+      {"negative_hits", stats.negative_hits},
+      {"failed_requests", stats.failed_requests},
+  };
+}
+
+void publish_stats(MetricRegistry& registry, const CacheStats& stats) {
+  for (const CounterRow& row : stats_rows(stats)) {
+    registry.counter("wcs_cache_" + std::string{row.name}, "CacheStats snapshot counter")
+        .set(row.value);
+  }
+}
+
+void publish_proxy_stats(MetricRegistry& registry, const ProxyCache::Stats& stats) {
+  for (const CounterRow& row : proxy_stats_rows(stats)) {
+    registry
+        .counter("wcs_proxy_" + std::string{row.name}, "ProxyCache::Stats snapshot counter")
+        .set(row.value);
+  }
+}
+
+DailySeries::DayTotals DailySeries::totals_of_day(std::int64_t day) const noexcept {
+  if (day < 0 || day >= static_cast<std::int64_t>(days_.size())) return {};
+  const Day& d = days_[static_cast<std::size_t>(day)];
+  return {d.requests, d.hits, d.bytes, d.hit_bytes};
 }
 
 DailySeries::Day& DailySeries::day_at(SimTime now) {

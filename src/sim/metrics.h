@@ -11,11 +11,13 @@
 #include <string_view>
 #include <vector>
 
+#include "src/proxy/proxy.h"
 #include "src/util/simtime.h"
 
 namespace wcs {
 
 struct CacheStats;  // src/core/cache.h
+class MetricRegistry;  // src/obs/registry.h
 
 /// One named CacheStats counter, for reports and dashboards.
 struct CounterRow {
@@ -29,6 +31,22 @@ struct CounterRow {
 /// tests/test_metrics.cpp pins the row count to the struct.
 [[nodiscard]] std::vector<CounterRow> stats_rows(const CacheStats& stats);
 
+/// Every counter of ProxyCache::Stats as (name, value) rows, in declaration
+/// order — the proxy-side twin of stats_rows, under the same stats-coverage
+/// lint rule. Includes all PR-4 resilience failure counters.
+[[nodiscard]] std::vector<CounterRow> proxy_stats_rows(const ProxyCache::Stats& stats);
+
+/// Publish a CacheStats snapshot into `registry` as wcs_cache_* counters.
+/// Counters are *set* (not accumulated), so republishing at every sync
+/// point — day boundary, end of run — is idempotent. This is the bridge
+/// between hot-path plain-struct accounting and the observability registry
+/// (src/obs/registry.h): the hot loop never touches the registry.
+void publish_stats(MetricRegistry& registry, const CacheStats& stats);
+
+/// Publish a ProxyCache::Stats snapshot as wcs_proxy_* counters (same
+/// snapshot semantics as publish_stats).
+void publish_proxy_stats(MetricRegistry& registry, const ProxyCache::Stats& stats);
+
 class DailySeries {
  public:
   /// Record one request outcome at time `now`.
@@ -39,6 +57,16 @@ class DailySeries {
   [[nodiscard]] std::int64_t day_count() const noexcept {
     return static_cast<std::int64_t>(days_.size());
   }
+
+  /// Raw totals of one calendar day — the sync-point feed for observability
+  /// time series (all zeros for unrecorded or out-of-range days).
+  struct DayTotals {
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t hit_bytes = 0;
+  };
+  [[nodiscard]] DayTotals totals_of_day(std::int64_t day) const noexcept;
 
   /// Daily hit rate / weighted hit rate; nullopt for unrecorded days.
   [[nodiscard]] std::vector<std::optional<double>> daily_hr() const;

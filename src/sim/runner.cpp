@@ -5,6 +5,15 @@
 #include <utility>
 
 namespace wcs {
+namespace {
+
+/// Worker index + 1 for pool threads, 0 on any other thread — the span
+/// track of work executed here.
+thread_local unsigned t_worker_track = 0;
+
+}  // namespace
+
+unsigned ParallelRunner::current_track() noexcept { return t_worker_track; }
 
 unsigned ParallelRunner::jobs_from_env() noexcept {
   if (const char* text = std::getenv("WCS_JOBS")) {
@@ -24,7 +33,7 @@ ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs == 0 ? jobs_from_env(
   if (jobs_ <= 1) return;  // inline mode: no threads at all
   workers_.reserve(jobs_);
   for (unsigned i = 0; i < jobs_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -45,7 +54,8 @@ void ParallelRunner::enqueue(std::function<void()> task) {
   ready_.notify_one();
 }
 
-void ParallelRunner::worker_loop() {
+void ParallelRunner::worker_loop(unsigned index) {
+  t_worker_track = index + 1;
   for (;;) {
     std::function<void()> task;
     {

@@ -21,6 +21,7 @@
 // plain loop in disguise.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,9 +29,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "src/obs/span.h"
 
 namespace wcs {
 
@@ -46,6 +50,13 @@ class ParallelRunner {
 
   [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
 
+  /// Record a wall-clock span per submitted job into `spans` (nullptr
+  /// disables, the default). Spans are labelled "job <seq>" in submission
+  /// order and tracked per worker thread, so the Chrome trace export shows
+  /// pool utilization. Set before submitting; the recorder must outlive
+  /// every job. Profiling only — results and gather order are unaffected.
+  void set_span_recorder(SpanRecorder* spans) noexcept { spans_ = spans; }
+
   /// Schedule one cell; the future yields its result (or rethrows its
   /// exception). Executes inline when the pool has a single job or when
   /// called from one of this runner's own workers.
@@ -54,10 +65,11 @@ class ParallelRunner {
     using Result = std::invoke_result_t<Fn&>;
     auto task = std::make_shared<std::packaged_task<Result()>>(std::move(fn));
     std::future<Result> future = task->get_future();
+    const std::uint64_t job = job_seq_.fetch_add(1, std::memory_order_relaxed);
     if (jobs_ <= 1 || on_worker_thread()) {
-      (*task)();
+      run_job(*task, job);
     } else {
-      enqueue([task] { (*task)(); });
+      enqueue([this, task, job] { run_job(*task, job); });
     }
     return future;
   }
@@ -89,8 +101,24 @@ class ParallelRunner {
 
  private:
   void enqueue(std::function<void()> task);
-  void worker_loop();
+  void worker_loop(unsigned index);
   [[nodiscard]] bool on_worker_thread() const noexcept;
+  /// Track of the calling thread: worker index + 1 on a pool worker, 0 on
+  /// the submitting thread (inline execution).
+  [[nodiscard]] static unsigned current_track() noexcept;
+
+  /// Execute one cell, wrapped in a wall span when profiling is on.
+  template <typename Task>
+  void run_job(Task& task, std::uint64_t job) {
+    SpanRecorder* spans = spans_;
+    if (spans == nullptr) {
+      task();
+      return;
+    }
+    const SpanRecorder::WallScope scope{spans, "job " + std::to_string(job),
+                                        current_track()};
+    task();  // a packaged_task: exceptions land in the cell's future
+  }
 
   unsigned jobs_ = 1;
   std::vector<std::thread> workers_;
@@ -98,6 +126,8 @@ class ParallelRunner {
   std::mutex mutex_;
   std::condition_variable ready_;
   bool stopping_ = false;
+  std::atomic<SpanRecorder*> spans_{nullptr};
+  std::atomic<std::uint64_t> job_seq_{0};
 };
 
 }  // namespace wcs

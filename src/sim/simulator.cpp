@@ -1,11 +1,42 @@
 #include "src/sim/simulator.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "src/obs/recorder.h"
 #include "src/util/memory.h"
 
 namespace wcs {
 namespace {
+
+/// End-of-run sync point: publish final stats, convert the daily series
+/// into the recorder's "sim" time series, and lay down sim-time spans for
+/// the whole run and each recorded day. Runs once, after the hot loop.
+void record_run(ObsRecorder& obs, const SimResult& result) {
+  publish_stats(obs.registry(), result.stats);
+  TimeSeries& series = obs.series("sim");
+  const std::int64_t days = result.daily.day_count();
+  for (std::int64_t day = 0; day < days; ++day) {
+    const DailySeries::DayTotals totals = result.daily.totals_of_day(day);
+    if (totals.requests == 0) continue;  // unrecorded day (workload C gaps)
+    SeriesPoint point;
+    point.day = day;
+    point.requests = totals.requests;
+    point.hits = totals.hits;
+    point.bytes = totals.bytes;
+    point.hit_bytes = totals.hit_bytes;
+    series.sample(point);
+    obs.spans().record_sim_span("day " + std::to_string(day), day_start(day),
+                                day_start(day + 1));
+  }
+  if (days > 0) obs.spans().record_sim_span("simulate", day_start(0), day_start(days));
+  Event marker;
+  marker.kind = EventKind::kRunMarker;
+  marker.time = days > 0 ? day_start(days) : 0;
+  marker.size = result.footprint.requests;
+  marker.detail = "simulate:end";
+  obs.emit(marker);
+}
 
 /// Throws with the audit report if `auditable` (anything with an audit()
 /// method) is in a corrupt state — the SimAudit debug contract.
@@ -36,10 +67,11 @@ void check_stream(const RequestSource& source) {
 
 SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
                    const PolicyFactory& make_policy, PeriodicSweepConfig periodic,
-                   SimAudit audit) {
+                   SimAudit audit, ObsRecorder* obs) {
   CacheConfig config;
   config.capacity_bytes = capacity_bytes;
   config.periodic = periodic;
+  config.obs = obs;
   Cache cache{config, make_policy()};
 
   SimResult result;
@@ -58,14 +90,15 @@ SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
   result.footprint.source_resident_bytes = source.resident_bytes();
   result.footprint.peak_rss_bytes = peak_rss_bytes();
   result.availability.served = index;  // the implicit upstream never fails
+  if (obs != nullptr) record_run(*obs, result);
   return result;
 }
 
 SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
                    const PolicyFactory& make_policy, PeriodicSweepConfig periodic,
-                   SimAudit audit) {
+                   SimAudit audit, ObsRecorder* obs) {
   TraceSource source{trace};
-  return simulate(source, capacity_bytes, make_policy, periodic, audit);
+  return simulate(source, capacity_bytes, make_policy, periodic, audit, obs);
 }
 
 SimResult simulate_infinite(RequestSource& source) {

@@ -67,14 +67,24 @@ struct SimAudit {
 
 /// Run `source` against a cache of `capacity_bytes` (0 = infinite). The
 /// source is consumed (single pass).
+///
+/// `obs` (nullptr = disabled) records the run: cache events stream through
+/// the recorder's bus, final stats publish into its registry
+/// (publish_stats), the per-day HR/byte-HR curve lands in the "sim" time
+/// series, and the run plus each simulated day get sim-time spans.
+/// Recording is observation only — SimResult is bit-identical with `obs`
+/// set or null (tests/test_obs.cpp), and the disabled path costs one
+/// pointer test per wiring point (bench_perf obs leg, gate <= 2%).
 [[nodiscard]] SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
                                  const PolicyFactory& make_policy,
-                                 PeriodicSweepConfig periodic = {}, SimAudit audit = {});
+                                 PeriodicSweepConfig periodic = {}, SimAudit audit = {},
+                                 ObsRecorder* obs = nullptr);
 
 /// Materialized adapter for multi-pass callers.
 [[nodiscard]] SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
                                  const PolicyFactory& make_policy,
-                                 PeriodicSweepConfig periodic = {}, SimAudit audit = {});
+                                 PeriodicSweepConfig periodic = {}, SimAudit audit = {},
+                                 ObsRecorder* obs = nullptr);
 
 /// Infinite-cache run: the theoretical maxima of Experiment 1.
 [[nodiscard]] SimResult simulate_infinite(RequestSource& source);

@@ -1,0 +1,376 @@
+#include "src/obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/obs/export.h"
+#include "src/sim/chaos.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+
+namespace wcs {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(ObsRegistry, FindOrCreateIsIdempotent) {
+  MetricRegistry registry;
+  Counter& a = registry.counter("wcs_test_total", "help text");
+  Counter& b = registry.counter("wcs_test_total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  a.inc(4);
+  EXPECT_EQ(b.value(), 5u);
+  a.set(3);  // snapshot publication overwrites
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  MetricRegistry registry;
+  registry.counter("wcs_name");
+  EXPECT_THROW(registry.gauge("wcs_name"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("wcs_name", {1, 2}), std::invalid_argument);
+}
+
+TEST(ObsRegistry, EntriesKeepRegistrationOrder) {
+  MetricRegistry registry;
+  registry.counter("wcs_c");
+  registry.gauge("wcs_g").set(-7);
+  registry.histogram("wcs_h", {10, 100});
+  const auto entries = registry.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "wcs_c");
+  EXPECT_EQ(entries[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(entries[1].name, "wcs_g");
+  ASSERT_NE(entries[1].gauge, nullptr);
+  EXPECT_EQ(entries[1].gauge->value(), -7);
+  EXPECT_EQ(entries[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(registry.find_counter("wcs_c"), entries[0].counter);
+  EXPECT_EQ(registry.find_counter("wcs_missing"), nullptr);
+}
+
+TEST(ObsRegistry, HistogramBucketsCountAndOverflow) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("wcs_sizes", {10, 100});
+  h.observe(5);
+  h.observe(10);   // boundary lands in the <= 10 bucket
+  h.observe(50);
+  h.observe(1000);  // overflow (+Inf) slot
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1065u);
+}
+
+TEST(ObsRegistry, ExponentialBoundsDoubleFromLoToHi) {
+  const auto bounds = Histogram::exponential_bounds(512, 4096);
+  EXPECT_EQ(bounds, (std::vector<std::uint64_t>{512, 1024, 2048, 4096}));
+}
+
+// ------------------------------------------------------------------ events
+
+TEST(ObsEvents, CollectingSinkCopiesDetail) {
+  ObsRecorder recorder;
+  {
+    const std::string transient = "media.cs.vt.edu";
+    Event event;
+    event.kind = EventKind::kBreakerTransition;
+    event.time = 42;
+    event.detail = transient;
+    recorder.emit(event);
+  }  // detail's backing string is gone; the sink must have copied it
+  ASSERT_EQ(recorder.event_count(), 1u);
+  EXPECT_EQ(recorder.collected().at(0).detail, "media.cs.vt.edu");
+  EXPECT_EQ(recorder.event_count_of(EventKind::kBreakerTransition), 1u);
+  EXPECT_EQ(recorder.event_count_of(EventKind::kEviction), 0u);
+}
+
+TEST(ObsEvents, ClearEventsDrainsButKeepsCollecting) {
+  ObsRecorder recorder;
+  Event event;
+  event.kind = EventKind::kChaosFault;
+  event.detail = "latency";
+  recorder.emit(event);
+  recorder.emit(event);
+  ASSERT_EQ(recorder.event_count(), 2u);
+  recorder.clear_events();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  EXPECT_EQ(recorder.event_count_of(EventKind::kChaosFault), 0u);
+  // Arena offsets restart cleanly after a drain.
+  event.detail = "fail_after";
+  recorder.emit(event);
+  ASSERT_EQ(recorder.event_count(), 1u);
+  EXPECT_EQ(recorder.collected().at(0).detail, "fail_after");
+}
+
+TEST(ObsEvents, JsonlFieldRules) {
+  // Minimal marker: only "kind" and "t".
+  Event marker;
+  marker.kind = EventKind::kRunMarker;
+  marker.time = 7;
+  std::ostringstream minimal;
+  write_event_jsonl(minimal, marker, {});
+  EXPECT_NE(minimal.str().find("\"kind\": \"run_marker\""), std::string::npos);
+  EXPECT_NE(minimal.str().find("\"t\": 7"), std::string::npos);
+  EXPECT_EQ(minimal.str().find("url"), std::string::npos);
+  EXPECT_EQ(minimal.str().find("ranks"), std::string::npos);
+
+  // Eviction: url, size, and the rank tuple appear.
+  Event eviction;
+  eviction.kind = EventKind::kEviction;
+  eviction.time = 9;
+  eviction.url = 3;
+  eviction.size = 2048;
+  eviction.rank_count = 2;
+  eviction.ranks[0] = -2048;
+  eviction.ranks[1] = 5;
+  std::ostringstream full;
+  write_event_jsonl(full, eviction, {});
+  EXPECT_NE(full.str().find("\"url\": 3"), std::string::npos);
+  EXPECT_NE(full.str().find("\"size\": 2048"), std::string::npos);
+  EXPECT_NE(full.str().find("\"ranks\": [-2048, 5]"), std::string::npos);
+}
+
+TEST(ObsEvents, JsonQuoteEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST(ObsSpans, SimSpansAreDeterministic) {
+  SpanRecorder spans;
+  spans.record_sim_span("day 0", day_start(0), day_start(1));
+  const auto snapshot = spans.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "day 0");
+  EXPECT_TRUE(snapshot[0].sim_clock);
+  EXPECT_EQ(snapshot[0].start, day_start(0));
+  EXPECT_EQ(snapshot[0].duration, day_start(1) - day_start(0));
+}
+
+TEST(ObsSpans, NullWallScopeRecordsNothing) {
+  {
+    SpanRecorder::WallScope scope{nullptr, "job", 1};
+  }  // must not crash, and there is nothing to record into
+  SpanRecorder spans;
+  {
+    SpanRecorder::WallScope scope{&spans, "job 0", 2};
+  }
+  ASSERT_EQ(spans.size(), 1u);
+  const auto snapshot = spans.snapshot();
+  EXPECT_EQ(snapshot[0].track, 2u);
+  EXPECT_FALSE(snapshot[0].sim_clock);
+  EXPECT_GE(snapshot[0].duration, 0);
+}
+
+// ------------------------------------------------------------------ series
+
+TEST(ObsSeries, FindOrCreateReturnsStableReference) {
+  ObsRecorder recorder;
+  TimeSeries& a = recorder.series("sim");
+  TimeSeries& b = recorder.series("sim", "ignored-after-first-use");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.annotation_label(), "");
+  TimeSeries& chaos = recorder.series("chaos/0.1/cache", "fault_rate");
+  EXPECT_EQ(chaos.annotation_label(), "fault_rate");
+  ASSERT_EQ(recorder.all_series().size(), 2u);
+  EXPECT_EQ(recorder.all_series()[0]->name(), "sim");
+}
+
+// --------------------------------------------------------------- exporters
+
+/// A small recorder with one of everything, for format checks.
+void fill_sample(ObsRecorder& recorder) {
+  recorder.registry().counter("wcs_requests", "Total requests").set(10);
+  recorder.registry().gauge("wcs_depth", "Queue depth").set(-1);
+  Histogram& h = recorder.registry().histogram("wcs_bytes", {10, 100}, "Sizes");
+  h.observe(5);
+  h.observe(1000);
+  Event event;
+  event.kind = EventKind::kAdmission;
+  event.time = 3;
+  event.url = 1;
+  event.size = 64;
+  recorder.emit(event);
+  recorder.spans().record_sim_span("day 0", day_start(0), day_start(1));
+  SeriesPoint point;
+  point.day = 0;
+  point.requests = 4;
+  point.hits = 1;
+  point.bytes = 100;
+  point.hit_bytes = 25;
+  recorder.series("sim").sample(point);
+}
+
+TEST(ObsExport, PrometheusHasCumulativeHistogramBuckets) {
+  ObsRecorder recorder;
+  fill_sample(recorder);
+  std::ostringstream out;
+  write_prometheus(out, recorder.registry());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP wcs_requests Total requests"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wcs_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("wcs_requests 10"), std::string::npos);
+  EXPECT_NE(text.find("wcs_depth -1"), std::string::npos);
+  // Cumulative buckets: le="100" includes the le="10" observation, and
+  // +Inf equals the total count.
+  EXPECT_NE(text.find("wcs_bytes_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("wcs_bytes_bucket{le=\"100\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("wcs_bytes_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("wcs_bytes_count 2"), std::string::npos);
+  EXPECT_NE(text.find("wcs_bytes_sum 1005"), std::string::npos);
+}
+
+TEST(ObsExport, SeriesCsvHeaderAndRow) {
+  ObsRecorder recorder;
+  fill_sample(recorder);
+  std::ostringstream out;
+  write_series_csv(out, recorder);
+  std::istringstream lines{out.str()};
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "series,day,requests,hits,hit_rate,bytes,hit_bytes,byte_hit_rate,"
+            "annotation_label,annotation");
+  std::string row;
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_EQ(row.substr(0, 10), "sim,0,4,1,");
+}
+
+TEST(ObsExport, ChromeTraceIsWellFormedEnvelope) {
+  ObsRecorder recorder;
+  fill_sample(recorder);
+  std::ostringstream out;
+  write_chrome_trace(out, recorder);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("{", 0), 0u);  // starts the envelope
+  EXPECT_NE(text.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"M\""), std::string::npos);  // metadata
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);  // complete span
+  EXPECT_NE(text.find("\"ph\": \"i\""), std::string::npos);  // instant
+  EXPECT_NE(text.find("\"ph\": \"C\""), std::string::npos);  // counter sample
+  EXPECT_EQ(text.substr(text.size() - 2), "}\n");
+}
+
+// ---------------------------------------------- the observer-participation
+// property: recording must not change a single bit of any result.
+
+void expect_identical(const SimResult& on, const SimResult& off) {
+  EXPECT_EQ(on.stats.requests, off.stats.requests);
+  EXPECT_EQ(on.stats.hits, off.stats.hits);
+  EXPECT_EQ(on.stats.requested_bytes, off.stats.requested_bytes);
+  EXPECT_EQ(on.stats.hit_bytes, off.stats.hit_bytes);
+  EXPECT_EQ(on.stats.insertions, off.stats.insertions);
+  EXPECT_EQ(on.stats.evictions, off.stats.evictions);
+  EXPECT_EQ(on.stats.evicted_bytes, off.stats.evicted_bytes);
+  EXPECT_EQ(on.stats.size_change_misses, off.stats.size_change_misses);
+  EXPECT_EQ(on.stats.rejected_too_large, off.stats.rejected_too_large);
+  EXPECT_EQ(on.stats.periodic_sweeps, off.stats.periodic_sweeps);
+  EXPECT_EQ(on.stats.max_used_bytes, off.stats.max_used_bytes);
+  EXPECT_EQ(on.max_used_bytes, off.max_used_bytes);
+  ASSERT_EQ(on.daily.day_count(), off.daily.day_count());
+  for (std::int64_t day = 0; day < on.daily.day_count(); ++day) {
+    const auto lhs = on.daily.totals_of_day(day);
+    const auto rhs = off.daily.totals_of_day(day);
+    EXPECT_EQ(lhs.requests, rhs.requests) << "day " << day;
+    EXPECT_EQ(lhs.hits, rhs.hits) << "day " << day;
+    EXPECT_EQ(lhs.bytes, rhs.bytes) << "day " << day;
+    EXPECT_EQ(lhs.hit_bytes, rhs.hit_bytes) << "day " << day;
+  }
+}
+
+TEST(ObsIdentity, RecorderNeverPerturbsSimulationAcrossPresets) {
+  for (const char* preset : {"U", "G", "C", "BR", "BL"}) {
+    WorkloadGenerator generator{WorkloadSpec::preset(preset).scaled(0.02)};
+    const Trace trace = generator.generate().trace;
+    const std::uint64_t capacity = std::max<std::uint64_t>(trace.unique_bytes() / 10, 1);
+    ObsRecorder recorder;
+    const SimResult on =
+        simulate(trace, capacity, [] { return make_size(); }, {}, {}, &recorder);
+    const SimResult off = simulate(trace, capacity, [] { return make_size(); });
+    SCOPED_TRACE(preset);
+    expect_identical(on, off);
+    // And the recorder actually observed the run.
+    EXPECT_EQ(recorder.event_count_of(EventKind::kEviction), on.stats.evictions);
+    EXPECT_GT(recorder.event_count_of(EventKind::kAdmission), 0u);
+    const Counter* requests = recorder.registry().find_counter("wcs_cache_requests");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_EQ(requests->value(), on.stats.requests);
+  }
+}
+
+TEST(ObsIdentity, RecorderNeverPerturbsExperiment2Grid) {
+  WorkloadGenerator generator{WorkloadSpec::preset("U").scaled(0.01)};
+  const Trace trace = generator.generate().trace;
+  const std::uint64_t capacity = std::max<std::uint64_t>(trace.unique_bytes() / 10, 1);
+  for (const KeySpec& spec : KeySpec::experiment2_grid()) {
+    ObsRecorder recorder;
+    const SimResult on = simulate(
+        trace, capacity, [&spec] { return make_sorted_policy(spec); }, {}, {}, &recorder);
+    const SimResult off =
+        simulate(trace, capacity, [&spec] { return make_sorted_policy(spec); });
+    SCOPED_TRACE(spec.name());
+    expect_identical(on, off);
+  }
+}
+
+TEST(ObsIdentity, EvictionEventsCarryThePolicyRankTuple) {
+  WorkloadGenerator generator{WorkloadSpec::preset("U").scaled(0.01)};
+  const Trace trace = generator.generate().trace;
+  const std::uint64_t capacity = std::max<std::uint64_t>(trace.unique_bytes() / 10, 1);
+  ObsRecorder recorder;
+  const KeySpec hyper_g{{Key::kNref, Key::kAtime, Key::kSize}};
+  const SimResult result = simulate(
+      trace, capacity, [&hyper_g] { return make_sorted_policy(hyper_g); }, {}, {},
+      &recorder);
+  ASSERT_GT(result.stats.evictions, 0u) << "workload too small to evict";
+  std::size_t evictions_seen = 0;
+  recorder.collected().for_each([&](const Event& event) {
+    if (event.kind != EventKind::kEviction) return;
+    ++evictions_seen;
+    EXPECT_EQ(event.rank_count, 3u);  // Hyper-G has 3 keys
+    EXPECT_NE(event.url, kObsNoUrl);
+    EXPECT_GT(event.size, 0u);
+  });
+  EXPECT_EQ(evictions_seen, result.stats.evictions);
+}
+
+TEST(ObsIdentity, RecorderNeverPerturbsProxyReplay) {
+  WorkloadGenerator generator{WorkloadSpec::preset("U").scaled(0.01)};
+  const Trace trace = generator.generate().trace;
+  const auto run = [&trace](ObsRecorder* obs) {
+    ProxyReplayConfig config;
+    config.proxy.capacity_bytes = std::max<std::uint64_t>(trace.unique_bytes() / 10, 1);
+    config.faults = FaultSpec::transient_mix(0.2);
+    config.obs = obs;
+    TraceSource source{trace};
+    return replay_through_proxy(source, config);
+  };
+  ObsRecorder recorder;
+  const ProxyReplayResult on = run(&recorder);
+  const ProxyReplayResult off = run(nullptr);
+  EXPECT_EQ(on.stats.requests, off.stats.requests);
+  EXPECT_EQ(on.stats.hits, off.stats.hits);
+  EXPECT_EQ(on.stats.retries, off.stats.retries);
+  EXPECT_EQ(on.stats.upstream_failures, off.stats.upstream_failures);
+  EXPECT_EQ(on.stats.breaker_opens, off.stats.breaker_opens);
+  EXPECT_EQ(on.stats.stale_served, off.stats.stale_served);
+  EXPECT_EQ(on.stats.failed_requests, off.stats.failed_requests);
+  EXPECT_EQ(on.availability.served, off.availability.served);
+  EXPECT_EQ(on.availability.failed, off.availability.failed);
+  // Retries surfaced as events match the counter.
+  EXPECT_EQ(recorder.event_count_of(EventKind::kUpstreamRetry), on.stats.retries);
+}
+
+}  // namespace
+}  // namespace wcs

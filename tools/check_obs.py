@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Validate the four observability export formats (DESIGN.md §10).
+
+Two modes:
+
+    python3 tools/check_obs.py <dir>
+        Validate an existing export directory containing events.jsonl,
+        trace.json, metrics.prom and series.csv.
+
+    python3 tools/check_obs.py --run <obs_report binary>
+        Run the obs_report example into a temporary directory, require it to
+        exit 0, then validate what it wrote. This is the ``wcs_obs_report``
+        ctest; WCS_SCALE in the environment keeps it fast.
+
+Exit status 0 when every file round-trips, 1 otherwise (one line per
+problem). The checks are deliberately parsers, not golden files: they prove
+the writers emit what the README tells users to load into jq / pandas /
+Perfetto / Prometheus, without pinning byte-level output.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+EVENT_KINDS = {
+    "admission", "eviction", "size_change_miss", "periodic_sweep",
+    "upstream_retry", "breaker_transition", "stale_served", "negative_hit",
+    "chaos_fault", "run_marker",
+}
+
+SERIES_HEADER = ("series,day,requests,hits,hit_rate,bytes,hit_bytes,"
+                 "byte_hit_rate,annotation_label,annotation")
+
+problems: list[str] = []
+
+
+def problem(path: Path, message: str) -> None:
+    problems.append(f"{path}: {message}")
+
+
+def check_events_jsonl(path: Path) -> None:
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            problem(path, f"line {lineno}: not valid JSON ({error})")
+            continue
+        if not isinstance(event, dict):
+            problem(path, f"line {lineno}: not a JSON object")
+            continue
+        if event.get("kind") not in EVENT_KINDS:
+            problem(path, f"line {lineno}: unknown kind {event.get('kind')!r}")
+        if not isinstance(event.get("t"), int):
+            problem(path, f"line {lineno}: missing integer 't'")
+        for key in ("url", "size", "a", "b"):
+            if key in event and not isinstance(event[key], int):
+                problem(path, f"line {lineno}: '{key}' is not an integer")
+        if "ranks" in event:
+            ranks = event["ranks"]
+            if (not isinstance(ranks, list) or not ranks
+                    or not all(isinstance(r, int) for r in ranks)):
+                problem(path, f"line {lineno}: 'ranks' is not a non-empty int list")
+        if "detail" in event and not isinstance(event["detail"], str):
+            problem(path, f"line {lineno}: 'detail' is not a string")
+
+
+def check_trace_json(path: Path, require_spans: bool = False) -> None:
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        problem(path, f"not valid JSON ({error})")
+        return
+    records = document.get("traceEvents")
+    if not isinstance(records, list) or not records:
+        problem(path, "no non-empty 'traceEvents' array")
+        return
+    phases = set()
+    for index, record in enumerate(records):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            problem(path, f"{where}: not an object")
+            continue
+        for key, kind in (("name", str), ("ph", str), ("pid", int),
+                          ("tid", int), ("ts", (int, float))):
+            if not isinstance(record.get(key), kind):
+                problem(path, f"{where}: missing/mistyped '{key}'")
+        phase = record.get("ph")
+        phases.add(phase)
+        if phase == "X" and not isinstance(record.get("dur"), (int, float)):
+            problem(path, f"{where}: complete span without 'dur'")
+        if phase == "C" and not isinstance(record.get("args"), dict):
+            problem(path, f"{where}: counter sample without 'args'")
+        if phase not in {"M", "X", "i", "C"}:
+            problem(path, f"{where}: unexpected phase {phase!r}")
+    # "M" metadata is always written; "X" spans exist only when the run
+    # recorded any (obs_report always does — enforced in --run mode).
+    required = ("M", "X") if require_spans else ("M",)
+    for expected in required:
+        if expected not in phases:
+            problem(path, f"no '{expected}' records (metadata/span tracks missing)")
+
+
+def check_metrics_prom(path: Path) -> None:
+    typed: dict[str, str] = {}
+    histograms: dict[str, list[tuple[str, float]]] = {}
+    counts: dict[str, float] = {}
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 and line.startswith("# HELP "):
+                continue  # empty help text is legal
+            if line.startswith("# TYPE "):
+                if len(parts) < 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                    problem(path, f"line {lineno}: malformed TYPE line")
+                else:
+                    typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            problem(path, f"line {lineno}: unknown comment form")
+            continue
+        name, _, value = line.partition(" ")
+        try:
+            number = float(value)
+        except ValueError:
+            problem(path, f"line {lineno}: sample value {value!r} is not a number")
+            continue
+        base, _, labels = name.partition("{")
+        metric = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in typed:
+                metric = base[: -len(suffix)]
+        if metric not in typed:
+            problem(path, f"line {lineno}: sample for {base!r} has no TYPE header")
+            continue
+        if base.endswith("_bucket"):
+            le = labels.rstrip("}").removeprefix('le="').rstrip('"')
+            bound = float("inf") if le == "+Inf" else float(le)
+            histograms.setdefault(metric, []).append((number, bound))
+        elif base.endswith("_count"):
+            counts[metric] = number
+    for metric, buckets in histograms.items():
+        values = [value for value, _ in buckets]
+        if values != sorted(values):
+            problem(path, f"histogram {metric}: buckets are not cumulative")
+        if buckets and buckets[-1][1] != float("inf"):
+            problem(path, f"histogram {metric}: missing +Inf bucket")
+        if buckets and metric in counts and buckets[-1][0] != counts[metric]:
+            problem(path, f"histogram {metric}: +Inf bucket != _count")
+
+
+def check_series_csv(path: Path) -> None:
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            problem(path, "empty file (expected at least the header)")
+            return
+        if ",".join(header) != SERIES_HEADER:
+            problem(path, f"header mismatch: {','.join(header)!r}")
+            return
+        for lineno, row in enumerate(reader, 2):
+            if len(row) != len(header):
+                problem(path, f"line {lineno}: {len(row)} columns")
+                continue
+            try:
+                day = int(row[1])
+                requests, hits = int(row[2]), int(row[3])
+                hit_rate = float(row[4])
+                bytes_, hit_bytes = int(row[5]), int(row[6])
+                byte_hit_rate = float(row[7])
+            except ValueError as error:
+                problem(path, f"line {lineno}: {error}")
+                continue
+            if day < 0:
+                problem(path, f"line {lineno}: negative day")
+            if hits > requests:
+                problem(path, f"line {lineno}: hits > requests")
+            if hit_bytes > bytes_:
+                problem(path, f"line {lineno}: hit_bytes > bytes")
+            for rate in (hit_rate, byte_hit_rate):
+                if not 0.0 <= rate <= 1.0:
+                    problem(path, f"line {lineno}: rate {rate} outside [0, 1]")
+
+
+def check_directory(directory: Path, require_spans: bool = False) -> None:
+    checks = {
+        "events.jsonl": check_events_jsonl,
+        "trace.json": lambda p: check_trace_json(p, require_spans),
+        "metrics.prom": check_metrics_prom,
+        "series.csv": check_series_csv,
+    }
+    for name, check in checks.items():
+        path = directory / name
+        if not path.is_file():
+            problem(path, "missing")
+            continue
+        check(path)
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if len(args) == 2 and args[0] == "--run":
+        with tempfile.TemporaryDirectory(prefix="wcs_obs_") as scratch:
+            out_dir = Path(scratch) / "exports"
+            result = subprocess.run([args[1], "--out", str(out_dir)],
+                                    stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                                    text=True)
+            if result.returncode != 0:
+                print(result.stdout)
+                print(f"check_obs.py: {args[1]} exited {result.returncode}")
+                return 1
+            check_directory(out_dir, require_spans=True)
+    elif len(args) == 1 and not args[0].startswith("-"):
+        check_directory(Path(args[0]))
+    else:
+        print(__doc__)
+        return 2
+    for entry in problems:
+        print(entry)
+    print(f"check_obs.py: {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

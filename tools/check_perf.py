@@ -87,17 +87,22 @@ def main() -> int:
     # within max_overhead_ratio of the direct-upstream path when no faults
     # are configured. Timing ratios are noisier than memory ratios, so the
     # --tolerance slack applies multiplicatively on top of the cap.
-    faults_cap = baseline.get("faults", {}).get("max_overhead_ratio")
-    if faults_cap is not None and "faults" in measured:
+    # The obs gate is the same contract for the observability recorder:
+    # attaching one to the proxy replay must stay within max_overhead_ratio
+    # of the default null-recorder path.
+    for section in ("faults", "obs"):
+        cap_value = baseline.get(section, {}).get("max_overhead_ratio")
+        if cap_value is None or section not in measured:
+            continue
         checked += 1
-        ratio = float(measured["faults"]["overhead_ratio"])
-        cap = float(faults_cap)
+        ratio = float(measured[section]["overhead_ratio"])
+        cap = float(cap_value)
         limit = cap * (1.0 + args.tolerance)
         status = "ok" if ratio <= limit else "FAIL"
-        print(f"  {status:4} faults.overhead_ratio: {ratio:+.4f} "
+        print(f"  {status:4} {section}.overhead_ratio: {ratio:+.4f} "
               f"(ceiling {cap:.3f}, limit {limit:.3f})")
         if ratio > limit:
-            failures.append("faults.overhead_ratio")
+            failures.append(f"{section}.overhead_ratio")
 
     if checked == 0:
         print("check_perf: no metrics checked — baseline file defines no floors",

@@ -21,8 +21,19 @@ no-float          ``float`` is banned in src/core/: byte accounting and rank
                   arithmetic must stay exact (uint64/int64; ``double`` is
                   allowed only for the paper's ratio outputs).
 stats-coverage    Every counter field of ``CacheStats`` (src/core/cache.h)
-                  must be mentioned in src/sim/metrics.{h,cpp} so reporting
-                  code cannot silently fall behind the struct.
+                  and of ``ProxyCache::Stats`` (src/proxy/proxy.h) must be
+                  mentioned in src/sim/metrics.{h,cpp} so reporting code —
+                  stats_rows / proxy_stats_rows and the observability
+                  publishers (publish_stats / publish_proxy_stats) — cannot
+                  silently fall behind the structs.
+no-raw-logging    Library code under src/ must not write to stdout/stderr
+                  (``printf``/``fprintf``/``std::cout``/``std::cerr``).
+                  Diagnostics flow through the observability subsystem
+                  (src/obs/) or return values; ad-hoc prints are invisible
+                  to the exporters and corrupt machine-read output (CSV,
+                  JSONL). Allowed: src/obs/ (it owns the exporters),
+                  src/util/table.cpp (renders to a caller's stream), and
+                  src/core/audit.cpp (abort-path assert reporting).
 no-using-namespace-header
                   Headers must not inject namespaces into every includer.
 position-of-hot-path
@@ -72,6 +83,9 @@ POSITION_OF_HOME = ("src/core/sorted_policy.h", "src/core/sorted_policy.cpp")
 TRACE_SCAN_RE = re.compile(r"\.\s*requests\s*\(\s*\)")
 UPSTREAM_CALL_RE = re.compile(r"\bupstream_\s*\(")
 RESILIENCE_HOME = ("src/proxy/resilience.h", "src/proxy/resilience.cpp")
+# \b keeps snprintf (string formatting, not logging) legal.
+RAW_LOGGING_RE = re.compile(r"\b(?:std\s*::\s*)?(?:printf|fprintf)\s*\(|std\s*::\s*(?:cout|cerr)\b")
+RAW_LOGGING_ALLOWED = ("src/util/table.cpp", "src/core/audit.cpp")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -179,6 +193,16 @@ class Linter:
                         "wrapper (retries, breaker, stale-if-error); route "
                         "through ResilientUpstream::fetch instead")
 
+        if (rel.startswith("src/") and not rel.startswith("src/obs/")
+                and rel not in RAW_LOGGING_ALLOWED):
+            for lineno, line in enumerate(code_lines, 1):
+                if RAW_LOGGING_RE.search(line):
+                    self.report(
+                        path, lineno, "no-raw-logging",
+                        "raw stdout/stderr write in library code; route "
+                        "diagnostics through src/obs/ (events, metrics) or "
+                        "return them to the caller")
+
         if rel.startswith("src/sim/"):
             for lineno, line in enumerate(code_lines, 1):
                 if TRACE_SCAN_RE.search(line):
@@ -191,25 +215,42 @@ class Linter:
     # -- whole-repo rules --------------------------------------------------
 
     def lint_stats_coverage(self) -> None:
-        cache_h = self.root / "src/core/cache.h"
-        struct = re.search(r"struct\s+CacheStats\s*\{(.*?)\n\};", cache_h.read_text(),
-                           re.DOTALL)
+        # A partial tree (linting a subdirectory extract) simply skips the
+        # coverage rule instead of crashing on the absent files.
+        sources = [self.root / "src/sim/metrics.h", self.root / "src/sim/metrics.cpp"]
+        if not all(path.is_file() for path in sources):
+            return
+        metrics = "".join(path.read_text() for path in sources)
+        self._check_struct_coverage(
+            self.root / "src/core/cache.h",
+            re.compile(r"struct\s+CacheStats\s*\{(.*?)\n\};", re.DOTALL),
+            "CacheStats", "wcs::stats_rows()", metrics)
+        self._check_struct_coverage(
+            self.root / "src/proxy/proxy.h",
+            re.compile(r"struct\s+Stats\s*\{(.*?)\n  \};", re.DOTALL),
+            "ProxyCache::Stats", "wcs::proxy_stats_rows()", metrics)
+
+    def _check_struct_coverage(self, header: Path, struct_re: re.Pattern,
+                               struct_name: str, rows_fn: str, metrics: str) -> None:
+        if not header.is_file():
+            return
+        struct = struct_re.search(header.read_text())
         if struct is None:
-            self.report(cache_h, 1, "stats-coverage", "could not locate struct CacheStats")
+            self.report(header, 1, "stats-coverage",
+                        f"could not locate struct {struct_name}")
             return
         body = strip_comments_and_strings(struct.group(1))
         counters = re.findall(r"\bstd::uint64_t\s+(\w+)\s*=", body)
         if not counters:
-            self.report(cache_h, 1, "stats-coverage", "no counters parsed from CacheStats")
+            self.report(header, 1, "stats-coverage",
+                        f"no counters parsed from {struct_name}")
             return
-        metrics = "".join((self.root / "src/sim" / name).read_text()
-                          for name in ("metrics.h", "metrics.cpp"))
         for counter in counters:
             if not re.search(rf"\b{re.escape(counter)}\b", metrics):
                 self.report(
-                    cache_h, 1, "stats-coverage",
-                    f"CacheStats counter '{counter}' is never mentioned in "
-                    "src/sim/metrics.h or metrics.cpp; extend wcs::stats_rows()")
+                    header, 1, "stats-coverage",
+                    f"{struct_name} counter '{counter}' is never mentioned in "
+                    f"src/sim/metrics.h or metrics.cpp; extend {rows_fn}")
 
     def run(self) -> int:
         files = sorted(
