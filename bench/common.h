@@ -22,6 +22,7 @@
 #include "src/sim/experiments.h"
 #include "src/sim/runner.h"
 #include "src/util/table.h"
+#include "src/util/thread_annotations.h"
 #include "src/workload/generator.h"
 #include "src/workload/report.h"
 
@@ -40,34 +41,54 @@ inline bool gnuplot_from_env() {
   return text != nullptr && text[0] != '\0' && text[0] != '0';
 }
 
-/// Generate (and memoize) a workload preset at the bench scale.
+/// Memoized workload presets at the bench scale.
 ///
-/// Thread-safe: the map is guarded by a mutex and each preset generates
-/// under its own std::once_flag, so ParallelRunner cells may request
-/// workloads concurrently — two cells asking for *distinct* presets
-/// generate in parallel, two asking for the *same* preset generate once
-/// and share the result. Slots are heap-allocated so the returned
-/// reference stays stable across later insertions.
-inline const GeneratedWorkload& workload(const std::string& name) {
+/// Thread-safe, and statically provably so under the `tsa` preset: the
+/// slot map is WCS_GUARDED_BY its mutex, so any future access outside the
+/// critical section fails the `-Wthread-safety -Werror` build instead of
+/// racing at runtime. Each preset generates under its own std::once_flag,
+/// so ParallelRunner cells may request workloads concurrently — two cells
+/// asking for *distinct* presets generate in parallel, two asking for the
+/// *same* preset generate once and share the result (call_once publishes
+/// the generated value to every waiter). Slots are heap-allocated so the
+/// returned reference stays stable across later insertions.
+class WorkloadCache {
+ public:
+  const GeneratedWorkload& get(const std::string& name) WCS_EXCLUDES(mutex_) {
+    Slot* slot = nullptr;
+    {
+      const MutexLock lock{mutex_};
+      auto& owned = slots_[name];
+      if (!owned) owned = std::make_unique<Slot>();
+      slot = owned.get();
+    }
+    // Outside the map lock: generation is long, and holding mutex_ here
+    // would serialize distinct presets behind one generator.
+    std::call_once(slot->once, [slot, &name] {
+      WorkloadGenerator generator{WorkloadSpec::preset(name).scaled(scale_from_env())};
+      slot->value = generator.generate();
+    });
+    return *slot->value;
+  }
+
+  static WorkloadCache& shared() {
+    static WorkloadCache cache;
+    return cache;
+  }
+
+ private:
   struct Slot {
     std::once_flag once;
-    std::optional<GeneratedWorkload> value;
+    std::optional<GeneratedWorkload> value;  // written once, under `once`
   };
-  static std::mutex mutex;
-  static std::map<std::string, std::unique_ptr<Slot>> cache;
 
-  Slot* slot = nullptr;
-  {
-    const std::lock_guard<std::mutex> lock{mutex};
-    auto& owned = cache[name];
-    if (!owned) owned = std::make_unique<Slot>();
-    slot = owned.get();
-  }
-  std::call_once(slot->once, [&] {
-    WorkloadGenerator generator{WorkloadSpec::preset(name).scaled(scale_from_env())};
-    slot->value = generator.generate();
-  });
-  return *slot->value;
+  Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Slot>> slots_ WCS_GUARDED_BY(mutex_);
+};
+
+/// Generate (and memoize) a workload preset at the bench scale.
+inline const GeneratedWorkload& workload(const std::string& name) {
+  return WorkloadCache::shared().get(name);
 }
 
 /// Warm the workload cache for `names`, generating distinct presets

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/util/simtime.h"
+#include "src/util/thread_annotations.h"
 
 namespace wcs {
 
@@ -80,8 +81,10 @@ class EventSink {
 };
 
 /// Fan-out bus. Sinks are registered at setup time (not thread-safe) and
-/// must outlive the bus's last emit.
-class EventBus {
+/// must outlive the bus's last emit. Thread-affine by design: one
+/// simulation cell, one bus — parallel sweeps never share one (see the
+/// determinism rules above), so a lock here would only buy false comfort.
+class WCS_THREAD_AFFINE EventBus {
  public:
   void add_sink(EventSink* sink);
   void emit(const Event& event) {
@@ -110,7 +113,7 @@ struct OwnedEvent {
 /// recorder's only per-event memory traffic, so its footprint is what the
 /// bench_perf obs leg's <= 2% contract rides on: half the bytes written is
 /// half the cache pollution in the instrumented hot loop.
-class CollectingSink final : public EventSink {
+class WCS_THREAD_AFFINE CollectingSink final : public EventSink {
  public:
   void on_event(const Event& event) override;
 

@@ -77,7 +77,10 @@ class TimeSeries {
   std::vector<SeriesPoint> points_;
 };
 
-class ObsRecorder {
+/// Thread-affine like its primitives (one recorder per simulation/replay,
+/// see ownership note above); only the bundled SpanRecorder is internally
+/// locked, because ParallelRunner workers push wall spans concurrently.
+class WCS_THREAD_AFFINE ObsRecorder {
  public:
   ObsRecorder();
   ObsRecorder(const ObsRecorder&) = delete;

@@ -25,6 +25,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
+
 namespace wcs {
 
 class Counter {
@@ -87,7 +89,7 @@ class Histogram {
 
 enum class MetricKind : unsigned char { kCounter, kGauge, kHistogram };
 
-class MetricRegistry {
+class WCS_THREAD_AFFINE MetricRegistry {
  public:
   MetricRegistry() = default;
   MetricRegistry(const MetricRegistry&) = delete;

@@ -9,7 +9,7 @@ void SpanRecorder::record_sim_span(std::string name, SimTime begin, SimTime end)
   record.sim_clock = true;
   record.start = begin;
   record.duration = end >= begin ? end - begin : 0;
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const MutexLock lock{mutex_};
   spans_.push_back(std::move(record));
 }
 
@@ -25,17 +25,17 @@ void SpanRecorder::record_wall_span(std::string name, std::uint32_t track,
   const auto duration =
       std::chrono::duration_cast<std::chrono::microseconds>(end - begin).count();
   record.duration = duration < 0 ? 0 : duration;
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const MutexLock lock{mutex_};
   spans_.push_back(std::move(record));
 }
 
 std::vector<SpanRecord> SpanRecorder::snapshot() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const MutexLock lock{mutex_};
   return spans_;
 }
 
 std::size_t SpanRecorder::size() const {
-  const std::lock_guard<std::mutex> lock{mutex_};
+  const MutexLock lock{mutex_};
   return spans_.size();
 }
 

@@ -18,11 +18,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/simtime.h"
+#include "src/util/thread_annotations.h"
 
 namespace wcs {
 
@@ -42,12 +42,12 @@ class SpanRecorder {
   SpanRecorder& operator=(const SpanRecorder&) = delete;
 
   /// A completed sim-time span (begin/end known at call time).
-  void record_sim_span(std::string name, SimTime begin, SimTime end);
+  void record_sim_span(std::string name, SimTime begin, SimTime end) WCS_EXCLUDES(mutex_);
 
   /// A completed wall-clock span; `track` groups spans per worker.
   void record_wall_span(std::string name, std::uint32_t track,
                         std::chrono::steady_clock::time_point begin,
-                        std::chrono::steady_clock::time_point end);
+                        std::chrono::steady_clock::time_point end) WCS_EXCLUDES(mutex_);
 
   /// RAII wall-clock scope: records on destruction.
   class WallScope {
@@ -72,13 +72,13 @@ class SpanRecorder {
   };
 
   /// Snapshot of every recorded span, emission order.
-  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const WCS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const WCS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::chrono::steady_clock::time_point epoch_;
-  std::vector<SpanRecord> spans_;
+  mutable Mutex mutex_;
+  const std::chrono::steady_clock::time_point epoch_;  // set once, read lock-free
+  std::vector<SpanRecord> spans_ WCS_GUARDED_BY(mutex_);
 };
 
 }  // namespace wcs

@@ -39,7 +39,7 @@ ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs == 0 ? jobs_from_env(
 
 ParallelRunner::~ParallelRunner() {
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     stopping_ = true;
   }
   ready_.notify_all();
@@ -48,7 +48,7 @@ ParallelRunner::~ParallelRunner() {
 
 void ParallelRunner::enqueue(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     queue_.push_back(std::move(task));
   }
   ready_.notify_one();
@@ -59,8 +59,11 @@ void ParallelRunner::worker_loop(unsigned index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock{mutex_};
-      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock{mutex_};
+      // Open-coded wait loop (not the predicate overload): the predicate
+      // reads guarded state, and thread-safety analysis cannot carry the
+      // capability into a lambda body.
+      while (!stopping_ && queue_.empty()) ready_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -22,19 +22,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "src/obs/span.h"
+#include "src/util/thread_annotations.h"
 
 namespace wcs {
 
@@ -100,8 +99,8 @@ class ParallelRunner {
   [[nodiscard]] static ParallelRunner& shared();
 
  private:
-  void enqueue(std::function<void()> task);
-  void worker_loop(unsigned index);
+  void enqueue(std::function<void()> task) WCS_EXCLUDES(mutex_);
+  void worker_loop(unsigned index) WCS_EXCLUDES(mutex_);
   [[nodiscard]] bool on_worker_thread() const noexcept;
   /// Track of the calling thread: worker index + 1 on a pool worker, 0 on
   /// the submitting thread (inline execution).
@@ -121,11 +120,12 @@ class ParallelRunner {
   }
 
   unsigned jobs_ = 1;
+  /// Immutable after the constructor returns; workers never touch it.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ WCS_GUARDED_BY(mutex_);
+  bool stopping_ WCS_GUARDED_BY(mutex_) = false;
+  CondVar ready_;
   std::atomic<SpanRecorder*> spans_{nullptr};
   std::atomic<std::uint64_t> job_seq_{0};
 };

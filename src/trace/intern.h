@@ -5,6 +5,14 @@
 // record sequence assign identical ids (the bit-identity contract between
 // materialized and streaming simulation rests on this). The table is
 // append-only: ids already handed out stay valid for the table's lifetime.
+//
+// Thread affinity: one request source owns one table; first-seen-order ids
+// *are* the determinism contract, so concurrent interning is meaningless
+// here (it would make ids depend on thread scheduling). The sharded-cache
+// era shares immutable tables after a single-owner build phase — it must
+// not add a lock, it must keep the build single-threaded. WCS_THREAD_AFFINE
+// makes that design choice machine-checkable: tools/wcs_analyze.py rejects
+// a mutex member appearing in a thread-affine class.
 #pragma once
 
 #include <cstdint>
@@ -14,10 +22,11 @@
 #include <vector>
 
 #include "src/trace/request.h"
+#include "src/util/thread_annotations.h"
 
 namespace wcs {
 
-class InternTable {
+class WCS_THREAD_AFFINE InternTable {
  public:
   /// Intern a URL (and its server, derived from the URL authority or "-")
   /// and return its id. Repeated calls are idempotent.

@@ -1,0 +1,126 @@
+// Clang Thread Safety Analysis surface (DESIGN.md §11).
+//
+// The determinism contract this repo runs on — (preset, seed) -> result,
+// bit for bit — dies silently the moment a shared structure is touched
+// off-lock: no test fails, a table is just quietly wrong on some machine.
+// Before the sharded-ProxyCache era (ROADMAP item 1) puts mutexes on the
+// hot path, every lock in the tree is made *statically checkable*:
+//
+//   * the WCS_* macros map onto Clang's thread-safety attributes and
+//     expand to nothing on other compilers, so GCC builds are unaffected;
+//   * wcs::Mutex / wcs::MutexLock / wcs::CondVar wrap their std
+//     counterparts with the attributes attached — libstdc++'s std::mutex
+//     carries no annotations, so Clang cannot see through
+//     std::lock_guard<std::mutex>; the wrappers are what make
+//     `-Wthread-safety` (the `tsa` preset, enforced with -Werror in CI)
+//     actually prove lock discipline instead of warning on every access;
+//   * WCS_THREAD_AFFINE marks deliberately single-owner classes
+//     (InternTable, MetricRegistry, EventBus — one simulation cell, one
+//     owner, no lock by design). It expands to nothing; tools/
+//     wcs_analyze.py reads the marker and rejects the contradiction of a
+//     thread-affine class growing a mutex member.
+//
+// Project rule (enforced by wcs_analyze's mutex-annotation rule): library
+// and bench code never declares a raw std::mutex member — it declares
+// wcs::Mutex, and every piece of state the lock protects carries
+// WCS_GUARDED_BY(that_mutex). Functions that take the lock internally are
+// annotated WCS_EXCLUDES(mutex); functions that require it held,
+// WCS_REQUIRES(mutex).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define WCS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WCS_THREAD_ANNOTATION(x)  // no-op off Clang (GCC, MSVC)
+#endif
+
+// A type that acts as a lock (wcs::Mutex below).
+#define WCS_CAPABILITY(x) WCS_THREAD_ANNOTATION(capability(x))
+// A RAII type that holds a capability for its lifetime (wcs::MutexLock).
+#define WCS_SCOPED_CAPABILITY WCS_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: which mutex protects them.
+#define WCS_GUARDED_BY(x) WCS_THREAD_ANNOTATION(guarded_by(x))
+#define WCS_PT_GUARDED_BY(x) WCS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: capability contracts at the call boundary.
+#define WCS_REQUIRES(...) WCS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define WCS_ACQUIRE(...) WCS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define WCS_RELEASE(...) WCS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define WCS_TRY_ACQUIRE(...) WCS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define WCS_EXCLUDES(...) WCS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define WCS_ASSERT_CAPABILITY(x) WCS_THREAD_ANNOTATION(assert_capability(x))
+#define WCS_RETURN_CAPABILITY(x) WCS_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model. Every use must carry a
+// justification comment; wcs_analyze treats bare uses as findings.
+#define WCS_NO_THREAD_SAFETY_ANALYSIS WCS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Semantic marker (expands to nothing): this class is single-owner by
+// design — one simulation/replay owns it, no concurrent access, hence no
+// lock. tools/wcs_analyze.py flags a WCS_THREAD_AFFINE class that declares
+// a mutex member as a contradiction.
+#define WCS_THREAD_AFFINE
+
+namespace wcs {
+
+/// std::mutex with the capability attribute attached — the only mutex type
+/// library/bench code may declare as a member (wcs_analyze:
+/// mutex-annotation).
+class WCS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WCS_ACQUIRE() { mutex_.lock(); }
+  void unlock() WCS_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() WCS_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;  // waits on the wrapped handle via std::unique_lock
+  std::mutex mutex_;
+};
+
+/// RAII lock for wcs::Mutex — std::lock_guard with the scoped-capability
+/// attribute, so Clang tracks the critical section's extent.
+class WCS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) WCS_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() WCS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to wcs::Mutex. wait() follows the Clang TSA
+/// idiom: the caller holds the mutex on entry and on return
+/// (WCS_REQUIRES); the release/re-acquire while sleeping happens inside,
+/// where the analysis does not look (std::adopt_lock borrows the held
+/// handle, release() hands it back still locked).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mutex) WCS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> handle{mutex.mutex_, std::adopt_lock};
+    cv_.wait(handle);
+    handle.release();  // caller still holds the capability
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace wcs

@@ -3,10 +3,21 @@
 
 Enforces repo rules that clang-tidy cannot express. Run from anywhere:
 
-    python3 tools/lint.py [repo-root]
+    python3 tools/lint.py [repo-root] [--github]
 
 Exit status 0 when clean, 1 when any rule fires (one line per finding,
-``path:line: [rule] message``). Wired into ctest as the ``wcs_lint`` test.
+``path:line: [rule] message``), 2 when the tree looks wrong (no sources).
+``--github`` additionally emits GitHub workflow commands (``::error
+file=...``) so CI surfaces findings as inline annotations. Wired into
+ctest as the ``wcs_lint`` test; ``tools/test_lint.py`` (ctest
+``wcs_lint_selftest``) runs every rule against fixture trees under
+``tools/testdata/lint/``.
+
+Rule dispatch is a declarative table: a ``PatternRule`` is one regex plus
+a path scope (and optional per-match filter), scanned per line of
+comment/string-stripped source; ``FILE_RULES`` and ``REPO_RULES`` hold the
+few checks that need whole-file or cross-file context. Adding a rule means
+adding a table row (see DESIGN.md §11 "Adding a rule").
 
 Rules
 -----
@@ -14,6 +25,13 @@ rng-isolation     All randomness flows through src/util/rng.*. ``rand()``,
                   ``srand()``, ``std::random_device``, ``std::mt19937`` (et
                   al.) anywhere else silently break the (preset, seed) ->
                   result determinism the trace-repro story depends on.
+no-wall-clock     Result-affecting code (src/core, src/sim, src/trace,
+                  src/workload, src/proxy) never reads the wall clock
+                  (``system_clock``/``steady_clock``/``time()``/...).
+                  Simulated time is the only clock results may see; wall
+                  time lives in src/obs/ wall spans, which never feed
+                  results. Fast regex backstop — tools/wcs_analyze.py's
+                  wall-clock rule is the authoritative, AST-level check.
 no-build-include  ``#include`` paths must never reach into a build tree;
                   generated headers differ per machine.
 pragma-once       Every header carries ``#pragma once``.
@@ -62,30 +80,151 @@ from __future__ import annotations
 
 import re
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Iterable
 
 CPP_SUFFIXES = {".h", ".cpp"}
 SOURCE_DIRS = ("src", "tests", "bench", "examples")
 
-RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
-RNG_PATTERNS = [
-    (re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("), "rand()/srand()"),
-    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
-    (re.compile(r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
-                r"ranlux\w+|knuth_b)\b"), "a std <random> engine"),
-]
+# The dirs whose output is (or feeds) a reproducible result table. src/obs/
+# is deliberately absent: wall spans measure the machine, not the model.
+RESULT_DIRS = ("src/core/", "src/sim/", "src/trace/", "src/workload/", "src/proxy/")
 
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
-FLOAT_RE = re.compile(r"\bfloat\b")
-USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\s+\w")
-POSITION_OF_RE = re.compile(r"\bposition_of\s*\(")
+
+# -- path scopes -------------------------------------------------------------
+# A scope is a predicate over the repo-relative posix path; combinators keep
+# the rule table below readable.
+
+PathPred = Callable[[str], bool]
+
+
+def everywhere(_rel: str) -> bool:
+    return True
+
+
+def under(*prefixes: str) -> PathPred:
+    return lambda rel: rel.startswith(prefixes)
+
+
+def outside(*files: str) -> PathPred:
+    return lambda rel: rel not in files
+
+
+def headers(rel: str) -> bool:
+    return rel.endswith(".h")
+
+
+def all_of(*preds: PathPred) -> PathPred:
+    return lambda rel: all(pred(rel) for pred in preds)
+
+
+# -- declarative rule tables -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PatternRule:
+    """One regex scanned per line of comment/string-stripped code.
+
+    ``where`` narrows a match beyond the regex (e.g. only build-tree paths
+    among all includes); ``raw`` matches the unstripped source instead
+    (include directives live outside the token stream proper).
+    """
+
+    name: str
+    pattern: re.Pattern
+    message: str
+    applies: PathPred
+    where: Callable[[re.Match], bool] | None = None
+    raw: bool = False
+
+
+RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
 POSITION_OF_HOME = ("src/core/sorted_policy.h", "src/core/sorted_policy.cpp")
-TRACE_SCAN_RE = re.compile(r"\.\s*requests\s*\(\s*\)")
-UPSTREAM_CALL_RE = re.compile(r"\bupstream_\s*\(")
 RESILIENCE_HOME = ("src/proxy/resilience.h", "src/proxy/resilience.cpp")
-# \b keeps snprintf (string formatting, not logging) legal.
-RAW_LOGGING_RE = re.compile(r"\b(?:std\s*::\s*)?(?:printf|fprintf)\s*\(|std\s*::\s*(?:cout|cerr)\b")
 RAW_LOGGING_ALLOWED = ("src/util/table.cpp", "src/core/audit.cpp")
+
+_RNG_MESSAGE = ("{what} outside src/util/rng.* breaks trace-repro "
+                "determinism; draw from wcs::Rng instead")
+
+PATTERN_RULES: tuple[PatternRule, ...] = (
+    PatternRule(
+        name="rng-isolation",
+        pattern=re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("),
+        message=_RNG_MESSAGE.format(what="rand()/srand()"),
+        applies=outside(*RNG_HOME)),
+    PatternRule(
+        name="rng-isolation",
+        pattern=re.compile(r"\bstd\s*::\s*random_device\b"),
+        message=_RNG_MESSAGE.format(what="std::random_device"),
+        applies=outside(*RNG_HOME)),
+    PatternRule(
+        name="rng-isolation",
+        pattern=re.compile(r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|"
+                           r"default_random_engine|ranlux\w+|knuth_b)\b"),
+        message=_RNG_MESSAGE.format(what="a std <random> engine"),
+        applies=outside(*RNG_HOME)),
+    PatternRule(
+        name="no-wall-clock",
+        pattern=re.compile(r"std\s*::\s*chrono\s*::\s*(?:system_clock|steady_clock|"
+                           r"high_resolution_clock)\b|"
+                           r"\b(?:std\s*::\s*)?time\s*\(|"
+                           r"\b(?:gettimeofday|clock_gettime|localtime|gmtime|"
+                           r"mktime|timegm)\s*\("),
+        message=("wall-clock read in result-affecting code; results may only "
+                 "see SimTime (wall time belongs to src/obs/ wall spans). "
+                 "Authoritative check: tools/wcs_analyze.py wall-clock"),
+        applies=under(*RESULT_DIRS)),
+    PatternRule(
+        name="no-build-include",
+        pattern=re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]'),
+        message="#include of a build tree path",
+        applies=everywhere,
+        where=lambda match: re.search(r"(^|/)build[^/]*/", match.group(1)) is not None,
+        raw=True),
+    PatternRule(
+        name="no-float",
+        pattern=re.compile(r"\bfloat\b"),
+        message=("'float' in byte-accounting code; use std::uint64_t / "
+                 "std::int64_t (or double for final ratios)"),
+        applies=under("src/core/")),
+    PatternRule(
+        name="no-using-namespace-header",
+        pattern=re.compile(r"\busing\s+namespace\s+\w"),
+        message="'using namespace' in a header leaks into every includer",
+        applies=headers),
+    PatternRule(
+        name="position-of-hot-path",
+        pattern=re.compile(r"\bposition_of\s*\("),
+        message=("position_of() is an O(n) scan reserved for tests and "
+                 "diagnostics; simulation code must stay O(log n) per op"),
+        applies=all_of(under("src/"), outside(*POSITION_OF_HOME))),
+    PatternRule(
+        name="no-unchecked-upstream",
+        pattern=re.compile(r"\bupstream_\s*\("),
+        message=("direct upstream_(...) call bypasses the resilience "
+                 "wrapper (retries, breaker, stale-if-error); route "
+                 "through ResilientUpstream::fetch instead"),
+        applies=all_of(under("src/proxy/"), outside(*RESILIENCE_HOME))),
+    PatternRule(
+        name="no-raw-logging",
+        # \b keeps snprintf (string formatting, not logging) legal.
+        pattern=re.compile(r"\b(?:std\s*::\s*)?(?:printf|fprintf)\s*\(|"
+                           r"std\s*::\s*(?:cout|cerr)\b"),
+        message=("raw stdout/stderr write in library code; route "
+                 "diagnostics through src/obs/ (events, metrics) or "
+                 "return them to the caller"),
+        applies=all_of(under("src/"),
+                       lambda rel: not rel.startswith("src/obs/"),
+                       outside(*RAW_LOGGING_ALLOWED))),
+    PatternRule(
+        name="no-trace-scan-in-sim",
+        pattern=re.compile(r"\.\s*requests\s*\(\s*\)"),
+        message=("scanning trace.requests() in src/sim/ bypasses the "
+                 "streaming architecture; pull from a RequestSource "
+                 "(TraceSource for a materialized pass) instead"),
+        applies=under("src/sim/")),
+)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -130,89 +269,45 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.findings: list[str] = []
+        self.github: list[str] = []
 
     def report(self, path: Path, line: int, rule: str, message: str) -> None:
         rel = path.relative_to(self.root)
         self.findings.append(f"{rel}:{line}: [{rule}] {message}")
+        self.github.append(
+            f"::error file={rel},line={line},title=lint {rule}::{message}")
 
-    # -- per-file rules ----------------------------------------------------
+    # -- per-file dispatch ---------------------------------------------------
 
     def lint_file(self, path: Path) -> None:
         rel = path.relative_to(self.root).as_posix()
         raw = path.read_text(encoding="utf-8", errors="replace")
         code = strip_comments_and_strings(raw)
-        code_lines = code.splitlines()
         raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
 
-        if path.suffix == ".h" and "#pragma once" not in raw:
+        for rule in PATTERN_RULES:
+            if not rule.applies(rel):
+                continue
+            lines = raw_lines if rule.raw else code_lines
+            for lineno, line in enumerate(lines, 1):
+                match = rule.pattern.search(line)
+                if match is None:
+                    continue
+                if rule.where is not None and not rule.where(match):
+                    continue
+                self.report(path, lineno, rule.name, rule.message)
+
+        for name, check in FILE_RULES:
+            check(self, path, rel, raw)
+
+    # -- whole-file rules ----------------------------------------------------
+
+    def check_pragma_once(self, path: Path, rel: str, raw: str) -> None:
+        if rel.endswith(".h") and "#pragma once" not in raw:
             self.report(path, 1, "pragma-once", "header is missing '#pragma once'")
 
-        if rel not in RNG_HOME:
-            for lineno, line in enumerate(code_lines, 1):
-                for pattern, what in RNG_PATTERNS:
-                    if pattern.search(line):
-                        self.report(
-                            path, lineno, "rng-isolation",
-                            f"{what} outside src/util/rng.* breaks trace-repro "
-                            "determinism; draw from wcs::Rng instead")
-
-        for lineno, line in enumerate(raw_lines, 1):
-            match = INCLUDE_RE.match(line)
-            if match and re.search(r"(^|/)build[^/]*/", match.group(1)):
-                self.report(path, lineno, "no-build-include",
-                            f"#include of a build tree path '{match.group(1)}'")
-
-        if rel.startswith("src/core/"):
-            for lineno, line in enumerate(code_lines, 1):
-                if FLOAT_RE.search(line):
-                    self.report(
-                        path, lineno, "no-float",
-                        "'float' in byte-accounting code; use std::uint64_t / "
-                        "std::int64_t (or double for final ratios)")
-
-        if path.suffix == ".h":
-            for lineno, line in enumerate(code_lines, 1):
-                if USING_NAMESPACE_RE.search(line):
-                    self.report(path, lineno, "no-using-namespace-header",
-                                "'using namespace' in a header leaks into every includer")
-
-        if rel.startswith("src/") and rel not in POSITION_OF_HOME:
-            for lineno, line in enumerate(code_lines, 1):
-                if POSITION_OF_RE.search(line):
-                    self.report(
-                        path, lineno, "position-of-hot-path",
-                        "position_of() is an O(n) scan reserved for tests and "
-                        "diagnostics; simulation code must stay O(log n) per op")
-
-        if rel.startswith("src/proxy/") and rel not in RESILIENCE_HOME:
-            for lineno, line in enumerate(code_lines, 1):
-                if UPSTREAM_CALL_RE.search(line):
-                    self.report(
-                        path, lineno, "no-unchecked-upstream",
-                        "direct upstream_(...) call bypasses the resilience "
-                        "wrapper (retries, breaker, stale-if-error); route "
-                        "through ResilientUpstream::fetch instead")
-
-        if (rel.startswith("src/") and not rel.startswith("src/obs/")
-                and rel not in RAW_LOGGING_ALLOWED):
-            for lineno, line in enumerate(code_lines, 1):
-                if RAW_LOGGING_RE.search(line):
-                    self.report(
-                        path, lineno, "no-raw-logging",
-                        "raw stdout/stderr write in library code; route "
-                        "diagnostics through src/obs/ (events, metrics) or "
-                        "return them to the caller")
-
-        if rel.startswith("src/sim/"):
-            for lineno, line in enumerate(code_lines, 1):
-                if TRACE_SCAN_RE.search(line):
-                    self.report(
-                        path, lineno, "no-trace-scan-in-sim",
-                        "scanning trace.requests() in src/sim/ bypasses the "
-                        "streaming architecture; pull from a RequestSource "
-                        "(TraceSource for a materialized pass) instead")
-
-    # -- whole-repo rules --------------------------------------------------
+    # -- whole-repo rules ----------------------------------------------------
 
     def lint_stats_coverage(self) -> None:
         # A partial tree (linting a subdirectory extract) simply skips the
@@ -252,7 +347,7 @@ class Linter:
                     f"{struct_name} counter '{counter}' is never mentioned in "
                     f"src/sim/metrics.h or metrics.cpp; extend {rows_fn}")
 
-    def run(self) -> int:
+    def run(self, github: bool = False) -> int:
         files = sorted(
             path
             for directory in SOURCE_DIRS
@@ -263,17 +358,39 @@ class Linter:
             return 2
         for path in files:
             self.lint_file(path)
-        self.lint_stats_coverage()
+        for name, check in REPO_RULES:
+            check(self)
         for finding in self.findings:
             print(finding)
+        if github:
+            for annotation in self.github:
+                print(annotation)
         print(f"lint.py: {len(files)} files checked, {len(self.findings)} finding(s)")
         return 1 if self.findings else 0
 
 
-def main() -> int:
-    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path(
-        __file__).resolve().parent.parent
-    return Linter(root).run()
+# Whole-file and whole-repo rules: (name, callable) rows so the self-test
+# can enumerate every rule by name (RULE_NAMES below).
+FILE_RULES: tuple[tuple[str, Callable[[Linter, Path, str, str], None]], ...] = (
+    ("pragma-once", Linter.check_pragma_once),
+)
+REPO_RULES: tuple[tuple[str, Callable[[Linter], None]], ...] = (
+    ("stats-coverage", Linter.lint_stats_coverage),
+)
+
+RULE_NAMES: tuple[str, ...] = tuple(
+    dict.fromkeys([rule.name for rule in PATTERN_RULES]
+                  + [name for name, _ in FILE_RULES]
+                  + [name for name, _ in REPO_RULES]))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    github = "--github" in args
+    if github:
+        args.remove("--github")
+    root = Path(args[0]).resolve() if args else Path(__file__).resolve().parent.parent
+    return Linter(root).run(github=github)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/wcs_analyze.py (ctest ``wcs_analyze_selftest``).
+
+Each directory under tools/testdata/analyze/ is a miniature repo root.
+For the rule fixtures the contract mirrors tools/test_lint.py: the mapped
+rule must fire at every path containing ``bad``, and nothing may fire
+anywhere else (each fixture plants the banned construct in an allowed
+location too — src/obs/ for wall clocks, src/util/rng.cpp for engines, a
+.cpp file for the obs recorder seam, ...).
+
+Three fixtures exercise the surrounding machinery instead of a rule:
+
+  * ``allowlist_hold``  — a finding suppressed by the fixture's own
+    allowlist.json must yield a clean exit with suppressed=1, and the same
+    tree WITHOUT the allowlist must fail (proving suppression, not
+    absence);
+  * ``stale_allowlist`` — an entry matching nothing and an entry without a
+    justification are themselves findings;
+  * ``clean``           — a compliant tree analyzes silent.
+
+All runs pin ``--engine tokens``: the degraded engine is what executes in
+environments without libclang (this container included), so it is the
+behavior the gate must vouch for. Completeness is checked both ways
+against wcs_analyze.RULE_NAMES. Exit 0 when everything passes; 1
+otherwise, one line per failure.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import wcs_analyze  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "testdata" / "analyze"
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[\w-]+)\] ")
+
+# fixture directory -> rule expected to fire at its bad-named paths.
+# obs_seam is a scope probe of include-layering, hence the shared target.
+FIXTURE_RULES = {
+    "wall_clock": "wall-clock",
+    "unordered_iteration": "unordered-iteration",
+    "rng_discipline": "rng-discipline",
+    "include_layering": "include-layering",
+    "obs_seam": "include-layering",
+    "mutex_annotation": "mutex-annotation",
+    "tsa_escape": "tsa-escape",
+}
+SPECIAL_FIXTURES = {"allowlist_hold", "stale_allowlist", "clean"}
+
+failures: list[str] = []
+
+
+def fail(message: str) -> None:
+    failures.append(message)
+
+
+def run_analyze(root: Path, *extra: str) -> tuple[int, list[tuple[str, str]], str]:
+    out = io.StringIO()
+    with redirect_stdout(out):
+        status = wcs_analyze.main([str(root), "--engine", "tokens", *extra])
+    findings = []
+    for line in out.getvalue().splitlines():
+        match = FINDING_RE.match(line)
+        if match:
+            findings.append((match.group("rule"), Path(match.group("path")).as_posix()))
+    return status, findings, out.getvalue()
+
+
+def check_rule_fixture(fixture: Path, rule: str) -> None:
+    status, findings, _ = run_analyze(fixture)
+    bad_paths = sorted(
+        p.relative_to(fixture).as_posix()
+        for p in fixture.rglob("*")
+        if p.is_file() and "bad" in p.name)
+
+    if status != 1:
+        fail(f"{fixture.name}: expected exit 1, got {status}")
+    if not bad_paths:
+        fail(f"{fixture.name}: fixture defines no bad file")
+
+    fired_paths = {path for r, path in findings if r == rule}
+    for bad in bad_paths:
+        if bad not in fired_paths:
+            fail(f"{fixture.name}: [{rule}] did not fire at {bad} "
+                 f"(findings: {findings})")
+    for r, path in findings:
+        if path not in bad_paths:
+            fail(f"{fixture.name}: unexpected [{r}] at {path} — "
+                 "scope or exemption regressed")
+
+
+def check_allowlist_hold(fixture: Path) -> None:
+    allowlist = fixture / "allowlist.json"
+    status, findings, out = run_analyze(fixture, "--allowlist", str(allowlist))
+    if status != 0 or findings:
+        fail(f"allowlist_hold: expected a clean suppressed run, got "
+             f"exit {status} findings {findings}")
+    if "suppressed=1" not in out:
+        fail(f"allowlist_hold: summary does not report suppressed=1: {out!r}")
+    # The same tree without the allowlist must fail — the suppression is
+    # doing work, the finding is not simply absent.
+    status, findings, _ = run_analyze(fixture)
+    if status != 1 or ("wall-clock", "src/sim/held_clock.cpp") not in findings:
+        fail(f"allowlist_hold: bare run should fire wall-clock, got "
+             f"exit {status} findings {findings}")
+
+
+def check_stale_allowlist(fixture: Path) -> None:
+    allowlist = fixture / "allowlist.json"
+    status, findings, _ = run_analyze(fixture, "--allowlist", str(allowlist))
+    stale = [f for f in findings if f[0] == "stale-allowlist"]
+    if status != 1 or len(stale) != 2:
+        fail(f"stale_allowlist: expected exit 1 with 2 stale-allowlist "
+             f"findings (unmatched entry + bare justification), got "
+             f"exit {status} findings {findings}")
+
+
+def check_clean(fixture: Path) -> None:
+    status, findings, _ = run_analyze(fixture)
+    if status != 0 or findings:
+        fail(f"clean: expected a silent run, got exit {status} "
+             f"findings {findings}")
+
+
+def check_outputs() -> None:
+    # --json: the machine-readable report parses and carries the contract
+    # fields CI consumes.
+    out = io.StringIO()
+    with redirect_stdout(out):
+        status = wcs_analyze.main(
+            [str(FIXTURES / "wall_clock"), "--engine", "tokens", "--json", "-"])
+    text = out.getvalue()
+    start, end = text.index("{"), text.rindex("}") + 1
+    report = json.loads(text[start:end])
+    if status != 1 or report["tool"] != "wcs_analyze":
+        fail(f"--json: bad status/tool ({status}, {report.get('tool')})")
+    if report["engine"] != "tokens" or report["degraded"] is not True:
+        fail(f"--json: degraded token engine not reported: {report}")
+    if not report["findings"] or report["findings"][0]["rule"] != "wall-clock":
+        fail(f"--json: findings missing from report: {report['findings']}")
+    for key in ("files_checked", "suppressed", "allowlist"):
+        if key not in report:
+            fail(f"--json: report lacks '{key}'")
+
+    # --fix-suggestions: actionable edits print under the finding.
+    _, _, out = run_analyze(FIXTURES / "mutex_annotation", "--fix-suggestions")
+    if "fix: " not in out:
+        fail(f"--fix-suggestions: no 'fix:' line in output: {out!r}")
+
+    # --github: CI annotations use the workflow-command syntax.
+    _, _, out = run_analyze(FIXTURES / "wall_clock", "--github")
+    if "::error file=src/sim/bad_clock.cpp," not in out:
+        fail(f"--github: no workflow-command annotation in output: {out!r}")
+
+
+def main() -> int:
+    fixtures = sorted(d for d in FIXTURES.iterdir() if d.is_dir())
+    if not fixtures:
+        print(f"test_analyze: no fixtures under {FIXTURES}", file=sys.stderr)
+        return 1
+
+    for fixture in fixtures:
+        if fixture.name in FIXTURE_RULES:
+            check_rule_fixture(fixture, FIXTURE_RULES[fixture.name])
+        elif fixture.name == "allowlist_hold":
+            check_allowlist_hold(fixture)
+        elif fixture.name == "stale_allowlist":
+            check_stale_allowlist(fixture)
+        elif fixture.name == "clean":
+            check_clean(fixture)
+        else:
+            fail(f"fixture directory '{fixture.name}' is not mapped in "
+                 "FIXTURE_RULES or SPECIAL_FIXTURES")
+
+    check_outputs()
+
+    # Completeness both ways: every emitted rule has a firing fixture
+    # (stale-allowlist is covered by its special fixture), and the mapping
+    # names only real rules.
+    covered = set(FIXTURE_RULES.values()) | {"stale-allowlist"}
+    for rule in wcs_analyze.RULE_NAMES:
+        if rule not in covered:
+            fail(f"rule [{rule}] has no fixture under testdata/analyze/")
+    for rule in sorted(covered - set(wcs_analyze.RULE_NAMES)):
+        fail(f"fixture mapping names unknown rule [{rule}]")
+
+    # Empty-tree guard (exit 2) stays intact.
+    status, _, _ = run_analyze(FIXTURES / "clean" / "src" / "util")
+    if status != 2:
+        fail(f"empty tree: expected exit 2, got {status}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print(f"test_analyze: {len(fixtures)} fixture(s), {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

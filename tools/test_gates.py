@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Self-tests for the perf and obs gates (ctest ``wcs_gate_selftest``).
+
+tools/check_perf.py and tools/check_obs.py gate every CI run, so they get
+the same treatment lint and the analyzer get: checked-in fixtures under
+tools/testdata/gates/ proving each gate *passes compliant input* and
+*rejects each class of broken input* with the documented exit code
+(0 clean, 1 findings, 2 usage/parse error).
+
+check_perf.py: a healthy measurement passes; a regressed one trips every
+floor and both ceilings; the --tolerance slack admits a borderline value
+at the default 30% and rejects it at 0%; a missing input and a floorless
+baseline both exit 2 (the gate never passes vacuously).
+
+check_obs.py: a minimal valid export of all four formats round-trips; a
+broken export is rejected with one problem line per defect (unknown event
+kind, non-integer timestamp, span without 'dur', sample without a TYPE
+header, hits > requests); bad usage exits 2.
+
+Both gates read sys.argv and keep module-level state, so they run as
+subprocesses — which also exercises the exact entry points ctest and CI
+invoke. Exit 0 when all checks pass; 1 otherwise, one line per failure.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+FIXTURES = TOOLS / "testdata" / "gates"
+PERF = FIXTURES / "perf"
+
+failures: list[str] = []
+
+
+def fail(message: str) -> None:
+    failures.append(message)
+
+
+def run(script: str, *args: str) -> tuple[int, str]:
+    result = subprocess.run(
+        [sys.executable, str(TOOLS / script), *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return result.returncode, result.stdout
+
+
+def expect(label: str, script: str, args: list[str], status: int,
+           contains: list[str] | None = None) -> None:
+    got, out = run(script, *args)
+    if got != status:
+        fail(f"{label}: expected exit {status}, got {got}; output: {out!r}")
+        return
+    for needle in contains or []:
+        if needle not in out:
+            fail(f"{label}: output lacks {needle!r}; output: {out!r}")
+
+
+def main() -> int:
+    baseline = str(PERF / "baseline.json")
+
+    # --- check_perf.py ---------------------------------------------------
+    expect("perf good", "check_perf.py",
+           [str(PERF / "measured_good.json"), baseline], 0,
+           ["metric(s) at or above their floors"])
+    expect("perf regressed", "check_perf.py",
+           [str(PERF / "measured_bad.json"), baseline], 1,
+           ["grid.serial_requests_per_sec",
+            "micro.zipf.lru.requests_per_sec",
+            "streaming.resident_ratio",
+            "faults.overhead_ratio",
+            "4/5 metric(s) below floor"])
+    # The tolerance slack: 800k against a 1M floor clears the default 30%
+    # limit (700k) but not a zero-tolerance run.
+    expect("perf slack admitted", "check_perf.py",
+           [str(PERF / "measured_slack.json"), baseline], 0)
+    expect("perf slack rejected at --tolerance 0", "check_perf.py",
+           [str(PERF / "measured_slack.json"), baseline, "--tolerance", "0"], 1,
+           ["grid.serial_requests_per_sec"])
+    expect("perf missing input", "check_perf.py",
+           [str(PERF / "no_such_file.json"), baseline], 2)
+    expect("perf floorless baseline", "check_perf.py",
+           [str(PERF / "measured_good.json"), str(PERF / "empty_baseline.json")],
+           2, ["no metrics checked"])
+
+    # --- check_obs.py ----------------------------------------------------
+    expect("obs good export", "check_obs.py",
+           [str(FIXTURES / "obs_good")], 0, ["0 problem(s)"])
+    expect("obs broken export", "check_obs.py",
+           [str(FIXTURES / "obs_bad")], 1,
+           ["unknown kind 'bogus_kind'",
+            "missing integer 't'",
+            "complete span without 'dur'",
+            "no 'M' records",
+            "has no TYPE header",
+            "hits > requests"])
+    expect("obs usage error", "check_obs.py", [], 2)
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print(f"test_gates: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint.py (ctest ``wcs_lint_selftest``).
+
+Each directory under tools/testdata/lint/ is a miniature repo root named
+after one lint rule. Running the real Linter over it must produce
+
+  * the named rule, firing at every path containing ``bad`` (or
+    ``missing``) — the rule works;
+  * zero findings at every other path — the rule's scope and allowlists
+    hold (each fixture plants the banned construct in an allowed location
+    too: src/util/rng.cpp for rng-isolation, src/obs/ for no-raw-logging
+    and no-wall-clock, ...).
+
+The ``clean`` fixture asserts a compliant tree lints silent, and a
+completeness check requires a fixture directory for every rule in
+lint.RULE_NAMES — a new rule without a self-test fails here.
+
+Exit 0 when all checks pass; 1 otherwise, one line per failure.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "testdata" / "lint"
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[\w-]+)\] ")
+
+# Fixtures whose firing path cannot carry the bad/missing naming convention:
+# stats-coverage anchors its finding on the struct's header, whose path is
+# fixed by the rule itself.
+EXPECTED_PATHS = {"stats_coverage": ["src/core/cache.h"]}
+
+failures: list[str] = []
+
+
+def fail(message: str) -> None:
+    failures.append(message)
+
+
+def run_lint(root: Path) -> tuple[int, list[tuple[str, str]]]:
+    """Run the real linter; return (exit_status, [(rule, posix_path), ...])."""
+    out = io.StringIO()
+    with redirect_stdout(out):
+        status = lint.main([str(root)])
+    findings = []
+    for line in out.getvalue().splitlines():
+        match = FINDING_RE.match(line)
+        if match:
+            findings.append((match.group("rule"), Path(match.group("path")).as_posix()))
+    return status, findings
+
+
+def check_fixture(fixture: Path) -> None:
+    rule = fixture.name.replace("_", "-")
+    status, findings = run_lint(fixture)
+    expect_clean = fixture.name == "clean"
+
+    bad_paths = EXPECTED_PATHS.get(fixture.name) or sorted(
+        p.relative_to(fixture).as_posix()
+        for p in fixture.rglob("*")
+        if p.is_file() and ("bad" in p.name or "missing" in p.name))
+
+    if expect_clean:
+        if status != 0 or findings:
+            fail(f"{fixture.name}: expected a silent lint, got {findings}")
+        return
+
+    if status != 1:
+        fail(f"{fixture.name}: expected exit 1, got {status}")
+    if not bad_paths:
+        fail(f"{fixture.name}: fixture defines no bad/missing file")
+
+    fired_paths = {path for r, path in findings if r == rule}
+    for bad in bad_paths:
+        if bad not in fired_paths:
+            fail(f"{fixture.name}: [{rule}] did not fire at {bad} "
+                 f"(findings: {findings})")
+
+    # The rule's scope/allowlist must hold: no finding of any rule outside
+    # the designated bad files.
+    for r, path in findings:
+        if path not in bad_paths:
+            fail(f"{fixture.name}: unexpected [{r}] at {path} — "
+                 "scope or allowlist regressed")
+
+
+def main() -> int:
+    fixtures = sorted(d for d in FIXTURES.iterdir() if d.is_dir())
+    if not fixtures:
+        print(f"test_lint: no fixtures under {FIXTURES}", file=sys.stderr)
+        return 1
+
+    for fixture in fixtures:
+        check_fixture(fixture)
+
+    # Completeness: every rule has a fixture, every fixture names a rule.
+    fixture_rules = {d.name.replace("_", "-") for d in fixtures} - {"clean"}
+    for rule in lint.RULE_NAMES:
+        if rule not in fixture_rules:
+            fail(f"rule [{rule}] has no fixture directory under testdata/lint/")
+    for name in sorted(fixture_rules - set(lint.RULE_NAMES)):
+        fail(f"fixture directory '{name}' matches no rule in lint.RULE_NAMES")
+
+    # The empty-tree guard (exit 2) stays intact.
+    status, _ = run_lint(FIXTURES / "clean" / "src")  # has no src/ underneath
+    if status != 2:
+        fail(f"empty tree: expected exit 2, got {status}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print(f"test_lint: {len(fixtures)} fixture(s), {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

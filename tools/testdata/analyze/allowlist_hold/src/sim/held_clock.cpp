@@ -1,0 +1,11 @@
+// Fixture: this wall-clock read is suppressed by the fixture's
+// allowlist.json — the run must exit clean with suppressed=1.
+#include <chrono>
+
+namespace wcs {
+
+long long held_stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace wcs

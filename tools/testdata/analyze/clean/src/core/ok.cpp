@@ -1,0 +1,19 @@
+// Fixture: a compliant tree — deterministic iteration, annotated lock,
+// no wall clocks, no raw randomness. The analyzer must stay silent.
+#include <map>
+#include <string>
+
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+class CleanCounter {
+ public:
+  void bump(const std::string& key) WCS_EXCLUDES(mutex_);
+
+ private:
+  Mutex mutex_;
+  std::map<std::string, int> counts_ WCS_GUARDED_BY(mutex_);
+};
+
+}  // namespace wcs

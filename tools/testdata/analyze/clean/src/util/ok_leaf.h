@@ -1,0 +1,6 @@
+// Fixture: leaf-layer helper with no src/ imports.
+#pragma once
+
+namespace wcs {
+inline int doubled(int value) { return value * 2; }
+}  // namespace wcs

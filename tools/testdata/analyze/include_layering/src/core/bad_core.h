@@ -1,0 +1,10 @@
+// Fixture: core -> trace is an allowed edge on its own, but together with
+// trace -> core (bad_trace.h) it closes a module cycle, which must fire
+// here at the cycle's first recorded edge.
+#pragma once
+
+#include "src/trace/bad_trace.h"
+
+namespace wcs {
+struct CoreThing {};
+}  // namespace wcs

@@ -1,0 +1,9 @@
+// Fixture: including a module absent from the layering table must fire —
+// new modules are added to ALLOWED_IMPORTS deliberately, not by accident.
+#pragma once
+
+#include "src/widgets/thing.h"
+
+namespace wcs {
+struct UsesWidget {};
+}  // namespace wcs

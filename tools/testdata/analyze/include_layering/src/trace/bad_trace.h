@@ -1,0 +1,9 @@
+// Fixture: trace may import only util — including core is a layering
+// violation (and closes the core <-> trace cycle).
+#pragma once
+
+#include "src/core/bad_core.h"
+
+namespace wcs {
+struct TraceThing {};
+}  // namespace wcs

@@ -1,0 +1,6 @@
+// Fixture: util is the leaf layer — no src/ imports, nothing fires.
+#pragma once
+
+namespace wcs {
+struct Leaf {};
+}  // namespace wcs

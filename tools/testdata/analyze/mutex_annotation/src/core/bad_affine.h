@@ -1,0 +1,18 @@
+// Fixture: WCS_THREAD_AFFINE declares "single-owner, no lock by design";
+// a mutex member contradicts the marker and must fire.
+#pragma once
+
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+class WCS_THREAD_AFFINE Confused {
+ public:
+  void poke() WCS_EXCLUDES(mutex_);
+
+ private:
+  Mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace wcs

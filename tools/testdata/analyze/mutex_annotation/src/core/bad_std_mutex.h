@@ -1,0 +1,18 @@
+// Fixture: a raw std::mutex member is invisible to Clang TSA and must
+// fire (suggesting wcs::Mutex).
+#pragma once
+
+#include <mutex>
+
+namespace wcs {
+
+class RawLocker {
+ public:
+  void poke();
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,19 @@
+// Fixture: a wcs::Mutex member with no WCS_GUARDED_BY user and no
+// WCS_REQUIRES/WCS_EXCLUDES contract protects nothing the analysis can
+// see — must fire.
+#pragma once
+
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+class Unguarded {
+ public:
+  void poke();
+
+ private:
+  Mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,18 @@
+// Fixture: the compliant shape — wcs::Mutex with guarded state and a
+// capability contract — must not fire.
+#pragma once
+
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+class Guarded {
+ public:
+  void poke() WCS_EXCLUDES(mutex_);
+
+ private:
+  Mutex mutex_;
+  int value_ WCS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace wcs

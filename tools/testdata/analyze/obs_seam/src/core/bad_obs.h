@@ -1,0 +1,9 @@
+// Fixture: pulling the obs recorder from a *header* leaks the obs
+// dependency to every includer — only .cpp files may use the seam.
+#pragma once
+
+#include "src/obs/recorder.h"
+
+namespace wcs {
+struct Instrumented {};
+}  // namespace wcs

@@ -1,0 +1,7 @@
+// Fixture: the sanctioned seam — src/obs/recorder.h from an
+// implementation file — must not fire.
+#include "src/obs/recorder.h"
+
+namespace wcs {
+void touch_recorder() {}
+}  // namespace wcs

@@ -1,0 +1,11 @@
+// Fixture: raw randomness outside src/util/rng.* must fire.
+#include <random>
+
+namespace wcs {
+
+unsigned draw() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace wcs

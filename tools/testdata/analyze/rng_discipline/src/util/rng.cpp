@@ -1,0 +1,12 @@
+// Fixture: src/util/rng.cpp is the rule's home — engines live here and
+// must not fire.
+#include <random>
+
+namespace wcs {
+
+unsigned long long seed_stream(unsigned long long seed) {
+  std::mt19937_64 engine{seed};
+  return engine();
+}
+
+}  // namespace wcs

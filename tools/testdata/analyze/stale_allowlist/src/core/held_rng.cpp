@@ -1,0 +1,13 @@
+// Fixture: this rng finding is matched by the allowlist entry whose
+// justification is empty — the suppression holds, but the bare entry is
+// itself a finding.
+#include <random>
+
+namespace wcs {
+
+unsigned held_draw() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace wcs

@@ -1,0 +1,5 @@
+// Fixture: a compliant file — the findings in this fixture come from the
+// allowlist itself (stale entry + missing justification).
+namespace wcs {
+int forty_two() { return 42; }
+}  // namespace wcs

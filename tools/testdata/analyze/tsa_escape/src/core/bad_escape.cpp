@@ -1,0 +1,10 @@
+// Fixture: the escape hatch without a justification must fire.
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+int racy_read();
+
+int peek() WCS_NO_THREAD_SAFETY_ANALYSIS { return racy_read(); }
+
+}  // namespace wcs

@@ -1,0 +1,13 @@
+// Fixture: an escape with a justification comment on the preceding line
+// must not fire.
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+int racy_read();
+
+// Lock-free fast path: the counter is monotonic and a stale read only
+// delays a flush — the analysis cannot model the relaxed-atomic protocol.
+int peek() WCS_NO_THREAD_SAFETY_ANALYSIS { return racy_read(); }
+
+}  // namespace wcs

@@ -1,0 +1,16 @@
+// Fixture: range-for over an unordered container feeding output.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace wcs {
+
+void dump_counts() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  for (const auto& [key, value] : counts) {
+    std::printf("%s=%d\n", key.c_str(), value);
+  }
+}
+
+}  // namespace wcs

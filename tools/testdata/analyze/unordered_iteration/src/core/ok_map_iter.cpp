@@ -1,0 +1,20 @@
+// Fixture: iterating std::map is deterministic and must not fire; lookups
+// (not iteration) into an unordered map are also fine.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace wcs {
+
+void dump_sorted() {
+  std::map<std::string, int> counts;
+  std::unordered_map<std::string, int> index;
+  counts["a"] = 1;
+  index["a"] = 1;
+  for (const auto& [key, value] : counts) {
+    std::printf("%s=%d\n", key.c_str(), value + index.at(key));
+  }
+}
+
+}  // namespace wcs

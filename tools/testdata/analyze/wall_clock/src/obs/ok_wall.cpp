@@ -1,0 +1,12 @@
+// Fixture: src/obs/ measures the machine on purpose — wall clocks are
+// legal here and must not fire.
+#include <chrono>
+
+namespace wcs {
+
+double wall_seconds() {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace wcs

@@ -1,0 +1,11 @@
+// Fixture: wall-clock read in result-affecting code must fire.
+#include <chrono>
+
+namespace wcs {
+
+long long stamp_result() {
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace wcs

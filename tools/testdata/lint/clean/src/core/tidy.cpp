@@ -1,0 +1,3 @@
+// Fixture: fully compliant file — the lint must stay silent.
+#include <cstdint>
+std::uint64_t add(std::uint64_t a, std::uint64_t b) { return a + b; }

@@ -1,0 +1,2 @@
+#include "build/generated_config.h"
+int uses_generated() { return 1; }

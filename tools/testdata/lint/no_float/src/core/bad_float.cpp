@@ -1,0 +1,2 @@
+// Fixture: float in byte-accounting code.
+float ratio(float a) { return a * 0.5f; }

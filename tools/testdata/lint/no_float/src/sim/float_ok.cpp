@@ -1,0 +1,2 @@
+// Fixture: float outside src/core/ is legal (scope must hold).
+float scale(float a) { return a * 2.0f; }

@@ -1,0 +1,3 @@
+// Fixture: raw stderr write in library code.
+#include <iostream>
+void shout() { std::cerr << "boom\n"; }

@@ -1,0 +1,3 @@
+// Fixture: src/obs/ owns the exporters and may write streams (scope).
+#include <iostream>
+void exporter() { std::cout << "{}\n"; }

@@ -1,0 +1,3 @@
+// Fixture: table renderer allowlist entry must hold.
+#include <cstdio>
+void render() { printf("| cell |\n"); }

@@ -1,0 +1,3 @@
+// Fixture: materializing scan of trace.requests() inside src/sim/.
+struct T { int* requests(); };
+int first(T& trace) { return trace.requests()[0]; }

@@ -1,0 +1,3 @@
+// Fixture: the trace layer itself may materialize (scope must hold).
+struct T { int* requests(); };
+int first(T& trace) { return trace.requests()[0]; }

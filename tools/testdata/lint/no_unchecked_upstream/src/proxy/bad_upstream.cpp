@@ -1,0 +1,5 @@
+// Fixture: raw upstream_(...) call outside the resilience wrapper.
+struct X {
+  int (*upstream_)(int);
+  int fetch(int r) { return upstream_(r); }
+};

@@ -1,0 +1,5 @@
+// Fixture: the wrapper itself may call the raw upstream (allowlist).
+struct R {
+  int (*upstream_)(int);
+  int fetch(int r) { return upstream_(r); }
+};

@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: namespace injection in a header.
+using namespace std;

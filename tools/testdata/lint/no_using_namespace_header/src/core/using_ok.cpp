@@ -1,0 +1,4 @@
+// Fixture: 'using namespace' in a .cpp stays local (scope must hold).
+namespace demo { int value = 1; }
+using namespace demo;
+int read_value() { return value; }

@@ -1,0 +1,6 @@
+// Fixture: src/obs/ wall spans may read the wall clock (scope must hold).
+// A commented std::chrono::system_clock::now() must not fire either.
+#include <chrono>
+long wall_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock reads in result-affecting code.
+#include <chrono>
+#include <ctime>
+long stamp() {
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count() + time(nullptr);
+}

@@ -1,0 +1,3 @@
+// Fixture: position_of's home file may define and call it (allowlist).
+struct S { int position_of(int u) { return u; } };
+int home(S& s) { return s.position_of(1); }

@@ -1,0 +1,3 @@
+// Fixture: O(n) diagnostic scan called from simulation code.
+struct P { int position_of(int); };
+int rank(P& p) { return p.position_of(3); }

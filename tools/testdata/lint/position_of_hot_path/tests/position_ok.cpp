@@ -1,0 +1,3 @@
+// Fixture: tests may call position_of freely (scope must hold).
+struct P { int position_of(int); };
+int check(P& p) { return p.position_of(2); }

@@ -1,0 +1,3 @@
+// Fixture: compliant header.
+#pragma once
+int has_pragma_value();

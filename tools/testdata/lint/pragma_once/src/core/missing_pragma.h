@@ -1,0 +1,2 @@
+// Fixture: header lacking the include guard pragma.
+int missing_pragma_value();

@@ -1,0 +1,6 @@
+// Fixture: a std <random> engine and rand() outside src/util/rng.*.
+#include <random>
+int draw() {
+  std::mt19937 engine{42};
+  return static_cast<int>(engine()) + rand();
+}

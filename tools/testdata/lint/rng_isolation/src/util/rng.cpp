@@ -1,0 +1,6 @@
+// Fixture: the RNG home may name engines freely (allowlist must hold).
+#include <random>
+unsigned home_draw() {
+  std::mt19937_64 engine{7};
+  return static_cast<unsigned>(engine());
+}

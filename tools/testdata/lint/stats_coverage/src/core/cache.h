@@ -1,0 +1,7 @@
+#pragma once
+#include <cstdint>
+// Fixture: one covered counter, one the metrics layer forgot.
+struct CacheStats {
+  std::uint64_t requests = 0;
+  std::uint64_t uncovered_counter = 0;
+};

@@ -1,0 +1,3 @@
+#pragma once
+// Fixture metrics surface: covers the requests counter only.
+void publish(unsigned long long requests);

@@ -1,0 +1,732 @@
+#!/usr/bin/env python3
+"""Semantic determinism & lock-discipline analyzer for webcachesim.
+
+    python3 tools/wcs_analyze.py [repo-root]
+        [--engine auto|libclang|tokens] [--compile-commands build/compile_commands.json]
+        [--allowlist tools/wcs_analyze_allowlist.json]
+        [--json FILE|-] [--fix-suggestions] [--github]
+
+Where tools/lint.py is a fast per-line regex backstop, this tool enforces
+the *project-semantic* rules the concurrency era (ROADMAP items 1 and 4)
+depends on. It is the gating ``wcs_analyze`` ctest: exit 0 on a clean
+tree, 1 on findings, 2 on usage/internal errors.
+
+Engines
+-------
+``libclang``  parses the real AST via the clang python bindings (fed by a
+              compile_commands.json when given), so semantic rules see
+              types and statement structure rather than tokens.
+``tokens``    the documented degraded mode: the same rules evaluated on a
+              comment/string-stripped token stream. Weaker on the semantic
+              rules (a range-for over an unordered container is only
+              caught when the container is *declared* in the same file;
+              wall-clock/RNG calls reached through helper aliases are
+              missed) but fully deterministic and dependency-free — this
+              is what runs when libclang is not installed.
+``auto``      libclang when importable, else tokens. A per-file parse
+              failure in libclang mode falls back to the token engine for
+              that file (fail-safe: a broken TU can hide findings, a
+              fallback cannot).
+
+Lexical rules (include-layering, mutex-annotation, tsa-escape) are
+preprocessor/declaration-level and run identically under both engines.
+
+Rules
+-----
+wall-clock            Result-affecting code (src/core, src/sim, src/trace,
+                      src/workload, src/proxy) must not read wall clocks:
+                      ``system_clock``/``steady_clock``/``time()`` et al.
+                      make output depend on the machine, which silently
+                      breaks the (preset, seed) -> result bit-identity
+                      contract. src/obs/ is exempt (wall spans measure the
+                      machine on purpose and never feed results).
+unordered-iteration   Iterating a ``std::unordered_map``/``set`` feeds
+                      hash-table order — which varies across libstdc++
+                      versions and seeds — into whatever consumes the
+                      loop. Results and exports must iterate deterministic
+                      structures (vector, map, registration-order index).
+rng-discipline        All randomness flows through the seeded per-sim
+                      wcs::Rng (src/util/rng.*): ``rand()``,
+                      ``std::random_device``, raw std engines anywhere
+                      else desynchronize the RNG call schedule.
+include-layering      #include edges between src/ modules must follow the
+                      layering DAG (core -> util/trace; sim -> core/trace/
+                      workload/proxy/http/util; ...). src/obs/ is special:
+                      the only legal import is the nullable ObsRecorder*
+                      seam — ``src/obs/recorder.h`` from a .cpp file.
+                      Module cycles are errors. New modules must be added
+                      to the table here (unknown modules are findings).
+mutex-annotation      Lock discipline must be statically checkable: a raw
+                      ``std::mutex`` member is invisible to Clang TSA, so
+                      src/ + bench/ declare wcs::Mutex
+                      (src/util/thread_annotations.h), and every mutex
+                      member must have at least one WCS_GUARDED_BY /
+                      WCS_PT_GUARDED_BY user or WCS_REQUIRES/WCS_EXCLUDES
+                      contract naming it. A WCS_THREAD_AFFINE class
+                      declaring a mutex member is a contradiction.
+tsa-escape            WCS_NO_THREAD_SAFETY_ANALYSIS outside its home
+                      header must carry a justification comment on the
+                      same or preceding line.
+
+Allowlist
+---------
+``tools/wcs_analyze_allowlist.json`` (or ``--allowlist``): every entry
+must carry a non-empty ``justification`` string and match at least one
+finding — stale entries and bare entries are themselves findings, so the
+allowlist can only shrink silently, never rot.
+
+``--fix-suggestions`` prints, for each finding that has one, the concrete
+annotation/edit to apply. ``--json`` emits the machine-readable report;
+``--github`` adds workflow-command annotations for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint import strip_comments_and_strings  # noqa: E402
+
+# ---------------------------------------------------------------------------
+# Scopes and tables
+# ---------------------------------------------------------------------------
+
+# Every rule this tool can emit; tools/test_analyze.py checks each one has
+# a firing fixture under tools/testdata/analyze/.
+RULE_NAMES = ("wall-clock", "unordered-iteration", "rng-discipline",
+              "include-layering", "mutex-annotation", "tsa-escape",
+              "stale-allowlist")
+
+SCAN_DIRS = ("src", "bench")
+RESULT_DIRS = ("src/core/", "src/sim/", "src/trace/", "src/workload/", "src/proxy/")
+RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
+TSA_HOME = "src/util/thread_annotations.h"
+OBS_SEAM_HEADER = "src/obs/recorder.h"
+
+# The layering DAG: module -> modules it may #include. Keys are directories
+# under src/; a module absent here is a finding (extend the table when a
+# module is deliberately added). src/obs/ is importable only through the
+# recorder seam (see obs rule below), hence no module lists "obs".
+ALLOWED_IMPORTS: dict[str, set[str]] = {
+    "util": set(),
+    "trace": {"util"},
+    "http": {"util"},
+    "obs": {"util"},
+    "core": {"util", "trace"},
+    "workload": {"util", "trace"},
+    "capture": {"util", "trace", "http"},
+    "proxy": {"util", "trace", "http", "core"},
+    "sim": {"util", "trace", "http", "core", "workload", "proxy"},
+}
+
+WALL_CLOCK_RE = re.compile(
+    r"std\s*::\s*chrono\s*::\s*(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\b(?:std\s*::\s*)?time\s*\("
+    r"|\b(?:gettimeofday|clock_gettime|localtime(?:_r)?|gmtime(?:_r)?|mktime|timegm)\s*\(")
+
+# Qualified names the AST engine treats as wall-clock reads.
+WALL_CLOCK_NAMES = {
+    "std::chrono::system_clock", "std::chrono::steady_clock",
+    "std::chrono::high_resolution_clock", "time", "std::time", "gettimeofday",
+    "clock_gettime", "localtime", "localtime_r", "gmtime", "gmtime_r", "mktime",
+    "timegm",
+}
+
+RNG_RE = re.compile(
+    r"\b(?:std\s*::\s*)?s?rand\s*\(|\bstd\s*::\s*random_device\b"
+    r"|\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+    r"|ranlux\w+|knuth_b)\b")
+
+RNG_NAMES = {
+    "rand", "srand", "std::rand", "std::srand", "std::random_device",
+    "std::mt19937", "std::mt19937_64", "std::minstd_rand", "std::minstd_rand0",
+    "std::default_random_engine", "std::ranlux24", "std::ranlux48", "std::knuth_b",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"src/([a-z_]+)/([^"]+)"')
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^;()]*?:\s*(?:\*?\s*)((?:\w+(?:\.|->))*\w+)\s*\)")
+STD_MUTEX_RE = re.compile(r"\bstd\s*::\s*mutex\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:wcs\s*::\s*)?Mutex\s+(\w+)\s*(?:;|\{\})")
+CLASS_RE = re.compile(r"\b(?:class|struct)\s+((?:WCS_\w+\s+)*)(\w+)[^;{()]*\{")
+NO_TSA_RE = re.compile(r"\bWCS_NO_THREAD_SAFETY_ANALYSIS\b")
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str  # repo-relative posix path
+    line: int
+    message: str
+    suggestion: str | None = None
+    allowlisted_by: int | None = None  # index into allowlist entries
+
+    def to_json(self) -> dict:
+        record = {"rule": self.rule, "file": self.file, "line": self.line,
+                  "message": self.message}
+        if self.suggestion:
+            record["suggestion"] = self.suggestion
+        return record
+
+
+@dataclass
+class SourceFile:
+    rel: str
+    path: Path
+    raw: str
+    code: str = ""  # comment/string-stripped
+    raw_lines: list[str] = field(default_factory=list)
+    code_lines: list[str] = field(default_factory=list)
+
+    @staticmethod
+    def load(root: Path, path: Path) -> "SourceFile":
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        src = SourceFile(rel=path.relative_to(root).as_posix(), path=path, raw=raw)
+        src.code = strip_comments_and_strings(raw)
+        src.raw_lines = raw.splitlines()
+        src.code_lines = src.code.splitlines()
+        return src
+
+
+def in_result_dirs(rel: str) -> bool:
+    return rel.startswith(RESULT_DIRS)
+
+
+# ---------------------------------------------------------------------------
+# Engine: libclang (AST) with per-file token fallback
+# ---------------------------------------------------------------------------
+
+
+class LibclangEngine:
+    """AST evaluation of the semantic rules via clang.cindex.
+
+    Constructed lazily; raises ImportError/OSError when the bindings or the
+    shared library are missing, which the driver turns into token mode.
+    """
+
+    def __init__(self, root: Path, compile_commands: Path | None):
+        from clang import cindex  # may raise ImportError
+
+        self.cindex = cindex
+        self.index = cindex.Index.create()  # may raise if libclang.so is absent
+        self.root = root
+        self.flags: dict[str, list[str]] = {}
+        if compile_commands is not None and compile_commands.is_file():
+            for entry in json.loads(compile_commands.read_text()):
+                args = entry.get("arguments")
+                if args is None and "command" in entry:
+                    args = entry["command"].split()
+                rel = Path(entry["directory"], entry["file"]).resolve()
+                try:
+                    key = rel.relative_to(root.resolve()).as_posix()
+                except ValueError:
+                    continue
+                # Strip compiler, -c/-o pairs; keep -I/-D/-std et al.
+                kept, skip = [], True  # skip argv[0]
+                arg_iter = iter(args or [])
+                for arg in arg_iter:
+                    if skip:
+                        skip = False
+                        continue
+                    if arg in ("-c", "-o"):
+                        next(arg_iter, None) if arg == "-o" else None
+                        continue
+                    if arg == entry["file"]:
+                        continue
+                    kept.append(arg)
+                self.flags[key] = kept
+
+    def parse(self, src: SourceFile):
+        args = self.flags.get(src.rel,
+                              ["-std=c++20", f"-I{self.root}", "-x", "c++"])
+        tu = self.index.parse(str(src.path), args=args)
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            raise RuntimeError(f"{src.rel}: {fatal[0].spelling}")
+        return tu
+
+    @staticmethod
+    def qualified_name(cursor) -> str:
+        parts = []
+        node = cursor
+        while node is not None and node.spelling:
+            parts.append(node.spelling)
+            node = node.semantic_parent
+            if node is not None and node.kind.name == "TRANSLATION_UNIT":
+                break
+        return "::".join(reversed(parts))
+
+    def findings_for(self, src: SourceFile) -> list[Finding]:
+        ck = self.cindex.CursorKind
+        tu = self.parse(src)
+        findings: list[Finding] = []
+        want_wall = in_result_dirs(src.rel)
+        want_rng = src.rel.startswith("src/") and src.rel not in RNG_HOME
+
+        def local(cursor) -> bool:
+            loc = cursor.location
+            return loc.file is not None and Path(loc.file.name) == src.path
+
+        for cursor in tu.cursor.walk_preorder():
+            if not local(cursor):
+                continue
+            if cursor.kind in (ck.DECL_REF_EXPR, ck.TYPE_REF, ck.CALL_EXPR):
+                name = (self.qualified_name(cursor.referenced)
+                        if cursor.referenced is not None else cursor.spelling)
+                if want_wall and (name in WALL_CLOCK_NAMES
+                                  or any(name.startswith(w + "::")
+                                         for w in WALL_CLOCK_NAMES)):
+                    findings.append(Finding(
+                        "wall-clock", src.rel, cursor.location.line,
+                        f"wall-clock read ({name}) in result-affecting code; "
+                        "results may only see SimTime"))
+                if want_rng and name in RNG_NAMES:
+                    findings.append(Finding(
+                        "rng-discipline", src.rel, cursor.location.line,
+                        f"{name} outside src/util/rng.*; draw from the seeded "
+                        "per-sim wcs::Rng instead"))
+            if (cursor.kind == ck.CXX_FOR_RANGE_STMT
+                    and src.rel.startswith("src/")):
+                children = list(cursor.get_children())
+                if children:
+                    range_type = children[-2].type.spelling if len(children) >= 2 else ""
+                    if "unordered_" in range_type:
+                        findings.append(Finding(
+                            "unordered-iteration", src.rel, cursor.location.line,
+                            f"range-for over {range_type}: hash-table order is "
+                            "nondeterministic; iterate a deterministic structure"))
+        return findings
+
+
+class TokenEngine:
+    """Degraded token-stream evaluation of the semantic rules."""
+
+    def findings_for(self, src: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        if in_result_dirs(src.rel):
+            for lineno, line in enumerate(src.code_lines, 1):
+                if WALL_CLOCK_RE.search(line):
+                    findings.append(Finding(
+                        "wall-clock", src.rel, lineno,
+                        "wall-clock read in result-affecting code; results may "
+                        "only see SimTime (wall time belongs to src/obs/ spans)"))
+        if src.rel.startswith("src/") and src.rel not in RNG_HOME:
+            for lineno, line in enumerate(src.code_lines, 1):
+                if RNG_RE.search(line):
+                    findings.append(Finding(
+                        "rng-discipline", src.rel, lineno,
+                        "raw randomness outside src/util/rng.*; draw from the "
+                        "seeded per-sim wcs::Rng instead"))
+        if src.rel.startswith("src/"):
+            findings.extend(self._unordered_iteration(src))
+        return findings
+
+    @staticmethod
+    def _unordered_iteration(src: SourceFile) -> list[Finding]:
+        # Pass 1: names declared with an unordered container type anywhere in
+        # this file (members and locals; token mode cannot see through
+        # typedefs or cross-file types — the documented degradation).
+        unordered_names: set[str] = set()
+        code = src.code
+        for match in UNORDERED_DECL_RE.finditer(code):
+            depth, i = 1, match.end()
+            while i < len(code) and depth > 0:
+                if code[i] == "<":
+                    depth += 1
+                elif code[i] == ">":
+                    depth -= 1
+                i += 1
+            name = re.match(r"\s*&?\s*(\w+)\s*[;={(]", code[i:])
+            if name:
+                unordered_names.add(name.group(1))
+        if not unordered_names:
+            return []
+        findings = []
+        for lineno, line in enumerate(src.code_lines, 1):
+            for match in RANGE_FOR_RE.finditer(line):
+                target = re.split(r"\.|->", match.group(1))[-1]
+                if target in unordered_names:
+                    findings.append(Finding(
+                        "unordered-iteration", src.rel, lineno,
+                        f"range-for over unordered container '{target}': "
+                        "hash-table order is nondeterministic; iterate a "
+                        "deterministic structure (vector / map / order index)"))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# Lexical rules (identical under both engines)
+# ---------------------------------------------------------------------------
+
+
+def check_layering(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    edges: dict[tuple[str, str], tuple[str, int]] = {}  # (from, to) -> first site
+
+    for src in files:
+        if not src.rel.startswith("src/"):
+            continue
+        module = src.rel.split("/")[1]
+        for lineno, line in enumerate(src.raw_lines, 1):
+            match = INCLUDE_RE.match(line)
+            if not match:
+                continue
+            target_module, target_rest = match.group(1), match.group(2)
+            target = f"src/{target_module}/{target_rest}"
+            if target_module == module:
+                continue
+            edges.setdefault((module, target_module), (src.rel, lineno))
+            if target_module == "obs":
+                # The ObsRecorder* seam: implementation files may pull the
+                # recorder facade; anything else couples a layer to obs.
+                if target == OBS_SEAM_HEADER and src.rel.endswith(".cpp"):
+                    continue
+                findings.append(Finding(
+                    "include-layering", src.rel, lineno,
+                    f"#include \"{target}\": src/obs/ is importable only via "
+                    f"the nullable ObsRecorder* seam ({OBS_SEAM_HEADER} from a "
+                    ".cpp file)",
+                    suggestion="take an ObsRecorder* (forward-declared) and "
+                               f"include {OBS_SEAM_HEADER} in the .cpp"))
+                continue
+            if module not in ALLOWED_IMPORTS:
+                findings.append(Finding(
+                    "include-layering", src.rel, lineno,
+                    f"module 'src/{module}/' is not in the layering table; add "
+                    "it to ALLOWED_IMPORTS in tools/wcs_analyze.py with its "
+                    "permitted imports"))
+                continue
+            if target_module not in ALLOWED_IMPORTS:
+                findings.append(Finding(
+                    "include-layering", src.rel, lineno,
+                    f"#include \"{target}\": unknown module 'src/{target_module}/'"
+                    " — extend ALLOWED_IMPORTS in tools/wcs_analyze.py"))
+                continue
+            if target_module not in ALLOWED_IMPORTS[module]:
+                findings.append(Finding(
+                    "include-layering", src.rel, lineno,
+                    f"#include \"{target}\": layering violation — src/{module}/ "
+                    f"may import only {{{', '.join(sorted(ALLOWED_IMPORTS[module])) or '∅'}}}"))
+
+    # Cycle detection over the observed module graph (allowlisted edges
+    # included: suppressing a finding must not be able to hide a cycle).
+    graph: dict[str, set[str]] = {}
+    for (src_mod, dst_mod) in edges:
+        graph.setdefault(src_mod, set()).add(dst_mod)
+    for cycle in find_cycles(graph):
+        first_edge = edges[(cycle[0], cycle[1])]
+        findings.append(Finding(
+            "include-layering", first_edge[0], first_edge[1],
+            "module cycle: " + " -> ".join(cycle + [cycle[0]])))
+    return findings
+
+
+def find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Minimal deterministic cycle enumeration (one cycle per SCC > 1)."""
+    index_counter = [0]
+    stack: list[str] = []
+    lowlink: dict[str, int] = {}
+    index: dict[str, int] = {}
+    on_stack: set[str] = set()
+    sccs: list[list[str]] = []
+
+    def strongconnect(node: str) -> None:
+        index[node] = lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(graph.get(node, ())):
+            if succ not in index:
+                strongconnect(succ)
+                lowlink[node] = min(lowlink[node], lowlink[succ])
+            elif succ in on_stack:
+                lowlink[node] = min(lowlink[node], index[succ])
+        if lowlink[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1:
+                sccs.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+def check_mutex_annotations(src: SourceFile) -> list[Finding]:
+    if src.rel == TSA_HOME:
+        return []
+    findings: list[Finding] = []
+    code = src.code
+
+    for lineno, line in enumerate(src.code_lines, 1):
+        if STD_MUTEX_RE.search(line):
+            findings.append(Finding(
+                "mutex-annotation", src.rel, lineno,
+                "raw std::mutex is invisible to Clang Thread Safety Analysis; "
+                "declare wcs::Mutex (src/util/thread_annotations.h) so "
+                "-Wthread-safety can prove the lock discipline",
+                suggestion="replace std::mutex with wcs::Mutex and guard its "
+                           "state with WCS_GUARDED_BY(<mutex>)"))
+
+    for class_match in CLASS_RE.finditer(code):
+        markers, class_name = class_match.group(1), class_match.group(2)
+        body, body_offset = _matched_braces(code, class_match.end() - 1)
+        if body is None:
+            continue
+        affine = "WCS_THREAD_AFFINE" in markers
+        for member in MUTEX_MEMBER_RE.finditer(body):
+            mutex_name = member.group(1)
+            lineno = code.count("\n", 0, body_offset + member.start()) + 1
+            if affine:
+                findings.append(Finding(
+                    "mutex-annotation", src.rel, lineno,
+                    f"{class_name} is marked WCS_THREAD_AFFINE (single-owner "
+                    f"by design) yet declares mutex member '{mutex_name}' — "
+                    "drop the marker or drop the lock"))
+                continue
+            users = re.search(
+                r"WCS_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|"
+                r"RELEASE|ASSERT_CAPABILITY|RETURN_CAPABILITY)\s*\(\s*"
+                + re.escape(mutex_name) + r"\s*\)", body)
+            if users is None:
+                findings.append(Finding(
+                    "mutex-annotation", src.rel, lineno,
+                    f"mutex member '{class_name}::{mutex_name}' has no "
+                    "WCS_GUARDED_BY user and no WCS_REQUIRES/WCS_EXCLUDES "
+                    "contract — the lock protects nothing the analysis can see",
+                    suggestion=f"annotate the state it protects: <member> "
+                               f"WCS_GUARDED_BY({mutex_name}); and the methods "
+                               f"that take it: WCS_EXCLUDES({mutex_name})"))
+    return findings
+
+
+def _matched_braces(code: str, open_index: int) -> tuple[str | None, int]:
+    """Body text between the brace at open_index and its match."""
+    depth = 0
+    for i in range(open_index, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return code[open_index + 1:i], open_index + 1
+    return None, open_index
+
+
+def check_tsa_escape(src: SourceFile) -> list[Finding]:
+    if src.rel == TSA_HOME:
+        return []
+    findings = []
+    for lineno, line in enumerate(src.code_lines, 1):
+        if not NO_TSA_RE.search(line):
+            continue
+        context = "\n".join(src.raw_lines[max(0, lineno - 2):lineno])
+        if "//" not in context and "/*" not in context:
+            findings.append(Finding(
+                "tsa-escape", src.rel, lineno,
+                "WCS_NO_THREAD_SAFETY_ANALYSIS without a justification comment "
+                "on the same or preceding line — the escape hatch must say why "
+                "the analysis cannot model this function"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Allowlist
+# ---------------------------------------------------------------------------
+
+
+def apply_allowlist(findings: list[Finding], allowlist_path: Path | None,
+                    root: Path) -> tuple[list[Finding], list[dict], list[Finding]]:
+    """Partition findings; return (active, entries_with_counts, meta_findings)."""
+    if allowlist_path is None or not allowlist_path.is_file():
+        return findings, [], []
+    try:
+        document = json.loads(allowlist_path.read_text())
+        entries = document["entries"]
+    except (json.JSONDecodeError, KeyError) as error:
+        return findings, [], [Finding(
+            "stale-allowlist", allowlist_path.name, 1,
+            f"allowlist is not valid ({error})")]
+
+    rel_allowlist = allowlist_path.resolve()
+    try:
+        allowlist_rel = rel_allowlist.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        allowlist_rel = allowlist_path.name
+
+    meta: list[Finding] = []
+    counts = [0] * len(entries)
+    for i, entry in enumerate(entries):
+        if not str(entry.get("justification", "")).strip():
+            meta.append(Finding(
+                "stale-allowlist", allowlist_rel, 1,
+                f"entry {i} ({entry.get('rule')}/{entry.get('file')}) has no "
+                "justification — every suppression must say why"))
+
+    active: list[Finding] = []
+    for finding in findings:
+        matched = None
+        for i, entry in enumerate(entries):
+            if entry.get("rule") != finding.rule:
+                continue
+            if entry.get("file") != finding.file:
+                continue
+            contains = entry.get("contains")
+            if contains and contains not in finding.message:
+                continue
+            matched = i
+            break
+        if matched is None:
+            active.append(finding)
+        else:
+            counts[matched] += 1
+            finding.allowlisted_by = matched
+
+    for i, entry in enumerate(entries):
+        if counts[i] == 0:
+            meta.append(Finding(
+                "stale-allowlist", allowlist_rel, 1,
+                f"entry {i} ({entry.get('rule')}/{entry.get('file')}) matched "
+                "no finding — delete it (allowlists may only shrink silently)"))
+
+    annotated = [dict(entry, matched=counts[i]) for i, entry in enumerate(entries)]
+    return active, annotated, meta
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect_files(root: Path) -> list[SourceFile]:
+    files = []
+    for directory in SCAN_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".h", ".cpp") and path.is_file():
+                files.append(SourceFile.load(root, path))
+    return files
+
+
+def analyze(root: Path, engine_choice: str,
+            compile_commands: Path | None) -> tuple[str, list[str], list[Finding], int]:
+    files = collect_files(root)
+    token_engine = TokenEngine()
+    ast_engine = None
+    engine_used = "tokens"
+    if engine_choice in ("auto", "libclang"):
+        try:
+            ast_engine = LibclangEngine(root, compile_commands)
+            engine_used = "libclang"
+        except Exception as error:
+            if engine_choice == "libclang":
+                raise SystemExit(
+                    f"wcs_analyze: --engine libclang requested but unavailable: {error}")
+            engine_used = "tokens"
+
+    findings: list[Finding] = []
+    degraded_files: list[str] = []
+    for src in files:
+        if ast_engine is not None:
+            try:
+                findings.extend(ast_engine.findings_for(src))
+            except Exception:
+                # Fail-safe: a TU that will not parse falls back to tokens
+                # rather than silently contributing zero findings.
+                degraded_files.append(src.rel)
+                findings.extend(token_engine.findings_for(src))
+        else:
+            findings.extend(token_engine.findings_for(src))
+        findings.extend(check_mutex_annotations(src))
+        findings.extend(check_tsa_escape(src))
+    findings.extend(check_layering(files))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule, f.message))
+    return engine_used, degraded_files, findings, len(files)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="webcachesim semantic determinism & lock-discipline analyzer")
+    parser.add_argument("root", nargs="?",
+                        default=str(Path(__file__).resolve().parent.parent))
+    parser.add_argument("--engine", choices=("auto", "libclang", "tokens"),
+                        default="auto")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json feeding the libclang engine")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist JSON (default: <root>/tools/"
+                             "wcs_analyze_allowlist.json when present)")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="write the machine-readable report to FILE ('-' = stdout)")
+    parser.add_argument("--fix-suggestions", action="store_true",
+                        help="print the concrete annotation/edit per finding")
+    parser.add_argument("--github", action="store_true",
+                        help="emit GitHub workflow-command annotations")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"wcs_analyze: {root} is not a directory", file=sys.stderr)
+        return 2
+    compile_commands = Path(args.compile_commands) if args.compile_commands else None
+    allowlist_path = (Path(args.allowlist) if args.allowlist
+                      else root / "tools" / "wcs_analyze_allowlist.json")
+
+    engine_used, degraded_files, findings, files_checked = analyze(
+        root, args.engine, compile_commands)
+    if files_checked == 0:
+        print(f"wcs_analyze: no sources under {root}", file=sys.stderr)
+        return 2
+
+    active, allow_entries, meta = apply_allowlist(findings, allowlist_path, root)
+    active.extend(meta)
+    suppressed = len(findings) - (len(active) - len(meta))
+
+    for finding in active:
+        print(f"{finding.file}:{finding.line}: [{finding.rule}] {finding.message}")
+        if args.fix_suggestions and finding.suggestion:
+            print(f"    fix: {finding.suggestion}")
+    if args.github:
+        for finding in active:
+            print(f"::error file={finding.file},line={finding.line},"
+                  f"title=wcs_analyze {finding.rule}::{finding.message}")
+
+    report = {
+        "tool": "wcs_analyze",
+        "engine": engine_used,
+        "degraded": engine_used == "tokens",
+        "degraded_files": degraded_files,
+        "root": str(root),
+        "files_checked": files_checked,
+        "findings": [finding.to_json() for finding in active],
+        "suppressed": suppressed,
+        "allowlist": allow_entries,
+    }
+    if args.json_out == "-":
+        print(json.dumps(report, indent=2))
+    elif args.json_out:
+        Path(args.json_out).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wcs_analyze: engine={engine_used} files={files_checked} "
+          f"findings={len(active)} suppressed={suppressed}")
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
