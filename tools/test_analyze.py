@@ -18,9 +18,15 @@ Three fixtures exercise the surrounding machinery instead of a rule:
     justification are themselves findings;
   * ``clean``           — a compliant tree analyzes silent.
 
-All runs pin ``--engine tokens``: the degraded engine is what executes in
-environments without libclang (this container included), so it is the
-behavior the gate must vouch for. Completeness is checked both ways
+Fixture runs pin ``--engine tokens``: the degraded engine is what
+executes in environments without libclang (this container included), so
+it is the behavior the gate must vouch for everywhere. When clang.cindex
+*is* importable (CI's analyze job installs python3-clang and therefore
+runs the libclang engine on the real tree), ``check_libclang_engine``
+additionally builds a dependency-free synthetic TU and asserts the AST
+engine fires the semantic rules with messages naming the same entities
+the token engine names — the contract that keeps allowlist ``contains``
+entries valid under either engine. Completeness is checked both ways
 against wcs_analyze.RULE_NAMES. Exit 0 when everything passes; 1
 otherwise, one line per failure.
 """
@@ -159,6 +165,86 @@ def check_outputs() -> None:
         fail(f"--github: no workflow-command annotation in output: {out!r}")
 
 
+LIBCLANG_TU = """\
+// Synthetic TU: no system includes, so the parse succeeds on any libclang
+// install (python3-clang alone does not guarantee stdlib headers).
+namespace std {
+template <class K, class V> struct unordered_map {
+  struct value_type { K first; V second; };
+  value_type* begin();
+  value_type* end();
+};
+namespace chrono {
+struct system_clock { static long now(); };
+}  // namespace chrono
+}  // namespace std
+
+namespace wcs {
+void tick() {
+  std::unordered_map<int, int> counts;
+  for (auto& kv : counts) { (void)kv; }
+  (void)std::chrono::system_clock::now();
+}
+}  // namespace wcs
+"""
+
+
+def check_libclang_engine() -> None:
+    """Engine-divergence guard for the AST engine CI actually runs.
+
+    The key contract: findings carry messages naming the same entities the
+    token engine names (the iterated variable for unordered-iteration), so
+    allowlist 'contains' entries written against one engine match under
+    the other. Skipped with a note when clang.cindex is unavailable; CI's
+    analyze job installs python3-clang, so it runs there.
+    """
+    try:
+        from clang import cindex
+        cindex.Index.create()
+    except Exception as error:
+        print(f"test_analyze: note: libclang unavailable ({error}); "
+              "AST-engine checks skipped (CI's analyze job runs them)")
+        return
+
+    import tempfile
+    with tempfile.TemporaryDirectory(prefix="wcs_analyze_ast_") as tmp:
+        root = Path(tmp)
+        bad = root / "src" / "sim" / "bad_ast.cpp"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(LIBCLANG_TU)
+
+        out = io.StringIO()
+        with redirect_stdout(out):
+            status = wcs_analyze.main(
+                [str(root), "--engine", "libclang", "--json", "-"])
+        text = out.getvalue()
+        report = json.loads(text[text.index("{"):text.rindex("}") + 1])
+        if status != 1 or report["engine"] != "libclang":
+            fail(f"libclang: expected exit 1 under the AST engine, got "
+                 f"exit {status} engine={report.get('engine')}")
+            return
+        if report["degraded_files"]:
+            fail(f"libclang: synthetic TU degraded to tokens "
+                 f"({report['degraded_files']}) — the AST path went untested")
+            return
+        by_rule = {}
+        for finding in report["findings"]:
+            by_rule.setdefault(finding["rule"], []).append(finding)
+        unordered = by_rule.get("unordered-iteration", [])
+        if not unordered:
+            fail(f"libclang: [unordered-iteration] did not fire on the "
+                 f"synthetic TU: {report['findings']}")
+        elif not any("'counts'" in f["message"] for f in unordered):
+            fail("libclang: [unordered-iteration] message does not name the "
+                 "iterated variable 'counts' — allowlist 'contains' entries "
+                 "written against the token engine will not match: "
+                 f"{[f['message'] for f in unordered]}")
+        wall = by_rule.get("wall-clock", [])
+        if not any("system_clock" in f["message"] for f in wall):
+            fail(f"libclang: [wall-clock] did not fire on the synthetic "
+                 f"system_clock::now() call: {report['findings']}")
+
+
 def main() -> int:
     fixtures = sorted(d for d in FIXTURES.iterdir() if d.is_dir())
     if not fixtures:
@@ -179,6 +265,7 @@ def main() -> int:
                  "FIXTURE_RULES or SPECIAL_FIXTURES")
 
     check_outputs()
+    check_libclang_engine()
 
     # Completeness both ways: every emitted rule has a firing fixture
     # (stale-allowlist is covered by its special fixture), and the mapping

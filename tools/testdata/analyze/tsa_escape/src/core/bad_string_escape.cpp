@@ -1,0 +1,12 @@
+// Fixture: a "//" inside a string literal (here a URL) on the preceding
+// line is not a justification comment and must still fire.
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+int racy_read();
+
+const char* kTsaDocUrl = "https://example.com/tsa-escape-policy";
+int peek_documented() WCS_NO_THREAD_SAFETY_ANALYSIS { return racy_read(); }
+
+}  // namespace wcs

@@ -66,14 +66,19 @@ mutex-annotation      Lock discipline must be statically checkable: a raw
                       declaring a mutex member is a contradiction.
 tsa-escape            WCS_NO_THREAD_SAFETY_ANALYSIS outside its home
                       header must carry a justification comment on the
-                      same or preceding line.
+                      same or preceding line — a real comment token with
+                      at least two words (a ``//`` inside a string
+                      literal does not count).
 
 Allowlist
 ---------
 ``tools/wcs_analyze_allowlist.json`` (or ``--allowlist``): every entry
 must carry a non-empty ``justification`` string and match at least one
 finding — stale entries and bare entries are themselves findings, so the
-allowlist can only shrink silently, never rot.
+allowlist can only shrink silently, never rot. A ``contains`` substring
+must be one both engines emit — the entity name (variable, header path),
+never engine-specific phrasing — or the entry goes stale under whichever
+engine did not write it.
 
 ``--fix-suggestions`` prints, for each finding that has one, the concrete
 annotation/edit to apply. ``--json`` emits the machine-readable report;
@@ -224,7 +229,8 @@ class LibclangEngine:
                 args = entry.get("arguments")
                 if args is None and "command" in entry:
                     args = entry["command"].split()
-                rel = Path(entry["directory"], entry["file"]).resolve()
+                directory = Path(entry.get("directory", "."))
+                rel = (directory / entry["file"]).resolve()
                 try:
                     key = rel.relative_to(root.resolve()).as_posix()
                 except ValueError:
@@ -242,7 +248,36 @@ class LibclangEngine:
                     if arg == entry["file"]:
                         continue
                     kept.append(arg)
-                self.flags[key] = kept
+                # Relative -I/-include paths are relative to the entry's
+                # 'directory' (the build dir), not to wherever this tool
+                # runs; an unresolved path makes the parse fail and the
+                # file silently degrade to token mode.
+                self.flags[key] = self._resolve_flags(kept, directory)
+
+    @staticmethod
+    def _resolve_flags(args: list[str], directory: Path) -> list[str]:
+        separate = {"-I", "-isystem", "-iquote", "-idirafter", "-include",
+                    "-imacros", "-isysroot"}
+        joined = ("-I", "-isystem", "-iquote", "-idirafter")
+        resolved: list[str] = []
+        arg_iter = iter(args)
+        for arg in arg_iter:
+            if arg in separate:
+                resolved.append(arg)
+                value = next(arg_iter, None)
+                if value is not None:
+                    if not Path(value).is_absolute():
+                        value = str(directory / value)
+                    resolved.append(value)
+                continue
+            for prefix in joined:
+                value = arg[len(prefix):]
+                if (arg.startswith(prefix) and value
+                        and not Path(value).is_absolute()):
+                    arg = prefix + str(directory / value)
+                    break
+            resolved.append(arg)
+        return resolved
 
     def parse(self, src: SourceFile):
         args = self.flags.get(src.rel,
@@ -295,15 +330,65 @@ class LibclangEngine:
                         "per-sim wcs::Rng instead"))
             if (cursor.kind == ck.CXX_FOR_RANGE_STMT
                     and src.rel.startswith("src/")):
-                children = list(cursor.get_children())
-                if children:
-                    range_type = children[-2].type.spelling if len(children) >= 2 else ""
-                    if "unordered_" in range_type:
-                        findings.append(Finding(
-                            "unordered-iteration", src.rel, cursor.location.line,
-                            f"range-for over {range_type}: hash-table order is "
-                            "nondeterministic; iterate a deterministic structure"))
+                range_init = self._range_initializer(cursor)
+                range_type = (self._unordered_type_of(range_init)
+                              if range_init is not None else "")
+                if range_type:
+                    # Name the iterated entity the same way the token engine
+                    # does: allowlist 'contains' entries written against one
+                    # engine's message must match the other's too.
+                    name = self._expr_name(range_init)
+                    findings.append(Finding(
+                        "unordered-iteration", src.rel, cursor.location.line,
+                        f"range-for over unordered container "
+                        f"'{name or '<expr>'}' ({range_type}): hash-table "
+                        "order is nondeterministic; iterate a deterministic "
+                        "structure (vector / map / order index)"))
         return findings
+
+    def _range_initializer(self, cursor):
+        """The range-init expression of a CXX_FOR_RANGE_STMT.
+
+        Child ordering of range-for statements is not a documented libclang
+        contract, so identify the initializer by kind: it is the expression
+        child that is neither the loop variable (VAR_DECL/DECL_STMT) nor
+        the body (always the last child). Fall back to the second-to-last
+        child for bindings that expose a different child set.
+        """
+        ck = self.cindex.CursorKind
+        children = list(cursor.get_children())
+        candidates = [child for child in children[:-1]
+                      if child.kind not in (ck.VAR_DECL, ck.DECL_STMT)
+                      and child.kind.is_expression()]
+        if candidates:
+            return candidates[0]
+        return children[-2] if len(children) >= 2 else None
+
+    @staticmethod
+    def _unordered_type_of(cursor) -> str:
+        """Spelling of the cursor's type when it is an unordered container,
+        looking through sugar (typedefs/aliases) and references/pointers."""
+        seen = []
+        node_type = cursor.type
+        for base in (node_type, node_type.get_pointee()):
+            for variant in (base, base.get_canonical()):
+                spelling = variant.spelling
+                if spelling and spelling not in seen:
+                    seen.append(spelling)
+        for spelling in seen:
+            if "unordered_" in spelling:
+                return spelling
+        return ""
+
+    @staticmethod
+    def _expr_name(cursor) -> str:
+        """Terminal identifier of an expression (member name for a.b.c),
+        unwrapping implicit casts/parens that carry no spelling."""
+        node = cursor
+        while node is not None and not node.spelling:
+            children = list(node.get_children())
+            node = children[0] if children else None
+        return node.spelling if node is not None else ""
 
 
 class TokenEngine:
@@ -527,6 +612,39 @@ def _matched_braces(code: str, open_index: int) -> tuple[str | None, int]:
     return None, open_index
 
 
+def _comment_text(context: str) -> str:
+    """Concatenated body text of real comments in ``context``.
+
+    Scans outside string/char literals, so a ``//`` inside a quoted URL is
+    not mistaken for a justification comment."""
+    parts: list[str] = []
+    i, n = 0, len(context)
+    while i < n:
+        ch = context[i]
+        nxt = context[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            end = context.find("\n", i)
+            end = n if end == -1 else end
+            parts.append(context[i + 2:end])
+            i = end
+        elif ch == "/" and nxt == "*":
+            end = context.find("*/", i + 2)
+            end = n if end == -1 else end
+            parts.append(context[i + 2:end])
+            i = end + 2
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and context[i] not in (quote, "\n"):
+                if context[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return " ".join(parts)
+
+
 def check_tsa_escape(src: SourceFile) -> list[Finding]:
     if src.rel == TSA_HOME:
         return []
@@ -535,7 +653,9 @@ def check_tsa_escape(src: SourceFile) -> list[Finding]:
         if not NO_TSA_RE.search(line):
             continue
         context = "\n".join(src.raw_lines[max(0, lineno - 2):lineno])
-        if "//" not in context and "/*" not in context:
+        # A justification is an actual comment token (not a "//" inside a
+        # string literal) with at least a couple of words of content.
+        if len(re.findall(r"\w+", _comment_text(context))) < 2:
             findings.append(Finding(
                 "tsa-escape", src.rel, lineno,
                 "WCS_NO_THREAD_SAFETY_ANALYSIS without a justification comment "
@@ -646,10 +766,14 @@ def analyze(root: Path, engine_choice: str,
         if ast_engine is not None:
             try:
                 findings.extend(ast_engine.findings_for(src))
-            except Exception:
+            except Exception as error:
                 # Fail-safe: a TU that will not parse falls back to tokens
                 # rather than silently contributing zero findings.
                 degraded_files.append(src.rel)
+                print(f"wcs_analyze: note: {src.rel}: libclang parse failed "
+                      f"({error}); degrading to the token engine for this "
+                      "file — semantic rules see tokens, not types",
+                      file=sys.stderr)
                 findings.extend(token_engine.findings_for(src))
         else:
             findings.extend(token_engine.findings_for(src))
