@@ -10,9 +10,11 @@
 //   2. micro: single-thread requests/sec and evictions/sec per
 //      representative policy (SIZE, LRU, LFU, LRU-MIN, Hyper-G's 3-key
 //      composite) on the U and BR presets, each compared against a
-//      faithful reimplementation of the pre-optimization SortedPolicy
-//      (heap-allocated vector rank tuples, erase+insert on every hit) to
-//      quantify the allocation-free index win.
+//      faithful reimplementation of its pre-optimization node-based
+//      engine (std::set rank tuples with heap-allocated vectors for the
+//      sorted policies, std::map-of-std::set size buckets for LRU-MIN) to
+//      quantify the flat arena/heap engine's win, with a stats-level
+//      bit-identity cross-check between the two engines on every row.
 //   3. streaming: the BL preset at 10x duration simulated twice — from a
 //      fully materialized Trace and from a WorkloadStream that never holds
 //      more than one day of raw log — with a bit-identity cross-check and
@@ -41,8 +43,10 @@
 #include "bench/common.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -117,6 +121,85 @@ class LegacySortedPolicy final : public RemovalPolicy {
   std::unordered_map<UrlId, LegacyTuple> index_;
 };
 
+/// The pre-flat LRU-MIN, kept verbatim: floor(log2(size)) buckets held in a
+/// std::map of std::set<LruKey> — one tree-node allocation per mutation.
+class LegacyLruMinPolicy final : public RemovalPolicy {
+ public:
+  void on_insert(const CacheEntry& entry) override {
+    DocState doc{entry.size, LruKey{entry.atime, entry.random_tag, entry.url}};
+    state_.emplace(entry.url, doc);
+    insert_key(doc);
+  }
+  void on_hit(const CacheEntry& entry) override {
+    auto& doc = state_.at(entry.url);
+    erase_key(doc);
+    doc.key.atime = entry.atime;
+    doc.size = entry.size;
+    insert_key(doc);
+  }
+  void on_remove(const CacheEntry& entry) override {
+    const auto it = state_.find(entry.url);
+    erase_key(it->second);
+    state_.erase(it);
+  }
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override {
+    if (state_.empty()) return std::nullopt;
+    std::uint64_t threshold = ctx.incoming_size;
+    for (;;) {
+      if (threshold <= 1) {
+        const LruKey* best = nullptr;
+        for (const auto& [bucket, keys] : buckets_) {
+          const LruKey& front = *keys.begin();
+          if (best == nullptr || front < *best) best = &front;
+        }
+        return best->url;
+      }
+      const int boundary = bucket_of(threshold);
+      const LruKey* best = nullptr;
+      for (auto it = buckets_.upper_bound(boundary); it != buckets_.end(); ++it) {
+        const LruKey& front = *it->second.begin();
+        if (best == nullptr || front < *best) best = &front;
+      }
+      if (const auto it = buckets_.find(boundary); it != buckets_.end()) {
+        for (const LruKey& key : it->second) {
+          if (state_.at(key.url).size >= threshold && (best == nullptr || key < *best)) {
+            best = &key;
+            break;  // keys are LRU-ordered; the first qualifier is the bucket's best
+          }
+        }
+      }
+      if (best != nullptr) return best->url;
+      threshold /= 2;
+    }
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "legacy-LRU-MIN"; }
+
+ private:
+  struct LruKey {
+    SimTime atime;
+    std::uint64_t tie;
+    UrlId url;
+    friend auto operator<=>(const LruKey&, const LruKey&) = default;
+  };
+  struct DocState {
+    std::uint64_t size;
+    LruKey key;
+  };
+
+  static int bucket_of(std::uint64_t size) noexcept {
+    return size == 0 ? 0 : std::bit_width(size) - 1;
+  }
+  void insert_key(const DocState& doc) { buckets_[bucket_of(doc.size)].insert(doc.key); }
+  void erase_key(const DocState& doc) {
+    const auto it = buckets_.find(bucket_of(doc.size));
+    it->second.erase(doc.key);
+    if (it->second.empty()) buckets_.erase(it);
+  }
+
+  std::map<int, std::set<LruKey>> buckets_;
+  std::unordered_map<UrlId, DocState> state_;
+};
+
 // ---- measurement helpers -------------------------------------------------
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -132,7 +215,7 @@ struct MicroRow {
   double evictions_per_sec = 0.0;
   double legacy_seconds = 0.0;
   double legacy_requests_per_sec = 0.0;
-  double speedup_vs_legacy = 0.0;  // 0 = no legacy leg (LRU-MIN)
+  double speedup_vs_legacy = 0.0;
 };
 
 /// Time one full simulation of `trace` at `capacity`; returns {seconds, evictions}.
@@ -268,34 +351,46 @@ int main(int argc, char** argv) {
       const PolicyFactory factory = is_lru_min
           ? PolicyFactory{[] { return make_lru_min(); }}
           : PolicyFactory{[&candidate] { return make_sorted_policy(candidate.spec); }};
-      // Warm-up pass (faults the trace in, stabilizes the allocator), then
-      // best-of-3 measured passes.
-      (void)time_sim(trace, capacity, factory);
+      const PolicyFactory legacy = is_lru_min
+          ? PolicyFactory{[] { return std::make_unique<LegacyLruMinPolicy>(); }}
+          : PolicyFactory{[&candidate] {
+              return std::make_unique<LegacySortedPolicy>(candidate.spec);
+            }};
+
+      // Bit-identity cross-check doubling as the warm-up pass (faults the
+      // trace in, stabilizes the allocator): both engines total-order their
+      // victims through the same (ranks, random_tag, url) comparator, so
+      // any stats divergence is a flat-engine bug, not noise.
+      const SimResult flat_check = simulate(trace, capacity, factory);
+      const SimResult legacy_check = simulate(trace, capacity, legacy);
+      if (flat_check.stats.hits != legacy_check.stats.hits ||
+          flat_check.stats.hit_bytes != legacy_check.stats.hit_bytes ||
+          flat_check.stats.evictions != legacy_check.stats.evictions ||
+          flat_check.stats.evicted_bytes != legacy_check.stats.evicted_bytes ||
+          flat_check.stats.insertions != legacy_check.stats.insertions ||
+          flat_check.max_used_bytes != legacy_check.max_used_bytes) {
+        std::cerr << "FATAL: flat and legacy engines diverge for " << candidate.label
+                  << " on workload " << name << "\n";
+        return 1;
+      }
+
       const auto [seconds, evictions] = time_sim_best(trace, capacity, factory, 3);
       row.seconds = seconds;
       row.requests_per_sec = static_cast<double>(row.requests) / seconds;
       row.evictions_per_sec = static_cast<double>(evictions) / seconds;
 
-      if (!is_lru_min) {
-        const PolicyFactory legacy = [&candidate] {
-          return std::make_unique<LegacySortedPolicy>(candidate.spec);
-        };
-        (void)time_sim(trace, capacity, legacy);
-        const auto [legacy_seconds, legacy_evictions] =
-            time_sim_best(trace, capacity, legacy, 3);
-        (void)legacy_evictions;
-        row.legacy_seconds = legacy_seconds;
-        row.legacy_requests_per_sec = static_cast<double>(row.requests) / legacy_seconds;
-        row.speedup_vs_legacy = row.requests_per_sec / row.legacy_requests_per_sec;
-      }
+      const auto [legacy_seconds, legacy_evictions] =
+          time_sim_best(trace, capacity, legacy, 3);
+      (void)legacy_evictions;
+      row.legacy_seconds = legacy_seconds;
+      row.legacy_requests_per_sec = static_cast<double>(row.requests) / legacy_seconds;
+      row.speedup_vs_legacy = row.requests_per_sec / row.legacy_requests_per_sec;
+
       micro_table.row({row.workload, row.policy,
                        Table::num(row.requests_per_sec / 1e6, 2),
                        Table::num(row.evictions_per_sec, 0),
-                       row.speedup_vs_legacy > 0.0
-                           ? Table::num(row.legacy_requests_per_sec / 1e6, 2)
-                           : "-",
-                       row.speedup_vs_legacy > 0.0 ? Table::num(row.speedup_vs_legacy, 2)
-                                                   : "-"});
+                       Table::num(row.legacy_requests_per_sec / 1e6, 2),
+                       Table::num(row.speedup_vs_legacy, 2)});
       micro.push_back(std::move(row));
     }
   }

@@ -48,10 +48,7 @@ Cache::Cache(CacheConfig config, std::unique_ptr<RemovalPolicy> policy)
   }
 }
 
-const CacheEntry* Cache::find(UrlId url) const {
-  const auto it = entries_.find(url);
-  return it == entries_.end() ? nullptr : &it->second;
-}
+const CacheEntry* Cache::find(UrlId url) const { return entries_.find(url); }
 
 void Cache::advance_day(SimTime now) {
   const std::int64_t today = day_of(now);
@@ -90,19 +87,22 @@ void Cache::advance_day(SimTime now) {
 }
 
 void Cache::evict(SimTime now, UrlId victim) {
-  const auto it = entries_.find(victim);
-  WCS_ASSERT(it != entries_.end(), "policy chose a victim that is not cached");
+  const CacheEntry* found = entries_.find(victim);
+  WCS_ASSERT(found != nullptr, "policy chose a victim that is not cached");
+  // Copy before erasing: the swap-remove relocates another entry into the
+  // victim's position, so the pointer must not outlive the erase.
+  const CacheEntry entry = *found;
   if (config_.obs != nullptr) {
     // Tag before on_remove drops the policy's index entry for the victim.
-    emit_eviction(*config_.obs, *policy_, now, it->second);
-    evicted_size_hist_->observe(it->second.size);
+    emit_eviction(*config_.obs, *policy_, now, entry);
+    evicted_size_hist_->observe(entry.size);
   }
-  policy_->on_remove(it->second);
-  used_bytes_ -= it->second.size;
+  policy_->on_remove(entry);
+  used_bytes_ -= entry.size;
   ++stats_.evictions;
-  stats_.evicted_bytes += it->second.size;
-  if (config_.on_evict) config_.on_evict(it->second);
-  entries_.erase(it);
+  stats_.evicted_bytes += entry.size;
+  if (config_.on_evict) config_.on_evict(entry);
+  entries_.erase(victim);
 }
 
 bool Cache::make_room(SimTime now, std::uint64_t incoming_size) {
@@ -128,22 +128,22 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
   ++stats_.requests;
   stats_.requested_bytes += size;
 
-  const auto it = entries_.find(url);
-  if (it != entries_.end() && it->second.size == size) {
+  CacheEntry* cached = entries_.find(url);
+  if (cached != nullptr && cached->size == size) {
     // §1.1 hit: URL and size both match.
-    CacheEntry& entry = it->second;
-    entry.atime = now;
-    ++entry.nref;
-    policy_->on_hit(entry);
+    cached->atime = now;
+    ++cached->nref;
+    policy_->on_hit(*cached);
     ++stats_.hits;
     stats_.hit_bytes += size;
     result.hit = true;
     return result;
   }
 
-  if (it != entries_.end()) {
+  if (cached != nullptr) {
     // Same URL, different size: the origin document changed; the cached
     // copy is inconsistent. Discard it; this access is a miss.
+    const CacheEntry stale = *cached;  // survives the swap-remove below
     result.size_change = true;
     ++stats_.size_change_misses;
     if (config_.obs != nullptr) {
@@ -151,14 +151,14 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
       event.kind = EventKind::kSizeChangeMiss;
       event.time = now;
       event.url = static_cast<ObsUrlId>(url);
-      event.size = size;                                       // new size
-      event.a = static_cast<std::int64_t>(it->second.size);    // stale size
+      event.size = size;                                  // new size
+      event.a = static_cast<std::int64_t>(stale.size);    // stale size
       config_.obs->emit(event);
     }
-    policy_->on_remove(it->second);
-    used_bytes_ -= it->second.size;
-    if (config_.on_evict) config_.on_evict(it->second);
-    entries_.erase(it);
+    policy_->on_remove(stale);
+    used_bytes_ -= stale.size;
+    if (config_.on_evict) config_.on_evict(stale);
+    entries_.erase(url);
   }
 
   // Admit the newly fetched copy.
@@ -181,10 +181,8 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
   entry.latency_ms = latency_ms;
   used_bytes_ += size;
   if (used_bytes_ > stats_.max_used_bytes) stats_.max_used_bytes = used_bytes_;
-  const auto [pos, inserted] = entries_.emplace(url, entry);
-  WCS_ASSERT(inserted, "admitting a URL that is already cached");
-  (void)pos;
-  (void)inserted;
+  WCS_ASSERT(!entries_.contains(url), "admitting a URL that is already cached");
+  entries_.insert(entry);
   policy_->on_insert(entry);
   ++stats_.insertions;
   result.inserted = true;
@@ -201,34 +199,33 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
 }
 
 bool Cache::erase(UrlId url) {
-  const auto it = entries_.find(url);
-  if (it == entries_.end()) return false;
-  policy_->on_remove(it->second);
-  used_bytes_ -= it->second.size;
-  if (config_.on_evict) config_.on_evict(it->second);
-  entries_.erase(it);
+  const CacheEntry* found = entries_.find(url);
+  if (found == nullptr) return false;
+  const CacheEntry entry = *found;  // survives the swap-remove below
+  policy_->on_remove(entry);
+  used_bytes_ -= entry.size;
+  if (config_.on_evict) config_.on_evict(entry);
+  entries_.erase(url);
   return true;
 }
 
 AuditReport Cache::audit() const {
   AuditReport report;
 
+  // Entry store: the url index and the dense vector must agree.
+  entries_.audit("cache", report);
+
   // Byte accounting: used_bytes must equal the sum of entry sizes exactly.
   std::uint64_t sum = 0;
-  for (const auto& [url, entry] : entries_) {
+  for (const CacheEntry& entry : entries_.dense()) {
     sum += entry.size;
-    if (entry.url != url) {
-      report.add("cache.entry_key",
-                 "entry stored under url " + std::to_string(url) + " claims url " +
-                     std::to_string(entry.url));
-    }
     if (entry.nref == 0) {
       report.add("cache.entry_nref",
-                 "url " + std::to_string(url) + " is cached with nref == 0");
+                 "url " + std::to_string(entry.url) + " is cached with nref == 0");
     }
     if (entry.atime < entry.etime) {
       report.add("cache.entry_times",
-                 "url " + std::to_string(url) + " has atime " +
+                 "url " + std::to_string(entry.url) + " has atime " +
                      std::to_string(entry.atime) + " before etime " +
                      std::to_string(entry.etime));
     }
@@ -263,17 +260,17 @@ AuditReport Cache::audit() const {
   }
 
   // Policy index: must mirror the entry table under the declared comparator.
+  // audit_index takes the audit-path EntryMap view (an O(n) rebuild is fine
+  // here; the hot path never materializes it).
+  EntryMap entries;
+  entries.reserve(entries_.size());
+  for (const CacheEntry& entry : entries_.dense()) entries.emplace(entry.url, entry);
   AuditReport policy_report;
-  policy_->audit_index(entries_, policy_report);
+  policy_->audit_index(entries, policy_report);
   report.absorb("policy", policy_report);
   return report;
 }
 
-std::vector<CacheEntry> Cache::snapshot() const {
-  std::vector<CacheEntry> out;
-  out.reserve(entries_.size());
-  for (const auto& [url, entry] : entries_) out.push_back(entry);
-  return out;
-}
+std::vector<CacheEntry> Cache::snapshot() const { return entries_.dense(); }
 
 }  // namespace wcs

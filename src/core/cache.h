@@ -15,11 +15,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/audit.h"
 #include "src/core/entry.h"
+#include "src/core/flat_index.h"
 #include "src/core/policy.h"
 #include "src/trace/trace.h"
 #include "src/util/rng.h"
@@ -84,6 +84,73 @@ struct AccessResult {
   std::uint32_t evictions = 0;
 };
 
+/// The cache's document store: a dense entry vector plus an open-addressing
+/// UrlId -> position index (flat_index.h). A lookup is one or two probes of
+/// contiguous memory instead of an unordered_map bucket chase; erase is a
+/// swap-remove, so iteration stays dense and allocation stays amortized.
+class EntryTable {
+ public:
+  [[nodiscard]] bool contains(UrlId url) const noexcept {
+    return index_.find(url) != kInvalidSlot;
+  }
+  [[nodiscard]] const CacheEntry* find(UrlId url) const noexcept {
+    const std::uint32_t i = index_.find(url);
+    return i == kInvalidSlot ? nullptr : &dense_[i];
+  }
+  [[nodiscard]] CacheEntry* find(UrlId url) noexcept {
+    const std::uint32_t i = index_.find(url);
+    return i == kInvalidSlot ? nullptr : &dense_[i];
+  }
+
+  /// Stores `entry`; its url must be absent.
+  void insert(const CacheEntry& entry) {
+    index_.insert(entry.url, static_cast<std::uint32_t>(dense_.size()));
+    dense_.push_back(entry);
+  }
+
+  /// Swap-remove: the vector tail fills the vacated position and the index
+  /// is redirected; O(1), order of dense() is not preserved.
+  bool erase(UrlId url) noexcept {
+    const std::uint32_t i = index_.find(url);
+    if (i == kInvalidSlot) return false;
+    index_.erase(url);
+    const std::uint32_t last = static_cast<std::uint32_t>(dense_.size() - 1);
+    if (i != last) {
+      dense_[i] = dense_[last];
+      index_.set(dense_[i].url, i);
+    }
+    dense_.pop_back();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return dense_.size(); }
+  /// Every cached entry, unordered, contiguous (iteration, audits).
+  [[nodiscard]] const std::vector<CacheEntry>& dense() const noexcept { return dense_; }
+
+  /// Index <-> dense agreement under `scope`: sizes match, every mapping
+  /// points at the entry that claims its url, plus the probe-chain audit.
+  void audit(const char* scope, AuditReport& report) const {
+    if (index_.size() != dense_.size()) {
+      report.add(std::string{scope} + ".entry_count",
+                 "index maps " + std::to_string(index_.size()) + " urls but " +
+                     std::to_string(dense_.size()) + " entries are stored");
+    }
+    index_.for_each([&](UrlId url, std::uint32_t i) {
+      if (i >= dense_.size() || dense_[i].url != url) {
+        report.add(std::string{scope} + ".entry_slot",
+                   "url " + std::to_string(url) + " maps to position " + std::to_string(i) +
+                       " which does not hold it");
+      }
+    });
+    index_.audit(scope, report);
+  }
+
+ private:
+  friend struct AuditTamper;
+  UrlSlotTable index_;
+  std::vector<CacheEntry> dense_;
+};
+
 class Cache {
  public:
   Cache(CacheConfig config, std::unique_ptr<RemovalPolicy> policy);
@@ -125,8 +192,8 @@ class Cache {
   /// Full invariant sweep (always compiled; see src/core/audit.h):
   ///   - used_bytes equals the sum of cached entry sizes and never exceeds
   ///     a finite capacity; the high-water mark is >= the current level
-  ///   - per-entry sanity: map key matches entry.url, nref >= 1,
-  ///     atime >= etime
+  ///   - per-entry sanity: the entry index maps each url to the entry that
+  ///     claims it, nref >= 1, atime >= etime
   ///   - counter sanity: hits <= requests, hit_bytes <= requested_bytes,
   ///     evictions <= insertions <= requests
   ///   - the policy's index mirrors the entry table and its victim order
@@ -144,7 +211,7 @@ class Cache {
 
   CacheConfig config_;
   std::unique_ptr<RemovalPolicy> policy_;
-  std::unordered_map<UrlId, CacheEntry> entries_;
+  EntryTable entries_;
   std::uint64_t used_bytes_ = 0;
   std::int64_t current_day_ = -1;
   CacheStats stats_;

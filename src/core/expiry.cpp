@@ -1,18 +1,31 @@
 #include "src/core/expiry.h"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace wcs {
 
 ExpiryFirstPolicy::ExpiryFirstPolicy(std::unique_ptr<RemovalPolicy> inner, SimTime ttl)
-    : inner_(std::move(inner)), ttl_(ttl) {
+    : inner_(std::move(inner)), ttl_(ttl), by_etime_(EtimeLess{this}, &heap_pos_) {
   if (inner_ == nullptr) throw std::invalid_argument{"ExpiryFirstPolicy: null inner"};
   name_ = "EXPIRED->" + std::string{inner_->name()};
 }
 
+std::uint32_t ExpiryFirstPolicy::acquire_slot() {
+  const std::uint32_t slot = arena_.acquire();
+  if (slot >= urls_.size()) {
+    etimes_.push_back(0);
+    urls_.push_back(kInvalidUrl);
+    heap_pos_.push_back(kInvalidSlot);
+  }
+  return slot;
+}
+
 void ExpiryFirstPolicy::on_insert(const CacheEntry& entry) {
-  by_etime_.insert({entry.etime, entry.url});
+  const std::uint32_t slot = acquire_slot();
+  etimes_[slot] = entry.etime;
+  urls_[slot] = entry.url;
+  table_.insert(entry.url, slot);
+  by_etime_.push(slot);
   inner_->on_insert(entry);
 }
 
@@ -22,28 +35,68 @@ void ExpiryFirstPolicy::on_hit(const CacheEntry& entry) {
 }
 
 void ExpiryFirstPolicy::on_remove(const CacheEntry& entry) {
-  const auto erased = by_etime_.erase({entry.etime, entry.url});
-  assert(erased == 1 && "ExpiryFirstPolicy: removing untracked entry");
-  (void)erased;
+  const std::uint32_t slot = table_.find(entry.url);
+  WCS_ASSERT(slot != kInvalidSlot, "ExpiryFirstPolicy: removing an untracked entry");
+  by_etime_.erase(slot);
+  table_.erase(entry.url);
+  arena_.release(slot);
   inner_->on_remove(entry);
 }
 
 std::optional<UrlId> ExpiryFirstPolicy::choose_victim(const EvictionContext& ctx) {
   if (ttl_ > 0 && !by_etime_.empty()) {
-    const ByEntryTime& oldest = *by_etime_.begin();
-    if (ctx.now - oldest.etime > ttl_) return oldest.url;
+    const std::uint32_t oldest = by_etime_.top();
+    if (ctx.now - etimes_[oldest] > ttl_) return urls_[oldest];
   }
   return inner_->choose_victim(ctx);
 }
 
 std::size_t ExpiryFirstPolicy::expired_count(SimTime now) const {
   if (ttl_ <= 0) return 0;
+  // The heap has no sorted iteration, so count by full scan — same answer
+  // as the former ordered walk, and this is a diagnostics-only query.
   std::size_t count = 0;
-  for (const auto& entry : by_etime_) {
-    if (now - entry.etime <= ttl_) break;  // set is etime-ordered
-    ++count;
+  for (const std::uint32_t slot : by_etime_.slots()) {
+    if (now - etimes_[slot] > ttl_) ++count;
   }
   return count;
+}
+
+void ExpiryFirstPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
+  if (table_.size() != entries.size()) {
+    report.add("expiry.tracked_count",
+               "wrapper tracks " + std::to_string(table_.size()) + " URLs but cache holds " +
+                   std::to_string(entries.size()));
+  }
+  if (by_etime_.size() != table_.size()) {
+    report.add("expiry.order_count",
+               "etime heap holds " + std::to_string(by_etime_.size()) +
+                   " slots but table maps " + std::to_string(table_.size()));
+  }
+  if (arena_.live() != table_.size()) {
+    report.add("expiry.arena_live",
+               "arena has " + std::to_string(arena_.live()) + " live slots but table maps " +
+                   std::to_string(table_.size()));
+  }
+  arena_.audit("expiry", report);
+  table_.audit("expiry", report);
+  by_etime_.audit("expiry", report);
+
+  for (const auto& [url, entry] : entries) {
+    const std::uint32_t slot = table_.find(url);
+    if (slot == kInvalidSlot) {
+      report.add("expiry.untracked",
+                 "cached url " + std::to_string(url) + " not in the etime index");
+      continue;
+    }
+    if (etimes_[slot] != entry.etime || urls_[slot] != url) {
+      report.add("expiry.stale_etime",
+                 "url " + std::to_string(url) +
+                     " has a stored etime that no longer matches the cache entry");
+    }
+  }
+
+  inner_->audit_index(entries, report);
 }
 
 std::unique_ptr<RemovalPolicy> make_expiry_first(std::unique_ptr<RemovalPolicy> inner,

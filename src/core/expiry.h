@@ -6,15 +6,22 @@
 // entry time, the HTTP/1.0-era freshness heuristic when no Expires header
 // exists) than a TTL are evicted first, oldest first; while nothing is
 // expired, the inner policy chooses as usual.
+//
+// Flat engine: the (etime asc, url) order lives in a 4-ary min-heap over
+// arena slots — the root is the oldest entry, the only one the expiry
+// check ever needs. The comparator is a strict total order, so the root is
+// the unique minimum the former std::set surfaced at begin().
 #pragma once
 
 #include <memory>
-#include <set>
 #include <string>
 
+#include "src/core/flat_index.h"
 #include "src/core/policy.h"
 
 namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
 
 class ExpiryFirstPolicy final : public RemovalPolicy {
  public:
@@ -32,17 +39,36 @@ class ExpiryFirstPolicy final : public RemovalPolicy {
   /// Number of currently-tracked documents older than the TTL at `now`.
   [[nodiscard]] std::size_t expired_count(SimTime now) const;
 
+  /// Audits the wrapper's own etime index (heap/table/arena agreement with
+  /// the cache, ids "expiry.*") and forwards to the inner policy's audit.
+  void audit_index(const EntryMap& entries, AuditReport& report) const override;
+
  private:
-  struct ByEntryTime {
-    SimTime etime;
-    UrlId url;
-    friend auto operator<=>(const ByEntryTime&, const ByEntryTime&) = default;
+  friend struct AuditTamper;
+
+  /// (etime asc, url) over slots — root = oldest entry.
+  struct EtimeLess {
+    const ExpiryFirstPolicy* p;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      if (p->etimes_[a] != p->etimes_[b]) return p->etimes_[a] < p->etimes_[b];
+      return p->urls_[a] < p->urls_[b];
+    }
   };
+
+  [[nodiscard]] std::uint32_t acquire_slot();
 
   std::unique_ptr<RemovalPolicy> inner_;
   SimTime ttl_;
   std::string name_;
-  std::set<ByEntryTime> by_etime_;
+
+  // Struct-of-arrays per-slot state.
+  std::vector<SimTime> etimes_;
+  std::vector<UrlId> urls_;
+  std::vector<std::uint32_t> heap_pos_;
+
+  SlotArena arena_;
+  UrlSlotTable table_;
+  DaryHeap<EtimeLess> by_etime_;
 };
 
 /// Convenience factory mirroring the policy.h ones.

@@ -1,0 +1,352 @@
+// Flat-memory building blocks for the policy engine (ROADMAP item 4).
+//
+// The node-based indexes (std::set red-black trees, std::unordered_map
+// buckets) pointer-chase a cache line per tree level on every hit, insert
+// and eviction. These three primitives replace them with contiguous
+// storage:
+//
+//   SlotArena     a free-list slot allocator: each tracked document owns a
+//                 dense uint32 slot id for the lifetime of its residency,
+//                 and every per-document attribute lives in a plain vector
+//                 indexed by that slot (struct-of-arrays).
+//   UrlSlotTable  an open-addressing UrlId -> slot hash table (linear
+//                 probing over a power-of-two capacity, backward-shift
+//                 deletion, <= 1/2 load factor): the one lookup a policy
+//                 event needs, in one or two probes of contiguous memory.
+//   DaryHeap      a 4-ary min-heap over slot ids with an external position
+//                 column: top() is the eviction victim, re-ranking on a hit
+//                 is a sift instead of a tree unlink + relink, and the
+//                 shallow fan-out keeps sift depth at log4(n).
+//
+// Ordering contract: a DaryHeap's Less must be a *strict total order* over
+// live slots (every policy comparator ends in the url tiebreak), so the
+// heap root is the unique minimum — bit-for-bit the same victim a sorted
+// std::set would surface at begin(). tests/test_flat_engine.cpp holds the
+// engines to that equality across the full Experiment-2 grid.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/trace/request.h"
+
+namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+
+/// Sentinel for "no slot": absent table lookups, free heap positions.
+inline constexpr std::uint32_t kInvalidSlot = static_cast<std::uint32_t>(-1);
+
+/// splitmix64 finalizer: a full-avalanche mix so sequential UrlIds spread
+/// across the whole probe space. Integer-only (src/core bans float math).
+[[nodiscard]] constexpr std::uint64_t mix_url_hash(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Free-list slot allocator. acquire() reuses the most recently released
+/// slot (LIFO keeps hot columns cache-resident) or mints capacity()++; the
+/// caller grows its per-slot columns when a fresh slot comes back.
+class SlotArena {
+ public:
+  [[nodiscard]] std::uint32_t acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    return capacity_++;
+  }
+
+  void release(std::uint32_t slot) {
+    WCS_ASSERT(slot < capacity_, "SlotArena::release of a slot never acquired");
+    free_.push_back(slot);
+  }
+
+  /// Total slots ever minted (== the length of every per-slot column).
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  /// Currently-acquired slots.
+  [[nodiscard]] std::uint32_t live() const noexcept {
+    return capacity_ - static_cast<std::uint32_t>(free_.size());
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& free_slots() const noexcept {
+    return free_;
+  }
+
+  /// Free-list sanity under `scope`: every free slot minted, no duplicates.
+  void audit(const char* scope, AuditReport& report) const {
+    std::vector<bool> seen(capacity_, false);
+    for (const std::uint32_t slot : free_) {
+      if (slot >= capacity_) {
+        report.add(std::string{scope} + ".arena_free",
+                   "free list holds slot " + std::to_string(slot) +
+                       " beyond capacity " + std::to_string(capacity_));
+        continue;
+      }
+      if (seen[slot]) {
+        report.add(std::string{scope} + ".arena_free",
+                   "free list holds slot " + std::to_string(slot) + " twice");
+      }
+      seen[slot] = true;
+    }
+  }
+
+ private:
+  friend struct AuditTamper;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t capacity_ = 0;
+};
+
+/// Open-addressing UrlId -> slot table: linear probing, power-of-two
+/// capacity, load factor kept <= 1/2, deletions repaired by backward shift
+/// (no tombstones, so probe chains never degrade).
+class UrlSlotTable {
+ public:
+  /// Slot mapped to `url`, or kInvalidSlot.
+  [[nodiscard]] std::uint32_t find(UrlId url) const noexcept {
+    if (keys_.empty()) return kInvalidSlot;
+    std::size_t i = index_of(url);
+    while (keys_[i] != kInvalidUrl) {
+      if (keys_[i] == url) return slots_[i];
+      i = (i + 1) & mask_;
+    }
+    return kInvalidSlot;
+  }
+
+  /// Maps `url` (which must be absent) to `slot`.
+  void insert(UrlId url, std::uint32_t slot) {
+    if (keys_.empty() || (size_ + 1) * 2 > keys_.size()) grow();
+    std::size_t i = index_of(url);
+    while (keys_[i] != kInvalidUrl) {
+      WCS_ASSERT(keys_[i] != url, "UrlSlotTable::insert of an already-mapped url");
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = url;
+    slots_[i] = slot;
+    ++size_;
+  }
+
+  /// Redirects an existing mapping (swap-remove relocations).
+  void set(UrlId url, std::uint32_t slot) noexcept {
+    WCS_ASSERT(!keys_.empty(), "UrlSlotTable::set on an empty table");
+    std::size_t i = index_of(url);
+    while (keys_[i] != url) {
+      WCS_ASSERT(keys_[i] != kInvalidUrl, "UrlSlotTable::set of an unmapped url");
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = slot;
+  }
+
+  /// Unmaps `url`; false if it was absent.
+  bool erase(UrlId url) noexcept {
+    if (keys_.empty()) return false;
+    std::size_t i = index_of(url);
+    while (keys_[i] != url) {
+      if (keys_[i] == kInvalidUrl) return false;
+      i = (i + 1) & mask_;
+    }
+    // Backward-shift deletion: walk the probe chain after the hole and pull
+    // back every entry whose home bucket precedes the hole (cyclically), so
+    // lookups never cross an artificial gap.
+    std::size_t hole = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (keys_[j] == kInvalidUrl) break;
+      const std::size_t home = index_of(keys_[j]);
+      // `keys_[j]` may fill the hole iff its home bucket is cyclically
+      // outside (hole, j] — i.e. the shifted entry still sits at or after
+      // its home in probe order.
+      const bool movable = hole <= j ? (home <= hole || home > j)
+                                     : (home <= hole && home > j);
+      if (movable) {
+        keys_[hole] = keys_[j];
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    keys_[hole] = kInvalidUrl;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Every (url, slot) mapping, in bucket order (diagnostics, audits).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kInvalidUrl) fn(keys_[i], slots_[i]);
+    }
+  }
+
+  /// Table self-consistency under `scope`: occupied-bucket count matches
+  /// size(), and every key is reachable from its home bucket (no probe
+  /// chain crosses an empty bucket).
+  void audit(const char* scope, AuditReport& report) const {
+    std::size_t occupied = 0;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == kInvalidUrl) continue;
+      ++occupied;
+      if (find(keys_[i]) == kInvalidSlot) {
+        report.add(std::string{scope} + ".table_probe",
+                   "url " + std::to_string(keys_[i]) +
+                       " occupies a bucket its probe chain cannot reach");
+      }
+    }
+    if (occupied != size_) {
+      report.add(std::string{scope} + ".table_size",
+                 "table reports " + std::to_string(size_) + " mappings but " +
+                     std::to_string(occupied) + " buckets are occupied");
+    }
+  }
+
+ private:
+  friend struct AuditTamper;
+
+  [[nodiscard]] std::size_t index_of(UrlId url) const noexcept {
+    return static_cast<std::size_t>(mix_url_hash(url)) & mask_;
+  }
+
+  void grow() {
+    const std::size_t new_capacity = keys_.empty() ? 16 : keys_.size() * 2;
+    std::vector<UrlId> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_slots = std::move(slots_);
+    keys_.assign(new_capacity, kInvalidUrl);
+    slots_.assign(new_capacity, kInvalidSlot);
+    mask_ = new_capacity - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kInvalidUrl) continue;
+      std::size_t j = index_of(old_keys[i]);
+      while (keys_[j] != kInvalidUrl) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      slots_[j] = old_slots[i];
+    }
+  }
+
+  std::vector<UrlId> keys_;             // kInvalidUrl = empty bucket
+  std::vector<std::uint32_t> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;                // capacity - 1 (capacity power of two)
+};
+
+/// 4-ary min-heap over slot ids. `Less` must be a strict total order over
+/// live slots (policy comparators always end in the url tiebreak), making
+/// top() the *unique* minimum — identical to the victim std::set::begin()
+/// yields under the same comparator.
+///
+/// Positions live in an external column shared with the owner (and, for
+/// LRU-MIN, shared across all 64 bucket heaps — a slot sits in exactly one
+/// bucket at a time): (*pos_)[slot] is the heap index of `slot`, or
+/// kInvalidSlot while unqueued. The owner grows the column alongside its
+/// other per-slot vectors; the heap never resizes it.
+template <typename Less>
+class DaryHeap {
+ public:
+  static constexpr std::size_t kArity = 4;
+
+  DaryHeap(Less less, std::vector<std::uint32_t>* pos) : less_(less), pos_(pos) {}
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// The minimum slot; heap must be non-empty.
+  [[nodiscard]] std::uint32_t top() const noexcept { return heap_[0]; }
+  /// Heap array in layout order (audits, full scans).
+  [[nodiscard]] const std::vector<std::uint32_t>& slots() const noexcept { return heap_; }
+
+  void push(std::uint32_t slot) {
+    WCS_ASSERT((*pos_)[slot] == kInvalidSlot, "DaryHeap::push of an already-queued slot");
+    heap_.push_back(slot);
+    (*pos_)[slot] = static_cast<std::uint32_t>(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+  }
+
+  void erase(std::uint32_t slot) {
+    const std::uint32_t i = (*pos_)[slot];
+    WCS_ASSERT(i != kInvalidSlot && i < heap_.size() && heap_[i] == slot,
+               "DaryHeap::erase of a slot not in this heap");
+    (*pos_)[slot] = kInvalidSlot;
+    const std::uint32_t last = heap_.back();
+    heap_.pop_back();
+    if (last == slot) return;  // removed the tail
+    heap_[i] = last;
+    (*pos_)[last] = i;
+    update(last);
+  }
+
+  /// Restores heap order after `slot`'s key changed in place.
+  void update(std::uint32_t slot) {
+    const std::uint32_t i = (*pos_)[slot];
+    WCS_ASSERT(i != kInvalidSlot && i < heap_.size() && heap_[i] == slot,
+               "DaryHeap::update of a slot not in this heap");
+    if (i > 0 && less_(slot, heap_[(i - 1) / kArity])) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  }
+
+  /// Heap-order + position-column sanity under `scope`.
+  void audit(const char* scope, AuditReport& report) const {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      const std::uint32_t slot = heap_[i];
+      if (slot >= pos_->size() || (*pos_)[slot] != i) {
+        report.add(std::string{scope} + ".heap_pos",
+                   "slot " + std::to_string(slot) + " at heap index " +
+                       std::to_string(i) + " has a stale position entry");
+      }
+      if (i > 0 && less_(slot, heap_[(i - 1) / kArity])) {
+        report.add(std::string{scope} + ".heap_order",
+                   "heap index " + std::to_string(i) + " (slot " + std::to_string(slot) +
+                       ") orders before its parent — sift invariant broken");
+      }
+    }
+  }
+
+ private:
+  friend struct AuditTamper;
+
+  void sift_up(std::size_t i) {
+    const std::uint32_t slot = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!less_(slot, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      (*pos_)[heap_[i]] = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = slot;
+    (*pos_)[slot] = static_cast<std::uint32_t>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::uint32_t slot = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (less_(heap_[c], heap_[best])) best = c;
+      }
+      if (!less_(heap_[best], slot)) break;
+      heap_[i] = heap_[best];
+      (*pos_)[heap_[i]] = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = slot;
+    (*pos_)[slot] = static_cast<std::uint32_t>(i);
+  }
+
+  Less less_;
+  std::vector<std::uint32_t>* pos_;
+  std::vector<std::uint32_t> heap_;
+};
+
+}  // namespace wcs

@@ -4,140 +4,172 @@
 
 namespace wcs {
 
-LruMinPolicy::LruMinPolicy(std::uint64_t /*seed*/) {}
+LruMinPolicy::LruMinPolicy(std::uint64_t /*seed*/) {
+  buckets_.reserve(kBucketCount);
+  for (int b = 0; b < kBucketCount; ++b) buckets_.emplace_back(LruLess{this}, &heap_pos_);
+}
 
 int LruMinPolicy::bucket_of(std::uint64_t size) noexcept {
   return size == 0 ? 0 : std::bit_width(size) - 1;
 }
 
-void LruMinPolicy::insert_key(const DocState& doc) {
-  buckets_[bucket_of(doc.size)].insert(doc.key);
+std::uint32_t LruMinPolicy::slot_of(UrlId url) const noexcept {
+  if (victim_slot_ != kInvalidSlot && urls_[victim_slot_] == url &&
+      heap_pos_[victim_slot_] != kInvalidSlot) {
+    return victim_slot_;
+  }
+  return table_.find(url);
 }
 
-void LruMinPolicy::erase_key(const DocState& doc) {
-  const int bucket = bucket_of(doc.size);
-  const auto it = buckets_.find(bucket);
-  WCS_ASSERT(it != buckets_.end(), "LRU-MIN: erase_key for an unbucketed size class");
-  it->second.erase(doc.key);
-  if (it->second.empty()) buckets_.erase(it);
+std::uint32_t LruMinPolicy::acquire_slot() {
+  const std::uint32_t slot = arena_.acquire();
+  if (slot >= urls_.size()) {
+    sizes_.push_back(0);
+    atimes_.push_back(0);
+    tags_.push_back(0);
+    urls_.push_back(kInvalidUrl);
+    heap_pos_.push_back(kInvalidSlot);
+  }
+  return slot;
 }
 
 void LruMinPolicy::on_insert(const CacheEntry& entry) {
-  DocState doc{entry.size, LruKey{entry.atime, entry.random_tag, entry.url}};
-  const auto [it, inserted] = state_.emplace(entry.url, doc);
-  WCS_ASSERT(inserted, "LRU-MIN: on_insert for an already-tracked URL");
-  (void)it;
-  (void)inserted;
-  insert_key(doc);
+  const std::uint32_t slot = acquire_slot();
+  sizes_[slot] = entry.size;
+  atimes_[slot] = entry.atime;
+  tags_[slot] = entry.random_tag;
+  urls_[slot] = entry.url;
+  table_.insert(entry.url, slot);
+  buckets_[static_cast<std::size_t>(bucket_of(entry.size))].push(slot);
 }
 
 void LruMinPolicy::on_hit(const CacheEntry& entry) {
-  const auto it = state_.find(entry.url);
-  WCS_ASSERT(it != state_.end(), "LRU-MIN: on_hit for an untracked URL");
-  erase_key(it->second);
-  it->second.key.atime = entry.atime;
-  it->second.size = entry.size;
-  insert_key(it->second);
+  const std::uint32_t slot = table_.find(entry.url);
+  WCS_ASSERT(slot != kInvalidSlot, "LRU-MIN: on_hit for an untracked URL");
+  const int old_bucket = bucket_of(sizes_[slot]);
+  const int new_bucket = bucket_of(entry.size);
+  sizes_[slot] = entry.size;
+  atimes_[slot] = entry.atime;
+  if (old_bucket == new_bucket) {
+    buckets_[static_cast<std::size_t>(new_bucket)].update(slot);
+  } else {
+    buckets_[static_cast<std::size_t>(old_bucket)].erase(slot);
+    buckets_[static_cast<std::size_t>(new_bucket)].push(slot);
+  }
 }
 
 void LruMinPolicy::on_remove(const CacheEntry& entry) {
-  const auto it = state_.find(entry.url);
-  WCS_ASSERT(it != state_.end(), "LRU-MIN: on_remove for an untracked URL");
-  erase_key(it->second);
-  state_.erase(it);
+  const std::uint32_t slot = slot_of(entry.url);
+  victim_slot_ = kInvalidSlot;
+  WCS_ASSERT(slot != kInvalidSlot, "LRU-MIN: on_remove for an untracked URL");
+  buckets_[static_cast<std::size_t>(bucket_of(sizes_[slot]))].erase(slot);
+  const bool erased = table_.erase(entry.url);
+  WCS_ASSERT(erased, "LRU-MIN: on_remove url missing from table");
+  (void)erased;
+  arena_.release(slot);
 }
 
 void LruMinPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
-  if (state_.size() != entries.size()) {
+  if (table_.size() != entries.size()) {
     report.add("lru_min.tracked_count",
-               "policy tracks " + std::to_string(state_.size()) + " URLs but cache holds " +
+               "policy tracks " + std::to_string(table_.size()) + " URLs but cache holds " +
                    std::to_string(entries.size()));
   }
+  if (arena_.live() != table_.size()) {
+    report.add("lru_min.arena_live",
+               "arena has " + std::to_string(arena_.live()) + " live slots but table maps " +
+                   std::to_string(table_.size()));
+  }
+  arena_.audit("lru_min", report);
+  table_.audit("lru_min", report);
+
   for (const auto& [url, entry] : entries) {
-    const auto it = state_.find(url);
-    if (it == state_.end()) {
+    const std::uint32_t slot = table_.find(url);
+    if (slot == kInvalidSlot) {
       report.add("lru_min.untracked", "cached url " + std::to_string(url) + " not in state");
       continue;
     }
-    const DocState& doc = it->second;
-    if (doc.size != entry.size || doc.key.atime != entry.atime ||
-        doc.key.tie != entry.random_tag || doc.key.url != url) {
+    if (sizes_[slot] != entry.size || atimes_[slot] != entry.atime ||
+        tags_[slot] != entry.random_tag || urls_[slot] != url) {
       report.add("lru_min.stale_state",
                  "url " + std::to_string(url) + " has state (size=" +
-                     std::to_string(doc.size) + ", atime=" + std::to_string(doc.key.atime) +
+                     std::to_string(sizes_[slot]) + ", atime=" +
+                     std::to_string(atimes_[slot]) +
                      ") that no longer matches the cache entry");
     }
   }
 
-  // Size-class thresholds: bucket b holds exactly the sizes with
-  // floor(log2(size)) == b, every key maps back to a tracked document, and
-  // no bucket is left empty (an empty set would distort threshold scans).
+  // Size-class thresholds: bucket b holds exactly the slots with
+  // floor(log2(size)) == b, every bucketed slot maps back to a tracked URL,
+  // and each bucket heap keeps its order/position invariants.
   std::size_t bucketed = 0;
-  for (const auto& [bucket, keys] : buckets_) {
-    if (keys.empty()) {
-      report.add("lru_min.empty_bucket",
-                 "bucket " + std::to_string(bucket) + " exists but holds no keys");
-      continue;
-    }
-    for (const LruKey& key : keys) {
+  for (int bucket = 0; bucket < kBucketCount; ++bucket) {
+    const auto& heap = buckets_[static_cast<std::size_t>(bucket)];
+    heap.audit("lru_min", report);
+    for (const std::uint32_t slot : heap.slots()) {
       ++bucketed;
-      const auto it = state_.find(key.url);
-      if (it == state_.end()) {
+      if (table_.find(urls_[slot]) != slot) {
         report.add("lru_min.orphan_key",
                    "bucket " + std::to_string(bucket) + " holds untracked url " +
-                       std::to_string(key.url));
+                       std::to_string(urls_[slot]));
         continue;
       }
-      if (bucket_of(it->second.size) != bucket) {
+      if (bucket_of(sizes_[slot]) != bucket) {
         report.add("lru_min.size_class",
-                   "url " + std::to_string(key.url) + " (size " +
-                       std::to_string(it->second.size) + ") sits in bucket " +
+                   "url " + std::to_string(urls_[slot]) + " (size " +
+                       std::to_string(sizes_[slot]) + ") sits in bucket " +
                        std::to_string(bucket) + " but belongs in bucket " +
-                       std::to_string(bucket_of(it->second.size)));
+                       std::to_string(bucket_of(sizes_[slot])));
       }
     }
   }
-  if (bucketed != state_.size()) {
+  if (bucketed != table_.size()) {
     report.add("lru_min.bucket_count",
-               "buckets hold " + std::to_string(bucketed) + " keys but state tracks " +
-                   std::to_string(state_.size()) + " documents");
+               "buckets hold " + std::to_string(bucketed) + " slots but the table maps " +
+                   std::to_string(table_.size()) + " documents");
   }
 }
 
 std::optional<UrlId> LruMinPolicy::choose_victim(const EvictionContext& ctx) {
-  if (state_.empty()) return std::nullopt;
+  if (table_.size() == 0) return std::nullopt;
+  const LruLess less{this};
 
   // Descend thresholds T = S, S/2, S/4, ... until some document has
-  // size >= T; among those, pick the least recently used.
+  // size >= T; among those, pick the least recently used. Buckets strictly
+  // above the boundary class qualify wholesale, so only their roots (each
+  // bucket's LRU member) can win; the boundary bucket holds sizes in
+  // [2^b, 2^(b+1)) and is scanned in full for its minimum qualifying key —
+  // the same document the in-order set walk used to stop at.
   std::uint64_t threshold = ctx.incoming_size;
   for (;;) {
     if (threshold <= 1) {
-      // Every document qualifies: global LRU.
-      const LruKey* best = nullptr;
-      for (const auto& [bucket, keys] : buckets_) {
-        const LruKey& front = *keys.begin();
-        if (best == nullptr || front < *best) best = &front;
+      // Every document qualifies: global LRU over the bucket roots.
+      std::uint32_t best = kInvalidSlot;
+      for (const auto& heap : buckets_) {
+        if (heap.empty()) continue;
+        const std::uint32_t root = heap.top();
+        if (best == kInvalidSlot || less(root, best)) best = root;
       }
-      return best->url;
+      victim_slot_ = best;
+      return urls_[best];
     }
     const int boundary = bucket_of(threshold);
-    const LruKey* best = nullptr;
-    // Buckets strictly above the boundary: every member qualifies; only the
-    // bucket LRU front can win.
-    for (auto it = buckets_.upper_bound(boundary); it != buckets_.end(); ++it) {
-      const LruKey& front = *it->second.begin();
-      if (best == nullptr || front < *best) best = &front;
+    std::uint32_t best = kInvalidSlot;
+    for (int bucket = boundary + 1; bucket < kBucketCount; ++bucket) {
+      const auto& heap = buckets_[static_cast<std::size_t>(bucket)];
+      if (heap.empty()) continue;
+      const std::uint32_t root = heap.top();
+      if (best == kInvalidSlot || less(root, best)) best = root;
     }
-    // Boundary bucket holds sizes in [2^b, 2^(b+1)): some may be < T.
-    if (const auto it = buckets_.find(boundary); it != buckets_.end()) {
-      for (const LruKey& key : it->second) {
-        if (state_.at(key.url).size >= threshold && (best == nullptr || key < *best)) {
-          best = &key;
-          break;  // keys are LRU-ordered; the first qualifier is the bucket's best
-        }
+    for (const std::uint32_t slot : buckets_[static_cast<std::size_t>(boundary)].slots()) {
+      if (sizes_[slot] >= threshold && (best == kInvalidSlot || less(slot, best))) {
+        best = slot;
       }
     }
-    if (best != nullptr) return best->url;
+    if (best != kInvalidSlot) {
+      victim_slot_ = best;
+      return urls_[best];
+    }
     threshold /= 2;
   }
 }

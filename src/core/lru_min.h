@@ -9,12 +9,19 @@
 // The paper notes LOG2SIZE+ATIME differs because its buckets are absolute
 // rather than relative to the incoming size; having the exact policy lets
 // the benches measure that difference.
+//
+// Flat engine: documents are arena slots bucketed by floor(log2(size))
+// into one 4-ary min-heap per size class, ordered by the LRU key
+// (atime, random tag, url) — the bucket root is its least recently used
+// member. All 64 heaps share a single position column (a slot sits in
+// exactly one bucket at a time). A threshold scan reads at most 64 roots
+// plus the boundary bucket's members; victim selection is the minimum LRU
+// key among qualifiers, which is exactly the document the former
+// std::set-per-bucket walk surfaced (the sets' in-order walk stopped at
+// the first qualifier == the minimum qualifying key).
 #pragma once
 
-#include <map>
-#include <set>
-#include <unordered_map>
-
+#include "src/core/flat_index.h"
 #include "src/core/policy.h"
 
 namespace wcs {
@@ -31,36 +38,48 @@ class LruMinPolicy final : public RemovalPolicy {
   [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
   [[nodiscard]] std::string_view name() const noexcept override { return "LRU-MIN"; }
 
-  [[nodiscard]] std::size_t tracked() const noexcept { return state_.size(); }
+  [[nodiscard]] std::size_t tracked() const noexcept { return table_.size(); }
 
-  /// Verifies the per-document state mirrors the cache (size/atime/tag) and
-  /// the size-class thresholds: every bucketed key lives in the bucket
-  /// floor(log2(size)) — i.e. bucket b holds exactly sizes in [2^b, 2^(b+1)).
+  /// Verifies the per-slot state mirrors the cache (size/atime/tag) and
+  /// the size-class thresholds: every bucketed slot lives in the bucket
+  /// floor(log2(size)) — i.e. bucket b holds exactly sizes in [2^b, 2^(b+1))
+  /// — plus the bucket heaps' order/position invariants and the arena
+  /// free list.
   void audit_index(const EntryMap& entries, AuditReport& report) const override;
 
  private:
   friend struct AuditTamper;
-  // (atime, tie, url) ascending — front = least recently used.
-  struct LruKey {
-    SimTime atime;
-    std::uint64_t tie;
-    UrlId url;
-    friend auto operator<=>(const LruKey&, const LruKey&) = default;
-  };
-  struct DocState {
-    std::uint64_t size;
-    LruKey key;
+
+  /// (atime, tag, url) ascending over slots — bucket root = least recently
+  /// used member.
+  struct LruLess {
+    const LruMinPolicy* p;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      if (p->atimes_[a] != p->atimes_[b]) return p->atimes_[a] < p->atimes_[b];
+      if (p->tags_[a] != p->tags_[b]) return p->tags_[a] < p->tags_[b];
+      return p->urls_[a] < p->urls_[b];
+    }
   };
 
-  // Documents bucketed by floor(log2(size)); each bucket ordered by LRU.
-  // A threshold scan visits at most ~64 buckets, and within the boundary
-  // bucket at most its own population.
-  std::map<int, std::set<LruKey>> buckets_;
-  std::unordered_map<UrlId, DocState> state_;
+  /// One bucket per possible floor(log2(size)) of a uint64 size.
+  static constexpr int kBucketCount = 64;
 
   [[nodiscard]] static int bucket_of(std::uint64_t size) noexcept;
-  void insert_key(const DocState& doc);
-  void erase_key(const DocState& doc);
+  [[nodiscard]] std::uint32_t slot_of(UrlId url) const noexcept;
+  [[nodiscard]] std::uint32_t acquire_slot();
+
+  // Struct-of-arrays per-slot state.
+  std::vector<std::uint64_t> sizes_;
+  std::vector<SimTime> atimes_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<UrlId> urls_;
+  std::vector<std::uint32_t> heap_pos_;  // shared by every bucket heap
+
+  SlotArena arena_;
+  UrlSlotTable table_;
+  std::vector<DaryHeap<LruLess>> buckets_;  // kBucketCount heaps
+
+  std::uint32_t victim_slot_ = kInvalidSlot;  // choose_victim -> on_remove memo
 };
 
 }  // namespace wcs

@@ -2,72 +2,103 @@
 
 namespace wcs {
 
-PitkowReckerPolicy::PitkowReckerPolicy(std::uint64_t /*seed*/) {}
+PitkowReckerPolicy::PitkowReckerPolicy(std::uint64_t /*seed*/)
+    : by_day_(DayLess{this}, &day_pos_), by_size_(SizeLess{this}, &size_pos_) {}
 
-PitkowReckerPolicy::DayKey PitkowReckerPolicy::day_key(const CacheEntry& entry) noexcept {
-  return DayKey{day_of(entry.atime), -static_cast<std::int64_t>(entry.size),
-                entry.random_tag, entry.url};
+std::uint32_t PitkowReckerPolicy::slot_of(UrlId url) const noexcept {
+  if (victim_slot_ != kInvalidSlot && urls_[victim_slot_] == url &&
+      day_pos_[victim_slot_] != kInvalidSlot) {
+    return victim_slot_;
+  }
+  return table_.find(url);
 }
 
-PitkowReckerPolicy::SizeKey PitkowReckerPolicy::size_key(const CacheEntry& entry) noexcept {
-  return SizeKey{-static_cast<std::int64_t>(entry.size), entry.random_tag, entry.url};
+std::uint32_t PitkowReckerPolicy::acquire_slot() {
+  const std::uint32_t slot = arena_.acquire();
+  if (slot >= urls_.size()) {
+    days_.push_back(0);
+    sizes_.push_back(0);
+    tags_.push_back(0);
+    urls_.push_back(kInvalidUrl);
+    day_pos_.push_back(kInvalidSlot);
+    size_pos_.push_back(kInvalidSlot);
+  }
+  return slot;
 }
 
 void PitkowReckerPolicy::on_insert(const CacheEntry& entry) {
-  const auto keys = std::pair{day_key(entry), size_key(entry)};
-  const auto [it, inserted] = index_.emplace(entry.url, keys);
-  WCS_ASSERT(inserted, "Pitkow/Recker: on_insert for an already-tracked URL");
-  (void)it;
-  (void)inserted;
-  by_day_.insert(keys.first);
-  by_size_.insert(keys.second);
+  const std::uint32_t slot = acquire_slot();
+  days_[slot] = day_of(entry.atime);
+  sizes_[slot] = entry.size;
+  tags_[slot] = entry.random_tag;
+  urls_[slot] = entry.url;
+  table_.insert(entry.url, slot);
+  by_day_.push(slot);
+  by_size_.push(slot);
 }
 
 void PitkowReckerPolicy::on_hit(const CacheEntry& entry) {
-  const auto it = index_.find(entry.url);
-  WCS_ASSERT(it != index_.end(), "Pitkow/Recker: on_hit for an untracked URL");
-  by_day_.erase(it->second.first);
-  by_size_.erase(it->second.second);
-  it->second = {day_key(entry), size_key(entry)};
-  by_day_.insert(it->second.first);
-  by_size_.insert(it->second.second);
+  const std::uint32_t slot = table_.find(entry.url);
+  WCS_ASSERT(slot != kInvalidSlot, "Pitkow/Recker: on_hit for an untracked URL");
+  days_[slot] = day_of(entry.atime);
+  sizes_[slot] = entry.size;
+  by_day_.update(slot);
+  by_size_.update(slot);
 }
 
 void PitkowReckerPolicy::on_remove(const CacheEntry& entry) {
-  const auto it = index_.find(entry.url);
-  WCS_ASSERT(it != index_.end(), "Pitkow/Recker: on_remove for an untracked URL");
-  by_day_.erase(it->second.first);
-  by_size_.erase(it->second.second);
-  index_.erase(it);
+  const std::uint32_t slot = slot_of(entry.url);
+  victim_slot_ = kInvalidSlot;
+  WCS_ASSERT(slot != kInvalidSlot, "Pitkow/Recker: on_remove for an untracked URL");
+  by_day_.erase(slot);
+  by_size_.erase(slot);
+  const bool erased = table_.erase(entry.url);
+  WCS_ASSERT(erased, "Pitkow/Recker: on_remove url missing from table");
+  (void)erased;
+  arena_.release(slot);
 }
 
 void PitkowReckerPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
-  if (index_.size() != entries.size()) {
+  if (table_.size() != entries.size()) {
     report.add("pitkow_recker.tracked_count",
-               "policy tracks " + std::to_string(index_.size()) + " URLs but cache holds " +
+               "policy tracks " + std::to_string(table_.size()) + " URLs but cache holds " +
                    std::to_string(entries.size()));
   }
-  if (by_day_.size() != index_.size() || by_size_.size() != index_.size()) {
+  if (by_day_.size() != table_.size() || by_size_.size() != table_.size()) {
     report.add("pitkow_recker.order_count",
-               "day order holds " + std::to_string(by_day_.size()) + ", size order " +
-                   std::to_string(by_size_.size()) + ", index " +
-                   std::to_string(index_.size()));
+               "day heap holds " + std::to_string(by_day_.size()) + ", size heap " +
+                   std::to_string(by_size_.size()) + ", table " +
+                   std::to_string(table_.size()));
   }
+  if (arena_.live() != table_.size()) {
+    report.add("pitkow_recker.arena_live",
+               "arena has " + std::to_string(arena_.live()) +
+                   " live slots but table maps " + std::to_string(table_.size()));
+  }
+  arena_.audit("pitkow_recker", report);
+  table_.audit("pitkow_recker", report);
+  by_day_.audit("pitkow_recker.day", report);
+  by_size_.audit("pitkow_recker.size", report);
+
   for (const auto& [url, entry] : entries) {
-    const auto it = index_.find(url);
-    if (it == index_.end()) {
+    const std::uint32_t slot = table_.find(url);
+    if (slot == kInvalidSlot) {
       report.add("pitkow_recker.untracked",
                  "cached url " + std::to_string(url) + " not in index");
       continue;
     }
-    if (it->second.first != day_key(entry) || it->second.second != size_key(entry)) {
+    if (days_[slot] != day_of(entry.atime) || sizes_[slot] != entry.size ||
+        tags_[slot] != entry.random_tag || urls_[slot] != url) {
       report.add("pitkow_recker.stale_key",
                  "url " + std::to_string(url) +
-                     " has stored keys that no longer match the cache entry");
+                     " has stored day/size state that no longer matches the cache entry");
     }
-    if (!by_day_.contains(it->second.first) || !by_size_.contains(it->second.second)) {
+    const std::uint32_t dpos = day_pos_[slot];
+    const std::uint32_t spos = size_pos_[slot];
+    if (dpos == kInvalidSlot || dpos >= by_day_.size() || by_day_.slots()[dpos] != slot ||
+        spos == kInvalidSlot || spos >= by_size_.size() || by_size_.slots()[spos] != slot) {
       report.add("pitkow_recker.order_missing",
-                 "url " + std::to_string(url) + "'s keys are absent from an order set");
+                 "url " + std::to_string(url) + "'s slot is absent from an order heap");
     }
   }
 }
@@ -75,9 +106,13 @@ void PitkowReckerPolicy::audit_index(const EntryMap& entries, AuditReport& repor
 std::optional<UrlId> PitkowReckerPolicy::choose_victim(const EvictionContext& ctx) {
   if (by_day_.empty()) return std::nullopt;
   const std::int64_t today = day_of(ctx.now);
-  const DayKey& oldest = *by_day_.begin();
-  if (oldest.day != today) return oldest.url;  // some document is days old
-  return by_size_.begin()->url;                // all touched today: largest first
+  const std::uint32_t oldest = by_day_.top();
+  if (days_[oldest] != today) {  // some document is days old
+    victim_slot_ = oldest;
+    return urls_[oldest];
+  }
+  victim_slot_ = by_size_.top();  // all touched today: largest first
+  return urls_[victim_slot_];
 }
 
 }  // namespace wcs

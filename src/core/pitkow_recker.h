@@ -15,14 +15,20 @@
 // library that schedule is a Cache-level option (CacheConfig::periodic)
 // composable with any policy, matching the paper's observation that
 // when-to-run is orthogonal to the sorting key (§1.3).
+//
+// Flat engine: each tracked document is an arena slot carried by two 4-ary
+// min-heaps — day order (day asc, size desc, tag, url) and size order
+// (size desc, tag, url) — each with its own position column. Both
+// comparators are strict total orders, so each heap root is the unique
+// minimum: the same victims the former twin std::sets surfaced at begin().
 #pragma once
 
-#include <set>
-#include <unordered_map>
-
+#include "src/core/flat_index.h"
 #include "src/core/policy.h"
 
 namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
 
 class PitkowReckerPolicy final : public RemovalPolicy {
  public:
@@ -34,36 +40,54 @@ class PitkowReckerPolicy final : public RemovalPolicy {
   [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
   [[nodiscard]] std::string_view name() const noexcept override { return "Pitkow/Recker"; }
 
-  [[nodiscard]] std::size_t tracked() const noexcept { return by_day_.size(); }
+  [[nodiscard]] std::size_t tracked() const noexcept { return table_.size(); }
 
   /// Verifies both orderings (day asc / size desc) mirror the cache: every
-  /// cached URL indexed, stored keys equal to recomputed day_key/size_key.
+  /// cached URL indexed, stored day/size state equal to the recomputed
+  /// values, both heaps' order/position invariants, and the arena free
+  /// list.
   void audit_index(const EntryMap& entries, AuditReport& report) const override;
 
  private:
-  // Day order: (day asc, size desc, tag, url) — oldest day first, largest
-  // first within a day.
-  struct DayKey {
-    std::int64_t day;
-    std::int64_t neg_size;
-    std::uint64_t tag;
-    UrlId url;
-    friend auto operator<=>(const DayKey&, const DayKey&) = default;
+  friend struct AuditTamper;
+
+  /// Day order over slots: (day asc, size desc, tag, url).
+  struct DayLess {
+    const PitkowReckerPolicy* p;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      if (p->days_[a] != p->days_[b]) return p->days_[a] < p->days_[b];
+      if (p->sizes_[a] != p->sizes_[b]) return p->sizes_[a] > p->sizes_[b];
+      if (p->tags_[a] != p->tags_[b]) return p->tags_[a] < p->tags_[b];
+      return p->urls_[a] < p->urls_[b];
+    }
   };
-  // Size order: (size desc, tag, url).
-  struct SizeKey {
-    std::int64_t neg_size;
-    std::uint64_t tag;
-    UrlId url;
-    friend auto operator<=>(const SizeKey&, const SizeKey&) = default;
+  /// Size order over slots: (size desc, tag, url).
+  struct SizeLess {
+    const PitkowReckerPolicy* p;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      if (p->sizes_[a] != p->sizes_[b]) return p->sizes_[a] > p->sizes_[b];
+      if (p->tags_[a] != p->tags_[b]) return p->tags_[a] < p->tags_[b];
+      return p->urls_[a] < p->urls_[b];
+    }
   };
 
-  std::set<DayKey> by_day_;
-  std::set<SizeKey> by_size_;
-  std::unordered_map<UrlId, std::pair<DayKey, SizeKey>> index_;
+  [[nodiscard]] std::uint32_t slot_of(UrlId url) const noexcept;
+  [[nodiscard]] std::uint32_t acquire_slot();
 
-  [[nodiscard]] static DayKey day_key(const CacheEntry& entry) noexcept;
-  [[nodiscard]] static SizeKey size_key(const CacheEntry& entry) noexcept;
+  // Struct-of-arrays per-slot state.
+  std::vector<std::int64_t> days_;      // day_of(atime)
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<UrlId> urls_;
+  std::vector<std::uint32_t> day_pos_;
+  std::vector<std::uint32_t> size_pos_;
+
+  SlotArena arena_;
+  UrlSlotTable table_;
+  DaryHeap<DayLess> by_day_;
+  DaryHeap<SizeLess> by_size_;
+
+  std::uint32_t victim_slot_ = kInvalidSlot;  // choose_victim -> on_remove memo
 };
 
 }  // namespace wcs

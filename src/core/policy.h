@@ -21,7 +21,7 @@
 namespace wcs {
 
 /// The cache's entry table, as handed to RemovalPolicy::audit_index.
-using EntryMap = std::unordered_map<UrlId, CacheEntry>;
+using EntryMap = std::unordered_map<UrlId, CacheEntry>;  // node-based-ok: audit-only view, rebuilt O(n) per audit, never on the eviction path
 
 /// Everything a policy may consult when picking a victim.
 struct EvictionContext {

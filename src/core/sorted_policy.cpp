@@ -1,76 +1,144 @@
 #include "src/core/sorted_policy.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace wcs {
 
 SortedPolicy::SortedPolicy(KeySpec spec, std::uint64_t /*seed*/)
-    : spec_(std::move(spec)), name_(spec_.name()) {}
+    : spec_(std::move(spec)),
+      name_(spec_.name()),
+      key_count_(spec_.keys.size()),
+      heap_(SlotLess{this}, &heap_pos_) {
+  if (key_count_ > kMaxRankKeys) {
+    // Same contract as make_rank_tuple: the inline rank columns cannot hold
+    // a deeper spec, and silently truncating would change the comparator.
+    throw std::length_error{"SortedPolicy: KeySpec deeper than kMaxRankKeys (" +
+                            std::to_string(key_count_) + " keys); raise the "
+                            "RankTuple inline bound"};
+  }
+}
+
+std::uint32_t SortedPolicy::slot_of(UrlId url) const noexcept {
+  if (victim_slot_ != kInvalidSlot && urls_[victim_slot_] == url &&
+      heap_pos_[victim_slot_] != kInvalidSlot) {
+    return victim_slot_;
+  }
+  return table_.find(url);
+}
+
+std::uint32_t SortedPolicy::acquire_slot() {
+  const std::uint32_t slot = arena_.acquire();
+  if (slot >= urls_.size()) {
+    for (std::size_t k = 0; k < key_count_; ++k) rank_cols_[k].push_back(0);
+    tags_.push_back(0);
+    urls_.push_back(kInvalidUrl);
+    heap_pos_.push_back(kInvalidSlot);
+  }
+  return slot;
+}
+
+void SortedPolicy::write_ranks(std::uint32_t slot, const CacheEntry& entry) {
+  for (std::size_t k = 0; k < key_count_; ++k) {
+    rank_cols_[k][slot] = key_rank(spec_.keys[k], entry);
+  }
+}
+
+RankTuple SortedPolicy::tuple_of(std::uint32_t slot) const noexcept {
+  RankTuple tuple;
+  tuple.count = static_cast<std::uint8_t>(key_count_);
+  for (std::size_t k = 0; k < key_count_; ++k) tuple.ranks[k] = rank_cols_[k][slot];
+  tuple.random_tag = tags_[slot];
+  tuple.url = urls_[slot];
+  return tuple;
+}
 
 void SortedPolicy::on_insert(const CacheEntry& entry) {
-  RankTuple tuple = make_rank_tuple(spec_, entry);
-  const auto [it, inserted] = index_.emplace(entry.url, tuple);
-  WCS_ASSERT(inserted, "SortedPolicy::on_insert for an already-tracked URL");
-  (void)it;
-  (void)inserted;
-  order_.insert(std::move(tuple));
+  const std::uint32_t slot = acquire_slot();
+  write_ranks(slot, entry);
+  tags_[slot] = entry.random_tag;
+  urls_[slot] = entry.url;
+  table_.insert(entry.url, slot);
+  heap_.push(slot);
 }
 
 void SortedPolicy::on_hit(const CacheEntry& entry) {
-  const auto it = index_.find(entry.url);
-  WCS_ASSERT(it != index_.end(), "SortedPolicy::on_hit for an untracked URL");
-  // Re-rank without touching the allocator: unlink the existing tree node,
-  // overwrite its tuple in place, and relink it. The erase+insert it
-  // replaces freed and reallocated a node on every single hit, which
-  // dominated the simulator's hot path.
-  auto node = order_.extract(it->second);
-  WCS_ASSERT(!node.empty(), "SortedPolicy::on_hit tuple missing from order set");
-  node.value() = make_rank_tuple(spec_, entry);
-  it->second = node.value();
-  order_.insert(std::move(node));
+  const std::uint32_t slot = table_.find(entry.url);
+  WCS_ASSERT(slot != kInvalidSlot, "SortedPolicy::on_hit for an untracked URL");
+  // Re-rank in place: overwrite the slot's rank columns and sift. The tree
+  // extract/relink this replaces walked O(log n) pointer hops twice; a sift
+  // touches log4(n) contiguous heap words.
+  write_ranks(slot, entry);
+  heap_.update(slot);
 }
 
 void SortedPolicy::on_remove(const CacheEntry& entry) {
-  const auto it = index_.find(entry.url);
-  WCS_ASSERT(it != index_.end(), "SortedPolicy::on_remove for an untracked URL");
-  order_.erase(it->second);
-  index_.erase(it);
+  const std::uint32_t slot = slot_of(entry.url);
+  victim_slot_ = kInvalidSlot;
+  WCS_ASSERT(slot != kInvalidSlot, "SortedPolicy::on_remove for an untracked URL");
+  heap_.erase(slot);
+  const bool erased = table_.erase(entry.url);
+  WCS_ASSERT(erased, "SortedPolicy::on_remove url missing from table");
+  (void)erased;
+  arena_.release(slot);
 }
 
 std::optional<UrlId> SortedPolicy::choose_victim(const EvictionContext& /*ctx*/) {
-  if (order_.empty()) return std::nullopt;
-  return order_.begin()->url;
+  if (heap_.empty()) return std::nullopt;
+  victim_slot_ = heap_.top();
+  return urls_[victim_slot_];
+}
+
+std::optional<RankTuple> SortedPolicy::rank_of(UrlId url) const {
+  const std::uint32_t slot = table_.find(url);
+  if (slot == kInvalidSlot) return std::nullopt;
+  return tuple_of(slot);
 }
 
 void SortedPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
-  if (index_.size() != entries.size()) {
+  if (table_.size() != entries.size()) {
     report.add("sorted.tracked_count",
-               "policy tracks " + std::to_string(index_.size()) + " URLs but cache holds " +
+               "policy tracks " + std::to_string(table_.size()) + " URLs but cache holds " +
                    std::to_string(entries.size()));
   }
-  if (order_.size() != index_.size()) {
+  if (heap_.size() != table_.size()) {
     report.add("sorted.order_count",
-               "order set holds " + std::to_string(order_.size()) + " tuples but index has " +
-                   std::to_string(index_.size()));
+               "heap holds " + std::to_string(heap_.size()) + " slots but table maps " +
+                   std::to_string(table_.size()));
   }
+  if (arena_.live() != table_.size()) {
+    report.add("sorted.arena_live",
+               "arena has " + std::to_string(arena_.live()) + " live slots but table maps " +
+                   std::to_string(table_.size()));
+  }
+  arena_.audit("sorted", report);
+  table_.audit("sorted", report);
+  heap_.audit("sorted", report);
 
   bool have_min = false;
   RankTuple min_tuple;
   for (const auto& [url, entry] : entries) {
-    const auto it = index_.find(url);
-    if (it == index_.end()) {
+    const std::uint32_t slot = table_.find(url);
+    if (slot == kInvalidSlot) {
       report.add("sorted.untracked", "cached url " + std::to_string(url) + " not in index");
       continue;
     }
+    if (urls_[slot] != url) {
+      report.add("sorted.table_slot",
+                 "url " + std::to_string(url) + " maps to slot " + std::to_string(slot) +
+                     " which claims url " + std::to_string(urls_[slot]));
+      continue;
+    }
     RankTuple expected = make_rank_tuple(spec_, entry);
-    if (!(it->second == expected)) {
+    if (!(tuple_of(slot) == expected)) {
       report.add("sorted.stale_rank",
                  "url " + std::to_string(url) +
-                     " has a stored tuple that no longer matches its recomputed ranks");
+                     " has stored ranks that no longer match its recomputed ranks");
     }
-    if (!order_.contains(it->second)) {
+    const std::uint32_t pos = heap_pos_[slot];
+    if (pos == kInvalidSlot || pos >= heap_.size() || heap_.slots()[pos] != slot) {
       report.add("sorted.order_missing",
-                 "url " + std::to_string(url) + "'s tuple is absent from the order set");
+                 "url " + std::to_string(url) + "'s slot is absent from the heap");
     }
     if (!have_min || expected < min_tuple) {
       min_tuple = std::move(expected);
@@ -80,19 +148,26 @@ void SortedPolicy::audit_index(const EntryMap& entries, AuditReport& report) con
 
   // The victim the policy would return must be the recomputed minimum —
   // i.e. the declared (primary, secondary, ..., random-tag, url) comparator
-  // still governs the head of the sorted list.
-  if (have_min && !order_.empty() && order_.begin()->url != min_tuple.url) {
+  // still governs the head of the sorted order.
+  if (have_min && !heap_.empty() && urls_[heap_.top()] != min_tuple.url) {
     report.add("sorted.victim_order",
-               "head of order set is url " + std::to_string(order_.begin()->url) +
+               "heap root is url " + std::to_string(urls_[heap_.top()]) +
                    " but the comparator minimum is url " + std::to_string(min_tuple.url));
   }
 }
 
 std::optional<std::size_t> SortedPolicy::position_of(UrlId url) const {
-  const auto it = index_.find(url);
-  if (it == index_.end()) return std::nullopt;
-  const auto pos = order_.find(it->second);
-  return static_cast<std::size_t>(std::distance(order_.begin(), pos));
+  const std::uint32_t slot = table_.find(url);
+  if (slot == kInvalidSlot) return std::nullopt;
+  // Sorted-list position == number of live slots strictly below the target
+  // under the (total) comparator. A heap is unordered beyond its root, so
+  // this is a full scan — diagnostics only (see the header contract).
+  const SlotLess less{this};
+  std::size_t position = 0;
+  for (const std::uint32_t other : heap_.slots()) {
+    if (other != slot && less(other, slot)) ++position;
+  }
+  return position;
 }
 
 }  // namespace wcs

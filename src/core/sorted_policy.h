@@ -1,16 +1,19 @@
 // SortedPolicy — the taxonomy engine.
 //
-// Keeps every cached document in a std::set ordered by its materialized
-// RankTuple (primary key, secondary key, ..., random tag, url). The victim
-// is always *begin()*: the head of the paper's sorted list. All operations
-// are O(log n); a hit re-ranks because ATIME/NREF/DAY(ATIME) ranks move —
-// implemented as a node extract + relink so the hot path never allocates
-// (RankTuple itself is a fixed-capacity inline array, see keys.h).
+// Keeps every cached document in a flat 4-ary min-heap of arena slots
+// ordered by its materialized RankTuple (primary key, secondary key, ...,
+// random tag, url). The victim is always the heap root: the head of the
+// paper's sorted list. Rank columns are struct-of-arrays (one contiguous
+// vector per key depth), so a hit re-ranks by overwriting the slot's ranks
+// in place and sifting — no tree nodes, no pointer chasing, no allocation.
+// The comparator is bit-for-bit the RankTuple order (keys.h), and it is a
+// strict total order (url final tiebreak), so the heap root is the unique
+// minimum — exactly the victim the former std::set surfaced at begin()
+// (equivalence argument: DESIGN.md §12; enforced by
+// tests/test_flat_engine.cpp across the full Experiment-2 grid).
 #pragma once
 
-#include <set>
-#include <unordered_map>
-
+#include "src/core/flat_index.h"
 #include "src/core/policy.h"
 
 namespace wcs {
@@ -27,39 +30,73 @@ class SortedPolicy final : public RemovalPolicy {
   [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
 
-  /// O(1) copy of the stored tuple (obs: eviction-event rank tagging).
-  [[nodiscard]] std::optional<RankTuple> rank_of(UrlId url) const override {
-    const auto it = index_.find(url);
-    if (it == index_.end()) return std::nullopt;
-    return it->second;
-  }
+  /// O(1) rebuild of the slot's tuple (obs: eviction-event rank tagging).
+  [[nodiscard]] std::optional<RankTuple> rank_of(UrlId url) const override;
 
   [[nodiscard]] const KeySpec& spec() const noexcept { return spec_; }
-  [[nodiscard]] std::size_t tracked() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t tracked() const noexcept { return table_.size(); }
 
   /// Position (0-based from the removal head) of a URL in the sorted list;
   /// the paper's simulator reported "location in sorted list of each URL
   /// hit".
   ///
-  /// COST: O(n). std::set iterators are not random-access, so this walks
-  /// the order set from begin() via std::distance. It exists for audits,
-  /// tests and offline diagnostics only and must never appear on a
-  /// simulation hot path — tools/lint.py's `position-of-hot-path` rule
-  /// rejects any call site under src/.
+  /// COST: O(n). A heap has no sorted iteration order, so this counts the
+  /// slots that compare below the target. It exists for audits, tests and
+  /// offline diagnostics only and must never appear on a simulation hot
+  /// path — tools/lint.py's `position-of-hot-path` rule rejects any call
+  /// site under src/.
   [[nodiscard]] std::optional<std::size_t> position_of(UrlId url) const;
 
-  /// Verifies index/order agreement with the declared comparator: every
-  /// cached URL tracked exactly once, every stored tuple equal to the
-  /// freshly recomputed make_rank_tuple(spec, entry), and the head of
-  /// order_ equal to the recomputed minimum (the §1.3 victim).
+  /// Verifies heap/table/arena agreement with the declared comparator:
+  /// every cached URL tracked exactly once, every stored rank column equal
+  /// to the freshly recomputed make_rank_tuple(spec, entry), the heap-order
+  /// and position-column invariants, the arena free list, and the heap root
+  /// equal to the recomputed minimum (the §1.3 victim).
   void audit_index(const EntryMap& entries, AuditReport& report) const override;
 
  private:
   friend struct AuditTamper;
+
+  /// The RankTuple strict total order, read straight off the SoA columns.
+  struct SlotLess {
+    const SortedPolicy* p;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      for (std::size_t k = 0; k < p->key_count_; ++k) {
+        const std::int64_t ra = p->rank_cols_[k][a];
+        const std::int64_t rb = p->rank_cols_[k][b];
+        if (ra != rb) return ra < rb;
+      }
+      if (p->tags_[a] != p->tags_[b]) return p->tags_[a] < p->tags_[b];
+      return p->urls_[a] < p->urls_[b];
+    }
+  };
+
+  /// Slot of `url` via the victim memo (set by choose_victim, so the
+  /// make_room pop loop skips the table probe) or the table.
+  [[nodiscard]] std::uint32_t slot_of(UrlId url) const noexcept;
+  /// Mints a slot and grows every per-slot column to cover it.
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void write_ranks(std::uint32_t slot, const CacheEntry& entry);
+  [[nodiscard]] RankTuple tuple_of(std::uint32_t slot) const noexcept;
+
   KeySpec spec_;
   std::string name_;
-  std::set<RankTuple> order_;
-  std::unordered_map<UrlId, RankTuple> index_;  // current tuple per URL
+  std::size_t key_count_ = 0;
+
+  // Struct-of-arrays per-slot state (grown by acquire_slot, never shrunk —
+  // slot count is bounded by peak residency, not request count).
+  std::array<std::vector<std::int64_t>, kMaxRankKeys> rank_cols_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<UrlId> urls_;
+  std::vector<std::uint32_t> heap_pos_;
+
+  SlotArena arena_;
+  UrlSlotTable table_;
+  DaryHeap<SlotLess> heap_;
+
+  /// choose_victim -> evict -> on_remove memo: the batched evict-until-fit
+  /// loop removes the slot it just surfaced without re-probing the table.
+  std::uint32_t victim_slot_ = kInvalidSlot;
 };
 
 }  // namespace wcs

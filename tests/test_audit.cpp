@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 
 #include "src/core/cache.h"
+#include "src/core/expiry.h"
 #include "src/core/lru_min.h"
 #include "src/core/partitioned_cache.h"
 #include "src/core/policy.h"
@@ -22,35 +24,55 @@ namespace wcs {
 // Every method here *breaks* an invariant on purpose.
 struct AuditTamper {
   static std::uint64_t& used_bytes(Cache& cache) { return cache.used_bytes_; }
-  static EntryMap& entries(Cache& cache) { return cache.entries_; }
+  static CacheEntry& entry(Cache& cache, UrlId url) { return *cache.entries_.find(url); }
   static CacheStats& stats(Cache& cache) { return cache.stats_; }
   static Cache& l2(TwoLevelCache& hierarchy) { return hierarchy.l2_; }
   static Cache& partition(PartitionedCache& cache, std::size_t i) {
     return cache.caches_.at(i);
   }
 
-  /// Re-keys `url` in both the index and the order set with a skewed
-  /// primary rank — internally consistent, but disagreeing with the
-  /// declared key comparator (the recomputed rank).
+  /// Skews `url`'s stored primary rank column and re-sifts — the heap stays
+  /// internally consistent, but disagrees with the declared key comparator
+  /// (the recomputed rank).
   static void skew_rank(SortedPolicy& policy, UrlId url, std::int64_t delta) {
-    RankTuple& tuple = policy.index_.at(url);
-    policy.order_.erase(tuple);
-    tuple.ranks.at(0) += delta;
-    policy.order_.insert(tuple);
+    const std::uint32_t slot = policy.table_.find(url);
+    policy.rank_cols_[0][slot] += delta;
+    policy.heap_.update(slot);
   }
 
-  /// Removes `url`'s tuple from the order set only — the index still
-  /// tracks it, so eviction would never consider it.
+  /// Removes `url`'s slot from the order heap only — the table still maps
+  /// it, so eviction would never consider it.
   static void drop_from_order(SortedPolicy& policy, UrlId url) {
-    policy.order_.erase(policy.index_.at(url));
+    policy.heap_.erase(policy.table_.find(url));
   }
 
-  /// Moves `url`'s LRU key out of its floor(log2(size)) bucket — breaking
+  /// Swaps the heap root with the tail (position column kept in step) —
+  /// a pure heap-order violation with every other structure intact.
+  static void corrupt_heap_order(SortedPolicy& policy) {
+    auto& heap = policy.heap_.heap_;
+    std::swap(heap.front(), heap.back());
+    policy.heap_pos_[heap.front()] = 0;
+    policy.heap_pos_[heap.back()] = static_cast<std::uint32_t>(heap.size() - 1);
+  }
+
+  /// Plants an out-of-range slot on the arena free list.
+  static void corrupt_arena_free_list(SortedPolicy& policy) {
+    policy.arena_.free_.push_back(policy.arena_.capacity() + 5);
+  }
+
+  /// Redirects `url`'s table mapping at another live slot — the table and
+  /// the slot's stored url disagree.
+  static void remap_table_slot(SortedPolicy& policy, UrlId url, UrlId other) {
+    policy.table_.set(url, policy.table_.find(other));
+  }
+
+  /// Moves `url`'s slot out of its floor(log2(size)) bucket heap — breaking
   /// the size-class thresholds LRU-MIN's T = S, S/2, ... scan relies on.
   static void misbucket(LruMinPolicy& policy, UrlId url, int bucket_delta) {
-    const LruMinPolicy::DocState& doc = policy.state_.at(url);
-    policy.erase_key(doc);
-    policy.buckets_[LruMinPolicy::bucket_of(doc.size) + bucket_delta].insert(doc.key);
+    const std::uint32_t slot = policy.table_.find(url);
+    const int bucket = LruMinPolicy::bucket_of(policy.sizes_[slot]);
+    policy.buckets_[static_cast<std::size_t>(bucket)].erase(slot);
+    policy.buckets_[static_cast<std::size_t>(bucket + bucket_delta)].push(slot);
   }
 };
 
@@ -94,7 +116,7 @@ TEST(Audit, CorruptEntrySizeIsCaughtByAccountingAndPolicy) {
   ASSERT_TRUE(cache.audit().ok());
   // Shrink a document behind the cache's back: the byte sum no longer
   // matches used_bytes AND the SIZE policy's stored rank goes stale.
-  AuditTamper::entries(cache).at(3).size -= 1'000;
+  AuditTamper::entry(cache, 3).size -= 1'000;
   const AuditReport report = cache.audit();
   EXPECT_EQ(report.count("cache.used_bytes"), 1u) << report.to_string();
   EXPECT_GE(report.count("policy.sorted.stale_rank"), 1u) << report.to_string();
@@ -127,6 +149,47 @@ TEST(Audit, DroppedOrderTupleIsCaught) {
   EXPECT_EQ(report.count("policy.sorted.order_count"), 1u) << report.to_string();
 }
 
+TEST(Audit, HeapOrderViolationIsCaught) {
+  Cache cache = make_loaded_cache(make_lru());
+  auto& policy = dynamic_cast<SortedPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok());
+  // Swap the heap root with the tail: positions stay consistent, ranks stay
+  // fresh, but a child now precedes its parent.
+  AuditTamper::corrupt_heap_order(policy);
+  const AuditReport report = cache.audit();
+  EXPECT_GE(report.count("policy.sorted.heap_order"), 1u) << report.to_string();
+}
+
+TEST(Audit, ArenaFreeListCorruptionIsCaught) {
+  Cache cache = make_loaded_cache(make_lru());
+  auto& policy = dynamic_cast<SortedPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok());
+  AuditTamper::corrupt_arena_free_list(policy);
+  const AuditReport report = cache.audit();
+  EXPECT_GE(report.count("policy.sorted.arena_free"), 1u) << report.to_string();
+}
+
+TEST(Audit, TableSlotDisagreementIsCaught) {
+  Cache cache = make_loaded_cache(make_lru());
+  auto& policy = dynamic_cast<SortedPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok());
+  // Point url 4's table mapping at url 2's slot: the slot's stored url no
+  // longer matches the table key that reaches it.
+  AuditTamper::remap_table_slot(policy, 4, 2);
+  const AuditReport report = cache.audit();
+  EXPECT_GE(report.count("policy.sorted.table_slot"), 1u) << report.to_string();
+}
+
+TEST(Audit, ExpiryStaleEtimeIsCaught) {
+  Cache cache = make_loaded_cache(make_expiry_first(make_lru(), 10 * kSecondsPerDay));
+  ASSERT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+  // Rewind a cached entry's etime behind the wrapper's back: the wrapper's
+  // stored etime no longer matches the cache entry.
+  AuditTamper::entry(cache, 2).etime -= 1'000;
+  const AuditReport report = cache.audit();
+  EXPECT_GE(report.count("policy.expiry.stale_etime"), 1u) << report.to_string();
+}
+
 TEST(Audit, LruMinSizeClassViolationIsCaught) {
   Cache cache = make_loaded_cache(make_lru_min());
   auto& policy = dynamic_cast<LruMinPolicy&>(cache.policy());
@@ -149,7 +212,7 @@ TEST(Audit, LruMinCleanAfterMixedWorkload) {
 TEST(Audit, PitkowReckerStaleKeyIsCaught) {
   Cache cache = make_loaded_cache(make_pitkow_recker());
   ASSERT_TRUE(cache.audit().ok());
-  AuditTamper::entries(cache).at(1).atime += 3 * kSecondsPerDay;
+  AuditTamper::entry(cache, 1).atime += 3 * kSecondsPerDay;
   const AuditReport report = cache.audit();
   EXPECT_GE(report.count("policy.pitkow_recker.stale_key"), 1u) << report.to_string();
 }

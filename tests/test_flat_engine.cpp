@@ -1,0 +1,435 @@
+// Bit-identity property suite for the flat policy engine (flat_index.h).
+//
+// The arena-backed heaps + open-addressing URL table replaced the original
+// std::set / std::map indexes. Every comparator ends in the (random_tag,
+// url) tiebreak, so each order is strictly total and the heap root is the
+// *unique* minimum the old sets surfaced at begin() — the flat engine must
+// therefore reproduce the node-based engine's eviction decisions
+// bit-for-bit, not just approximately.
+//
+// This file retains the pre-flat implementations verbatim (Ref* classes
+// below, std::set and friends — legal here: tests/ is outside the
+// no-node-based-hot-path lint scope) and drives both engines through
+// identical workloads: the full 36-spec Experiment-2 grid, 3-key
+// composites, LRU-MIN, Pitkow/Recker with periodic sweeps, the expiry
+// wrapper, and all five paper presets. Victim sequences, per-access
+// results, byte accounting, final snapshots and audit cleanliness must all
+// agree exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/core/expiry.h"
+#include "src/core/keys.h"
+#include "src/core/lru_min.h"
+#include "src/core/policy.h"
+#include "src/core/sorted_policy.h"
+#include "src/util/rng.h"
+#include "src/workload/spec.h"
+#include "src/workload/stream.h"
+
+namespace wcs {
+namespace {
+
+// ---- reference engines: the original node-based implementations ----------
+
+/// The pre-flat SortedPolicy: std::set<RankTuple> order + url -> tuple map.
+class RefSortedPolicy final : public RemovalPolicy {
+ public:
+  explicit RefSortedPolicy(KeySpec spec) : spec_(std::move(spec)), name_(spec_.name()) {}
+
+  void on_insert(const CacheEntry& entry) override {
+    RankTuple tuple = make_rank_tuple(spec_, entry);
+    index_.emplace(entry.url, tuple);
+    order_.insert(std::move(tuple));
+  }
+  void on_hit(const CacheEntry& entry) override {
+    const auto it = index_.find(entry.url);
+    auto node = order_.extract(it->second);
+    node.value() = make_rank_tuple(spec_, entry);
+    it->second = node.value();
+    order_.insert(std::move(node));
+  }
+  void on_remove(const CacheEntry& entry) override {
+    const auto it = index_.find(entry.url);
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext&) override {
+    if (order_.empty()) return std::nullopt;
+    return order_.begin()->url;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+ private:
+  KeySpec spec_;
+  std::string name_;
+  std::set<RankTuple> order_;
+  std::unordered_map<UrlId, RankTuple> index_;
+};
+
+/// The pre-flat LRU-MIN: floor(log2(size)) buckets of std::set<LruKey>.
+class RefLruMinPolicy final : public RemovalPolicy {
+ public:
+  void on_insert(const CacheEntry& entry) override {
+    DocState doc{entry.size, LruKey{entry.atime, entry.random_tag, entry.url}};
+    state_.emplace(entry.url, doc);
+    insert_key(doc);
+  }
+  void on_hit(const CacheEntry& entry) override {
+    auto& doc = state_.at(entry.url);
+    erase_key(doc);
+    doc.key.atime = entry.atime;
+    doc.size = entry.size;
+    insert_key(doc);
+  }
+  void on_remove(const CacheEntry& entry) override {
+    const auto it = state_.find(entry.url);
+    erase_key(it->second);
+    state_.erase(it);
+  }
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override {
+    if (state_.empty()) return std::nullopt;
+    std::uint64_t threshold = ctx.incoming_size;
+    for (;;) {
+      if (threshold <= 1) {
+        const LruKey* best = nullptr;
+        for (const auto& [bucket, keys] : buckets_) {
+          const LruKey& front = *keys.begin();
+          if (best == nullptr || front < *best) best = &front;
+        }
+        return best->url;
+      }
+      const int boundary = bucket_of(threshold);
+      const LruKey* best = nullptr;
+      for (auto it = buckets_.upper_bound(boundary); it != buckets_.end(); ++it) {
+        const LruKey& front = *it->second.begin();
+        if (best == nullptr || front < *best) best = &front;
+      }
+      if (const auto it = buckets_.find(boundary); it != buckets_.end()) {
+        for (const LruKey& key : it->second) {
+          if (state_.at(key.url).size >= threshold && (best == nullptr || key < *best)) {
+            best = &key;
+            break;  // keys are LRU-ordered; the first qualifier is the bucket's best
+          }
+        }
+      }
+      if (best != nullptr) return best->url;
+      threshold /= 2;
+    }
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "ref-LRU-MIN"; }
+
+ private:
+  struct LruKey {
+    SimTime atime;
+    std::uint64_t tie;
+    UrlId url;
+    friend auto operator<=>(const LruKey&, const LruKey&) = default;
+  };
+  struct DocState {
+    std::uint64_t size;
+    LruKey key;
+  };
+
+  static int bucket_of(std::uint64_t size) noexcept {
+    return size == 0 ? 0 : std::bit_width(size) - 1;
+  }
+  void insert_key(const DocState& doc) { buckets_[bucket_of(doc.size)].insert(doc.key); }
+  void erase_key(const DocState& doc) {
+    const auto it = buckets_.find(bucket_of(doc.size));
+    it->second.erase(doc.key);
+    if (it->second.empty()) buckets_.erase(it);
+  }
+
+  std::map<int, std::set<LruKey>> buckets_;
+  std::unordered_map<UrlId, DocState> state_;
+};
+
+/// The pre-flat Pitkow/Recker: twin std::sets over (day, -size) and -size.
+class RefPitkowReckerPolicy final : public RemovalPolicy {
+ public:
+  void on_insert(const CacheEntry& entry) override {
+    const auto keys = std::pair{day_key(entry), size_key(entry)};
+    index_.emplace(entry.url, keys);
+    by_day_.insert(keys.first);
+    by_size_.insert(keys.second);
+  }
+  void on_hit(const CacheEntry& entry) override {
+    auto& keys = index_.at(entry.url);
+    by_day_.erase(keys.first);
+    by_size_.erase(keys.second);
+    keys = {day_key(entry), size_key(entry)};
+    by_day_.insert(keys.first);
+    by_size_.insert(keys.second);
+  }
+  void on_remove(const CacheEntry& entry) override {
+    const auto it = index_.find(entry.url);
+    by_day_.erase(it->second.first);
+    by_size_.erase(it->second.second);
+    index_.erase(it);
+  }
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override {
+    if (by_day_.empty()) return std::nullopt;
+    const std::int64_t today = day_of(ctx.now);
+    const DayKey& oldest = *by_day_.begin();
+    if (oldest.day != today) return oldest.url;  // some document is days old
+    return by_size_.begin()->url;                // all touched today: largest first
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "ref-P/R"; }
+
+ private:
+  struct DayKey {
+    std::int64_t day;
+    std::int64_t neg_size;
+    std::uint64_t tie;
+    UrlId url;
+    friend auto operator<=>(const DayKey&, const DayKey&) = default;
+  };
+  struct SizeKey {
+    std::int64_t neg_size;
+    std::uint64_t tie;
+    UrlId url;
+    friend auto operator<=>(const SizeKey&, const SizeKey&) = default;
+  };
+  static DayKey day_key(const CacheEntry& entry) noexcept {
+    return DayKey{day_of(entry.atime), -static_cast<std::int64_t>(entry.size),
+                  entry.random_tag, entry.url};
+  }
+  static SizeKey size_key(const CacheEntry& entry) noexcept {
+    return SizeKey{-static_cast<std::int64_t>(entry.size), entry.random_tag, entry.url};
+  }
+
+  std::set<DayKey> by_day_;
+  std::set<SizeKey> by_size_;
+  std::unordered_map<UrlId, std::pair<DayKey, SizeKey>> index_;
+};
+
+/// The pre-flat expiry wrapper: std::set<(etime, url)> over any inner.
+class RefExpiryFirstPolicy final : public RemovalPolicy {
+ public:
+  RefExpiryFirstPolicy(std::unique_ptr<RemovalPolicy> inner, SimTime ttl)
+      : inner_(std::move(inner)), ttl_(ttl) {}
+
+  void on_insert(const CacheEntry& entry) override {
+    by_etime_.insert({entry.etime, entry.url});
+    inner_->on_insert(entry);
+  }
+  void on_hit(const CacheEntry& entry) override { inner_->on_hit(entry); }
+  void on_remove(const CacheEntry& entry) override {
+    by_etime_.erase({entry.etime, entry.url});
+    inner_->on_remove(entry);
+  }
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override {
+    if (ttl_ > 0 && !by_etime_.empty()) {
+      const auto& oldest = *by_etime_.begin();
+      if (ctx.now - oldest.first > ttl_) return oldest.second;
+    }
+    return inner_->choose_victim(ctx);
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "ref-EXPIRED"; }
+
+ private:
+  std::unique_ptr<RemovalPolicy> inner_;
+  SimTime ttl_;
+  std::set<std::pair<SimTime, UrlId>> by_etime_;
+};
+
+// ---- the lock-step harness ------------------------------------------------
+
+struct Step {
+  SimTime time;
+  UrlId url;
+  std::uint64_t size;
+};
+
+/// Deterministic mixed workload: repeats, varied size classes, occasional
+/// size changes (consistency misses), multi-day time span.
+std::vector<Step> random_workload(std::uint64_t seed, std::size_t steps,
+                                  std::uint32_t urls = 80) {
+  Rng rng{seed};
+  std::vector<Step> out;
+  out.reserve(steps);
+  std::unordered_map<UrlId, std::uint64_t> sizes;
+  SimTime now = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    now += static_cast<SimTime>(rng.below(6 * kSecondsPerHour));
+    const auto url = static_cast<UrlId>(rng.below(urls));
+    // Sizes spread over many log2 classes so LRU-MIN's threshold scan and
+    // SIZE's rank order both get real work.
+    auto [it, inserted] = sizes.emplace(url, 16ULL << rng.below(12));
+    if (!inserted && rng.chance(0.04)) it->second += 1 + rng.below(64);
+    out.push_back({now, url, it->second});
+  }
+  return out;
+}
+
+struct EngineRun {
+  CacheStats stats;
+  std::vector<UrlId> victims;
+  std::vector<CacheEntry> snapshot;
+};
+
+/// Drives `policy` over `steps`, recording every eviction victim in order.
+/// `twin` receives each AccessResult for lock-step comparison; audits run
+/// every `audit_every` accesses when nonzero.
+EngineRun run_engine(std::unique_ptr<RemovalPolicy> policy, const std::vector<Step>& steps,
+                     std::uint64_t capacity, bool periodic, std::size_t audit_every,
+                     std::vector<AccessResult>* results) {
+  EngineRun run;
+  CacheConfig config;
+  config.capacity_bytes = capacity;
+  config.periodic.enabled = periodic;
+  config.on_evict = [&run](const CacheEntry& entry) { run.victims.push_back(entry.url); };
+  Cache cache{config, std::move(policy)};
+  std::size_t i = 0;
+  for (const Step& step : steps) {
+    results->push_back(cache.access(step.time, step.url, step.size));
+    if (audit_every != 0 && ++i % audit_every == 0) {
+      const AuditReport report = cache.audit();
+      EXPECT_TRUE(report.ok()) << report.to_string();
+    }
+  }
+  run.stats = cache.stats();
+  run.snapshot = cache.snapshot();
+  std::sort(run.snapshot.begin(), run.snapshot.end(),
+            [](const CacheEntry& a, const CacheEntry& b) { return a.url < b.url; });
+  return run;
+}
+
+/// Core assertion: the flat engine and its node-based reference make
+/// bit-identical decisions on every access.
+void expect_bit_identical(std::unique_ptr<RemovalPolicy> flat,
+                          std::unique_ptr<RemovalPolicy> reference,
+                          const std::vector<Step>& steps, std::uint64_t capacity,
+                          bool periodic = false, std::size_t audit_every = 0,
+                          const std::string& label = "") {
+  std::vector<AccessResult> flat_results;
+  std::vector<AccessResult> ref_results;
+  const EngineRun a = run_engine(std::move(flat), steps, capacity, periodic, audit_every,
+                                 &flat_results);
+  const EngineRun b = run_engine(std::move(reference), steps, capacity, periodic, 0,
+                                 &ref_results);
+
+  ASSERT_EQ(a.victims.size(), b.victims.size()) << label;
+  for (std::size_t i = 0; i < a.victims.size(); ++i) {
+    ASSERT_EQ(a.victims[i], b.victims[i]) << label << ": victim #" << i << " diverged";
+  }
+  ASSERT_EQ(flat_results.size(), ref_results.size()) << label;
+  for (std::size_t i = 0; i < flat_results.size(); ++i) {
+    ASSERT_EQ(flat_results[i].hit, ref_results[i].hit) << label << ": access #" << i;
+    ASSERT_EQ(flat_results[i].inserted, ref_results[i].inserted) << label << ": access #" << i;
+    ASSERT_EQ(flat_results[i].evictions, ref_results[i].evictions)
+        << label << ": access #" << i;
+  }
+  EXPECT_EQ(a.stats.hits, b.stats.hits) << label;
+  EXPECT_EQ(a.stats.evictions, b.stats.evictions) << label;
+  EXPECT_EQ(a.stats.evicted_bytes, b.stats.evicted_bytes) << label;
+  EXPECT_EQ(a.stats.insertions, b.stats.insertions) << label;
+  EXPECT_EQ(a.stats.max_used_bytes, b.stats.max_used_bytes) << label;
+
+  ASSERT_EQ(a.snapshot.size(), b.snapshot.size()) << label;
+  for (std::size_t i = 0; i < a.snapshot.size(); ++i) {
+    const CacheEntry& x = a.snapshot[i];
+    const CacheEntry& y = b.snapshot[i];
+    ASSERT_EQ(x.url, y.url) << label;
+    ASSERT_EQ(x.size, y.size) << label;
+    ASSERT_EQ(x.etime, y.etime) << label;
+    ASSERT_EQ(x.atime, y.atime) << label;
+    ASSERT_EQ(x.nref, y.nref) << label;
+    ASSERT_EQ(x.random_tag, y.random_tag) << label;
+  }
+}
+
+// ---- the suites -----------------------------------------------------------
+
+TEST(FlatEngine, Experiment2GridBitIdenticalToReference) {
+  const std::vector<Step> steps = random_workload(11, 1'500);
+  for (const KeySpec& spec : KeySpec::experiment2_grid()) {
+    expect_bit_identical(make_sorted_policy(spec), std::make_unique<RefSortedPolicy>(spec),
+                         steps, 60'000, /*periodic=*/false, /*audit_every=*/500,
+                         spec.name());
+  }
+}
+
+TEST(FlatEngine, ThreeKeyCompositesBitIdentical) {
+  const std::vector<KeySpec> composites = {
+      KeySpec{{Key::kNref, Key::kAtime, Key::kSize}},  // Hyper-G
+      KeySpec{{Key::kSize, Key::kNref, Key::kAtime}},
+      KeySpec{{Key::kDayAtime, Key::kSize, Key::kRandom}},
+  };
+  const std::vector<Step> steps = random_workload(12, 2'000);
+  for (const KeySpec& spec : composites) {
+    expect_bit_identical(make_sorted_policy(spec), std::make_unique<RefSortedPolicy>(spec),
+                         steps, 50'000, /*periodic=*/false, /*audit_every=*/250,
+                         spec.name());
+  }
+}
+
+TEST(FlatEngine, LruMinBitIdentical) {
+  expect_bit_identical(make_lru_min(), std::make_unique<RefLruMinPolicy>(),
+                       random_workload(13, 4'000, 120), 80'000,
+                       /*periodic=*/false, /*audit_every=*/250, "LRU-MIN");
+}
+
+TEST(FlatEngine, PitkowReckerWithPeriodicSweepBitIdentical) {
+  expect_bit_identical(make_pitkow_recker(), std::make_unique<RefPitkowReckerPolicy>(),
+                       random_workload(14, 4'000, 120), 80'000,
+                       /*periodic=*/true, /*audit_every=*/250, "Pitkow/Recker");
+}
+
+TEST(FlatEngine, ExpiryWrapperBitIdentical) {
+  expect_bit_identical(
+      make_expiry_first(make_lru(), 2 * kSecondsPerDay),
+      std::make_unique<RefExpiryFirstPolicy>(
+          std::make_unique<RefSortedPolicy>(KeySpec{{Key::kAtime}}), 2 * kSecondsPerDay),
+      random_workload(15, 3'000), 40'000,
+      /*periodic=*/false, /*audit_every=*/250, "EXPIRED->LRU");
+}
+
+TEST(FlatEngine, AllFivePresetsBitIdentical) {
+  // One representative policy per preset keeps runtime bounded while every
+  // preset's temporal structure (phases, multi-day spans, size mix) runs
+  // through the flat engine once.
+  struct PresetCase {
+    const char* preset;
+    std::function<std::unique_ptr<RemovalPolicy>()> flat;
+    std::function<std::unique_ptr<RemovalPolicy>()> reference;
+  };
+  const std::vector<PresetCase> cases = {
+      {"U", [] { return make_lru(); },
+       [] { return std::make_unique<RefSortedPolicy>(KeySpec{{Key::kAtime}}); }},
+      {"G", [] { return make_size(); },
+       [] { return std::make_unique<RefSortedPolicy>(KeySpec{{Key::kSize}}); }},
+      {"C", [] { return make_lfu(); },
+       [] { return std::make_unique<RefSortedPolicy>(KeySpec{{Key::kNref}}); }},
+      {"BR", [] { return make_hyper_g(); },
+       [] {
+         return std::make_unique<RefSortedPolicy>(
+             KeySpec{{Key::kNref, Key::kAtime, Key::kSize}});
+       }},
+      {"BL", [] { return make_lru_min(); }, [] { return std::make_unique<RefLruMinPolicy>(); }},
+  };
+  for (const PresetCase& c : cases) {
+    WorkloadStream stream{WorkloadSpec::preset(c.preset).scaled(0.05)};
+    std::vector<Step> steps;
+    Request request;
+    while (stream.next(request)) steps.push_back({request.time, request.url, request.size});
+    ASSERT_GT(steps.size(), 500u) << c.preset;
+    expect_bit_identical(c.flat(), c.reference(), steps, 256 * 1024,
+                         /*periodic=*/false, /*audit_every=*/1'000, c.preset);
+  }
+}
+
+}  // namespace
+}  // namespace wcs

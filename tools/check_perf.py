@@ -2,7 +2,8 @@
 """Gate BENCH_perf.json against the checked-in throughput floors.
 
 Usage:
-    python3 tools/check_perf.py BENCH_perf.json [baseline.json] [--tolerance 0.30]
+    python3 tools/check_perf.py BENCH_perf.json [baseline.json]
+        [--tolerance 0.30] [--report report.json]
 
 Reads the measurement JSON written by bench/bench_perf and the floor file
 (default: bench/BENCH_perf_baseline.json next to this script's repo root).
@@ -15,6 +16,26 @@ is slack on top, so only genuine regressions — an accidentally quadratic
 hot path, a debug build, a re-introduced per-hit allocation storm — trip
 the gate, not CI-runner jitter.
 
+Floors/ceilings understood:
+  grid.serial_requests_per_sec_floor   serial grid throughput
+  grid.parallel_speedup_floor          parallel runner speedup; SKIPPED
+                                       (annotated in the report) when the
+                                       measurement says hardware_threads <= 1
+                                       — a single-core runner cannot exhibit
+                                       parallelism and gating on it would
+                                       fail every run on such machines
+  micro.requests_per_sec_floor         every micro row's absolute throughput
+  micro.speedup_vs_legacy_floor        per-policy map {policy: floor} gating
+                                       the flat engine's speedup over the
+                                       retained node-based legacy engine
+  streaming.max_resident_fraction      ceiling, no tolerance
+  faults.max_overhead_ratio            ceiling, tolerance applied
+  obs.max_overhead_ratio               ceiling, tolerance applied
+
+``--report`` writes a machine-readable JSON summary of every check — value,
+floor, limit, status — plus a ``skipped`` list carrying the reason for any
+check not run (CI archives it next to BENCH_perf.json).
+
 Exit status: 0 clean, 1 any metric under its floor, 2 usage/parse error.
 """
 
@@ -24,6 +45,11 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+
+def fmt(value: float) -> str:
+    """Counts print as integers, ratios keep their decimals."""
+    return f"{value:,.0f}" if abs(value) >= 1000 else f"{value:,.2f}"
 
 
 def main() -> int:
@@ -36,6 +62,9 @@ def main() -> int:
         help="floor file (default: bench/BENCH_perf_baseline.json)")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="fractional slack below the floor (default 0.30)")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write a JSON report of every check (and every "
+                             "skipped check with its reason) to PATH")
     args = parser.parse_args()
 
     try:
@@ -46,6 +75,8 @@ def main() -> int:
         return 2
 
     failures: list[str] = []
+    results: list[dict] = []
+    skipped: list[dict] = []
     checked = 0
 
     def check(label: str, value: float, floor: float) -> None:
@@ -53,20 +84,51 @@ def main() -> int:
         checked += 1
         limit = floor * (1.0 - args.tolerance)
         status = "ok" if value >= limit else "FAIL"
-        print(f"  {status:4} {label}: {value:,.0f} (floor {floor:,.0f}, limit {limit:,.0f})")
+        print(f"  {status:4} {label}: {fmt(value)} (floor {fmt(floor)}, limit {fmt(limit)})")
+        results.append({"metric": label, "value": value, "floor": floor,
+                        "limit": limit, "kind": "floor", "status": status})
         if value < limit:
             failures.append(label)
+
+    def skip(label: str, reason: str) -> None:
+        print(f"  skip {label}: {reason}")
+        skipped.append({"metric": label, "reason": reason})
 
     grid_floor = baseline.get("grid", {}).get("serial_requests_per_sec_floor")
     if grid_floor is not None:
         check("grid.serial_requests_per_sec",
               float(measured["grid"]["serial_requests_per_sec"]), float(grid_floor))
 
+    # Parallel speedup: meaningless on a single hardware thread — the serial
+    # and parallel legs run the same inline schedule there, so the "speedup"
+    # is pure timer noise around 1.0. Skip (annotated), don't fail.
+    speedup_floor = baseline.get("grid", {}).get("parallel_speedup_floor")
+    if speedup_floor is not None:
+        threads = int(measured.get("hardware_threads", 0))
+        if threads <= 1:
+            skip("grid.parallel_speedup",
+                 f"hardware_threads == {threads}: no parallelism available "
+                 "on this runner")
+        else:
+            check("grid.parallel_speedup",
+                  float(measured["grid"]["parallel_speedup"]), float(speedup_floor))
+
     micro_floor = baseline.get("micro", {}).get("requests_per_sec_floor")
     if micro_floor is not None:
         for row in measured.get("micro", []):
             label = f"micro.{row['workload']}.{row['policy']}.requests_per_sec"
             check(label, float(row["requests_per_sec"]), float(micro_floor))
+
+    # Flat-vs-legacy speedup floors: per-policy, because the win differs by
+    # comparator depth (a 3-key composite saves more per hit than pure LRU).
+    legacy_floors = baseline.get("micro", {}).get("speedup_vs_legacy_floor") or {}
+    if legacy_floors:
+        for row in measured.get("micro", []):
+            floor = legacy_floors.get(row["policy"])
+            if floor is None or "speedup_vs_legacy" not in row:
+                continue
+            label = f"micro.{row['workload']}.{row['policy']}.speedup_vs_legacy"
+            check(label, float(row["speedup_vs_legacy"]), float(floor))
 
     # Streaming memory gate: a *ceiling*, not a floor. The streaming leg's
     # resident bytes must stay below max_resident_fraction of the
@@ -80,6 +142,9 @@ def main() -> int:
         cap = float(streaming_cap)
         status = "ok" if ratio <= cap else "FAIL"
         print(f"  {status:4} streaming.resident_ratio: {ratio:.3f} (ceiling {cap:.3f})")
+        results.append({"metric": "streaming.resident_ratio", "value": ratio,
+                        "ceiling": cap, "limit": cap, "kind": "ceiling",
+                        "status": status})
         if ratio > cap:
             failures.append("streaming.resident_ratio")
 
@@ -101,8 +166,28 @@ def main() -> int:
         status = "ok" if ratio <= limit else "FAIL"
         print(f"  {status:4} {section}.overhead_ratio: {ratio:+.4f} "
               f"(ceiling {cap:.3f}, limit {limit:.3f})")
+        results.append({"metric": f"{section}.overhead_ratio", "value": ratio,
+                        "ceiling": cap, "limit": limit, "kind": "ceiling",
+                        "status": status})
         if ratio > limit:
             failures.append(f"{section}.overhead_ratio")
+
+    if args.report:
+        report = {
+            "schema": "wcs-perf-report-v1",
+            "measured": str(args.measured),
+            "baseline": str(args.baseline),
+            "tolerance": args.tolerance,
+            "checked": checked,
+            "failures": failures,
+            "skipped": skipped,
+            "results": results,
+        }
+        try:
+            Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        except OSError as error:
+            print(f"check_perf: cannot write report: {error}", file=sys.stderr)
+            return 2
 
     if checked == 0:
         print("check_perf: no metrics checked — baseline file defines no floors",
@@ -112,7 +197,8 @@ def main() -> int:
         print(f"check_perf: {len(failures)}/{checked} metric(s) below floor: "
               + ", ".join(failures), file=sys.stderr)
         return 1
-    print(f"check_perf: {checked} metric(s) at or above their floors")
+    skipped_note = f" ({len(skipped)} skipped)" if skipped else ""
+    print(f"check_perf: {checked} metric(s) at or above their floors{skipped_note}")
     return 0
 
 

@@ -74,6 +74,14 @@ no-unchecked-upstream
                   the wrapper itself (src/proxy/resilience.{h,cpp}) may
                   call the raw upstream; everything else goes through
                   ``ResilientUpstream::fetch``.
+no-node-based-hot-path
+                  Node-based containers (``std::set``/``std::map`` and
+                  their multi/unordered variants) are banned in src/core/:
+                  the eviction hot path runs on flat arena-backed structures
+                  (src/core/flat_index.h) — per-node allocation and pointer
+                  chasing is the regression the flat engine removed. A
+                  deliberate exception carries a justification on the same
+                  line: ``// node-based-ok: <why>``.
 """
 
 from __future__ import annotations
@@ -307,6 +315,33 @@ class Linter:
         if rel.endswith(".h") and "#pragma once" not in raw:
             self.report(path, 1, "pragma-once", "header is missing '#pragma once'")
 
+    NODE_CONTAINER_RE = re.compile(
+        r"\bstd\s*::\s*(?:unordered_)?(?:multi)?(?:set|map)\b")
+    NODE_OK_RE = re.compile(r"node-based-ok:\s*\S")
+
+    def check_no_node_based_hot_path(self, path: Path, rel: str, raw: str) -> None:
+        """Ban node-based std containers from the eviction hot path.
+
+        Needs the *raw* line alongside the stripped one (the allowlist
+        marker lives in a comment), hence a file rule rather than a
+        PatternRule row.
+        """
+        if not rel.startswith("src/core/"):
+            return
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(
+                strip_comments_and_strings(raw).splitlines(), 1):
+            if self.NODE_CONTAINER_RE.search(line) is None:
+                continue
+            if self.NODE_OK_RE.search(raw_lines[lineno - 1]):
+                continue
+            self.report(
+                path, lineno, "no-node-based-hot-path",
+                "node-based std container in src/core/; the eviction hot "
+                "path uses the flat structures in src/core/flat_index.h "
+                "(justify a deliberate exception with '// node-based-ok: "
+                "<why>' on the same line)")
+
     # -- whole-repo rules ----------------------------------------------------
 
     def lint_stats_coverage(self) -> None:
@@ -373,6 +408,7 @@ class Linter:
 # can enumerate every rule by name (RULE_NAMES below).
 FILE_RULES: tuple[tuple[str, Callable[[Linter, Path, str, str], None]], ...] = (
     ("pragma-once", Linter.check_pragma_once),
+    ("no-node-based-hot-path", Linter.check_no_node_based_hot_path),
 )
 REPO_RULES: tuple[tuple[str, Callable[[Linter], None]], ...] = (
     ("stats-coverage", Linter.lint_stats_coverage),

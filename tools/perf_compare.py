@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Render a before/after per-policy comparison of two BENCH_perf.json files.
+
+Usage:
+    python3 tools/perf_compare.py BEFORE.json AFTER.json [-o TABLE.md]
+
+CI's perf-smoke job runs it with the checked-in bench/BENCH_perf.json as
+BEFORE and the freshly regenerated measurement as AFTER, and uploads the
+markdown table as an artifact — so every PR carries a reviewable
+per-policy view of what it did to the eviction hot path, not just the
+pass/fail verdict of tools/check_perf.py.
+
+The table covers the grid headline and every micro row (workload x
+policy): requests/sec before and after, the relative change, and each
+side's speedup over the retained node-based legacy engine (blank where a
+side predates the legacy leg for that row).
+
+Exit status: 0 on success, 2 on unreadable/mismatched inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def fmt_rate(value: float | None) -> str:
+    return "-" if value is None else f"{value / 1e6:.2f}"
+
+
+def fmt_speedup(value: float | None) -> str:
+    return "-" if value is None else f"{value:.2f}x"
+
+
+def fmt_delta(before: float | None, after: float | None) -> str:
+    if not before or after is None:
+        return "-"
+    return f"{100.0 * (after / before - 1.0):+.1f}%"
+
+
+def micro_index(measured: dict) -> dict[tuple[str, str], dict]:
+    return {(row["workload"], row["policy"]): row for row in measured.get("micro", [])}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before", help="baseline BENCH_perf.json (e.g. checked-in)")
+    parser.add_argument("after", help="fresh BENCH_perf.json from this run")
+    parser.add_argument("-o", "--out", metavar="PATH",
+                        help="write the markdown table here (default: stdout)")
+    args = parser.parse_args()
+
+    try:
+        before = load(args.before)
+        after = load(args.after)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"perf_compare: cannot load inputs: {error}", file=sys.stderr)
+        return 2
+
+    lines: list[str] = []
+    lines.append("# Performance comparison")
+    lines.append("")
+    lines.append(f"before: `{args.before}` (scale {before.get('scale', '?')}) — "
+                 f"after: `{args.after}` (scale {after.get('scale', '?')})")
+    if before.get("scale") != after.get("scale"):
+        lines.append("")
+        lines.append("> **warning:** the two measurements use different WCS_SCALE "
+                     "values; absolute rates are not comparable.")
+    lines.append("")
+
+    grid_before = before.get("grid", {}).get("serial_requests_per_sec")
+    grid_after = after.get("grid", {}).get("serial_requests_per_sec")
+    lines.append("| metric | before Mreq/s | after Mreq/s | change |")
+    lines.append("|---|---:|---:|---:|")
+    lines.append(f"| grid serial (36 cells) | {fmt_rate(grid_before)} | "
+                 f"{fmt_rate(grid_after)} | {fmt_delta(grid_before, grid_after)} |")
+    lines.append("")
+
+    lines.append("| workload | policy | before Mreq/s | after Mreq/s | change "
+                 "| before vs legacy | after vs legacy |")
+    lines.append("|---|---|---:|---:|---:|---:|---:|")
+    before_rows = micro_index(before)
+    after_rows = micro_index(after)
+    for key in sorted(set(before_rows) | set(after_rows)):
+        b = before_rows.get(key, {})
+        a = after_rows.get(key, {})
+        lines.append(
+            f"| {key[0]} | {key[1]} "
+            f"| {fmt_rate(b.get('requests_per_sec'))} "
+            f"| {fmt_rate(a.get('requests_per_sec'))} "
+            f"| {fmt_delta(b.get('requests_per_sec'), a.get('requests_per_sec'))} "
+            f"| {fmt_speedup(b.get('speedup_vs_legacy'))} "
+            f"| {fmt_speedup(a.get('speedup_vs_legacy'))} |")
+    lines.append("")
+
+    text = "\n".join(lines)
+    if args.out:
+        try:
+            Path(args.out).write_text(text + "\n")
+        except OSError as error:
+            print(f"perf_compare: cannot write {args.out}: {error}", file=sys.stderr)
+            return 2
+        print(f"perf_compare: wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

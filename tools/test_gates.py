@@ -8,9 +8,12 @@ tools/testdata/gates/ proving each gate *passes compliant input* and
 (0 clean, 1 findings, 2 usage/parse error).
 
 check_perf.py: a healthy measurement passes; a regressed one trips every
-floor and both ceilings; the --tolerance slack admits a borderline value
-at the default 30% and rejects it at 0%; a missing input and a floorless
-baseline both exit 2 (the gate never passes vacuously).
+floor (including the parallel-speedup and flat-vs-legacy speedup floors)
+and both ceilings; the --tolerance slack admits a borderline value at the
+default 30% and rejects it at 0%; a single-core measurement gets its
+parallel-speedup check skipped with the reason recorded in the --report
+JSON; a missing input and a floorless baseline both exit 2 (the gate
+never passes vacuously).
 
 check_obs.py: a minimal valid export of all four formats round-trips; a
 broken export is rejected with one problem line per defect (unknown event
@@ -24,6 +27,7 @@ invoke. Exit 0 when all checks pass; 1 otherwise, one line per failure.
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -67,17 +71,51 @@ def main() -> int:
     expect("perf regressed", "check_perf.py",
            [str(PERF / "measured_bad.json"), baseline], 1,
            ["grid.serial_requests_per_sec",
+            "grid.parallel_speedup",
             "micro.zipf.lru.requests_per_sec",
+            "micro.zipf.lru.speedup_vs_legacy",
             "streaming.resident_ratio",
             "faults.overhead_ratio",
-            "4/5 metric(s) below floor"])
-    # The tolerance slack: 800k against a 1M floor clears the default 30%
-    # limit (700k) but not a zero-tolerance run.
+            "6/7 metric(s) below floor"])
+    # The tolerance slack: 800k against a 1M floor (and a 1.9x speedup
+    # against a 2.0x floor) clears the default 30% limit but not a
+    # zero-tolerance run. This fixture also reports hardware_threads == 1,
+    # so the parallel-speedup floor must be skipped, not failed.
     expect("perf slack admitted", "check_perf.py",
-           [str(PERF / "measured_slack.json"), baseline], 0)
+           [str(PERF / "measured_slack.json"), baseline], 0,
+           ["skip grid.parallel_speedup", "(1 skipped)"])
     expect("perf slack rejected at --tolerance 0", "check_perf.py",
            [str(PERF / "measured_slack.json"), baseline, "--tolerance", "0"], 1,
-           ["grid.serial_requests_per_sec"])
+           ["grid.serial_requests_per_sec",
+            "micro.zipf.lru.speedup_vs_legacy"])
+
+    # --report: every check recorded, the single-core skip annotated with
+    # its reason.
+    report_path = PERF / "report_tmp.json"
+    try:
+        expect("perf report written", "check_perf.py",
+               [str(PERF / "measured_slack.json"), baseline,
+                "--report", str(report_path)], 0)
+        try:
+            report = json.loads(report_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            fail(f"perf report unreadable: {error}")
+            report = {}
+        if report.get("schema") != "wcs-perf-report-v1":
+            fail(f"perf report schema wrong: {report.get('schema')!r}")
+        skipped = report.get("skipped", [])
+        if not any(entry.get("metric") == "grid.parallel_speedup"
+                   and "hardware_threads" in entry.get("reason", "")
+                   for entry in skipped):
+            fail(f"perf report lacks the annotated skip: {skipped!r}")
+        metrics = {entry.get("metric") for entry in report.get("results", [])}
+        for expected in ("grid.serial_requests_per_sec",
+                         "micro.zipf.lru.speedup_vs_legacy",
+                         "streaming.resident_ratio"):
+            if expected not in metrics:
+                fail(f"perf report lacks result for {expected}")
+    finally:
+        report_path.unlink(missing_ok=True)
     expect("perf missing input", "check_perf.py",
            [str(PERF / "no_such_file.json"), baseline], 2)
     expect("perf floorless baseline", "check_perf.py",

@@ -1,0 +1,4 @@
+// Fixture: a justified same-line annotation silences the rule.
+#pragma once
+#include <map>
+std::map<int, int> cold;  // node-based-ok: audit-only view, never on the hot path

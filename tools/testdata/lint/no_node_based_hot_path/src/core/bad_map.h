@@ -1,0 +1,4 @@
+// Fixture: unordered_map in src/core/ fires too (all node-based variants).
+#pragma once
+#include <unordered_map>
+std::unordered_map<int, int> index;

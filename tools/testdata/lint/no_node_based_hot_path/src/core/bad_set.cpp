@@ -1,0 +1,3 @@
+// Fixture: node-based container on the eviction hot path.
+#include <set>
+std::set<int> order;

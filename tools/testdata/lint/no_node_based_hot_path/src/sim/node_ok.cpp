@@ -1,0 +1,3 @@
+// Fixture: node-based containers outside src/core/ are legal (scope holds).
+#include <set>
+std::set<int> offline;
