@@ -31,6 +31,13 @@
 //      attached (cache events, histogram, end-of-replay publication) vs
 //      the default null recorder, interleaved best-of-N, with a behavior
 //      cross-check. tools/check_perf.py gates the ratio at <= 2%.
+//   6. sharded: the concurrent sharded cache's aggregate throughput — the
+//      BR preset driven through an 8-shard ShardedCache by the closed-loop
+//      load generator at 1/2/4/8 worker threads, best-of-N per leg, with a
+//      merged-stats bit-identity cross-check against the 1-thread leg (the
+//      thread-count-invariance contract from DESIGN.md §13).
+//      tools/check_perf.py gates speedup_at_4_threads >= 1.8x when the
+//      runner has >= 4 hardware threads (annotated skip otherwise).
 //
 // Results print as a table and are written as JSON (default
 // BENCH_perf.json; override with argv[1] or WCS_BENCH_OUT) so CI can
@@ -53,6 +60,7 @@
 #include "src/core/sorted_policy.h"
 #include "src/obs/recorder.h"
 #include "src/sim/chaos.h"
+#include "src/sim/loadgen.h"
 #include "src/workload/stream.h"
 
 using namespace wcs;
@@ -653,7 +661,87 @@ int main(int argc, char** argv) {
             << "% (median of " << kObsReps
             << " interleaved paired ratios; results cross-checked identical)\n\n";
 
-  // ---- 6. JSON out --------------------------------------------------------
+  // ---- 6. sharded: concurrent sharded-cache scaling -----------------------
+  // The load generator drives a fresh 8-shard ShardedCache over the BR
+  // preset (SIZE policy, 10% of unique bytes) at 1/2/4/8 closed-loop
+  // worker threads. Each timed leg is best-of-N over complete runs; the
+  // timer covers run_load() whole — source materialization included, the
+  // same O(requests) copy in every leg, so the ratio is unaffected. The
+  // merged CacheStats of every leg must be bit-identical to the 1-thread
+  // leg's (thread-count invariance: each shard sees its own requests in
+  // trace order whatever the worker count), which turns the speedup row
+  // into a *verified* number — a data race that corrupted results would
+  // show up here before it showed up in the timing. On a single-core
+  // runner the speedup is ~1.0 by construction; tools/check_perf.py
+  // annotates-and-skips the floor below 4 hardware threads.
+  const Trace& sharded_trace = workload("BR").trace;
+  const std::uint64_t sharded_capacity = sharded_trace.unique_bytes() / 10;
+  constexpr std::uint32_t kShards = 8;
+  constexpr int kShardedReps = 3;
+
+  struct ShardedLeg {
+    unsigned threads = 0;
+    double seconds = 0.0;
+    double requests_per_sec = 0.0;
+  };
+  std::vector<ShardedLeg> sharded_legs;
+  std::vector<CounterRow> sharded_reference;
+
+  Table sharded_table{"Sharded cache scaling (workload BR, " + std::to_string(kShards) +
+                      " shards, SIZE policy, closed loop)"};
+  sharded_table.header({"threads", "wall s", "Mreq/s", "speedup"});
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ShardedLeg leg;
+    leg.threads = threads;
+    CacheStats merged{};
+    for (int rep = 0; rep < kShardedReps; ++rep) {
+      ShardedCacheConfig sharded_config;
+      sharded_config.capacity_bytes = sharded_capacity;
+      sharded_config.shards = kShards;
+      ShardedCache sharded_cache{sharded_config, [] { return make_size(); }};
+      ShardedCacheTarget target{sharded_cache};
+      TraceSource source{sharded_trace};
+      LoadGenConfig loadgen_config;
+      loadgen_config.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      (void)run_load(target, source, loadgen_config);
+      const double seconds = seconds_since(start);
+      if (rep == 0 || seconds < leg.seconds) leg.seconds = seconds;
+      merged = sharded_cache.merged_stats();
+    }
+    const std::vector<CounterRow> merged_rows = stats_rows(merged);
+    if (sharded_legs.empty()) {
+      sharded_reference = merged_rows;
+    } else {
+      for (std::size_t i = 0; i < merged_rows.size(); ++i) {
+        if (merged_rows[i].value != sharded_reference[i].value) {
+          std::cerr << "FATAL: sharded merged stats diverge at " << threads
+                    << " threads (counter " << merged_rows[i].name << ")\n";
+          return 1;
+        }
+      }
+    }
+    leg.requests_per_sec = static_cast<double>(sharded_trace.size()) / leg.seconds;
+    sharded_table.row({std::to_string(threads), Table::num(leg.seconds, 3),
+                       Table::num(leg.requests_per_sec / 1e6, 2),
+                       Table::num(leg.requests_per_sec /
+                                      (sharded_legs.empty() ? leg.requests_per_sec
+                                                            : sharded_legs.front().requests_per_sec),
+                                  2)});
+    sharded_legs.push_back(leg);
+  }
+  double sharded_speedup_at_4 = 0.0;
+  for (const ShardedLeg& leg : sharded_legs) {
+    if (leg.threads == 4) {
+      sharded_speedup_at_4 = leg.requests_per_sec / sharded_legs.front().requests_per_sec;
+    }
+  }
+  sharded_table.print(std::cout);
+  std::cout << "  speedup at 4 threads: " << Table::num(sharded_speedup_at_4, 2) << "x on "
+            << cores << " hardware threads (best of " << kShardedReps
+            << "; merged stats cross-checked identical across thread counts)\n\n";
+
+  // ---- 7. JSON out --------------------------------------------------------
   std::string out_path = "BENCH_perf.json";
   if (const char* env = std::getenv("WCS_BENCH_OUT")) out_path = env;
   if (argc > 1) out_path = argv[1];
@@ -722,6 +810,23 @@ int main(int argc, char** argv) {
        << "    \"overhead_ratio\": " << json_num(obs_overhead_ratio) << ",\n"
        << "    \"enabled_requests_per_sec\": "
        << json_num(obs_requests / obs_enabled_seconds) << "\n"
+       << "  },\n"
+       << "  \"sharded\": {\n"
+       << "    \"workload\": \"BR\",\n"
+       << "    \"shards\": " << kShards << ",\n"
+       << "    \"policy\": \"SIZE\",\n"
+       << "    \"arrival\": \"closed_loop\",\n"
+       << "    \"requests_per_pass\": " << sharded_trace.size() << ",\n"
+       << "    \"legs\": [\n";
+  for (std::size_t i = 0; i < sharded_legs.size(); ++i) {
+    const ShardedLeg& leg = sharded_legs[i];
+    json << "      {\"threads\": " << leg.threads
+         << ", \"seconds\": " << json_num(leg.seconds)
+         << ", \"requests_per_sec\": " << json_num(leg.requests_per_sec) << "}"
+         << (i + 1 < sharded_legs.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n"
+       << "    \"speedup_at_4_threads\": " << json_num(sharded_speedup_at_4) << "\n"
        << "  }\n}\n";
 
   std::ofstream out{out_path};

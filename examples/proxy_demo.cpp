@@ -21,6 +21,12 @@
 // With `--obs <dir>` the demo attaches an ObsRecorder to both proxies and
 // writes the four observability exports (events.jsonl, trace.json,
 // metrics.prom, series.csv — DESIGN.md §10) into <dir>.
+//
+// With `--threads N --shards M` a final stage stands up a sharded proxy
+// fleet — one ProxyCache + synthetic origin per shard — and drives the BR
+// preset through it with the multi-threaded load generator (DESIGN.md
+// §13), printing aggregate throughput and the per-shard occupancy table.
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -34,22 +40,30 @@
 #include "src/proxy/faults.h"
 #include "src/proxy/origin.h"
 #include "src/proxy/proxy.h"
+#include "src/sim/loadgen.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/trace/clf.h"
 #include "src/trace/validate.h"
 #include "src/util/table.h"
+#include "src/workload/generator.h"
 
 using namespace wcs;
 
 int main(int argc, char** argv) {
   double chaos_rate = -1.0;
   std::string obs_dir;  // --obs <dir>: write the four observability exports
+  int demo_threads = 0;  // --threads N: sharded-fleet stage worker count
+  int demo_shards = 0;   // --shards M: sharded-fleet stage shard count
   for (int i = 1; i < argc; ++i) {
     if (std::string{argv[i]} == "--chaos" && i + 1 < argc) {
       chaos_rate = std::atof(argv[++i]);
     } else if (std::string{argv[i]} == "--obs" && i + 1 < argc) {
       obs_dir = argv[++i];
+    } else if (std::string{argv[i]} == "--threads" && i + 1 < argc) {
+      demo_threads = std::atoi(argv[++i]);
+    } else if (std::string{argv[i]} == "--shards" && i + 1 < argc) {
+      demo_shards = std::atoi(argv[++i]);
     }
   }
   // One recorder observes the whole demo (the main proxy and, with
@@ -225,6 +239,59 @@ int main(int argc, char** argv) {
               << " (stale serves masked "
               << (stats.upstream_failures > 0 ? stats.stale_served : 0)
               << " failures); same seed -> same schedule, so this run is reproducible\n";
+  }
+
+  if (demo_threads > 0 || demo_shards > 0) {
+    const std::uint32_t threads = demo_threads > 0 ? static_cast<std::uint32_t>(demo_threads) : 2;
+    const std::uint32_t shards = demo_shards > 0 ? static_cast<std::uint32_t>(demo_shards) : 4;
+    std::cout << "\n=== 8. Sharded proxy fleet (--threads " << threads << " --shards " << shards
+              << ") ===\n";
+    // One ProxyCache + thread-affine synthetic origin per shard, driven by
+    // the closed-loop load generator over the BR preset at demo scale.
+    // Same contract the tests enforce: for a fixed shard count the merged
+    // counters are bit-identical at any thread count, and the end-of-run
+    // audit sweeps every shard (routing, accounting, heap invariants).
+    WorkloadGenerator generator{WorkloadSpec::preset("BR").scaled(0.02)};
+    const GeneratedWorkload fleet_workload = generator.generate();
+    ShardedProxy::Config fleet;
+    fleet.shards = shards;
+    fleet.proxy.policy = "size";
+    fleet.proxy.capacity_bytes = fleet_workload.trace.unique_bytes() / 10;
+    if (fleet.proxy.capacity_bytes < shards) fleet.proxy.capacity_bytes = 0;  // 0 = infinite
+    ShardedProxyTarget target{fleet, fleet_workload.trace.names()};
+    TraceSource source{fleet_workload.trace};
+    LoadGenConfig loadgen_config;
+    loadgen_config.threads = threads;
+    loadgen_config.audit.interval = 1;  // full invariant sweep at the sync point
+    const auto start = std::chrono::steady_clock::now();
+    const LoadGenResult result = run_load(target, source, loadgen_config);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const ProxyCache::Stats merged = target.proxy().merged_stats();
+    std::cout << "  " << result.requests << " requests in " << Table::num(seconds, 2)
+              << " s -> "
+              << Table::num(static_cast<double>(result.requests) / seconds / 1e6, 2)
+              << " Mreq/s aggregate; HR " << Table::pct(result.hit_rate(), 1) << ", WHR "
+              << Table::pct(result.weighted_hit_rate(), 1) << ", " << merged.failed_requests
+              << " failed\n";
+    Table occupancy_table{"per-shard occupancy"};
+    occupancy_table.header({"shard", "requests", "entries", "stored kB", "capacity kB", "fill"});
+    const auto occupancy = target.proxy().occupancy();
+    for (std::size_t i = 0; i < occupancy.size(); ++i) {
+      const ShardedProxy::ShardOccupancy& shard = occupancy[i];
+      const double fill = shard.capacity_bytes == 0
+                              ? 0.0
+                              : static_cast<double>(shard.stored_bytes) /
+                                    static_cast<double>(shard.capacity_bytes);
+      occupancy_table.row({std::to_string(i), std::to_string(shard.requests),
+                           std::to_string(shard.entries),
+                           Table::num(static_cast<double>(shard.stored_bytes) / 1e3, 1),
+                           Table::num(static_cast<double>(shard.capacity_bytes) / 1e3, 1),
+                           Table::pct(fill, 1)});
+    }
+    occupancy_table.print(std::cout);
+    std::cout << "  audited clean at the end-of-run sync point; fixed shard count ->\n"
+                 "  identical merged counters at any thread count (DESIGN.md §13)\n";
   }
 
   if (!obs_dir.empty()) {

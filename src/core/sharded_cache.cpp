@@ -1,0 +1,130 @@
+#include "src/core/sharded_cache.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace wcs {
+
+ShardedCache::ShardedCache(ShardedCacheConfig config,
+                           const std::function<std::unique_ptr<RemovalPolicy>()>& make_policy)
+    : config_(config) {
+  if (config_.shards == 0) throw std::invalid_argument{"ShardedCache: shards must be >= 1"};
+  if (!make_policy) throw std::invalid_argument{"ShardedCache: no policy factory"};
+  if (config_.capacity_bytes != 0 && config_.capacity_bytes < config_.shards) {
+    // A positive budget below one byte per shard would leave some shards
+    // with capacity 0 — which means *infinite*, silently inverting the
+    // caller's intent.
+    throw std::invalid_argument{"ShardedCache: capacity smaller than the shard count"};
+  }
+  const std::uint64_t base = config_.capacity_bytes / config_.shards;
+  const std::uint64_t remainder = config_.capacity_bytes % config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::uint32_t i = 0; i < config_.shards; ++i) {
+    CacheConfig cache_config;
+    cache_config.capacity_bytes = base + (i < remainder ? 1 : 0);
+    cache_config.periodic = config_.periodic;
+    cache_config.seed = config_.seed + i;
+    cache_config.obs = config_.obs;
+    shards_.push_back(std::make_unique<Shard>(cache_config, make_policy()));
+  }
+}
+
+AccessResult ShardedCache::access(SimTime now, UrlId url, std::uint64_t size, FileType type,
+                                  std::uint32_t latency_ms) {
+  Shard& shard = *shards_[shard_of(url)];
+  MutexLock lock{shard.mutex};
+  ++shard.dispatched_requests;
+  shard.dispatched_bytes += size;
+  return shard.cache.access(now, url, size, type, latency_ms);
+}
+
+CacheStats ShardedCache::merged_stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    MutexLock lock{shard->mutex};
+    const CacheStats& s = shard->cache.stats();
+    total.requests += s.requests;
+    total.hits += s.hits;
+    total.requested_bytes += s.requested_bytes;
+    total.hit_bytes += s.hit_bytes;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.evicted_bytes += s.evicted_bytes;
+    total.size_change_misses += s.size_change_misses;
+    total.rejected_too_large += s.rejected_too_large;
+    total.periodic_sweeps += s.periodic_sweeps;
+    total.max_used_bytes += s.max_used_bytes;  // sum of per-shard peaks
+  }
+  return total;
+}
+
+std::vector<CacheStats> ShardedCache::shard_stats() const {
+  std::vector<CacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    MutexLock lock{shard->mutex};
+    out.push_back(shard->cache.stats());
+  }
+  return out;
+}
+
+std::vector<ShardOccupancy> ShardedCache::occupancy() const {
+  std::vector<ShardOccupancy> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    MutexLock lock{shard->mutex};
+    ShardOccupancy slot;
+    slot.used_bytes = shard->cache.used_bytes();
+    slot.capacity_bytes = shard->cache.capacity_bytes();
+    slot.entry_count = shard->cache.entry_count();
+    out.push_back(slot);
+  }
+  return out;
+}
+
+std::uint64_t ShardedCache::used_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock{shard->mutex};
+    total += shard->cache.used_bytes();
+  }
+  return total;
+}
+
+AuditReport ShardedCache::audit() const {
+  AuditReport report;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    MutexLock lock{shard.mutex};
+    report.absorb("shard" + std::to_string(i), shard.cache.audit());
+    for (const CacheEntry& entry : shard.cache.snapshot()) {
+      const std::uint32_t home = shard_of(entry.url);
+      if (home != i) {
+        report.add("sharded.routing",
+                   "url " + std::to_string(entry.url) + " (home shard " + std::to_string(home) +
+                       ") is cached on shard " + std::to_string(i));
+      }
+    }
+    // Merge reconciliation: the shard cache's own counters must agree with
+    // the tallies the router kept while dispatching to it. merged_stats()
+    // is a sum of the former, so agreement here proves the aggregate
+    // accounts for every dispatched request and byte exactly once.
+    const CacheStats& stats = shard.cache.stats();
+    if (stats.requests != shard.dispatched_requests) {
+      report.add("sharded.stats_merge",
+                 "shard " + std::to_string(i) + " counted " + std::to_string(stats.requests) +
+                     " requests but the router dispatched " +
+                     std::to_string(shard.dispatched_requests));
+    }
+    if (stats.requested_bytes != shard.dispatched_bytes) {
+      report.add("sharded.stats_merge",
+                 "shard " + std::to_string(i) + " counted " +
+                     std::to_string(stats.requested_bytes) +
+                     " requested bytes but the router dispatched " +
+                     std::to_string(shard.dispatched_bytes));
+    }
+  }
+  return report;
+}
+
+}  // namespace wcs

@@ -1,0 +1,144 @@
+// Concurrent sharded cache (ROADMAP item 1, DESIGN.md §13).
+//
+// Partitions the URL space by hash into N independent shards, each a full
+// flat-engine Cache + removal policy behind its own wcs::Mutex. Requests
+// for one URL always land on the same shard, so per-shard behaviour is the
+// single-threaded Cache's behaviour exactly — eviction order inside a
+// shard stays deterministic via the flat engine's (random_tag, url)
+// tiebreak — and threads only contend when they touch the same shard.
+//
+// Determinism contract (tests/test_sharded_cache.cpp):
+//   * shards == 1 is bit-identical to a plain Cache fed the same request
+//     sequence (shard 0 gets the full capacity and the exact seed);
+//   * for a fixed shard count, merged aggregates are bit-identical for any
+//     thread count, because each shard sees its own requests in trace
+//     order (the load generator's serialization guarantee);
+//   * across shard counts, per-URL outcomes are identical whenever no
+//     eviction occurs (infinite capacity); with a finite budget, shard-
+//     local eviction makes different partitions behave like different
+//     (valid) cache configurations — see DESIGN.md §13.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+/// Stable URL -> shard map: a splitmix64 finalizer over the id, reduced
+/// modulo the shard count. Pure function of (url, shards) — independent of
+/// insertion order, thread schedule, and capacity, so the routing itself
+/// can never be a source of nondeterminism.
+[[nodiscard]] constexpr std::uint32_t shard_of_url(UrlId url, std::uint32_t shards) noexcept {
+  std::uint64_t x = static_cast<std::uint64_t>(url) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % (shards == 0 ? 1 : shards));
+}
+
+struct ShardedCacheConfig {
+  /// Total byte budget, split evenly across shards (remainder to the low
+  /// shards); 0 = every shard infinite. A positive budget smaller than the
+  /// shard count cannot be split meaningfully and is rejected.
+  std::uint64_t capacity_bytes = 0;
+  std::uint32_t shards = 1;
+  PeriodicSweepConfig periodic;
+  /// Shard i seeds its Cache with `seed + i`: distinct per-shard tag
+  /// streams, and shard 0 of a one-shard cache draws exactly the stream a
+  /// plain Cache{seed} would — the shards==1 bit-identity hinges on it.
+  std::uint64_t seed = 0x5ca1ab1e;
+  /// Observability recorder, propagated to every shard. A recorder is
+  /// thread-affine (DESIGN.md §10): leave null unless the sharded cache is
+  /// driven single-threaded (simulate_sharded); the load generator refuses
+  /// to run a concurrent phase against a recording target.
+  ObsRecorder* obs = nullptr;
+};
+
+/// Per-shard occupancy snapshot (proxy_demo's per-shard table, obs gauges).
+struct ShardOccupancy {
+  std::uint64_t used_bytes = 0;
+  std::uint64_t capacity_bytes = 0;  // 0 = infinite
+  std::uint64_t entry_count = 0;
+};
+
+class ShardedCache {
+ public:
+  ShardedCache(ShardedCacheConfig config,
+               const std::function<std::unique_ptr<RemovalPolicy>()>& make_policy);
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+  // Movable (shards live behind stable unique_ptrs); only valid while no
+  // thread is concurrently accessing either object, like Cache itself.
+  ShardedCache(ShardedCache&&) noexcept = default;
+  ShardedCache& operator=(ShardedCache&&) noexcept = default;
+
+  /// Serve one request on its home shard. Thread-safe; calls that race on
+  /// distinct shards proceed in parallel, calls on one shard serialize on
+  /// its mutex. Determinism additionally requires same-shard calls to
+  /// arrive in trace order — the load generator enforces that.
+  AccessResult access(SimTime now, UrlId url, std::uint64_t size,
+                      FileType type = FileType::kUnknown, std::uint32_t latency_ms = 0);
+  AccessResult access(const Request& request) {
+    return access(request.time, request.url, request.size, request.type, request.latency_ms);
+  }
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] std::uint32_t shard_of(UrlId url) const noexcept {
+    return shard_of_url(url, shard_count());
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept { return config_.capacity_bytes; }
+  /// True when an ObsRecorder is attached. Recorders are thread-affine, so
+  /// the load generator refuses a threads > 1 run against a recording cache.
+  [[nodiscard]] bool recording() const noexcept { return config_.obs != nullptr; }
+
+  /// Exact aggregate of the per-shard CacheStats: every counter is a plain
+  /// sum. max_used_bytes sums per-shard peaks — with a statically split
+  /// budget that is the capacity-planning number, but as shards peak at
+  /// different moments it is an upper bound on (not exactly) the global
+  /// high-water mark, and it varies across shard counts even when every
+  /// other counter is invariant.
+  /// audit() reconciles this merge against independently kept dispatch
+  /// tallies, so a shard silently dropping or double-counting a request is
+  /// a detectable invariant violation, not a quiet aggregation error.
+  [[nodiscard]] CacheStats merged_stats() const;
+  /// Per-shard snapshots, shard index order.
+  [[nodiscard]] std::vector<CacheStats> shard_stats() const;
+  [[nodiscard]] std::vector<ShardOccupancy> occupancy() const;
+  [[nodiscard]] std::uint64_t used_bytes() const;
+
+  /// Full invariant sweep over every shard:
+  ///   - each shard's own Cache::audit, scoped "shard<i>."
+  ///   - routing: every cached entry lives on shard_of(url)
+  ///   - merge reconciliation: each shard's stats counters agree with the
+  ///     dispatch tallies the router kept while feeding it
+  /// Takes each shard lock in turn (never two at once).
+  [[nodiscard]] AuditReport audit() const;
+
+ private:
+  friend struct AuditTamper;
+
+  /// One shard: the lock, the cache it guards, and the router-side tallies
+  /// audit() reconciles the stats merge against.
+  struct Shard {
+    Shard(CacheConfig cache_config, std::unique_ptr<RemovalPolicy> policy)
+        : cache(std::move(cache_config), std::move(policy)) {}
+
+    mutable Mutex mutex;
+    Cache cache WCS_GUARDED_BY(mutex);
+    std::uint64_t dispatched_requests WCS_GUARDED_BY(mutex) = 0;
+    std::uint64_t dispatched_bytes WCS_GUARDED_BY(mutex) = 0;
+  };
+
+  ShardedCacheConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace wcs

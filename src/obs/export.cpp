@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "src/obs/recorder.h"
 #include "src/obs/registry.h"
@@ -150,19 +151,29 @@ void write_chrome_trace(std::ostream& out, const ObsRecorder& recorder) {
 }
 
 void write_prometheus(std::ostream& out, const MetricRegistry& registry) {
+  // The registry's namespace is flat, but a registered name may carry a
+  // Prometheus label suffix — wcs_shard_used_bytes{shard="3"} — the way
+  // the sharded paths publish per-shard series. HELP/TYPE headers belong
+  // to the *base* name (emitted once per base, on first appearance);
+  // sample lines keep the full labelled name.
+  std::unordered_set<std::string> declared;
   for (const MetricRegistry::Entry& entry : registry.entries()) {
-    if (!entry.help.empty()) out << "# HELP " << entry.name << ' ' << entry.help << '\n';
+    const std::string base = entry.name.substr(0, entry.name.find('{'));
+    const bool first = declared.insert(base).second;
+    if (first && !entry.help.empty()) out << "# HELP " << base << ' ' << entry.help << '\n';
     switch (entry.kind) {
       case MetricKind::kCounter:
-        out << "# TYPE " << entry.name << " counter\n";
+        if (first) out << "# TYPE " << base << " counter\n";
         out << entry.name << ' ' << entry.counter->value() << '\n';
         break;
       case MetricKind::kGauge:
-        out << "# TYPE " << entry.name << " gauge\n";
+        if (first) out << "# TYPE " << base << " gauge\n";
         out << entry.name << ' ' << entry.gauge->value() << '\n';
         break;
       case MetricKind::kHistogram: {
-        out << "# TYPE " << entry.name << " histogram\n";
+        // Histograms are never registered with a label suffix (their
+        // sample names grow _bucket/_sum/_count suffixes of their own).
+        if (first) out << "# TYPE " << entry.name << " histogram\n";
         const Histogram& h = *entry.histogram;
         std::uint64_t cumulative = 0;
         const auto& bounds = h.upper_bounds();

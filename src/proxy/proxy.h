@@ -23,10 +23,17 @@
 #include "src/http/message.h"
 #include "src/proxy/resilience.h"
 #include "src/trace/trace.h"
+#include "src/util/thread_annotations.h"
 
 namespace wcs {
 
-class ProxyCache {
+/// Thread-affine by design: one owner drives handle() — a single replay
+/// loop, or one shard of a ShardedProxy whose per-shard mutex provides the
+/// exclusion. Everything inside (document store, URL interning, resilience
+/// state — breaker window, negative cache) mutates without internal locks;
+/// concurrent callers must route through ShardedProxy (or equivalent
+/// external serialization), never share a ProxyCache across threads.
+class WCS_THREAD_AFFINE ProxyCache {
  public:
   /// Upstream fetch signature (shared with FaultPlan / ResilientUpstream).
   using UpstreamFn = wcs::UpstreamFn;

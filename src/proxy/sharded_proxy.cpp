@@ -1,0 +1,117 @@
+#include "src/proxy/sharded_proxy.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace wcs {
+namespace {
+
+[[nodiscard]] ProxyCache::Config shard_config(const ShardedProxy::Config& config,
+                                              std::uint32_t shard) {
+  ProxyCache::Config out = config.proxy;
+  if (config.proxy.capacity_bytes != 0) {
+    const std::uint64_t base = config.proxy.capacity_bytes / config.shards;
+    const std::uint64_t remainder = config.proxy.capacity_bytes % config.shards;
+    out.capacity_bytes = base + (shard < remainder ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardedProxy::ShardedProxy(Config config, const UpstreamFactory& make_upstream) {
+  if (config.shards == 0) {
+    throw std::invalid_argument{"ShardedProxy: shard count must be >= 1"};
+  }
+  if (!make_upstream) {
+    throw std::invalid_argument{"ShardedProxy: upstream factory must be callable"};
+  }
+  // A positive total smaller than the shard count would leave some shards
+  // with capacity 0 — which means *infinite* in CacheConfig, silently
+  // inverting the caller's intent. Refuse instead.
+  if (config.proxy.capacity_bytes != 0 && config.proxy.capacity_bytes < config.shards) {
+    throw std::invalid_argument{"ShardedProxy: capacity smaller than the shard count"};
+  }
+  shards_.reserve(config.shards);
+  for (std::uint32_t i = 0; i < config.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(shard_config(config, i), make_upstream(i)));
+  }
+}
+
+HttpResponse ShardedProxy::handle(std::uint32_t shard, const HttpRequest& request, SimTime now) {
+  Shard& s = *shards_.at(shard);
+  MutexLock lock{s.mutex};
+  return s.proxy.handle(request, now);
+}
+
+ProxyCache::Stats ShardedProxy::merged_stats() const {
+  ProxyCache::Stats total;
+  for (const auto& shard : shards_) {
+    MutexLock lock{shard->mutex};
+    const ProxyCache::Stats& s = shard->proxy.stats();
+    total.requests += s.requests;
+    total.hits += s.hits;
+    total.validations += s.validations;
+    total.validated_fresh += s.validated_fresh;
+    total.misses += s.misses;
+    total.uncacheable += s.uncacheable;
+    total.hit_bytes += s.hit_bytes;
+    total.miss_bytes += s.miss_bytes;
+    total.delta_updates += s.delta_updates;
+    total.delta_bytes += s.delta_bytes;
+    total.delta_bytes_avoided += s.delta_bytes_avoided;
+    total.upstream_failures += s.upstream_failures;
+    total.retries += s.retries;
+    total.breaker_opens += s.breaker_opens;
+    total.stale_served += s.stale_served;
+    total.negative_hits += s.negative_hits;
+    total.failed_requests += s.failed_requests;
+  }
+  return total;
+}
+
+std::vector<ProxyCache::Stats> ShardedProxy::shard_stats() const {
+  std::vector<ProxyCache::Stats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    MutexLock lock{shard->mutex};
+    out.push_back(shard->proxy.stats());
+  }
+  return out;
+}
+
+std::vector<ShardedProxy::ShardOccupancy> ShardedProxy::occupancy() const {
+  std::vector<ShardOccupancy> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    MutexLock lock{shard->mutex};
+    ShardOccupancy slot;
+    slot.stored_bytes = shard->proxy.stored_bytes();
+    slot.capacity_bytes = shard->proxy.cache().capacity_bytes();
+    slot.entries = shard->proxy.cache().entry_count();
+    slot.requests = shard->proxy.stats().requests;
+    out.push_back(slot);
+  }
+  return out;
+}
+
+AuditReport ShardedProxy::audit() const {
+  AuditReport report;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    MutexLock lock{shard.mutex};
+    const std::string scope = "shard" + std::to_string(i);
+    report.absorb(scope, shard.proxy.cache().audit());
+    const ProxyCache::Stats& s = shard.proxy.stats();
+    if (s.hits + s.misses + s.failed_requests != s.requests) {
+      report.add(scope + ".proxy_accounting",
+                 "hits + misses + failed != requests (" + std::to_string(s.hits) + " + " +
+                     std::to_string(s.misses) + " + " + std::to_string(s.failed_requests) +
+                     " != " + std::to_string(s.requests) + ")");
+    }
+  }
+  return report;
+}
+
+}  // namespace wcs

@@ -1,0 +1,85 @@
+// Sharded proxy front (DESIGN.md §13): the thread-safe seam that lets the
+// concurrent load generator drive real ProxyCache instances.
+//
+// ProxyCache is thread-affine (see proxy.h) — its document store, URL
+// interning and resilience state all mutate lock-free under a single
+// owner. ShardedProxy supplies that owner per shard: M independent
+// ProxyCache instances, each behind its own wcs::Mutex, with the caller
+// routing every request to a fixed shard (by UrlId hash — shard_of_url —
+// in the load generator). shards == 1 degenerates to the coarse-locked
+// wrapper: one ProxyCache serialized by one mutex, byte-identical in
+// behaviour to driving it single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/proxy/proxy.h"
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+class ShardedProxy {
+ public:
+  /// Builds one upstream per shard. A shard's upstream is only ever called
+  /// under that shard's mutex, so a per-shard origin may be thread-affine.
+  using UpstreamFactory = std::function<UpstreamFn(std::uint32_t shard)>;
+
+  struct Config {
+    std::uint32_t shards = 1;
+    /// Per-shard template. `capacity_bytes` is the TOTAL budget, split
+    /// evenly across shards (remainder to the low shards; a positive total
+    /// below one byte per shard is rejected). `obs` must stay null unless
+    /// the proxy is driven single-threaded — the recorder is thread-affine.
+    ProxyCache::Config proxy;
+  };
+
+  ShardedProxy(Config config, const UpstreamFactory& make_upstream);
+
+  ShardedProxy(const ShardedProxy&) = delete;
+  ShardedProxy& operator=(const ShardedProxy&) = delete;
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Serve one request on `shard`. Thread-safe: distinct shards proceed in
+  /// parallel, same-shard calls serialize on the shard mutex. The caller
+  /// owns the routing and must keep it stable (same URL -> same shard),
+  /// or hit accounting degrades to whatever the split implies.
+  [[nodiscard]] HttpResponse handle(std::uint32_t shard, const HttpRequest& request, SimTime now);
+
+  /// Exact sum of the per-shard ProxyCache::Stats counters.
+  [[nodiscard]] ProxyCache::Stats merged_stats() const;
+  /// Per-shard snapshots, shard index order.
+  [[nodiscard]] std::vector<ProxyCache::Stats> shard_stats() const;
+
+  struct ShardOccupancy {
+    std::uint64_t stored_bytes = 0;
+    std::uint64_t capacity_bytes = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t requests = 0;
+  };
+  [[nodiscard]] std::vector<ShardOccupancy> occupancy() const;
+
+  /// Per-shard invariant sweep: each shard's cache core audit (scoped
+  /// "shard<i>.") plus the proxy-level accounting identity
+  /// hits + misses + failed == requests on every shard.
+  [[nodiscard]] AuditReport audit() const;
+
+ private:
+  struct Shard {
+    Shard(ProxyCache::Config config, UpstreamFn upstream)
+        : proxy(std::move(config), std::move(upstream)) {}
+
+    mutable Mutex mutex;
+    ProxyCache proxy WCS_GUARDED_BY(mutex);
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace wcs

@@ -10,49 +10,31 @@
 #include "src/obs/recorder.h"
 
 namespace wcs {
-namespace {
 
-/// Trace-driven origin: serves each URL at the size the replay loop last
-/// told it ("the trace is the ground truth about the document corpus").
-/// When the trace's size for a URL changes, the document is edited —
-/// Last-Modified moves forward — so the proxy's conditional GETs get real
-/// 200-replaces alongside 304s.
-class SynthOrigin {
- public:
-  void set_next_size(std::uint64_t size) noexcept { next_size_ = size; }
-
-  [[nodiscard]] HttpResponse handle(const HttpRequest& request, SimTime now) {
-    Doc& doc = docs_[request.target];
-    if (!doc.known || doc.size != next_size_) {
-      doc.known = true;
-      doc.size = next_size_;
-      doc.modified = now;
-    }
-    if (not_modified_since(request, doc.modified)) {
-      HttpResponse response;
-      response.status = 304;
-      response.reason = std::string{reason_phrase(304)};
-      response.headers.set("Last-Modified", to_http_date(doc.modified));
-      return response;
-    }
+HttpResponse SynthOrigin::handle(const HttpRequest& request, SimTime now) {
+  Doc& doc = docs_[request.target];
+  if (!doc.known || doc.size != next_size_) {
+    doc.known = true;
+    doc.size = next_size_;
+    doc.modified = now;
+  }
+  if (not_modified_since(request, doc.modified)) {
     HttpResponse response;
-    response.status = 200;
-    response.reason = std::string{reason_phrase(200)};
+    response.status = 304;
+    response.reason = std::string{reason_phrase(304)};
     response.headers.set("Last-Modified", to_http_date(doc.modified));
-    response.headers.set("Content-Length", std::to_string(doc.size));
-    response.body.assign(doc.size, 'x');
     return response;
   }
+  HttpResponse response;
+  response.status = 200;
+  response.reason = std::string{reason_phrase(200)};
+  response.headers.set("Last-Modified", to_http_date(doc.modified));
+  response.headers.set("Content-Length", std::to_string(doc.size));
+  response.body.assign(doc.size, 'x');
+  return response;
+}
 
- private:
-  struct Doc {
-    bool known = false;
-    std::uint64_t size = 0;
-    SimTime modified = 0;
-  };
-  std::unordered_map<std::string, Doc> docs_;
-  std::uint64_t next_size_ = 0;
-};
+namespace {
 
 /// Every counter of ProxyCache::Stats, flattened for the monotonicity
 /// check (order is arbitrary but fixed).

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/proxy/faults.h"
@@ -29,8 +30,32 @@
 #include "src/sim/runner.h"
 #include "src/sim/simulator.h"
 #include "src/trace/request_source.h"
+#include "src/util/thread_annotations.h"
 
 namespace wcs {
+
+/// Trace-driven origin: serves each URL at the size the replay loop last
+/// told it ("the trace is the ground truth about the document corpus").
+/// When the trace's size for a URL changes, the document is edited —
+/// Last-Modified moves forward — so the proxy's conditional GETs get real
+/// 200-replaces alongside 304s. Thread-affine: one replay lane owns it
+/// (replay_through_proxy's single loop, or one shard lane of the load
+/// generator's ShardedProxyTarget).
+class WCS_THREAD_AFFINE SynthOrigin {
+ public:
+  void set_next_size(std::uint64_t size) noexcept { next_size_ = size; }
+
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request, SimTime now);
+
+ private:
+  struct Doc {
+    bool known = false;
+    std::uint64_t size = 0;
+    SimTime modified = 0;
+  };
+  std::unordered_map<std::string, Doc> docs_;
+  std::uint64_t next_size_ = 0;
+};
 
 /// One proxy replay, accounted at the proxy level.
 struct ProxyReplayResult {

@@ -1,0 +1,281 @@
+#include "src/sim/loadgen.h"
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace wcs {
+
+bool ShardedCacheTarget::serve(std::uint32_t shard, const Request& request) {
+  (void)shard;  // ShardedCache routes internally via the same shard_of_url map
+  return cache_->access(request).hit;
+}
+
+ShardedProxyTarget::ShardedProxyTarget(ShardedProxy::Config config, const InternTable& names)
+    : names_(&names) {
+  const std::uint32_t shards = config.shards == 0 ? 1 : config.shards;
+  config.shards = shards;
+  recording_ = config.proxy.obs != nullptr;
+  lanes_.reserve(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) lanes_.push_back(std::make_unique<Lane>());
+  // lanes_ is complete and stable before the factory runs, so the upstream
+  // closures can capture raw lane pointers.
+  proxy_ = std::make_unique<ShardedProxy>(
+      std::move(config), [this](std::uint32_t shard) -> UpstreamFn {
+        SynthOrigin* origin = &lanes_[shard]->origin;
+        return [origin](const HttpRequest& request, SimTime now) {
+          return origin->handle(request, now);
+        };
+      });
+}
+
+bool ShardedProxyTarget::serve(std::uint32_t shard, const Request& request) {
+  Lane& lane = *lanes_[shard];
+  lane.origin.set_next_size(request.size);
+  lane.http.target.assign(names_->url_name(request.url));
+  const HttpResponse response = proxy_->handle(shard, lane.http, request.time);
+  const auto header = response.headers.get("X-Cache");
+  return header && *header == "HIT";
+}
+
+namespace {
+
+/// One run of the worker pool over a materialized arrival list. Worker
+/// bodies are member functions (not lambdas) so Clang's thread-safety
+/// analysis sees every lock acquisition in a named scope.
+class LoadGenerator {
+ public:
+  LoadGenerator(ShardedTarget& target, std::vector<Request> arrivals, std::uint32_t threads)
+      : target_(target), arrivals_(std::move(arrivals)), threads_(threads) {
+    const std::uint32_t shards = target.shard_count();
+    tracks_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) tracks_.push_back(std::make_unique<Track>());
+    shard_ids_.resize(arrivals_.size());
+    seqs_.resize(arrivals_.size());
+    order_.resize(shards);
+    // Single-threaded dispatch pass: fix every request's shard, its
+    // per-shard sequence number (the open-loop ticket) and the per-shard
+    // trace-order index lists (the closed-loop work queues) before any
+    // worker exists. The schedule is pure data from here on.
+    std::vector<std::uint64_t> next(shards, 0);
+    for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+      const std::uint32_t s = target.shard_of(arrivals_[i]);
+      shard_ids_[i] = s;
+      seqs_[i] = next[s]++;
+      order_[s].push_back(i);
+    }
+  }
+
+  [[nodiscard]] LoadGenResult run(ArrivalMode mode) {
+    if (threads_ <= 1 || arrivals_.empty()) {
+      // Inline on the caller's thread: no spawn, locks uncontended. Open
+      // loop degenerates to global trace order, closed loop to shard-major
+      // order; per-shard order is trace order either way, so the merged
+      // result is identical.
+      if (mode == ArrivalMode::kOpenLoop) {
+        worker_open();
+      } else {
+        worker_closed(0);
+      }
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(threads_);
+      for (std::uint32_t w = 0; w < threads_; ++w) {
+        if (mode == ArrivalMode::kOpenLoop) {
+          workers.emplace_back(&LoadGenerator::worker_open, this);
+        } else {
+          workers.emplace_back(&LoadGenerator::worker_closed, this, w);
+        }
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+    rethrow_failure();
+    return merge();
+  }
+
+ private:
+  /// Per-shard lane state: the ticket (open-loop ordering) and the shard's
+  /// own result counters, merged in shard index order at the end.
+  struct Track {
+    Mutex mutex;
+    CondVar turn;
+    std::uint64_t next_seq WCS_GUARDED_BY(mutex) = 0;
+    std::uint64_t requests WCS_GUARDED_BY(mutex) = 0;
+    std::uint64_t hits WCS_GUARDED_BY(mutex) = 0;
+    std::uint64_t requested_bytes WCS_GUARDED_BY(mutex) = 0;
+    std::uint64_t hit_bytes WCS_GUARDED_BY(mutex) = 0;
+    DailySeries daily WCS_GUARDED_BY(mutex);
+  };
+
+  static void record(Track& track, const Request& request, bool hit)
+      WCS_REQUIRES(track.mutex) {
+    ++track.requests;
+    track.requested_bytes += request.size;
+    if (hit) {
+      ++track.hits;
+      track.hit_bytes += request.size;
+    }
+    track.daily.record(request.time, hit, request.size);
+  }
+
+  /// Closed loop: worker w exclusively owns shards s ≡ w (mod threads) and
+  /// drains each in trace order — per-shard serialization by ownership, no
+  /// cross-thread waiting at all.
+  void worker_closed(std::uint32_t worker) {
+    const std::uint32_t shards = static_cast<std::uint32_t>(tracks_.size());
+    const std::uint32_t stride = threads_ == 0 ? 1 : threads_;
+    for (std::uint32_t s = worker; s < shards; s += stride) {
+      Track& track = *tracks_[s];
+      for (const std::uint64_t index : order_[s]) {
+        if (failed_.load(std::memory_order_acquire)) return;
+        const Request& request = arrivals_[index];
+        bool hit = false;
+        try {
+          hit = target_.serve(s, request);
+        } catch (const std::exception& error) {
+          fail(error.what());
+          return;
+        } catch (...) {
+          fail("unknown worker exception");
+          return;
+        }
+        MutexLock lock{track.mutex};
+        record(track, request, hit);
+      }
+    }
+  }
+
+  /// Open loop: the trace is the arrival schedule. Workers claim global
+  /// indices from the cursor; the per-shard ticket serves same-shard
+  /// requests in trace order. Deadlock-free: the smallest unfinished
+  /// global index was claimed first (the cursor hands indices out in
+  /// order) and all its per-shard predecessors — smaller global indices —
+  /// have finished, so its ticket matches and its worker proceeds.
+  void worker_open() {
+    const std::uint64_t total = arrivals_.size();
+    while (true) {
+      const std::uint64_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= total) return;
+      const Request& request = arrivals_[index];
+      Track& track = *tracks_[shard_ids_[index]];
+      bool aborted = false;
+      bool ok = true;
+      std::string error;
+      {
+        MutexLock lock{track.mutex};
+        while (track.next_seq != seqs_[index]) {
+          if (failed_.load(std::memory_order_acquire)) {
+            aborted = true;
+            break;
+          }
+          track.turn.wait(track.mutex);
+        }
+        if (!aborted) {
+          bool hit = false;
+          try {
+            hit = target_.serve(shard_ids_[index], request);
+          } catch (const std::exception& serve_error) {
+            ok = false;
+            error = serve_error.what();
+          } catch (...) {
+            ok = false;
+            error = "unknown worker exception";
+          }
+          if (ok) {
+            record(track, request, hit);
+            ++track.next_seq;
+            track.turn.notify_all();
+          }
+        }
+      }
+      if (aborted) return;
+      if (!ok) {
+        // fail() locks every track, so it must run with no track lock held.
+        fail(error);
+        return;
+      }
+    }
+  }
+
+  /// First-error-wins failure latch. Wakes every ticket waiter (notify
+  /// under each track's lock, so no wakeup is lost against a concurrent
+  /// wait) — a dead predecessor's ticket never advances, and blocked
+  /// workers must observe the latch instead.
+  void fail(const std::string& message) {
+    {
+      MutexLock lock{error_mutex_};
+      if (error_.empty()) error_ = message.empty() ? "worker failed" : message;
+    }
+    failed_.store(true, std::memory_order_release);
+    for (const std::unique_ptr<Track>& track : tracks_) {
+      MutexLock lock{track->mutex};
+      track->turn.notify_all();
+    }
+  }
+
+  void rethrow_failure() {
+    MutexLock lock{error_mutex_};
+    if (!error_.empty()) throw std::runtime_error{"run_load: worker failed: " + error_};
+  }
+
+  /// End-of-run sync point: absorb every track in shard index order. All
+  /// workers have joined, so the locks are uncontended formality.
+  [[nodiscard]] LoadGenResult merge() {
+    LoadGenResult result;
+    for (const std::unique_ptr<Track>& track : tracks_) {
+      MutexLock lock{track->mutex};
+      result.requests += track->requests;
+      result.hits += track->hits;
+      result.requested_bytes += track->requested_bytes;
+      result.hit_bytes += track->hit_bytes;
+      result.daily.absorb(track->daily);
+    }
+    return result;
+  }
+
+  ShardedTarget& target_;
+  const std::vector<Request> arrivals_;
+  const std::uint32_t threads_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+  std::vector<std::uint32_t> shard_ids_;  // request index -> shard
+  std::vector<std::uint64_t> seqs_;       // request index -> per-shard ticket
+  std::vector<std::vector<std::uint64_t>> order_;  // shard -> trace-order indices
+  std::atomic<std::uint64_t> cursor_{0};  // open-loop arrival claim
+  std::atomic<bool> failed_{false};
+  Mutex error_mutex_;
+  std::string error_ WCS_GUARDED_BY(error_mutex_);
+};
+
+}  // namespace
+
+LoadGenResult run_load(ShardedTarget& target, RequestSource& source, const LoadGenConfig& config) {
+  if (config.threads == 0) {
+    throw std::invalid_argument{"run_load: thread count must be >= 1"};
+  }
+  if (config.threads > 1 && target.recording()) {
+    throw std::invalid_argument{
+        "run_load: recording targets are thread-affine; run with threads == 1"};
+  }
+  std::vector<Request> arrivals;
+  Request request;
+  while (source.next(request)) arrivals.push_back(request);
+  if (const auto error = source.stream_error()) {
+    throw std::runtime_error{"run_load: request source failed mid-stream: " + *error};
+  }
+
+  LoadGenerator generator{target, std::move(arrivals), config.threads};
+  LoadGenResult result = generator.run(config.mode);
+  result.concurrency.threads = config.threads;
+  result.concurrency.shards = target.shard_count();
+  if (config.audit.interval != 0) {
+    const AuditReport report = target.audit();
+    if (!report.ok()) {
+      throw std::runtime_error{"run_load: end-of-run audit failed\n" + report.to_string()};
+    }
+  }
+  return result;
+}
+
+}  // namespace wcs

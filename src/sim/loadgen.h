@@ -1,0 +1,169 @@
+// Multi-threaded load generator (DESIGN.md §13): the concurrency era's
+// answer to "serve traffic, don't just replay it". A worker pool drives a
+// RequestSource through a sharded target — ShardedCache directly, or a
+// real ProxyCache fleet via ShardedProxyTarget — with the determinism
+// contract intact:
+//
+//   * every shard sees its own requests in trace order, whatever the
+//     thread count (distinct shards race freely);
+//   * merged results (counters + daily series) are bit-identical across
+//     thread counts for a fixed shard count, and — with threads == 1 —
+//     bit-identical to simulate_sharded over the same source.
+//
+// Two arrival disciplines:
+//   * kClosedLoop — worker w owns shards s ≡ w (mod threads) and drains
+//     each owned shard in trace order: zero cross-thread waiting, the
+//     classic closed-loop pool.
+//   * kOpenLoop — the trace is the arrival schedule: workers claim global
+//     trace indices from a shared cursor and a per-shard ticket (sequence
+//     number) makes same-shard requests serve in trace order. Models an
+//     arrival stream that ignores service times, so same-shard bursts
+//     really contend. Deadlock-free: the smallest unfinished global index
+//     is always runnable (all earlier indices — its per-shard
+//     predecessors included — have finished or are running).
+//
+// No wall-clock anywhere in this file: timing a run is bench/examples
+// territory (tools/lint.py no-wall-clock). threads == 1 runs
+// inline on the caller's thread — no spawn, no locks contended — which is
+// what the determinism tests diff against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/sharded_cache.h"
+#include "src/proxy/sharded_proxy.h"
+#include "src/sim/chaos.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/trace/intern.h"
+#include "src/trace/request_source.h"
+
+namespace wcs {
+
+/// The seam the load generator drives: anything that partitions requests
+/// into shards and serves one request at a time per shard. The generator
+/// guarantees serve() calls for one shard value never overlap and arrive
+/// in trace order; calls for distinct shards may race.
+class ShardedTarget {
+ public:
+  ShardedTarget() = default;
+  ShardedTarget(const ShardedTarget&) = delete;
+  ShardedTarget& operator=(const ShardedTarget&) = delete;
+  virtual ~ShardedTarget() = default;
+
+  [[nodiscard]] virtual std::uint32_t shard_count() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t shard_of(const Request& request) const noexcept = 0;
+  /// Serve one request on `shard`; returns whether it was a cache hit.
+  virtual bool serve(std::uint32_t shard, const Request& request) = 0;
+  /// Invariant sweep at the end-of-run sync point; default: nothing to audit.
+  [[nodiscard]] virtual AuditReport audit() const { return {}; }
+  /// True when the target carries a thread-affine ObsRecorder; run_load
+  /// refuses threads > 1 against a recording target.
+  [[nodiscard]] virtual bool recording() const noexcept { return false; }
+};
+
+/// Drives a ShardedCache (the simulator-model path). The cache must
+/// outlive the target.
+class ShardedCacheTarget final : public ShardedTarget {
+ public:
+  explicit ShardedCacheTarget(ShardedCache& cache) noexcept : cache_(&cache) {}
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept override {
+    return cache_->shard_count();
+  }
+  [[nodiscard]] std::uint32_t shard_of(const Request& request) const noexcept override {
+    return cache_->shard_of(request.url);
+  }
+  bool serve(std::uint32_t shard, const Request& request) override;
+  [[nodiscard]] AuditReport audit() const override { return cache_->audit(); }
+  [[nodiscard]] bool recording() const noexcept override { return cache_->recording(); }
+
+ private:
+  ShardedCache* cache_;
+};
+
+/// Drives a real ProxyCache fleet (ShardedProxy) over HTTP messages: each
+/// shard gets its own lane — a thread-affine SynthOrigin plus a reusable
+/// HttpRequest — touched only under the generator's per-shard
+/// serialization, so the whole request path (origin document edits,
+/// conditional GETs, 304s) runs concurrently without a global lock.
+class ShardedProxyTarget final : public ShardedTarget {
+ public:
+  /// `names` maps the source's UrlIds to URL strings and must outlive the
+  /// target (streaming sources grow their table; ids never change meaning,
+  /// so concurrent lookups of already-emitted ids are safe only because
+  /// run_load materializes the whole source before any worker starts).
+  ShardedProxyTarget(ShardedProxy::Config config, const InternTable& names);
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept override {
+    return proxy_->shard_count();
+  }
+  [[nodiscard]] std::uint32_t shard_of(const Request& request) const noexcept override {
+    return shard_of_url(request.url, proxy_->shard_count());
+  }
+  /// X-Cache: HIT is the hit signal, mirroring replay_through_proxy.
+  bool serve(std::uint32_t shard, const Request& request) override;
+  [[nodiscard]] AuditReport audit() const override { return proxy_->audit(); }
+  [[nodiscard]] bool recording() const noexcept override { return recording_; }
+
+  [[nodiscard]] const ShardedProxy& proxy() const noexcept { return *proxy_; }
+
+ private:
+  /// Per-shard replay lane; owned here, used only under the generator's
+  /// per-shard serialization (one lane never sees two threads at once).
+  struct Lane {
+    SynthOrigin origin;
+    HttpRequest http;  // reused per request; the proxy never keeps a reference
+  };
+
+  const InternTable* names_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<ShardedProxy> proxy_;  // built after lanes_ (upstreams point in)
+  bool recording_ = false;
+};
+
+enum class ArrivalMode {
+  kClosedLoop,  // workers own shards, drain them in trace order
+  kOpenLoop,    // workers claim trace indices; per-shard tickets order them
+};
+
+struct LoadGenConfig {
+  std::uint32_t threads = 1;
+  ArrivalMode mode = ArrivalMode::kClosedLoop;
+  /// interval != 0 runs target.audit() at the end-of-run sync point (a
+  /// concurrent run has no deterministic mid-stream point to audit at).
+  SimAudit audit;
+};
+
+struct LoadGenResult {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t requested_bytes = 0;
+  std::uint64_t hit_bytes = 0;
+  /// Merged per-day series: recorded per shard, absorbed in shard index
+  /// order at the sync point — bit-identical to single-threaded recording.
+  DailySeries daily;
+  ConcurrencyFootprint concurrency;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return requests == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(requests);
+  }
+  [[nodiscard]] double weighted_hit_rate() const noexcept {
+    return requested_bytes == 0
+               ? 0.0
+               : static_cast<double>(hit_bytes) / static_cast<double>(requested_bytes);
+  }
+};
+
+/// Materialize `source` (single pass, stream errors throw), dispatch every
+/// request to its shard, and drive `target` with `config.threads` workers
+/// under the chosen arrival discipline. Throws std::invalid_argument on a
+/// zero thread count or a threads > 1 run against a recording target, and
+/// std::runtime_error when a worker fails or the end-of-run audit does.
+[[nodiscard]] LoadGenResult run_load(ShardedTarget& target, RequestSource& source,
+                                     const LoadGenConfig& config = {});
+
+}  // namespace wcs

@@ -84,6 +84,20 @@ void DailySeries::record(SimTime now, bool hit, std::uint64_t bytes) {
   }
 }
 
+void DailySeries::absorb(const DailySeries& other) {
+  if (other.days_.size() > days_.size()) days_.resize(other.days_.size());
+  for (std::size_t d = 0; d < other.days_.size(); ++d) {
+    days_[d].requests += other.days_[d].requests;
+    days_[d].hits += other.days_[d].hits;
+    days_[d].bytes += other.days_[d].bytes;
+    days_[d].hit_bytes += other.days_[d].hit_bytes;
+  }
+  total_requests_ += other.total_requests_;
+  total_hits_ += other.total_hits_;
+  total_bytes_ += other.total_bytes_;
+  total_hit_bytes_ += other.total_hit_bytes_;
+}
+
 void DailySeries::record_hit_only(SimTime now, std::uint64_t bytes) {
   Day& day = day_at(now);
   ++day.hits;

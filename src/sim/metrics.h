@@ -53,6 +53,12 @@ class DailySeries {
   void record(SimTime now, bool hit, std::uint64_t bytes);
   /// Record a second counter variant (e.g. L2 hits) — same day bucketing.
   void record_hit_only(SimTime now, std::uint64_t bytes);
+  /// Merge another series in, day by day: every per-day counter and every
+  /// total is an exact integer sum. The sharded merge path (loadgen,
+  /// simulate_sharded) records per shard and absorbs at the end-of-run
+  /// sync point, so the merged series is bit-identical to one recorded by
+  /// a single thread in trace order.
+  void absorb(const DailySeries& other);
 
   [[nodiscard]] std::int64_t day_count() const noexcept {
     return static_cast<std::int64_t>(days_.size());

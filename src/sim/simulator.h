@@ -13,6 +13,7 @@
 
 #include "src/core/cache.h"
 #include "src/core/partitioned_cache.h"
+#include "src/core/sharded_cache.h"
 #include "src/core/two_level.h"
 #include "src/sim/metrics.h"
 #include "src/trace/request_source.h"
@@ -47,6 +48,17 @@ struct AvailabilityStats {
   }
 };
 
+/// How the result was produced: how many worker threads drove the replay
+/// and how many shards partitioned the cache. The legacy single-cache
+/// entry points report {1, 1}; the determinism contract (DESIGN.md §13)
+/// says the merged aggregates are invariant in `threads` and, for the
+/// no-eviction regime, in `shards` too — the footprint records what ran,
+/// never what the numbers depend on.
+struct ConcurrencyFootprint {
+  std::uint32_t threads = 1;
+  std::uint32_t shards = 1;
+};
+
 struct SimResult {
   CacheStats stats;
   DailySeries daily;
@@ -55,6 +67,7 @@ struct SimResult {
   std::uint64_t max_used_bytes = 0;
   SourceFootprint footprint;
   AvailabilityStats availability;
+  ConcurrencyFootprint concurrency;
 };
 
 /// Debug knob: when `interval` > 0 the simulator runs a full invariant
@@ -85,6 +98,23 @@ struct SimAudit {
                                  const PolicyFactory& make_policy,
                                  PeriodicSweepConfig periodic = {}, SimAudit audit = {},
                                  ObsRecorder* obs = nullptr);
+
+/// Deterministic sharded replay: the same streaming loop as simulate(),
+/// but against a ShardedCache of `shards` partitions, single-threaded in
+/// trace order. With shards == 1 the result is bit-identical to simulate()
+/// (same capacity, same default seed, same policy stream); with more
+/// shards it is the reference the concurrent load generator's merged
+/// aggregates are checked against. Runs the full ShardedCache::audit
+/// (per-shard sweeps + routing + stats-merge reconciliation) on the
+/// SimAudit schedule.
+[[nodiscard]] SimResult simulate_sharded(RequestSource& source, std::uint64_t capacity_bytes,
+                                         const PolicyFactory& make_policy, std::uint32_t shards,
+                                         PeriodicSweepConfig periodic = {}, SimAudit audit = {},
+                                         ObsRecorder* obs = nullptr);
+[[nodiscard]] SimResult simulate_sharded(const Trace& trace, std::uint64_t capacity_bytes,
+                                         const PolicyFactory& make_policy, std::uint32_t shards,
+                                         PeriodicSweepConfig periodic = {}, SimAudit audit = {},
+                                         ObsRecorder* obs = nullptr);
 
 /// Infinite-cache run: the theoretical maxima of Experiment 1.
 [[nodiscard]] SimResult simulate_infinite(RequestSource& source);

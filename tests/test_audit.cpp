@@ -14,6 +14,7 @@
 #include "src/core/lru_min.h"
 #include "src/core/partitioned_cache.h"
 #include "src/core/policy.h"
+#include "src/core/sharded_cache.h"
 #include "src/core/sorted_policy.h"
 #include "src/core/two_level.h"
 #include "src/sim/simulator.h"
@@ -64,6 +65,21 @@ struct AuditTamper {
   /// the slot's stored url disagree.
   static void remap_table_slot(SortedPolicy& policy, UrlId url, UrlId other) {
     policy.table_.set(url, policy.table_.find(other));
+  }
+
+  // Sharded backdoors. Tampering runs strictly single-threaded, and the
+  // whole point is to mutate state behind the lock the auditor relies on —
+  // the analysis cannot model a deliberate discipline violation.
+  static Cache& shard(ShardedCache& cache, std::size_t i) WCS_NO_THREAD_SAFETY_ANALYSIS {
+    return cache.shards_.at(i)->cache;
+  }
+  static std::uint64_t& shard_dispatched_requests(ShardedCache& cache, std::size_t i)
+      WCS_NO_THREAD_SAFETY_ANALYSIS {
+    return cache.shards_.at(i)->dispatched_requests;
+  }
+  static std::uint64_t& shard_dispatched_bytes(ShardedCache& cache, std::size_t i)
+      WCS_NO_THREAD_SAFETY_ANALYSIS {
+    return cache.shards_.at(i)->dispatched_bytes;
   }
 
   /// Moves `url`'s slot out of its floor(log2(size)) bucket heap — breaking
@@ -318,6 +334,67 @@ TEST(Audit, SimulatorAuditFlagThrowsOnViolation) {
       (void)simulate(trace, 2'000, [] { return std::make_unique<AmnesiacPolicy>(); }, {},
                      SimAudit{/*interval=*/10}),
       std::runtime_error);
+}
+
+/// A sharded cache warmed with traffic that lands on every shard.
+ShardedCache make_loaded_sharded_cache(std::uint32_t shards) {
+  ShardedCacheConfig config;
+  config.shards = shards;
+  config.capacity_bytes = 100'000 * shards;
+  ShardedCache cache{config, [] { return make_size(); }};
+  for (UrlId url = 0; url < 40; ++url) {
+    (void)cache.access(static_cast<SimTime>(url) * kHour, url, 500 + 37 * url);
+  }
+  for (UrlId url = 0; url < 40; url += 3) {
+    (void)cache.access((40 + static_cast<SimTime>(url)) * kHour, url, 500 + 37 * url);
+  }
+  return cache;
+}
+
+TEST(Audit, ShardedCleanCacheReportsZeroViolations) {
+  ShardedCache cache = make_loaded_sharded_cache(4);
+  const AuditReport report = cache.audit();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Audit, ShardedStatsMergeTamperIsCaught) {
+  // Inflate one shard's own request counter: the merge would silently
+  // over-count, so the reconciliation against the router's dispatch tally
+  // must name the broken shard.
+  ShardedCache cache = make_loaded_sharded_cache(4);
+  ASSERT_TRUE(cache.audit().ok());
+  AuditTamper::stats(AuditTamper::shard(cache, 2)).requests += 5;
+  const AuditReport report = cache.audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.count("sharded.stats_merge"), 1u) << report.to_string();
+}
+
+TEST(Audit, ShardedDispatchTallyTamperIsCaught) {
+  // The symmetric failure: the router's tally drifts from the shard's
+  // counters (a lost or double-dispatched request).
+  ShardedCache cache = make_loaded_sharded_cache(4);
+  ASSERT_TRUE(cache.audit().ok());
+  AuditTamper::shard_dispatched_requests(cache, 1) += 1;
+  AuditTamper::shard_dispatched_bytes(cache, 3) += 99;
+  const AuditReport report = cache.audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.count("sharded.stats_merge"), 2u) << report.to_string();
+}
+
+TEST(Audit, ShardedRoutingViolationIsCaught) {
+  // Feed a shard a URL that hashes elsewhere — bypassing the router, the
+  // only way a misrouted entry can exist. The routing sweep must flag it.
+  ShardedCache cache = make_loaded_sharded_cache(4);
+  ASSERT_TRUE(cache.audit().ok());
+  UrlId foreign = 0;
+  while (shard_of_url(foreign, 4) == 0) ++foreign;
+  Cache& shard0 = AuditTamper::shard(cache, 0);
+  (void)shard0.access(50 * kHour, foreign, 1'234);
+  // The direct access also skewed shard 0's stats against its dispatch
+  // tally, so both findings appear; the routing one is what's under test.
+  const AuditReport report = cache.audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.count("sharded.routing"), 1u) << report.to_string();
 }
 
 }  // namespace

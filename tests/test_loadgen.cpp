@@ -1,0 +1,273 @@
+// Load-generator determinism contract (DESIGN.md §13): merged results are
+// bit-identical across thread counts for a fixed shard count, in both
+// arrival disciplines, against both targets — the simulator-model
+// ShardedCache and a real ProxyCache fleet behind ShardedProxy.
+#include "src/sim/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/obs/recorder.h"
+#include "src/sim/chaos.h"
+#include "src/sim/experiments.h"
+#include "src/sim/simulator.h"
+
+namespace wcs {
+namespace {
+
+[[nodiscard]] Trace preset_trace(const char* name, double scale = 0.05) {
+  return WorkloadGenerator{WorkloadSpec::preset(name).scaled(scale)}.generate().trace;
+}
+
+[[nodiscard]] std::uint64_t total_bytes(const Trace& trace) {
+  std::uint64_t total = 0;
+  for (const Request& request : trace.requests()) total += request.size;
+  return total;
+}
+
+void expect_same_result(const LoadGenResult& a, const LoadGenResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes);
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes);
+  EXPECT_EQ(a.daily.overall_hr(), b.daily.overall_hr());
+  EXPECT_EQ(a.daily.overall_whr(), b.daily.overall_whr());
+  ASSERT_EQ(a.daily.day_count(), b.daily.day_count());
+  for (std::int64_t day = 0; day < a.daily.day_count(); ++day) {
+    const DailySeries::DayTotals ta = a.daily.totals_of_day(day);
+    const DailySeries::DayTotals tb = b.daily.totals_of_day(day);
+    EXPECT_EQ(ta.requests, tb.requests) << "day " << day;
+    EXPECT_EQ(ta.hits, tb.hits) << "day " << day;
+    EXPECT_EQ(ta.bytes, tb.bytes) << "day " << day;
+    EXPECT_EQ(ta.hit_bytes, tb.hit_bytes) << "day " << day;
+  }
+}
+
+TEST(LoadGenTest, RejectsZeroThreads) {
+  ShardedCacheConfig config;
+  ShardedCache cache{config, [] { return make_lru(); }};
+  ShardedCacheTarget target{cache};
+  const Trace trace = preset_trace("U");
+  TraceSource source{trace};
+  LoadGenConfig load;
+  load.threads = 0;
+  EXPECT_THROW((void)run_load(target, source, load), std::invalid_argument);
+}
+
+TEST(LoadGenTest, EmptySourceYieldsEmptyResult) {
+  ShardedCacheConfig config;
+  config.shards = 4;
+  ShardedCache cache{config, [] { return make_lru(); }};
+  ShardedCacheTarget target{cache};
+  Trace empty;
+  TraceSource source{empty};
+  LoadGenConfig load;
+  load.threads = 4;
+  const LoadGenResult result = run_load(target, source, load);
+  EXPECT_EQ(result.requests, 0u);
+  EXPECT_EQ(result.hits, 0u);
+  EXPECT_EQ(result.concurrency.threads, 4u);
+  EXPECT_EQ(result.concurrency.shards, 4u);
+}
+
+// threads == 1 through the load generator must agree exactly with the
+// single-threaded simulate_sharded replay of the same trace.
+TEST(LoadGenTest, SingleThreadMatchesSimulateSharded) {
+  const Trace trace = preset_trace("BR");
+  const std::uint64_t capacity = total_bytes(trace) / 10;
+  const std::uint32_t shards = 5;
+
+  const SimResult reference =
+      simulate_sharded(trace, capacity, [] { return make_size(); }, shards);
+
+  for (const ArrivalMode mode : {ArrivalMode::kClosedLoop, ArrivalMode::kOpenLoop}) {
+    ShardedCacheConfig config;
+    config.capacity_bytes = capacity;
+    config.shards = shards;
+    ShardedCache cache{config, [] { return make_size(); }};
+    ShardedCacheTarget target{cache};
+    TraceSource source{trace};
+    LoadGenConfig load;
+    load.threads = 1;
+    load.mode = mode;
+    const LoadGenResult result = run_load(target, source, load);
+    EXPECT_EQ(result.requests, reference.stats.requests);
+    EXPECT_EQ(result.hits, reference.stats.hits);
+    EXPECT_EQ(result.requested_bytes, reference.stats.requested_bytes);
+    EXPECT_EQ(result.hit_bytes, reference.stats.hit_bytes);
+    EXPECT_EQ(result.daily.overall_hr(), reference.daily.overall_hr());
+    EXPECT_EQ(result.daily.overall_whr(), reference.daily.overall_whr());
+  }
+}
+
+// The tentpole claim: for a fixed shard count, ANY thread count produces
+// the identical merged result, in both arrival disciplines.
+TEST(LoadGenTest, ThreadCountInvariantAgainstShardedCache) {
+  const Trace trace = preset_trace("U");
+  const std::uint64_t capacity = total_bytes(trace) / 10;
+  const std::uint32_t shards = 5;
+
+  for (const ArrivalMode mode : {ArrivalMode::kClosedLoop, ArrivalMode::kOpenLoop}) {
+    SCOPED_TRACE(mode == ArrivalMode::kClosedLoop ? "closed" : "open");
+    std::vector<LoadGenResult> results;
+    for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+      ShardedCacheConfig config;
+      config.capacity_bytes = capacity;
+      config.shards = shards;
+      ShardedCache cache{config, [] { return make_size(); }};
+      ShardedCacheTarget target{cache};
+      TraceSource source{trace};
+      LoadGenConfig load;
+      load.threads = threads;
+      load.mode = mode;
+      load.audit.interval = 1;  // end-of-run target audit
+      results.push_back(run_load(target, source, load));
+      EXPECT_EQ(results.back().concurrency.threads, threads);
+      EXPECT_EQ(results.back().concurrency.shards, shards);
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      expect_same_result(results[0], results[i]);
+    }
+  }
+}
+
+// More workers than shards: the extra closed-loop workers idle, the extra
+// open-loop workers contend; the result must not change either way.
+TEST(LoadGenTest, MoreThreadsThanShards) {
+  const Trace trace = preset_trace("G");
+  const std::uint32_t shards = 2;
+  std::vector<LoadGenResult> results;
+  for (const ArrivalMode mode : {ArrivalMode::kClosedLoop, ArrivalMode::kOpenLoop}) {
+    ShardedCacheConfig config;
+    config.shards = shards;
+    ShardedCache cache{config, [] { return make_lru(); }};
+    ShardedCacheTarget target{cache};
+    TraceSource source{trace};
+    LoadGenConfig load;
+    load.threads = 8;
+    load.mode = mode;
+    results.push_back(run_load(target, source, load));
+  }
+  expect_same_result(results[0], results[1]);
+}
+
+TEST(LoadGenTest, RefusesConcurrentRunAgainstRecordingTarget) {
+  ObsRecorder recorder;
+  ShardedCacheConfig config;
+  config.shards = 2;
+  config.obs = &recorder;
+  ShardedCache cache{config, [] { return make_lru(); }};
+  ShardedCacheTarget target{cache};
+  const Trace trace = preset_trace("U");
+  TraceSource source{trace};
+  LoadGenConfig load;
+  load.threads = 2;
+  EXPECT_THROW((void)run_load(target, source, load), std::invalid_argument);
+}
+
+// ShardedProxy with one shard and one thread is replay_through_proxy with
+// different plumbing: same proxy config, same synthetic origin behaviour,
+// so the proxy-level counters must agree exactly.
+TEST(ShardedProxyTest, SingleShardSingleThreadMatchesReplayThroughProxy) {
+  const Trace trace = preset_trace("U");
+  ProxyCache::Config proxy_config;
+  proxy_config.capacity_bytes = total_bytes(trace) / 10;
+
+  ProxyReplayConfig replay_config;
+  replay_config.proxy = proxy_config;
+  TraceSource replay_source{trace};
+  const ProxyReplayResult reference = replay_through_proxy(replay_source, replay_config);
+
+  ShardedProxy::Config sharded_config;
+  sharded_config.shards = 1;
+  sharded_config.proxy = proxy_config;
+  ShardedProxyTarget target{sharded_config, trace.names()};
+  TraceSource source{trace};
+  const LoadGenResult result = run_load(target, source, {});
+
+  const ProxyCache::Stats merged = target.proxy().merged_stats();
+  EXPECT_EQ(merged.requests, reference.stats.requests);
+  EXPECT_EQ(merged.hits, reference.stats.hits);
+  EXPECT_EQ(merged.misses, reference.stats.misses);
+  EXPECT_EQ(merged.validations, reference.stats.validations);
+  EXPECT_EQ(merged.validated_fresh, reference.stats.validated_fresh);
+  EXPECT_EQ(merged.hit_bytes, reference.stats.hit_bytes);
+  EXPECT_EQ(merged.miss_bytes, reference.stats.miss_bytes);
+  EXPECT_EQ(result.requests, reference.stats.requests);
+  EXPECT_EQ(result.hits, reference.stats.hits);
+  EXPECT_EQ(result.daily.overall_hr(), reference.daily.overall_hr());
+}
+
+// Thread-count invariance holds for the real proxy path too: per-shard
+// lanes keep origin state and HTTP replay local to the shard, so the fleet
+// behaves identically whatever drives it.
+TEST(ShardedProxyTest, ThreadCountInvariantAgainstProxyFleet) {
+  const Trace trace = preset_trace("BL");
+  for (const ArrivalMode mode : {ArrivalMode::kClosedLoop, ArrivalMode::kOpenLoop}) {
+    SCOPED_TRACE(mode == ArrivalMode::kClosedLoop ? "closed" : "open");
+    std::vector<LoadGenResult> results;
+    std::vector<ProxyCache::Stats> merged;
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      ShardedProxy::Config config;
+      config.shards = 3;
+      config.proxy.capacity_bytes = total_bytes(trace) / 10;
+      ShardedProxyTarget target{config, trace.names()};
+      TraceSource source{trace};
+      LoadGenConfig load;
+      load.threads = threads;
+      load.mode = mode;
+      load.audit.interval = 1;
+      results.push_back(run_load(target, source, load));
+      merged.push_back(target.proxy().merged_stats());
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      expect_same_result(results[0], results[i]);
+      EXPECT_EQ(merged[0].requests, merged[i].requests);
+      EXPECT_EQ(merged[0].hits, merged[i].hits);
+      EXPECT_EQ(merged[0].misses, merged[i].misses);
+      EXPECT_EQ(merged[0].validations, merged[i].validations);
+      EXPECT_EQ(merged[0].validated_fresh, merged[i].validated_fresh);
+      EXPECT_EQ(merged[0].hit_bytes, merged[i].hit_bytes);
+      EXPECT_EQ(merged[0].miss_bytes, merged[i].miss_bytes);
+      EXPECT_EQ(merged[0].failed_requests, 0u);
+    }
+  }
+}
+
+TEST(ShardedProxyTest, RejectsUnsplittableConfigurations) {
+  ShardedProxy::Config config;
+  config.shards = 4;
+  config.proxy.capacity_bytes = 3;
+  EXPECT_THROW((ShardedProxy{config, [](std::uint32_t) -> UpstreamFn {
+                  return [](const HttpRequest&, SimTime) { return HttpResponse{}; };
+                }}),
+               std::invalid_argument);
+  config.proxy.capacity_bytes = 1 << 20;
+  EXPECT_THROW((ShardedProxy{config, {}}), std::invalid_argument);
+}
+
+TEST(ShardedProxyTest, OccupancyStaysWithinPerShardCapacity) {
+  const Trace trace = preset_trace("C");
+  ShardedProxy::Config config;
+  config.shards = 4;
+  config.proxy.capacity_bytes = total_bytes(trace) / 10;
+  ShardedProxyTarget target{config, trace.names()};
+  TraceSource source{trace};
+  LoadGenConfig load;
+  load.threads = 2;
+  const LoadGenResult result = run_load(target, source, load);
+  EXPECT_EQ(result.requests, trace.size());
+  std::uint64_t requests = 0;
+  for (const ShardedProxy::ShardOccupancy& shard : target.proxy().occupancy()) {
+    EXPECT_LE(shard.stored_bytes, shard.capacity_bytes);
+    requests += shard.requests;
+  }
+  EXPECT_EQ(requests, trace.size());
+  EXPECT_TRUE(target.proxy().audit().ok());
+}
+
+}  // namespace
+}  // namespace wcs

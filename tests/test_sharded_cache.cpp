@@ -1,0 +1,231 @@
+// ShardedCache determinism contract (DESIGN.md §13):
+//   * shards == 1 is bit-identical to the plain Cache on every preset and
+//     on the full Experiment-2 policy grid;
+//   * with no eviction pressure (infinite capacity), merged aggregates AND
+//     per-URL outcomes are identical for any shard count — partitioning a
+//     cache that never evicts must be invisible;
+//   * under a finite budget, per-shard eviction makes shard counts behave
+//     like distinct (valid) configurations, so the finite-capacity claims
+//     are conservation laws plus audit cleanliness, not bit-equality.
+#include "src/core/sharded_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/experiments.h"
+#include "src/sim/simulator.h"
+
+namespace wcs {
+namespace {
+
+const char* const kPresets[] = {"U", "BR", "BL", "C", "G"};
+
+[[nodiscard]] Trace preset_trace(const char* name, double scale = 0.05) {
+  return WorkloadGenerator{WorkloadSpec::preset(name).scaled(scale)}.generate().trace;
+}
+
+[[nodiscard]] std::uint64_t total_bytes(const Trace& trace) {
+  std::uint64_t total = 0;
+  for (const Request& request : trace.requests()) total += request.size;
+  return total;
+}
+
+// All the monotone counters. max_used_bytes is a high-water mark, not a
+// conserved quantity: the merged value sums per-shard peaks, which can
+// exceed a single cache's peak whenever documents shrink (size-change
+// misses release bytes at different times on different partitions) — so
+// cross-shard-count checks treat it separately.
+void expect_same_counters(const CacheStats& a, const CacheStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes);
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.evicted_bytes, b.evicted_bytes);
+  EXPECT_EQ(a.size_change_misses, b.size_change_misses);
+  EXPECT_EQ(a.rejected_too_large, b.rejected_too_large);
+  EXPECT_EQ(a.periodic_sweeps, b.periodic_sweeps);
+}
+
+void expect_same_stats(const CacheStats& a, const CacheStats& b) {
+  expect_same_counters(a, b);
+  EXPECT_EQ(a.max_used_bytes, b.max_used_bytes);
+}
+
+TEST(ShardedCacheTest, RoutingIsStableAndInRange) {
+  for (std::uint32_t shards : {1u, 2u, 4u, 7u, 16u}) {
+    for (UrlId url = 0; url < 1000; ++url) {
+      const std::uint32_t home = shard_of_url(url, shards);
+      EXPECT_LT(home, shards);
+      EXPECT_EQ(home, shard_of_url(url, shards));  // pure function of (url, shards)
+    }
+  }
+}
+
+TEST(ShardedCacheTest, RoutingSpreadsUrls) {
+  // splitmix64 over dense ids must not collapse onto few shards.
+  const std::uint32_t shards = 8;
+  std::vector<std::uint32_t> counts(shards, 0);
+  for (UrlId url = 0; url < 8000; ++url) ++counts[shard_of_url(url, shards)];
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    EXPECT_GT(counts[shard], 500u) << "shard " << shard << " starved";
+    EXPECT_LT(counts[shard], 1500u) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(ShardedCacheTest, RejectsUnsplittableConfigurations) {
+  ShardedCacheConfig config;
+  config.shards = 0;
+  EXPECT_THROW((ShardedCache{config, [] { return make_lru(); }}), std::invalid_argument);
+  config.shards = 4;
+  config.capacity_bytes = 3;  // positive but below one byte per shard
+  EXPECT_THROW((ShardedCache{config, [] { return make_lru(); }}), std::invalid_argument);
+  EXPECT_THROW((ShardedCache{config, {}}), std::invalid_argument);
+}
+
+TEST(ShardedCacheTest, CapacitySplitsEvenlyWithRemainderToLowShards) {
+  ShardedCacheConfig config;
+  config.shards = 4;
+  config.capacity_bytes = 10;
+  const ShardedCache cache{config, [] { return make_lru(); }};
+  const std::vector<ShardOccupancy> occupancy = cache.occupancy();
+  ASSERT_EQ(occupancy.size(), 4u);
+  EXPECT_EQ(occupancy[0].capacity_bytes, 3u);
+  EXPECT_EQ(occupancy[1].capacity_bytes, 3u);
+  EXPECT_EQ(occupancy[2].capacity_bytes, 2u);
+  EXPECT_EQ(occupancy[3].capacity_bytes, 2u);
+}
+
+// shards == 1 must be the plain Cache, bit for bit, on every preset under
+// real eviction pressure (10% of requested bytes).
+TEST(ShardedCacheTest, SingleShardBitIdenticalToPlainCacheOnAllPresets) {
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const Trace trace = preset_trace(preset);
+    const std::uint64_t capacity = total_bytes(trace) / 10;
+    const SimResult flat = simulate(trace, capacity, [] { return make_size(); });
+    const SimResult sharded =
+        simulate_sharded(trace, capacity, [] { return make_size(); }, /*shards=*/1);
+    expect_same_stats(flat.stats, sharded.stats);
+    EXPECT_EQ(flat.daily.overall_hr(), sharded.daily.overall_hr());
+    EXPECT_EQ(flat.daily.overall_whr(), sharded.daily.overall_whr());
+    EXPECT_EQ(sharded.concurrency.threads, 1u);
+    EXPECT_EQ(sharded.concurrency.shards, 1u);
+  }
+}
+
+// ... and across the full Experiment-2 removal-policy grid, where the
+// policies' tag streams (seeded per shard) would expose any seed drift.
+TEST(ShardedCacheTest, SingleShardBitIdenticalAcrossExperiment2Grid) {
+  const Trace trace = preset_trace("U");
+  const std::uint64_t capacity = total_bytes(trace) / 10;
+  for (const KeySpec& spec : KeySpec::experiment2_grid()) {
+    SCOPED_TRACE(spec.name());
+    const SimResult flat = simulate(trace, capacity, [&] { return make_sorted_policy(spec); });
+    const SimResult sharded =
+        simulate_sharded(trace, capacity, [&] { return make_sorted_policy(spec); },
+                         /*shards=*/1);
+    expect_same_stats(flat.stats, sharded.stats);
+  }
+}
+
+// Partitioning a cache that never evicts must be invisible: merged stats
+// and every per-URL outcome identical for any shard count.
+TEST(ShardedCacheTest, ShardCountInvariantWithoutEvictionOnAllPresets) {
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const Trace trace = preset_trace(preset);
+
+    std::vector<CacheStats> merged;
+    std::vector<std::vector<bool>> outcomes;
+    for (const std::uint32_t shards : {1u, 2u, 4u, 7u, 16u}) {
+      ShardedCacheConfig config;
+      config.shards = shards;  // capacity 0: infinite, no eviction anywhere
+      ShardedCache cache{config, [] { return make_size(); }};
+      std::vector<bool> hits;
+      hits.reserve(trace.size());
+      for (const Request& request : trace.requests()) {
+        hits.push_back(cache.access(request).hit);
+      }
+      EXPECT_TRUE(cache.audit().ok());
+      merged.push_back(cache.merged_stats());
+      outcomes.push_back(std::move(hits));
+    }
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+      expect_same_counters(merged[0], merged[i]);
+      // merged[0] (one shard) is the true global peak; a peak-sum over more
+      // shards can only dominate it.
+      EXPECT_GE(merged[i].max_used_bytes, merged[0].max_used_bytes);
+      EXPECT_EQ(outcomes[0], outcomes[i]) << "per-URL outcomes diverged at shard set " << i;
+    }
+  }
+}
+
+// Finite capacity: shard counts are distinct configurations, but every one
+// of them must satisfy the conservation laws and stay audit-clean under a
+// periodic mid-run sweep.
+TEST(ShardedCacheTest, FiniteCapacityConservationAndAuditAcrossShardCounts) {
+  const Trace trace = preset_trace("BR");
+  const std::uint64_t capacity = total_bytes(trace) / 10;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 7u, 16u}) {
+    SCOPED_TRACE(shards);
+    SimAudit audit;
+    audit.interval = 1000;  // sweep the invariants mid-run, not just at the end
+    const SimResult result =
+        simulate_sharded(trace, capacity, [] { return make_size(); }, shards, {}, audit);
+    EXPECT_EQ(result.stats.requests, trace.size());
+    EXPECT_EQ(result.stats.requested_bytes, total_bytes(trace));
+    EXPECT_LE(result.stats.hits, result.stats.requests);
+    EXPECT_LE(result.stats.hit_bytes, result.stats.requested_bytes);
+    EXPECT_LE(result.stats.evictions, result.stats.insertions);
+    EXPECT_EQ(result.concurrency.shards, shards);
+  }
+}
+
+TEST(ShardedCacheTest, MergedStatsAreExactSumsOfShardStats) {
+  const Trace trace = preset_trace("U");
+  ShardedCacheConfig config;
+  config.shards = 4;
+  config.capacity_bytes = total_bytes(trace) / 10;
+  ShardedCache cache{config, [] { return make_size(); }};
+  for (const Request& request : trace.requests()) (void)cache.access(request);
+
+  const std::vector<CacheStats> per_shard = cache.shard_stats();
+  ASSERT_EQ(per_shard.size(), 4u);
+  CacheStats sum;
+  for (const CacheStats& s : per_shard) {
+    sum.requests += s.requests;
+    sum.hits += s.hits;
+    sum.requested_bytes += s.requested_bytes;
+    sum.hit_bytes += s.hit_bytes;
+    sum.insertions += s.insertions;
+    sum.evictions += s.evictions;
+    sum.evicted_bytes += s.evicted_bytes;
+    sum.size_change_misses += s.size_change_misses;
+    sum.rejected_too_large += s.rejected_too_large;
+    sum.periodic_sweeps += s.periodic_sweeps;
+    sum.max_used_bytes += s.max_used_bytes;
+  }
+  expect_same_stats(sum, cache.merged_stats());
+  EXPECT_TRUE(cache.audit().ok());
+}
+
+TEST(ShardedCacheTest, EveryEntryLivesOnItsHomeShard) {
+  const Trace trace = preset_trace("U");
+  ShardedCacheConfig config;
+  config.shards = 7;
+  ShardedCache cache{config, [] { return make_lru(); }};
+  for (const Request& request : trace.requests()) (void)cache.access(request);
+  std::uint64_t entries = 0;
+  const std::vector<ShardOccupancy> occupancy = cache.occupancy();
+  for (const ShardOccupancy& shard : occupancy) entries += shard.entry_count;
+  EXPECT_GT(entries, 0u);
+  EXPECT_TRUE(cache.audit().ok());  // audit() includes the routing sweep
+}
+
+}  // namespace
+}  // namespace wcs

@@ -24,6 +24,10 @@ Floors/ceilings understood:
                                        — a single-core runner cannot exhibit
                                        parallelism and gating on it would
                                        fail every run on such machines
+  sharded.speedup_at_4_threads_floor   sharded-cache aggregate throughput at
+                                       4 load-generator threads over the
+                                       1-thread leg; SKIPPED (annotated)
+                                       when hardware_threads < 4
   micro.requests_per_sec_floor         every micro row's absolute throughput
   micro.speedup_vs_legacy_floor        per-policy map {policy: floor} gating
                                        the flat engine's speedup over the
@@ -112,6 +116,23 @@ def main() -> int:
         else:
             check("grid.parallel_speedup",
                   float(measured["grid"]["parallel_speedup"]), float(speedup_floor))
+
+    # Sharded scaling gate: aggregate throughput at 4 load-generator threads
+    # vs 1 thread over the same sharded cache. Like grid.parallel_speedup,
+    # the ratio is meaningless without the hardware to run 4 workers — skip
+    # (annotated) below 4 hardware threads instead of failing every run on
+    # small runners.
+    sharded_floor = baseline.get("sharded", {}).get("speedup_at_4_threads_floor")
+    if sharded_floor is not None:
+        threads = int(measured.get("hardware_threads", 0))
+        if threads < 4:
+            skip("sharded.speedup_at_4_threads",
+                 f"hardware_threads == {threads}: cannot exhibit 4-thread "
+                 "scaling on this runner")
+        else:
+            check("sharded.speedup_at_4_threads",
+                  float(measured["sharded"]["speedup_at_4_threads"]),
+                  float(sharded_floor))
 
     micro_floor = baseline.get("micro", {}).get("requests_per_sec_floor")
     if micro_floor is not None:

@@ -150,6 +150,10 @@ class PatternRule:
 RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
 POSITION_OF_HOME = ("src/core/sorted_policy.h", "src/core/sorted_policy.cpp")
 RESILIENCE_HOME = ("src/proxy/resilience.h", "src/proxy/resilience.cpp")
+# The only library files allowed to own std::thread objects: the two
+# audited concurrency seams (their lock discipline is TSA-annotated and
+# TSan-tested in CI). Everything else hands parallel work to them.
+CONCURRENCY_HOME = ("src/sim/runner.h", "src/sim/runner.cpp", "src/sim/loadgen.cpp")
 RAW_LOGGING_ALLOWED = ("src/util/table.cpp", "src/core/audit.cpp")
 
 _RNG_MESSAGE = ("{what} outside src/util/rng.* breaks trace-repro "
@@ -225,6 +229,16 @@ PATTERN_RULES: tuple[PatternRule, ...] = (
         applies=all_of(under("src/"),
                        lambda rel: not rel.startswith("src/obs/"),
                        outside(*RAW_LOGGING_ALLOWED))),
+    PatternRule(
+        name="no-unguarded-shared-state",
+        # `std::thread::` (hardware_concurrency, id — read-only queries, not
+        # spawns) stays legal everywhere; `std::this_thread` never matches.
+        pattern=re.compile(r"std\s*::\s*(?:jthread\b|async\b|thread\b(?!\s*::))"),
+        message=("thread spawn outside the audited concurrency seams; "
+                 "library code must hand parallel work to ParallelRunner "
+                 "(src/sim/runner) or run_load (src/sim/loadgen), whose "
+                 "lock discipline is TSA-annotated and TSan-tested"),
+        applies=all_of(under("src/"), outside(*CONCURRENCY_HOME))),
     PatternRule(
         name="no-trace-scan-in-sim",
         pattern=re.compile(r"\.\s*requests\s*\(\s*\)"),

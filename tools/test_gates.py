@@ -72,18 +72,22 @@ def main() -> int:
            [str(PERF / "measured_bad.json"), baseline], 1,
            ["grid.serial_requests_per_sec",
             "grid.parallel_speedup",
+            "sharded.speedup_at_4_threads",
             "micro.zipf.lru.requests_per_sec",
             "micro.zipf.lru.speedup_vs_legacy",
             "streaming.resident_ratio",
             "faults.overhead_ratio",
-            "6/7 metric(s) below floor"])
+            "7/8 metric(s) below floor"])
     # The tolerance slack: 800k against a 1M floor (and a 1.9x speedup
     # against a 2.0x floor) clears the default 30% limit but not a
     # zero-tolerance run. This fixture also reports hardware_threads == 1,
-    # so the parallel-speedup floor must be skipped, not failed.
+    # so the parallel-speedup floor must be skipped, not failed — and the
+    # sharded 4-thread scaling floor likewise (it needs >= 4 threads).
     expect("perf slack admitted", "check_perf.py",
            [str(PERF / "measured_slack.json"), baseline], 0,
-           ["skip grid.parallel_speedup", "(1 skipped)"])
+           ["skip grid.parallel_speedup",
+            "skip sharded.speedup_at_4_threads",
+            "(2 skipped)"])
     expect("perf slack rejected at --tolerance 0", "check_perf.py",
            [str(PERF / "measured_slack.json"), baseline, "--tolerance", "0"], 1,
            ["grid.serial_requests_per_sec",
@@ -104,10 +108,12 @@ def main() -> int:
         if report.get("schema") != "wcs-perf-report-v1":
             fail(f"perf report schema wrong: {report.get('schema')!r}")
         skipped = report.get("skipped", [])
-        if not any(entry.get("metric") == "grid.parallel_speedup"
-                   and "hardware_threads" in entry.get("reason", "")
-                   for entry in skipped):
-            fail(f"perf report lacks the annotated skip: {skipped!r}")
+        for metric in ("grid.parallel_speedup", "sharded.speedup_at_4_threads"):
+            if not any(entry.get("metric") == metric
+                       and "hardware_threads" in entry.get("reason", "")
+                       for entry in skipped):
+                fail(f"perf report lacks the annotated skip for {metric}: "
+                     f"{skipped!r}")
         metrics = {entry.get("metric") for entry in report.get("results", [])}
         for expected in ("grid.serial_requests_per_sec",
                          "micro.zipf.lru.speedup_vs_legacy",

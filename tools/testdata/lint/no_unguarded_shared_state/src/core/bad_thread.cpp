@@ -1,0 +1,7 @@
+// Fixture: spawning a raw std::thread in library code.
+#include <thread>
+void churn();
+void bad() {
+  std::thread worker{churn};
+  worker.join();
+}

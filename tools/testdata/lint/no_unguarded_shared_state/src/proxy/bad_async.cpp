@@ -1,0 +1,4 @@
+// Fixture: std::async launches an unmanaged thread all the same.
+#include <future>
+int work();
+int bad() { return std::async(std::launch::async, work).get(); }

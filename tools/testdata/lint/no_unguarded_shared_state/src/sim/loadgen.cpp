@@ -1,0 +1,4 @@
+// Fixture: the load-generator seam may own worker threads (scope holds).
+#include <thread>
+void worker();
+void spawn() { std::thread{worker}.join(); }

@@ -1,0 +1,5 @@
+// Fixture: the ParallelRunner seam may own worker threads (scope holds).
+#include <thread>
+#include <vector>
+void loop();
+void spawn(std::vector<std::thread>& workers) { workers.emplace_back(loop); }

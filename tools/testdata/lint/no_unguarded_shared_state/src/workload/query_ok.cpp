@@ -1,0 +1,3 @@
+// Fixture: std::thread:: scope queries are reads, not spawns (must not fire).
+#include <thread>
+unsigned cores() { return std::thread::hardware_concurrency(); }
