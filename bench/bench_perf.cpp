@@ -741,7 +741,132 @@ int main(int argc, char** argv) {
             << cores << " hardware threads (best of " << kShardedReps
             << "; merged stats cross-checked identical across thread counts)\n\n";
 
-  // ---- 7. JSON out --------------------------------------------------------
+  // ---- 7. topology: routing-ladder overhead on the steady-state hit path --
+  // A 3-tier CacheTopology (4 edge siblings -> 2 regional -> 1 parent,
+  // faults off) versus one flat ProxyCache of equal total capacity,
+  // workload BR. Capacity is sized so BOTH sides hold the whole corpus
+  // after a warm-up pass (each edge sibling gets the full corpus bytes, so
+  // its URL partition always fits), pinning the two legs to the same
+  // all-hit steady state; the hit counts are cross-checked equal. What
+  // remains in the ratio is exactly what the topology layer adds per
+  // request — the URL-hash route, the disabled per-link FaultPlan, the
+  // failover ladder's bookkeeping. Cold-fill cost is deliberately NOT
+  // gated: how a hierarchy spends misses is a capacity-allocation
+  // trade-off (see examples/proxy_demo --topology), not overhead. The
+  // warm-up stays outside the timer; legs are interleaved and the minimum
+  // kept, like the faults leg. Gated by tools/check_perf.py
+  // (topology.max_overhead_ratio).
+  const Trace& topo_trace = workload("BR").trace;
+  const std::uint64_t topo_unique = topo_trace.unique_bytes();
+  const SimTime topo_fresh = SimTime{1} << 40;  // never stale within the trace
+
+  TopologyConfig topo_shape;
+  topo_shape.tiers.resize(3);
+  topo_shape.tiers[0].label = "edge";
+  topo_shape.tiers[0].caches = 4;
+  topo_shape.tiers[0].proxy.capacity_bytes = topo_unique;
+  topo_shape.tiers[0].proxy.revalidate_after = topo_fresh;
+  topo_shape.tiers[1].label = "regional";
+  topo_shape.tiers[1].caches = 2;
+  topo_shape.tiers[1].proxy.capacity_bytes = topo_unique / 4;
+  topo_shape.tiers[1].proxy.revalidate_after = topo_fresh;
+  topo_shape.tiers[2].label = "parent";
+  topo_shape.tiers[2].caches = 1;
+  topo_shape.tiers[2].proxy.capacity_bytes = topo_unique / 2;
+  topo_shape.tiers[2].proxy.revalidate_after = topo_fresh;
+
+  SynthOrigin topo_origin;
+  CacheTopology topo_target{topo_shape,
+                            [&topo_origin](const HttpRequest& request, SimTime now) {
+                              return topo_origin.handle(request, now);
+                            }};
+
+  ProxyCache::Config topo_flat_config;
+  topo_flat_config.capacity_bytes = topo_target.total_capacity_bytes();
+  topo_flat_config.revalidate_after = topo_fresh;
+  SynthOrigin topo_flat_origin;
+  ProxyCache topo_flat{topo_flat_config,
+                       [&topo_flat_origin](const HttpRequest& request, SimTime now) {
+                         return topo_flat_origin.handle(request, now);
+                       }};
+
+  // One trace pass against either target; returns the X-Cache: HIT count
+  // (the cross-check, and an equal per-request cost in both legs).
+  const auto topo_pass = [&topo_trace](auto& target, SynthOrigin& origin) {
+    TraceSource source{topo_trace};
+    Request request;
+    HttpRequest http;
+    std::uint64_t hits = 0;
+    while (source.next(request)) {
+      origin.set_next_size(request.size);
+      http.target.assign(source.names().url_name(request.url));
+      const HttpResponse response = target.handle(http, request.time);
+      const auto header = response.headers.get("X-Cache");
+      if (header && *header == "HIT") ++hits;
+    }
+    return hits;
+  };
+
+  // Warm-up fill, then the steady-state cross-check.
+  (void)topo_pass(topo_flat, topo_flat_origin);
+  (void)topo_pass(topo_target, topo_origin);
+  {
+    const std::uint64_t flat_hits = topo_pass(topo_flat, topo_flat_origin);
+    const std::uint64_t topo_hits = topo_pass(topo_target, topo_origin);
+    if (flat_hits != topo_hits) {
+      std::cerr << "FATAL: warm topology hits (" << topo_hits
+                << ") diverge from the flat proxy's (" << flat_hits << ")\n";
+      return 1;
+    }
+  }
+
+  // Size a measurement to >= 0.25 s (both legs share the pass count).
+  const auto topo_calibrate_start = std::chrono::steady_clock::now();
+  (void)topo_pass(topo_flat, topo_flat_origin);
+  const double topo_calibrate_seconds = seconds_since(topo_calibrate_start);
+  const int topo_passes =
+      topo_calibrate_seconds > 0.0
+          ? std::max(1, static_cast<int>(0.25 / topo_calibrate_seconds) + 1)
+          : 1;
+  const auto time_topo = [&](bool topology_leg) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < topo_passes; ++pass) {
+      if (topology_leg) {
+        (void)topo_pass(topo_target, topo_origin);
+      } else {
+        (void)topo_pass(topo_flat, topo_flat_origin);
+      }
+    }
+    return seconds_since(start);
+  };
+
+  constexpr int kTopoReps = 5;
+  double topo_flat_seconds = 0.0;
+  double topo_tiered_seconds = 0.0;
+  for (int rep = 0; rep < kTopoReps; ++rep) {
+    const double flat_seconds = time_topo(false);
+    const double tiered_seconds = time_topo(true);
+    if (rep == 0 || flat_seconds < topo_flat_seconds) topo_flat_seconds = flat_seconds;
+    if (rep == 0 || tiered_seconds < topo_tiered_seconds) {
+      topo_tiered_seconds = tiered_seconds;
+    }
+  }
+  const double topo_overhead_ratio =
+      topo_flat_seconds > 0.0 ? topo_tiered_seconds / topo_flat_seconds - 1.0 : 0.0;
+  const double topo_requests = static_cast<double>(topo_trace.size()) * topo_passes;
+
+  Table topo_table{"Topology routing overhead (workload BR, warm all-hit steady state)"};
+  topo_table.header({"leg", "wall s", "Mreq/s"});
+  topo_table.row({"flat proxy (equal capacity)", Table::num(topo_flat_seconds, 3),
+                  Table::num(topo_requests / topo_flat_seconds / 1e6, 2)});
+  topo_table.row({"3-tier topology", Table::num(topo_tiered_seconds, 3),
+                  Table::num(topo_requests / topo_tiered_seconds / 1e6, 2)});
+  topo_table.print(std::cout);
+  std::cout << "  overhead " << Table::num(100.0 * topo_overhead_ratio, 2)
+            << "% (" << topo_passes << " passes/measurement, best of " << kTopoReps
+            << "; warm hit counts cross-checked identical)\n\n";
+
+  // ---- 8. JSON out --------------------------------------------------------
   std::string out_path = "BENCH_perf.json";
   if (const char* env = std::getenv("WCS_BENCH_OUT")) out_path = env;
   if (argc > 1) out_path = argv[1];
@@ -827,6 +952,18 @@ int main(int argc, char** argv) {
   }
   json << "    ],\n"
        << "    \"speedup_at_4_threads\": " << json_num(sharded_speedup_at_4) << "\n"
+       << "  },\n"
+       << "  \"topology\": {\n"
+       << "    \"workload\": \"BR\",\n"
+       << "    \"tiers\": 3,\n"
+       << "    \"total_capacity_bytes\": " << topo_target.total_capacity_bytes() << ",\n"
+       << "    \"requests_per_pass\": " << topo_trace.size() << ",\n"
+       << "    \"passes\": " << topo_passes << ",\n"
+       << "    \"flat_seconds\": " << json_num(topo_flat_seconds) << ",\n"
+       << "    \"topology_seconds\": " << json_num(topo_tiered_seconds) << ",\n"
+       << "    \"overhead_ratio\": " << json_num(topo_overhead_ratio) << ",\n"
+       << "    \"topology_requests_per_sec\": "
+       << json_num(topo_requests / topo_tiered_seconds) << "\n"
        << "  }\n}\n";
 
   std::ofstream out{out_path};

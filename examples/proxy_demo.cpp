@@ -26,6 +26,12 @@
 // fleet — one ProxyCache + synthetic origin per shard — and drives the BR
 // preset through it with the multi-threaded load generator (DESIGN.md
 // §13), printing aggregate throughput and the per-shard occupancy table.
+//
+// With `--topology` a final stage replays the BR preset through a 3-tier
+// network of caches (4 edge siblings -> 2 regional -> 1 parent) with a
+// lightly faulted parent downlink, printing the per-tier accounting table
+// and the failover router's counters (DESIGN.md §14). Composes with
+// --obs: the per-tier stats publish as wcs_tier_<label>_* metrics.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -40,6 +46,8 @@
 #include "src/proxy/faults.h"
 #include "src/proxy/origin.h"
 #include "src/proxy/proxy.h"
+#include "src/proxy/topology.h"
+#include "src/sim/chaos.h"
 #include "src/sim/loadgen.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
@@ -55,6 +63,7 @@ int main(int argc, char** argv) {
   std::string obs_dir;  // --obs <dir>: write the four observability exports
   int demo_threads = 0;  // --threads N: sharded-fleet stage worker count
   int demo_shards = 0;   // --shards M: sharded-fleet stage shard count
+  bool topology_stage = false;  // --topology: 3-tier network-of-caches stage
   for (int i = 1; i < argc; ++i) {
     if (std::string{argv[i]} == "--chaos" && i + 1 < argc) {
       chaos_rate = std::atof(argv[++i]);
@@ -64,6 +73,8 @@ int main(int argc, char** argv) {
       demo_threads = std::atoi(argv[++i]);
     } else if (std::string{argv[i]} == "--shards" && i + 1 < argc) {
       demo_shards = std::atoi(argv[++i]);
+    } else if (std::string{argv[i]} == "--topology") {
+      topology_stage = true;
     }
   }
   // One recorder observes the whole demo (the main proxy and, with
@@ -292,6 +303,55 @@ int main(int argc, char** argv) {
     occupancy_table.print(std::cout);
     std::cout << "  audited clean at the end-of-run sync point; fixed shard count ->\n"
                  "  identical merged counters at any thread count (DESIGN.md §13)\n";
+  }
+
+  if (topology_stage) {
+    std::cout << "\n=== 9. Network of caches (--topology) ===\n";
+    // The BR preset through a 3-tier hierarchy: 4 URL-routed edge siblings
+    // in front of 2 regional caches in front of 1 parent, with a lightly
+    // faulted parent downlink so the failover ladder has real work. The
+    // replay asserts every tier's audit, the per-cache GET accounting
+    // identity and the client-level identity as it goes (DESIGN.md §14).
+    WorkloadGenerator topo_generator{WorkloadSpec::preset("BR").scaled(0.02)};
+    const GeneratedWorkload topo_workload = topo_generator.generate();
+    const std::uint64_t topo_unique = topo_workload.trace.unique_bytes();
+    TopologyReplayConfig topo_config;
+    topo_config.topology.tiers.resize(3);
+    topo_config.topology.tiers[0].label = "edge";
+    topo_config.topology.tiers[0].caches = 4;
+    topo_config.topology.tiers[0].proxy.capacity_bytes = topo_unique / 40;
+    topo_config.topology.tiers[1].label = "regional";
+    topo_config.topology.tiers[1].caches = 2;
+    topo_config.topology.tiers[1].proxy.capacity_bytes = topo_unique / 10;
+    topo_config.topology.tiers[2].label = "parent";
+    topo_config.topology.tiers[2].caches = 1;
+    topo_config.topology.tiers[2].proxy.capacity_bytes = topo_unique / 5;
+    topo_config.topology.tiers[2].downlink = FaultSpec::transient_mix(0.05);
+    topo_config.check_interval = 4096;
+    if (!obs_dir.empty()) topo_config.obs = &recorder;
+    TraceSource topo_source{topo_workload.trace};
+    const TopologyReplayResult topo_result = replay_through_topology(topo_source, topo_config);
+
+    Table tier_table{"per-tier accounting (client-facing tier first)"};
+    tier_table.header({"tier", "caches", "requests", "HR", "stale served",
+                       "breaker opens", "availability"});
+    for (std::size_t t = 0; t < topo_result.tiers.size(); ++t) {
+      const TierReplayStats& tier = topo_result.tiers[t];
+      tier_table.row({tier.label, std::to_string(topo_config.topology.tiers[t].caches),
+                      std::to_string(tier.stats.requests), Table::pct(tier.hit_rate(), 1),
+                      std::to_string(tier.stats.stale_served),
+                      std::to_string(tier.stats.breaker_opens),
+                      Table::pct(tier.stats.availability(), 2)});
+    }
+    tier_table.print(std::cout);
+    const CacheTopology::RouterStats& router = topo_result.router;
+    std::cout << "  router: " << router.link_failures << " link failures, "
+              << router.sibling_failovers << " sibling failovers, " << router.tier_skips
+              << " tier skips, " << router.origin_fetches << " origin fetches\n"
+              << "  client: HR " << Table::pct(topo_result.client_hit_rate(), 1)
+              << ", availability " << Table::pct(topo_result.availability.availability(), 2)
+              << " (" << topo_result.availability.failed
+              << " failed); audited clean every 4096 requests\n";
   }
 
   if (!obs_dir.empty()) {

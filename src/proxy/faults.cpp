@@ -55,6 +55,10 @@ FaultSpec FaultSpec::transient_mix(double rate, std::uint64_t seed) {
   return spec;
 }
 
+FaultPlan::FaultPlan(FaultSpec spec)
+    : spec_(std::move(spec)),
+      label_hash_(spec_.label.empty() ? 0 : fnv1a64(spec_.label)) {}
+
 FaultKind FaultPlan::decide(std::string_view url, SimTime now,
                             std::uint32_t attempt) const noexcept {
   if (!spec_.enabled()) return FaultKind::kNone;
@@ -62,10 +66,14 @@ FaultKind FaultPlan::decide(std::string_view url, SimTime now,
 
   // Persistent outage windows first: the whole (host, window) pair is down,
   // and no retry within the window can clear it (attempt is not hashed in).
+  // The edge label (when present) enters each chain right after the seed
+  // salt; the empty label skips the mix so unlabelled plans reproduce the
+  // pre-label schedules bit-for-bit.
   if (spec_.outage > 0.0 && spec_.outage_window > 0) {
     SimTime window = now / spec_.outage_window;
     if (now % spec_.outage_window < 0) --window;  // floor for negative times
     std::uint64_t h = mix64(spec_.seed ^ kOutageSalt);
+    if (!spec_.label.empty()) h = mix64(h ^ label_hash_);
     h = mix64(h ^ host);
     h = mix64(h ^ static_cast<std::uint64_t>(window));
     if (static_cast<double>(h >> 11) * 0x1.0p-53 < spec_.outage) return FaultKind::kOutage;
@@ -76,6 +84,7 @@ FaultKind FaultPlan::decide(std::string_view url, SimTime now,
   const double total = spec_.transient_sum();
   if (total <= 0.0) return FaultKind::kNone;
   std::uint64_t h = mix64(spec_.seed ^ kTransientSalt);
+  if (!spec_.label.empty()) h = mix64(h ^ label_hash_);
   h = mix64(h ^ host);
   h = mix64(h ^ static_cast<std::uint64_t>(now));
   h = mix64(h ^ attempt);

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 
 #include "src/http/message.h"
@@ -59,6 +60,12 @@ enum class FaultKind : unsigned char {
 
 struct FaultSpec {
   std::uint64_t seed = 0x5eed0f57ULL;
+  /// Edge/tier label mixed into every decision hash. Two plans with the
+  /// same seed but different labels (e.g. the links into "regional[0]" and
+  /// "regional[1]") draw independent fault schedules for the same host at
+  /// the same time. The empty label is special-cased to preserve the
+  /// pre-label schedules bit-for-bit.
+  std::string label;
   // Per-attempt transient probabilities. One uniform draw per attempt is
   // compared against their cumulative sum, so keep the sum <= 1.
   double timeout = 0.0;
@@ -83,19 +90,27 @@ struct FaultSpec {
   /// An even mix of all five transient kinds totalling `rate`, plus a small
   /// persistent-outage share (rate / 10 per host-window).
   [[nodiscard]] static FaultSpec transient_mix(double rate, std::uint64_t seed = 0x5eed0f57ULL);
+
+  /// A copy of this spec bound to a specific edge label.
+  [[nodiscard]] FaultSpec with_label(std::string edge_label) const {
+    FaultSpec out = *this;
+    out.label = std::move(edge_label);
+    return out;
+  }
 };
 
 class FaultPlan {
  public:
   FaultPlan() = default;  // disabled: decide() is kNone, wrap() the identity
-  explicit FaultPlan(FaultSpec spec) noexcept : spec_(spec) {}
+  explicit FaultPlan(FaultSpec spec);
 
   [[nodiscard]] bool enabled() const noexcept { return spec_.enabled(); }
   [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
 
   /// The fault (if any) for attempt `attempt` of a request for `url` at
-  /// `now`. Pure function of (spec, url's host, now, attempt): faults are
-  /// host-level network events, shared by every URL on the host.
+  /// `now`. Pure function of (spec, label, url's host, now, attempt):
+  /// faults are host-level network events on one labelled edge, shared by
+  /// every URL on the host crossing that edge.
   [[nodiscard]] FaultKind decide(std::string_view url, SimTime now,
                                  std::uint32_t attempt) const noexcept;
 
@@ -110,6 +125,9 @@ class FaultPlan {
 
  private:
   FaultSpec spec_;
+  // fnv1a64(spec_.label), memoized at construction; 0 stands for "no
+  // label" (the empty label keeps the legacy hash chain untouched).
+  std::uint64_t label_hash_ = 0;
 };
 
 /// Classify a response the way the resilience layer does. A failure is a

@@ -86,6 +86,8 @@ UpstreamOutcome ProxyCache::fetch_upstream(const HttpRequest& request, SimTime n
   if (outcome.failed) ++stats_.upstream_failures;
   if (outcome.breaker_opened) ++stats_.breaker_opens;
   if (outcome.negative_hit) ++stats_.negative_hits;
+  stats_.breaker_open_hosts = resilient_.open_breaker_hosts();
+  stats_.negative_cache_entries = resilient_.negative_cache_entries();
   return outcome;
 }
 

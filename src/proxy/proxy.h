@@ -88,6 +88,11 @@ class WCS_THREAD_AFFINE ProxyCache {
     std::uint64_t stale_served = 0;      // failures masked by the cached copy
     std::uint64_t negative_hits = 0;     // negative-cache short-circuits
     std::uint64_t failed_requests = 0;   // answered 502/504 (nothing to serve)
+    // Resilience gauges, snapshotted after each upstream fetch. Unlike the
+    // counters above these can move in both directions, so they stay out of
+    // every monotonicity check (e.g. the chaos-sweep counter list).
+    std::uint64_t breaker_open_hosts = 0;      // hosts with a non-closed breaker
+    std::uint64_t negative_cache_entries = 0;  // URLs held by the negative cache
 
     /// Fraction of requests answered with a usable response.
     [[nodiscard]] double availability() const noexcept {

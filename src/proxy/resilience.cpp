@@ -76,6 +76,7 @@ void ResilientUpstream::record_result(Breaker& breaker, std::string_view host, b
       if (++breaker.half_open_successes >= config_.breaker.half_open_successes) {
         breaker.state = BreakerState::kClosed;
         breaker.consecutive_failures = 0;
+        --open_hosts_;
         emit_breaker_transition(config_.obs, now, host, BreakerState::kHalfOpen,
                                 BreakerState::kClosed);
       }
@@ -98,6 +99,7 @@ void ResilientUpstream::record_result(Breaker& breaker, std::string_view host, b
       ++breaker.consecutive_failures >= config_.breaker.failure_threshold) {
     breaker.state = BreakerState::kOpen;
     breaker.opened_at = now;
+    ++open_hosts_;
     outcome.breaker_opened = true;
     emit_breaker_transition(config_.obs, now, host, BreakerState::kClosed,
                             BreakerState::kOpen);

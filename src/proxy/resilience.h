@@ -97,6 +97,15 @@ class ResilientUpstream {
   /// Breaker state for `host` as of `now` (an expired open window reads as
   /// half-open, matching what the next fetch would see).
   [[nodiscard]] BreakerState breaker_state(std::string_view host, SimTime now) const noexcept;
+  /// Hosts whose breaker is not closed (open or half-open) as of the last
+  /// fetch. O(1): maintained incrementally on every breaker transition.
+  [[nodiscard]] std::uint64_t open_breaker_hosts() const noexcept { return open_hosts_; }
+  /// URLs currently held by the negative cache. Expired entries are
+  /// reclaimed lazily by their next fetch, so between fetches this is an
+  /// upper bound on the live population.
+  [[nodiscard]] std::uint64_t negative_cache_entries() const noexcept {
+    return negative_until_.size();
+  }
 
  private:
   struct Breaker {
@@ -113,6 +122,7 @@ class ResilientUpstream {
   UpstreamFn upstream_;
   std::unordered_map<std::string, Breaker> breakers_;       // by host
   std::unordered_map<std::string, SimTime> negative_until_;  // by URL
+  std::uint64_t open_hosts_ = 0;  // breakers currently open or half-open
 };
 
 }  // namespace wcs

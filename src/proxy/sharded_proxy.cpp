@@ -67,6 +67,10 @@ ProxyCache::Stats ShardedProxy::merged_stats() const {
     total.stale_served += s.stale_served;
     total.negative_hits += s.negative_hits;
     total.failed_requests += s.failed_requests;
+    // Gauges: each shard fronts a disjoint host/URL partition, so the sum
+    // is the whole proxy's open-breaker and negative-cache population.
+    total.breaker_open_hosts += s.breaker_open_hosts;
+    total.negative_cache_entries += s.negative_cache_entries;
   }
   return total;
 }

@@ -1,0 +1,173 @@
+#include "src/proxy/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/util/rng.h"
+
+namespace wcs {
+namespace {
+
+void accumulate(ProxyCache::Stats& total, const ProxyCache::Stats& s) {
+  total.requests += s.requests;
+  total.hits += s.hits;
+  total.validations += s.validations;
+  total.validated_fresh += s.validated_fresh;
+  total.misses += s.misses;
+  total.uncacheable += s.uncacheable;
+  total.hit_bytes += s.hit_bytes;
+  total.miss_bytes += s.miss_bytes;
+  total.delta_updates += s.delta_updates;
+  total.delta_bytes += s.delta_bytes;
+  total.delta_bytes_avoided += s.delta_bytes_avoided;
+  total.upstream_failures += s.upstream_failures;
+  total.retries += s.retries;
+  total.breaker_opens += s.breaker_opens;
+  total.stale_served += s.stale_served;
+  total.negative_hits += s.negative_hits;
+  total.failed_requests += s.failed_requests;
+  // Gauges: siblings partition the URL space, so the sum is the tier's
+  // whole open-breaker and negative-cache population.
+  total.breaker_open_hosts += s.breaker_open_hosts;
+  total.negative_cache_entries += s.negative_cache_entries;
+}
+
+[[nodiscard]] std::string link_label(std::string_view base, std::size_t index) {
+  return std::string{base} + "[" + std::to_string(index) + "]";
+}
+
+}  // namespace
+
+CacheTopology::CacheTopology(TopologyConfig config, UpstreamFn origin)
+    : origin_(std::move(origin)),
+      sibling_failover_(config.sibling_failover),
+      route_seed_(config.route_seed) {
+  if (!origin_) throw std::invalid_argument{"CacheTopology: origin must be callable"};
+  if (config.tiers.empty()) throw std::invalid_argument{"CacheTopology: at least one tier"};
+
+  FaultSpec origin_spec = config.origin_link;
+  if (origin_spec.label.empty()) origin_spec.label = "origin";
+  origin_plan_ = FaultPlan{std::move(origin_spec)};
+
+  labels_.reserve(config.tiers.size());
+  tiers_.reserve(config.tiers.size());
+  plans_.reserve(config.tiers.size());
+  for (std::size_t t = 0; t < config.tiers.size(); ++t) {
+    const TierConfig& tier = config.tiers[t];
+    if (tier.label.empty()) {
+      throw std::invalid_argument{"CacheTopology: tier labels must be non-empty"};
+    }
+    if (std::find(labels_.begin(), labels_.end(), tier.label) != labels_.end()) {
+      throw std::invalid_argument{"CacheTopology: duplicate tier label " + tier.label};
+    }
+    if (tier.caches == 0) {
+      throw std::invalid_argument{"CacheTopology: tier " + tier.label + " has zero caches"};
+    }
+    labels_.push_back(tier.label);
+
+    std::vector<std::unique_ptr<ProxyCache>> caches;
+    std::vector<FaultPlan> plans;
+    caches.reserve(tier.caches);
+    plans.reserve(tier.caches);
+    for (std::uint32_t i = 0; i < tier.caches; ++i) {
+      ProxyCache::Config cache_config = tier.proxy;
+      if (cache_config.obs == nullptr) cache_config.obs = config.obs;
+      // Tier t's upstream *is* the router over tiers t+1.. and the origin.
+      // The lambda resolves tiers_ at call time, so construction order is
+      // irrelevant; `this` is stable because callers own the topology.
+      const std::size_t above = t + 1;
+      caches.push_back(std::make_unique<ProxyCache>(
+          std::move(cache_config), [this, above](const HttpRequest& request, SimTime now) {
+            return route_from(above, request, now);
+          }));
+      FaultSpec link = tier.downlink;
+      link.label = link_label(link.label.empty() ? tier.label : link.label, i);
+      plans.emplace_back(std::move(link));
+    }
+    tiers_.push_back(std::move(caches));
+    plans_.push_back(std::move(plans));
+  }
+}
+
+std::size_t CacheTopology::route(std::size_t tier, std::string_view url) const {
+  const std::size_t n = tiers_.at(tier).size();
+  if (n == 1) return 0;
+  // Golden-ratio tier salt keeps the per-tier pick independent, so an URL's
+  // edge sibling says nothing about its regional sibling.
+  std::uint64_t h =
+      mix64(route_seed_ ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(tier) + 1)));
+  h = mix64(h ^ fnv1a64(url));
+  return static_cast<std::size_t>(h % n);
+}
+
+HttpResponse CacheTopology::route_from(std::size_t tier, const HttpRequest& request,
+                                       SimTime now) {
+  for (std::size_t level = tier; level < tiers_.size(); ++level) {
+    auto& caches = tiers_[level];
+    const std::size_t primary = route(level, request.target);
+    const std::size_t tries = sibling_failover_ ? caches.size() : 1;
+    for (std::size_t s = 0; s < tries; ++s) {
+      const std::size_t index = (primary + s) % caches.size();
+      ProxyCache& cache = *caches[index];
+      HttpResponse response = plans_[level][index].apply(
+          request, now,
+          [&cache](const HttpRequest& inner, SimTime at) { return cache.handle(inner, at); });
+      if (!is_upstream_failure(response)) return response;
+      ++router_.link_failures;
+      if (s + 1 < tries) ++router_.sibling_failovers;
+    }
+    ++router_.tier_skips;
+  }
+  // Last resort: the origin link. Its answer — success or the final
+  // failure — is what the ladder surfaces; the calling cache's resilience
+  // layer decides whether to retry the whole ladder or degrade.
+  ++router_.origin_fetches;
+  return origin_plan_.apply(request, now, origin_);
+}
+
+HttpResponse CacheTopology::handle(const HttpRequest& request, SimTime now) {
+  return route_from(0, request, now);
+}
+
+ProxyCache::Stats CacheTopology::tier_stats(std::size_t tier) const {
+  ProxyCache::Stats total;
+  for (const auto& cache : tiers_.at(tier)) accumulate(total, cache->stats());
+  return total;
+}
+
+std::uint64_t CacheTopology::tier_stored_bytes(std::size_t tier) const {
+  std::uint64_t total = 0;
+  for (const auto& cache : tiers_.at(tier)) total += cache->stored_bytes();
+  return total;
+}
+
+std::uint64_t CacheTopology::total_capacity_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& caches : tiers_) {
+    for (const auto& cache : caches) total += cache->cache().capacity_bytes();
+  }
+  return total;
+}
+
+AuditReport CacheTopology::audit() const {
+  AuditReport report;
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    for (std::size_t i = 0; i < tiers_[t].size(); ++i) {
+      const ProxyCache& cache = *tiers_[t][i];
+      const std::string scope = link_label(labels_[t], i);
+      report.absorb(scope, cache.cache().audit());
+      const ProxyCache::Stats& s = cache.stats();
+      if (s.hits + s.misses + s.failed_requests != s.requests) {
+        report.add(scope + ".proxy_accounting",
+                   "hits + misses + failed != requests (" + std::to_string(s.hits) + " + " +
+                       std::to_string(s.misses) + " + " + std::to_string(s.failed_requests) +
+                       " != " + std::to_string(s.requests) + ")");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace wcs

@@ -1,0 +1,136 @@
+// A configurable network of caches: the generalization of the paper's
+// Experiment 3 two-level cache into a CDN-style hierarchy (ROADMAP item 2,
+// after Gallo et al., "Performance Evaluation of the Random Replacement
+// Policy for Networks of Caches").
+//
+// The topology is a list of tiers, client-facing first (edge -> regional ->
+// parent -> ... -> origin). Each tier holds one or more sibling ProxyCaches
+// with their own capacity, policy and resilience config; tier k's upstream
+// *is* the router over tiers k+1.. and finally the origin. Every inter-tier
+// link — the path into one specific cache, and the last hop to the origin —
+// can be wrapped in its own deterministic FaultPlan. Link schedules derive
+// from (spec.seed, edge label, host, time, attempt) via the labelled
+// FaultPlan hash, so they are stateless, reproducible, and independent per
+// link: "regional[0]" can be down for an afternoon while "regional[1]"
+// serves normally, which is exactly what sibling failover needs to matter.
+//
+// Routing is deterministic (URL-hash primary pick, like ShardedProxy) and
+// degrades gracefully: a failed response from one link — transport error,
+// injected fault, or a 502 from an upstream cache whose own breaker is
+// open — fails over to the next sibling in the tier, then skips to the
+// next tier, and reaches the origin as the last resort before surfacing an
+// error to the caller. Each cache's own resilience layer wraps the whole
+// ladder above it, so retries re-run the routing with fresh fault draws
+// (the attempt index is forwarded into every link plan via kAttemptHeader).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/proxy/faults.h"
+#include "src/proxy/proxy.h"
+#include "src/util/thread_annotations.h"
+
+namespace wcs {
+
+/// One tier of sibling caches.
+struct TierConfig {
+  /// Unique non-empty tier name; used for link labels and per-tier metrics.
+  std::string label = "tier";
+  /// Sibling caches in this tier (>= 1). Requests route among them by URL
+  /// hash, so siblings partition the namespace like ShardedProxy shards.
+  std::uint32_t caches = 1;
+  /// Per-cache configuration (capacity_bytes is per sibling, not per tier).
+  ProxyCache::Config proxy;
+  /// Faults on the links *into* this tier's caches. The effective FaultPlan
+  /// for cache i is labelled "<label>[i]" (unless spec.label is already
+  /// set), giving every sibling link an independent schedule.
+  FaultSpec downlink;
+};
+
+struct TopologyConfig {
+  /// Tiers from the client inward: tiers[0] is the edge. Must be non-empty.
+  std::vector<TierConfig> tiers;
+  /// Faults on the final hop to the origin (label defaults to "origin").
+  FaultSpec origin_link;
+  /// Try the remaining siblings of a tier after its primary link fails.
+  bool sibling_failover = true;
+  /// Seed for the URL-hash routing (independent of any fault seed).
+  std::uint64_t route_seed = 0x70b07067ULL;
+  /// Observability recorder forwarded into every tier cache whose own
+  /// config leaves obs unset; nullptr = disabled.
+  ObsRecorder* obs = nullptr;
+};
+
+/// Thread-affine like ProxyCache: one owner drives handle(). Parallel
+/// chaos cells each build their own topology (see run_topology_chaos_sweep).
+class WCS_THREAD_AFFINE CacheTopology {
+ public:
+  /// Router-level accounting: what the failover ladder did, which no single
+  /// tier's ProxyCache::Stats can see.
+  struct RouterStats {
+    std::uint64_t link_failures = 0;      // failed responses from one link
+    std::uint64_t sibling_failovers = 0;  // moved on to a sibling in-tier
+    std::uint64_t tier_skips = 0;         // tier exhausted, moved deeper
+    std::uint64_t origin_fetches = 0;     // ladder reached the origin link
+  };
+
+  /// Throws std::invalid_argument on an empty topology, a tier with zero
+  /// caches, or duplicate/empty tier labels.
+  CacheTopology(TopologyConfig config, UpstreamFn origin);
+
+  /// Serve one client request: enter the edge tier (failing over exactly
+  /// like any inter-tier hop) at time `now`.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request, SimTime now);
+
+  [[nodiscard]] std::size_t tier_count() const noexcept { return tiers_.size(); }
+  [[nodiscard]] std::size_t tier_size(std::size_t tier) const { return tiers_.at(tier).size(); }
+  [[nodiscard]] const std::string& tier_label(std::size_t tier) const {
+    return labels_.at(tier);
+  }
+  [[nodiscard]] const ProxyCache& cache_at(std::size_t tier, std::size_t index) const {
+    return *tiers_.at(tier).at(index);
+  }
+  /// Tier-level stats: the sibling caches' Stats summed field by field
+  /// (gauges included — siblings front disjoint URL partitions).
+  [[nodiscard]] ProxyCache::Stats tier_stats(std::size_t tier) const;
+  [[nodiscard]] std::uint64_t tier_stored_bytes(std::size_t tier) const;
+  /// Total capacity across every cache of every tier (the "equal total
+  /// capacity" budget a flat single proxy would get in comparisons).
+  [[nodiscard]] std::uint64_t total_capacity_bytes() const noexcept;
+  [[nodiscard]] const RouterStats& router_stats() const noexcept { return router_; }
+  /// The fault plan on the link into cache (tier, index) — exposed so
+  /// tests can consult the deterministic schedule directly.
+  [[nodiscard]] const FaultPlan& link_plan(std::size_t tier, std::size_t index) const {
+    return plans_.at(tier).at(index);
+  }
+  [[nodiscard]] const FaultPlan& origin_plan() const noexcept { return origin_plan_; }
+  /// Primary sibling index for `url` in `tier` (pure function of the URL,
+  /// the route seed and the tier index).
+  [[nodiscard]] std::size_t route(std::size_t tier, std::string_view url) const;
+
+  /// Cache-core audits plus the per-cache GET accounting identity, scoped
+  /// "<label>[i]." per cache.
+  [[nodiscard]] AuditReport audit() const;
+
+ private:
+  /// The failover ladder: try tiers `tier`.. (primary sibling first, then
+  /// the rest when sibling_failover is on), then the origin link.
+  [[nodiscard]] HttpResponse route_from(std::size_t tier, const HttpRequest& request,
+                                        SimTime now);
+
+  UpstreamFn origin_;
+  FaultPlan origin_plan_;
+  bool sibling_failover_ = true;
+  std::uint64_t route_seed_ = 0;
+  std::vector<std::string> labels_;                          // per tier
+  std::vector<std::vector<std::unique_ptr<ProxyCache>>> tiers_;
+  std::vector<std::vector<FaultPlan>> plans_;  // plans_[t][i]: link into (t, i)
+  RouterStats router_;
+};
+
+}  // namespace wcs

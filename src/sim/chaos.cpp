@@ -238,4 +238,275 @@ ChaosSweepResult run_chaos_sweep(const std::string& workload, const Trace& trace
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Networks of caches under chaos.
+
+namespace {
+
+[[noreturn]] void topology_violation(std::uint64_t index, const std::string& what) {
+  throw std::runtime_error{"replay_through_topology: invariant violation after request " +
+                           std::to_string(index) + ": " + what};
+}
+
+/// Per-tier monotonic counters and Stats-level identities, every tier cache
+/// audit-clean, and the client-level accounting identity.
+void check_topology_invariants(const CacheTopology& topology,
+                               std::vector<std::vector<std::uint64_t>>& previous,
+                               std::uint64_t index, const AvailabilityStats& client,
+                               const TopologyConfig& config) {
+  for (std::size_t t = 0; t < topology.tier_count(); ++t) {
+    const ProxyCache::Stats s = topology.tier_stats(t);
+    std::vector<std::uint64_t> current = counter_values(s);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (!previous[t].empty() && current[i] < previous[t][i]) {
+        topology_violation(index, "tier " + topology.tier_label(t) + " counter #" +
+                                      std::to_string(i) + " went backwards");
+      }
+    }
+    previous[t] = std::move(current);
+    if (s.stale_served > s.hits) {
+      topology_violation(index, "tier " + topology.tier_label(t) + ": stale_served exceeds hits");
+    }
+    if (s.failed_requests > s.upstream_failures + s.negative_hits) {
+      topology_violation(index, "tier " + topology.tier_label(t) +
+                                    ": more failed requests than upstream failures");
+    }
+    const std::uint64_t tier_capacity =
+        config.tiers[t].proxy.capacity_bytes * config.tiers[t].caches;
+    if (config.tiers[t].proxy.capacity_bytes > 0 &&
+        topology.tier_stored_bytes(t) > tier_capacity) {
+      topology_violation(index,
+                         "tier " + topology.tier_label(t) + " stored bytes exceed capacity");
+    }
+  }
+  // CacheTopology::audit covers every cache's core audit plus the per-cache
+  // GET accounting identity (hits + misses + failed == requests).
+  const AuditReport report = topology.audit();
+  if (!report.ok()) topology_violation(index, "topology audit failed\n" + report.to_string());
+  if (client.served + client.failed != index) {
+    topology_violation(index, "client accounting identity broken: served + failed != requests");
+  }
+}
+
+}  // namespace
+
+TopologyReplayResult replay_through_topology(RequestSource& source,
+                                             const TopologyReplayConfig& config) {
+  SynthOrigin origin;
+  TopologyConfig topology_config = config.topology;
+  if (config.obs != nullptr) topology_config.obs = config.obs;
+  CacheTopology topology{topology_config,
+                         [&origin](const HttpRequest& request, SimTime now) {
+                           return origin.handle(request, now);
+                         }};
+
+  TopologyReplayResult result;
+  std::vector<std::vector<std::uint64_t>> previous(topology.tier_count());
+  std::uint64_t index = 0;
+  Request request;
+  HttpRequest http;  // reused; no cache keeps a reference
+  while (source.next(request)) {
+    origin.set_next_size(request.size);
+    http.target.assign(source.names().url_name(request.url));
+    const HttpResponse response = topology.handle(http, request.time);
+    // The client boundary can see raw transport errors too (an edge link
+    // fault with every fallback exhausted), so classify like the resilience
+    // layer rather than matching only the proxy's 502/504.
+    const bool failed = is_upstream_failure(response);
+    const auto cache_header = response.headers.get("X-Cache");
+    const bool hit = !failed && cache_header && *cache_header == "HIT";
+    result.daily.record(request.time, hit, request.size);
+    if (hit) ++result.client_hits;
+    if (failed) {
+      ++result.availability.failed;
+    } else {
+      ++result.availability.served;
+    }
+    ++index;
+    if (config.check_interval != 0 && index % config.check_interval == 0) {
+      check_topology_invariants(topology, previous, index, result.availability,
+                                config.topology);
+    }
+  }
+  if (const auto error = source.stream_error()) {
+    throw std::runtime_error{"replay_through_topology: source failed mid-stream: " + *error};
+  }
+  check_topology_invariants(topology, previous, index, result.availability, config.topology);
+
+  result.tiers.reserve(topology.tier_count());
+  for (std::size_t t = 0; t < topology.tier_count(); ++t) {
+    TierReplayStats tier;
+    tier.label = topology.tier_label(t);
+    tier.stats = topology.tier_stats(t);
+    tier.stored_bytes = topology.tier_stored_bytes(t);
+    result.tiers.push_back(std::move(tier));
+  }
+  result.router = topology.router_stats();
+
+  if (config.obs != nullptr) {
+    // End-of-replay sync point: per-tier snapshots into the registry, the
+    // client daily curve into the "topology" series.
+    for (const TierReplayStats& tier : result.tiers) {
+      publish_tier_stats(config.obs->registry(), tier.label, tier.stats);
+    }
+    fill_series_from_daily(config.obs->series("topology"), result.daily, 0.0);
+    const std::int64_t days = result.daily.day_count();
+    if (days > 0) {
+      config.obs->spans().record_sim_span("replay_through_topology", day_start(0),
+                                          day_start(days));
+    }
+  }
+  return result;
+}
+
+TopologyChaosSweepResult run_topology_chaos_sweep(const std::string& workload,
+                                                  const Trace& trace,
+                                                  const TopologyChaosSweepConfig& config,
+                                                  ParallelRunner& runner) {
+  TopologyChaosSweepResult result;
+  result.workload = workload;
+  if (config.topology.tiers.empty()) {
+    throw std::invalid_argument{"run_topology_chaos_sweep: topology has no tiers"};
+  }
+
+  // Fault locations: tier labels plus the sentinel "origin" (index ==
+  // tier count). Defaults to every non-edge tier and the origin link —
+  // faulting the client's own access link is not a cache-containment
+  // question.
+  std::vector<std::string> locations = config.locations;
+  if (locations.empty()) {
+    for (std::size_t t = 1; t < config.topology.tiers.size(); ++t) {
+      locations.push_back(config.topology.tiers[t].label);
+    }
+    locations.push_back("origin");
+  }
+  const auto location_index = [&config](const std::string& location) -> std::size_t {
+    if (location == "origin") return config.topology.tiers.size();
+    for (std::size_t t = 0; t < config.topology.tiers.size(); ++t) {
+      if (config.topology.tiers[t].label == location) return t;
+    }
+    throw std::invalid_argument{"run_topology_chaos_sweep: unknown fault location " + location};
+  };
+  for (const std::string& location : locations) {
+    (void)location_index(location);  // validate before fanning out
+  }
+
+  // Cell grid: the shared zero-fault baseline first, then rate-major.
+  struct CellKey {
+    double rate = 0.0;
+    std::string location;
+  };
+  std::vector<CellKey> keys;
+  keys.push_back({0.0, std::string{}});
+  for (const double rate : config.fault_rates) {
+    if (rate <= 0.0) continue;  // the baseline cell already covers rate 0
+    for (const std::string& location : locations) {
+      keys.push_back({rate, location});
+    }
+  }
+
+  const auto replay = [&](const CellKey& key, bool with_caches) {
+    TopologyReplayConfig cell;
+    cell.topology = config.topology;
+    cell.topology.obs = nullptr;  // cells run concurrently: no shared recorder
+    if (!with_caches) {
+      // The cacheless twin: identical shape, labels, routing, faults and
+      // resilience — only the storage is gone.
+      for (TierConfig& tier : cell.topology.tiers) tier.proxy.capacity_bytes = 1;
+    }
+    if (key.rate > 0.0) {
+      const FaultSpec faults = FaultSpec::transient_mix(key.rate, config.fault_seed);
+      const std::size_t where = location_index(key.location);
+      if (where == cell.topology.tiers.size()) {
+        cell.topology.origin_link = faults;
+      } else {
+        cell.topology.tiers[where].downlink = faults;
+      }
+    }
+    cell.check_interval = config.check_interval;
+    TraceSource source{trace};
+    return replay_through_topology(source, cell);
+  };
+
+  // Fan every (cell, caches/cacheless) replay over the runner; gather in
+  // submission order so the sweep is bit-identical under any job count.
+  std::vector<TopologyReplayResult> replays =
+      runner.map(keys.size() * 2, [&](std::size_t i) {
+        const CellKey& key = keys[i / 2];
+        const bool with_caches = i % 2 == 0;
+        return [&replay, &key, with_caches] { return replay(key, with_caches); };
+      });
+
+  result.cells.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    TopologyChaosCell cell;
+    cell.fault_rate = keys[i].rate;
+    cell.location = keys[i].location;
+    cell.with_caches = std::move(replays[i * 2]);
+    cell.cacheless = std::move(replays[i * 2 + 1]);
+    result.cells.push_back(std::move(cell));
+  }
+
+  // Containment gates. Both twins replay the same trace, so the
+  // availability comparison reduces to exact integer failed counts.
+  const TopologyChaosCell& baseline = result.cells.front();
+  for (const TopologyChaosCell& cell : result.cells) {
+    if (cell.with_caches.availability.failed > cell.cacheless.availability.failed) {
+      std::ostringstream message;
+      message << "run_topology_chaos_sweep(" << workload << "): caches degraded availability at "
+              << (cell.location.empty() ? "baseline" : cell.location) << "@" << cell.fault_rate
+              << ": " << cell.with_caches.availability.failed << " failed vs "
+              << cell.cacheless.availability.failed << " cacheless";
+      throw std::runtime_error{message.str()};
+    }
+    if (cell.fault_rate <= 0.0) continue;
+    const std::size_t where = location_index(cell.location);
+    // A tier fault is routed *around* (sibling, deeper tier, origin), so
+    // nearer tiers keep filling and the tight containment coefficient
+    // applies. An origin fault has no route around — only stale-if-error
+    // softens it, and every tier's fills genuinely fail — so it gets the
+    // looser degradation coefficient (the flat sweep's contract).
+    const double per_fault = where >= config.topology.tiers.size()
+                                 ? config.origin_degradation_per_fault
+                                 : config.containment_per_fault;
+    for (std::size_t t = 0; t < where && t < baseline.with_caches.tiers.size(); ++t) {
+      const double base_rate = baseline.with_caches.tiers[t].hit_rate();
+      const double bound =
+          base_rate * (1.0 - config.containment_slack - cell.fault_rate * per_fault);
+      if (cell.with_caches.tiers[t].hit_rate() < bound) {
+        std::ostringstream message;
+        message << "run_topology_chaos_sweep(" << workload << "): fault at " << cell.location
+                << "@" << cell.fault_rate << " leaked past tier "
+                << cell.with_caches.tiers[t].label << ": hit rate "
+                << cell.with_caches.tiers[t].hit_rate() << " < " << bound << " (zero-fault "
+                << base_rate << ")";
+        throw std::runtime_error{message.str()};
+      }
+    }
+  }
+
+  if (config.obs != nullptr) {
+    // Deterministic post-gather recording, mirroring run_chaos_sweep.
+    for (const TopologyChaosCell& cell : result.cells) {
+      std::ostringstream prefix;
+      prefix << "topo/" << (cell.location.empty() ? "baseline" : cell.location) << "@"
+             << cell.fault_rate;
+      fill_series_from_daily(config.obs->series(prefix.str() + "/cache", "fault_rate"),
+                             cell.with_caches.daily, cell.fault_rate);
+      fill_series_from_daily(config.obs->series(prefix.str() + "/cacheless", "fault_rate"),
+                             cell.cacheless.daily, cell.fault_rate);
+    }
+    config.obs->registry()
+        .counter("wcs_topology_cells",
+                 "Topology chaos cells replayed (caches + cacheless pairs)")
+        .set(result.cells.size());
+    Event marker;
+    marker.kind = EventKind::kRunMarker;
+    marker.size = result.cells.size();
+    marker.detail = "run_topology_chaos_sweep:end";
+    config.obs->emit(marker);
+  }
+  return result;
+}
+
 }  // namespace wcs

@@ -27,6 +27,7 @@
 
 #include "src/proxy/faults.h"
 #include "src/proxy/proxy.h"
+#include "src/proxy/topology.h"
 #include "src/sim/runner.h"
 #include "src/sim/simulator.h"
 #include "src/trace/request_source.h"
@@ -134,5 +135,115 @@ struct ChaosSweepConfig {
 [[nodiscard]] ChaosSweepResult run_chaos_sweep(const std::string& workload, const Trace& trace,
                                                const ChaosSweepConfig& config = {},
                                                ParallelRunner& runner = ParallelRunner::shared());
+
+// ---------------------------------------------------------------------------
+// Networks of caches (src/proxy/topology.h) under chaos.
+
+/// One tier's end-of-replay accounting: sibling Stats summed plus bytes.
+struct TierReplayStats {
+  std::string label;
+  ProxyCache::Stats stats;
+  std::uint64_t stored_bytes = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return stats.requests == 0
+               ? 0.0
+               : static_cast<double>(stats.hits) / static_cast<double>(stats.requests);
+  }
+};
+
+/// One topology replay, accounted per tier and at the client boundary.
+struct TopologyReplayResult {
+  std::vector<TierReplayStats> tiers;  // edge first, matching the config
+  CacheTopology::RouterStats router;
+  DailySeries daily;                 // client-level hits (X-Cache: HIT) per day
+  AvailabilityStats availability;    // client-level served vs failed
+  std::uint64_t client_hits = 0;     // responses that carried X-Cache: HIT
+
+  [[nodiscard]] double client_hit_rate() const noexcept {
+    const std::uint64_t total = availability.served + availability.failed;
+    return total == 0 ? 0.0 : static_cast<double>(client_hits) / static_cast<double>(total);
+  }
+};
+
+struct TopologyReplayConfig {
+  TopologyConfig topology;
+  /// Run the invariant checks every N requests (and always at the end);
+  /// 0 checks at the end only.
+  std::uint64_t check_interval = 0;
+  /// Observability recorder; nullptr = disabled. Flows into every tier
+  /// cache; at the end-of-replay sync point each tier's merged stats
+  /// publish as wcs_tier_<label>_* (publish_tier_stats) and the client
+  /// daily curve fills the "topology" series. Single-replay only.
+  ObsRecorder* obs = nullptr;
+};
+
+/// Replay `source` through a CacheTopology backed by a SynthOrigin.
+/// Invariants checked per interval and at the end: every tier cache
+/// audit-clean, per-tier counters monotonic, the per-cache GET accounting
+/// identity (via CacheTopology::audit), and the client-level identity
+/// served + failed == requests. Throws std::runtime_error on violations.
+[[nodiscard]] TopologyReplayResult replay_through_topology(RequestSource& source,
+                                                           const TopologyReplayConfig& config);
+
+/// One sweep cell: `trace` replayed through the faulted topology and
+/// through its cacheless twin (same shape and resilience, 1-byte caches).
+struct TopologyChaosCell {
+  double fault_rate = 0.0;
+  /// Faulted tier label, "origin" for the last hop, "" for the zero-fault
+  /// baseline cell.
+  std::string location;
+  TopologyReplayResult with_caches;
+  TopologyReplayResult cacheless;
+};
+
+struct TopologyChaosSweepResult {
+  std::string workload;
+  /// Baseline (rate 0) first, then rate-major × location-minor grid order.
+  std::vector<TopologyChaosCell> cells;
+};
+
+struct TopologyChaosSweepConfig {
+  /// The fault-free base shape; per-cell fault locations override one
+  /// tier's downlink (or the origin link). Its obs pointer is ignored —
+  /// cells run concurrently and must not share a recorder.
+  TopologyConfig topology;
+  std::vector<double> fault_rates = {0.05, 0.25};
+  /// Fault locations: tier labels and/or "origin". Empty = every tier but
+  /// the edge (tier 0), plus "origin".
+  std::vector<std::string> locations;
+  std::uint64_t fault_seed = 0x5eed0f57ULL;
+  std::uint64_t check_interval = 4096;
+  /// Containment bound, asserted for every tier strictly nearer the client
+  /// than the faulted one: tier hit_rate >= baseline tier hit_rate *
+  /// (1 - containment_slack - fault_rate * per_fault), where baseline is
+  /// the zero-fault cell. For a fault at a *tier*, per_fault is
+  /// containment_per_fault and failover is what makes the tight bound
+  /// hold: a nearer tier's miss-fill reroutes around the faulted tier
+  /// (sibling, deeper tier, origin) instead of failing, so its own hit
+  /// stream barely moves. A fault at the *origin* has no route around —
+  /// fills genuinely fail everywhere and only stale-if-error softens it —
+  /// so those cells use origin_degradation_per_fault, the flat chaos
+  /// sweep's degradation contract.
+  double containment_per_fault = 0.5;
+  double origin_degradation_per_fault = 2.0;
+  double containment_slack = 0.05;
+  /// Sweep-level recorder; nullptr = disabled. Cells replay without
+  /// per-request recording; after the submission-order gather each cell's
+  /// client daily curve is written as "topo/<location>@<rate>/{cache,
+  /// cacheless}" series annotated with the fault rate.
+  ObsRecorder* obs = nullptr;
+};
+
+/// Replay `trace` through the topology under every fault-rate ×
+/// fault-location cell, fanning (cell × {caches, cacheless}) replays over
+/// `runner` with a deterministic submission-order gather — bit-identical
+/// for any WCS_JOBS. Asserts (throws std::runtime_error) per cell: all
+/// replay invariants, end-to-end availability with caches >= the cacheless
+/// twin (exact integer comparison of failed counts), and the containment
+/// bound for every tier nearer the client than the faulted location.
+[[nodiscard]] TopologyChaosSweepResult run_topology_chaos_sweep(
+    const std::string& workload, const Trace& trace, const TopologyChaosSweepConfig& config,
+    ParallelRunner& runner = ParallelRunner::shared());
 
 }  // namespace wcs

@@ -40,8 +40,21 @@ std::vector<CounterRow> proxy_stats_rows(const ProxyCache::Stats& stats) {
       {"stale_served", stats.stale_served},
       {"negative_hits", stats.negative_hits},
       {"failed_requests", stats.failed_requests},
+      {"breaker_open_hosts", stats.breaker_open_hosts},
+      {"negative_cache_entries", stats.negative_cache_entries},
   };
 }
+
+namespace {
+
+/// Rows of proxy_stats_rows that are gauges, not counters: they can move in
+/// both directions, so they publish as registry gauges and stay out of
+/// every monotonicity check.
+[[nodiscard]] bool is_proxy_gauge_row(std::string_view name) noexcept {
+  return name == "breaker_open_hosts" || name == "negative_cache_entries";
+}
+
+}  // namespace
 
 void publish_stats(MetricRegistry& registry, const CacheStats& stats) {
   for (const CounterRow& row : stats_rows(stats)) {
@@ -52,10 +65,32 @@ void publish_stats(MetricRegistry& registry, const CacheStats& stats) {
 
 void publish_proxy_stats(MetricRegistry& registry, const ProxyCache::Stats& stats) {
   for (const CounterRow& row : proxy_stats_rows(stats)) {
-    registry
-        .counter("wcs_proxy_" + std::string{row.name}, "ProxyCache::Stats snapshot counter")
-        .set(row.value);
+    if (is_proxy_gauge_row(row.name)) {
+      registry
+          .gauge("wcs_proxy_" + std::string{row.name}, "ProxyCache::Stats snapshot gauge")
+          .set(static_cast<std::int64_t>(row.value));
+    } else {
+      registry
+          .counter("wcs_proxy_" + std::string{row.name}, "ProxyCache::Stats snapshot counter")
+          .set(row.value);
+    }
   }
+}
+
+void publish_tier_stats(MetricRegistry& registry, std::string_view tier_label,
+                        const ProxyCache::Stats& stats) {
+  const std::string prefix = "wcs_tier_" + std::string{tier_label} + "_";
+  for (const CounterRow& row : proxy_stats_rows(stats)) {
+    if (is_proxy_gauge_row(row.name)) {
+      registry.gauge(prefix + std::string{row.name}, "Topology tier snapshot gauge")
+          .set(static_cast<std::int64_t>(row.value));
+    } else {
+      registry.counter(prefix + std::string{row.name}, "Topology tier snapshot counter")
+          .set(row.value);
+    }
+  }
+  registry.gauge(prefix + "availability_ppm", "Tier availability, parts per million")
+      .set(static_cast<std::int64_t>(stats.availability() * 1e6 + 0.5));
 }
 
 DailySeries::DayTotals DailySeries::totals_of_day(std::int64_t day) const noexcept {

@@ -44,8 +44,17 @@ struct CounterRow {
 void publish_stats(MetricRegistry& registry, const CacheStats& stats);
 
 /// Publish a ProxyCache::Stats snapshot as wcs_proxy_* counters (same
-/// snapshot semantics as publish_stats).
+/// snapshot semantics as publish_stats). The resilience gauges —
+/// breaker_open_hosts, negative_cache_entries — publish as registry
+/// *gauges*, since they move in both directions.
 void publish_proxy_stats(MetricRegistry& registry, const ProxyCache::Stats& stats);
+
+/// Publish one topology tier's merged Stats snapshot as
+/// wcs_tier_<label>_* counters/gauges, plus a wcs_tier_<label>_availability_ppm
+/// gauge (availability in parts per million — the registry stores integers).
+/// Per-tier twin of publish_proxy_stats for networks of caches.
+void publish_tier_stats(MetricRegistry& registry, std::string_view tier_label,
+                        const ProxyCache::Stats& stats);
 
 class DailySeries {
  public:

@@ -19,7 +19,9 @@
 #include "src/proxy/proxy.h"
 #include "src/proxy/resilience.h"
 #include "src/sim/chaos.h"
+#include "src/trace/intern.h"
 #include "src/util/backoff.h"
+#include "src/util/rng.h"
 #include "src/workload/generator.h"
 
 namespace wcs {
@@ -143,6 +145,85 @@ TEST(FaultPlan, OutagePersistsAcrossAttempts) {
   for (std::uint32_t attempt = 0; attempt < 5; ++attempt) {
     EXPECT_EQ(plan.decide("http://h.example/a", 100, attempt), FaultKind::kOutage);
   }
+}
+
+/// A verbatim replica of the pre-label decision hash, with the salts pinned
+/// as literals. EmptyLabelPreservesLegacySchedule replays it against the
+/// production decide(): if the chain, its order, or either salt ever
+/// changes, that test fails — which is the point, because an unlabelled
+/// FaultPlan promises the pre-label schedules bit-for-bit.
+FaultKind legacy_decide(const FaultSpec& spec, std::string_view url, SimTime now,
+                        std::uint32_t attempt) {
+  constexpr std::uint64_t kLegacyOutageSalt = 0x007a6e5a17c0ffeeULL;
+  constexpr std::uint64_t kLegacyTransientSalt = 0x7a151e47deadbeefULL;
+  if (!spec.enabled()) return FaultKind::kNone;
+  const std::uint64_t host = fnv1a64(url_server(url));
+  if (spec.outage > 0.0 && spec.outage_window > 0) {
+    SimTime window = now / spec.outage_window;
+    if (now % spec.outage_window < 0) --window;
+    std::uint64_t h = mix64(spec.seed ^ kLegacyOutageSalt);
+    h = mix64(h ^ host);
+    h = mix64(h ^ static_cast<std::uint64_t>(window));
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 < spec.outage) return FaultKind::kOutage;
+  }
+  if (spec.transient_sum() <= 0.0) return FaultKind::kNone;
+  std::uint64_t h = mix64(spec.seed ^ kLegacyTransientSalt);
+  h = mix64(h ^ host);
+  h = mix64(h ^ static_cast<std::uint64_t>(now));
+  h = mix64(h ^ attempt);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  double edge = spec.timeout;
+  if (u < edge) return FaultKind::kTimeout;
+  edge += spec.server_error;
+  if (u < edge) return FaultKind::kServerError;
+  edge += spec.reset;
+  if (u < edge) return FaultKind::kReset;
+  edge += spec.slow;
+  if (u < edge) return FaultKind::kSlow;
+  edge += spec.truncated;
+  if (u < edge) return FaultKind::kTruncated;
+  return FaultKind::kNone;
+}
+
+TEST(FaultPlan, EmptyLabelPreservesLegacySchedule) {
+  const FaultSpec spec = FaultSpec::transient_mix(0.40, 77);
+  ASSERT_TRUE(spec.label.empty());
+  const FaultPlan plan{spec};
+  const char* urls[] = {"http://h1.example/x", "http://h2.example/y", "http://h3.example/z"};
+  for (const char* url : urls) {
+    for (SimTime now = 0; now < 8000; now += 41) {
+      for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+        ASSERT_EQ(plan.decide(url, now, attempt), legacy_decide(spec, url, now, attempt))
+            << url << " t=" << now << " a=" << attempt;
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, LabelsDecorrelateSchedules) {
+  const FaultSpec spec = FaultSpec::transient_mix(0.40, 77);
+  const FaultPlan unlabelled{spec};
+  const FaultPlan left{spec.with_label("regional[0]")};
+  const FaultPlan left_again{spec.with_label("regional[0]")};
+  const FaultPlan right{spec.with_label("regional[1]")};
+
+  const char* urls[] = {"http://h1.example/x", "http://h2.example/y"};
+  int left_vs_right = 0;
+  int left_vs_unlabelled = 0;
+  for (const char* url : urls) {
+    for (SimTime now = 0; now < 8000; now += 41) {
+      for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+        const FaultKind kl = left.decide(url, now, attempt);
+        // The label is part of the schedule's identity, not hidden state:
+        // two plans with the same (seed, label) agree everywhere.
+        ASSERT_EQ(kl, left_again.decide(url, now, attempt));
+        if (kl != right.decide(url, now, attempt)) ++left_vs_right;
+        if (kl != unlabelled.decide(url, now, attempt)) ++left_vs_unlabelled;
+      }
+    }
+  }
+  EXPECT_GT(left_vs_right, 0) << "sibling links must draw independent schedules";
+  EXPECT_GT(left_vs_unlabelled, 0) << "a labelled plan must not alias the legacy schedule";
 }
 
 TEST(FaultPlan, FailureClassification) {

@@ -1,0 +1,452 @@
+// Networks of caches (DESIGN.md §14): the multi-tier CacheTopology and its
+// chaos sweep.
+//   * config validation and deterministic URL-hash routing;
+//   * hierarchy semantics — a miss fills through every tier, a stale edge
+//     copy revalidates against the regional copy (304 across tiers);
+//   * failover — a dead link inside one tier reroutes to a sibling with an
+//     independent fault schedule, a dead tier is skipped to the origin;
+//   * stale-if-error across tiers — a stale edge copy masks a full
+//     upstream outage, Warning: 111 reaches the client exactly once, and
+//     nothing fabricates a body;
+//   * the resilience gauges (breaker_open_hosts, negative_cache_entries);
+//   * the acceptance sweep — run_topology_chaos_sweep is bit-identical
+//     across ParallelRunner job counts and, on every preset × fault
+//     location, keeps availability at or above the cacheless twin and the
+//     hit rate of tiers nearer than the fault within the containment bound
+//     (both asserted inside the sweep, re-checked here).
+#include "src/proxy/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/proxy/origin.h"
+#include "src/sim/chaos.h"
+#include "src/sim/runner.h"
+#include "src/workload/generator.h"
+
+namespace wcs {
+namespace {
+
+constexpr const char* kPresets[] = {"U", "G", "C", "BR", "BL"};
+
+/// Presets at test scale, generated once per binary run (tests run
+/// sequentially in one thread).
+const Trace& preset_trace(const std::string& name) {
+  static auto* traces = new std::map<std::string, Trace>;
+  auto it = traces->find(name);
+  if (it == traces->end()) {
+    WorkloadGenerator generator{WorkloadSpec::preset(name).scaled(0.02)};
+    it = traces->emplace(name, std::move(generator.generate().trace)).first;
+  }
+  return it->second;
+}
+
+HttpRequest get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return request;
+}
+
+/// An upstream that answers 503 while `failing`, else defers to `origin`.
+struct ToggleOrigin {
+  OriginServer origin{"srv.example"};
+  bool failing = false;
+
+  UpstreamFn fn() {
+    return [this](const HttpRequest& request, SimTime now) {
+      if (failing) {
+        HttpResponse response;
+        response.status = 503;
+        response.reason = "Service Unavailable";
+        return response;
+      }
+      return origin.handle(request, now);
+    };
+  }
+};
+
+TierConfig tier(const std::string& label, std::uint32_t caches,
+                std::uint64_t capacity_bytes, SimTime revalidate_after = 100) {
+  TierConfig out;
+  out.label = label;
+  out.caches = caches;
+  out.proxy.capacity_bytes = capacity_bytes;
+  out.proxy.revalidate_after = revalidate_after;
+  return out;
+}
+
+/// The acceptance shape: 4 edge siblings, 2 regional, 1 parent.
+TopologyConfig three_tiers() {
+  TopologyConfig config;
+  config.tiers = {tier("edge", 4, 512ULL << 10), tier("regional", 2, 1ULL << 20),
+                  tier("parent", 1, 2ULL << 20)};
+  return config;
+}
+
+void expect_topology_replays_identical(const TopologyReplayResult& a,
+                                       const TopologyReplayResult& b) {
+  ASSERT_EQ(a.tiers.size(), b.tiers.size());
+  for (std::size_t t = 0; t < a.tiers.size(); ++t) {
+    EXPECT_EQ(a.tiers[t].label, b.tiers[t].label);
+    EXPECT_EQ(a.tiers[t].stats.requests, b.tiers[t].stats.requests) << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stats.hits, b.tiers[t].stats.hits) << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stats.misses, b.tiers[t].stats.misses) << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stats.validations, b.tiers[t].stats.validations) << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stats.upstream_failures, b.tiers[t].stats.upstream_failures)
+        << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stats.retries, b.tiers[t].stats.retries) << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stats.breaker_opens, b.tiers[t].stats.breaker_opens)
+        << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stats.stale_served, b.tiers[t].stats.stale_served)
+        << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stats.failed_requests, b.tiers[t].stats.failed_requests)
+        << a.tiers[t].label;
+    EXPECT_EQ(a.tiers[t].stored_bytes, b.tiers[t].stored_bytes) << a.tiers[t].label;
+  }
+  EXPECT_EQ(a.router.link_failures, b.router.link_failures);
+  EXPECT_EQ(a.router.sibling_failovers, b.router.sibling_failovers);
+  EXPECT_EQ(a.router.tier_skips, b.router.tier_skips);
+  EXPECT_EQ(a.router.origin_fetches, b.router.origin_fetches);
+  EXPECT_EQ(a.availability.served, b.availability.served);
+  EXPECT_EQ(a.availability.failed, b.availability.failed);
+  EXPECT_EQ(a.client_hits, b.client_hits);
+  EXPECT_EQ(a.daily.overall_hr(), b.daily.overall_hr());
+}
+
+// ---- construction and routing ---------------------------------------------
+
+TEST(Topology, ValidatesConfiguration) {
+  ToggleOrigin origin;
+  TopologyConfig empty;
+  EXPECT_THROW(CacheTopology(empty, origin.fn()), std::invalid_argument);
+
+  TopologyConfig zero_caches;
+  zero_caches.tiers = {tier("edge", 0, 1 << 20)};
+  EXPECT_THROW(CacheTopology(zero_caches, origin.fn()), std::invalid_argument);
+
+  TopologyConfig duplicate;
+  duplicate.tiers = {tier("edge", 1, 1 << 20), tier("edge", 1, 1 << 20)};
+  EXPECT_THROW(CacheTopology(duplicate, origin.fn()), std::invalid_argument);
+
+  TopologyConfig unnamed;
+  unnamed.tiers = {tier("", 1, 1 << 20)};
+  EXPECT_THROW(CacheTopology(unnamed, origin.fn()), std::invalid_argument);
+
+  TopologyConfig valid = three_tiers();
+  EXPECT_THROW(CacheTopology(valid, nullptr), std::invalid_argument);
+  CacheTopology topology{valid, origin.fn()};
+  EXPECT_EQ(topology.tier_count(), 3u);
+  EXPECT_EQ(topology.tier_size(0), 4u);
+  EXPECT_EQ(topology.tier_label(1), "regional");
+  EXPECT_EQ(topology.total_capacity_bytes(),
+            4 * (512ULL << 10) + 2 * (1ULL << 20) + (2ULL << 20));
+}
+
+TEST(Topology, RoutingIsDeterministicAndSpreadsSiblings) {
+  ToggleOrigin origin;
+  CacheTopology topology{three_tiers(), origin.fn()};
+  bool spread = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::string url = "http://h" + std::to_string(i) + ".example/a.html";
+    const std::size_t pick = topology.route(0, url);
+    EXPECT_EQ(pick, topology.route(0, url));  // stable
+    EXPECT_LT(pick, topology.tier_size(0));
+    if (pick != topology.route(0, "http://h0.example/a.html")) spread = true;
+  }
+  EXPECT_TRUE(spread);  // 64 URLs over 4 siblings cannot all collide
+}
+
+TEST(Topology, ServesThroughEveryTierAndHitsAtTheEdge) {
+  ToggleOrigin origin;
+  origin.origin.put("/a.html", "document body", 10);
+  TopologyConfig config;
+  config.tiers = {tier("edge", 2, 1 << 20), tier("regional", 1, 1 << 20)};
+  CacheTopology topology{config, origin.fn()};
+  const std::string url = "http://srv.example/a.html";
+
+  const HttpResponse first = topology.handle(get(url), 100);
+  ASSERT_EQ(first.status, 200);
+  EXPECT_EQ(first.body, "document body");
+  EXPECT_EQ(first.headers.get("X-Cache"), "MISS");  // the edge's verdict
+  // The miss filled through both tiers to the origin exactly once.
+  EXPECT_EQ(topology.tier_stats(0).misses, 1u);
+  EXPECT_EQ(topology.tier_stats(1).misses, 1u);
+  EXPECT_EQ(topology.router_stats().origin_fetches, 1u);
+
+  const HttpResponse second = topology.handle(get(url), 110);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(second.headers.get("X-Cache"), "HIT");
+  EXPECT_EQ(topology.tier_stats(0).hits, 1u);
+  EXPECT_EQ(topology.tier_stats(1).requests, 1u);  // the hit never left the edge
+  EXPECT_TRUE(topology.audit().ok());
+}
+
+TEST(Topology, StaleEdgeCopyRevalidatesAgainstRegionalCopy) {
+  ToggleOrigin origin;
+  origin.origin.put("/a.html", "document body", 10);
+  TopologyConfig config;
+  // Edge copies go stale quickly; the regional copy stays fresh far longer.
+  config.tiers = {tier("edge", 1, 1 << 20, /*revalidate_after=*/50),
+                  tier("regional", 1, 1 << 20, /*revalidate_after=*/100000)};
+  CacheTopology topology{config, origin.fn()};
+  const std::string url = "http://srv.example/a.html";
+
+  (void)topology.handle(get(url), 100);
+  const HttpResponse revalidated = topology.handle(get(url), 100 + 60);
+  ASSERT_EQ(revalidated.status, 200);
+  EXPECT_EQ(revalidated.headers.get("X-Cache"), "HIT");
+  const ProxyCache::Stats edge = topology.tier_stats(0);
+  EXPECT_EQ(edge.validations, 1u);
+  EXPECT_EQ(edge.validated_fresh, 1u);  // the regional copy answered 304
+  // The conditional GET was absorbed by the regional tier; the origin saw
+  // only the initial fill.
+  EXPECT_EQ(topology.router_stats().origin_fetches, 1u);
+}
+
+// ---- failover -------------------------------------------------------------
+
+TEST(Topology, DeadTierIsSkippedToTheOrigin) {
+  ToggleOrigin origin;
+  origin.origin.put("/a.html", "document body", 10);
+  TopologyConfig config;
+  config.tiers = {tier("edge", 1, 1 << 20), tier("regional", 1, 1 << 20)};
+  config.tiers[1].downlink.outage = 1.0;  // the regional link is always down
+  CacheTopology topology{config, origin.fn()};
+  const std::string url = "http://srv.example/a.html";
+
+  const HttpResponse response = topology.handle(get(url), 100);
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "document body");
+  // The router failed on the regional link, skipped the tier, and filled
+  // from the origin — transparently to the edge's availability.
+  EXPECT_GE(topology.router_stats().link_failures, 1u);
+  EXPECT_GE(topology.router_stats().tier_skips, 1u);
+  EXPECT_EQ(topology.router_stats().origin_fetches, 1u);
+  EXPECT_EQ(topology.tier_stats(1).requests, 0u);  // the link died before the cache
+  EXPECT_EQ(topology.tier_stats(0).failed_requests, 0u);
+
+  const HttpResponse hit = topology.handle(get(url), 110);
+  EXPECT_EQ(hit.headers.get("X-Cache"), "HIT");  // the edge copy still landed
+}
+
+TEST(Topology, SiblingFailoverUsesIndependentLinkSchedules) {
+  ToggleOrigin origin;
+  origin.origin.put("/a.html", "document body", 10);
+  TopologyConfig config;
+  config.tiers = {tier("edge", 1, 1 << 20), tier("regional", 2, 1 << 20)};
+  config.tiers[1].downlink.outage = 0.5;
+  config.tiers[1].downlink.outage_window = 100;
+  CacheTopology topology{config, origin.fn()};
+  const std::string url = "http://srv.example/a.html";
+
+  // The labelled plans ("regional[0]", "regional[1]") draw independent
+  // schedules, so somewhere the primary link is down while its sibling is
+  // up — exactly the window where sibling failover must carry the request.
+  const std::size_t primary = topology.route(1, url);
+  const std::size_t sibling = 1 - primary;
+  SimTime when = -1;
+  bool decorrelated = false;
+  for (SimTime t = 50; t < 100 * 1000; t += 100) {
+    const FaultKind on_primary = topology.link_plan(1, primary).decide(url, t, 0);
+    const FaultKind on_sibling = topology.link_plan(1, sibling).decide(url, t, 0);
+    if (on_primary != on_sibling) decorrelated = true;
+    if (when < 0 && on_primary == FaultKind::kOutage && on_sibling == FaultKind::kNone) {
+      when = t;
+    }
+  }
+  EXPECT_TRUE(decorrelated);
+  ASSERT_GE(when, 0) << "no window with primary down and sibling up in 1000 tries";
+
+  const HttpResponse response = topology.handle(get(url), when);
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "document body");
+  EXPECT_GE(topology.router_stats().sibling_failovers, 1u);
+  // The sibling regional cache took the request; the primary never saw it.
+  EXPECT_EQ(topology.tier_stats(1).requests, 1u);
+  EXPECT_EQ(topology.cache_at(1, sibling).stats().requests, 1u);
+  EXPECT_EQ(topology.cache_at(1, primary).stats().requests, 0u);
+}
+
+// ---- stale-if-error across tiers ------------------------------------------
+
+TEST(TopologyStaleIfError, StaleEdgeCopyMasksRegionalOutage) {
+  ToggleOrigin origin;
+  origin.origin.put("/a.html", "document body", 10);
+  TopologyConfig config;
+  config.tiers = {tier("edge", 1, 1 << 20, /*revalidate_after=*/50),
+                  tier("regional", 1, 1 << 20, /*revalidate_after=*/50)};
+  config.tiers[1].downlink.outage = 1.0;  // the regional tier is out for good
+  CacheTopology topology{config, origin.fn()};
+  const std::string url = "http://srv.example/a.html";
+
+  // Priming already rides the failover: regional is unreachable, the fill
+  // comes straight from the origin.
+  const HttpResponse primed = topology.handle(get(url), 100);
+  ASSERT_EQ(primed.status, 200);
+
+  // Now the origin errors too: the edge's whole upstream world is dark,
+  // and its stale copy is the only honest 200 left.
+  origin.failing = true;
+  const HttpResponse stale = topology.handle(get(url), 100 + 60);
+  ASSERT_EQ(stale.status, 200);
+  EXPECT_EQ(stale.body, "document body");
+  EXPECT_EQ(stale.headers.get("X-Cache"), "HIT");
+  int warnings = 0;
+  for (const auto& header : stale.headers.all()) {
+    if (header.name == "Warning") ++warnings;
+  }
+  EXPECT_EQ(warnings, 1);  // exactly once, not duplicated per tier
+  EXPECT_NE(stale.headers.get("Warning")->find("111"), std::string::npos);
+  EXPECT_EQ(topology.tier_stats(0).stale_served, 1u);
+  EXPECT_EQ(topology.tier_stats(0).failed_requests, 0u);
+
+  // No copy, no fabrication: an uncached URL surfaces the failure (the
+  // origin's 503 passed through, or a synthesized 502/504) with an empty
+  // body.
+  const HttpResponse failed = topology.handle(get("http://srv.example/b.html"), 100 + 61);
+  EXPECT_TRUE(is_upstream_failure(failed)) << failed.status;
+  EXPECT_TRUE(failed.body.empty());
+  EXPECT_EQ(topology.tier_stats(0).failed_requests, 1u);
+}
+
+TEST(TopologyStaleIfError, RegionalWarningReachesTheClientExactlyOnce) {
+  ToggleOrigin origin;
+  origin.origin.put("/a.html", "document body", 10);
+  TopologyConfig config;
+  // A storage-less edge: every request passes through to the regional
+  // tier, so the client sees the regional tier's stale-if-error answer.
+  config.tiers = {tier("edge", 1, /*capacity_bytes=*/1, /*revalidate_after=*/50),
+                  tier("regional", 1, 1 << 20, /*revalidate_after=*/50)};
+  CacheTopology topology{config, origin.fn()};
+  const std::string url = "http://srv.example/a.html";
+
+  (void)topology.handle(get(url), 100);  // primes the regional copy only
+  origin.failing = true;
+  const HttpResponse masked = topology.handle(get(url), 100 + 60);
+  ASSERT_EQ(masked.status, 200);
+  EXPECT_EQ(masked.body, "document body");
+  int warnings = 0;
+  for (const auto& header : masked.headers.all()) {
+    if (header.name == "Warning") ++warnings;
+  }
+  EXPECT_EQ(warnings, 1);  // the regional Warning passes the edge untouched
+  EXPECT_EQ(topology.tier_stats(1).stale_served, 1u);
+  EXPECT_EQ(topology.tier_stats(0).stale_served, 0u);
+  // The client still counts this as answered: nothing fabricated, nothing
+  // failed.
+  EXPECT_EQ(topology.tier_stats(0).failed_requests, 0u);
+}
+
+// ---- resilience gauges ----------------------------------------------------
+
+TEST(Topology, ResilienceGaugesTrackBreakerAndNegativeCache) {
+  ToggleOrigin origin;
+  origin.origin.put("/a.html", "document body", 10);
+  origin.failing = true;
+  TopologyConfig config;
+  config.tiers = {tier("edge", 1, 1 << 20)};
+  config.tiers[0].proxy.resilience.retry.max_attempts = 1;
+  config.tiers[0].proxy.resilience.breaker.failure_threshold = 3;
+  config.tiers[0].proxy.resilience.breaker.open_duration = 30;
+  config.tiers[0].proxy.resilience.breaker.half_open_successes = 1;
+  config.tiers[0].proxy.resilience.negative.ttl = 5;
+  CacheTopology topology{config, origin.fn()};
+  // Distinct URLs on one host: the breaker counts per-host consecutive
+  // failures, while the negative cache keys per URL (a repeat of the same
+  // URL would fail locally without ever reaching the breaker).
+  const std::vector<std::string> urls = {"http://srv.example/a.html",
+                                         "http://srv.example/b.html",
+                                         "http://srv.example/c.html"};
+
+  SimTime now = 100;
+  for (const std::string& url : urls) (void)topology.handle(get(url), now++);
+  ProxyCache::Stats stats = topology.tier_stats(0);
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.breaker_open_hosts, 1u);  // gauge: the host is open now
+  EXPECT_EQ(stats.negative_cache_entries, 3u);
+
+  // Recovery: past the open window the half-open probe succeeds and the
+  // breaker closes; each revisit finds its negative entry expired and
+  // drops it, so both gauges return to zero.
+  origin.failing = false;
+  now += 40;
+  for (const std::string& url : urls) (void)topology.handle(get(url), now++);
+  stats = topology.tier_stats(0);
+  EXPECT_EQ(stats.breaker_open_hosts, 0u);
+  EXPECT_EQ(stats.negative_cache_entries, 0u);
+}
+
+// ---- the chaos acceptance sweep -------------------------------------------
+
+TEST(TopologyChaos, SweepIsBitIdenticalAcrossJobCounts) {
+  const Trace& trace = preset_trace("BR");
+  TopologyChaosSweepConfig config;
+  config.topology = three_tiers();
+  config.fault_rates = {0.2};
+  config.check_interval = 0;  // end-of-run checks only; speed
+
+  ParallelRunner serial{1};
+  ParallelRunner wide{8};
+  const TopologyChaosSweepResult a = run_topology_chaos_sweep("BR", trace, config, serial);
+  const TopologyChaosSweepResult b = run_topology_chaos_sweep("BR", trace, config, wide);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  ASSERT_EQ(a.cells.size(), 4u);  // baseline + {regional, parent, origin}
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].location, b.cells[i].location);
+    EXPECT_EQ(a.cells[i].fault_rate, b.cells[i].fault_rate);
+    expect_topology_replays_identical(a.cells[i].with_caches, b.cells[i].with_caches);
+    expect_topology_replays_identical(a.cells[i].cacheless, b.cells[i].cacheless);
+  }
+}
+
+TEST(TopologyChaos, ContainmentHoldsOnEveryPresetAndLocation) {
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const Trace& trace = preset_trace(preset);
+    TopologyChaosSweepConfig config;
+    config.topology = three_tiers();
+    config.fault_rates = {0.10};
+    config.check_interval = 2048;
+
+    // The sweep itself throws on any invariant, availability, or
+    // containment violation — per tier audit, accounting identity,
+    // caches >= cacheless, nearer-tier hit rates within the bound.
+    const TopologyChaosSweepResult sweep = run_topology_chaos_sweep(preset, trace, config);
+    ASSERT_EQ(sweep.cells.size(), 4u);
+
+    const TopologyChaosCell& baseline = sweep.cells.front();
+    EXPECT_EQ(baseline.with_caches.availability.failed, 0u);
+    EXPECT_GT(baseline.with_caches.client_hits, 0u);
+    for (std::size_t i = 1; i < sweep.cells.size(); ++i) {
+      const TopologyChaosCell& cell = sweep.cells[i];
+      // Faults really happened somewhere in the network...
+      std::uint64_t upstream_failures = 0;
+      for (const TierReplayStats& tier_stats : cell.with_caches.tiers) {
+        upstream_failures += tier_stats.stats.upstream_failures;
+      }
+      const bool routed_around = cell.with_caches.router.link_failures > 0;
+      EXPECT_TRUE(upstream_failures > 0 || routed_around) << cell.location;
+      // ...and the cached network answered at least as often as the twin.
+      EXPECT_GE(cell.with_caches.availability.availability(),
+                cell.cacheless.availability.availability())
+          << cell.location;
+    }
+  }
+}
+
+TEST(TopologyChaos, RejectsUnknownFaultLocation) {
+  const Trace& trace = preset_trace("U");
+  TopologyChaosSweepConfig config;
+  config.topology = three_tiers();
+  config.fault_rates = {0.1};
+  config.locations = {"backbone"};
+  EXPECT_THROW((void)run_topology_chaos_sweep("U", trace, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcs

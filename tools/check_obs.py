@@ -36,6 +36,9 @@ EVENT_KINDS = {
 SERIES_HEADER = ("series,day,requests,hits,hit_rate,bytes,hit_bytes,"
                  "byte_hit_rate,annotation_label,annotation")
 
+RESILIENCE_GAUGES = ("wcs_proxy_breaker_open_hosts",
+                     "wcs_proxy_negative_cache_entries")
+
 problems: list[str] = []
 
 
@@ -153,6 +156,15 @@ def check_metrics_prom(path: Path) -> None:
             problem(path, f"histogram {metric}: missing +Inf bucket")
         if buckets and metric in counts and buckets[-1][0] != counts[metric]:
             problem(path, f"histogram {metric}: +Inf bucket != _count")
+    # The resilience occupancy gauges ride along with every proxy stats
+    # snapshot: wherever wcs_proxy_* metrics appear, both must be present
+    # and typed gauge (they move in both directions, unlike the counters).
+    if any(name.startswith("wcs_proxy_") for name in typed):
+        for gauge in RESILIENCE_GAUGES:
+            if gauge not in typed:
+                problem(path, f"missing resilience gauge {gauge}")
+            elif typed[gauge] != "gauge":
+                problem(path, f"{gauge}: TYPE {typed[gauge]}, expected gauge")
 
 
 def check_series_csv(path: Path) -> None:

@@ -35,6 +35,9 @@ Floors/ceilings understood:
   streaming.max_resident_fraction      ceiling, no tolerance
   faults.max_overhead_ratio            ceiling, tolerance applied
   obs.max_overhead_ratio               ceiling, tolerance applied
+  topology.max_overhead_ratio          ceiling, tolerance applied: a 3-tier
+                                       fault-free topology vs one flat proxy
+                                       of equal total capacity
 
 ``--report`` writes a machine-readable JSON summary of every check — value,
 floor, limit, status — plus a ``skipped`` list carrying the reason for any
@@ -175,8 +178,10 @@ def main() -> int:
     # --tolerance slack applies multiplicatively on top of the cap.
     # The obs gate is the same contract for the observability recorder:
     # attaching one to the proxy replay must stay within max_overhead_ratio
-    # of the default null-recorder path.
-    for section in ("faults", "obs"):
+    # of the default null-recorder path. The topology gate likewise bounds
+    # what the routing/failover ladder may cost: a fault-free multi-tier
+    # topology vs a single flat proxy of equal total capacity.
+    for section in ("faults", "obs", "topology"):
         cap_value = baseline.get(section, {}).get("max_overhead_ratio")
         if cap_value is None or section not in measured:
             continue

@@ -138,6 +138,8 @@ def main() -> int:
             "complete span without 'dur'",
             "no 'M' records",
             "has no TYPE header",
+            "missing resilience gauge wcs_proxy_negative_cache_entries",
+            "wcs_proxy_breaker_open_hosts: TYPE counter, expected gauge",
             "hits > requests"])
     expect("obs usage error", "check_obs.py", [], 2)
 
