@@ -38,6 +38,16 @@
 //      thread-count-invariance contract from DESIGN.md §13).
 //      tools/check_perf.py gates speedup_at_4_threads >= 1.8x when the
 //      runner has >= 4 hardware threads (annotated skip otherwise).
+//   7. topology: the routing ladder's warm all-hit overhead — a 3-tier
+//      CacheTopology vs one flat proxy of equal total capacity, hit counts
+//      cross-checked. tools/check_perf.py gates the ratio at <= 3%.
+//   8. zoo: the modern-policy throughput leg — GDSF, SLRU and W-TinyLFU on
+//      the BR preset at 10% of MaxNeeded. GDSF and SLRU are cross-checked
+//      bit-for-bit against naive node-based references (a std::set of
+//      (H, tag, url) tuples; two std::lists of iterators) before timing;
+//      W-TinyLFU has no classical counterpart, so its check is a two-run
+//      bit-identity pass plus a periodically audited run.
+//      tools/check_perf.py gates each row's absolute throughput.
 //
 // Results print as a table and are written as JSON (default
 // BENCH_perf.json; override with argv[1] or WCS_BENCH_OUT) so CI can
@@ -57,11 +67,16 @@
 #include <set>
 #include <sstream>
 
+#include <list>
+
 #include "src/core/sorted_policy.h"
 #include "src/obs/recorder.h"
 #include "src/sim/chaos.h"
 #include "src/sim/loadgen.h"
 #include "src/workload/stream.h"
+#include "src/zoo/gds.h"
+#include "src/zoo/slru.h"
+#include "src/zoo/tinylfu.h"
 
 using namespace wcs;
 using namespace wcs::bench;
@@ -206,6 +221,132 @@ class LegacyLruMinPolicy final : public RemovalPolicy {
 
   std::map<int, std::set<LruKey>> buckets_;
   std::unordered_map<UrlId, DocState> state_;
+};
+
+// ---- naive zoo references ------------------------------------------------
+
+/// GreedyDual-Size(-Frequency) on a std::set of (H, random_tag, url)
+/// tuples — one tree-node reallocation per touch, the textbook structure
+/// the flat heap in src/zoo/gds.h replaces. Same integer fixed-point H and
+/// the same inflation-offset clock (L rises to the victim's H on eviction
+/// only), so stats must match the flat engine bit for bit.
+class ReferenceGreedyDualPolicy final : public RemovalPolicy {
+ public:
+  explicit ReferenceGreedyDualPolicy(bool frequency)
+      : frequency_(frequency), name_(frequency ? "reference-gdsf" : "reference-gds") {}
+
+  void on_insert(const CacheEntry& entry) override {
+    const Key key{inflation_ + value_of(entry), entry.random_tag, entry.url};
+    index_.emplace(entry.url, key);
+    order_.insert(key);
+  }
+  void on_hit(const CacheEntry& entry) override {
+    const auto it = index_.find(entry.url);
+    order_.erase(it->second);
+    it->second = Key{inflation_ + value_of(entry), entry.random_tag, entry.url};
+    order_.insert(it->second);
+  }
+  void on_remove(const CacheEntry& entry) override {
+    const auto it = index_.find(entry.url);
+    if (entry.url == victim_) inflation_ = it->second.value;
+    victim_ = kInvalidUrl;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext&) override {
+    if (order_.empty()) return std::nullopt;
+    victim_ = order_.begin()->url;
+    return victim_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+ private:
+  struct Key {
+    std::uint64_t value;
+    std::uint64_t tag;
+    UrlId url;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  [[nodiscard]] std::uint64_t value_of(const CacheEntry& entry) const noexcept {
+    const std::uint64_t freq = frequency_ ? entry.nref : 1;
+    const std::uint64_t size = entry.size == 0 ? 1 : entry.size;
+    return (freq << 16) / size;
+  }
+
+  bool frequency_;
+  std::string name_;
+  std::uint64_t inflation_ = 0;
+  UrlId victim_ = kInvalidUrl;
+  std::set<Key> order_;
+  std::unordered_map<UrlId, Key> index_;
+};
+
+/// Segmented LRU on two std::lists (front = MRU) with a map of iterators —
+/// the classic pointer-chasing layout. The flat engine's per-touch seq
+/// numbers are unique, so its (seq, tag, url) order IS list order; the
+/// promote / demote-to-probation-MRU / probation-first-victim rules match
+/// src/zoo/slru.h exactly, so stats must match bit for bit.
+class ReferenceSlruPolicy final : public RemovalPolicy {
+ public:
+  void attach(std::uint64_t capacity_bytes) override {
+    protected_cap_ = capacity_bytes == 0 ? ~0ULL : capacity_bytes * 800 / 1000;
+  }
+  void on_insert(const CacheEntry& entry) override {
+    probation_.push_front(entry.url);
+    docs_.emplace(entry.url, Doc{probation_.begin(), entry.size, false});
+  }
+  void on_hit(const CacheEntry& entry) override {
+    Doc& doc = docs_.at(entry.url);
+    if (doc.in_protected) {
+      shelter_.erase(doc.where);
+      shelter_.push_front(entry.url);
+      doc.where = shelter_.begin();
+      return;
+    }
+    probation_.erase(doc.where);
+    doc.in_protected = true;
+    protected_bytes_ += doc.size;
+    shelter_.push_front(entry.url);
+    doc.where = shelter_.begin();
+    while (protected_bytes_ > protected_cap_ && !shelter_.empty()) {
+      Doc& demoted = docs_.at(shelter_.back());
+      probation_.push_front(shelter_.back());
+      shelter_.pop_back();
+      demoted.in_protected = false;
+      protected_bytes_ -= demoted.size;
+      demoted.where = probation_.begin();
+    }
+  }
+  void on_remove(const CacheEntry& entry) override {
+    const auto it = docs_.find(entry.url);
+    if (it->second.in_protected) {
+      protected_bytes_ -= it->second.size;
+      shelter_.erase(it->second.where);
+    } else {
+      probation_.erase(it->second.where);
+    }
+    docs_.erase(it);
+  }
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext&) override {
+    if (!probation_.empty()) return probation_.back();
+    if (!shelter_.empty()) return shelter_.back();
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "reference-slru"; }
+
+ private:
+  struct Doc {
+    std::list<UrlId>::iterator where;
+    std::uint64_t size;
+    bool in_protected;
+  };
+
+  std::uint64_t protected_cap_ = ~0ULL;
+  std::uint64_t protected_bytes_ = 0;
+  std::list<UrlId> probation_;
+  std::list<UrlId> shelter_;
+  std::unordered_map<UrlId, Doc> docs_;
 };
 
 // ---- measurement helpers -------------------------------------------------
@@ -866,7 +1007,96 @@ int main(int argc, char** argv) {
             << "% (" << topo_passes << " passes/measurement, best of " << kTopoReps
             << "; warm hit counts cross-checked identical)\n\n";
 
-  // ---- 8. JSON out --------------------------------------------------------
+  // ---- 8. zoo: modern-policy throughput -----------------------------------
+  // GDSF, SLRU and W-TinyLFU (src/zoo) on the BR preset at the micro leg's
+  // capacity rule (10% of MaxNeeded). GDSF and SLRU are first cross-checked
+  // bit-for-bit against the naive node-based references above — the same
+  // honesty device as the micro leg: a stats divergence is a flat-engine
+  // bug, not noise — and their reference throughput and speedup are
+  // reported alongside. W-TinyLFU has no classical reference structure, so
+  // its cross-check is a two-run bit-identity pass plus one run with the
+  // periodic deep audit enabled (every invariant in
+  // TinyLfuPolicy::audit_index, throwing on the first violation).
+  const Trace& zoo_trace = workload("BR").trace;
+  const std::uint64_t zoo_max_needed = run_experiment1("BR", zoo_trace).max_needed;
+  const std::uint64_t zoo_capacity = fraction_of(zoo_max_needed, 0.10);
+
+  struct ZooRow {
+    std::string policy;
+    std::uint64_t requests = 0;
+    double seconds = 0.0;
+    double requests_per_sec = 0.0;
+    double evictions_per_sec = 0.0;
+    double reference_requests_per_sec = 0.0;  // 0 = no reference engine
+    double speedup_vs_reference = 0.0;
+  };
+  struct ZooCandidate {
+    const char* label;
+    PolicyFactory factory;
+    PolicyFactory reference;  // empty => two-run + audited cross-check
+  };
+  const std::vector<ZooCandidate> zoo_candidates = {
+      {"GDSF", [] { return make_gdsf(); },
+       [] { return std::make_unique<ReferenceGreedyDualPolicy>(true); }},
+      {"SLRU", [] { return make_slru(); },
+       [] { return std::make_unique<ReferenceSlruPolicy>(); }},
+      {"W-TinyLFU", [] { return make_tinylfu(); }, {}},
+  };
+
+  std::vector<ZooRow> zoo_rows;
+  Table zoo_table{"Zoo policy throughput (workload BR, 10% of MaxNeeded)"};
+  zoo_table.header({"policy", "Mreq/s", "evict/s", "ref Mreq/s", "speedup"});
+  for (const ZooCandidate& candidate : zoo_candidates) {
+    ZooRow row;
+    row.policy = candidate.label;
+    row.requests = zoo_trace.size();
+
+    // Cross-check doubling as warm-up, as in the micro leg.
+    const SimResult flat_check = simulate(zoo_trace, zoo_capacity, candidate.factory);
+    const SimResult other_check = candidate.reference
+        ? simulate(zoo_trace, zoo_capacity, candidate.reference)
+        : simulate(zoo_trace, zoo_capacity, candidate.factory, {}, SimAudit{2048});
+    if (flat_check.stats.hits != other_check.stats.hits ||
+        flat_check.stats.hit_bytes != other_check.stats.hit_bytes ||
+        flat_check.stats.evictions != other_check.stats.evictions ||
+        flat_check.stats.evicted_bytes != other_check.stats.evicted_bytes ||
+        flat_check.stats.insertions != other_check.stats.insertions ||
+        flat_check.max_used_bytes != other_check.max_used_bytes) {
+      std::cerr << "FATAL: " << candidate.label
+                << (candidate.reference ? " diverges from its naive reference"
+                                        : " is not run-to-run deterministic")
+                << " on workload BR\n";
+      return 1;
+    }
+
+    const auto [seconds, evictions] = time_sim_best(zoo_trace, zoo_capacity,
+                                                    candidate.factory, 3);
+    row.seconds = seconds;
+    row.requests_per_sec = static_cast<double>(row.requests) / seconds;
+    row.evictions_per_sec = static_cast<double>(evictions) / seconds;
+    if (candidate.reference) {
+      const auto [reference_seconds, reference_evictions] =
+          time_sim_best(zoo_trace, zoo_capacity, candidate.reference, 3);
+      (void)reference_evictions;
+      row.reference_requests_per_sec = static_cast<double>(row.requests) / reference_seconds;
+      row.speedup_vs_reference = row.requests_per_sec / row.reference_requests_per_sec;
+    }
+
+    zoo_table.row({row.policy, Table::num(row.requests_per_sec / 1e6, 2),
+                   Table::num(row.evictions_per_sec, 0),
+                   row.reference_requests_per_sec > 0.0
+                       ? Table::num(row.reference_requests_per_sec / 1e6, 2)
+                       : "-",
+                   row.speedup_vs_reference > 0.0
+                       ? Table::num(row.speedup_vs_reference, 2)
+                       : "-"});
+    zoo_rows.push_back(std::move(row));
+  }
+  zoo_table.print(std::cout);
+  std::cout << "  GDSF/SLRU stats cross-checked against naive references; "
+               "W-TinyLFU two-run deterministic + audited\n\n";
+
+  // ---- 9. JSON out --------------------------------------------------------
   std::string out_path = "BENCH_perf.json";
   if (const char* env = std::getenv("WCS_BENCH_OUT")) out_path = env;
   if (argc > 1) out_path = argv[1];
@@ -964,7 +1194,23 @@ int main(int argc, char** argv) {
        << "    \"overhead_ratio\": " << json_num(topo_overhead_ratio) << ",\n"
        << "    \"topology_requests_per_sec\": "
        << json_num(topo_requests / topo_tiered_seconds) << "\n"
-       << "  }\n}\n";
+       << "  },\n"
+       << "  \"zoo\": [\n";
+  for (std::size_t i = 0; i < zoo_rows.size(); ++i) {
+    const ZooRow& row = zoo_rows[i];
+    json << "    {\"workload\": \"BR\", \"policy\": \"" << row.policy
+         << "\", \"requests\": " << row.requests
+         << ", \"seconds\": " << json_num(row.seconds)
+         << ", \"requests_per_sec\": " << json_num(row.requests_per_sec)
+         << ", \"evictions_per_sec\": " << json_num(row.evictions_per_sec);
+    if (row.speedup_vs_reference > 0.0) {
+      json << ", \"reference_requests_per_sec\": "
+           << json_num(row.reference_requests_per_sec)
+           << ", \"speedup_vs_reference\": " << json_num(row.speedup_vs_reference);
+    }
+    json << "}" << (i + 1 < zoo_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
 
   std::ofstream out{out_path};
   out << json.str();

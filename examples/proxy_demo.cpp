@@ -32,6 +32,14 @@
 // lightly faulted parent downlink, printing the per-tier accounting table
 // and the failover router's counters (DESIGN.md §14). Composes with
 // --obs: the per-tier stats publish as wcs_tier_<label>_* metrics.
+//
+// With `--policy <name>` the main proxy runs that removal policy instead
+// of SIZE — any name make_policy_by_name resolves, including the zoo
+// ("gdsf", "slru", "tinylfu", "adaptive"; DESIGN.md §15).
+//
+// With `--adaptive` a final stage replays the BR preset through the
+// shadow-cache policy selector and prints every epoch-boundary decision:
+// per-candidate shadow hits, the chosen policy, and where it switched.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -55,6 +63,11 @@
 #include "src/trace/validate.h"
 #include "src/util/table.h"
 #include "src/workload/generator.h"
+#include "src/zoo/gds.h"
+#include "src/zoo/registry.h"
+#include "src/zoo/selector.h"
+#include "src/zoo/slru.h"
+#include "src/zoo/tinylfu.h"
 
 using namespace wcs;
 
@@ -64,6 +77,8 @@ int main(int argc, char** argv) {
   int demo_threads = 0;  // --threads N: sharded-fleet stage worker count
   int demo_shards = 0;   // --shards M: sharded-fleet stage shard count
   bool topology_stage = false;  // --topology: 3-tier network-of-caches stage
+  bool adaptive_stage = false;  // --adaptive: shadow-selector replay stage
+  std::string policy_name = "size";  // --policy <name>: the main proxy's policy
   for (int i = 1; i < argc; ++i) {
     if (std::string{argv[i]} == "--chaos" && i + 1 < argc) {
       chaos_rate = std::atof(argv[++i]);
@@ -75,8 +90,15 @@ int main(int argc, char** argv) {
       demo_shards = std::atoi(argv[++i]);
     } else if (std::string{argv[i]} == "--topology") {
       topology_stage = true;
+    } else if (std::string{argv[i]} == "--adaptive") {
+      adaptive_stage = true;
+    } else if (std::string{argv[i]} == "--policy" && i + 1 < argc) {
+      policy_name = argv[++i];
     }
   }
+  // Make the zoo's names ("gdsf", "slru", "tinylfu", "adaptive", ...)
+  // resolvable wherever a policy is configured by string.
+  zoo::register_zoo_policies();
   // One recorder observes the whole demo (the main proxy and, with
   // --chaos, the faulted proxy). Harmless when --obs is absent: recording
   // never changes behaviour, and the exports are simply not written.
@@ -92,10 +114,10 @@ int main(int argc, char** argv) {
   std::cout << "  www.cs.vt.edu: " << www.document_count() << " documents, "
             << "media.cs.vt.edu: " << media.document_count() << " documents\n\n";
 
-  std::cout << "=== 2. Start a caching proxy (SIZE policy, 500 kB) ===\n";
+  std::cout << "=== 2. Start a caching proxy (" << policy_name << " policy, 500 kB) ===\n";
   ProxyCache::Config config;
   config.capacity_bytes = 500'000;
-  config.policy = "size";
+  config.policy = policy_name;
   config.revalidate_after = 10 * kSecondsPerMinute;
   std::vector<RawRequest> access_log;  // demo-sized; a real proxy would use
                                        // a file sink or BoundedLogRing
@@ -352,6 +374,64 @@ int main(int argc, char** argv) {
               << ", availability " << Table::pct(topo_result.availability.availability(), 2)
               << " (" << topo_result.availability.failed
               << " failed); audited clean every 4096 requests\n";
+  }
+
+  if (adaptive_stage) {
+    std::cout << "\n=== 10. Online policy selection (--adaptive) ===\n";
+    // The BR preset through the shadow-cache selector: five candidates run
+    // as full-stream shadow caches, and every epoch boundary the incumbent
+    // defends its seat on shadow hits (DESIGN.md §15). Event-count epochs
+    // and hashed sampling keep the whole trajectory deterministic.
+    WorkloadGenerator adaptive_generator{WorkloadSpec::preset("BR").scaled(0.05)};
+    const GeneratedWorkload adaptive_workload = adaptive_generator.generate();
+    SelectorConfig selector_config;
+    selector_config.candidates = {
+        {"size", [](std::uint64_t s) { return make_size(s); }},
+        {"lru", [](std::uint64_t s) { return make_lru(s); }},
+        {"gdsf", [](std::uint64_t s) { return make_gdsf(s); }},
+        {"slru", [](std::uint64_t s) { return make_slru(s); }},
+        {"w-tinylfu", [](std::uint64_t s) { return make_tinylfu(s); }},
+    };
+    selector_config.sample_rate_log2 = 0;  // full stream, full-size shadows
+    selector_config.epoch_events = 1024;   // several decisions at demo scale
+    std::vector<std::string> candidate_names;
+    for (const SelectorCandidate& candidate : selector_config.candidates) {
+      candidate_names.push_back(candidate.name);
+    }
+
+    auto selector_owned = std::make_unique<ShadowSelectorPolicy>(std::move(selector_config));
+    ShadowSelectorPolicy* selector = selector_owned.get();
+    CacheConfig adaptive_cache_config;
+    adaptive_cache_config.capacity_bytes = adaptive_workload.trace.unique_bytes() / 20;
+    Cache adaptive_cache{adaptive_cache_config, std::move(selector_owned)};
+    for (const Request& request : adaptive_workload.trace.requests()) {
+      (void)adaptive_cache.access(request);
+    }
+
+    Table epoch_table{"epoch-boundary decisions (shadow hits per candidate, this epoch)"};
+    std::vector<std::string> header = {"epoch", "events", "choice", "switched"};
+    header.insert(header.end(), candidate_names.begin(), candidate_names.end());
+    epoch_table.header(header);
+    for (const EpochChoice& choice : selector->epoch_log()) {
+      std::vector<std::string> row = {std::to_string(choice.epoch),
+                                      std::to_string(choice.event_index), choice.chosen,
+                                      choice.switched ? "yes" : "-"};
+      for (const std::uint64_t hits : choice.shadow_hits) row.push_back(std::to_string(hits));
+      epoch_table.row(row);
+    }
+    epoch_table.print(std::cout);
+
+    const CacheStats& adaptive_stats = adaptive_cache.stats();
+    std::cout << "  " << adaptive_stats.requests << " requests: HR "
+              << Table::pct(adaptive_stats.hit_rate(), 1) << ", WHR "
+              << Table::pct(adaptive_stats.weighted_hit_rate(), 1) << "; "
+              << selector->switches() << " switch(es), finished under '"
+              << selector->current_name() << "'\n  shadow hit rates:";
+    for (std::size_t i = 0; i < selector->candidate_count(); ++i) {
+      std::cout << (i == 0 ? " " : ", ") << candidate_names[i] << " "
+                << Table::pct(selector->shadow(i).stats().hit_rate(), 1);
+    }
+    std::cout << "\n  same seed -> same switch points, same victims (DESIGN.md §15)\n";
   }
 
   if (!obs_dir.empty()) {

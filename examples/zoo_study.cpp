@@ -1,0 +1,149 @@
+// Policy-zoo study: the modern policies vs the paper's winner, with the
+// admission layer measured on the side (ROADMAP's "does SIZE still win?").
+//
+//   zoo_study [--presets U,G,C,BR,BL] [--fraction 0.10] [--scale f]
+//             [--out zoo_out]
+//
+// For every preset: generate the calibrated workload, take the infinite-
+// cache reference (Experiment 1), then fan {SIZE, LRU, GDS, GDSF, SLRU,
+// W-TinyLFU, adaptive} and SIZE x {always, size-threshold, doorkeeper,
+// doa} admission legs across the shared ParallelRunner
+// (src/sim/zoo_study.h). Writes:
+//
+//   <out>/zoo_policies.csv    one row per (workload, policy)
+//   <out>/zoo_admission.csv   one row per (workload, admission filter)
+//   <out>/zoo_study.jsonl     one JSON object per preset (both legs)
+//
+// WCS_SCALE is honoured when --scale is absent (the wcs_zoo_study ctest
+// sets it small). Determinism contract: same (presets, fraction, scale) ->
+// byte-identical CSV/JSONL regardless of WCS_JOBS.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/zoo_study.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+
+using namespace wcs;
+
+namespace {
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::stringstream stream{csv};
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) names.push_back(item);
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string presets_arg = "U,G,C,BR,BL";
+  std::string out_dir = "zoo_out";
+  double fraction = 0.10;
+  double scale = 0.0;  // 0 = WCS_SCALE or 1.0
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--presets" && i + 1 < argc) presets_arg = argv[++i];
+    else if (arg == "--out" && i + 1 < argc) out_dir = argv[++i];
+    else if (arg == "--fraction" && i + 1 < argc) fraction = std::atof(argv[++i]);
+    else if (arg == "--scale" && i + 1 < argc) scale = std::atof(argv[++i]);
+    else {
+      std::cerr << "usage: zoo_study [--presets U,G,C,BR,BL] [--fraction f]"
+                   " [--scale f] [--out dir]\n";
+      return 2;
+    }
+  }
+  if (scale <= 0.0) {
+    scale = 1.0;
+    if (const char* text = std::getenv("WCS_SCALE")) {
+      const double value = std::atof(text);
+      if (value > 0.0) scale = value;
+    }
+  }
+  if (fraction <= 0.0) {
+    std::cerr << "--fraction must be positive\n";
+    return 2;
+  }
+
+  std::ostringstream policies_csv;
+  policies_csv << "workload,policy,hr,whr,hr_pct_of_infinite,whr_pct_of_infinite,"
+                  "evictions,dead_on_arrival_evictions\n";
+  std::ostringstream admission_csv;
+  admission_csv << "workload,admission,hr,whr,insertions,admission_rejects,"
+                   "dead_on_arrival_evictions\n";
+  std::ostringstream jsonl;
+
+  for (const std::string& name : split_names(presets_arg)) {
+    std::cout << "=== workload " << name << ", scale " << scale << ", cache "
+              << Table::pct(fraction, 0) << " of MaxNeeded ===\n";
+    const WorkloadSpec spec = WorkloadSpec::preset(name).scaled(scale);
+    const GeneratedWorkload generated = WorkloadGenerator{spec}.generate();
+    const Experiment1Result infinite = run_experiment1(name, generated.trace);
+    const ZooStudyResult study =
+        run_policy_zoo_study(name, generated.trace, infinite, fraction);
+
+    Table policy_table{"policy zoo, workload " + name};
+    policy_table.header({"policy", "HR", "WHR", "% of max HR", "% of max WHR", "DOA evictions"});
+    jsonl << "{\"workload\":\"" << name << "\",\"cache_fraction\":"
+          << fraction << ",\"capacity_bytes\":" << study.capacity_bytes
+          << ",\"policies\":[";
+    for (std::size_t i = 0; i < study.outcomes.size(); ++i) {
+      const ZooPolicyOutcome& o = study.outcomes[i];
+      policy_table.row({o.policy, Table::pct(o.hr, 1), Table::pct(o.whr, 1),
+                        Table::num(o.hr_pct_of_infinite, 1),
+                        Table::num(o.whr_pct_of_infinite, 1),
+                        std::to_string(o.dead_on_arrival_evictions)});
+      policies_csv << name << ',' << o.policy << ',' << o.hr << ',' << o.whr << ','
+                   << o.hr_pct_of_infinite << ',' << o.whr_pct_of_infinite << ','
+                   << o.evictions << ',' << o.dead_on_arrival_evictions << '\n';
+      jsonl << (i == 0 ? "" : ",") << "{\"policy\":\"" << o.policy << "\",\"hr\":" << o.hr
+            << ",\"whr\":" << o.whr << ",\"evictions\":" << o.evictions
+            << ",\"dead_on_arrival_evictions\":" << o.dead_on_arrival_evictions << '}';
+    }
+    jsonl << "],\"admission\":[";
+    Table admission_table{"admission filters on SIZE, workload " + name};
+    admission_table.header({"admission", "HR", "WHR", "insertions", "rejects", "DOA evictions"});
+    for (std::size_t i = 0; i < study.admissions.size(); ++i) {
+      const ZooAdmissionOutcome& a = study.admissions[i];
+      admission_table.row({a.admission, Table::pct(a.hr, 1), Table::pct(a.whr, 1),
+                           std::to_string(a.insertions), std::to_string(a.admission_rejects),
+                           std::to_string(a.dead_on_arrival_evictions)});
+      admission_csv << name << ',' << a.admission << ',' << a.hr << ',' << a.whr << ','
+                    << a.insertions << ',' << a.admission_rejects << ','
+                    << a.dead_on_arrival_evictions << '\n';
+      jsonl << (i == 0 ? "" : ",") << "{\"admission\":\"" << a.admission
+            << "\",\"hr\":" << a.hr << ",\"whr\":" << a.whr
+            << ",\"insertions\":" << a.insertions
+            << ",\"admission_rejects\":" << a.admission_rejects
+            << ",\"dead_on_arrival_evictions\":" << a.dead_on_arrival_evictions << '}';
+    }
+    jsonl << "]}\n";
+    policy_table.print(std::cout);
+    admission_table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::filesystem::create_directories(out_dir);
+  const auto write_file = [&](const std::string& file, const std::string& body) {
+    std::ofstream out{out_dir + "/" + file, std::ios::binary};
+    out << body;
+    if (!out) {
+      std::cerr << "failed to write " << out_dir << "/" << file << '\n';
+      std::exit(1);
+    }
+  };
+  write_file("zoo_policies.csv", policies_csv.str());
+  write_file("zoo_admission.csv", admission_csv.str());
+  write_file("zoo_study.jsonl", jsonl.str());
+  std::cout << "wrote " << out_dir << "/zoo_policies.csv, zoo_admission.csv, zoo_study.jsonl\n";
+  return 0;
+}

@@ -41,6 +41,11 @@ Cache::Cache(CacheConfig config, std::unique_ptr<RemovalPolicy> policy)
       (config_.periodic.comfort_fraction <= 0.0 || config_.periodic.comfort_fraction > 1.0)) {
     throw std::invalid_argument{"Cache: comfort_fraction must be in (0, 1]"};
   }
+  policy_->attach(config_.capacity_bytes);
+  if (config_.admission) {
+    admission_ = config_.admission();
+    if (admission_ != nullptr) admission_->attach(config_.capacity_bytes);
+  }
   if (config_.obs != nullptr) {
     evicted_size_hist_ = &config_.obs->registry().histogram(
         "wcs_evicted_document_bytes", Histogram::exponential_bounds(512, 1u << 24),
@@ -98,9 +103,13 @@ void Cache::evict(SimTime now, UrlId victim) {
     evicted_size_hist_->observe(entry.size);
   }
   policy_->on_remove(entry);
+  if (admission_ != nullptr) admission_->on_remove(entry);
   used_bytes_ -= entry.size;
   ++stats_.evictions;
   stats_.evicted_bytes += entry.size;
+  // nref == 1 means the document was inserted and never referenced again —
+  // the dead-on-arrival population admission control exists to keep out.
+  if (entry.nref == 1) ++stats_.dead_on_arrival_evictions;
   if (config_.on_evict) config_.on_evict(entry);
   entries_.erase(victim);
 }
@@ -134,6 +143,7 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
     cached->atime = now;
     ++cached->nref;
     policy_->on_hit(*cached);
+    if (admission_ != nullptr) admission_->on_hit(*cached);
     ++stats_.hits;
     stats_.hit_bytes += size;
     result.hit = true;
@@ -156,6 +166,7 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
       config_.obs->emit(event);
     }
     policy_->on_remove(stale);
+    if (admission_ != nullptr) admission_->on_remove(stale);
     used_bytes_ -= stale.size;
     if (config_.on_evict) config_.on_evict(stale);
     entries_.erase(url);
@@ -164,6 +175,12 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
   // Admit the newly fetched copy.
   if (!is_infinite() && size > config_.capacity_bytes) {
     ++stats_.rejected_too_large;
+    return result;  // served from origin, never cached
+  }
+  // Admission veto runs before make_room: a rejected document must not
+  // cost a single eviction. The removal policy never hears about it.
+  if (admission_ != nullptr && !admission_->should_admit(now, url, size)) {
+    ++stats_.admission_rejects;
     return result;  // served from origin, never cached
   }
   const std::uint64_t evictions_before = stats_.evictions;
@@ -184,6 +201,7 @@ AccessResult Cache::access(SimTime now, UrlId url, std::uint64_t size, FileType 
   WCS_ASSERT(!entries_.contains(url), "admitting a URL that is already cached");
   entries_.insert(entry);
   policy_->on_insert(entry);
+  if (admission_ != nullptr) admission_->on_insert(entry);
   ++stats_.insertions;
   result.inserted = true;
   if (config_.obs != nullptr) {
@@ -203,6 +221,7 @@ bool Cache::erase(UrlId url) {
   if (found == nullptr) return false;
   const CacheEntry entry = *found;  // survives the swap-remove below
   policy_->on_remove(entry);
+  if (admission_ != nullptr) admission_->on_remove(entry);
   used_bytes_ -= entry.size;
   if (config_.on_evict) config_.on_evict(entry);
   entries_.erase(url);
@@ -258,6 +277,15 @@ AuditReport Cache::audit() const {
                    " insertions, " + std::to_string(stats_.evictions) + " evictions, " +
                    std::to_string(stats_.requests) + " requests");
   }
+  if (stats_.dead_on_arrival_evictions > stats_.evictions) {
+    report.add("cache.stats_doa", "dead_on_arrival_evictions exceed evictions");
+  }
+  if (stats_.admission_rejects > stats_.requests) {
+    report.add("cache.stats_admission", "admission_rejects exceed requests");
+  }
+  if (admission_ == nullptr && stats_.admission_rejects != 0) {
+    report.add("cache.stats_admission", "admission_rejects nonzero without an admission policy");
+  }
 
   // Policy index: must mirror the entry table under the declared comparator.
   // audit_index takes the audit-path EntryMap view (an O(n) rebuild is fine
@@ -268,6 +296,11 @@ AuditReport Cache::audit() const {
   AuditReport policy_report;
   policy_->audit_index(entries, policy_report);
   report.absorb("policy", policy_report);
+  if (admission_ != nullptr) {
+    AuditReport admission_report;
+    admission_->audit_index(admission_report);
+    report.absorb("admission", admission_report);
+  }
   return report;
 }
 

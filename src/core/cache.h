@@ -43,6 +43,11 @@ struct CacheConfig {
   PeriodicSweepConfig periodic;
   /// Seed for per-entry random tags (the always-random final tiebreak).
   std::uint64_t seed = 0x5ca1ab1e;
+  /// Admission control (src/core/policy.h seam; implementations in
+  /// src/zoo/admission.h). A factory rather than an instance so every cache
+  /// — and every shard of a ShardedCache — owns private admission state;
+  /// empty (the default) means always-admit.
+  AdmissionFactory admission;
   /// Invoked whenever a document leaves the cache (policy eviction,
   /// size-change replacement, periodic sweep, or explicit erase) — lets an
   /// embedder that stores document bodies elsewhere release them.
@@ -64,6 +69,8 @@ struct CacheStats {
   std::uint64_t evicted_bytes = 0;
   std::uint64_t size_change_misses = 0;   // URL present, size differed
   std::uint64_t rejected_too_large = 0;   // document bigger than the cache
+  std::uint64_t admission_rejects = 0;    // vetoed by the admission policy
+  std::uint64_t dead_on_arrival_evictions = 0;  // evicted with nref == 1 (cached, never re-referenced)
   std::uint64_t periodic_sweeps = 0;
   std::uint64_t max_used_bytes = 0;       // high-water mark (MaxNeeded when infinite)
 
@@ -185,6 +192,8 @@ class Cache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] RemovalPolicy& policy() noexcept { return *policy_; }
   [[nodiscard]] const RemovalPolicy& policy() const noexcept { return *policy_; }
+  /// The cache's private admission instance; nullptr = always-admit.
+  [[nodiscard]] const AdmissionPolicy* admission() const noexcept { return admission_.get(); }
 
   /// Every cached entry, unordered (diagnostics, tests).
   [[nodiscard]] std::vector<CacheEntry> snapshot() const;
@@ -211,6 +220,7 @@ class Cache {
 
   CacheConfig config_;
   std::unique_ptr<RemovalPolicy> policy_;
+  std::unique_ptr<AdmissionPolicy> admission_;  // nullptr = always-admit
   EntryTable entries_;
   std::uint64_t used_bytes_ = 0;
   std::int64_t current_day_ = -1;

@@ -42,6 +42,8 @@ CacheStats PartitionedCache::combined_stats() const {
     total.evicted_bytes += s.evicted_bytes;
     total.size_change_misses += s.size_change_misses;
     total.rejected_too_large += s.rejected_too_large;
+    total.admission_rejects += s.admission_rejects;
+    total.dead_on_arrival_evictions += s.dead_on_arrival_evictions;
     total.periodic_sweeps += s.periodic_sweeps;
     total.max_used_bytes += s.max_used_bytes;  // sum of per-partition peaks
   }

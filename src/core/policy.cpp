@@ -1,13 +1,52 @@
 #include "src/core/policy.h"
 
+#include <algorithm>
+#include <map>
+
 #include "src/core/lru_min.h"
 #include "src/core/pitkow_recker.h"
 #include "src/core/sorted_policy.h"
 #include "src/util/strings.h"
+#include "src/util/thread_annotations.h"
 
 namespace wcs {
 
+namespace {
+
+/// Name -> factory for policies registered by higher layers (src/zoo/).
+/// Consulted only after the built-in names miss, under a mutex: resolution
+/// happens at simulation *setup* (never per-request), and ParallelRunner
+/// cells set up concurrently. std::map keeps registered_policy_names()
+/// deterministic without a sort on every query.
+struct PolicyRegistry {
+  Mutex mutex;
+  std::map<std::string, NamedPolicyFactory, std::less<>> factories  // node-based-ok: cold setup-time registry, never on the eviction path
+      WCS_GUARDED_BY(mutex);
+};
+
+PolicyRegistry& policy_registry() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
 void RemovalPolicy::audit_index(const EntryMap& /*entries*/, AuditReport& /*report*/) const {}
+
+void register_policy(std::string_view name, NamedPolicyFactory factory) {
+  PolicyRegistry& registry = policy_registry();
+  MutexLock lock{registry.mutex};
+  registry.factories.insert_or_assign(to_lower(name), std::move(factory));
+}
+
+std::vector<std::string> registered_policy_names() {
+  PolicyRegistry& registry = policy_registry();
+  MutexLock lock{registry.mutex};
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) names.push_back(name);
+  return names;
+}
 
 std::unique_ptr<RemovalPolicy> make_sorted_policy(KeySpec spec, std::uint64_t seed) {
   return std::make_unique<SortedPolicy>(std::move(spec), seed);
@@ -63,6 +102,16 @@ std::unique_ptr<RemovalPolicy> make_policy_by_name(std::string_view name, std::u
   if (lower == "pitkow-recker" || lower == "pitkow/recker" || lower == "pr") {
     return make_pitkow_recker(seed);
   }
+  // Built-ins missed: try the extension registry. The factory runs outside
+  // the lock — it may construct arbitrarily heavy policies (shadow caches).
+  NamedPolicyFactory factory;
+  {
+    PolicyRegistry& registry = policy_registry();
+    MutexLock lock{registry.mutex};
+    const auto it = registry.factories.find(lower);
+    if (it != registry.factories.end()) factory = it->second;
+  }
+  if (factory) return factory(seed);
   return nullptr;
 }
 

@@ -7,11 +7,13 @@
 // incoming document fits (the paper's on-demand criterion, §1.3).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "src/core/audit.h"
 #include "src/core/entry.h"
@@ -36,6 +38,12 @@ class RemovalPolicy {
 
   RemovalPolicy(const RemovalPolicy&) = delete;
   RemovalPolicy& operator=(const RemovalPolicy&) = delete;
+
+  /// Called exactly once by the owning cache before the first access, with
+  /// its byte capacity (0 = infinite). Capacity-aware policies (segmented
+  /// LRU, W-TinyLFU, the shadow-cache selector — src/zoo/) size their
+  /// segments here; the paper's sorting-key policies ignore it.
+  virtual void attach(std::uint64_t /*capacity_bytes*/) {}
 
   /// A copy of `entry` is now cached.
   virtual void on_insert(const CacheEntry& entry) = 0;
@@ -74,6 +82,52 @@ class RemovalPolicy {
   RemovalPolicy() = default;
 };
 
+/// Admission control seam (ROADMAP item 1): decides whether a missed
+/// document is worth caching at all, *before* any room is made for it — a
+/// veto costs zero evictions. The removal policy never learns of vetoed
+/// documents; the cache serves them from origin and counts the veto in
+/// CacheStats::admission_rejects. Implementations live in src/zoo/
+/// (always-admit, size-threshold, doorkeeper, dead-on-arrival tracker);
+/// the cache treats a null admission policy as always-admit.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  AdmissionPolicy(const AdmissionPolicy&) = delete;
+  AdmissionPolicy& operator=(const AdmissionPolicy&) = delete;
+
+  /// Called exactly once by the owning cache with its capacity (0 = infinite).
+  virtual void attach(std::uint64_t /*capacity_bytes*/) {}
+
+  /// Cache this missed document? Called once per candidate insertion,
+  /// before eviction; false means "serve from origin, never cache". May
+  /// mutate internal state (reference history, doorkeeper bits).
+  [[nodiscard]] virtual bool should_admit(SimTime now, UrlId url, std::uint64_t size) = 0;
+
+  /// Feedback mirroring RemovalPolicy's notifications, so trackers can
+  /// observe outcomes (e.g. the dead-on-arrival tracker watches on_remove
+  /// for entries that left with nref == 1).
+  virtual void on_insert(const CacheEntry& /*entry*/) {}
+  virtual void on_hit(const CacheEntry& /*entry*/) {}
+  virtual void on_remove(const CacheEntry& /*entry*/) {}
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Invariant sweep, mirroring RemovalPolicy::audit_index (admission
+  /// policies keep no per-entry index, so there is no EntryMap to check
+  /// against — only internal invariants). Default: stateless, nothing to do.
+  virtual void audit_index(AuditReport& /*report*/) const {}
+
+ protected:
+  AdmissionPolicy() = default;
+};
+
+/// Per-cache admission factory: each cache (and each shard of a
+/// ShardedCache) builds its own instance so admission state is never shared
+/// across shard locks. An empty factory (or one returning nullptr) means
+/// always-admit.
+using AdmissionFactory = std::function<std::unique_ptr<AdmissionPolicy>()>;
+
 /// Factory for the paper's policies.
 ///
 ///   make_sorted_policy({SIZE})                the paper's winner
@@ -97,8 +151,24 @@ class RemovalPolicy {
 [[nodiscard]] std::unique_ptr<RemovalPolicy> make_random(std::uint64_t seed = 1);
 
 /// Policy by lower-case name ("lru", "size", "lru-min", "pitkow-recker",
-/// "fifo", "lfu", "hyper-g", "random", "log2size"); nullptr if unknown.
+/// "fifo", "lfu", "hyper-g", "random", "log2size", plus any name added via
+/// register_policy — the zoo registers "gds"/"gdsf"/"slru"/"tinylfu"/
+/// "adaptive"); nullptr if unknown.
 [[nodiscard]] std::unique_ptr<RemovalPolicy> make_policy_by_name(std::string_view name,
                                                                  std::uint64_t seed = 1);
+
+/// Runtime extension point for make_policy_by_name. Core cannot depend on
+/// higher layers (tools/wcs_analyze.py include DAG), so modules above it —
+/// src/zoo/ — register their policies here at startup
+/// (zoo::register_zoo_policies()) and every by-name consumer (proxy config
+/// strings, topology tiers, demos) resolves them transparently. Built-in
+/// names always win; re-registering a name replaces the previous factory
+/// (idempotent registration). Thread-safe: ParallelRunner cells resolve
+/// names concurrently.
+using NamedPolicyFactory = std::function<std::unique_ptr<RemovalPolicy>(std::uint64_t seed)>;
+void register_policy(std::string_view name, NamedPolicyFactory factory);
+/// Registered (extension) names, sorted — diagnostics and name-coverage
+/// tests; built-ins are not included.
+[[nodiscard]] std::vector<std::string> registered_policy_names();
 
 }  // namespace wcs

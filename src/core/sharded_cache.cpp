@@ -24,6 +24,7 @@ ShardedCache::ShardedCache(ShardedCacheConfig config,
     cache_config.capacity_bytes = base + (i < remainder ? 1 : 0);
     cache_config.periodic = config_.periodic;
     cache_config.seed = config_.seed + i;
+    cache_config.admission = config_.admission;
     cache_config.obs = config_.obs;
     shards_.push_back(std::make_unique<Shard>(cache_config, make_policy()));
   }
@@ -52,6 +53,8 @@ CacheStats ShardedCache::merged_stats() const {
     total.evicted_bytes += s.evicted_bytes;
     total.size_change_misses += s.size_change_misses;
     total.rejected_too_large += s.rejected_too_large;
+    total.admission_rejects += s.admission_rejects;
+    total.dead_on_arrival_evictions += s.dead_on_arrival_evictions;
     total.periodic_sweeps += s.periodic_sweeps;
     total.max_used_bytes += s.max_used_bytes;  // sum of per-shard peaks
   }

@@ -52,6 +52,9 @@ struct ShardedCacheConfig {
   /// streams, and shard 0 of a one-shard cache draws exactly the stream a
   /// plain Cache{seed} would — the shards==1 bit-identity hinges on it.
   std::uint64_t seed = 0x5ca1ab1e;
+  /// Admission control factory, invoked once per shard so each shard owns
+  /// private admission state under its own lock; empty = always-admit.
+  AdmissionFactory admission;
   /// Observability recorder, propagated to every shard. A recorder is
   /// thread-affine (DESIGN.md §10): leave null unless the sharded cache is
   /// driven single-threaded (simulate_sharded); the load generator refuses

@@ -16,6 +16,8 @@ std::vector<CounterRow> stats_rows(const CacheStats& stats) {
       {"evicted_bytes", stats.evicted_bytes},
       {"size_change_misses", stats.size_change_misses},
       {"rejected_too_large", stats.rejected_too_large},
+      {"admission_rejects", stats.admission_rejects},
+      {"dead_on_arrival_evictions", stats.dead_on_arrival_evictions},
       {"periodic_sweeps", stats.periodic_sweeps},
       {"max_used_bytes", stats.max_used_bytes},
   };

@@ -87,11 +87,12 @@ void check_stream(const RequestSource& source) {
 
 SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
                    const PolicyFactory& make_policy, PeriodicSweepConfig periodic,
-                   SimAudit audit, ObsRecorder* obs) {
+                   SimAudit audit, ObsRecorder* obs, AdmissionFactory admission) {
   CacheConfig config;
   config.capacity_bytes = capacity_bytes;
   config.periodic = periodic;
   config.obs = obs;
+  config.admission = std::move(admission);
   Cache cache{config, make_policy()};
 
   SimResult result;
@@ -116,19 +117,22 @@ SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
 
 SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
                    const PolicyFactory& make_policy, PeriodicSweepConfig periodic,
-                   SimAudit audit, ObsRecorder* obs) {
+                   SimAudit audit, ObsRecorder* obs, AdmissionFactory admission) {
   TraceSource source{trace};
-  return simulate(source, capacity_bytes, make_policy, periodic, audit, obs);
+  return simulate(source, capacity_bytes, make_policy, periodic, audit, obs,
+                  std::move(admission));
 }
 
 SimResult simulate_sharded(RequestSource& source, std::uint64_t capacity_bytes,
                            const PolicyFactory& make_policy, std::uint32_t shards,
-                           PeriodicSweepConfig periodic, SimAudit audit, ObsRecorder* obs) {
+                           PeriodicSweepConfig periodic, SimAudit audit, ObsRecorder* obs,
+                           AdmissionFactory admission) {
   ShardedCacheConfig config;
   config.capacity_bytes = capacity_bytes;
   config.shards = shards;
   config.periodic = periodic;
   config.obs = obs;
+  config.admission = std::move(admission);
   ShardedCache cache{config, make_policy};
 
   SimResult result;
@@ -158,9 +162,11 @@ SimResult simulate_sharded(RequestSource& source, std::uint64_t capacity_bytes,
 
 SimResult simulate_sharded(const Trace& trace, std::uint64_t capacity_bytes,
                            const PolicyFactory& make_policy, std::uint32_t shards,
-                           PeriodicSweepConfig periodic, SimAudit audit, ObsRecorder* obs) {
+                           PeriodicSweepConfig periodic, SimAudit audit, ObsRecorder* obs,
+                           AdmissionFactory admission) {
   TraceSource source{trace};
-  return simulate_sharded(source, capacity_bytes, make_policy, shards, periodic, audit, obs);
+  return simulate_sharded(source, capacity_bytes, make_policy, shards, periodic, audit, obs,
+                          std::move(admission));
 }
 
 SimResult simulate_infinite(RequestSource& source) {

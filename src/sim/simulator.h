@@ -88,16 +88,18 @@ struct SimAudit {
 /// Recording is observation only — SimResult is bit-identical with `obs`
 /// set or null (tests/test_obs.cpp), and the disabled path costs one
 /// pointer test per wiring point (bench_perf obs leg, gate <= 2%).
+/// `admission` (empty = always-admit) is handed to CacheConfig verbatim —
+/// the cache owns the instance it builds (src/zoo/admission.h study legs).
 [[nodiscard]] SimResult simulate(RequestSource& source, std::uint64_t capacity_bytes,
                                  const PolicyFactory& make_policy,
                                  PeriodicSweepConfig periodic = {}, SimAudit audit = {},
-                                 ObsRecorder* obs = nullptr);
+                                 ObsRecorder* obs = nullptr, AdmissionFactory admission = {});
 
 /// Materialized adapter for multi-pass callers.
 [[nodiscard]] SimResult simulate(const Trace& trace, std::uint64_t capacity_bytes,
                                  const PolicyFactory& make_policy,
                                  PeriodicSweepConfig periodic = {}, SimAudit audit = {},
-                                 ObsRecorder* obs = nullptr);
+                                 ObsRecorder* obs = nullptr, AdmissionFactory admission = {});
 
 /// Deterministic sharded replay: the same streaming loop as simulate(),
 /// but against a ShardedCache of `shards` partitions, single-threaded in
@@ -110,11 +112,13 @@ struct SimAudit {
 [[nodiscard]] SimResult simulate_sharded(RequestSource& source, std::uint64_t capacity_bytes,
                                          const PolicyFactory& make_policy, std::uint32_t shards,
                                          PeriodicSweepConfig periodic = {}, SimAudit audit = {},
-                                         ObsRecorder* obs = nullptr);
+                                         ObsRecorder* obs = nullptr,
+                                         AdmissionFactory admission = {});
 [[nodiscard]] SimResult simulate_sharded(const Trace& trace, std::uint64_t capacity_bytes,
                                          const PolicyFactory& make_policy, std::uint32_t shards,
                                          PeriodicSweepConfig periodic = {}, SimAudit audit = {},
-                                         ObsRecorder* obs = nullptr);
+                                         ObsRecorder* obs = nullptr,
+                                         AdmissionFactory admission = {});
 
 /// Infinite-cache run: the theoretical maxima of Experiment 1.
 [[nodiscard]] SimResult simulate_infinite(RequestSource& source);

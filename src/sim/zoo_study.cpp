@@ -1,0 +1,89 @@
+#include "src/sim/zoo_study.h"
+
+#include "src/core/policy.h"
+#include "src/zoo/admission.h"
+#include "src/zoo/gds.h"
+#include "src/zoo/selector.h"
+#include "src/zoo/slru.h"
+#include "src/zoo/tinylfu.h"
+
+namespace wcs {
+
+namespace {
+
+ZooPolicyOutcome zoo_outcome_for(const std::string& name, const SimResult& sim,
+                                 const Experiment1Result& infinite) {
+  ZooPolicyOutcome outcome;
+  outcome.policy = name;
+  outcome.hr = sim.daily.overall_hr();
+  outcome.whr = sim.daily.overall_whr();
+  outcome.hr_pct_of_infinite =
+      series_mean(series_ratio(sim.daily.smoothed_hr(), infinite.smoothed_hr));
+  outcome.whr_pct_of_infinite =
+      series_mean(series_ratio(sim.daily.smoothed_whr(), infinite.smoothed_whr));
+  outcome.evictions = sim.stats.evictions;
+  outcome.dead_on_arrival_evictions = sim.stats.dead_on_arrival_evictions;
+  return outcome;
+}
+
+}  // namespace
+
+ZooStudyResult run_policy_zoo_study(const std::string& workload, const Trace& trace,
+                                    const Experiment1Result& infinite, double cache_fraction,
+                                    ParallelRunner& runner) {
+  ZooStudyResult result;
+  result.workload = workload;
+  result.cache_fraction = cache_fraction;
+  result.capacity_bytes = fraction_of(infinite.max_needed, cache_fraction);
+  const std::uint64_t capacity = result.capacity_bytes;
+
+  // ---- Policy leg: the paper's winner and baseline vs the zoo ------------
+  struct PolicyEntry {
+    const char* name;
+    PolicyFactory factory;
+  };
+  const std::vector<PolicyEntry> policies = {
+      {"SIZE", [] { return make_size(); }},
+      {"LRU", [] { return make_lru(); }},
+      {"GDS", [] { return make_gds(); }},
+      {"GDSF", [] { return make_gdsf(); }},
+      {"SLRU", [] { return make_slru(); }},
+      {"W-TinyLFU", [] { return make_tinylfu(); }},
+      {"adaptive", [] { return make_adaptive_selector(); }},
+  };
+  result.outcomes = runner.map(policies.size(), [&](std::size_t i) {
+    return [&trace, &infinite, &policies, capacity, i] {
+      const SimResult sim = simulate(trace, capacity, policies[i].factory);
+      return zoo_outcome_for(policies[i].name, sim, infinite);
+    };
+  });
+
+  // ---- Admission leg: SIZE under each admission filter -------------------
+  struct AdmissionEntry {
+    const char* name;
+    AdmissionFactory factory;
+  };
+  const std::vector<AdmissionEntry> admissions = {
+      {"always", [] { return make_always_admit(); }},
+      {"size-threshold", [] { return make_size_threshold_admission(); }},
+      {"doorkeeper", [] { return make_doorkeeper_admission(); }},
+      {"doa", [] { return make_doa_admission(); }},
+  };
+  result.admissions = runner.map(admissions.size(), [&](std::size_t i) {
+    return [&trace, &admissions, capacity, i] {
+      const SimResult sim = simulate(trace, capacity, [] { return make_size(); }, {}, {},
+                                     nullptr, admissions[i].factory);
+      ZooAdmissionOutcome outcome;
+      outcome.admission = admissions[i].name;
+      outcome.hr = sim.daily.overall_hr();
+      outcome.whr = sim.daily.overall_whr();
+      outcome.insertions = sim.stats.insertions;
+      outcome.admission_rejects = sim.stats.admission_rejects;
+      outcome.dead_on_arrival_evictions = sim.stats.dead_on_arrival_evictions;
+      return outcome;
+    };
+  });
+  return result;
+}
+
+}  // namespace wcs

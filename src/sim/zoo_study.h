@@ -1,0 +1,59 @@
+// The policy-zoo study (ROADMAP's modern-policy question): re-run the
+// paper's Experiment 2 with the src/zoo/ policies next to the paper's
+// winner, and measure the standalone admission layer on top of SIZE.
+//
+//   run_policy_zoo_study   {SIZE, LRU, GDS, GDSF, SLRU, W-TinyLFU,
+//                          adaptive} at one finite capacity, each policy a
+//                          parallel cell, plus SIZE x {always,
+//                          size-threshold, doorkeeper, doa} admission legs
+//
+// Outcomes carry the Experiment-2 measures (HR/WHR, percent of the
+// infinite-cache reference) plus the admission-era counters
+// (admission_rejects, dead_on_arrival_evictions) so EXPERIMENTS.md can
+// answer "does SIZE still win?" — and "do vetoes actually cut
+// dead-on-arrival churn?" — with numbers. Cells fan out over the shared
+// ParallelRunner and are collected in table order, so the study is
+// bit-identical across WCS_JOBS (the determinism contract).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/experiments.h"
+
+namespace wcs {
+
+struct ZooPolicyOutcome {
+  std::string policy;
+  double hr = 0.0;
+  double whr = 0.0;
+  double hr_pct_of_infinite = 0.0;
+  double whr_pct_of_infinite = 0.0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dead_on_arrival_evictions = 0;
+};
+
+struct ZooAdmissionOutcome {
+  std::string admission;  // "always", "size-threshold", "doorkeeper", "doa"
+  double hr = 0.0;
+  double whr = 0.0;
+  std::uint64_t insertions = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t dead_on_arrival_evictions = 0;
+};
+
+struct ZooStudyResult {
+  std::string workload;
+  double cache_fraction = 0.0;
+  std::uint64_t capacity_bytes = 0;
+  std::vector<ZooPolicyOutcome> outcomes;       // fixed policy order, see .cpp
+  std::vector<ZooAdmissionOutcome> admissions;  // SIZE x admission variants
+};
+
+/// `infinite` must be the Experiment 1 result for the same trace (the HR
+/// reference); every policy and every admission variant is one cell.
+[[nodiscard]] ZooStudyResult run_policy_zoo_study(
+    const std::string& workload, const Trace& trace, const Experiment1Result& infinite,
+    double cache_fraction, ParallelRunner& runner = ParallelRunner::shared());
+
+}  // namespace wcs

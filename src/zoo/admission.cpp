@@ -1,0 +1,100 @@
+#include "src/zoo/admission.h"
+
+#include "src/util/strings.h"
+
+namespace wcs {
+
+DoorkeeperAdmission::DoorkeeperAdmission(std::uint32_t min_bits, std::uint64_t reset_interval,
+                                         std::uint64_t seed)
+    : door_(min_bits, seed), reset_interval_(reset_interval == 0 ? 1 : reset_interval) {}
+
+bool DoorkeeperAdmission::should_admit(SimTime /*now*/, UrlId url, std::uint64_t /*size*/) {
+  if (++decisions_ >= reset_interval_) {
+    door_.clear();
+    decisions_ = 0;
+    ++resets_;
+  }
+  const bool seen = door_.contains(url);
+  if (!seen) door_.insert(url);
+  return seen;
+}
+
+void DoorkeeperAdmission::audit_index(AuditReport& report) const {
+  if (decisions_ >= reset_interval_) {
+    report.add("doorkeeper.reset_schedule",
+               std::to_string(decisions_) + " decisions since the last reset, beyond the " +
+                   std::to_string(reset_interval_) + "-decision period");
+  }
+}
+
+DeadOnArrivalAdmission::DeadOnArrivalAdmission(std::uint32_t strike_limit,
+                                               std::size_t max_tracked)
+    : strike_limit_(strike_limit == 0 ? 1 : strike_limit),
+      max_tracked_(max_tracked == 0 ? 1 : max_tracked) {}
+
+bool DeadOnArrivalAdmission::should_admit(SimTime /*now*/, UrlId url, std::uint64_t /*size*/) {
+  const auto it = strikes_.find(url);
+  return it == strikes_.end() || it->second < strike_limit_;
+}
+
+void DeadOnArrivalAdmission::on_hit(const CacheEntry& entry) {
+  // Re-referenced: the document proved itself; forget its record.
+  strikes_.erase(entry.url);
+}
+
+void DeadOnArrivalAdmission::on_remove(const CacheEntry& entry) {
+  if (entry.nref > 1) {
+    strikes_.erase(entry.url);
+    return;
+  }
+  if (strikes_.size() >= max_tracked_ && strikes_.find(entry.url) == strikes_.end()) {
+    // Bounded memory: forget everything rather than evict selectively —
+    // selective forgetting would need an order, and any order is another
+    // index to maintain. A rare full reset is deterministic and cheap.
+    strikes_.clear();
+  }
+  std::uint32_t& strikes = strikes_[entry.url];
+  if (strikes < strike_limit_) ++strikes;
+}
+
+void DeadOnArrivalAdmission::audit_index(AuditReport& report) const {
+  if (strikes_.size() > max_tracked_) {
+    report.add("doa.tracked_bound", "strike map holds " + std::to_string(strikes_.size()) +
+                                        " URLs, beyond the bound " +
+                                        std::to_string(max_tracked_));
+  }
+  for (const auto& [url, strikes] : strikes_) {
+    if (strikes == 0 || strikes > strike_limit_) {
+      report.add("doa.strike_range", "url " + std::to_string(url) + " carries strike count " +
+                                         std::to_string(strikes) + " outside [1, " +
+                                         std::to_string(strike_limit_) + "]");
+    }
+  }
+}
+
+std::unique_ptr<AdmissionPolicy> make_always_admit() { return std::make_unique<AlwaysAdmit>(); }
+
+std::unique_ptr<AdmissionPolicy> make_size_threshold_admission(std::uint64_t max_bytes) {
+  return std::make_unique<SizeThresholdAdmission>(max_bytes);
+}
+
+std::unique_ptr<AdmissionPolicy> make_doorkeeper_admission(std::uint64_t seed) {
+  return std::make_unique<DoorkeeperAdmission>(1u << 16, 1u << 16,
+                                               0xd00753a1ULL ^ mix_url_hash(seed));
+}
+
+std::unique_ptr<AdmissionPolicy> make_doa_admission() {
+  return std::make_unique<DeadOnArrivalAdmission>();
+}
+
+std::unique_ptr<AdmissionPolicy> make_admission_by_name(std::string_view name,
+                                                        std::uint64_t seed) {
+  const std::string lower = to_lower(name);
+  if (lower == "always") return make_always_admit();
+  if (lower == "size-threshold") return make_size_threshold_admission();
+  if (lower == "doorkeeper") return make_doorkeeper_admission(seed);
+  if (lower == "doa") return make_doa_admission();
+  return nullptr;
+}
+
+}  // namespace wcs

@@ -1,0 +1,125 @@
+// Admission policies for the Cache's AdmissionPolicy seam (src/core/
+// policy.h). Eviction asks "who leaves?"; admission asks the cheaper
+// question "was this worth letting in at all?" — a veto costs zero
+// evictions and keeps dead-on-arrival documents (inserted, never
+// re-referenced, CacheStats::dead_on_arrival_evictions) from churning the
+// resident set.
+//
+//   always      the null policy (what a null AdmissionFactory also means)
+//   size<=N     veto documents larger than a byte threshold (derived from
+//               capacity at attach() when constructed with 0)
+//   doorkeeper  veto first-time URLs within a reset period: only a URL's
+//               second request within the period is cached (TinyLFU's
+//               doorkeeper, standalone)
+//   doa         veto URLs whose recent cache lives ended dead-on-arrival
+//               twice in a row (the inserted-but-never-reused tracker)
+//
+// All are deterministic: seeded hashes, event-count reset schedules, no
+// wall clock, no global RNG.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/policy.h"
+#include "src/zoo/sketch.h"
+
+namespace wcs {
+
+/// Explicit always-admit (handy for study tables; equivalent to none).
+class AlwaysAdmit final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] bool should_admit(SimTime /*now*/, UrlId /*url*/,
+                                  std::uint64_t /*size*/) override {
+    return true;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "always"; }
+};
+
+/// Veto documents larger than `max_bytes`. Constructed with 0, the
+/// threshold derives from the cache capacity at attach() (capacity / 64 —
+/// any document worth more than ~1.5% of the cache must earn its bytes
+/// through the removal policy of a cache that admitted it smaller days).
+class SizeThresholdAdmission final : public AdmissionPolicy {
+ public:
+  explicit SizeThresholdAdmission(std::uint64_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  void attach(std::uint64_t capacity_bytes) override {
+    if (max_bytes_ == 0) {
+      max_bytes_ = capacity_bytes == 0 ? ~0ULL : (capacity_bytes / 64 == 0 ? 1 : capacity_bytes / 64);
+    }
+  }
+  [[nodiscard]] bool should_admit(SimTime /*now*/, UrlId /*url*/,
+                                  std::uint64_t size) override {
+    return size <= max_bytes_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "size-threshold"; }
+  [[nodiscard]] std::uint64_t max_bytes() const noexcept { return max_bytes_; }
+
+ private:
+  std::uint64_t max_bytes_;
+};
+
+/// Standalone doorkeeper: a URL is admitted only on its second (or later)
+/// request within a reset period, so one-hit wonders never enter the cache
+/// at all. The bloom filter clears every `reset_interval` decisions.
+class DoorkeeperAdmission final : public AdmissionPolicy {
+ public:
+  explicit DoorkeeperAdmission(std::uint32_t min_bits = 1u << 16,
+                               std::uint64_t reset_interval = 1u << 16,
+                               std::uint64_t seed = 0xd00753a1ULL);
+
+  [[nodiscard]] bool should_admit(SimTime now, UrlId url, std::uint64_t size) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "doorkeeper"; }
+  [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
+  void audit_index(AuditReport& report) const override;
+
+ private:
+  Doorkeeper door_;
+  std::uint64_t reset_interval_;
+  std::uint64_t decisions_ = 0;  // since the last reset
+  std::uint64_t resets_ = 0;
+};
+
+/// Dead-on-arrival tracker: watches removals for entries that left with
+/// nref == 1 (cached, never re-referenced). A URL that has gone dead on
+/// arrival `strike_limit` consecutive times is vetoed until it proves
+/// itself again (any hit clears its record). The strike map is bounded:
+/// when it outgrows `max_tracked` URLs it resets — a forgetting schedule,
+/// event-count driven and deterministic.
+class DeadOnArrivalAdmission final : public AdmissionPolicy {
+ public:
+  explicit DeadOnArrivalAdmission(std::uint32_t strike_limit = 2,
+                                  std::size_t max_tracked = 1u << 20);
+
+  [[nodiscard]] bool should_admit(SimTime now, UrlId url, std::uint64_t size) override;
+  void on_hit(const CacheEntry& entry) override;
+  void on_remove(const CacheEntry& entry) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "doa"; }
+  [[nodiscard]] std::size_t tracked() const noexcept { return strikes_.size(); }
+  void audit_index(AuditReport& report) const override;
+
+ private:
+  std::uint32_t strike_limit_;
+  std::size_t max_tracked_;
+  // UrlId -> consecutive dead-on-arrival departures. Cold path (touched on
+  // removal/admission decisions, never per-hit on the flat engine's hot
+  // loops) — node-based is fine outside src/core, and the ordered map keeps
+  // audit_index iteration deterministic.
+  std::map<UrlId, std::uint32_t> strikes_;
+};
+
+[[nodiscard]] std::unique_ptr<AdmissionPolicy> make_always_admit();
+[[nodiscard]] std::unique_ptr<AdmissionPolicy> make_size_threshold_admission(
+    std::uint64_t max_bytes = 0);
+[[nodiscard]] std::unique_ptr<AdmissionPolicy> make_doorkeeper_admission(
+    std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<AdmissionPolicy> make_doa_admission();
+
+/// Admission policy by name ("always", "size-threshold", "doorkeeper",
+/// "doa"); nullptr if unknown.
+[[nodiscard]] std::unique_ptr<AdmissionPolicy> make_admission_by_name(std::string_view name,
+                                                                      std::uint64_t seed = 1);
+
+}  // namespace wcs

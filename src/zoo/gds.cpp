@@ -1,0 +1,158 @@
+#include "src/zoo/gds.h"
+
+namespace wcs {
+
+GreedyDualPolicy::GreedyDualPolicy(Mode mode, std::uint64_t /*seed*/)
+    : mode_(mode),
+      name_(mode == Mode::kGds ? "gds" : "gdsf"),
+      by_value_(SlotLess{this}, &heap_pos_) {}
+
+std::uint64_t GreedyDualPolicy::value_of(const CacheEntry& entry) const noexcept {
+  const std::uint64_t freq = mode_ == Mode::kGdsf ? entry.nref : 1;
+  const std::uint64_t size = entry.size == 0 ? 1 : entry.size;
+  return (freq * kScale) / size;
+}
+
+std::uint32_t GreedyDualPolicy::acquire_slot() {
+  const std::uint32_t slot = arena_.acquire();
+  if (slot >= urls_.size()) {
+    prios_.push_back(0);
+    offsets_.push_back(0);
+    tags_.push_back(0);
+    urls_.push_back(kInvalidUrl);
+    heap_pos_.push_back(kInvalidSlot);
+  }
+  return slot;
+}
+
+std::uint32_t GreedyDualPolicy::slot_of(UrlId url) const noexcept {
+  if (victim_slot_ != kInvalidSlot && urls_[victim_slot_] == url &&
+      heap_pos_[victim_slot_] != kInvalidSlot) {
+    return victim_slot_;
+  }
+  return table_.find(url);
+}
+
+void GreedyDualPolicy::on_insert(const CacheEntry& entry) {
+  const std::uint32_t slot = acquire_slot();
+  prios_[slot] = inflation_ + value_of(entry);
+  offsets_[slot] = inflation_;
+  tags_[slot] = entry.random_tag;
+  urls_[slot] = entry.url;
+  table_.insert(entry.url, slot);
+  by_value_.push(slot);
+}
+
+void GreedyDualPolicy::on_hit(const CacheEntry& entry) {
+  const std::uint32_t slot = table_.find(entry.url);
+  WCS_ASSERT(slot != kInvalidSlot, "GreedyDualPolicy::on_hit for an untracked URL");
+  // Restore full value at the *current* clock: H = L + F*C/S. The paper's
+  // formulation — a hit cannot lower H, since L only rose since the last
+  // write and the frequency term never shrinks.
+  prios_[slot] = inflation_ + value_of(entry);
+  offsets_[slot] = inflation_;
+  by_value_.update(slot);
+}
+
+void GreedyDualPolicy::on_remove(const CacheEntry& entry) {
+  const std::uint32_t slot = slot_of(entry.url);
+  WCS_ASSERT(slot != kInvalidSlot, "GreedyDualPolicy::on_remove for an untracked URL");
+  if (slot == victim_slot_) {
+    // Our own eviction: the clock advances to the departing minimum H —
+    // the inflation-offset trick. Size-change removals and explicit erases
+    // do not advance the clock (the document did not lose a value contest).
+    inflation_ = prios_[slot];
+  }
+  victim_slot_ = kInvalidSlot;
+  by_value_.erase(slot);
+  const bool erased = table_.erase(entry.url);
+  WCS_ASSERT(erased, "GreedyDualPolicy::on_remove url missing from table");
+  (void)erased;
+  arena_.release(slot);
+}
+
+std::optional<UrlId> GreedyDualPolicy::choose_victim(const EvictionContext& /*ctx*/) {
+  if (by_value_.empty()) return std::nullopt;
+  victim_slot_ = by_value_.top();
+  return urls_[victim_slot_];
+}
+
+std::optional<RankTuple> GreedyDualPolicy::rank_of(UrlId url) const {
+  const std::uint32_t slot = table_.find(url);
+  if (slot == kInvalidSlot) return std::nullopt;
+  RankTuple tuple;
+  tuple.count = 1;
+  tuple.ranks[0] = static_cast<std::int64_t>(prios_[slot]);
+  tuple.random_tag = tags_[slot];
+  tuple.url = urls_[slot];
+  return tuple;
+}
+
+void GreedyDualPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
+  if (table_.size() != entries.size()) {
+    report.add("gds.tracked_count",
+               "policy tracks " + std::to_string(table_.size()) + " URLs but cache holds " +
+                   std::to_string(entries.size()));
+  }
+  if (by_value_.size() != table_.size()) {
+    report.add("gds.order_count",
+               "heap holds " + std::to_string(by_value_.size()) + " slots but table maps " +
+                   std::to_string(table_.size()));
+  }
+  if (arena_.live() != table_.size()) {
+    report.add("gds.arena_live",
+               "arena has " + std::to_string(arena_.live()) + " live slots but table maps " +
+                   std::to_string(table_.size()));
+  }
+  arena_.audit("gds", report);
+  table_.audit("gds", report);
+  by_value_.audit("gds", report);
+
+  bool have_min = false;
+  std::uint32_t min_slot = kInvalidSlot;
+  const SlotLess less{this};
+  for (const auto& [url, entry] : entries) {
+    const std::uint32_t slot = table_.find(url);
+    if (slot == kInvalidSlot) {
+      report.add("gds.untracked", "cached url " + std::to_string(url) + " not in index");
+      continue;
+    }
+    if (urls_[slot] != url) {
+      report.add("gds.table_slot",
+                 "url " + std::to_string(url) + " maps to slot " + std::to_string(slot) +
+                     " which claims url " + std::to_string(urls_[slot]));
+      continue;
+    }
+    if (offsets_[slot] > inflation_) {
+      report.add("gds.offset_clock",
+                 "url " + std::to_string(url) + " was written at offset " +
+                     std::to_string(offsets_[slot]) + ", beyond the clock " +
+                     std::to_string(inflation_));
+    }
+    if (prios_[slot] != offsets_[slot] + value_of(entry)) {
+      report.add("gds.stale_value",
+                 "url " + std::to_string(url) +
+                     " has a stored H that no longer matches offset + recomputed value");
+    }
+    if (!have_min || less(slot, min_slot)) {
+      min_slot = slot;
+      have_min = true;
+    }
+  }
+
+  if (have_min && !by_value_.empty() && by_value_.top() != min_slot) {
+    report.add("gds.victim_order",
+               "heap root is url " + std::to_string(urls_[by_value_.top()]) +
+                   " but the comparator minimum is url " + std::to_string(urls_[min_slot]));
+  }
+}
+
+std::unique_ptr<RemovalPolicy> make_gds(std::uint64_t seed) {
+  return std::make_unique<GreedyDualPolicy>(GreedyDualPolicy::Mode::kGds, seed);
+}
+
+std::unique_ptr<RemovalPolicy> make_gdsf(std::uint64_t seed) {
+  return std::make_unique<GreedyDualPolicy>(GreedyDualPolicy::Mode::kGdsf, seed);
+}
+
+}  // namespace wcs

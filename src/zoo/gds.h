@@ -1,0 +1,97 @@
+// GreedyDual-Size and GDSF (Cao & Irani; Cherkasova) on the flat engine.
+//
+// Each cached document carries a value H = L + F * C / S, where L is the
+// global inflation offset, F the reference count (1 for plain GDS), C the
+// fetch cost (uniform here — the traces carry no cost signal) and S the
+// size. The victim is the minimum-H document; on eviction L rises to the
+// victim's H, so surviving documents age *relatively* without a single
+// stored value changing — the inflation-offset trick that makes the clock
+// advance free (no re-heapify, ever).
+//
+// Integer fixed-point: H = L + (F << 16) / max(1, S). src/core's no-float
+// rule does not bind src/zoo, but integer H keeps the comparator exact and
+// platform-independent (no FP rounding in a determinism-gated order).
+// Overflow headroom: one eviction raises L by at most one document value
+// (<= F << 16); with F capped by nref over a run, 2^63 is out of reach for
+// any trace this repo can generate.
+//
+// Comparator: (H asc, random_tag, url) — the repo's always-random final
+// tiebreak contract, so the heap root is the unique minimum.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/flat_index.h"
+#include "src/core/policy.h"
+
+namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+
+class GreedyDualPolicy final : public RemovalPolicy {
+ public:
+  enum class Mode {
+    kGds,   // F = 1: pure GreedyDual-Size
+    kGdsf,  // F = nref: GDSF (frequency-weighted)
+  };
+
+  explicit GreedyDualPolicy(Mode mode, std::uint64_t seed = 1);
+
+  void on_insert(const CacheEntry& entry) override;
+  void on_hit(const CacheEntry& entry) override;
+  void on_remove(const CacheEntry& entry) override;
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::optional<RankTuple> rank_of(UrlId url) const override;
+
+  /// Current inflation offset (monotone non-decreasing; tests).
+  [[nodiscard]] std::uint64_t inflation() const noexcept { return inflation_; }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// Verifies tracked-set equality with the cache, the arena/table/heap
+  /// invariants, that each slot's stored H equals its recorded insertion
+  /// offset plus the value recomputed from the live entry (freq/size), that
+  /// no recorded offset exceeds the current inflation, and that the heap
+  /// root is the full-scan (H, random_tag, url) minimum.
+  void audit_index(const EntryMap& entries, AuditReport& report) const override;
+
+ private:
+  friend struct AuditTamper;
+
+  static constexpr std::uint64_t kScale = 1ULL << 16;
+
+  struct SlotLess {
+    const GreedyDualPolicy* p;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      if (p->prios_[a] != p->prios_[b]) return p->prios_[a] < p->prios_[b];
+      if (p->tags_[a] != p->tags_[b]) return p->tags_[a] < p->tags_[b];
+      return p->urls_[a] < p->urls_[b];
+    }
+  };
+
+  [[nodiscard]] std::uint64_t value_of(const CacheEntry& entry) const noexcept;
+  [[nodiscard]] std::uint32_t acquire_slot();
+  [[nodiscard]] std::uint32_t slot_of(UrlId url) const noexcept;
+
+  Mode mode_;
+  std::string name_;
+  std::uint64_t inflation_ = 0;  // L: rises to the victim's H on eviction
+  std::uint32_t victim_slot_ = kInvalidSlot;  // choose_victim -> on_remove memo
+
+  // Struct-of-arrays per-slot state.
+  std::vector<std::uint64_t> prios_;    // H = offset + value at last write
+  std::vector<std::uint64_t> offsets_;  // L captured when H was written
+  std::vector<std::uint64_t> tags_;
+  std::vector<UrlId> urls_;
+  std::vector<std::uint32_t> heap_pos_;
+
+  SlotArena arena_;
+  UrlSlotTable table_;
+  DaryHeap<SlotLess> by_value_;
+};
+
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_gds(std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_gdsf(std::uint64_t seed = 1);
+
+}  // namespace wcs

@@ -1,0 +1,20 @@
+#include "src/zoo/registry.h"
+
+#include "src/core/policy.h"
+#include "src/zoo/gds.h"
+#include "src/zoo/selector.h"
+#include "src/zoo/slru.h"
+#include "src/zoo/tinylfu.h"
+
+namespace wcs::zoo {
+
+void register_zoo_policies() {
+  register_policy("gds", [](std::uint64_t seed) { return make_gds(seed); });
+  register_policy("gdsf", [](std::uint64_t seed) { return make_gdsf(seed); });
+  register_policy("slru", [](std::uint64_t seed) { return make_slru(seed); });
+  register_policy("tinylfu", [](std::uint64_t seed) { return make_tinylfu(seed); });
+  register_policy("w-tinylfu", [](std::uint64_t seed) { return make_tinylfu(seed); });
+  register_policy("adaptive", [](std::uint64_t seed) { return make_adaptive_selector(seed); });
+}
+
+}  // namespace wcs::zoo

@@ -1,0 +1,17 @@
+// Hooks the zoo's policies into make_policy_by_name (src/core/policy.h).
+//
+// Core cannot include zoo headers (the include-layering DAG puts zoo above
+// core), so name resolution flows the other way: anything that wants
+// "gdsf"/"slru"/"tinylfu"/"adaptive" to resolve by string — proxy config,
+// topology tiers, demos, studies — calls register_zoo_policies() once at
+// startup. Registration is idempotent (re-registering replaces the factory
+// with an identical one) and thread-safe.
+#pragma once
+
+namespace wcs::zoo {
+
+/// Registers "gds", "gdsf", "slru", "tinylfu", "w-tinylfu" (alias) and
+/// "adaptive" with make_policy_by_name. Safe to call repeatedly.
+void register_zoo_policies();
+
+}  // namespace wcs::zoo

@@ -1,0 +1,199 @@
+#include "src/zoo/selector.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/flat_index.h"
+#include "src/zoo/gds.h"
+#include "src/zoo/slru.h"
+#include "src/zoo/tinylfu.h"
+
+namespace wcs {
+
+ShadowSelectorPolicy::ShadowSelectorPolicy(SelectorConfig config)
+    : config_(std::move(config)) {
+  if (config_.candidates.empty()) {
+    throw std::invalid_argument{"ShadowSelectorPolicy: needs at least one candidate"};
+  }
+  if (config_.sample_rate_log2 >= 32) {
+    throw std::invalid_argument{"ShadowSelectorPolicy: sample_rate_log2 must be < 32"};
+  }
+  if (config_.epoch_events == 0) {
+    throw std::invalid_argument{"ShadowSelectorPolicy: epoch_events must be positive"};
+  }
+  for (const auto& candidate : config_.candidates) {
+    if (candidate.name.empty() || !candidate.factory) {
+      throw std::invalid_argument{"ShadowSelectorPolicy: candidate needs a name and factory"};
+    }
+  }
+  sample_salt_ = mix_url_hash(config_.seed ^ 0x5d0d0e5a17ULL);
+  sample_mask_ = (std::uint64_t{1} << config_.sample_rate_log2) - 1;
+}
+
+ShadowSelectorPolicy::~ShadowSelectorPolicy() = default;
+
+void ShadowSelectorPolicy::attach(std::uint64_t capacity_bytes) {
+  capacity_bytes_ = capacity_bytes;
+  inner_ = config_.candidates[current_].factory(config_.seed);
+  inner_->attach(capacity_bytes_);
+  shadows_.clear();
+  epoch_base_hits_.assign(config_.candidates.size(), 0);
+  const std::uint64_t shadow_capacity =
+      capacity_bytes == 0
+          ? 0
+          : std::max<std::uint64_t>(1, capacity_bytes >> config_.sample_rate_log2);
+  for (std::size_t i = 0; i < config_.candidates.size(); ++i) {
+    CacheConfig shadow_config;
+    shadow_config.capacity_bytes = shadow_capacity;
+    // Distinct tag seed per shadow so their tiebreaks are independent; the
+    // candidate policy itself gets the selector's seed, matching what the
+    // same factory would receive as a static (non-shadow) policy.
+    shadow_config.seed = mix_url_hash(config_.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    shadows_.push_back(std::make_unique<Cache>(std::move(shadow_config),
+                                               config_.candidates[i].factory(config_.seed)));
+  }
+}
+
+bool ShadowSelectorPolicy::sampled(UrlId url) const noexcept {
+  return (mix_url_hash(url ^ sample_salt_) & sample_mask_) == 0;
+}
+
+void ShadowSelectorPolicy::feed_shadows(const CacheEntry& entry) {
+  if (!sampled(entry.url)) return;
+  for (auto& shadow : shadows_) {
+    // entry.atime is the time of the access that triggered this
+    // notification, so the shadows replay the live clock.
+    shadow->access(entry.atime, entry.url, entry.size, entry.type, entry.latency_ms);
+  }
+}
+
+void ShadowSelectorPolicy::tick() {
+  ++events_;
+  if (++events_in_epoch_ >= config_.epoch_events) end_epoch();
+}
+
+void ShadowSelectorPolicy::end_epoch() {
+  EpochChoice choice;
+  choice.epoch = epoch_++;
+  choice.event_index = events_;
+  choice.shadow_hits.resize(shadows_.size());
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < shadows_.size(); ++i) {
+    const std::uint64_t total = shadows_[i]->stats().hits;
+    choice.shadow_hits[i] = total - epoch_base_hits_[i];
+    epoch_base_hits_[i] = total;
+    // Strict > keeps ties on the lowest index — deterministic argmax.
+    if (choice.shadow_hits[i] > choice.shadow_hits[best]) best = i;
+  }
+  if (best != current_ &&
+      choice.shadow_hits[best] > choice.shadow_hits[current_] + config_.min_advantage) {
+    current_ = best;
+    ++switches_;
+    choice.switched = true;
+    rebuild_inner();
+  }
+  choice.chosen = config_.candidates[current_].name;
+  epoch_log_.push_back(std::move(choice));
+  events_in_epoch_ = 0;
+}
+
+void ShadowSelectorPolicy::rebuild_inner() {
+  inner_ = config_.candidates[current_].factory(config_.seed);
+  inner_->attach(capacity_bytes_);
+  // The mirror's dense order is a deterministic function of the request
+  // stream (insert order with swap-remove holes), so the rebuilt index is
+  // reproducible bit for bit.
+  for (const CacheEntry& entry : mirror_.dense()) inner_->on_insert(entry);
+}
+
+void ShadowSelectorPolicy::on_insert(const CacheEntry& entry) {
+  WCS_ASSERT(inner_ != nullptr, "ShadowSelectorPolicy used before attach()");
+  mirror_.insert(entry);
+  inner_->on_insert(entry);
+  feed_shadows(entry);
+  tick();
+}
+
+void ShadowSelectorPolicy::on_hit(const CacheEntry& entry) {
+  CacheEntry* mirrored = mirror_.find(entry.url);
+  WCS_ASSERT(mirrored != nullptr, "ShadowSelectorPolicy::on_hit for an untracked URL");
+  *mirrored = entry;
+  inner_->on_hit(entry);
+  feed_shadows(entry);
+  tick();
+}
+
+void ShadowSelectorPolicy::on_remove(const CacheEntry& entry) {
+  const bool erased = mirror_.erase(entry.url);
+  WCS_ASSERT(erased, "ShadowSelectorPolicy::on_remove for an untracked URL");
+  (void)erased;
+  inner_->on_remove(entry);
+}
+
+std::optional<UrlId> ShadowSelectorPolicy::choose_victim(const EvictionContext& ctx) {
+  return inner_->choose_victim(ctx);
+}
+
+std::optional<RankTuple> ShadowSelectorPolicy::rank_of(UrlId url) const {
+  return inner_ == nullptr ? std::nullopt : inner_->rank_of(url);
+}
+
+void ShadowSelectorPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
+  if (mirror_.size() != entries.size()) {
+    report.add("selector.mirror_count",
+               "mirror holds " + std::to_string(mirror_.size()) + " entries but the cache holds " +
+                   std::to_string(entries.size()));
+  }
+  for (const auto& [url, entry] : entries) {
+    const CacheEntry* mirrored = mirror_.find(url);
+    if (mirrored == nullptr) {
+      report.add("selector.mirror_missing",
+                 "cached url " + std::to_string(url) + " absent from the mirror");
+      continue;
+    }
+    if (mirrored->size != entry.size || mirrored->atime != entry.atime ||
+        mirrored->nref != entry.nref) {
+      report.add("selector.mirror_stale",
+                 "url " + std::to_string(url) + " mirrored as {size " +
+                     std::to_string(mirrored->size) + ", atime " +
+                     std::to_string(mirrored->atime) + ", nref " +
+                     std::to_string(mirrored->nref) + "} but cached as {size " +
+                     std::to_string(entry.size) + ", atime " + std::to_string(entry.atime) +
+                     ", nref " + std::to_string(entry.nref) + "}");
+    }
+  }
+  mirror_.audit("selector.mirror", report);
+  if (inner_ != nullptr) {
+    AuditReport nested;
+    inner_->audit_index(entries, nested);
+    report.absorb("selector.inner", nested);
+  }
+  for (std::size_t i = 0; i < shadows_.size(); ++i) {
+    report.absorb("selector.shadow." + config_.candidates[i].name, shadows_[i]->audit());
+  }
+  if (events_in_epoch_ >= config_.epoch_events) {
+    report.add("selector.epoch_schedule",
+               std::to_string(events_in_epoch_) + " events in the current epoch, beyond the " +
+                   std::to_string(config_.epoch_events) + "-event period");
+  }
+}
+
+std::unique_ptr<RemovalPolicy> make_shadow_selector(SelectorConfig config) {
+  return std::make_unique<ShadowSelectorPolicy>(std::move(config));
+}
+
+std::unique_ptr<RemovalPolicy> make_adaptive_selector(std::uint64_t seed) {
+  SelectorConfig config;
+  config.seed = config.seed ^ mix_url_hash(seed);
+  config.candidates = {
+      {"size", [](std::uint64_t s) { return make_size(s); }},
+      {"lru", [](std::uint64_t s) { return make_lru(s); }},
+      {"gdsf", [](std::uint64_t s) { return make_gdsf(s); }},
+      {"slru", [](std::uint64_t s) { return make_slru(s); }},
+      {"w-tinylfu", [](std::uint64_t s) { return make_tinylfu(s); }},
+  };
+  return make_shadow_selector(std::move(config));
+}
+
+}  // namespace wcs

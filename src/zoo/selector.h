@@ -1,0 +1,135 @@
+// Online policy selection via shadow caches.
+//
+// ROADMAP's modern-policy question ("does SIZE still win?") has no single
+// answer: the best removal policy depends on the workload, and the workload
+// drifts. The ShadowSelectorPolicy runs K candidate policies *concurrently*
+// as small shadow caches — each a real Cache at capacity >> sample_rate_log2
+// fed a deterministic URL-hash sample of the request stream — and every
+// `epoch_events` insert/hit events compares their shadow hit counts. When a
+// challenger beats the incumbent by more than `min_advantage` shadow hits,
+// the selector switches: the live index is rebuilt under the challenger from
+// a mirror of the cache's resident set, and subsequent victims come from the
+// new policy. Hysteresis (the advantage margin) keeps the selector from
+// thrashing between near-tied candidates.
+//
+// Determinism: sampling is a pure hash of the URL id, epochs are event
+// counts (never wall time), ties in the hit comparison break toward the
+// lowest candidate index, and the rebuilt index replays the mirror's dense
+// order — itself a deterministic function of the request stream. Same seed,
+// same stream -> same switch points, same victims, bit for bit. With a
+// single candidate the selector never switches and is the candidate,
+// decision for decision.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/core/policy.h"
+
+namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+
+struct SelectorCandidate {
+  std::string name;
+  NamedPolicyFactory factory;  // seed -> policy instance
+};
+
+struct SelectorConfig {
+  std::vector<SelectorCandidate> candidates;
+  /// Shadow caches run at capacity >> sample_rate_log2 and see the
+  /// 1-in-2^sample_rate_log2 URL-hash sample of the stream (0 = full
+  /// stream, full-size shadows).
+  std::uint32_t sample_rate_log2 = 3;
+  /// Insert+hit events per decision epoch.
+  std::uint64_t epoch_events = 4096;
+  /// A challenger must beat the incumbent by more than this many shadow
+  /// hits within an epoch to take over (hysteresis).
+  std::uint64_t min_advantage = 8;
+  std::uint64_t seed = 0x5e1ec707ULL;
+};
+
+/// One epoch-boundary decision, for study output and the proxy demo.
+struct EpochChoice {
+  std::uint64_t epoch = 0;        // 0-based epoch index
+  std::uint64_t event_index = 0;  // insert+hit events seen at the boundary
+  std::string chosen;             // candidate in charge after the decision
+  bool switched = false;
+  std::vector<std::uint64_t> shadow_hits;  // per candidate, this epoch only
+};
+
+class ShadowSelectorPolicy final : public RemovalPolicy {
+ public:
+  explicit ShadowSelectorPolicy(SelectorConfig config);
+  ~ShadowSelectorPolicy() override;
+
+  /// Builds the live inner policy and one shadow cache per candidate at
+  /// capacity >> sample_rate_log2 (infinite stays infinite).
+  void attach(std::uint64_t capacity_bytes) override;
+
+  void on_insert(const CacheEntry& entry) override;
+  void on_hit(const CacheEntry& entry) override;
+  void on_remove(const CacheEntry& entry) override;
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "adaptive"; }
+  [[nodiscard]] std::optional<RankTuple> rank_of(UrlId url) const override;
+
+  [[nodiscard]] std::size_t current_index() const noexcept { return current_; }
+  [[nodiscard]] const std::string& current_name() const noexcept {
+    return config_.candidates[current_].name;
+  }
+  /// Every epoch-boundary decision so far, in order.
+  [[nodiscard]] const std::vector<EpochChoice>& epoch_log() const noexcept {
+    return epoch_log_;
+  }
+  [[nodiscard]] std::uint64_t switches() const noexcept { return switches_; }
+  /// The candidate shadow caches, for study output (hit rates per policy).
+  [[nodiscard]] const Cache& shadow(std::size_t i) const { return *shadows_[i]; }
+  [[nodiscard]] std::size_t candidate_count() const noexcept {
+    return config_.candidates.size();
+  }
+
+  /// Verifies the mirror tracks exactly the cached set (url, size, atime,
+  /// nref), forwards the live inner policy's audit under "selector.inner",
+  /// absorbs every shadow cache's full audit, and checks the epoch
+  /// schedule. O(K * n log n) — diagnostics only.
+  void audit_index(const EntryMap& entries, AuditReport& report) const override;
+
+ private:
+  friend struct AuditTamper;
+
+  [[nodiscard]] bool sampled(UrlId url) const noexcept;
+  void feed_shadows(const CacheEntry& entry);
+  /// Count one insert/hit event; runs the epoch decision at the boundary.
+  void tick();
+  void end_epoch();
+  /// Fresh instance of candidate `index` replaying the mirror's dense order.
+  void rebuild_inner();
+
+  SelectorConfig config_;
+  std::uint64_t capacity_bytes_ = 0;
+  std::uint64_t sample_salt_;
+  std::uint64_t sample_mask_;
+
+  std::size_t current_ = 0;
+  std::unique_ptr<RemovalPolicy> inner_;
+  std::vector<std::unique_ptr<Cache>> shadows_;
+  std::vector<std::uint64_t> epoch_base_hits_;  // shadow hits at epoch start
+
+  EntryTable mirror_;  // the live cache's resident set, for index rebuilds
+  std::uint64_t events_ = 0;  // insert+hit events since attach
+  std::uint64_t events_in_epoch_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t switches_ = 0;
+  std::vector<EpochChoice> epoch_log_;
+};
+
+/// The default zoo panel: SIZE (the paper's winner), LRU, GDSF, SLRU and
+/// W-TinyLFU as candidates, with the config's default sampling and
+/// hysteresis. Registered as "adaptive" in make_policy_by_name.
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_adaptive_selector(std::uint64_t seed = 1);
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_shadow_selector(SelectorConfig config);
+
+}  // namespace wcs

@@ -1,0 +1,92 @@
+#include "src/zoo/sketch.h"
+
+#include <string>
+
+namespace wcs {
+
+namespace {
+
+[[nodiscard]] std::uint32_t round_up_pow2(std::uint32_t value, std::uint32_t floor) noexcept {
+  std::uint32_t width = floor;
+  while (width < value) width <<= 1;
+  return width;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::uint32_t min_width, std::uint64_t seed)
+    : width_(round_up_pow2(min_width, 16)) {
+  for (std::uint32_t row = 0; row < kDepth; ++row) {
+    salts_[row] = mix_url_hash(seed + row);
+  }
+  counters_.assign(static_cast<std::size_t>(width_) * kDepth, 0);
+}
+
+void CountMinSketch::add(UrlId url) {
+  for (std::uint32_t row = 0; row < kDepth; ++row) {
+    std::uint8_t& counter = counters_[cell(row, url)];
+    if (counter < kMaxCount) ++counter;
+  }
+  ++additions_;
+}
+
+std::uint32_t CountMinSketch::estimate(UrlId url) const noexcept {
+  std::uint32_t minimum = kMaxCount;
+  for (std::uint32_t row = 0; row < kDepth; ++row) {
+    const std::uint8_t counter = counters_[cell(row, url)];
+    if (counter < minimum) minimum = counter;
+  }
+  return minimum;
+}
+
+void CountMinSketch::halve() {
+  for (std::uint8_t& counter : counters_) counter = static_cast<std::uint8_t>(counter >> 1);
+  additions_ = 0;
+  ++halvings_;
+}
+
+void CountMinSketch::audit_index(AuditReport& report) const {
+  if (width_ < 16 || (width_ & (width_ - 1)) != 0) {
+    report.add("sketch.width", "width " + std::to_string(width_) + " is not a power of two");
+  }
+  if (counters_.size() != static_cast<std::size_t>(width_) * kDepth) {
+    report.add("sketch.rows", "counter array holds " + std::to_string(counters_.size()) +
+                                  " cells, expected " +
+                                  std::to_string(static_cast<std::size_t>(width_) * kDepth));
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] > kMaxCount) {
+      report.add("sketch.saturation",
+                 "cell " + std::to_string(i) + " holds " + std::to_string(counters_[i]) +
+                     ", beyond the saturation cap " + std::to_string(kMaxCount));
+    }
+  }
+}
+
+Doorkeeper::Doorkeeper(std::uint32_t min_bits, std::uint64_t seed)
+    : mask_(round_up_pow2(min_bits, 64) - 1) {
+  salts_[0] = mix_url_hash(seed);
+  salts_[1] = mix_url_hash(seed + 0x9e3779b97f4a7c15ULL);
+  words_.assign((static_cast<std::size_t>(mask_) + 1) / 64, 0);
+}
+
+bool Doorkeeper::contains(UrlId url) const noexcept {
+  for (std::uint32_t probe = 0; probe < 2; ++probe) {
+    const std::uint32_t bit = bit_of(probe, url);
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void Doorkeeper::insert(UrlId url) {
+  for (std::uint32_t probe = 0; probe < 2; ++probe) {
+    const std::uint32_t bit = bit_of(probe, url);
+    words_[bit >> 6] |= 1ULL << (bit & 63);
+  }
+}
+
+void Doorkeeper::clear() noexcept {
+  for (std::uint64_t& word : words_) word = 0;
+}
+
+}  // namespace wcs

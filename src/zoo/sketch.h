@@ -1,0 +1,104 @@
+// Deterministic frequency sketch for W-TinyLFU (src/zoo/tinylfu.h).
+//
+// CountMinSketch is the classic depth-4 count-min estimator with TinyLFU's
+// two modifications: counters saturate at a small cap (4-bit style — a
+// frequency beyond 15 carries no extra eviction information) and every
+// counter is halved on a fixed schedule (the owner calls halve() every
+// sample-size additions), which ages out stale popularity so the sketch
+// tracks the *recent* reference distribution.
+//
+// Doorkeeper is the bloom filter TinyLFU puts in front of the sketch:
+// one-hit wonders stop at the doorkeeper and never consume sketch
+// counters; only the second reference within a sample period reaches the
+// sketch. It is cleared at each halving.
+//
+// Determinism: row salts derive from the constructor seed via the
+// splitmix64 finalizer (mix_url_hash), widths are powers of two, and no
+// global RNG or wall clock is consulted — (seed, url sequence) -> state,
+// bit for bit, on every platform. Integer math only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/audit.h"
+#include "src/core/flat_index.h"
+#include "src/trace/request.h"
+
+namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+
+class CountMinSketch {
+ public:
+  static constexpr std::uint32_t kDepth = 4;
+  /// TinyLFU saturation cap: estimates are only ever compared, and a
+  /// frequency above this ceiling cannot change any comparison the policy
+  /// makes before the next halving resets the scale.
+  static constexpr std::uint8_t kMaxCount = 15;
+
+  /// `min_width` is rounded up to a power of two (>= 16). All four rows
+  /// share one contiguous counter array.
+  explicit CountMinSketch(std::uint32_t min_width, std::uint64_t seed = 0x5ce7c4f0);
+
+  /// Count one reference: saturating increment of one cell per row.
+  void add(UrlId url);
+
+  /// Estimated reference count: the minimum across rows (classic count-min
+  /// upper-bound estimate, tightened by the saturation cap).
+  [[nodiscard]] std::uint32_t estimate(UrlId url) const noexcept;
+
+  /// The aging step: halve every counter (rounding down) and forget the
+  /// additions seen so far. The owner calls this every sample-size adds.
+  void halve();
+
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+  /// Additions since the last halve() (the owner's halving trigger).
+  [[nodiscard]] std::uint64_t additions() const noexcept { return additions_; }
+  /// Total halvings performed (tests pin the schedule to this).
+  [[nodiscard]] std::uint64_t halvings() const noexcept { return halvings_; }
+
+  /// Internal invariants: width is a power of two, the counter array spans
+  /// exactly kDepth rows, and no counter exceeds the saturation cap.
+  void audit_index(AuditReport& report) const;
+
+ private:
+  friend struct AuditTamper;
+
+  [[nodiscard]] std::size_t cell(std::uint32_t row, UrlId url) const noexcept {
+    return static_cast<std::size_t>(row) * width_ +
+           (mix_url_hash(static_cast<std::uint64_t>(url) ^ salts_[row]) & (width_ - 1));
+  }
+
+  std::uint32_t width_ = 0;
+  std::uint64_t additions_ = 0;
+  std::uint64_t halvings_ = 0;
+  std::uint64_t salts_[kDepth] = {};
+  std::vector<std::uint8_t> counters_;
+};
+
+class Doorkeeper {
+ public:
+  /// `min_bits` is rounded up to a power of two (>= 64); two probe bits per
+  /// url, salted from `seed`.
+  explicit Doorkeeper(std::uint32_t min_bits, std::uint64_t seed = 0xd0c4beefULL);
+
+  [[nodiscard]] bool contains(UrlId url) const noexcept;
+  void insert(UrlId url);
+  /// Reset every bit (performed at each sketch halving).
+  void clear() noexcept;
+
+  [[nodiscard]] std::uint32_t bit_count() const noexcept { return mask_ + 1; }
+
+ private:
+  [[nodiscard]] std::uint32_t bit_of(std::uint32_t probe, UrlId url) const noexcept {
+    return static_cast<std::uint32_t>(
+        mix_url_hash(static_cast<std::uint64_t>(url) ^ salts_[probe]) & mask_);
+  }
+
+  std::uint32_t mask_ = 0;  // bit_count - 1 (power of two)
+  std::uint64_t salts_[2] = {};
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wcs

@@ -1,0 +1,207 @@
+#include "src/zoo/slru.h"
+
+#include <stdexcept>
+
+namespace wcs {
+
+SlruPolicy::SlruPolicy(std::uint32_t protected_permille, std::uint64_t /*seed*/)
+    : protected_permille_(protected_permille),
+      name_("slru"),
+      probation_(SlotLess{this}, &heap_pos_),
+      shelter_(SlotLess{this}, &heap_pos_) {
+  if (protected_permille_ == 0 || protected_permille_ >= 1000) {
+    throw std::invalid_argument{"SlruPolicy: protected_permille must be in (0, 1000)"};
+  }
+}
+
+void SlruPolicy::attach(std::uint64_t capacity_bytes) {
+  protected_cap_ =
+      capacity_bytes == 0 ? ~0ULL : (capacity_bytes * protected_permille_) / 1000;
+}
+
+std::uint32_t SlruPolicy::acquire_slot() {
+  const std::uint32_t slot = arena_.acquire();
+  if (slot >= urls_.size()) {
+    seqs_.push_back(0);
+    tags_.push_back(0);
+    urls_.push_back(kInvalidUrl);
+    sizes_.push_back(0);
+    segments_.push_back(kProbation);
+    heap_pos_.push_back(kInvalidSlot);
+  }
+  return slot;
+}
+
+std::uint32_t SlruPolicy::slot_of(UrlId url) const noexcept {
+  if (victim_slot_ != kInvalidSlot && urls_[victim_slot_] == url &&
+      heap_pos_[victim_slot_] != kInvalidSlot) {
+    return victim_slot_;
+  }
+  return table_.find(url);
+}
+
+void SlruPolicy::rebalance_protected() {
+  while (protected_bytes_ > protected_cap_ && !shelter_.empty()) {
+    const std::uint32_t demoted = shelter_.top();
+    shelter_.erase(demoted);
+    protected_bytes_ -= sizes_[demoted];
+    segments_[demoted] = kProbation;
+    seqs_[demoted] = next_seq_++;  // probation MRU: one more chance to re-earn shelter
+    probation_.push(demoted);
+  }
+}
+
+void SlruPolicy::on_insert(const CacheEntry& entry) {
+  const std::uint32_t slot = acquire_slot();
+  seqs_[slot] = next_seq_++;
+  tags_[slot] = entry.random_tag;
+  urls_[slot] = entry.url;
+  sizes_[slot] = entry.size;
+  segments_[slot] = kProbation;
+  table_.insert(entry.url, slot);
+  probation_.push(slot);
+}
+
+void SlruPolicy::on_hit(const CacheEntry& entry) {
+  const std::uint32_t slot = table_.find(entry.url);
+  WCS_ASSERT(slot != kInvalidSlot, "SlruPolicy::on_hit for an untracked URL");
+  seqs_[slot] = next_seq_++;
+  if (segments_[slot] == kProtected) {
+    shelter_.update(slot);
+    return;
+  }
+  // Second reference: promote into the protected segment, then demote its
+  // LRU end until the byte cap holds again.
+  probation_.erase(slot);
+  segments_[slot] = kProtected;
+  protected_bytes_ += sizes_[slot];
+  shelter_.push(slot);
+  rebalance_protected();
+}
+
+void SlruPolicy::on_remove(const CacheEntry& entry) {
+  const std::uint32_t slot = slot_of(entry.url);
+  victim_slot_ = kInvalidSlot;
+  WCS_ASSERT(slot != kInvalidSlot, "SlruPolicy::on_remove for an untracked URL");
+  if (segments_[slot] == kProtected) {
+    shelter_.erase(slot);
+    protected_bytes_ -= sizes_[slot];
+  } else {
+    probation_.erase(slot);
+  }
+  const bool erased = table_.erase(entry.url);
+  WCS_ASSERT(erased, "SlruPolicy::on_remove url missing from table");
+  (void)erased;
+  arena_.release(slot);
+}
+
+std::optional<UrlId> SlruPolicy::choose_victim(const EvictionContext& /*ctx*/) {
+  if (!probation_.empty()) {
+    victim_slot_ = probation_.top();
+  } else if (!shelter_.empty()) {
+    victim_slot_ = shelter_.top();
+  } else {
+    return std::nullopt;
+  }
+  return urls_[victim_slot_];
+}
+
+std::optional<RankTuple> SlruPolicy::rank_of(UrlId url) const {
+  const std::uint32_t slot = table_.find(url);
+  if (slot == kInvalidSlot) return std::nullopt;
+  RankTuple tuple;
+  tuple.count = 2;
+  tuple.ranks[0] = segments_[slot];  // victims drain probation (0) first
+  tuple.ranks[1] = static_cast<std::int64_t>(seqs_[slot]);
+  tuple.random_tag = tags_[slot];
+  tuple.url = urls_[slot];
+  return tuple;
+}
+
+void SlruPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
+  if (table_.size() != entries.size()) {
+    report.add("slru.tracked_count",
+               "policy tracks " + std::to_string(table_.size()) + " URLs but cache holds " +
+                   std::to_string(entries.size()));
+  }
+  if (probation_.size() + shelter_.size() != table_.size()) {
+    report.add("slru.order_count",
+               "segments hold " + std::to_string(probation_.size() + shelter_.size()) +
+                   " slots but table maps " + std::to_string(table_.size()));
+  }
+  if (arena_.live() != table_.size()) {
+    report.add("slru.arena_live",
+               "arena has " + std::to_string(arena_.live()) + " live slots but table maps " +
+                   std::to_string(table_.size()));
+  }
+  arena_.audit("slru", report);
+  table_.audit("slru", report);
+  probation_.audit("slru.probation", report);
+  shelter_.audit("slru.protected", report);
+
+  std::uint64_t shelter_sum = 0;
+  const SlotLess less{this};
+  std::uint32_t min_probation = kInvalidSlot;
+  std::uint32_t min_shelter = kInvalidSlot;
+  for (const auto& [url, entry] : entries) {
+    const std::uint32_t slot = table_.find(url);
+    if (slot == kInvalidSlot) {
+      report.add("slru.untracked", "cached url " + std::to_string(url) + " not in index");
+      continue;
+    }
+    if (urls_[slot] != url) {
+      report.add("slru.table_slot",
+                 "url " + std::to_string(url) + " maps to slot " + std::to_string(slot) +
+                     " which claims url " + std::to_string(urls_[slot]));
+      continue;
+    }
+    if (sizes_[slot] != entry.size) {
+      report.add("slru.stale_size",
+                 "url " + std::to_string(url) + " has stored size " +
+                     std::to_string(sizes_[slot]) + " but the cache holds " +
+                     std::to_string(entry.size) + " bytes");
+    }
+    if (segments_[slot] == kProtected) {
+      shelter_sum += sizes_[slot];
+      if (min_shelter == kInvalidSlot || less(slot, min_shelter)) min_shelter = slot;
+    } else {
+      if (min_probation == kInvalidSlot || less(slot, min_probation)) min_probation = slot;
+    }
+    // The segment flag must agree with the heap that actually holds the
+    // slot: positions are shared, so membership is checked via each heap's
+    // layout array.
+    const std::uint32_t pos = heap_pos_[slot];
+    const DaryHeap<SlotLess>& home = segments_[slot] == kProtected ? shelter_ : probation_;
+    if (pos == kInvalidSlot || pos >= home.size() || home.slots()[pos] != slot) {
+      report.add("slru.segment_membership",
+                 "url " + std::to_string(url) + "'s slot is not in its segment's heap");
+    }
+  }
+  if (shelter_sum != protected_bytes_) {
+    report.add("slru.protected_bytes",
+               "protected tally is " + std::to_string(protected_bytes_) +
+                   " but protected entries sum to " + std::to_string(shelter_sum));
+  }
+  if (protected_bytes_ > protected_cap_) {
+    report.add("slru.protected_cap",
+               "protected tally " + std::to_string(protected_bytes_) + " exceeds the cap " +
+                   std::to_string(protected_cap_));
+  }
+  if (min_probation != kInvalidSlot && !probation_.empty() &&
+      probation_.top() != min_probation) {
+    report.add("slru.victim_order",
+               "probation root is url " + std::to_string(urls_[probation_.top()]) +
+                   " but the comparator minimum is url " + std::to_string(urls_[min_probation]));
+  }
+  if (min_shelter != kInvalidSlot && !shelter_.empty() && shelter_.top() != min_shelter) {
+    report.add("slru.victim_order",
+               "protected root is url " + std::to_string(urls_[shelter_.top()]) +
+                   " but the comparator minimum is url " + std::to_string(urls_[min_shelter]));
+  }
+}
+
+std::unique_ptr<RemovalPolicy> make_slru(std::uint64_t seed, std::uint32_t protected_permille) {
+  return std::make_unique<SlruPolicy>(protected_permille, seed);
+}
+
+}  // namespace wcs

@@ -1,0 +1,101 @@
+// Segmented LRU (Karedla, Love & Wherry) on the flat engine.
+//
+// Two LRU segments: new documents enter *probation*; a hit promotes a
+// probationary document into *protected* (capped at a configurable byte
+// fraction of the cache, default 80%); protected overflow demotes the
+// protected-LRU document back to the probation MRU position. Victims come
+// from the probation LRU end while probation is non-empty, then from
+// protected — so documents referenced at least twice are sheltered from
+// scan/burst traffic that floods probation.
+//
+// Flat layout: recency is a monotone per-touch sequence number, and each
+// segment is a DaryHeap over (seq asc, random_tag, url) — the root is the
+// segment's LRU document. Both heaps share the single heap_pos_ column:
+// a slot sits in exactly one segment at a time (the LRU-MIN 64-bucket
+// precedent in src/core/lru_min.h).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/flat_index.h"
+#include "src/core/policy.h"
+
+namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+
+class SlruPolicy final : public RemovalPolicy {
+ public:
+  /// `protected_permille` bounds the protected segment at that fraction of
+  /// the cache's byte capacity (per-mille; 800 = the classic 20/80 split).
+  explicit SlruPolicy(std::uint32_t protected_permille = 800, std::uint64_t seed = 1);
+
+  /// Sizes the protected cap. Capacity 0 (infinite cache) leaves the
+  /// protected segment unbounded — no eviction ever happens there anyway.
+  void attach(std::uint64_t capacity_bytes) override;
+
+  void on_insert(const CacheEntry& entry) override;
+  void on_hit(const CacheEntry& entry) override;
+  void on_remove(const CacheEntry& entry) override;
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::optional<RankTuple> rank_of(UrlId url) const override;
+
+  [[nodiscard]] std::uint64_t protected_bytes() const noexcept { return protected_bytes_; }
+  [[nodiscard]] std::uint64_t protected_cap() const noexcept { return protected_cap_; }
+  [[nodiscard]] std::size_t probation_count() const noexcept { return probation_.size(); }
+  [[nodiscard]] std::size_t protected_count() const noexcept { return shelter_.size(); }
+
+  /// Verifies tracked-set equality with the cache, arena/table/heap
+  /// invariants, that each slot's segment flag matches the heap holding it,
+  /// that the protected byte tally is the exact sum of protected sizes and
+  /// within the cap, and that each segment's heap root is its full-scan
+  /// (seq, random_tag, url) minimum.
+  void audit_index(const EntryMap& entries, AuditReport& report) const override;
+
+ private:
+  friend struct AuditTamper;
+
+  enum Segment : std::uint8_t { kProbation = 0, kProtected = 1 };
+
+  struct SlotLess {
+    const SlruPolicy* p;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      if (p->seqs_[a] != p->seqs_[b]) return p->seqs_[a] < p->seqs_[b];
+      if (p->tags_[a] != p->tags_[b]) return p->tags_[a] < p->tags_[b];
+      return p->urls_[a] < p->urls_[b];
+    }
+  };
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  [[nodiscard]] std::uint32_t slot_of(UrlId url) const noexcept;
+  /// Demote protected-LRU documents to the probation MRU position until
+  /// the protected byte tally is back under the cap.
+  void rebalance_protected();
+
+  std::uint32_t protected_permille_;
+  std::string name_;
+  std::uint64_t protected_cap_ = ~0ULL;  // unbounded until attach()
+  std::uint64_t protected_bytes_ = 0;
+  std::uint64_t next_seq_ = 1;  // monotone touch clock (0 = never)
+  std::uint32_t victim_slot_ = kInvalidSlot;  // choose_victim -> on_remove memo
+
+  // Struct-of-arrays per-slot state.
+  std::vector<std::uint64_t> seqs_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<UrlId> urls_;
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint8_t> segments_;
+  std::vector<std::uint32_t> heap_pos_;  // shared: a slot is in exactly one segment
+
+  SlotArena arena_;
+  UrlSlotTable table_;
+  DaryHeap<SlotLess> probation_;
+  DaryHeap<SlotLess> shelter_;  // the protected segment ("protected" is reserved)
+};
+
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_slru(std::uint64_t seed = 1,
+                                                       std::uint32_t protected_permille = 800);
+
+}  // namespace wcs

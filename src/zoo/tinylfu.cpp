@@ -1,0 +1,383 @@
+#include "src/zoo/tinylfu.h"
+
+#include <stdexcept>
+
+namespace wcs {
+
+namespace {
+
+constexpr std::uint32_t kDefaultSketchWidth = 1u << 10;
+
+[[nodiscard]] std::uint64_t clamp64(std::uint64_t value, std::uint64_t lo,
+                                    std::uint64_t hi) noexcept {
+  return value < lo ? lo : (value > hi ? hi : value);
+}
+
+}  // namespace
+
+TinyLfuPolicy::TinyLfuPolicy(TinyLfuConfig config)
+    : config_(config),
+      name_("w-tinylfu"),
+      window_permille_(config.window_permille),
+      window_(SlotLess{this}, &heap_pos_),
+      probation_(SlotLess{this}, &heap_pos_),
+      shelter_(SlotLess{this}, &heap_pos_),
+      sketch_(kDefaultSketchWidth, config.seed),
+      doorkeeper_(kDefaultSketchWidth * 8, config.seed ^ 0xd00f ) {
+  if (config_.window_permille == 0 || config_.window_permille >= 1000 ||
+      config_.protected_permille == 0 || config_.protected_permille >= 1000) {
+    throw std::invalid_argument{"TinyLfuPolicy: per-mille fractions must be in (0, 1000)"};
+  }
+  if (config_.min_window_permille > config_.max_window_permille ||
+      window_permille_ < config_.min_window_permille ||
+      window_permille_ > config_.max_window_permille) {
+    throw std::invalid_argument{"TinyLfuPolicy: window_permille outside its climb bounds"};
+  }
+}
+
+void TinyLfuPolicy::attach(std::uint64_t capacity_bytes) {
+  capacity_bytes_ = capacity_bytes;
+  if (capacity_bytes == 0) {
+    // Infinite cache: no evictions, so no duels, no adaptation, and the
+    // default-width sketch only ever feeds estimates nobody reads.
+    window_cap_ = ~0ULL;
+    protected_cap_ = ~0ULL;
+    sample_size_ = 0;
+    return;
+  }
+  const std::uint64_t doc_bytes = config_.assumed_doc_bytes == 0 ? 1 : config_.assumed_doc_bytes;
+  const std::uint64_t expected_entries =
+      clamp64(capacity_bytes / doc_bytes, 1024, 1u << 20);
+  sketch_ = CountMinSketch(static_cast<std::uint32_t>(expected_entries), config_.seed);
+  doorkeeper_ = Doorkeeper(static_cast<std::uint32_t>(expected_entries) * 8,
+                           config_.seed ^ 0xd00f);
+  sample_size_ = config_.sample_multiplier * expected_entries;
+  window_cap_ = (capacity_bytes * window_permille_) / 1000;
+  const std::uint64_t main_bytes = capacity_bytes - window_cap_;
+  protected_cap_ = (main_bytes * config_.protected_permille) / 1000;
+}
+
+std::uint32_t TinyLfuPolicy::acquire_slot() {
+  const std::uint32_t slot = arena_.acquire();
+  if (slot >= urls_.size()) {
+    seqs_.push_back(0);
+    tags_.push_back(0);
+    urls_.push_back(kInvalidUrl);
+    sizes_.push_back(0);
+    segments_.push_back(kWindow);
+    heap_pos_.push_back(kInvalidSlot);
+  }
+  return slot;
+}
+
+std::uint32_t TinyLfuPolicy::slot_of(UrlId url) const noexcept {
+  if (victim_slot_ != kInvalidSlot && urls_[victim_slot_] == url &&
+      heap_pos_[victim_slot_] != kInvalidSlot) {
+    return victim_slot_;
+  }
+  return table_.find(url);
+}
+
+DaryHeap<TinyLfuPolicy::SlotLess>& TinyLfuPolicy::heap_of(std::uint8_t segment) noexcept {
+  switch (segment) {
+    case kWindow: return window_;
+    case kProbation: return probation_;
+    default: return shelter_;
+  }
+}
+
+const DaryHeap<TinyLfuPolicy::SlotLess>& TinyLfuPolicy::heap_of(
+    std::uint8_t segment) const noexcept {
+  switch (segment) {
+    case kWindow: return window_;
+    case kProbation: return probation_;
+    default: return shelter_;
+  }
+}
+
+void TinyLfuPolicy::record_reference(UrlId url) {
+  // Doorkeeper front: a first reference in this sample period stops at the
+  // bloom filter; only repeats consume sketch counters.
+  if (!doorkeeper_.contains(url)) {
+    doorkeeper_.insert(url);
+  } else {
+    sketch_.add(url);
+  }
+  if (sample_size_ != 0 && sketch_.additions() >= sample_size_) maintenance();
+}
+
+std::uint32_t TinyLfuPolicy::estimate(UrlId url) const noexcept {
+  return sketch_.estimate(url) + (doorkeeper_.contains(url) ? 1 : 0);
+}
+
+void TinyLfuPolicy::maintenance() {
+  sketch_.halve();
+  doorkeeper_.clear();
+  if (!config_.adaptive || capacity_bytes_ == 0) {
+    epoch_hits_ = 0;
+    return;
+  }
+  // Hill climb: keep walking while the hit count improves, turn around
+  // when it regresses. Integer comparison, event-count schedule — fully
+  // deterministic.
+  if (epoch_hits_ < prev_epoch_hits_) climb_direction_ = -climb_direction_;
+  const std::int64_t stepped =
+      static_cast<std::int64_t>(window_permille_) +
+      climb_direction_ * static_cast<std::int64_t>(config_.step_permille);
+  const std::int64_t lo = config_.min_window_permille;
+  const std::int64_t hi = config_.max_window_permille;
+  window_permille_ = static_cast<std::uint32_t>(stepped < lo ? lo : (stepped > hi ? hi : stepped));
+  window_cap_ = (capacity_bytes_ * window_permille_) / 1000;
+  const std::uint64_t main_bytes = capacity_bytes_ - window_cap_;
+  protected_cap_ = (main_bytes * config_.protected_permille) / 1000;
+  prev_epoch_hits_ = epoch_hits_;
+  epoch_hits_ = 0;
+  rebalance_protected();
+  // A shrunken window drains into probation immediately while main has
+  // room; past that the overflow surfaces as duel candidates on the next
+  // eviction.
+  drain_window();
+}
+
+void TinyLfuPolicy::rebalance_protected() {
+  while (protected_bytes_ > protected_cap_ && !shelter_.empty()) {
+    migrate(shelter_.top(), kProbation);
+  }
+}
+
+void TinyLfuPolicy::drain_window() {
+  if (capacity_bytes_ == 0) return;
+  // While the main area has spare room, window overflow is admitted to
+  // probation without a duel (the frequency filter only matters when an
+  // admission costs an eviction). Once main is full, overflow stays in the
+  // window and choose_victim runs the duel.
+  const std::uint64_t main_cap = capacity_bytes_ - window_cap_;
+  while (window_bytes_ > window_cap_ && !window_.empty()) {
+    const std::uint32_t candidate = window_.top();
+    const std::uint64_t main_bytes = total_bytes_ - window_bytes_;
+    if (main_bytes + sizes_[candidate] > main_cap) break;
+    migrate(candidate, kProbation);
+  }
+}
+
+void TinyLfuPolicy::migrate(std::uint32_t slot, std::uint8_t to) {
+  const std::uint8_t from = segments_[slot];
+  WCS_ASSERT(from != to, "TinyLfuPolicy::migrate to the slot's own segment");
+  heap_of(from).erase(slot);
+  if (from == kWindow) window_bytes_ -= sizes_[slot];
+  if (from == kProtected) protected_bytes_ -= sizes_[slot];
+  segments_[slot] = to;
+  seqs_[slot] = next_seq_++;  // lands at the MRU end of its new segment
+  if (to == kWindow) window_bytes_ += sizes_[slot];
+  if (to == kProtected) protected_bytes_ += sizes_[slot];
+  heap_of(to).push(slot);
+}
+
+void TinyLfuPolicy::on_insert(const CacheEntry& entry) {
+  record_reference(entry.url);
+  const std::uint32_t slot = acquire_slot();
+  seqs_[slot] = next_seq_++;
+  tags_[slot] = entry.random_tag;
+  urls_[slot] = entry.url;
+  sizes_[slot] = entry.size;
+  segments_[slot] = kWindow;
+  window_bytes_ += entry.size;
+  total_bytes_ += entry.size;
+  table_.insert(entry.url, slot);
+  window_.push(slot);
+  drain_window();
+}
+
+void TinyLfuPolicy::on_hit(const CacheEntry& entry) {
+  record_reference(entry.url);
+  ++epoch_hits_;
+  const std::uint32_t slot = table_.find(entry.url);
+  WCS_ASSERT(slot != kInvalidSlot, "TinyLfuPolicy::on_hit for an untracked URL");
+  switch (segments_[slot]) {
+    case kWindow:
+      seqs_[slot] = next_seq_++;
+      window_.update(slot);
+      break;
+    case kProbation:
+      migrate(slot, kProtected);
+      rebalance_protected();
+      break;
+    default:  // kProtected
+      seqs_[slot] = next_seq_++;
+      shelter_.update(slot);
+      break;
+  }
+}
+
+void TinyLfuPolicy::on_remove(const CacheEntry& entry) {
+  const std::uint32_t slot = slot_of(entry.url);
+  victim_slot_ = kInvalidSlot;
+  WCS_ASSERT(slot != kInvalidSlot, "TinyLfuPolicy::on_remove for an untracked URL");
+  const std::uint8_t segment = segments_[slot];
+  heap_of(segment).erase(slot);
+  if (segment == kWindow) window_bytes_ -= sizes_[slot];
+  if (segment == kProtected) protected_bytes_ -= sizes_[slot];
+  total_bytes_ -= sizes_[slot];
+  const bool erased = table_.erase(entry.url);
+  WCS_ASSERT(erased, "TinyLfuPolicy::on_remove url missing from table");
+  (void)erased;
+  arena_.release(slot);
+}
+
+std::optional<UrlId> TinyLfuPolicy::choose_victim(const EvictionContext& /*ctx*/) {
+  if (table_.size() == 0) return std::nullopt;
+  if (window_bytes_ > window_cap_ && !window_.empty()) {
+    const std::uint32_t candidate = window_.top();
+    // Main-area victim: probation LRU first, protected LRU as fallback.
+    const std::uint32_t main_victim =
+        !probation_.empty() ? probation_.top() : (!shelter_.empty() ? shelter_.top() : kInvalidSlot);
+    if (main_victim == kInvalidSlot) {
+      victim_slot_ = candidate;  // nothing to duel: the window evicts alone
+      return urls_[victim_slot_];
+    }
+    // The TinyLFU admission duel. Strict inequality: on a tie the candidate
+    // loses, which also blunts hash-flood attacks on the sketch.
+    if (estimate(urls_[candidate]) > estimate(urls_[main_victim])) {
+      ++duels_won_;
+      migrate(candidate, kProbation);
+      victim_slot_ = main_victim;
+    } else {
+      ++duels_lost_;
+      victim_slot_ = candidate;
+    }
+    return urls_[victim_slot_];
+  }
+  if (!probation_.empty()) {
+    victim_slot_ = probation_.top();
+  } else if (!shelter_.empty()) {
+    victim_slot_ = shelter_.top();
+  } else {
+    victim_slot_ = window_.top();  // table non-empty, so the window holds it
+  }
+  return urls_[victim_slot_];
+}
+
+std::optional<RankTuple> TinyLfuPolicy::rank_of(UrlId url) const {
+  const std::uint32_t slot = table_.find(url);
+  if (slot == kInvalidSlot) return std::nullopt;
+  RankTuple tuple;
+  tuple.count = 2;
+  tuple.ranks[0] = segments_[slot];
+  tuple.ranks[1] = static_cast<std::int64_t>(seqs_[slot]);
+  tuple.random_tag = tags_[slot];
+  tuple.url = urls_[slot];
+  return tuple;
+}
+
+void TinyLfuPolicy::audit_index(const EntryMap& entries, AuditReport& report) const {
+  if (table_.size() != entries.size()) {
+    report.add("tinylfu.tracked_count",
+               "policy tracks " + std::to_string(table_.size()) + " URLs but cache holds " +
+                   std::to_string(entries.size()));
+  }
+  const std::size_t queued = window_.size() + probation_.size() + shelter_.size();
+  if (queued != table_.size()) {
+    report.add("tinylfu.order_count",
+               "segments hold " + std::to_string(queued) + " slots but table maps " +
+                   std::to_string(table_.size()));
+  }
+  if (arena_.live() != table_.size()) {
+    report.add("tinylfu.arena_live",
+               "arena has " + std::to_string(arena_.live()) + " live slots but table maps " +
+                   std::to_string(table_.size()));
+  }
+  arena_.audit("tinylfu", report);
+  table_.audit("tinylfu", report);
+  window_.audit("tinylfu.window", report);
+  probation_.audit("tinylfu.probation", report);
+  shelter_.audit("tinylfu.protected", report);
+  sketch_.audit_index(report);
+  if (window_permille_ < config_.min_window_permille ||
+      window_permille_ > config_.max_window_permille) {
+    report.add("tinylfu.window_bounds",
+               "window fraction " + std::to_string(window_permille_) +
+                   " per-mille escaped its climb bounds");
+  }
+
+  std::uint64_t window_sum = 0;
+  std::uint64_t shelter_sum = 0;
+  std::uint64_t total_sum = 0;
+  const SlotLess less{this};
+  std::uint32_t min_slot[3] = {kInvalidSlot, kInvalidSlot, kInvalidSlot};
+  for (const auto& [url, entry] : entries) {
+    const std::uint32_t slot = table_.find(url);
+    if (slot == kInvalidSlot) {
+      report.add("tinylfu.untracked", "cached url " + std::to_string(url) + " not in index");
+      continue;
+    }
+    if (urls_[slot] != url) {
+      report.add("tinylfu.table_slot",
+                 "url " + std::to_string(url) + " maps to slot " + std::to_string(slot) +
+                     " which claims url " + std::to_string(urls_[slot]));
+      continue;
+    }
+    if (sizes_[slot] != entry.size) {
+      report.add("tinylfu.stale_size",
+                 "url " + std::to_string(url) + " has stored size " +
+                     std::to_string(sizes_[slot]) + " but the cache holds " +
+                     std::to_string(entry.size) + " bytes");
+    }
+    const std::uint8_t segment = segments_[slot];
+    if (segment > kProtected) {
+      report.add("tinylfu.segment_flag",
+                 "url " + std::to_string(url) + " carries segment flag " +
+                     std::to_string(segment));
+      continue;
+    }
+    if (segment == kWindow) window_sum += sizes_[slot];
+    if (segment == kProtected) shelter_sum += sizes_[slot];
+    total_sum += sizes_[slot];
+    if (min_slot[segment] == kInvalidSlot || less(slot, min_slot[segment])) {
+      min_slot[segment] = slot;
+    }
+    const std::uint32_t pos = heap_pos_[slot];
+    const DaryHeap<SlotLess>& home = heap_of(segment);
+    if (pos == kInvalidSlot || pos >= home.size() || home.slots()[pos] != slot) {
+      report.add("tinylfu.segment_membership",
+                 "url " + std::to_string(url) + "'s slot is not in its segment's heap");
+    }
+  }
+  if (window_sum != window_bytes_) {
+    report.add("tinylfu.window_bytes",
+               "window tally is " + std::to_string(window_bytes_) +
+                   " but window entries sum to " + std::to_string(window_sum));
+  }
+  if (total_sum != total_bytes_) {
+    report.add("tinylfu.total_bytes",
+               "total tally is " + std::to_string(total_bytes_) + " but entries sum to " +
+                   std::to_string(total_sum));
+  }
+  if (shelter_sum != protected_bytes_) {
+    report.add("tinylfu.protected_bytes",
+               "protected tally is " + std::to_string(protected_bytes_) +
+                   " but protected entries sum to " + std::to_string(shelter_sum));
+  }
+  if (protected_bytes_ > protected_cap_) {
+    report.add("tinylfu.protected_cap",
+               "protected tally " + std::to_string(protected_bytes_) + " exceeds the cap " +
+                   std::to_string(protected_cap_));
+  }
+  const char* segment_names[3] = {"window", "probation", "protected"};
+  for (std::uint8_t segment = 0; segment <= kProtected; ++segment) {
+    const DaryHeap<SlotLess>& home = heap_of(segment);
+    if (min_slot[segment] != kInvalidSlot && !home.empty() &&
+        home.top() != min_slot[segment]) {
+      report.add("tinylfu.victim_order",
+                 std::string{segment_names[segment]} + " root is url " +
+                     std::to_string(urls_[home.top()]) + " but the comparator minimum is url " +
+                     std::to_string(urls_[min_slot[segment]]));
+    }
+  }
+}
+
+std::unique_ptr<RemovalPolicy> make_tinylfu(std::uint64_t seed, TinyLfuConfig config) {
+  config.seed ^= mix_url_hash(seed);
+  return std::make_unique<TinyLfuPolicy>(config);
+}
+
+}  // namespace wcs

@@ -1,0 +1,154 @@
+// W-TinyLFU (Einziger, Friedman & Manes) on the flat engine.
+//
+// Layout: a small *window* LRU in front of a segmented-LRU main area
+// (probation / protected). New documents enter the window; when the window
+// is over its byte cap, its LRU document becomes the *candidate* and duels
+// the main area's prospective victim on estimated frequency (the
+// CountMinSketch + doorkeeper of src/zoo/sketch.h): the candidate is
+// admitted to probation only if it is strictly more popular, otherwise the
+// candidate itself is the victim. Recency-biased traffic lives happily in
+// the window; frequency-biased traffic is sheltered by the sketch — and a
+// hill-climbing adaptation moves the window/main boundary toward whichever
+// mix the workload currently rewards.
+//
+// Determinism: the sketch is seeded and integer-only; the hill climb steps
+// on the sketch's halving schedule (an event count, not wall time) and
+// compares integer hit counts. Same seed + same request sequence -> same
+// window size trajectory, same duels, same victims, bit for bit.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/flat_index.h"
+#include "src/core/policy.h"
+#include "src/zoo/sketch.h"
+
+namespace wcs {
+
+struct AuditTamper;  // test-only corruption hooks (tests/test_audit.cpp)
+
+struct TinyLfuConfig {
+  /// Initial window fraction of capacity, per-mille (10 = the classic 1%).
+  std::uint32_t window_permille = 10;
+  /// Protected fraction of the *main* (non-window) area, per-mille.
+  std::uint32_t protected_permille = 800;
+  /// Hill-climb bounds and step for the window fraction, per-mille.
+  std::uint32_t min_window_permille = 10;
+  std::uint32_t max_window_permille = 800;
+  std::uint32_t step_permille = 50;
+  /// false freezes the window at window_permille (plain TinyLFU+window).
+  bool adaptive = true;
+  /// Sketch halving (and doorkeeper reset, and hill-climb step) every
+  /// `sample_multiplier * expected-entry-count` recorded references.
+  std::uint64_t sample_multiplier = 10;
+  /// Bytes-per-document estimate used to derive the expected entry count
+  /// (and hence sketch width) from the cache capacity at attach().
+  std::uint64_t assumed_doc_bytes = 4096;
+  std::uint64_t seed = 0x7131f00dULL;
+};
+
+class TinyLfuPolicy final : public RemovalPolicy {
+ public:
+  explicit TinyLfuPolicy(TinyLfuConfig config = {});
+
+  /// Sizes the window/protected byte caps, the sketch width and the sample
+  /// period from the cache capacity. Capacity 0 (infinite) leaves every
+  /// segment unbounded (no duels ever happen — nothing is evicted).
+  void attach(std::uint64_t capacity_bytes) override;
+
+  void on_insert(const CacheEntry& entry) override;
+  void on_hit(const CacheEntry& entry) override;
+  void on_remove(const CacheEntry& entry) override;
+  [[nodiscard]] std::optional<UrlId> choose_victim(const EvictionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::optional<RankTuple> rank_of(UrlId url) const override;
+
+  [[nodiscard]] const CountMinSketch& sketch() const noexcept { return sketch_; }
+  [[nodiscard]] std::uint32_t window_permille() const noexcept { return window_permille_; }
+  [[nodiscard]] std::uint64_t window_bytes() const noexcept { return window_bytes_; }
+  [[nodiscard]] std::uint64_t window_cap() const noexcept { return window_cap_; }
+  /// Candidates admitted to the main area via a won duel / duels lost.
+  [[nodiscard]] std::uint64_t duels_won() const noexcept { return duels_won_; }
+  [[nodiscard]] std::uint64_t duels_lost() const noexcept { return duels_lost_; }
+
+  /// Verifies tracked-set equality, arena/table/heap invariants, segment
+  /// flag vs heap membership, the window/protected byte tallies, sketch
+  /// invariants (width, saturation), the hill-climb bounds, and that each
+  /// segment's heap root is its full-scan (seq, random_tag, url) minimum.
+  void audit_index(const EntryMap& entries, AuditReport& report) const override;
+
+ private:
+  friend struct AuditTamper;
+
+  enum Segment : std::uint8_t { kWindow = 0, kProbation = 1, kProtected = 2 };
+
+  struct SlotLess {
+    const TinyLfuPolicy* p;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      if (p->seqs_[a] != p->seqs_[b]) return p->seqs_[a] < p->seqs_[b];
+      if (p->tags_[a] != p->tags_[b]) return p->tags_[a] < p->tags_[b];
+      return p->urls_[a] < p->urls_[b];
+    }
+  };
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  [[nodiscard]] std::uint32_t slot_of(UrlId url) const noexcept;
+  [[nodiscard]] DaryHeap<SlotLess>& heap_of(std::uint8_t segment) noexcept;
+  [[nodiscard]] const DaryHeap<SlotLess>& heap_of(std::uint8_t segment) const noexcept;
+  /// Doorkeeper-then-sketch frequency recording + the maintenance trigger.
+  void record_reference(UrlId url);
+  /// Doorkeeper-augmented estimate (TinyLFU's combined filter).
+  [[nodiscard]] std::uint32_t estimate(UrlId url) const noexcept;
+  /// Halve the sketch, reset the doorkeeper, hill-climb the window split.
+  void maintenance();
+  void rebalance_protected();
+  /// Move window overflow into probation while the main area has spare
+  /// room; once main is full, overflow stays put and choose_victim duels.
+  void drain_window();
+  /// Move a slot between segments (fresh seq; byte tallies adjusted).
+  void migrate(std::uint32_t slot, std::uint8_t to);
+
+  TinyLfuConfig config_;
+  std::string name_;
+  std::uint64_t capacity_bytes_ = 0;
+  std::uint32_t window_permille_;
+  std::uint64_t window_cap_ = ~0ULL;     // unbounded until attach()
+  std::uint64_t protected_cap_ = ~0ULL;  // unbounded until attach()
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t protected_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;  // all segments (main = total - window)
+  std::uint64_t sample_size_ = 0;  // 0 = maintenance disabled (no capacity)
+  std::uint64_t next_seq_ = 1;
+  std::uint32_t victim_slot_ = kInvalidSlot;  // choose_victim -> on_remove memo
+
+  // Hill-climb state: compare this sample period's hits against the last;
+  // keep direction on improvement, reverse on regression.
+  std::uint64_t epoch_hits_ = 0;
+  std::uint64_t prev_epoch_hits_ = 0;
+  std::int32_t climb_direction_ = 1;
+  std::uint64_t duels_won_ = 0;
+  std::uint64_t duels_lost_ = 0;
+
+  // Struct-of-arrays per-slot state.
+  std::vector<std::uint64_t> seqs_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<UrlId> urls_;
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint8_t> segments_;
+  std::vector<std::uint32_t> heap_pos_;  // shared: a slot is in exactly one segment
+
+  SlotArena arena_;
+  UrlSlotTable table_;
+  DaryHeap<SlotLess> window_;
+  DaryHeap<SlotLess> probation_;
+  DaryHeap<SlotLess> shelter_;  // the protected segment
+
+  CountMinSketch sketch_;
+  Doorkeeper doorkeeper_;
+};
+
+[[nodiscard]] std::unique_ptr<RemovalPolicy> make_tinylfu(std::uint64_t seed = 1,
+                                                          TinyLfuConfig config = {});
+
+}  // namespace wcs

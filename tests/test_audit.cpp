@@ -18,6 +18,11 @@
 #include "src/core/sorted_policy.h"
 #include "src/core/two_level.h"
 #include "src/sim/simulator.h"
+#include "src/zoo/gds.h"
+#include "src/zoo/selector.h"
+#include "src/zoo/sketch.h"
+#include "src/zoo/slru.h"
+#include "src/zoo/tinylfu.h"
 
 namespace wcs {
 
@@ -89,6 +94,46 @@ struct AuditTamper {
     const int bucket = LruMinPolicy::bucket_of(policy.sizes_[slot]);
     policy.buckets_[static_cast<std::size_t>(bucket)].erase(slot);
     policy.buckets_[static_cast<std::size_t>(bucket + bucket_delta)].push(slot);
+  }
+
+  // Zoo backdoors (src/zoo/) — same discipline: each breaks exactly one
+  // invariant the corresponding audit_index claims to verify.
+
+  /// Skews `url`'s stored H away from offset + recomputed value (the heap
+  /// is re-sifted, so only the stale-value check can notice).
+  static void skew_gds_value(GreedyDualPolicy& policy, UrlId url, std::uint64_t delta) {
+    const std::uint32_t slot = policy.table_.find(url);
+    policy.prios_[slot] += delta;
+    policy.by_value_.update(slot);
+  }
+
+  /// Drifts the SLRU protected-segment byte tally off the true sum.
+  static std::uint64_t& slru_protected_bytes(SlruPolicy& policy) {
+    return policy.protected_bytes_;
+  }
+
+  /// Drifts the W-TinyLFU window byte tally off the true sum.
+  static std::uint64_t& tinylfu_window_bytes(TinyLfuPolicy& policy) {
+    return policy.window_bytes_;
+  }
+
+  static CountMinSketch& tinylfu_sketch(TinyLfuPolicy& policy) { return policy.sketch_; }
+
+  /// Pushes one sketch counter past the TinyLFU saturation cap.
+  static void breach_sketch_cap(CountMinSketch& sketch) {
+    sketch.counters_.front() = CountMinSketch::kMaxCount + 1;
+  }
+
+  /// Ages the selector's mirrored copy of `url` behind the cache's back.
+  static void stale_selector_mirror(ShadowSelectorPolicy& policy, UrlId url,
+                                    std::uint64_t size_delta) {
+    policy.mirror_.find(url)->size += size_delta;
+  }
+
+  /// Drops `url` from the selector's mirror only — a rebuild after the next
+  /// switch would silently forget a resident document.
+  static void drop_selector_mirror(ShadowSelectorPolicy& policy, UrlId url) {
+    policy.mirror_.erase(url);
   }
 };
 
@@ -395,6 +440,61 @@ TEST(Audit, ShardedRoutingViolationIsCaught) {
   const AuditReport report = cache.audit();
   EXPECT_FALSE(report.ok());
   EXPECT_GE(report.count("sharded.routing"), 1u) << report.to_string();
+}
+
+// ---- Zoo policy audits (src/zoo/) -----------------------------------------
+
+TEST(Audit, ZooGdsSkewedValueIsCaught) {
+  Cache cache = make_loaded_cache(make_gds());
+  auto& policy = dynamic_cast<GreedyDualPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+  AuditTamper::skew_gds_value(policy, 4, 1'000'000);
+  const AuditReport report = cache.audit();
+  EXPECT_GE(report.count("policy.gds.stale_value"), 1u) << report.to_string();
+}
+
+TEST(Audit, ZooSlruProtectedTallyDriftIsCaught) {
+  // make_loaded_cache re-references url 2, so the protected segment is
+  // non-empty and its byte tally is live.
+  Cache cache = make_loaded_cache(make_slru());
+  auto& policy = dynamic_cast<SlruPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+  AuditTamper::slru_protected_bytes(policy) += 512;
+  EXPECT_EQ(cache.audit().count("policy.slru.protected_bytes"), 1u);
+}
+
+TEST(Audit, ZooTinyLfuWindowTallyDriftIsCaught) {
+  Cache cache = make_loaded_cache(make_tinylfu());
+  auto& policy = dynamic_cast<TinyLfuPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+  AuditTamper::tinylfu_window_bytes(policy) += 64;
+  EXPECT_EQ(cache.audit().count("policy.tinylfu.window_bytes"), 1u);
+}
+
+TEST(Audit, ZooSketchSaturationBreachIsCaught) {
+  Cache cache = make_loaded_cache(make_tinylfu());
+  auto& policy = dynamic_cast<TinyLfuPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+  AuditTamper::breach_sketch_cap(AuditTamper::tinylfu_sketch(policy));
+  EXPECT_GE(cache.audit().count("policy.sketch.saturation"), 1u);
+}
+
+TEST(Audit, ZooSelectorMirrorStaleIsCaught) {
+  Cache cache = make_loaded_cache(make_adaptive_selector());
+  auto& policy = dynamic_cast<ShadowSelectorPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+  AuditTamper::stale_selector_mirror(policy, 3, 128);
+  EXPECT_EQ(cache.audit().count("policy.selector.mirror_stale"), 1u);
+}
+
+TEST(Audit, ZooSelectorMirrorDropIsCaught) {
+  Cache cache = make_loaded_cache(make_adaptive_selector());
+  auto& policy = dynamic_cast<ShadowSelectorPolicy&>(cache.policy());
+  ASSERT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+  AuditTamper::drop_selector_mirror(policy, 3);
+  const AuditReport report = cache.audit();
+  EXPECT_EQ(report.count("policy.selector.mirror_count"), 1u) << report.to_string();
+  EXPECT_EQ(report.count("policy.selector.mirror_missing"), 1u) << report.to_string();
 }
 
 }  // namespace

@@ -18,6 +18,8 @@ TEST(StatsRows, CoversEveryCacheStatsCounter) {
   stats.evicted_bytes = 300;
   stats.size_change_misses = 1;
   stats.rejected_too_large = 1;
+  stats.admission_rejects = 2;
+  stats.dead_on_arrival_evictions = 1;
   stats.periodic_sweeps = 3;
   stats.max_used_bytes = 900;
 
@@ -25,7 +27,7 @@ TEST(StatsRows, CoversEveryCacheStatsCounter) {
   // One row per uint64 counter in CacheStats. If you add a counter, extend
   // stats_rows() (tools/lint.py's stats-coverage rule will insist) and bump
   // this expectation.
-  ASSERT_EQ(rows.size(), 11u);
+  ASSERT_EQ(rows.size(), 13u);
   EXPECT_EQ(rows.front().name, "requests");
   EXPECT_EQ(rows.front().value, 10u);
   std::uint64_t sum = 0;
@@ -33,7 +35,7 @@ TEST(StatsRows, CoversEveryCacheStatsCounter) {
     EXPECT_FALSE(row.name.empty());
     sum += row.value;
   }
-  EXPECT_EQ(sum, 10u + 4 + 1000 + 400 + 6 + 2 + 300 + 1 + 1 + 3 + 900);
+  EXPECT_EQ(sum, 10u + 4 + 1000 + 400 + 6 + 2 + 300 + 1 + 1 + 2 + 1 + 3 + 900);
 }
 
 TEST(DailySeries, DailyRates) {

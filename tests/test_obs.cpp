@@ -275,6 +275,8 @@ void expect_identical(const SimResult& on, const SimResult& off) {
   EXPECT_EQ(on.stats.evicted_bytes, off.stats.evicted_bytes);
   EXPECT_EQ(on.stats.size_change_misses, off.stats.size_change_misses);
   EXPECT_EQ(on.stats.rejected_too_large, off.stats.rejected_too_large);
+  EXPECT_EQ(on.stats.admission_rejects, off.stats.admission_rejects);
+  EXPECT_EQ(on.stats.dead_on_arrival_evictions, off.stats.dead_on_arrival_evictions);
   EXPECT_EQ(on.stats.periodic_sweeps, off.stats.periodic_sweeps);
   EXPECT_EQ(on.stats.max_used_bytes, off.stats.max_used_bytes);
   EXPECT_EQ(on.max_used_bytes, off.max_used_bytes);

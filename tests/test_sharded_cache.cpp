@@ -48,6 +48,8 @@ void expect_same_counters(const CacheStats& a, const CacheStats& b) {
   EXPECT_EQ(a.evicted_bytes, b.evicted_bytes);
   EXPECT_EQ(a.size_change_misses, b.size_change_misses);
   EXPECT_EQ(a.rejected_too_large, b.rejected_too_large);
+  EXPECT_EQ(a.admission_rejects, b.admission_rejects);
+  EXPECT_EQ(a.dead_on_arrival_evictions, b.dead_on_arrival_evictions);
   EXPECT_EQ(a.periodic_sweeps, b.periodic_sweeps);
 }
 
@@ -207,6 +209,8 @@ TEST(ShardedCacheTest, MergedStatsAreExactSumsOfShardStats) {
     sum.evicted_bytes += s.evicted_bytes;
     sum.size_change_misses += s.size_change_misses;
     sum.rejected_too_large += s.rejected_too_large;
+    sum.admission_rejects += s.admission_rejects;
+    sum.dead_on_arrival_evictions += s.dead_on_arrival_evictions;
     sum.periodic_sweeps += s.periodic_sweeps;
     sum.max_used_bytes += s.max_used_bytes;
   }

@@ -1,0 +1,471 @@
+// The policy zoo (src/zoo/): sketch determinism, GDS/GDSF inflation
+// semantics, SLRU segmentation, W-TinyLFU windowing, the admission seam,
+// the name registry, and the zoo-wide determinism contract — same seed,
+// same trace, bit-identical stats on every preset, plain or sharded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/core/policy.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+#include "src/zoo/admission.h"
+#include "src/zoo/gds.h"
+#include "src/zoo/registry.h"
+#include "src/zoo/sketch.h"
+#include "src/zoo/slru.h"
+#include "src/zoo/tinylfu.h"
+
+namespace wcs {
+namespace {
+
+const char* const kPresets[] = {"U", "BR", "BL", "C", "G"};
+
+[[nodiscard]] Trace preset_trace(const char* name, double scale = 0.01) {
+  return WorkloadGenerator{WorkloadSpec::preset(name).scaled(scale)}.generate().trace;
+}
+
+/// A capacity with real eviction pressure: 10% of MaxNeeded (the
+/// infinite-cache high-water mark), the study's Experiment-2 sizing.
+[[nodiscard]] std::uint64_t pressured_capacity(const Trace& trace) {
+  return simulate_infinite(trace).max_used_bytes / 10;
+}
+
+void expect_same_stats(const CacheStats& a, const CacheStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes);
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.evicted_bytes, b.evicted_bytes);
+  EXPECT_EQ(a.size_change_misses, b.size_change_misses);
+  EXPECT_EQ(a.rejected_too_large, b.rejected_too_large);
+  EXPECT_EQ(a.admission_rejects, b.admission_rejects);
+  EXPECT_EQ(a.dead_on_arrival_evictions, b.dead_on_arrival_evictions);
+  EXPECT_EQ(a.periodic_sweeps, b.periodic_sweeps);
+  EXPECT_EQ(a.max_used_bytes, b.max_used_bytes);
+}
+
+// ---- CountMinSketch / Doorkeeper -----------------------------------------
+
+TEST(ZooSketchTest, SameSeedSameEstimatesBitForBit) {
+  CountMinSketch a{1024, 42};
+  CountMinSketch b{1024, 42};
+  for (UrlId url = 0; url < 500; ++url) {
+    for (UrlId rep = 0; rep <= url % 5; ++rep) {
+      a.add(url);
+      b.add(url);
+    }
+  }
+  for (UrlId url = 0; url < 600; ++url) EXPECT_EQ(a.estimate(url), b.estimate(url));
+  EXPECT_EQ(a.additions(), b.additions());
+}
+
+TEST(ZooSketchTest, CountsSaturateAtCap) {
+  CountMinSketch sketch{64, 7};
+  for (int i = 0; i < 100; ++i) sketch.add(3);
+  EXPECT_EQ(sketch.estimate(3), CountMinSketch::kMaxCount);
+  AuditReport report;
+  sketch.audit_index(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ZooSketchTest, HalvingAgesCountsAndResetsAdditions) {
+  CountMinSketch sketch{64, 7};
+  for (int i = 0; i < 8; ++i) sketch.add(11);
+  const std::uint32_t before = sketch.estimate(11);
+  EXPECT_EQ(before, 8u);
+  sketch.halve();
+  EXPECT_EQ(sketch.estimate(11), before / 2);
+  EXPECT_EQ(sketch.additions(), 0u);
+  EXPECT_EQ(sketch.halvings(), 1u);
+}
+
+TEST(ZooSketchTest, WidthRoundsUpToPowerOfTwo) {
+  CountMinSketch sketch{1000, 1};
+  EXPECT_EQ(sketch.width(), 1024u);
+  CountMinSketch tiny{3, 1};
+  EXPECT_EQ(tiny.width(), 16u);
+}
+
+TEST(ZooSketchTest, DoorkeeperRemembersUntilCleared) {
+  Doorkeeper door{256, 9};
+  EXPECT_FALSE(door.contains(42));
+  door.insert(42);
+  EXPECT_TRUE(door.contains(42));
+  door.clear();
+  EXPECT_FALSE(door.contains(42));
+}
+
+// ---- GreedyDual-Size / GDSF ----------------------------------------------
+
+TEST(ZooGdsTest, EvictsTheLargestOfEquallyColdDocuments) {
+  // H = L + 2^16 / size: the big document carries the smallest value.
+  CacheConfig config;
+  config.capacity_bytes = 10'000;
+  Cache cache{config, make_gds()};
+  (void)cache.access(1, /*url=*/1, 6'000);
+  (void)cache.access(2, /*url=*/2, 3'000);
+  (void)cache.access(3, /*url=*/3, 3'000);  // forces one eviction
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooGdsTest, InflationRisesOnlyThroughEvictions) {
+  auto policy = std::make_unique<GreedyDualPolicy>(GreedyDualPolicy::Mode::kGds);
+  const GreedyDualPolicy* gds = policy.get();
+  CacheConfig config;
+  config.capacity_bytes = 8'000;
+  Cache cache{config, std::move(policy)};
+  (void)cache.access(1, 1, 4'000);
+  (void)cache.access(2, 2, 4'000);
+  EXPECT_EQ(gds->inflation(), 0u);
+  (void)cache.access(3, 3, 4'000);
+  EXPECT_GT(gds->inflation(), 0u);  // L rose to the first victim's H
+  std::uint64_t last = gds->inflation();
+  for (UrlId url = 4; url < 12; ++url) {
+    (void)cache.access(url, url, 4'000);
+    EXPECT_GE(gds->inflation(), last);
+    last = gds->inflation();
+  }
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooGdsfTest, FrequencyShieldsAPopularLargeDocument) {
+  // Under GDS the 6 KB document would be the first victim; under GDSF its
+  // reference count lifts H = L + nref * 2^16 / size above the cold 3 KB one.
+  CacheConfig config;
+  config.capacity_bytes = 10'000;
+  Cache cache{config, make_gdsf()};
+  (void)cache.access(1, 1, 6'000);
+  for (SimTime t = 2; t < 6; ++t) EXPECT_TRUE(cache.access(t, 1, 6'000).hit);
+  (void)cache.access(6, 2, 3'000);
+  (void)cache.access(7, 3, 3'000);  // eviction: the cold small doc loses
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooGdsTest, RankTupleExposesTheHeapKey) {
+  CacheConfig config;
+  config.capacity_bytes = 10'000;
+  Cache cache{config, make_gdsf()};
+  (void)cache.access(1, 1, 2'000);
+  const auto rank = cache.policy().rank_of(1);
+  ASSERT_TRUE(rank.has_value());
+  EXPECT_EQ(rank->count, 1);
+  EXPECT_EQ(rank->ranks[0], static_cast<std::int64_t>((1ULL << 16) / 2'000));
+  EXPECT_FALSE(cache.policy().rank_of(999).has_value());
+}
+
+// ---- Segmented LRU --------------------------------------------------------
+
+TEST(ZooSlruTest, RejectsDegeneratePermille) {
+  EXPECT_THROW(SlruPolicy(0, 1), std::invalid_argument);
+  EXPECT_THROW(SlruPolicy(1000, 1), std::invalid_argument);
+}
+
+TEST(ZooSlruTest, SecondReferenceSheltersADocument) {
+  auto policy = std::make_unique<SlruPolicy>(800, 1);
+  const SlruPolicy* slru = policy.get();
+  CacheConfig config;
+  config.capacity_bytes = 9'000;
+  Cache cache{config, std::move(policy)};
+  (void)cache.access(1, 1, 3'000);
+  (void)cache.access(2, 2, 3'000);
+  EXPECT_TRUE(cache.access(3, 2, 3'000).hit);  // url 2 promotes to protected
+  EXPECT_EQ(slru->protected_count(), 1u);
+  EXPECT_EQ(slru->probation_count(), 1u);
+  // Eviction drains probation first: the never-re-referenced url 1 leaves
+  // even though it is more recent than nothing — url 2 is sheltered.
+  (void)cache.access(4, 3, 6'000);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooSlruTest, ProtectedOverflowDemotesItsLruEnd) {
+  auto policy = std::make_unique<SlruPolicy>(500, 1);  // protected cap = 50%
+  const SlruPolicy* slru = policy.get();
+  CacheConfig config;
+  config.capacity_bytes = 12'000;
+  Cache cache{config, std::move(policy)};
+  for (UrlId url = 1; url <= 4; ++url) (void)cache.access(url, url, 3'000);
+  for (UrlId url = 1; url <= 3; ++url) (void)cache.access(10 + url, url, 3'000);  // promote 3
+  // Cap is 6'000 bytes = two documents; the first-promoted url 1 was demoted.
+  EXPECT_LE(slru->protected_bytes(), slru->protected_cap());
+  EXPECT_EQ(slru->protected_count(), 2u);
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+// ---- W-TinyLFU ------------------------------------------------------------
+
+TEST(ZooTinyLfuTest, RejectsInvalidConfigs) {
+  TinyLfuConfig zero_window;
+  zero_window.window_permille = 0;
+  EXPECT_THROW(TinyLfuPolicy{zero_window}, std::invalid_argument);
+  TinyLfuConfig outside_bounds;
+  outside_bounds.window_permille = 900;  // > max_window_permille (800)
+  EXPECT_THROW(TinyLfuPolicy{outside_bounds}, std::invalid_argument);
+}
+
+TEST(ZooTinyLfuTest, WindowOverflowDrainsIntoMainWhileRoomRemains) {
+  auto policy = std::make_unique<TinyLfuPolicy>();
+  const TinyLfuPolicy* lfu = policy.get();
+  CacheConfig config;
+  config.capacity_bytes = 100'000;  // window cap = 1% = 1'000 bytes
+  Cache cache{config, std::move(policy)};
+  for (UrlId url = 1; url <= 10; ++url) (void)cache.access(url, url, 2'000);
+  // Every document is bigger than the window cap, and main has room: the
+  // overflow migrated, so the window never holds more than one document.
+  EXPECT_LE(lfu->window_bytes(), 2'000u);
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooTinyLfuTest, DuelsDecideEvictionsOnceMainIsFull) {
+  auto policy = std::make_unique<TinyLfuPolicy>();
+  const TinyLfuPolicy* lfu = policy.get();
+  CacheConfig config;
+  config.capacity_bytes = 20'000;
+  Cache cache{config, std::move(policy)};
+  SimTime now = 1;
+  for (UrlId url = 1; url <= 40; ++url) (void)cache.access(now++, url, 2'000);
+  EXPECT_GT(lfu->duels_won() + lfu->duels_lost(), 0u);
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooTinyLfuTest, MaintenanceHalvesOnTheSampleSchedule) {
+  TinyLfuConfig config;
+  config.sample_multiplier = 1;   // halve every ~expected-entry additions
+  config.assumed_doc_bytes = 64;  // capacity 65'536 -> 1024 expected entries
+  auto policy = std::make_unique<TinyLfuPolicy>(config);
+  const TinyLfuPolicy* lfu = policy.get();
+  CacheConfig cache_config;
+  cache_config.capacity_bytes = 65'536;
+  Cache cache{cache_config, std::move(policy)};
+  SimTime now = 1;
+  // Repeated references pass the doorkeeper and feed sketch additions.
+  for (int round = 0; round < 40; ++round) {
+    for (UrlId url = 1; url <= 64; ++url) (void)cache.access(now++, url, 512);
+  }
+  EXPECT_GT(lfu->sketch().halvings(), 0u);
+  EXPECT_GE(lfu->window_permille(), 10u);
+  EXPECT_LE(lfu->window_permille(), 800u);
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooTinyLfuTest, AdaptiveOffFreezesTheWindow) {
+  TinyLfuConfig config;
+  config.adaptive = false;
+  config.sample_multiplier = 1;
+  config.assumed_doc_bytes = 64;
+  auto policy = std::make_unique<TinyLfuPolicy>(config);
+  const TinyLfuPolicy* lfu = policy.get();
+  CacheConfig cache_config;
+  cache_config.capacity_bytes = 65'536;
+  Cache cache{cache_config, std::move(policy)};
+  SimTime now = 1;
+  for (int round = 0; round < 40; ++round) {
+    for (UrlId url = 1; url <= 64; ++url) (void)cache.access(now++, url, 512);
+  }
+  EXPECT_GT(lfu->sketch().halvings(), 0u);  // aging still runs
+  EXPECT_EQ(lfu->window_permille(), TinyLfuConfig{}.window_permille);  // climb frozen
+}
+
+// ---- Admission policies ---------------------------------------------------
+
+TEST(ZooAdmissionTest, SizeThresholdVetoesWithoutEvicting) {
+  CacheConfig config;
+  config.capacity_bytes = 10'000;
+  config.admission = [] { return std::make_unique<SizeThresholdAdmission>(1'000); };
+  Cache cache{config, make_lru()};
+  (void)cache.access(1, 1, 500);
+  const AccessResult rejected = cache.access(2, 2, 5'000);
+  EXPECT_FALSE(rejected.inserted);
+  EXPECT_EQ(rejected.evictions, 0u);
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooAdmissionTest, SizeThresholdDerivesFromCapacityAtAttach) {
+  SizeThresholdAdmission admission;  // 0 = derive
+  admission.attach(64'000);
+  EXPECT_EQ(admission.max_bytes(), 1'000u);
+  SizeThresholdAdmission infinite;
+  infinite.attach(0);
+  EXPECT_TRUE(infinite.should_admit(1, 1, ~0ULL));
+}
+
+TEST(ZooAdmissionTest, DoorkeeperAdmitsOnlyTheSecondRequest) {
+  CacheConfig config;
+  config.capacity_bytes = 10'000;
+  config.admission = [] { return make_doorkeeper_admission(1); };
+  Cache cache{config, make_lru()};
+  EXPECT_FALSE(cache.access(1, 7, 1'000).inserted);  // first sighting: veto
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+  EXPECT_TRUE(cache.access(2, 7, 1'000).inserted);  // second: admitted
+  EXPECT_TRUE(cache.contains(7));
+}
+
+TEST(ZooAdmissionTest, DeadOnArrivalTrackerVetoesAfterStrikes) {
+  DeadOnArrivalAdmission doa{/*strike_limit=*/2, /*max_tracked=*/100};
+  CacheEntry dead;
+  dead.url = 5;
+  dead.nref = 1;  // cached, never re-referenced
+  EXPECT_TRUE(doa.should_admit(1, 5, 100));
+  doa.on_remove(dead);
+  EXPECT_TRUE(doa.should_admit(2, 5, 100));  // one strike: still admitted
+  doa.on_remove(dead);
+  EXPECT_FALSE(doa.should_admit(3, 5, 100));  // two strikes: vetoed
+  // A hit proves the document out; the record clears.
+  CacheEntry alive = dead;
+  alive.nref = 3;
+  doa.on_hit(alive);
+  EXPECT_TRUE(doa.should_admit(4, 5, 100));
+  // Removals with nref > 1 clear rather than strike.
+  doa.on_remove(dead);
+  doa.on_remove(alive);
+  EXPECT_TRUE(doa.should_admit(5, 5, 100));
+  AuditReport report;
+  doa.audit_index(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ZooAdmissionTest, AdmissionByNameResolvesEveryFilter) {
+  for (const char* name : {"always", "size-threshold", "doorkeeper", "doa"}) {
+    const auto admission = make_admission_by_name(name);
+    ASSERT_NE(admission, nullptr) << name;
+    EXPECT_EQ(admission->name(), name);
+  }
+  EXPECT_EQ(make_admission_by_name("nope"), nullptr);
+}
+
+TEST(ZooAdmissionTest, DoaFilterReducesDeadOnArrivalChurn) {
+  const Trace trace = preset_trace("BR", 0.02);
+  const std::uint64_t capacity = pressured_capacity(trace);
+  const SimResult bare = simulate(trace, capacity, [] { return make_size(); });
+  const SimResult filtered =
+      simulate(trace, capacity, [] { return make_size(); }, {}, {}, nullptr,
+               [] { return make_doa_admission(); });
+  EXPECT_GT(bare.stats.dead_on_arrival_evictions, 0u);
+  EXPECT_LT(filtered.stats.dead_on_arrival_evictions,
+            bare.stats.dead_on_arrival_evictions);
+  EXPECT_GT(filtered.stats.admission_rejects, 0u);
+}
+
+// ---- Name registry --------------------------------------------------------
+
+TEST(ZooRegistryTest, EveryBuiltinAliasResolvesByName) {
+  // tools/lint.py's policy-name-coverage rule pins every name
+  // make_policy_by_name understands to at least one test; this is that
+  // test for the built-ins and their aliases.
+  const char* const aliases[] = {
+      "fifo", "etime", "lru", "atime", "lfu", "nref", "size", "log2size",
+      "day", "day(atime)", "random", "hyper-g", "hyperg", "lru-min",
+      "lrumin", "pitkow-recker", "pitkow/recker", "pr",
+  };
+  for (const char* alias : aliases) {
+    const auto policy = make_policy_by_name(alias);
+    ASSERT_NE(policy, nullptr) << alias;
+    EXPECT_FALSE(policy->name().empty()) << alias;
+  }
+}
+
+TEST(ZooRegistryTest, RegisteredNamesResolveThroughMakePolicyByName) {
+  zoo::register_zoo_policies();
+  zoo::register_zoo_policies();  // idempotent
+  const auto names = registered_policy_names();
+  for (const char* name : {"adaptive", "gds", "gdsf", "slru", "tinylfu", "w-tinylfu"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end()) << name;
+    const auto policy = make_policy_by_name(name);
+    ASSERT_NE(policy, nullptr) << name;
+  }
+  EXPECT_EQ(make_policy_by_name("GDSF")->name(), "gdsf");  // case-insensitive
+  EXPECT_EQ(make_policy_by_name("tinylfu")->name(), "w-tinylfu");
+  // Built-ins are untouched and still win.
+  EXPECT_NE(make_policy_by_name("size"), nullptr);
+  EXPECT_EQ(make_policy_by_name("no-such-policy"), nullptr);
+}
+
+// ---- Determinism contract -------------------------------------------------
+
+TEST(ZooDeterminismTest, SameSeedBitIdenticalOnAllPresets) {
+  struct Entry {
+    const char* name;
+    PolicyFactory factory;
+  };
+  const Entry entries[] = {
+      {"gdsf", [] { return make_gdsf(7); }},
+      {"slru", [] { return make_slru(7); }},
+      {"w-tinylfu", [] { return make_tinylfu(7); }},
+      {"gds", [] { return make_gds(7); }},
+  };
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const Trace trace = preset_trace(preset);
+    const std::uint64_t capacity = pressured_capacity(trace);
+    for (const Entry& entry : entries) {
+      SCOPED_TRACE(entry.name);
+      const SimResult a = simulate(trace, capacity, entry.factory);
+      const SimResult b = simulate(trace, capacity, entry.factory);
+      expect_same_stats(a.stats, b.stats);
+      EXPECT_EQ(a.daily.overall_hr(), b.daily.overall_hr());
+      EXPECT_EQ(a.daily.overall_whr(), b.daily.overall_whr());
+    }
+  }
+}
+
+TEST(ZooDeterminismTest, SingleShardBitIdenticalToPlainCache) {
+  struct Entry {
+    const char* name;
+    PolicyFactory factory;
+  };
+  const Entry entries[] = {
+      {"gdsf", [] { return make_gdsf(); }},
+      {"slru", [] { return make_slru(); }},
+      {"w-tinylfu", [] { return make_tinylfu(); }},
+  };
+  const Trace trace = preset_trace("BR", 0.02);
+  const std::uint64_t capacity = pressured_capacity(trace);
+  for (const Entry& entry : entries) {
+    SCOPED_TRACE(entry.name);
+    const SimResult flat = simulate(trace, capacity, entry.factory);
+    const SimResult sharded =
+        simulate_sharded(trace, capacity, entry.factory, /*shards=*/1);
+    expect_same_stats(flat.stats, sharded.stats);
+  }
+}
+
+TEST(ZooDeterminismTest, AuditsStayCleanUnderEvictionPressure) {
+  struct Entry {
+    const char* name;
+    PolicyFactory factory;
+  };
+  const Entry entries[] = {
+      {"gds", [] { return make_gds(); }},
+      {"gdsf", [] { return make_gdsf(); }},
+      {"slru", [] { return make_slru(); }},
+      {"w-tinylfu", [] { return make_tinylfu(); }},
+  };
+  const Trace trace = preset_trace("BR", 0.02);
+  const std::uint64_t capacity = pressured_capacity(trace);
+  for (const Entry& entry : entries) {
+    SCOPED_TRACE(entry.name);
+    SimAudit audit;
+    audit.interval = 500;  // full invariant sweep every 500 requests
+    EXPECT_NO_THROW((void)simulate(trace, capacity, entry.factory, {}, audit));
+  }
+}
+
+}  // namespace
+}  // namespace wcs

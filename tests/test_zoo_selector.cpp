@@ -1,0 +1,186 @@
+// The shadow-cache policy selector (src/zoo/selector.h): a single
+// candidate is the candidate decision-for-decision, switches land only on
+// epoch boundaries, hysteresis blocks near-ties, and the rebuilt index
+// stays audit-clean across switches.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "src/core/cache.h"
+#include "src/core/policy.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+#include "src/zoo/gds.h"
+#include "src/zoo/selector.h"
+#include "src/zoo/slru.h"
+
+namespace wcs {
+namespace {
+
+[[nodiscard]] Trace preset_trace(const char* name, double scale = 0.02) {
+  return WorkloadGenerator{WorkloadSpec::preset(name).scaled(scale)}.generate().trace;
+}
+
+/// A capacity with real eviction pressure: 10% of MaxNeeded (the
+/// infinite-cache high-water mark), the study's Experiment-2 sizing.
+[[nodiscard]] std::uint64_t pressured_capacity(const Trace& trace) {
+  return simulate_infinite(trace).max_used_bytes / 10;
+}
+
+void expect_same_stats(const CacheStats& a, const CacheStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes);
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.evicted_bytes, b.evicted_bytes);
+  EXPECT_EQ(a.max_used_bytes, b.max_used_bytes);
+}
+
+/// A two-candidate panel where the incumbent (RANDOM) loses to SIZE on
+/// every workload this repo generates — guaranteed switch pressure.
+[[nodiscard]] SelectorConfig contested_config(std::uint64_t epoch_events,
+                                              std::uint64_t min_advantage) {
+  SelectorConfig config;
+  config.candidates = {
+      {"random", [](std::uint64_t seed) { return make_random(seed); }},
+      {"size", [](std::uint64_t seed) { return make_size(seed); }},
+  };
+  config.sample_rate_log2 = 0;  // full-stream shadows: exact hit counts
+  config.epoch_events = epoch_events;
+  config.min_advantage = min_advantage;
+  config.seed = 99;
+  return config;
+}
+
+TEST(ZooSelectorTest, RejectsDegenerateConfigs) {
+  SelectorConfig empty;
+  EXPECT_THROW(ShadowSelectorPolicy{empty}, std::invalid_argument);
+  SelectorConfig no_epoch = contested_config(0, 0);
+  EXPECT_THROW(ShadowSelectorPolicy{no_epoch}, std::invalid_argument);
+}
+
+TEST(ZooSelectorTest, SingleCandidateIsTheCandidateVerbatim) {
+  struct Entry {
+    const char* name;
+    NamedPolicyFactory factory;
+  };
+  const Entry entries[] = {
+      {"gdsf", [](std::uint64_t seed) { return make_gdsf(seed); }},
+      {"slru", [](std::uint64_t seed) { return make_slru(seed); }},
+  };
+  const Trace trace = preset_trace("BR");
+  const std::uint64_t capacity = pressured_capacity(trace);
+  for (const Entry& entry : entries) {
+    SCOPED_TRACE(entry.name);
+    const SimResult bare = simulate(trace, capacity, [&] { return entry.factory(42); });
+    SelectorConfig config;
+    config.candidates = {{entry.name, entry.factory}};
+    config.seed = 42;  // the inner policy is built with the config seed
+    const SimResult wrapped =
+        simulate(trace, capacity, [&] { return make_shadow_selector(config); });
+    expect_same_stats(bare.stats, wrapped.stats);
+    EXPECT_EQ(bare.daily.overall_hr(), wrapped.daily.overall_hr());
+    EXPECT_EQ(bare.daily.overall_whr(), wrapped.daily.overall_whr());
+  }
+}
+
+TEST(ZooSelectorTest, SwitchesHappenOnlyAtEpochBoundaries) {
+  const Trace trace = preset_trace("BR");
+  const std::uint64_t capacity = pressured_capacity(trace);
+  constexpr std::uint64_t kEpochEvents = 256;
+  auto policy = std::make_unique<ShadowSelectorPolicy>(contested_config(kEpochEvents, 0));
+  const ShadowSelectorPolicy* selector = policy.get();
+  CacheConfig config;
+  config.capacity_bytes = capacity;
+  Cache cache{config, std::move(policy)};
+  std::uint64_t events = 0;
+  for (const Request& request : trace.requests()) {
+    const AccessResult result = cache.access(request);
+    if (result.hit || result.inserted) ++events;
+  }
+  // SIZE dominates RANDOM, so the contested panel must have switched.
+  EXPECT_GE(selector->switches(), 1u);
+  EXPECT_EQ(selector->current_name(), "size");
+  // Every decision — switching or not — sits exactly on an epoch boundary,
+  // and the log covers every completed epoch.
+  EXPECT_EQ(selector->epoch_log().size(), events / kEpochEvents);
+  std::uint64_t expected_epoch = 0;
+  for (const EpochChoice& choice : selector->epoch_log()) {
+    EXPECT_EQ(choice.epoch, expected_epoch++);
+    EXPECT_EQ(choice.event_index % kEpochEvents, 0u);
+    EXPECT_EQ(choice.event_index, choice.epoch * kEpochEvents + kEpochEvents);
+    ASSERT_EQ(choice.shadow_hits.size(), 2u);
+    EXPECT_TRUE(choice.chosen == "random" || choice.chosen == "size");
+  }
+  EXPECT_TRUE(cache.audit().ok()) << cache.audit().to_string();
+}
+
+TEST(ZooSelectorTest, HysteresisBlocksEverySwitch) {
+  const Trace trace = preset_trace("BR");
+  const std::uint64_t capacity = pressured_capacity(trace);
+  auto policy = std::make_unique<ShadowSelectorPolicy>(
+      contested_config(256, std::numeric_limits<std::uint64_t>::max() / 2));
+  const ShadowSelectorPolicy* selector = policy.get();
+  CacheConfig config;
+  config.capacity_bytes = capacity;
+  Cache cache{config, std::move(policy)};
+  for (const Request& request : trace.requests()) (void)cache.access(request);
+  EXPECT_EQ(selector->switches(), 0u);
+  EXPECT_EQ(selector->current_index(), 0u);  // still the inferior incumbent
+  EXPECT_EQ(selector->current_name(), "random");
+  for (const EpochChoice& choice : selector->epoch_log()) {
+    EXPECT_FALSE(choice.switched);
+    EXPECT_EQ(choice.chosen, "random");
+  }
+}
+
+TEST(ZooSelectorTest, SameSeedSameSwitchTrajectory) {
+  const Trace trace = preset_trace("BR");
+  const std::uint64_t capacity = pressured_capacity(trace);
+  const auto run = [&] {
+    const SimResult result = simulate(trace, capacity, [] {
+      return make_adaptive_selector(7);
+    });
+    return result;
+  };
+  const SimResult a = run();
+  const SimResult b = run();
+  expect_same_stats(a.stats, b.stats);
+  EXPECT_EQ(a.daily.overall_hr(), b.daily.overall_hr());
+  EXPECT_EQ(a.daily.overall_whr(), b.daily.overall_whr());
+}
+
+TEST(ZooSelectorTest, AuditStaysCleanAcrossSwitches) {
+  const Trace trace = preset_trace("BR");
+  const std::uint64_t capacity = pressured_capacity(trace);
+  SimAudit audit;
+  audit.interval = 500;  // sweeps the mirror, inner index and every shadow
+  EXPECT_NO_THROW((void)simulate(trace, capacity, [] {
+    return make_shadow_selector(contested_config(256, 0));
+  }, {}, audit));
+}
+
+TEST(ZooSelectorTest, ShadowCachesExposePerCandidateStats) {
+  const Trace trace = preset_trace("BR");
+  const std::uint64_t capacity = pressured_capacity(trace);
+  auto policy = std::make_unique<ShadowSelectorPolicy>(contested_config(256, 0));
+  const ShadowSelectorPolicy* selector = policy.get();
+  CacheConfig config;
+  config.capacity_bytes = capacity;
+  Cache cache{config, std::move(policy)};
+  for (const Request& request : trace.requests()) (void)cache.access(request);
+  ASSERT_EQ(selector->candidate_count(), 2u);
+  // Full-stream shadows saw every request the live cache did.
+  EXPECT_EQ(selector->shadow(0).stats().requests, selector->shadow(1).stats().requests);
+  EXPECT_GT(selector->shadow(0).stats().requests, 0u);
+  // The winning candidate's shadow out-hit the loser's.
+  EXPECT_GT(selector->shadow(1).stats().hits, selector->shadow(0).stats().hits);
+}
+
+}  // namespace
+}  // namespace wcs

@@ -1,0 +1,142 @@
+// The policy-zoo study (src/sim/zoo_study.h): every preset yields the full
+// policy and admission tables, the adaptive selector is never worse than
+// the worst static candidate, the DOA filter cuts dead-on-arrival churn,
+// and the study is bit-identical across ParallelRunner job counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiments.h"
+#include "src/sim/zoo_study.h"
+#include "src/workload/generator.h"
+
+namespace wcs {
+namespace {
+
+const char* const kPresets[] = {"U", "BR", "BL", "C", "G"};
+
+struct StudyCell {
+  Trace trace;
+  Experiment1Result infinite;
+};
+
+[[nodiscard]] StudyCell study_cell(const char* preset, double scale = 0.01) {
+  StudyCell cell;
+  cell.trace = WorkloadGenerator{WorkloadSpec::preset(preset).scaled(scale)}.generate().trace;
+  cell.infinite = run_experiment1(preset, cell.trace);
+  return cell;
+}
+
+[[nodiscard]] const ZooPolicyOutcome& outcome_named(const ZooStudyResult& result,
+                                                    const std::string& policy) {
+  const auto it = std::find_if(result.outcomes.begin(), result.outcomes.end(),
+                               [&](const ZooPolicyOutcome& o) { return o.policy == policy; });
+  EXPECT_NE(it, result.outcomes.end()) << policy;
+  return *it;
+}
+
+[[nodiscard]] const ZooAdmissionOutcome& admission_named(const ZooStudyResult& result,
+                                                         const std::string& admission) {
+  const auto it =
+      std::find_if(result.admissions.begin(), result.admissions.end(),
+                   [&](const ZooAdmissionOutcome& a) { return a.admission == admission; });
+  EXPECT_NE(it, result.admissions.end()) << admission;
+  return *it;
+}
+
+TEST(ZooStudyTest, EveryPresetYieldsTheFullTables) {
+  ParallelRunner runner{2};
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const StudyCell cell = study_cell(preset);
+    const ZooStudyResult result =
+        run_policy_zoo_study(preset, cell.trace, cell.infinite, 0.10, runner);
+    EXPECT_EQ(result.workload, preset);
+    EXPECT_DOUBLE_EQ(result.cache_fraction, 0.10);
+    EXPECT_GT(result.capacity_bytes, 0u);
+    ASSERT_EQ(result.outcomes.size(), 7u);
+    const char* const policies[] = {"SIZE",  "LRU",       "GDS",     "GDSF",
+                                    "SLRU", "W-TinyLFU", "adaptive"};
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+      EXPECT_EQ(result.outcomes[i].policy, policies[i]);
+      EXPECT_GT(result.outcomes[i].hr, 0.0);
+      EXPECT_LE(result.outcomes[i].hr, 1.0);
+      EXPECT_GT(result.outcomes[i].whr, 0.0);
+      EXPECT_LE(result.outcomes[i].whr, 1.0);
+    }
+    ASSERT_EQ(result.admissions.size(), 4u);
+    const char* const admissions[] = {"always", "size-threshold", "doorkeeper", "doa"};
+    for (std::size_t i = 0; i < result.admissions.size(); ++i) {
+      EXPECT_EQ(result.admissions[i].admission, admissions[i]);
+      EXPECT_GT(result.admissions[i].insertions, 0u);
+    }
+    EXPECT_EQ(admission_named(result, "always").admission_rejects, 0u);
+  }
+}
+
+TEST(ZooStudyTest, AdaptiveSelectorIsNeverWorseThanTheWorstCandidate) {
+  // The acceptance bar: shadow selection may not track the single best
+  // policy on every workload, but it must never sink below the worst
+  // static candidate (its panel is exactly these five).
+  ParallelRunner runner{2};
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const StudyCell cell = study_cell(preset);
+    const ZooStudyResult result =
+        run_policy_zoo_study(preset, cell.trace, cell.infinite, 0.10, runner);
+    double worst = 1.0;
+    for (const char* policy : {"SIZE", "LRU", "GDSF", "SLRU", "W-TinyLFU"}) {
+      worst = std::min(worst, outcome_named(result, policy).hr);
+    }
+    EXPECT_GE(outcome_named(result, "adaptive").hr, worst - 1e-12);
+  }
+}
+
+TEST(ZooStudyTest, DoaAdmissionCutsDeadOnArrivalChurn) {
+  const StudyCell cell = study_cell("BR", 0.02);
+  ParallelRunner runner{2};
+  const ZooStudyResult result =
+      run_policy_zoo_study("BR", cell.trace, cell.infinite, 0.10, runner);
+  const ZooAdmissionOutcome& always = admission_named(result, "always");
+  const ZooAdmissionOutcome& doa = admission_named(result, "doa");
+  EXPECT_GT(always.dead_on_arrival_evictions, 0u);
+  EXPECT_LT(doa.dead_on_arrival_evictions, always.dead_on_arrival_evictions);
+  EXPECT_GT(doa.admission_rejects, 0u);
+}
+
+TEST(ZooStudyTest, BitIdenticalAcrossRunnerJobCounts) {
+  const StudyCell cell = study_cell("BR", 0.02);
+  ParallelRunner serial{1};
+  ParallelRunner wide{4};
+  const ZooStudyResult a = run_policy_zoo_study("BR", cell.trace, cell.infinite, 0.10, serial);
+  const ZooStudyResult b = run_policy_zoo_study("BR", cell.trace, cell.infinite, 0.10, wide);
+  EXPECT_EQ(a.capacity_bytes, b.capacity_bytes);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    SCOPED_TRACE(a.outcomes[i].policy);
+    EXPECT_EQ(a.outcomes[i].policy, b.outcomes[i].policy);
+    EXPECT_EQ(a.outcomes[i].hr, b.outcomes[i].hr);
+    EXPECT_EQ(a.outcomes[i].whr, b.outcomes[i].whr);
+    EXPECT_EQ(a.outcomes[i].hr_pct_of_infinite, b.outcomes[i].hr_pct_of_infinite);
+    EXPECT_EQ(a.outcomes[i].whr_pct_of_infinite, b.outcomes[i].whr_pct_of_infinite);
+    EXPECT_EQ(a.outcomes[i].evictions, b.outcomes[i].evictions);
+    EXPECT_EQ(a.outcomes[i].dead_on_arrival_evictions, b.outcomes[i].dead_on_arrival_evictions);
+  }
+  ASSERT_EQ(a.admissions.size(), b.admissions.size());
+  for (std::size_t i = 0; i < a.admissions.size(); ++i) {
+    SCOPED_TRACE(a.admissions[i].admission);
+    EXPECT_EQ(a.admissions[i].admission, b.admissions[i].admission);
+    EXPECT_EQ(a.admissions[i].hr, b.admissions[i].hr);
+    EXPECT_EQ(a.admissions[i].whr, b.admissions[i].whr);
+    EXPECT_EQ(a.admissions[i].insertions, b.admissions[i].insertions);
+    EXPECT_EQ(a.admissions[i].admission_rejects, b.admissions[i].admission_rejects);
+    EXPECT_EQ(a.admissions[i].dead_on_arrival_evictions,
+              b.admissions[i].dead_on_arrival_evictions);
+  }
+}
+
+}  // namespace
+}  // namespace wcs

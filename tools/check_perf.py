@@ -32,6 +32,9 @@ Floors/ceilings understood:
   micro.speedup_vs_legacy_floor        per-policy map {policy: floor} gating
                                        the flat engine's speedup over the
                                        retained node-based legacy engine
+  zoo.requests_per_sec_floor           every zoo row's absolute throughput
+                                       (GDSF / SLRU / W-TinyLFU on the BR
+                                       preset)
   streaming.max_resident_fraction      ceiling, no tolerance
   faults.max_overhead_ratio            ceiling, tolerance applied
   obs.max_overhead_ratio               ceiling, tolerance applied
@@ -153,6 +156,16 @@ def main() -> int:
                 continue
             label = f"micro.{row['workload']}.{row['policy']}.speedup_vs_legacy"
             check(label, float(row["speedup_vs_legacy"]), float(floor))
+
+    # Zoo rows: absolute throughput only. The zoo policies do strictly more
+    # per touch than the core sorted policies (sketch updates, segment
+    # migration, duels), so they get their own — lower — floor rather than
+    # inheriting micro's.
+    zoo_floor = baseline.get("zoo", {}).get("requests_per_sec_floor")
+    if zoo_floor is not None:
+        for row in measured.get("zoo", []):
+            label = f"zoo.{row['workload']}.{row['policy']}.requests_per_sec"
+            check(label, float(row["requests_per_sec"]), float(zoo_floor))
 
     # Streaming memory gate: a *ceiling*, not a floor. The streaming leg's
     # resident bytes must stay below max_resident_fraction of the

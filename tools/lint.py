@@ -26,7 +26,7 @@ rng-isolation     All randomness flows through src/util/rng.*. ``rand()``,
                   al.) anywhere else silently break the (preset, seed) ->
                   result determinism the trace-repro story depends on.
 no-wall-clock     Result-affecting code (src/core, src/sim, src/trace,
-                  src/workload, src/proxy) never reads the wall clock
+                  src/workload, src/proxy, src/zoo) never reads the wall clock
                   (``system_clock``/``steady_clock``/``time()``/...).
                   Simulated time is the only clock results may see; wall
                   time lives in src/obs/ wall spans, which never feed
@@ -74,6 +74,13 @@ no-unchecked-upstream
                   the wrapper itself (src/proxy/resilience.{h,cpp}) may
                   call the raw upstream; everything else goes through
                   ``ResilientUpstream::fetch``.
+policy-name-coverage
+                  Every name ``make_policy_by_name`` resolves — the
+                  ``lower == "..."`` built-ins in src/core/policy.cpp plus
+                  everything src/zoo/registry.cpp registers — must appear,
+                  quoted, in at least one test under tests/. By-name
+                  surfaces (proxy config strings, topology tiers, demos)
+                  otherwise accumulate names the suite never exercises.
 no-node-based-hot-path
                   Node-based containers (``std::set``/``std::map`` and
                   their multi/unordered variants) are banned in src/core/:
@@ -97,7 +104,7 @@ SOURCE_DIRS = ("src", "tests", "bench", "examples")
 
 # The dirs whose output is (or feeds) a reproducible result table. src/obs/
 # is deliberately absent: wall spans measure the machine, not the model.
-RESULT_DIRS = ("src/core/", "src/sim/", "src/trace/", "src/workload/", "src/proxy/")
+RESULT_DIRS = ("src/core/", "src/sim/", "src/trace/", "src/workload/", "src/proxy/", "src/zoo/")
 
 
 # -- path scopes -------------------------------------------------------------
@@ -396,6 +403,41 @@ class Linter:
                     f"{struct_name} counter '{counter}' is never mentioned in "
                     f"src/sim/metrics.h or metrics.cpp; extend {rows_fn}")
 
+    POLICY_NAME_RE = re.compile(r'lower\s*==\s*"([^"]+)"')
+    REGISTER_POLICY_RE = re.compile(r'register_policy\(\s*"([^"]+)"')
+
+    def lint_policy_name_coverage(self) -> None:
+        """Every name make_policy_by_name resolves must appear, quoted, in
+        at least one test. By-name surfaces (proxy config strings, topology
+        tiers, the zoo registry) otherwise accumulate names the suite never
+        exercises — a renamed or broken factory would ship silently."""
+        policy_cpp = self.root / "src/core/policy.cpp"
+        registry_cpp = self.root / "src/zoo/registry.cpp"
+        tests_dir = self.root / "tests"
+        if not policy_cpp.is_file() or not tests_dir.is_dir():
+            return  # partial tree: skip rather than crash
+        # Raw text on purpose: the names live inside string literals, which
+        # strip_comments_and_strings would blank out.
+        names: dict[str, Path] = {}
+        for match in self.POLICY_NAME_RE.finditer(policy_cpp.read_text()):
+            names.setdefault(match.group(1), policy_cpp)
+        if registry_cpp.is_file():
+            for match in self.REGISTER_POLICY_RE.finditer(registry_cpp.read_text()):
+                names.setdefault(match.group(1), registry_cpp)
+        if not names:
+            self.report(policy_cpp, 1, "policy-name-coverage",
+                        "no by-name policies parsed from make_policy_by_name")
+            return
+        tests = "".join(
+            path.read_text() for path in sorted(tests_dir.rglob("*.cpp")))
+        for name in sorted(names):
+            if f'"{name}"' not in tests:
+                self.report(
+                    names[name], 1, "policy-name-coverage",
+                    f"policy name '{name}' resolves via make_policy_by_name "
+                    "but is never exercised by name in tests/; add a by-name "
+                    "test or retire the name")
+
     def run(self, github: bool = False) -> int:
         files = sorted(
             path
@@ -426,6 +468,7 @@ FILE_RULES: tuple[tuple[str, Callable[[Linter, Path, str, str], None]], ...] = (
 )
 REPO_RULES: tuple[tuple[str, Callable[[Linter], None]], ...] = (
     ("stats-coverage", Linter.lint_stats_coverage),
+    ("policy-name-coverage", Linter.lint_policy_name_coverage),
 )
 
 RULE_NAMES: tuple[str, ...] = tuple(

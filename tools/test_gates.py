@@ -75,9 +75,10 @@ def main() -> int:
             "sharded.speedup_at_4_threads",
             "micro.zipf.lru.requests_per_sec",
             "micro.zipf.lru.speedup_vs_legacy",
+            "zoo.zipf.gdsf.requests_per_sec",
             "streaming.resident_ratio",
             "faults.overhead_ratio",
-            "7/8 metric(s) below floor"])
+            "8/9 metric(s) below floor"])
     # The tolerance slack: 800k against a 1M floor (and a 1.9x speedup
     # against a 2.0x floor) clears the default 30% limit but not a
     # zero-tolerance run. This fixture also reports hardware_threads == 1,

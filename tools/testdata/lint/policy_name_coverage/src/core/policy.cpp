@@ -1,0 +1,8 @@
+// Fixture: two built-in by-name policies — one exercised by the test
+// below, one the suite forgot.
+#include <string>
+int make_policy_by_name(const std::string& lower) {
+  if (lower == "covered") return 1;
+  if (lower == "forgotten") return 2;
+  return 0;
+}

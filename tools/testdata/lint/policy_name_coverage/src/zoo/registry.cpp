@@ -1,0 +1,6 @@
+// Fixture: two registered extension names — one covered, one not.
+void register_policy(const char* name);
+void register_zoo_policies() {
+  register_policy("zoo-covered");
+  register_policy("zoo-forgotten");
+}

@@ -1,0 +1,4 @@
+// Fixture test: exercises two of the four policy names, leaving the
+// other two for the rule to flag.
+const char* kCovered = "covered";
+const char* kZooCovered = "zoo-covered";

@@ -34,7 +34,7 @@ preprocessor/declaration-level and run identically under both engines.
 Rules
 -----
 wall-clock            Result-affecting code (src/core, src/sim, src/trace,
-                      src/workload, src/proxy) must not read wall clocks:
+                      src/workload, src/proxy, src/zoo) must not read wall clocks:
                       ``system_clock``/``steady_clock``/``time()`` et al.
                       make output depend on the machine, which silently
                       breaks the (preset, seed) -> result bit-identity
@@ -108,7 +108,7 @@ RULE_NAMES = ("wall-clock", "unordered-iteration", "rng-discipline",
               "stale-allowlist")
 
 SCAN_DIRS = ("src", "bench")
-RESULT_DIRS = ("src/core/", "src/sim/", "src/trace/", "src/workload/", "src/proxy/")
+RESULT_DIRS = ("src/core/", "src/sim/", "src/trace/", "src/workload/", "src/proxy/", "src/zoo/")
 RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
 TSA_HOME = "src/util/thread_annotations.h"
 OBS_SEAM_HEADER = "src/obs/recorder.h"
@@ -126,7 +126,8 @@ ALLOWED_IMPORTS: dict[str, set[str]] = {
     "workload": {"util", "trace"},
     "capture": {"util", "trace", "http"},
     "proxy": {"util", "trace", "http", "core"},
-    "sim": {"util", "trace", "http", "core", "workload", "proxy"},
+    "zoo": {"util", "trace", "core"},
+    "sim": {"util", "trace", "http", "core", "workload", "proxy", "zoo"},
 }
 
 WALL_CLOCK_RE = re.compile(
